@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the admission policies: the per-request
+//! decision cost for filter rules and the BucketTimeRateLimit sliding
+//! window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgecache_core::admission::{
+    AdmissionPolicy, FilterRule, FilterRuleAdmission, FilterRuleSet, SlidingWindowAdmission,
+};
+use edgecache_core::ratelimit::BucketTimeRateLimit;
+use edgecache_pagestore::CacheScope;
+
+fn benches(c: &mut Criterion) {
+    let rules = FilterRuleSet {
+        rules: (0..50)
+            .map(|i| FilterRule {
+                schema: "wh".into(),
+                table: format!("table_{i}"),
+                max_cached_partitions: Some(100),
+            })
+            .collect(),
+        default_admit: false,
+    };
+    let filter = FilterRuleAdmission::new(rules);
+    let scopes: Vec<CacheScope> = (0..64)
+        .map(|i| CacheScope::partition("wh", &format!("table_{}", i % 50), &format!("p{i}")))
+        .collect();
+    c.bench_function("admission/filter_rules_decide", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let admitted = filter.admit("f", &scopes[i % scopes.len()], 0);
+            i += 1;
+            admitted
+        });
+    });
+
+    let window = SlidingWindowAdmission::per_minute(60, 15);
+    c.bench_function("admission/sliding_window_decide", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let admitted = window.admit(&format!("blk_{}", i % 10_000), &CacheScope::Global, i);
+            i += 7;
+            admitted
+        });
+    });
+
+    let limiter = BucketTimeRateLimit::new(60_000, 60, 15);
+    c.bench_function("admission/rate_limit_record", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let hot = limiter.record_and_check(i % 10_000, i * 13);
+            i += 1;
+            hot
+        });
+    });
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

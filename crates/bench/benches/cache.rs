@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the end-to-end cache manager read path: hit and
+//! miss latency at the API level, including index, locks, and policy
+//! bookkeeping.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edgecache_common::ByteSize;
+use edgecache_core::config::CacheConfig;
+use edgecache_core::manager::{CacheManager, RemoteSource, SourceFile};
+use edgecache_pagestore::{CacheScope, MemoryPageStore};
+
+struct ZeroRemote;
+
+impl RemoteSource for ZeroRemote {
+    fn read(&self, _path: &str, _offset: u64, len: u64) -> edgecache_common::Result<Bytes> {
+        Ok(Bytes::from(vec![0u8; len as usize]))
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let cache = CacheManager::builder(
+        CacheConfig::default().with_page_size(ByteSize::kib(64)),
+    )
+    .with_store(Arc::new(MemoryPageStore::new()), ByteSize::gib(8).as_u64())
+    .build()
+    .unwrap();
+    let files: Vec<SourceFile> = (0..256)
+        .map(|i| SourceFile::new(format!("/f{i}"), 1, 1 << 20, CacheScope::Global))
+        .collect();
+    // Warm everything.
+    for f in &files {
+        cache.read(f, 0, 1 << 20, &ZeroRemote).unwrap();
+    }
+
+    let mut group = c.benchmark_group("cache_manager");
+    group.throughput(Throughput::Bytes(4 << 10));
+    group.bench_function("hit_4kb", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let f = &files[i % files.len()];
+            let data = cache.read(f, 100 << 10, 4 << 10, &ZeroRemote).unwrap();
+            assert_eq!(data.len(), 4 << 10);
+            i += 1;
+        });
+    });
+    group.throughput(Throughput::Bytes(64 << 10));
+    group.bench_function("miss_fill_64kb_page", |b| {
+        let mut v = 2u64;
+        b.iter(|| {
+            // A fresh version each iteration forces a miss + page fill.
+            let f = SourceFile::new("/churn", v, 64 << 10, CacheScope::Global);
+            v += 1;
+            cache.read(&f, 0, 4 << 10, &ZeroRemote).unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

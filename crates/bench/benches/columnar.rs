@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the columnar format: write, footer parse,
+//! and encoded-column decode throughput.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edgecache_columnar::{
+    ColfReader, ColfWriter, ColumnType, MetadataCache, Schema, Value,
+};
+
+fn sample_file(rows: usize) -> Bytes {
+    let schema = Schema::new(vec![
+        ("id", ColumnType::Int64),
+        ("city", ColumnType::Utf8),
+        ("price", ColumnType::Float64),
+    ]);
+    let mut w = ColfWriter::new(schema, 4096);
+    for i in 0..rows {
+        w.push_row(vec![
+            Value::Int64(i as i64),
+            Value::Utf8(format!("city_{}", i % 32)),
+            Value::Float64(i as f64 * 0.5),
+        ])
+        .unwrap();
+    }
+    w.finish().unwrap()
+}
+
+fn benches(c: &mut Criterion) {
+    const ROWS: usize = 100_000;
+    c.bench_function("columnar/write_100k_rows", |b| {
+        b.iter(|| sample_file(ROWS));
+    });
+
+    let file = sample_file(ROWS);
+    let mut group = c.benchmark_group("columnar/read");
+    group.throughput(Throughput::Elements(ROWS as u64));
+    group.bench_function("open_parse_footer", |b| {
+        b.iter(|| ColfReader::open(file.clone()).unwrap());
+    });
+    group.bench_function("open_with_metadata_cache", |b| {
+        let cache = MetadataCache::new();
+        b.iter(|| ColfReader::open_with_cache(file.clone(), &cache, "f@1").unwrap());
+    });
+    group.bench_function("decode_int_column", |b| {
+        let r = ColfReader::open(file.clone()).unwrap();
+        b.iter(|| {
+            let mut total = 0usize;
+            for rg in 0..r.row_groups() {
+                total += r.read_column(rg, 0).unwrap().len();
+            }
+            assert_eq!(total, ROWS);
+        });
+    });
+    group.bench_function("decode_dict_string_column", |b| {
+        let r = ColfReader::open(file.clone()).unwrap();
+        b.iter(|| {
+            let mut total = 0usize;
+            for rg in 0..r.row_groups() {
+                total += r.read_column(rg, 1).unwrap().len();
+            }
+            assert_eq!(total, ROWS);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

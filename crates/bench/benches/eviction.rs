@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the eviction policies: insert/access/victim
+//! cost for LRU, FIFO, and random at realistic tracked-page counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgecache_core::config::EvictionPolicyKind;
+use edgecache_core::eviction::build_policy;
+use edgecache_pagestore::{FileId, PageId};
+
+fn pid(i: u64) -> PageId {
+    PageId::new(FileId(i >> 8), i & 0xff)
+}
+
+fn benches(c: &mut Criterion) {
+    const TRACKED: u64 = 100_000;
+    let kinds = [
+        ("lru", EvictionPolicyKind::Lru),
+        ("fifo", EvictionPolicyKind::Fifo),
+        ("random", EvictionPolicyKind::Random { seed: 42 }),
+    ];
+
+    let mut group = c.benchmark_group("eviction");
+    for (name, kind) in kinds {
+        group.bench_with_input(BenchmarkId::new("access_hot", name), &kind, |b, &kind| {
+            let mut policy = build_policy(kind);
+            for i in 0..TRACKED {
+                policy.on_insert(pid(i));
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                policy.on_access(pid(i % 1000));
+                i += 1;
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("churn", name), &kind, |b, &kind| {
+            // Steady state: one insert + one eviction per iteration.
+            let mut policy = build_policy(kind);
+            for i in 0..TRACKED {
+                policy.on_insert(pid(i));
+            }
+            let mut next = TRACKED;
+            b.iter(|| {
+                let victim = policy.victim().unwrap();
+                policy.on_remove(victim);
+                policy.on_insert(pid(next));
+                next += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

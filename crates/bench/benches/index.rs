@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the index manager's indexed sets (§4.4):
+//! insert/remove/lookup and scope queries at realistic page counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgecache_core::index::IndexManager;
+use edgecache_pagestore::{CacheScope, FileId, PageId, PageInfo};
+
+fn info(i: u64) -> PageInfo {
+    PageInfo::new(
+        PageId::new(FileId(i / 256), i % 256),
+        1 << 20,
+        CacheScope::partition("wh", &format!("t{}", i % 20), &format!("p{}", i % 200)),
+        (i % 4) as usize,
+        0,
+    )
+}
+
+fn benches(c: &mut Criterion) {
+    const PAGES: u64 = 200_000;
+    let idx = IndexManager::new(4);
+    for i in 0..PAGES {
+        idx.insert(info(i));
+    }
+
+    c.bench_function("index/get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let hit = idx.get(&PageId::new(FileId(i % (PAGES / 256)), i % 256));
+            i += 1;
+            hit
+        });
+    });
+
+    c.bench_function("index/insert_remove", |b| {
+        let mut i = PAGES;
+        b.iter(|| {
+            idx.insert(info(i));
+            idx.remove(&info(i).id);
+            i += 1;
+        });
+    });
+
+    c.bench_function("index/bytes_of_scope", |b| {
+        let scope = CacheScope::table("wh", "t3");
+        b.iter(|| idx.bytes_of_scope(&scope));
+    });
+
+    c.bench_function("index/pages_of_file", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let pages = idx.pages_of_file(FileId(i % (PAGES / 256)));
+            i += 1;
+            pages
+        });
+    });
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of the page store: put/get/partial-read
+//! throughput in memory and on disk, plus cold-start recovery.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edgecache_pagestore::{
+    FileId, LocalPageStore, LocalStoreConfig, MemoryPageStore, PageId, PageStore,
+};
+
+fn pid(i: u64) -> PageId {
+    PageId::new(FileId(i / 64), i % 64)
+}
+
+fn bench_store(c: &mut Criterion, name: &str, store: Arc<dyn PageStore>) {
+    let payload = vec![0xa5u8; 1 << 20];
+    for i in 0..64u64 {
+        store.put(pid(i), &payload).unwrap();
+    }
+
+    let mut group = c.benchmark_group(format!("pagestore/{name}"));
+    group.throughput(Throughput::Bytes(1 << 20));
+    group.bench_function("put_1mb", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            store.put(pid(64 + i % 64), &payload).unwrap();
+            i += 1;
+        });
+    });
+    group.bench_function("get_full_1mb", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let data = store.get_full(pid(i % 64)).unwrap();
+            assert_eq!(data.len(), 1 << 20);
+            i += 1;
+        });
+    });
+    group.throughput(Throughput::Bytes(4 << 10));
+    group.bench_function("get_4kb_range", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let data = store.get(pid(i % 64), 128 << 10, 4 << 10).unwrap();
+            assert_eq!(data.len(), 4 << 10);
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_store(c, "memory", Arc::new(MemoryPageStore::new()));
+    let dir = std::env::temp_dir().join(format!("edgecache-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let local = LocalPageStore::open(&dir, LocalStoreConfig::default()).unwrap();
+    bench_store(c, "local_disk", Arc::new(local));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("edgecache-bench-rec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = LocalPageStore::open(&dir, LocalStoreConfig::default()).unwrap();
+    let payload = vec![1u8; 4096];
+    for i in 0..1000u64 {
+        store.put(pid(i), &payload).unwrap();
+    }
+    c.bench_function("pagestore/recover_1000_pages", |b| {
+        b.iter(|| {
+            let recovered = store.recover().unwrap();
+            assert_eq!(recovered.len(), 1000);
+        });
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(group, benches, bench_recovery);
+criterion_main!(group);

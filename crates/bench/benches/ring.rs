@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of the consistent-hash ring: primary lookup
+//! and candidate enumeration at production-like node counts.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgecache_common::clock::SystemClock;
+use edgecache_common::ring::{ConsistentRing, RingConfig};
+
+fn ring_with(nodes: usize) -> ConsistentRing {
+    let ring = ConsistentRing::new(RingConfig::default(), Arc::new(SystemClock));
+    for i in 0..nodes {
+        ring.add_node(&format!("worker-{i}"));
+    }
+    ring
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring");
+    for nodes in [16usize, 128, 1024] {
+        let ring = ring_with(nodes);
+        group.bench_with_input(BenchmarkId::new("primary", nodes), &ring, |b, ring| {
+            let mut i = 0u64;
+            b.iter(|| {
+                let node = ring.primary(&format!("/data/file-{i}")).unwrap();
+                i += 1;
+                node
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("candidates2", nodes), &ring, |b, ring| {
+            let mut i = 0u64;
+            b.iter(|| {
+                let c = ring.candidates(&format!("/data/file-{i}"), 2);
+                i += 1;
+                c
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

@@ -1,0 +1,30 @@
+//! Runs the full experiment suite — every table and figure of the paper —
+//! and prints each report plus a final summary. Pass `--quick` for the
+//! reduced-scale variant used in CI.
+//!
+//! ```text
+//! cargo run -p edgecache-bench --release --bin all_experiments
+//! ```
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reports = edgecache_bench::experiments::run_all(quick);
+    let mut failed = 0;
+    for report in &reports {
+        println!("{report}");
+        println!();
+        if !report.all_ok() {
+            failed += 1;
+        }
+    }
+    println!("=== summary ===");
+    for report in &reports {
+        let status = if report.all_ok() { "OK      " } else { "MISMATCH" };
+        println!("{status} {} — {}", report.id, report.title);
+    }
+    if failed > 0 {
+        println!("{failed} experiment(s) had shape mismatches");
+        std::process::exit(1);
+    }
+    println!("all {} experiments match the paper's shape", reports.len());
+}

@@ -1,0 +1,11 @@
+//! Harness binary for the `table1_hdfs_traffic` experiment; pass `--quick` for the
+//! reduced-scale variant. See DESIGN.md §3 for the experiment index.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = edgecache_bench::experiments::table1_hdfs_traffic::run(quick);
+    println!("{report}");
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

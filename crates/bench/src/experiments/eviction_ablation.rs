@@ -1,0 +1,134 @@
+//! **§4.1 extension ablation** — eviction policies under OLAP traffic.
+//!
+//! The paper's evictor ships FIFO, random, and LRU "and provides an
+//! interface for the integration of alternative policies if needed". We
+//! implement two such alternatives (SLRU and 2Q, both scan-resistant) and
+//! compare all five through the real cache manager on two workloads:
+//!
+//! * pure Zipfian point reads (the §2.2 skew), where recency tracking wins;
+//! * Zipfian reads interleaved with full-table scans (ETL alongside
+//!   interactive traffic), where plain LRU gets flushed and the
+//!   scan-resistant policies keep the hot set.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use edgecache_common::ByteSize;
+use edgecache_core::config::{CacheConfig, EvictionPolicyKind};
+use edgecache_core::manager::{CacheManager, RemoteSource, SourceFile};
+use edgecache_pagestore::{CacheScope, MemoryPageStore};
+use edgecache_workload::zipf::ZipfSampler;
+
+use crate::report::{Check, ExperimentReport, TextTable};
+
+struct ZeroRemote;
+
+impl RemoteSource for ZeroRemote {
+    fn read(&self, _p: &str, _o: u64, len: u64) -> edgecache_common::Result<Bytes> {
+        Ok(Bytes::from(vec![0u8; len as usize]))
+    }
+}
+
+const PAGE: u64 = 16 << 10;
+
+fn run_policy(kind: EvictionPolicyKind, files: usize, requests: usize, scans: bool) -> f64 {
+    let cache = CacheManager::builder(
+        CacheConfig::default()
+            .with_page_size(ByteSize::new(PAGE))
+            .with_eviction(kind),
+    )
+    // Capacity: 1/8 of the file population.
+    .with_store(Arc::new(MemoryPageStore::new()), PAGE * files as u64 / 8)
+    .build()
+    .expect("cache builds");
+    let mut zipf = ZipfSampler::new(files, 1.1, 17);
+    let mut scan_cursor = 0usize;
+    for i in 0..requests {
+        if scans && i % 4 == 3 {
+            // A scan touches a sweep of cold files once each.
+            for _ in 0..4 {
+                let f = scan_cursor % files;
+                scan_cursor += 7; // Stride so scans cover the table.
+                let file = SourceFile::new(format!("/f{f}"), 1, PAGE, CacheScope::Global);
+                cache.read(&file, 0, PAGE, &ZeroRemote).expect("read succeeds");
+            }
+            continue;
+        }
+        let f = zipf.sample();
+        let file = SourceFile::new(format!("/f{f}"), 1, PAGE, CacheScope::Global);
+        cache.read(&file, 0, PAGE, &ZeroRemote).expect("read succeeds");
+    }
+    cache.stats().hit_rate
+}
+
+/// Runs the eviction-policy ablation.
+pub fn run(quick: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "eviction",
+        "Eviction policies under Zipf and Zipf+scan traffic (§4.1 extension)",
+    );
+    let files = 2_000;
+    let requests = if quick { 20_000 } else { 100_000 };
+    let policies = [
+        ("lru", EvictionPolicyKind::Lru),
+        ("fifo", EvictionPolicyKind::Fifo),
+        ("random", EvictionPolicyKind::Random { seed: 3 }),
+        ("slru", EvictionPolicyKind::Slru),
+        ("2q", EvictionPolicyKind::TwoQ),
+    ];
+
+    report.table = TextTable::new(&["policy", "hit rate (zipf)", "hit rate (zipf + scans)"]);
+    let mut zipf_rates = Vec::new();
+    let mut scan_rates = Vec::new();
+    for (name, kind) in policies {
+        let z = run_policy(kind, files, requests, false);
+        let s = run_policy(kind, files, requests, true);
+        report.table.row(vec![
+            name.to_string(),
+            format!("{:.1}%", z * 100.0),
+            format!("{:.1}%", s * 100.0),
+        ]);
+        zipf_rates.push((name, z));
+        scan_rates.push((name, s));
+    }
+
+    let rate = |list: &[(&str, f64)], name: &str| {
+        list.iter().find(|(n, _)| *n == name).map(|(_, r)| *r).expect("policy ran")
+    };
+    report.checks.push(Check::new(
+        "LRU beats FIFO and random on skewed traffic",
+        "recency wins under Zipf",
+        format!(
+            "lru {:.1}% vs fifo {:.1}% / random {:.1}%",
+            rate(&zipf_rates, "lru") * 100.0,
+            rate(&zipf_rates, "fifo") * 100.0,
+            rate(&zipf_rates, "random") * 100.0
+        ),
+        rate(&zipf_rates, "lru") >= rate(&zipf_rates, "fifo")
+            && rate(&zipf_rates, "lru") >= rate(&zipf_rates, "random"),
+    ));
+    report.checks.push(Check::new(
+        "scan-resistant policies beat LRU under scans",
+        "SLRU and 2Q hold the hot set",
+        format!(
+            "slru {:.1}% / 2q {:.1}% vs lru {:.1}%",
+            rate(&scan_rates, "slru") * 100.0,
+            rate(&scan_rates, "2q") * 100.0,
+            rate(&scan_rates, "lru") * 100.0
+        ),
+        rate(&scan_rates, "slru") > rate(&scan_rates, "lru")
+            && rate(&scan_rates, "2q") > rate(&scan_rates, "lru"),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shows_policy_tradeoffs() {
+        let report = run(true);
+        assert!(report.all_ok(), "{report}");
+    }
+}

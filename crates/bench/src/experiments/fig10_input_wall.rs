@@ -1,0 +1,203 @@
+//! **Figure 10** — query time spent reading files (`inputWall` of the
+//! ScanFilterProjectOperator) before and after enabling the cache.
+//!
+//! Uber's production measurement: P90 of file-read time dropped 67 % and
+//! P50 dropped 64 % once the Presto local cache was enabled. We replay a
+//! Zipfian scan workload over a partitioned table twice — caching disabled,
+//! then caching enabled — and compare the per-query `input_wall`
+//! percentiles of the steady-state window. The cache is sized below the
+//! dataset so the unpopular tail keeps missing, exactly why production
+//! reductions sit at ~2/3 rather than ~100 %.
+
+use std::sync::Arc;
+
+use edgecache_common::clock::SimClock;
+use edgecache_common::ByteSize;
+use edgecache_metrics::Histogram;
+use edgecache_columnar::{ColfWriter, ColumnType, Schema, Value};
+use edgecache_olap::{
+    AggExpr, Catalog, DataFile, Engine, EngineConfig, PartitionDef, QueryPlan, TableDef,
+    WorkerConfig,
+};
+use edgecache_storage::ObjectStore;
+use edgecache_workload::zipf::ZipfSampler;
+
+use crate::report::{Check, ExperimentReport, TextTable};
+
+struct Setup {
+    catalog: Arc<Catalog>,
+    store: Arc<ObjectStore>,
+    partitions: Vec<String>,
+}
+
+/// One single-file partition per "table file", so a Zipf draw over
+/// partitions is a Zipf draw over files.
+fn build_table(files: usize, rows_per_file: usize, clock: &SimClock) -> Setup {
+    let store = Arc::new(ObjectStore::new(Arc::new(clock.clone())));
+    let catalog = Arc::new(Catalog::new());
+    let schema = Schema::new(vec![
+        ("k", ColumnType::Int64),
+        ("v", ColumnType::Float64),
+    ]);
+    let mut partitions = Vec::new();
+    let mut defs = Vec::new();
+    for f in 0..files {
+        let mut w = ColfWriter::new(schema.clone(), (rows_per_file / 4).max(1));
+        for i in 0..rows_per_file {
+            w.push_row(vec![
+                Value::Int64((f * rows_per_file + i) as i64),
+                Value::Float64(i as f64 * 0.25),
+            ])
+            .expect("row matches schema");
+        }
+        let bytes = w.finish().expect("file builds");
+        let path = format!("/wh/events/p{f}/data.colf");
+        store.put_object(&path, bytes.clone());
+        let name = format!("p{f}");
+        defs.push(PartitionDef {
+            name: name.clone(),
+            files: vec![DataFile { path, version: 1, length: bytes.len() as u64 }],
+        });
+        partitions.push(name);
+    }
+    catalog.register(TableDef {
+        schema_name: "wh".into(),
+        table_name: "events".into(),
+        columns: schema,
+        partitions: defs,
+    });
+    Setup { catalog, store, partitions }
+}
+
+fn run_phase(
+    setup: &Setup,
+    clock: &SimClock,
+    cache: bool,
+    cache_capacity: u64,
+    queries: usize,
+    seed: u64,
+) -> (Histogram, u64) {
+    let engine = Engine::new(
+        Arc::clone(&setup.catalog),
+        setup.store.clone(),
+        EngineConfig {
+            workers: 4,
+            worker: WorkerConfig {
+                enable_cache: cache,
+                cache_capacity,
+                page_size: ByteSize::mib(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        Arc::new(clock.clone()),
+    )
+    .expect("engine builds");
+    let mut zipf = ZipfSampler::new(setup.partitions.len(), 1.2, seed);
+    let input_wall_us = Histogram::new();
+    let mut remote_bytes = 0u64;
+    let warmup = queries / 4;
+    for i in 0..queries {
+        // A query scans several partitions (files), Zipf-popular ones more
+        // often — so its inputWall mixes cached and uncached files, giving
+        // the continuous latency distribution production measures.
+        let mut picks: Vec<&str> = (0..8)
+            .map(|_| setup.partitions[zipf.sample()].as_str())
+            .collect();
+        picks.sort_unstable();
+        picks.dedup();
+        let plan = QueryPlan::scan("wh", "events", &[])
+            .in_partitions(&picks)
+            .aggregate(vec![AggExpr::sum("v")]);
+        let r = engine.execute(&plan).expect("query runs");
+        if i >= warmup {
+            input_wall_us.record(r.stats.input_wall.as_micros() as u64);
+            remote_bytes += r.stats.bytes_from_remote;
+        }
+    }
+    (input_wall_us, remote_bytes)
+}
+
+/// Runs the Figure 10 reproduction.
+pub fn run(quick: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig10",
+        "P50/P90 of time spent reading files, before/after enabling the cache",
+    );
+    // The file population stays fixed across scales so the Zipf hit-rate
+    // regime (and with it the percentile shape) is identical; quick mode
+    // only shrinks per-file volume and query count.
+    let files = 300;
+    let rows = if quick { 400 } else { 2_000 };
+    let queries = if quick { 600 } else { 3_000 };
+    let clock = SimClock::new();
+    let setup = build_table(files, rows, &clock);
+    // Size the cache at roughly 40 % of the dataset: the Zipf head fits, the
+    // tail keeps missing.
+    let total_bytes: u64 = setup
+        .partitions
+        .iter()
+        .map(|p| {
+            setup
+                .store
+                .head_object(&format!("/wh/events/{p}/data.colf"))
+                .map(|(len, _)| len)
+                .unwrap_or(0)
+        })
+        .sum();
+    // Per-worker capacity: ~35 % of the worker's share of the dataset, so
+    // the Zipf head fits and the tail keeps missing.
+    let capacity = total_bytes * 35 / 100 / 4;
+
+    let (before, _) = run_phase(&setup, &clock, false, capacity, queries, 5);
+    let (after, _) = run_phase(&setup, &clock, true, capacity, queries, 5);
+
+    let b50 = before.quantile(0.5).unwrap_or(0);
+    let b90 = before.quantile(0.9).unwrap_or(0);
+    let a50 = after.quantile(0.5).unwrap_or(0);
+    let a90 = after.quantile(0.9).unwrap_or(0);
+    let p50_red = 1.0 - a50 as f64 / b50 as f64;
+    let p90_red = 1.0 - a90 as f64 / b90 as f64;
+
+    report.table = TextTable::new(&["percentile", "before cache (ms)", "after cache (ms)", "reduction"]);
+    report.table.row(vec![
+        "P50".into(),
+        format!("{:.2}", b50 as f64 / 1e3),
+        format!("{:.2}", a50 as f64 / 1e3),
+        format!("{:.0}%", p50_red * 100.0),
+    ]);
+    report.table.row(vec![
+        "P90".into(),
+        format!("{:.2}", b90 as f64 / 1e3),
+        format!("{:.2}", a90 as f64 / 1e3),
+        format!("{:.0}%", p90_red * 100.0),
+    ]);
+
+    report.checks.push(Check::new(
+        "P50 file-read time reduction",
+        "64%",
+        format!("{:.0}%", p50_red * 100.0),
+        (0.40..=0.90).contains(&p50_red),
+    ));
+    report.checks.push(Check::new(
+        "P90 file-read time reduction",
+        "67%",
+        format!("{:.0}%", p90_red * 100.0),
+        (0.40..=0.90).contains(&p90_red),
+    ));
+    report.notes.push(format!(
+        "cache sized at 40% of the {total_bytes}-byte dataset so the Zipf tail keeps missing"
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reduces_read_time() {
+        let report = run(true);
+        assert!(report.all_ok(), "{report}");
+    }
+}

@@ -1,0 +1,209 @@
+//! **§7 ablation** — lazy data movement ("keeping the seats for temporary
+//! offline nodes").
+//!
+//! Containerized deployments restart nodes constantly. The design question
+//! is what happens to a briefly-offline node's key range:
+//!
+//! * **Lazy (ring timeout)** — the node keeps its seat; its keys are served
+//!   by *remote fallback without caching* until it returns (exactly the
+//!   soft-affinity fallback semantics: "fetch data directly from external
+//!   storage, bypassing local caching"). No data moves.
+//! * **Immediate removal** — ownership formally transfers to the clockwise
+//!   successors, which dutifully cache the flapping node's keys (data
+//!   movement), evicting their own hot entries (pollution). When the node
+//!   returns, those fills were wasted.
+//!
+//! We flap one node offline for 2 minutes per 10-minute cycle and compare
+//! cache fills caused by ownership churn, evictions of the successors' own
+//! keys, and fallback serves.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use edgecache_common::clock::SimClock;
+use edgecache_common::ring::{ConsistentRing, RingConfig};
+use edgecache_core::eviction::{EvictionPolicy, LruPolicy};
+use edgecache_pagestore::{FileId, PageId};
+use edgecache_workload::zipf::ZipfSampler;
+
+use crate::report::{Check, ExperimentReport, TextTable};
+
+struct NodeCache {
+    lru: LruPolicy,
+    keys: HashSet<u64>,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl NodeCache {
+    fn new(capacity: usize) -> Self {
+        Self { lru: LruPolicy::new(), keys: HashSet::new(), capacity, evictions: 0 }
+    }
+
+    /// Serves `key`; returns `true` on a hit. Misses fill and may evict.
+    fn serve(&mut self, key: u64) -> bool {
+        let id = PageId::new(FileId(key), 0);
+        if self.keys.contains(&key) {
+            self.lru.on_access(id);
+            return true;
+        }
+        self.keys.insert(key);
+        self.lru.on_insert(id);
+        while self.keys.len() > self.capacity {
+            let victim = self.lru.victim().expect("non-empty");
+            self.lru.on_remove(victim);
+            self.keys.remove(&victim.file.0);
+            self.evictions += 1;
+        }
+        false
+    }
+}
+
+#[derive(Debug, Default)]
+struct Outcome {
+    churn_fills: u64,
+    pollution_evictions: u64,
+    fallback_serves: u64,
+}
+
+fn simulate(lazy: bool, keys: usize, cycles: usize, requests_per_minute: usize) -> Outcome {
+    let clock = SimClock::new();
+    let ring = ConsistentRing::new(
+        RingConfig { offline_timeout: Duration::from_secs(600), ..Default::default() },
+        Arc::new(clock.clone()),
+    );
+    let nodes = 8;
+    for i in 0..nodes {
+        ring.add_node(&format!("n{i}"));
+    }
+    let mut caches: HashMap<String, NodeCache> = (0..nodes)
+        .map(|i| (format!("n{i}"), NodeCache::new(keys / nodes)))
+        .collect();
+    let mut zipf = ZipfSampler::new(keys, 1.1, 13);
+
+    // Warm every node's cache with its own key range.
+    for _ in 0..keys * 4 {
+        let key = zipf.sample() as u64;
+        let home = ring.primary(&key.to_string()).expect("ring populated");
+        caches.get_mut(&home).expect("known node").serve(key);
+    }
+    for c in caches.values_mut() {
+        c.evictions = 0;
+    }
+
+    let mut out = Outcome::default();
+    let minute = |ring: &ConsistentRing,
+                      caches: &mut HashMap<String, NodeCache>,
+                      zipf: &mut ZipfSampler,
+                      out: &mut Outcome,
+                      flapping_offline: bool| {
+        for _ in 0..requests_per_minute {
+            let key = zipf.sample() as u64;
+            let key_str = key.to_string();
+            if lazy && flapping_offline {
+                // The seat is kept: if the (full-ring) owner is the offline
+                // node, bypass the cache tier entirely.
+                ring.mark_online("n0");
+                let home = ring.primary(&key_str).expect("populated");
+                ring.mark_offline("n0");
+                if home == "n0" {
+                    out.fallback_serves += 1;
+                    continue;
+                }
+                let node = caches.get_mut(&home).expect("known");
+                if !node.serve(key) {
+                    out.churn_fills += 0; // Regular miss on its own range.
+                }
+            } else {
+                // Ownership as the ring currently sees it.
+                let owner = ring.primary(&key_str).expect("some node online");
+                let is_displaced = flapping_offline && {
+                    ring.mark_online("n0");
+                    let home = ring.primary(&key_str).expect("populated");
+                    ring.mark_offline("n0");
+                    home == "n0"
+                };
+                let node = caches.get_mut(&owner).expect("known");
+                let hit = node.serve(key);
+                if !hit && is_displaced {
+                    out.churn_fills += 1;
+                }
+            }
+        }
+    };
+
+    for _ in 0..cycles {
+        ring.mark_offline("n0");
+        for _ in 0..2 {
+            clock.advance(Duration::from_secs(60));
+            minute(&ring, &mut caches, &mut zipf, &mut out, true);
+        }
+        ring.mark_online("n0");
+        for _ in 0..8 {
+            clock.advance(Duration::from_secs(60));
+            minute(&ring, &mut caches, &mut zipf, &mut out, false);
+        }
+    }
+    out.pollution_evictions = caches.values().map(|c| c.evictions).sum();
+    out
+}
+
+/// Runs the lazy-data-movement ablation.
+pub fn run(quick: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "lazy_movement",
+        "Lazy data movement: ring timeout vs. immediate reassignment under node flapping (§7)",
+    );
+    let (keys, cycles, rpm) = if quick { (2_000, 4, 2_000) } else { (10_000, 12, 10_000) };
+    let lazy = simulate(true, keys, cycles, rpm);
+    let immediate = simulate(false, keys, cycles, rpm);
+
+    report.table = TextTable::new(&[
+        "strategy",
+        "churn cache fills",
+        "pollution evictions",
+        "fallback serves",
+    ]);
+    report.table.row(vec![
+        "lazy (seat kept, bypass)".into(),
+        lazy.churn_fills.to_string(),
+        lazy.pollution_evictions.to_string(),
+        lazy.fallback_serves.to_string(),
+    ]);
+    report.table.row(vec![
+        "immediate reassignment".into(),
+        immediate.churn_fills.to_string(),
+        immediate.pollution_evictions.to_string(),
+        immediate.fallback_serves.to_string(),
+    ]);
+
+    report.checks.push(Check::new(
+        "lazy avoids data movement",
+        "no churn fills",
+        format!("{} vs {}", lazy.churn_fills, immediate.churn_fills),
+        lazy.churn_fills == 0 && immediate.churn_fills > 0,
+    ));
+    report.checks.push(Check::new(
+        "lazy avoids polluting sibling caches",
+        "fewer evictions",
+        format!("{} vs {}", lazy.pollution_evictions, immediate.pollution_evictions),
+        lazy.pollution_evictions < immediate.pollution_evictions,
+    ));
+    report.notes.push(
+        "node n0 is offline 2 of every 10 minutes; lazy pays fallback serves instead of movement"
+            .into(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_lazy_wins() {
+        let report = run(true);
+        assert!(report.all_ok(), "{report}");
+    }
+}

@@ -1,0 +1,163 @@
+//! **§7 ablation** — caching deserialized file metadata.
+//!
+//! "Parsing complex column-oriented data files can consume as much as 30 %
+//! of CPU resources ... caching deserialized metadata objects can reduce
+//! CPU usage by up to 40 %."
+//!
+//! We run a stream of narrow interactive queries (small data reads over
+//! many wide files, where footers are comparatively large) with the
+//! metadata cache off and on, and compare total simulated CPU time and the
+//! share of it spent parsing footers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use edgecache_common::clock::SimClock;
+use edgecache_common::ByteSize;
+use edgecache_columnar::{ColfWriter, ColumnType, Schema, Value};
+use edgecache_olap::{
+    AggExpr, Catalog, DataFile, Engine, EngineConfig, PartitionDef, QueryPlan, TableDef,
+    WorkerConfig,
+};
+use edgecache_storage::ObjectStore;
+use edgecache_workload::zipf::ZipfSampler;
+
+use crate::report::{Check, ExperimentReport, TextTable};
+
+/// Builds wide files (many columns and row groups → large footers).
+fn build(files: usize, rows: usize, clock: &SimClock) -> (Arc<Catalog>, Arc<ObjectStore>, Vec<String>) {
+    let store = Arc::new(ObjectStore::new(Arc::new(clock.clone())));
+    let catalog = Arc::new(Catalog::new());
+    // 24 columns: wide schemas are what make footers expensive.
+    let columns: Vec<(String, ColumnType)> = (0..24)
+        .map(|c| (format!("c{c}"), ColumnType::Int64))
+        .collect();
+    let schema = Schema::new(columns.iter().map(|(n, t)| (n.as_str(), *t)).collect());
+    let mut defs = Vec::new();
+    let mut names = Vec::new();
+    for f in 0..files {
+        let mut w = ColfWriter::new(schema.clone(), (rows / 16).max(1));
+        for i in 0..rows {
+            w.push_row((0..24).map(|c| Value::Int64((i * 24 + c) as i64)).collect())
+                .expect("row builds");
+        }
+        let bytes = w.finish().expect("file builds");
+        let path = format!("/wh/wide/p{f}/data.colf");
+        store.put_object(&path, bytes.clone());
+        let name = format!("p{f}");
+        defs.push(PartitionDef {
+            name: name.clone(),
+            files: vec![DataFile { path, version: 1, length: bytes.len() as u64 }],
+        });
+        names.push(name);
+    }
+    catalog.register(TableDef {
+        schema_name: "wh".into(),
+        table_name: "wide".into(),
+        columns: schema,
+        partitions: defs,
+    });
+    (catalog, store, names)
+}
+
+fn run_phase(
+    catalog: &Arc<Catalog>,
+    store: &Arc<ObjectStore>,
+    partitions: &[String],
+    clock: &SimClock,
+    metadata_cache: bool,
+    queries: usize,
+) -> (Duration, Duration) {
+    let engine = Engine::new(
+        Arc::clone(catalog),
+        store.clone(),
+        EngineConfig {
+            workers: 2,
+            worker: WorkerConfig {
+                enable_metadata_cache: metadata_cache,
+                page_size: ByteSize::mib(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        Arc::new(clock.clone()),
+    )
+    .expect("engine builds");
+    let mut zipf = ZipfSampler::new(partitions.len(), 1.1, 31);
+    let mut total_cpu = Duration::ZERO;
+    for _ in 0..queries {
+        let p = &partitions[zipf.sample()];
+        // An interactive probe projecting a third of the columns — enough
+        // decode work that footer parsing is a ~30% share, as in production.
+        let plan = QueryPlan::scan("wh", "wide", &[])
+            .in_partitions(&[p])
+            .aggregate((0..8).map(|c| AggExpr::sum(&format!("c{c}"))).collect());
+        let r = engine.execute(&plan).expect("query runs");
+        total_cpu += r.stats.cpu_time;
+    }
+    // Total parse CPU actually spent across the engine's workers.
+    let parse: Duration = engine
+        .worker_names()
+        .iter()
+        .map(|w| engine.worker(w).expect("worker").metadata_cache().total_parse_cost())
+        .sum();
+    (total_cpu, parse)
+}
+
+/// Runs the metadata-caching ablation.
+pub fn run(quick: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "metadata",
+        "Metadata caching: CPU spent parsing footers, cache off vs. on (§7)",
+    );
+    let (files, rows, queries) = if quick { (40, 2_000, 300) } else { (200, 4_000, 2_000) };
+    let clock = SimClock::new();
+    let (catalog, store, partitions) = build(files, rows, &clock);
+
+    let (cpu_off, _) = run_phase(&catalog, &store, &partitions, &clock, false, queries);
+    let (cpu_on, parse_on) = run_phase(&catalog, &store, &partitions, &clock, true, queries);
+
+    // Without the cache every open pays the parse; estimate its share by
+    // subtracting the cached run's non-parse CPU (decode+filter is identical
+    // across runs).
+    let parse_off = cpu_off.saturating_sub(cpu_on.saturating_sub(parse_on));
+    let parse_share_off = parse_off.as_secs_f64() / cpu_off.as_secs_f64();
+    let cpu_reduction = 1.0 - cpu_on.as_secs_f64() / cpu_off.as_secs_f64();
+
+    report.table = TextTable::new(&["configuration", "total CPU (ms)", "footer-parse CPU (ms)"]);
+    report.table.row(vec![
+        "metadata cache off".into(),
+        format!("{:.1}", cpu_off.as_secs_f64() * 1e3),
+        format!("{:.1}", parse_off.as_secs_f64() * 1e3),
+    ]);
+    report.table.row(vec![
+        "metadata cache on".into(),
+        format!("{:.1}", cpu_on.as_secs_f64() * 1e3),
+        format!("{:.1}", parse_on.as_secs_f64() * 1e3),
+    ]);
+
+    report.checks.push(Check::new(
+        "parse share of CPU without metadata cache",
+        "up to ~30%",
+        format!("{:.0}%", parse_share_off * 100.0),
+        (0.10..=0.60).contains(&parse_share_off),
+    ));
+    report.checks.push(Check::new(
+        "CPU reduction from metadata caching",
+        "up to ~40%",
+        format!("{:.0}%", cpu_reduction * 100.0),
+        (0.10..=0.60).contains(&cpu_reduction),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_saves_cpu() {
+        let report = run(true);
+        assert!(report.checks[1].ok, "{report}");
+    }
+}

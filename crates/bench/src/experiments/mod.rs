@@ -1,0 +1,39 @@
+//! The experiment suite. One module per paper table/figure/claim; see
+//! DESIGN.md §3 for the full index.
+
+pub mod admission_effectiveness;
+pub mod eviction_ablation;
+pub mod fig10_input_wall;
+pub mod fig13_read_rates;
+pub mod fig14_blocked_procs;
+pub mod fig2_zipf;
+pub mod fig9_tpcds;
+pub mod meta_latency;
+pub mod pagesize_ablation;
+pub mod metadata_ablation;
+pub mod quota_ablation;
+pub mod replicas_ablation;
+pub mod lazy_movement_ablation;
+pub mod table1_hdfs_traffic;
+
+use crate::report::ExperimentReport;
+
+/// Runs every experiment; `quick` shrinks scales for CI.
+pub fn run_all(quick: bool) -> Vec<ExperimentReport> {
+    vec![
+        table1_hdfs_traffic::run(quick),
+        fig2_zipf::run(quick),
+        fig9_tpcds::run(quick),
+        fig10_input_wall::run(quick),
+        meta_latency::run(quick),
+        fig13_read_rates::run(quick),
+        fig14_blocked_procs::run(quick),
+        admission_effectiveness::run(quick),
+        pagesize_ablation::run(quick),
+        metadata_ablation::run(quick),
+        eviction_ablation::run(quick),
+        replicas_ablation::run(quick),
+        lazy_movement_ablation::run(quick),
+        quota_ablation::run(quick),
+    ]
+}

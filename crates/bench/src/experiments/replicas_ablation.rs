@@ -1,0 +1,228 @@
+//! **§7 ablation** — number of cache replicas under hot-spot traffic.
+//!
+//! "Increasing the number of replicas can alleviate pressure on hot spots
+//! but may inadvertently lead to increased latency in locating an
+//! unoccupied cache node. In practice ... we adopted a strategy that limits
+//! the number of cache replicas to a maximum of two (with) a remote storage
+//! fallback."
+//!
+//! We model a distributed-cache tier: N nodes on a consistent ring, each
+//! with a bounded per-window service capacity and a bounded LRU key cache.
+//! A request probes its key's R candidate nodes in ring order (each probe
+//! costs latency) and falls back to remote storage when every candidate is
+//! saturated. More replicas spread hot keys but dilute cache capacity
+//! (every replica caches its own copy) and lengthen the probe chain.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use edgecache_common::clock::SimClock;
+use edgecache_common::ring::{ConsistentRing, RingConfig};
+use edgecache_core::eviction::{EvictionPolicy, LruPolicy};
+use edgecache_pagestore::{FileId, PageId};
+use edgecache_workload::zipf::ZipfSampler;
+
+use crate::report::{Check, ExperimentReport, TextTable};
+
+const PROBE_COST: Duration = Duration::from_micros(300);
+/// Probing an *occupied* node is expensive: the request queues behind the
+/// hot-spot traffic before being turned away — the paper's "increased
+/// latency in locating an unoccupied cache node".
+const BUSY_PROBE_COST: Duration = Duration::from_millis(8);
+const HIT_COST: Duration = Duration::from_micros(600);
+const FILL_COST: Duration = Duration::from_millis(12);
+const REMOTE_COST: Duration = Duration::from_millis(18);
+
+struct Node {
+    /// LRU over cached keys (modeled with the page-eviction machinery).
+    lru: LruPolicy,
+    cached: std::collections::HashSet<u64>,
+    capacity_keys: usize,
+    /// Requests served per key in the current window. Hot spots are
+    /// *per-key*: a node can stream one hot block to only so many readers
+    /// per window, and every replica of a hot key saturates together.
+    served_per_key: HashMap<u64, u32>,
+}
+
+impl Node {
+    fn new(capacity_keys: usize) -> Self {
+        Self {
+            lru: LruPolicy::new(),
+            cached: Default::default(),
+            capacity_keys,
+            served_per_key: HashMap::new(),
+        }
+    }
+
+    fn touch(&mut self, key: u64) -> bool {
+        let id = PageId::new(FileId(key), 0);
+        let hit = self.cached.contains(&key);
+        if hit {
+            self.lru.on_access(id);
+        } else {
+            self.cached.insert(key);
+            self.lru.on_insert(id);
+            while self.cached.len() > self.capacity_keys {
+                let victim = self.lru.victim().expect("non-empty lru");
+                self.lru.on_remove(victim);
+                self.cached.remove(&victim.file.0);
+            }
+        }
+        hit
+    }
+}
+
+struct Outcome {
+    avg_latency_us: f64,
+    hit_rate: f64,
+    remote_fraction: f64,
+    avg_probe_us: f64,
+}
+
+fn simulate(replicas: usize, nodes: usize, keys: usize, requests: usize) -> Outcome {
+    let clock = Arc::new(SimClock::new());
+    let ring = ConsistentRing::new(RingConfig::default(), clock);
+    let names: Vec<String> = (0..nodes).map(|i| format!("n{i}")).collect();
+    for n in &names {
+        ring.add_node(n);
+    }
+    // Total cache capacity is fixed across the sweep and deliberately scarce
+    // (a tenth of the key population); replicas dilute it because every
+    // candidate that serves a key caches its own copy.
+    let per_node_keys = keys / (nodes * 10);
+    let mut state: HashMap<String, Node> = names
+        .iter()
+        .map(|n| (n.clone(), Node::new(per_node_keys)))
+        .collect();
+    // Per-window, per-key service bound: a replica can serve a given key at
+    // most this many times per window before that key's slot is "occupied"
+    // on it. Hot keys exceed it; cold keys never notice. Scaling the bound
+    // with the window (and keeping the key population fixed) makes the
+    // saturation regime identical at every workload scale.
+    let window = requests / 50;
+    let per_key_window_capacity = (window * 3 / 200).max(1) as u32;
+
+    let mut zipf = ZipfSampler::new(keys, 1.05, 5);
+    let mut total = Duration::ZERO;
+    let mut probing = Duration::ZERO;
+    let mut hits = 0u64;
+    let mut remote = 0u64;
+    for i in 0..requests {
+        if i % window == 0 {
+            for node in state.values_mut() {
+                node.served_per_key.clear();
+            }
+        }
+        let key = zipf.sample() as u64;
+        let candidates = ring.candidates(&key.to_string(), replicas);
+        let mut served = false;
+        for candidate in &candidates {
+            let node = state.get_mut(candidate).expect("known node");
+            let slot = node.served_per_key.entry(key).or_insert(0);
+            if *slot < per_key_window_capacity {
+                total += PROBE_COST;
+                probing += PROBE_COST;
+                *slot += 1;
+                if node.touch(key) {
+                    hits += 1;
+                    total += HIT_COST;
+                } else {
+                    total += FILL_COST;
+                }
+                served = true;
+                break;
+            }
+            // Occupied candidate: the probe queues before being turned away.
+            total += BUSY_PROBE_COST;
+            probing += BUSY_PROBE_COST;
+        }
+        if !served {
+            // All replicas occupied: remote-storage fallback.
+            remote += 1;
+            total += REMOTE_COST;
+        }
+    }
+    Outcome {
+        avg_latency_us: total.as_micros() as f64 / requests as f64,
+        hit_rate: hits as f64 / requests as f64,
+        remote_fraction: remote as f64 / requests as f64,
+        avg_probe_us: probing.as_micros() as f64 / requests as f64,
+    }
+}
+
+/// Runs the replica-count ablation.
+pub fn run(quick: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "replicas",
+        "Cache replica count under hot spots: 2 replicas + fallback wins (§7)",
+    );
+    // The key population stays fixed so the popularity skew (and with it
+    // the saturation regime) is identical in quick and full runs.
+    let (keys, requests) = if quick { (20_000, 40_000) } else { (20_000, 200_000) };
+    let nodes = 8;
+
+    report.table = TextTable::new(&[
+        "replicas",
+        "avg latency (us)",
+        "hit rate",
+        "remote fallback",
+        "probe overhead (us)",
+    ]);
+    let mut outcomes = Vec::new();
+    for r in 1..=4 {
+        let o = simulate(r, nodes, keys, requests);
+        report.table.row(vec![
+            r.to_string(),
+            format!("{:.0}", o.avg_latency_us),
+            format!("{:.1}%", o.hit_rate * 100.0),
+            format!("{:.1}%", o.remote_fraction * 100.0),
+            format!("{:.0}", o.avg_probe_us),
+        ]);
+        outcomes.push(o);
+    }
+
+    let best = outcomes
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.avg_latency_us.total_cmp(&b.1.avg_latency_us))
+        .map(|(i, _)| i + 1)
+        .expect("non-empty sweep");
+    report.checks.push(Check::new(
+        "latency-optimal replica count",
+        "2",
+        best.to_string(),
+        best == 2,
+    ));
+    report.checks.push(Check::new(
+        "1 replica suffers hot-spot overload",
+        "more remote fallbacks than 2 replicas",
+        format!(
+            "{:.1}% vs {:.1}%",
+            outcomes[0].remote_fraction * 100.0,
+            outcomes[1].remote_fraction * 100.0
+        ),
+        outcomes[0].remote_fraction > outcomes[1].remote_fraction,
+    ));
+    report.checks.push(Check::new(
+        "locating an unoccupied node gets slower with more replicas",
+        "probe overhead grows beyond 2 replicas",
+        format!(
+            "{:.0}us @2 vs {:.0}us @4",
+            outcomes[1].avg_probe_us, outcomes[3].avg_probe_us
+        ),
+        outcomes[3].avg_probe_us > outcomes[1].avg_probe_us,
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_prefers_two_replicas() {
+        let report = run(true);
+        assert!(report.checks[0].ok, "{report}");
+    }
+}

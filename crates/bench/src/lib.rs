@@ -1,0 +1,17 @@
+//! Experiment harnesses reproducing every table and figure of the paper's
+//! evaluation, plus shared reporting utilities.
+//!
+//! Each experiment lives in [`experiments`] as a `run(quick: bool)` function
+//! returning an [`ExperimentReport`]: the regenerated table/series plus
+//! explicit paper-vs-measured checks. The binaries in `src/bin/` are thin
+//! wrappers; `all_experiments` runs the whole suite and is what
+//! `EXPERIMENTS.md` records.
+//!
+//! `quick` mode shrinks workload sizes so the whole suite runs in seconds
+//! (used by tests and CI); full mode matches the scales documented in
+//! DESIGN.md.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{Check, ExperimentReport, TextTable};

@@ -1,0 +1,172 @@
+//! Experiment reporting: aligned text tables and paper-vs-measured checks.
+
+use std::fmt;
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What is being compared (e.g. "P95 latency reduction").
+    pub metric: String,
+    /// The paper's reported value, as text.
+    pub paper: String,
+    /// Our measured value, as text.
+    pub measured: String,
+    /// Whether the measured value preserves the paper's shape.
+    pub ok: bool,
+}
+
+impl Check {
+    /// Builds a check.
+    pub fn new(metric: &str, paper: impl fmt::Display, measured: impl fmt::Display, ok: bool) -> Self {
+        Self {
+            metric: metric.to_string(),
+            paper: paper.to_string(),
+            measured: measured.to_string(),
+            ok,
+        }
+    }
+}
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete experiment report.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Short id, e.g. "fig14".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The regenerated table/series.
+    pub table: TextTable,
+    /// Paper-vs-measured shape checks.
+    pub checks: Vec<Check>,
+    /// Free-form notes (calibration, scale substitutions).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            table: TextTable::default(),
+            checks: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Whether every check passed.
+    pub fn all_ok(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
+        writeln!(f)?;
+        write!(f, "{}", self.table)?;
+        if !self.checks.is_empty() {
+            writeln!(f)?;
+            let mut t = TextTable::new(&["metric", "paper", "measured", "shape"]);
+            for c in &self.checks {
+                t.row(vec![
+                    c.metric.clone(),
+                    c.paper.clone(),
+                    c.measured.clone(),
+                    if c.ok { "OK".into() } else { "MISMATCH".into() },
+                ]);
+            }
+            write!(f, "{t}")?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["a", "bbbb"]);
+        t.row(vec!["xxx".into(), "y".into()]);
+        let s = t.to_string();
+        assert!(s.contains("| a   | bbbb |"));
+        assert!(s.contains("| xxx | y    |"));
+    }
+
+    #[test]
+    fn report_summarizes_checks() {
+        let mut r = ExperimentReport::new("fig1", "test");
+        r.checks.push(Check::new("m", "10%", "11%", true));
+        assert!(r.all_ok());
+        r.checks.push(Check::new("m2", "x", "y", false));
+        assert!(!r.all_ok());
+        let s = r.to_string();
+        assert!(s.contains("MISMATCH") && s.contains("OK"));
+    }
+}

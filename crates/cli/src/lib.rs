@@ -1,0 +1,236 @@
+//! Operator tooling for edgecache cache directories.
+//!
+//! The paper's operational sections (§7, §8) describe the day-2 work of
+//! running thousands of cache deployments: inspecting usage, chasing
+//! corruption, and purging data (not least for the data-privacy
+//! requirements that motivated TTL eviction). This crate implements those
+//! workflows against the on-disk layout of `edgecache-pagestore`:
+//!
+//! * [`inspect`] — page/byte/file counts and layout info;
+//! * [`verify`] — full checksum scan, reporting (and optionally deleting)
+//!   corrupt pages;
+//! * [`top`] — largest cached files;
+//! * [`purge`] — delete everything, or one file's pages.
+//!
+//! The binary (`edgecache-cli`) is a thin argument parser over these
+//! functions.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use edgecache_common::error::{Error, Result};
+use edgecache_common::ByteSize;
+use edgecache_pagestore::{FileId, LocalPageStore, LocalStoreConfig, PageStore};
+
+/// Summary of a cache directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InspectReport {
+    pub page_size: u64,
+    pub pages: usize,
+    pub bytes: u64,
+    pub files: usize,
+}
+
+impl std::fmt::Display for InspectReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "page size : {}", ByteSize::new(self.page_size))?;
+        writeln!(f, "pages     : {}", self.pages)?;
+        writeln!(f, "bytes     : {}", ByteSize::new(self.bytes))?;
+        write!(f, "files     : {}", self.files)
+    }
+}
+
+/// Opens the store at `dir`, auto-detecting its page size.
+fn open(dir: &Path) -> Result<LocalPageStore> {
+    let page_size = LocalPageStore::detect_page_size(dir).ok_or_else(|| {
+        Error::InvalidArgument(format!(
+            "`{}` does not look like an edgecache directory (no page_size= folder)",
+            dir.display()
+        ))
+    })?;
+    LocalPageStore::open(dir, LocalStoreConfig { page_size, ..Default::default() })
+}
+
+/// Summarizes a cache directory.
+pub fn inspect(dir: &Path) -> Result<InspectReport> {
+    let store = open(dir)?;
+    let pages = store.recover()?;
+    let files: std::collections::HashSet<FileId> =
+        pages.iter().map(|(id, _)| id.file).collect();
+    Ok(InspectReport {
+        page_size: store.page_size(),
+        pages: pages.len(),
+        bytes: pages.iter().map(|(_, s)| s).sum(),
+        files: files.len(),
+    })
+}
+
+/// Result of a verification scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    pub checked: usize,
+    pub corrupt: usize,
+    /// Whether corrupt pages were deleted.
+    pub repaired: bool,
+}
+
+/// Verifies every page's checksum. With `repair`, corrupt pages are deleted
+/// (the §8 "early eviction" applied offline).
+pub fn verify(dir: &Path, repair: bool) -> Result<VerifyReport> {
+    let store = open(dir)?;
+    let pages = store.recover()?;
+    let mut corrupt = 0;
+    for (id, _) in &pages {
+        match store.get_full(*id) {
+            Ok(_) => {}
+            Err(Error::Corrupted(_)) => {
+                corrupt += 1;
+                if repair {
+                    store.delete(*id)?;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(VerifyReport { checked: pages.len(), corrupt, repaired: repair })
+}
+
+/// The `n` largest cached files: `(file id, pages, bytes)`.
+pub fn top(dir: &Path, n: usize) -> Result<Vec<(FileId, usize, u64)>> {
+    let store = open(dir)?;
+    let mut by_file: HashMap<FileId, (usize, u64)> = HashMap::new();
+    for (id, size) in store.recover()? {
+        let e = by_file.entry(id.file).or_default();
+        e.0 += 1;
+        e.1 += size;
+    }
+    let mut out: Vec<(FileId, usize, u64)> =
+        by_file.into_iter().map(|(f, (p, b))| (f, p, b)).collect();
+    out.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+    out.truncate(n);
+    Ok(out)
+}
+
+/// Deletes cached pages: all of them, or only one file's (by hex file id).
+/// Returns the number of pages removed.
+pub fn purge(dir: &Path, file: Option<&str>) -> Result<usize> {
+    let store = open(dir)?;
+    let filter = match file {
+        Some(hex) => Some(FileId::from_hex(hex).ok_or_else(|| {
+            Error::InvalidArgument(format!("`{hex}` is not a 16-hex-digit file id"))
+        })?),
+        None => None,
+    };
+    let mut removed = 0;
+    for (id, _) in store.recover()? {
+        if filter.is_none_or(|f| f == id.file) && store.delete(id)? {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgecache_pagestore::PageId;
+    use std::path::PathBuf;
+
+    fn setup(tag: &str) -> (PathBuf, LocalPageStore) {
+        let dir = std::env::temp_dir().join(format!("edgecache-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = LocalPageStore::open(
+            &dir,
+            LocalStoreConfig { page_size: 4096, ..Default::default() },
+        )
+        .unwrap();
+        for f in 0..3u64 {
+            for p in 0..=f {
+                store
+                    .put(PageId::new(FileId(f + 1), p), &vec![7u8; 100 * (f as usize + 1)])
+                    .unwrap();
+            }
+        }
+        (dir, store)
+    }
+
+    #[test]
+    fn inspect_counts_pages_files_bytes() {
+        let (dir, _store) = setup("inspect");
+        let r = inspect(&dir).unwrap();
+        assert_eq!(r.page_size, 4096);
+        assert_eq!(r.pages, 6); // 1 + 2 + 3.
+        assert_eq!(r.files, 3);
+        assert_eq!(r.bytes, 100 + 2 * 200 + 3 * 300);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_finds_and_repairs_corruption() {
+        let (dir, store) = setup("verify");
+        // Corrupt one page file on disk.
+        let id = PageId::new(FileId(2), 0);
+        let path = walk_find(&dir, "0");
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[1] ^= 0xff;
+        std::fs::write(&path, raw).unwrap();
+        drop(store);
+
+        let r = verify(&dir, false).unwrap();
+        assert_eq!(r.checked, 6);
+        assert_eq!(r.corrupt, 1);
+        // Repair deletes it; a second scan is clean.
+        let r = verify(&dir, true).unwrap();
+        assert_eq!(r.corrupt, 1);
+        let r = verify(&dir, false).unwrap();
+        assert_eq!((r.checked, r.corrupt), (5, 0));
+        let _ = (id, std::fs::remove_dir_all(&dir));
+    }
+
+    #[test]
+    fn top_orders_by_bytes() {
+        let (dir, _store) = setup("top");
+        let t = top(&dir, 2).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].0, FileId(3)); // 3 pages × 300 bytes.
+        assert_eq!(t[0].2, 900);
+        assert_eq!(t[1].0, FileId(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn purge_all_and_by_file() {
+        let (dir, _store) = setup("purge");
+        assert_eq!(purge(&dir, Some(&FileId(3).as_hex())).unwrap(), 3);
+        assert_eq!(inspect(&dir).unwrap().pages, 3);
+        assert_eq!(purge(&dir, None).unwrap(), 3);
+        assert_eq!(inspect(&dir).unwrap().pages, 0);
+        assert!(purge(&dir, Some("zznothex")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_cache_dir_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("edgecache-cli-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(inspect(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Finds the first file named `name` under `dir`.
+    fn walk_find(dir: &PathBuf, name: &str) -> PathBuf {
+        let mut stack = vec![dir.clone()];
+        while let Some(d) = stack.pop() {
+            for entry in std::fs::read_dir(&d).unwrap().flatten() {
+                let p = entry.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.file_name().and_then(|n| n.to_str()) == Some(name) {
+                    return p;
+                }
+            }
+        }
+        panic!("no file named {name}");
+    }
+}

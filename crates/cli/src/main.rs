@@ -1,0 +1,79 @@
+//! `edgecache-cli` — operator tooling for edgecache cache directories.
+//!
+//! ```text
+//! edgecache-cli inspect <dir>
+//! edgecache-cli verify  <dir> [--repair]
+//! edgecache-cli top     <dir> [-n <count>]
+//! edgecache-cli purge   <dir> [--file <hex-file-id>]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use edgecache_common::ByteSize;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  edgecache-cli inspect <dir>\n  edgecache-cli verify <dir> [--repair]\n  \
+         edgecache-cli top <dir> [-n <count>]\n  edgecache-cli purge <dir> [--file <hex-id>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(dir)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let dir = PathBuf::from(dir);
+    let rest = &args[2..];
+
+    let result = match cmd.as_str() {
+        "inspect" => edgecache_cli::inspect(&dir).map(|r| println!("{r}")),
+        "verify" => {
+            let repair = rest.iter().any(|a| a == "--repair");
+            edgecache_cli::verify(&dir, repair).map(|r| {
+                println!(
+                    "checked {} pages, {} corrupt{}",
+                    r.checked,
+                    r.corrupt,
+                    if r.repaired { " (deleted)" } else { "" }
+                );
+                if r.corrupt > 0 && !r.repaired {
+                    println!("re-run with --repair to delete corrupt pages");
+                }
+            })
+        }
+        "top" => {
+            let n = rest
+                .iter()
+                .position(|a| a == "-n")
+                .and_then(|i| rest.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10);
+            edgecache_cli::top(&dir, n).map(|entries| {
+                println!("{:<18} {:>8} {:>12}", "file id", "pages", "bytes");
+                for (file, pages, bytes) in entries {
+                    println!("{:<18} {:>8} {:>12}", file.as_hex(), pages, ByteSize::new(bytes).to_string());
+                }
+            })
+        }
+        "purge" => {
+            let file = rest
+                .iter()
+                .position(|a| a == "--file")
+                .and_then(|i| rest.get(i + 1))
+                .map(String::as_str);
+            edgecache_cli::purge(&dir, file).map(|n| println!("removed {n} pages"))
+        }
+        _ => return usage(),
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

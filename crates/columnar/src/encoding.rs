@@ -1,0 +1,392 @@
+//! Column-chunk encodings: plain, dictionary, and run-length.
+//!
+//! The writer encodes each chunk with every applicable encoding and keeps
+//! the smallest — the same adaptive choice Parquet/ORC writers make, which
+//! is what produces the variably-sized, small column chunks that fragment
+//! read traffic (§2.2).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use edgecache_common::error::{Error, Result};
+
+use crate::types::{ColumnData, ColumnType};
+
+/// Encoding identifiers stored in chunk metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    Plain,
+    Dictionary,
+    RunLength,
+}
+
+impl Encoding {
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            Encoding::Plain => 0,
+            Encoding::Dictionary => 1,
+            Encoding::RunLength => 2,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Encoding::Plain,
+            1 => Encoding::Dictionary,
+            2 => Encoding::RunLength,
+            _ => return None,
+        })
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Error::Decode("chunk truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Error::Decode("invalid utf8".into()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Encodes a column with the plain encoding.
+pub fn encode_plain(col: &ColumnData) -> Bytes {
+    let mut buf = BytesMut::new();
+    match col {
+        ColumnData::Int64(v) => {
+            for &x in v {
+                buf.put_i64_le(x);
+            }
+        }
+        ColumnData::Float64(v) => {
+            for &x in v {
+                buf.put_f64_le(x);
+            }
+        }
+        ColumnData::Utf8(v) => {
+            for s in v {
+                put_str(&mut buf, s);
+            }
+        }
+        ColumnData::Bool(v) => {
+            for &b in v {
+                buf.put_u8(b as u8);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Encodes with a dictionary (strings and int64 only): distinct values
+/// followed by u32 indices.
+pub fn encode_dictionary(col: &ColumnData) -> Option<Bytes> {
+    let mut buf = BytesMut::new();
+    match col {
+        ColumnData::Utf8(v) => {
+            let mut dict: Vec<&String> = Vec::new();
+            let mut index_of = std::collections::HashMap::new();
+            let mut indices = Vec::with_capacity(v.len());
+            for s in v {
+                let idx = *index_of.entry(s).or_insert_with(|| {
+                    dict.push(s);
+                    dict.len() - 1
+                });
+                indices.push(idx as u32);
+            }
+            buf.put_u32_le(dict.len() as u32);
+            for s in dict {
+                put_str(&mut buf, s);
+            }
+            for i in indices {
+                buf.put_u32_le(i);
+            }
+        }
+        ColumnData::Int64(v) => {
+            let mut dict: Vec<i64> = Vec::new();
+            let mut index_of = std::collections::HashMap::new();
+            let mut indices = Vec::with_capacity(v.len());
+            for &x in v {
+                let idx = *index_of.entry(x).or_insert_with(|| {
+                    dict.push(x);
+                    dict.len() - 1
+                });
+                indices.push(idx as u32);
+            }
+            buf.put_u32_le(dict.len() as u32);
+            for x in dict {
+                buf.put_i64_le(x);
+            }
+            for i in indices {
+                buf.put_u32_le(i);
+            }
+        }
+        _ => return None,
+    }
+    Some(buf.freeze())
+}
+
+/// Run-length encodes int64 and bool columns: `(u32 run, value)` pairs.
+pub fn encode_run_length(col: &ColumnData) -> Option<Bytes> {
+    let mut buf = BytesMut::new();
+    match col {
+        ColumnData::Int64(v) => {
+            let mut i = 0;
+            while i < v.len() {
+                let mut run = 1usize;
+                while i + run < v.len() && v[i + run] == v[i] {
+                    run += 1;
+                }
+                buf.put_u32_le(run as u32);
+                buf.put_i64_le(v[i]);
+                i += run;
+            }
+        }
+        ColumnData::Bool(v) => {
+            let mut i = 0;
+            while i < v.len() {
+                let mut run = 1usize;
+                while i + run < v.len() && v[i + run] == v[i] {
+                    run += 1;
+                }
+                buf.put_u32_le(run as u32);
+                buf.put_u8(v[i] as u8);
+                i += run;
+            }
+        }
+        _ => return None,
+    }
+    Some(buf.freeze())
+}
+
+/// Encodes `col`, choosing the smallest applicable encoding. Returns the
+/// encoding used and the bytes.
+pub fn encode_best(col: &ColumnData) -> (Encoding, Bytes) {
+    let plain = encode_plain(col);
+    let mut best = (Encoding::Plain, plain);
+    if let Some(dict) = encode_dictionary(col) {
+        if dict.len() < best.1.len() {
+            best = (Encoding::Dictionary, dict);
+        }
+    }
+    if let Some(rle) = encode_run_length(col) {
+        if rle.len() < best.1.len() {
+            best = (Encoding::RunLength, rle);
+        }
+    }
+    best
+}
+
+/// Decodes a chunk of `rows` values of type `ty` encoded with `encoding`.
+pub fn decode(encoding: Encoding, ty: ColumnType, rows: usize, data: &[u8]) -> Result<ColumnData> {
+    let mut cur = Cursor::new(data);
+    let out = match encoding {
+        Encoding::Plain => match ty {
+            ColumnType::Int64 => {
+                ColumnData::Int64((0..rows).map(|_| cur.i64()).collect::<Result<_>>()?)
+            }
+            ColumnType::Float64 => {
+                ColumnData::Float64((0..rows).map(|_| cur.f64()).collect::<Result<_>>()?)
+            }
+            ColumnType::Utf8 => {
+                ColumnData::Utf8((0..rows).map(|_| cur.str()).collect::<Result<_>>()?)
+            }
+            ColumnType::Bool => ColumnData::Bool(
+                (0..rows)
+                    .map(|_| Ok(cur.take(1)?[0] != 0))
+                    .collect::<Result<_>>()?,
+            ),
+        },
+        Encoding::Dictionary => {
+            let dict_len = cur.u32()? as usize;
+            match ty {
+                ColumnType::Utf8 => {
+                    let dict: Vec<String> =
+                        (0..dict_len).map(|_| cur.str()).collect::<Result<_>>()?;
+                    let mut out = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        let idx = cur.u32()? as usize;
+                        let s = dict
+                            .get(idx)
+                            .ok_or_else(|| Error::Decode("dict index out of range".into()))?;
+                        out.push(s.clone());
+                    }
+                    ColumnData::Utf8(out)
+                }
+                ColumnType::Int64 => {
+                    let dict: Vec<i64> =
+                        (0..dict_len).map(|_| cur.i64()).collect::<Result<_>>()?;
+                    let mut out = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        let idx = cur.u32()? as usize;
+                        out.push(
+                            *dict
+                                .get(idx)
+                                .ok_or_else(|| Error::Decode("dict index out of range".into()))?,
+                        );
+                    }
+                    ColumnData::Int64(out)
+                }
+                _ => return Err(Error::Decode(format!("dictionary not valid for {ty}"))),
+            }
+        }
+        Encoding::RunLength => match ty {
+            ColumnType::Int64 => {
+                let mut out = Vec::with_capacity(rows);
+                while out.len() < rows {
+                    let run = cur.u32()? as usize;
+                    let v = cur.i64()?;
+                    out.extend(std::iter::repeat_n(v, run));
+                }
+                if out.len() != rows {
+                    return Err(Error::Decode("run-length overrun".into()));
+                }
+                ColumnData::Int64(out)
+            }
+            ColumnType::Bool => {
+                let mut out = Vec::with_capacity(rows);
+                while out.len() < rows {
+                    let run = cur.u32()? as usize;
+                    let v = cur.take(1)?[0] != 0;
+                    out.extend(std::iter::repeat_n(v, run));
+                }
+                if out.len() != rows {
+                    return Err(Error::Decode("run-length overrun".into()));
+                }
+                ColumnData::Bool(out)
+            }
+            _ => return Err(Error::Decode(format!("run-length not valid for {ty}"))),
+        },
+    };
+    if !cur.done() && encoding == Encoding::Plain {
+        return Err(Error::Decode("trailing bytes after plain chunk".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(col: ColumnData) {
+        let rows = col.len();
+        let ty = col.column_type();
+        let (enc, bytes) = encode_best(&col);
+        let back = decode(enc, ty, rows, &bytes).unwrap();
+        assert_eq!(back, col, "round trip via {enc:?}");
+        // Plain must always round-trip too.
+        let plain = encode_plain(&col);
+        assert_eq!(decode(Encoding::Plain, ty, rows, &plain).unwrap(), col);
+    }
+
+    #[test]
+    fn round_trips_all_types() {
+        round_trip(ColumnData::Int64(vec![1, -5, i64::MAX, 0, i64::MIN]));
+        round_trip(ColumnData::Float64(vec![1.5, -0.0, f64::MAX, 3.25]));
+        round_trip(ColumnData::Utf8(vec!["a".into(), "".into(), "日本語".into()]));
+        round_trip(ColumnData::Bool(vec![true, false, true, true]));
+    }
+
+    #[test]
+    fn empty_columns_round_trip() {
+        round_trip(ColumnData::Int64(vec![]));
+        round_trip(ColumnData::Utf8(vec![]));
+    }
+
+    #[test]
+    fn dictionary_wins_on_repetitive_strings() {
+        let col = ColumnData::Utf8(
+            (0..1000).map(|i| format!("city_{}", i % 5)).collect(),
+        );
+        let (enc, bytes) = encode_best(&col);
+        assert_eq!(enc, Encoding::Dictionary);
+        assert!(bytes.len() < encode_plain(&col).len() / 2);
+        round_trip(col);
+    }
+
+    #[test]
+    fn rle_wins_on_runs() {
+        let col = ColumnData::Int64(
+            (0..1000).map(|i| (i / 250) as i64).collect(),
+        );
+        let (enc, bytes) = encode_best(&col);
+        assert_eq!(enc, Encoding::RunLength);
+        assert!(bytes.len() < 100);
+        round_trip(col);
+    }
+
+    #[test]
+    fn plain_wins_on_high_cardinality() {
+        let col = ColumnData::Int64((0..1000).map(|i| i * 7919).collect());
+        let (enc, _) = encode_best(&col);
+        assert_eq!(enc, Encoding::Plain);
+    }
+
+    #[test]
+    fn truncated_data_is_a_decode_error() {
+        let col = ColumnData::Int64(vec![1, 2, 3]);
+        let bytes = encode_plain(&col);
+        assert!(decode(Encoding::Plain, ColumnType::Int64, 3, &bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn corrupt_dictionary_index_is_rejected() {
+        let col = ColumnData::Utf8(vec!["a".into(), "a".into()]);
+        let bytes = encode_dictionary(&col).unwrap();
+        let mut broken = bytes.to_vec();
+        // Point the last index far out of range.
+        let n = broken.len();
+        broken[n - 4..].copy_from_slice(&999u32.to_le_bytes());
+        assert!(decode(Encoding::Dictionary, ColumnType::Utf8, 2, &broken).is_err());
+    }
+
+    #[test]
+    fn wrong_encoding_type_combination() {
+        let col = ColumnData::Float64(vec![1.0]);
+        assert!(encode_dictionary(&col).is_none());
+        assert!(encode_run_length(&col).is_none());
+        assert!(decode(Encoding::Dictionary, ColumnType::Float64, 1, &[0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn encoding_tags_round_trip() {
+        for e in [Encoding::Plain, Encoding::Dictionary, Encoding::RunLength] {
+            assert_eq!(Encoding::from_tag(e.tag()), Some(e));
+        }
+        assert_eq!(Encoding::from_tag(9), None);
+    }
+}

@@ -1,0 +1,220 @@
+//! Predicates with pushdown: row-group pruning via chunk statistics.
+//!
+//! "These engines have implemented various query optimization techniques,
+//! with predicate pushdown being a key example. ... While these
+//! optimizations lead to performance gains, they also often result in a
+//! high number of read requests for small portions of data files" (§2.2).
+
+use std::cmp::Ordering;
+
+use crate::format::ChunkMeta;
+use crate::types::{ColumnData, Value};
+
+/// A predicate over one column (by name), with conjunction/disjunction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `column == value`
+    Eq(String, Value),
+    /// `column < value`
+    Lt(String, Value),
+    /// `column > value`
+    Gt(String, Value),
+    /// `low <= column <= high`
+    Between(String, Value, Value),
+    /// Both sides hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either side holds.
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for `AND`.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience constructor for `OR`.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Column names referenced by this predicate.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::Eq(c, _) | Predicate::Lt(c, _) | Predicate::Gt(c, _) => out.push(c),
+            Predicate::Between(c, _, _) => out.push(c),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+        }
+    }
+
+    /// Conservatively decides whether a row group *may* contain matching
+    /// rows, from per-column chunk statistics. `chunk_of` maps a column name
+    /// to its chunk metadata in this row group; unknown columns or missing
+    /// stats yield `true` (cannot prune).
+    pub fn may_match(&self, chunk_of: &dyn Fn(&str) -> Option<ChunkMeta>) -> bool {
+        match self {
+            Predicate::Eq(col, v) => match stats(chunk_of, col) {
+                Some((min, max)) => in_range(v, &min, &max),
+                None => true,
+            },
+            Predicate::Lt(col, v) => match stats(chunk_of, col) {
+                // Some value < v iff min < v.
+                Some((min, _)) => min.partial_cmp_same_type(v) == Some(Ordering::Less),
+                None => true,
+            },
+            Predicate::Gt(col, v) => match stats(chunk_of, col) {
+                Some((_, max)) => max.partial_cmp_same_type(v) == Some(Ordering::Greater),
+                None => true,
+            },
+            Predicate::Between(col, lo, hi) => match stats(chunk_of, col) {
+                Some((min, max)) => {
+                    // The ranges [min,max] and [lo,hi] must intersect.
+                    min.partial_cmp_same_type(hi) != Some(Ordering::Greater)
+                        && max.partial_cmp_same_type(lo) != Some(Ordering::Less)
+                }
+                None => true,
+            },
+            Predicate::And(a, b) => a.may_match(chunk_of) && b.may_match(chunk_of),
+            Predicate::Or(a, b) => a.may_match(chunk_of) || b.may_match(chunk_of),
+        }
+    }
+
+    /// Evaluates the predicate on one row. `value_of` resolves a column name
+    /// to the row's value; unknown columns evaluate to `false`.
+    pub fn matches(&self, value_of: &dyn Fn(&str) -> Option<Value>) -> bool {
+        match self {
+            Predicate::Eq(col, v) => {
+                value_of(col).is_some_and(|x| x.partial_cmp_same_type(v) == Some(Ordering::Equal))
+            }
+            Predicate::Lt(col, v) => {
+                value_of(col).is_some_and(|x| x.partial_cmp_same_type(v) == Some(Ordering::Less))
+            }
+            Predicate::Gt(col, v) => value_of(col)
+                .is_some_and(|x| x.partial_cmp_same_type(v) == Some(Ordering::Greater)),
+            Predicate::Between(col, lo, hi) => value_of(col).is_some_and(|x| {
+                x.partial_cmp_same_type(lo) != Some(Ordering::Less)
+                    && x.partial_cmp_same_type(hi) != Some(Ordering::Greater)
+            }),
+            Predicate::And(a, b) => a.matches(value_of) && b.matches(value_of),
+            Predicate::Or(a, b) => a.matches(value_of) || b.matches(value_of),
+        }
+    }
+
+    /// Filters decoded columns: returns the indices of matching rows.
+    /// `columns` pairs each column name with its data.
+    pub fn matching_rows(&self, columns: &[(&str, &ColumnData)], rows: usize) -> Vec<usize> {
+        (0..rows)
+            .filter(|&row| {
+                self.matches(&|name| {
+                    columns
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .map(|(_, data)| data.value(row))
+                })
+            })
+            .collect()
+    }
+}
+
+fn stats(chunk_of: &dyn Fn(&str) -> Option<ChunkMeta>, col: &str) -> Option<(Value, Value)> {
+    let chunk = chunk_of(col)?;
+    Some((chunk.min?, chunk.max?))
+}
+
+fn in_range(v: &Value, min: &Value, max: &Value) -> bool {
+    v.partial_cmp_same_type(min) != Some(Ordering::Less)
+        && v.partial_cmp_same_type(max) != Some(Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoding;
+
+    fn chunk(min: i64, max: i64) -> ChunkMeta {
+        ChunkMeta {
+            offset: 0,
+            len: 0,
+            encoding: Encoding::Plain,
+            min: Some(Value::Int64(min)),
+            max: Some(Value::Int64(max)),
+        }
+    }
+
+    fn lookup(min: i64, max: i64) -> impl Fn(&str) -> Option<ChunkMeta> {
+        move |name| (name == "x").then(|| chunk(min, max))
+    }
+
+    #[test]
+    fn eq_pruning() {
+        let p = Predicate::Eq("x".into(), Value::Int64(50));
+        assert!(p.may_match(&lookup(0, 100)));
+        assert!(!p.may_match(&lookup(60, 100)));
+        assert!(!p.may_match(&lookup(0, 49)));
+        assert!(p.may_match(&lookup(50, 50)));
+    }
+
+    #[test]
+    fn lt_gt_pruning() {
+        assert!(Predicate::Lt("x".into(), Value::Int64(10)).may_match(&lookup(5, 100)));
+        assert!(!Predicate::Lt("x".into(), Value::Int64(10)).may_match(&lookup(10, 100)));
+        assert!(Predicate::Gt("x".into(), Value::Int64(90)).may_match(&lookup(0, 91)));
+        assert!(!Predicate::Gt("x".into(), Value::Int64(90)).may_match(&lookup(0, 90)));
+    }
+
+    #[test]
+    fn between_pruning_checks_intersection() {
+        let p = Predicate::Between("x".into(), Value::Int64(10), Value::Int64(20));
+        assert!(p.may_match(&lookup(0, 15)));
+        assert!(p.may_match(&lookup(15, 100)));
+        assert!(p.may_match(&lookup(0, 100)));
+        assert!(!p.may_match(&lookup(21, 100)));
+        assert!(!p.may_match(&lookup(0, 9)));
+    }
+
+    #[test]
+    fn and_or_pruning() {
+        let lo = Predicate::Gt("x".into(), Value::Int64(80));
+        let hi = Predicate::Lt("x".into(), Value::Int64(20));
+        // x in [30, 60]: neither side can match.
+        assert!(!lo.clone().or(hi.clone()).may_match(&lookup(30, 60)));
+        // AND of contradictory conditions over [0,100] cannot be pruned by
+        // independent min/max checks (both sides individually may match).
+        assert!(lo.and(hi).may_match(&lookup(0, 100)));
+    }
+
+    #[test]
+    fn unknown_column_cannot_prune() {
+        let p = Predicate::Eq("y".into(), Value::Int64(1));
+        assert!(p.may_match(&lookup(5, 6)));
+    }
+
+    #[test]
+    fn row_evaluation() {
+        let col = ColumnData::Int64(vec![1, 5, 10, 15]);
+        let p = Predicate::Between("x".into(), Value::Int64(5), Value::Int64(10));
+        assert_eq!(p.matching_rows(&[("x", &col)], 4), vec![1, 2]);
+        let p2 = Predicate::Eq("x".into(), Value::Int64(1))
+            .or(Predicate::Gt("x".into(), Value::Int64(12)));
+        assert_eq!(p2.matching_rows(&[("x", &col)], 4), vec![0, 3]);
+    }
+
+    #[test]
+    fn columns_are_collected() {
+        let p = Predicate::Eq("a".into(), Value::Int64(1))
+            .and(Predicate::Lt("b".into(), Value::Int64(2)))
+            .or(Predicate::Gt("a".into(), Value::Int64(3)));
+        assert_eq!(p.columns(), vec!["a", "b"]);
+    }
+}

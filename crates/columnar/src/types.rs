@@ -1,0 +1,253 @@
+//! Column types, typed values, and in-memory column vectors.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The physical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    Int64,
+    Float64,
+    Utf8,
+    Bool,
+}
+
+impl ColumnType {
+    /// Stable byte tag used in the footer encoding.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            ColumnType::Int64 => 0,
+            ColumnType::Float64 => 1,
+            ColumnType::Utf8 => 2,
+            ColumnType::Bool => 3,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => ColumnType::Int64,
+            1 => ColumnType::Float64,
+            2 => ColumnType::Utf8,
+            3 => ColumnType::Bool,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Int64 => "int64",
+            ColumnType::Float64 => "float64",
+            ColumnType::Utf8 => "utf8",
+            ColumnType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One typed scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int64(i64),
+    Float64(f64),
+    Utf8(String),
+    Bool(bool),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Value::Int64(_) => ColumnType::Int64,
+            Value::Float64(_) => ColumnType::Float64,
+            Value::Utf8(_) => ColumnType::Utf8,
+            Value::Bool(_) => ColumnType::Bool,
+        }
+    }
+
+    /// Total order within a type (used for min/max statistics and
+    /// predicates). Cross-type comparisons return `None`.
+    pub fn partial_cmp_same_type(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int64(a), Value::Int64(b)) => Some(a.cmp(b)),
+            (Value::Float64(a), Value::Float64(b)) => a.partial_cmp(b),
+            (Value::Utf8(a), Value::Utf8(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Utf8(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A decoded column vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Int64(Vec<i64>),
+    Float64(Vec<f64>),
+    Utf8(Vec<String>),
+    Bool(Vec<bool>),
+}
+
+impl ColumnData {
+    /// An empty vector of the given type.
+    pub fn empty(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::Int64 => ColumnData::Int64(Vec::new()),
+            ColumnType::Float64 => ColumnData::Float64(Vec::new()),
+            ColumnType::Utf8 => ColumnData::Utf8(Vec::new()),
+            ColumnType::Bool => ColumnData::Bool(Vec::new()),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Utf8(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            ColumnData::Int64(_) => ColumnType::Int64,
+            ColumnData::Float64(_) => ColumnType::Float64,
+            ColumnData::Utf8(_) => ColumnType::Utf8,
+            ColumnData::Bool(_) => ColumnType::Bool,
+        }
+    }
+
+    /// The value at `row`.
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            ColumnData::Int64(v) => Value::Int64(v[row]),
+            ColumnData::Float64(v) => Value::Float64(v[row]),
+            ColumnData::Utf8(v) => Value::Utf8(v[row].clone()),
+            ColumnData::Bool(v) => Value::Bool(v[row]),
+        }
+    }
+
+    /// Appends a value; panics on a type mismatch.
+    pub fn push(&mut self, value: Value) {
+        match (self, value) {
+            (ColumnData::Int64(v), Value::Int64(x)) => v.push(x),
+            (ColumnData::Float64(v), Value::Float64(x)) => v.push(x),
+            (ColumnData::Utf8(v), Value::Utf8(x)) => v.push(x),
+            (ColumnData::Bool(v), Value::Bool(x)) => v.push(x),
+            (col, value) => panic!(
+                "type mismatch: pushing {} into {} column",
+                value.column_type(),
+                col.column_type()
+            ),
+        }
+    }
+
+    /// Min and max values, or `None` if empty.
+    pub fn min_max(&self) -> Option<(Value, Value)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut min = self.value(0);
+        let mut max = self.value(0);
+        for i in 1..self.len() {
+            let v = self.value(i);
+            if v.partial_cmp_same_type(&min) == Some(Ordering::Less) {
+                min = v.clone();
+            }
+            if v.partial_cmp_same_type(&max) == Some(Ordering::Greater) {
+                max = v;
+            }
+        }
+        Some((min, max))
+    }
+
+    /// Keeps only the rows at `keep` (sorted indices).
+    pub fn take(&self, keep: &[usize]) -> ColumnData {
+        match self {
+            ColumnData::Int64(v) => ColumnData::Int64(keep.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float64(v) => ColumnData::Float64(keep.iter().map(|&i| v[i]).collect()),
+            ColumnData::Utf8(v) => {
+                ColumnData::Utf8(keep.iter().map(|&i| v[i].clone()).collect())
+            }
+            ColumnData::Bool(v) => ColumnData::Bool(keep.iter().map(|&i| v[i]).collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_tags_round_trip() {
+        for ty in [ColumnType::Int64, ColumnType::Float64, ColumnType::Utf8, ColumnType::Bool] {
+            assert_eq!(ColumnType::from_tag(ty.tag()), Some(ty));
+        }
+        assert_eq!(ColumnType::from_tag(99), None);
+    }
+
+    #[test]
+    fn value_comparisons() {
+        assert_eq!(
+            Value::Int64(1).partial_cmp_same_type(&Value::Int64(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Utf8("b".into()).partial_cmp_same_type(&Value::Utf8("a".into())),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Int64(1).partial_cmp_same_type(&Value::Bool(true)), None);
+    }
+
+    #[test]
+    fn column_push_and_value() {
+        let mut col = ColumnData::empty(ColumnType::Utf8);
+        col.push(Value::Utf8("x".into()));
+        col.push(Value::Utf8("y".into()));
+        assert_eq!(col.len(), 2);
+        assert_eq!(col.value(1), Value::Utf8("y".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn push_wrong_type_panics() {
+        let mut col = ColumnData::empty(ColumnType::Int64);
+        col.push(Value::Bool(true));
+    }
+
+    #[test]
+    fn min_max_over_ints() {
+        let col = ColumnData::Int64(vec![5, -2, 9, 0]);
+        let (min, max) = col.min_max().unwrap();
+        assert_eq!(min, Value::Int64(-2));
+        assert_eq!(max, Value::Int64(9));
+        assert!(ColumnData::empty(ColumnType::Int64).min_max().is_none());
+    }
+
+    #[test]
+    fn take_selects_rows() {
+        let col = ColumnData::Utf8(vec!["a".into(), "b".into(), "c".into()]);
+        assert_eq!(
+            col.take(&[0, 2]),
+            ColumnData::Utf8(vec!["a".into(), "c".into()])
+        );
+    }
+}

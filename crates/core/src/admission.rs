@@ -1,0 +1,360 @@
+//! Cache admission strategies (§5.1).
+//!
+//! "The admission decisions are governed by several strategies": static
+//! filter rules expressed as JSON (used by the Presto local cache, where
+//! platform owners whitelist hot tables and cap the number of cached
+//! partitions per table), and a sliding-window frequency policy (used by the
+//! HDFS local cache, where a block must prove itself hot before it earns a
+//! cache slot).
+
+use std::collections::{HashMap, HashSet};
+
+use edgecache_pagestore::CacheScope;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::ratelimit::BucketTimeRateLimit;
+
+/// Decides whether an entity may enter the cache.
+///
+/// `key` is the entity's stable identity (file path, block key); `scope` is
+/// its position in the schema/table/partition hierarchy; `now_ms` comes from
+/// the cache's clock so that simulated time drives window-based policies.
+pub trait AdmissionPolicy: Send + Sync {
+    /// Returns `true` if the entity should be cached. Implementations may
+    /// record the access as a side effect (frequency-based policies do).
+    fn admit(&self, key: &str, scope: &CacheScope, now_ms: u64) -> bool;
+
+    /// A short policy name for metrics.
+    fn name(&self) -> &'static str;
+}
+
+/// Admits everything (the default for small deployments and tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AdmitAll;
+
+impl AdmissionPolicy for AdmitAll {
+    fn admit(&self, _key: &str, _scope: &CacheScope, _now_ms: u64) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "admit_all"
+    }
+}
+
+/// Matches `value` against a glob `pattern` where `*` matches any substring.
+fn glob_match(pattern: &str, value: &str) -> bool {
+    // Iterative greedy matcher with backtracking over `*`.
+    let (p, v): (Vec<char>, Vec<char>) = (pattern.chars().collect(), value.chars().collect());
+    let (mut pi, mut vi) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while vi < v.len() {
+        if pi < p.len() && (p[pi] == v[vi]) {
+            pi += 1;
+            vi += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = pi;
+            mark = vi;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            mark += 1;
+            vi = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// One static admission rule (§5.1's JSON-format filtering expressions).
+///
+/// A rule matches when its schema and table globs both match; `max_cached_partitions`
+/// then caps how many *distinct partitions* of that table may hold cache
+/// entries (the paper's `maxCachedPartitions: 100` example).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct FilterRule {
+    /// Glob over the schema name (`*` = any).
+    #[serde(default = "any")]
+    pub schema: String,
+    /// Glob over the table name (`*` = any).
+    #[serde(default = "any")]
+    pub table: String,
+    /// Upper limit on distinct cached partitions of the table.
+    #[serde(rename = "maxCachedPartitions", default)]
+    pub max_cached_partitions: Option<usize>,
+}
+
+fn any() -> String {
+    "*".to_string()
+}
+
+/// The serialized form of a filter-rule configuration.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct FilterRuleSet {
+    pub rules: Vec<FilterRule>,
+    /// Whether entities matching no rule are admitted.
+    #[serde(rename = "defaultAdmit", default)]
+    pub default_admit: bool,
+}
+
+/// Static filter-rule admission (§5.1, Presto local cache).
+///
+/// "In production, the filtering rules are set by platform owners and
+/// infrequently updated. At Uber, after such filtering, less than 10% of
+/// requests require remote storage access."
+#[derive(Debug)]
+pub struct FilterRuleAdmission {
+    config: FilterRuleSet,
+    /// (schema, table) → distinct partitions currently admitted. Bounded by
+    /// the per-rule partition caps.
+    admitted_partitions: Mutex<HashMap<(String, String), HashSet<String>>>,
+}
+
+impl FilterRuleAdmission {
+    /// Builds the policy from a parsed rule set.
+    pub fn new(config: FilterRuleSet) -> Self {
+        Self {
+            config,
+            admitted_partitions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Parses the JSON configuration format, e.g.:
+    ///
+    /// ```json
+    /// {
+    ///   "rules": [
+    ///     { "schema": "ad_hoc", "table": "table_bar", "maxCachedPartitions": 100 }
+    ///   ],
+    ///   "defaultAdmit": false
+    /// }
+    /// ```
+    pub fn from_json(json: &str) -> Result<Self, edgecache_common::Error> {
+        let config: FilterRuleSet = serde_json::from_str(json)
+            .map_err(|e| edgecache_common::Error::InvalidArgument(format!("bad filter rules: {e}")))?;
+        Ok(Self::new(config))
+    }
+
+    fn matching_rule(&self, schema: &str, table: &str) -> Option<&FilterRule> {
+        self.config
+            .rules
+            .iter()
+            .find(|r| glob_match(&r.schema, schema) && glob_match(&r.table, table))
+    }
+
+    /// Releases a partition's admission slot (called after a bulk delete of
+    /// that partition's scope, so the cap reflects live cache contents).
+    pub fn release_partition(&self, schema: &str, table: &str, partition: &str) {
+        let mut admitted = self.admitted_partitions.lock();
+        if let Some(set) = admitted.get_mut(&(schema.to_string(), table.to_string())) {
+            set.remove(partition);
+        }
+    }
+}
+
+impl AdmissionPolicy for FilterRuleAdmission {
+    fn admit(&self, _key: &str, scope: &CacheScope, _now_ms: u64) -> bool {
+        let (schema, table, partition) = match scope {
+            CacheScope::Partition { schema, table, partition } => {
+                (schema.as_str(), table.as_str(), Some(partition.as_str()))
+            }
+            CacheScope::Table { schema, table } => (schema.as_str(), table.as_str(), None),
+            CacheScope::Schema { schema } => (schema.as_str(), "", None),
+            CacheScope::Global | CacheScope::Custom { .. } => {
+                return self.config.default_admit
+            }
+        };
+        let Some(rule) = self.matching_rule(schema, table) else {
+            return self.config.default_admit;
+        };
+        match (rule.max_cached_partitions, partition) {
+            (Some(max), Some(part)) => {
+                let mut admitted = self.admitted_partitions.lock();
+                let set = admitted
+                    .entry((schema.to_string(), table.to_string()))
+                    .or_default();
+                if set.contains(part) {
+                    true
+                } else if set.len() < max {
+                    set.insert(part.to_string());
+                    true
+                } else {
+                    false
+                }
+            }
+            // A partition cap with no partition info: admit (table-level data
+            // such as footers does not consume partition slots).
+            _ => true,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "filter_rules"
+    }
+}
+
+/// Sliding-window admission (§6.2.2, HDFS local cache): an entity is
+/// admitted once it has been accessed at least `threshold` times within the
+/// window. "For the requests which fulfill the admission policy, only around
+/// 1% of them require slower storage access."
+#[derive(Debug)]
+pub struct SlidingWindowAdmission {
+    limiter: BucketTimeRateLimit,
+}
+
+impl SlidingWindowAdmission {
+    /// Creates the policy: admit after `threshold` accesses within
+    /// `buckets × bucket_ms` milliseconds.
+    pub fn new(bucket_ms: u64, buckets: usize, threshold: u64) -> Self {
+        Self {
+            limiter: BucketTimeRateLimit::new(bucket_ms, buckets, threshold),
+        }
+    }
+
+    /// The paper's production shape: minute buckets, one-hour window.
+    pub fn per_minute(window_minutes: usize, threshold: u64) -> Self {
+        Self::new(60_000, window_minutes, threshold)
+    }
+}
+
+impl AdmissionPolicy for SlidingWindowAdmission {
+    fn admit(&self, key: &str, _scope: &CacheScope, now_ms: u64) -> bool {
+        self.limiter
+            .record_and_check(edgecache_common::hash::hash_str(key), now_ms)
+    }
+
+    fn name(&self) -> &'static str {
+        "sliding_window"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(s: &str, t: &str, p: &str) -> CacheScope {
+        CacheScope::partition(s, t, p)
+    }
+
+    #[test]
+    fn glob_basics() {
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("table_bar", "table_bar"));
+        assert!(!glob_match("table_bar", "table_baz"));
+        assert!(glob_match("table_*", "table_bar"));
+        assert!(glob_match("*_bar", "table_bar"));
+        assert!(glob_match("t*_b*r", "table_bar"));
+        assert!(!glob_match("t*_c*", "table_bar"));
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "x"));
+        assert!(glob_match("**", "x"));
+    }
+
+    #[test]
+    fn admit_all_admits() {
+        assert!(AdmitAll.admit("k", &CacheScope::Global, 0));
+    }
+
+    #[test]
+    fn filter_rules_from_paper_example() {
+        let policy = FilterRuleAdmission::from_json(
+            r#"{
+                "rules": [
+                    { "table": "table_bar", "maxCachedPartitions": 100 }
+                ],
+                "defaultAdmit": false
+            }"#,
+        )
+        .unwrap();
+        // Matching table admits; unmatched table follows defaultAdmit.
+        assert!(policy.admit("f", &part("s", "table_bar", "p1"), 0));
+        assert!(!policy.admit("f", &part("s", "other", "p1"), 0));
+    }
+
+    #[test]
+    fn bad_json_is_rejected() {
+        assert!(FilterRuleAdmission::from_json("{ nope").is_err());
+    }
+
+    #[test]
+    fn partition_cap_is_enforced() {
+        let policy = FilterRuleAdmission::new(FilterRuleSet {
+            rules: vec![FilterRule {
+                schema: any(),
+                table: "t".into(),
+                max_cached_partitions: Some(2),
+            }],
+            default_admit: false,
+        });
+        assert!(policy.admit("f", &part("s", "t", "p1"), 0));
+        assert!(policy.admit("f", &part("s", "t", "p2"), 0));
+        // Third distinct partition is rejected; known ones stay admitted.
+        assert!(!policy.admit("f", &part("s", "t", "p3"), 0));
+        assert!(policy.admit("f", &part("s", "t", "p1"), 0));
+    }
+
+    #[test]
+    fn releasing_a_partition_frees_a_slot() {
+        let policy = FilterRuleAdmission::new(FilterRuleSet {
+            rules: vec![FilterRule {
+                schema: any(),
+                table: "t".into(),
+                max_cached_partitions: Some(1),
+            }],
+            default_admit: false,
+        });
+        assert!(policy.admit("f", &part("s", "t", "p1"), 0));
+        assert!(!policy.admit("f", &part("s", "t", "p2"), 0));
+        policy.release_partition("s", "t", "p1");
+        assert!(policy.admit("f", &part("s", "t", "p2"), 0));
+    }
+
+    #[test]
+    fn table_scope_matches_without_consuming_slots() {
+        let policy = FilterRuleAdmission::new(FilterRuleSet {
+            rules: vec![FilterRule {
+                schema: any(),
+                table: "t".into(),
+                max_cached_partitions: Some(1),
+            }],
+            default_admit: false,
+        });
+        assert!(policy.admit("f", &CacheScope::table("s", "t"), 0));
+        assert!(policy.admit("f", &part("s", "t", "p1"), 0));
+    }
+
+    #[test]
+    fn default_admit_true_admits_unmatched() {
+        let policy = FilterRuleAdmission::new(FilterRuleSet {
+            rules: vec![],
+            default_admit: true,
+        });
+        assert!(policy.admit("f", &part("a", "b", "c"), 0));
+        assert!(policy.admit("f", &CacheScope::Global, 0));
+    }
+
+    #[test]
+    fn sliding_window_requires_heat() {
+        let policy = SlidingWindowAdmission::per_minute(10, 3);
+        assert!(!policy.admit("block-1", &CacheScope::Global, 0));
+        assert!(!policy.admit("block-1", &CacheScope::Global, 100));
+        assert!(policy.admit("block-1", &CacheScope::Global, 200));
+        // A different key starts cold.
+        assert!(!policy.admit("block-2", &CacheScope::Global, 300));
+    }
+
+    #[test]
+    fn sliding_window_cools_down() {
+        let policy = SlidingWindowAdmission::per_minute(2, 3);
+        for i in 0..3 {
+            policy.admit("b", &CacheScope::Global, i);
+        }
+        // After the window passes, the key must re-earn admission.
+        assert!(!policy.admit("b", &CacheScope::Global, 10 * 60_000));
+    }
+}

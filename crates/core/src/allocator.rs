@@ -1,0 +1,114 @@
+//! The allocator: assigns pages to cache directories (§4.1).
+//!
+//! "The allocator is responsible for assigning cache pages to appropriate
+//! directories, considering factors like file identification, hash
+//! algorithms, directory capacity, and page affinity."
+//!
+//! Placement is *affinity-first*: every page of a file hashes to the same
+//! primary directory, which keeps a file's pages together on one device and
+//! makes per-file deletes cheap. If the primary directory is too small to
+//! ever hold the page, the allocator probes the following directories.
+
+use edgecache_common::hash::mix64;
+use edgecache_pagestore::FileId;
+
+/// Directory-placement logic over `n` cache directories with fixed
+/// capacities.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    capacities: Vec<u64>,
+}
+
+impl Allocator {
+    /// Creates an allocator for directories with the given byte capacities.
+    pub fn new(capacities: Vec<u64>) -> Self {
+        assert!(!capacities.is_empty(), "need at least one cache directory");
+        Self { capacities }
+    }
+
+    /// Number of directories.
+    pub fn dirs(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Capacity of directory `dir`.
+    pub fn capacity(&self, dir: usize) -> u64 {
+        self.capacities[dir]
+    }
+
+    /// The affinity (primary) directory for a file.
+    pub fn affinity_dir(&self, file: FileId) -> usize {
+        (mix64(file.0) % self.capacities.len() as u64) as usize
+    }
+
+    /// Picks the directory for a page of `file` with `page_size` bytes:
+    /// the affinity directory if the page can ever fit there, otherwise the
+    /// next directory (cyclically) whose capacity admits the page. Returns
+    /// `None` if no directory is large enough.
+    pub fn pick(&self, file: FileId, page_size: u64) -> Option<usize> {
+        let n = self.capacities.len();
+        let start = self.affinity_dir(file);
+        (0..n)
+            .map(|i| (start + i) % n)
+            .find(|&d| self.capacities[d] >= page_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinity_is_stable_per_file() {
+        let alloc = Allocator::new(vec![1000, 1000, 1000]);
+        let d = alloc.affinity_dir(FileId(42));
+        for _ in 0..10 {
+            assert_eq!(alloc.affinity_dir(FileId(42)), d);
+        }
+    }
+
+    #[test]
+    fn pages_of_same_file_share_a_directory() {
+        let alloc = Allocator::new(vec![1000, 1000, 1000, 1000]);
+        // pick() is keyed on the file, not the page, so every page of the
+        // file lands in the same dir.
+        let d = alloc.pick(FileId(7), 100).unwrap();
+        assert_eq!(alloc.pick(FileId(7), 100), Some(d));
+    }
+
+    #[test]
+    fn files_spread_across_directories() {
+        let alloc = Allocator::new(vec![1000; 4]);
+        let mut counts = [0usize; 4];
+        for f in 0..4000u64 {
+            counts[alloc.affinity_dir(FileId(f))] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "imbalanced dir: {c}");
+        }
+    }
+
+    #[test]
+    fn oversized_page_probes_other_dirs() {
+        // Find a file whose affinity is the small dir 0.
+        let alloc = Allocator::new(vec![10, 10_000]);
+        let file = (0..1000u64)
+            .map(FileId)
+            .find(|f| alloc.affinity_dir(*f) == 0)
+            .expect("some file maps to dir 0");
+        assert_eq!(alloc.pick(file, 5000), Some(1));
+        assert_eq!(alloc.pick(file, 5), Some(0));
+    }
+
+    #[test]
+    fn impossible_page_returns_none() {
+        let alloc = Allocator::new(vec![10, 20]);
+        assert_eq!(alloc.pick(FileId(1), 100), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cache directory")]
+    fn empty_allocator_panics() {
+        let _ = Allocator::new(vec![]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Cache configuration.
+
+use std::time::Duration;
+
+use edgecache_common::ByteSize;
+
+/// Which eviction policy each cache directory runs (§4.1: "the evictor
+/// component orchestrates multiple cache eviction strategies, such as FIFO,
+/// random, and LRU").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicyKind {
+    /// Least-recently-used (the production default).
+    #[default]
+    Lru,
+    /// First-in-first-out.
+    Fifo,
+    /// Uniform random (seeded for reproducibility).
+    Random {
+        /// Seed for the internal PRNG.
+        seed: u64,
+    },
+    /// Segmented LRU: new pages enter a probation segment and are promoted
+    /// to a protected segment on re-access — scan-resistant, a common
+    /// choice for SSD caches (one of the "alternative policies" the §4.1
+    /// evictor interface anticipates).
+    Slru,
+    /// 2Q: a FIFO admission queue, a main LRU, and a ghost queue of
+    /// recently evicted IDs whose re-admission goes straight to the main
+    /// queue.
+    TwoQ,
+}
+
+/// Configuration for a [`CacheManager`](crate::manager::CacheManager).
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Page size. The paper's production default is 1 MB (§4.3, §7); it
+    /// started at 64 MB and was lowered after operational experience.
+    pub page_size: ByteSize,
+    /// Eviction policy used by every cache directory.
+    pub eviction: EvictionPolicyKind,
+    /// Optional time-to-live for cached pages (§4.1's time-based eviction,
+    /// adopted for data-privacy requirements). `None` disables expiry.
+    pub ttl: Option<Duration>,
+    /// Deadline for a local `read_file` before falling back to remote
+    /// storage (§8 reports a 10-second production default).
+    pub read_timeout: Duration,
+    /// Threads in the local-I/O pool that enforces `read_timeout`.
+    pub io_threads: usize,
+    /// When `false`, local reads run inline and `read_timeout` is not
+    /// enforced (cheaper; used by simulations that inject their own delays).
+    pub enforce_read_timeout: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            page_size: ByteSize::mib(1),
+            eviction: EvictionPolicyKind::Lru,
+            ttl: None,
+            read_timeout: Duration::from_secs(10),
+            io_threads: 4,
+            enforce_read_timeout: false,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Sets the page size.
+    pub fn with_page_size(mut self, page_size: ByteSize) -> Self {
+        self.page_size = page_size;
+        self
+    }
+
+    /// Sets the eviction policy.
+    pub fn with_eviction(mut self, kind: EvictionPolicyKind) -> Self {
+        self.eviction = kind;
+        self
+    }
+
+    /// Sets the TTL.
+    pub fn with_ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Enables the read-timeout fallback with the given deadline.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self.enforce_read_timeout = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CacheConfig::default();
+        assert_eq!(c.page_size, ByteSize::mib(1));
+        assert_eq!(c.eviction, EvictionPolicyKind::Lru);
+        assert_eq!(c.read_timeout, Duration::from_secs(10));
+        assert!(c.ttl.is_none());
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = CacheConfig::default()
+            .with_page_size(ByteSize::kib(64))
+            .with_eviction(EvictionPolicyKind::Fifo)
+            .with_ttl(Duration::from_secs(3600))
+            .with_read_timeout(Duration::from_millis(50));
+        assert_eq!(c.page_size, ByteSize::kib(64));
+        assert_eq!(c.eviction, EvictionPolicyKind::Fifo);
+        assert_eq!(c.ttl, Some(Duration::from_secs(3600)));
+        assert!(c.enforce_read_timeout);
+    }
+}

@@ -1,0 +1,671 @@
+//! Eviction policies (§4.1: "the evictor component orchestrates multiple
+//! cache eviction strategies, such as FIFO, random, and LRU. It provides an
+//! interface for the integration of alternative policies if needed").
+//!
+//! The cache manager keeps one policy instance per cache directory, so
+//! evicting to make room on one SSD never touches pages on another device.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use edgecache_pagestore::PageId;
+
+use crate::config::EvictionPolicyKind;
+
+/// The pluggable eviction interface.
+///
+/// Policies track page *identity* only; sizes and residency live in the
+/// index manager. [`EvictionPolicy::victim`] peeks without removing — the
+/// caller confirms the eviction by calling [`EvictionPolicy::on_remove`].
+pub trait EvictionPolicy: Send {
+    /// A page was inserted.
+    fn on_insert(&mut self, id: PageId);
+    /// A page was read (hit).
+    fn on_access(&mut self, id: PageId);
+    /// A page was removed (evicted or deleted).
+    fn on_remove(&mut self, id: PageId);
+    /// The next page this policy would evict, if any.
+    fn victim(&mut self) -> Option<PageId>;
+    /// Number of tracked pages.
+    fn len(&self) -> usize;
+    /// Whether no pages are tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Policy name for metrics.
+    fn name(&self) -> &'static str;
+}
+
+/// Builds a boxed policy from its configuration kind.
+pub fn build_policy(kind: EvictionPolicyKind) -> Box<dyn EvictionPolicy> {
+    match kind {
+        EvictionPolicyKind::Lru => Box::new(LruPolicy::new()),
+        EvictionPolicyKind::Fifo => Box::new(FifoPolicy::new()),
+        EvictionPolicyKind::Random { seed } => Box::new(RandomPolicy::new(seed)),
+        EvictionPolicyKind::Slru => Box::new(SlruPolicy::new()),
+        EvictionPolicyKind::TwoQ => Box::new(TwoQPolicy::new()),
+    }
+}
+
+/// Shared order-tracking machinery for LRU and FIFO: a monotone sequence
+/// number per page, with the smallest sequence being the victim.
+#[derive(Debug, Default)]
+struct OrderedTracker {
+    seq_of: HashMap<PageId, u64>,
+    order: BTreeMap<u64, PageId>,
+    next_seq: u64,
+}
+
+impl OrderedTracker {
+    fn touch(&mut self, id: PageId) {
+        if let Some(old) = self.seq_of.remove(&id) {
+            self.order.remove(&old);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.seq_of.insert(id, seq);
+        self.order.insert(seq, id);
+    }
+
+    fn insert_if_absent(&mut self, id: PageId) {
+        if !self.seq_of.contains_key(&id) {
+            self.touch(id);
+        }
+    }
+
+    fn remove(&mut self, id: PageId) {
+        if let Some(seq) = self.seq_of.remove(&id) {
+            self.order.remove(&seq);
+        }
+    }
+
+    fn oldest(&self) -> Option<PageId> {
+        self.order.values().next().copied()
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.seq_of.contains_key(&id)
+    }
+
+    fn len(&self) -> usize {
+        self.seq_of.len()
+    }
+}
+
+/// Least-recently-used eviction.
+#[derive(Debug, Default)]
+pub struct LruPolicy {
+    tracker: OrderedTracker,
+}
+
+impl LruPolicy {
+    /// Creates an empty LRU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EvictionPolicy for LruPolicy {
+    fn on_insert(&mut self, id: PageId) {
+        self.tracker.touch(id);
+    }
+
+    fn on_access(&mut self, id: PageId) {
+        self.tracker.touch(id);
+    }
+
+    fn on_remove(&mut self, id: PageId) {
+        self.tracker.remove(id);
+    }
+
+    fn victim(&mut self) -> Option<PageId> {
+        self.tracker.oldest()
+    }
+
+    fn len(&self) -> usize {
+        self.tracker.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// First-in-first-out eviction: insertion order, reads don't refresh.
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    tracker: OrderedTracker,
+}
+
+impl FifoPolicy {
+    /// Creates an empty FIFO policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EvictionPolicy for FifoPolicy {
+    fn on_insert(&mut self, id: PageId) {
+        self.tracker.insert_if_absent(id);
+    }
+
+    fn on_access(&mut self, _id: PageId) {}
+
+    fn on_remove(&mut self, id: PageId) {
+        self.tracker.remove(id);
+    }
+
+    fn victim(&mut self) -> Option<PageId> {
+        self.tracker.oldest()
+    }
+
+    fn len(&self) -> usize {
+        self.tracker.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Uniform random eviction with a seeded xorshift PRNG (dependency-free and
+/// reproducible).
+#[derive(Debug)]
+pub struct RandomPolicy {
+    pages: Vec<PageId>,
+    position: HashMap<PageId, usize>,
+    state: u64,
+    /// The victim chosen by the last `victim()` call, so that the following
+    /// `on_remove` confirms the same page the caller saw.
+    pending: Option<PageId>,
+}
+
+impl RandomPolicy {
+    /// Creates a policy with the given PRNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            pages: Vec::new(),
+            position: HashMap::new(),
+            state: seed | 1, // Xorshift must not start at zero.
+            pending: None,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Xorshift64*.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+impl EvictionPolicy for RandomPolicy {
+    fn on_insert(&mut self, id: PageId) {
+        if !self.position.contains_key(&id) {
+            self.position.insert(id, self.pages.len());
+            self.pages.push(id);
+        }
+    }
+
+    fn on_access(&mut self, _id: PageId) {}
+
+    fn on_remove(&mut self, id: PageId) {
+        if self.pending == Some(id) {
+            self.pending = None;
+        }
+        if let Some(pos) = self.position.remove(&id) {
+            let last = self.pages.pop().expect("position map implies non-empty");
+            if pos < self.pages.len() {
+                self.pages[pos] = last;
+                self.position.insert(last, pos);
+            }
+        }
+    }
+
+    fn victim(&mut self) -> Option<PageId> {
+        if let Some(p) = self.pending {
+            return Some(p);
+        }
+        if self.pages.is_empty() {
+            return None;
+        }
+        let idx = (self.next_u64() % self.pages.len() as u64) as usize;
+        let victim = self.pages[idx];
+        self.pending = Some(victim);
+        Some(victim)
+    }
+
+    fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Segmented LRU: a probation segment for first-timers and a protected
+/// segment for re-accessed pages. Victims always drain probation (in LRU
+/// order) before touching the protected segment, so a one-pass scan cannot
+/// flush the hot working set. The protected segment is unbounded — with
+/// every page promoted it degenerates gracefully into plain LRU.
+#[derive(Debug, Default)]
+pub struct SlruPolicy {
+    probation: OrderedTracker,
+    protected: OrderedTracker,
+}
+
+impl SlruPolicy {
+    /// Creates an empty SLRU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EvictionPolicy for SlruPolicy {
+    fn on_insert(&mut self, id: PageId) {
+        if self.protected.contains(id) {
+            self.protected.touch(id);
+        } else {
+            self.probation.touch(id);
+        }
+    }
+
+    fn on_access(&mut self, id: PageId) {
+        if self.probation.contains(id) {
+            // Promotion on re-access.
+            self.probation.remove(id);
+            self.protected.touch(id);
+        } else if self.protected.contains(id) {
+            self.protected.touch(id);
+        }
+    }
+
+    fn on_remove(&mut self, id: PageId) {
+        self.probation.remove(id);
+        self.protected.remove(id);
+    }
+
+    fn victim(&mut self) -> Option<PageId> {
+        self.probation.oldest().or_else(|| self.protected.oldest())
+    }
+
+    fn len(&self) -> usize {
+        self.probation.len() + self.protected.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "slru"
+    }
+}
+
+/// 2Q: a FIFO admission queue (`a1in`), a main LRU (`am`), and a bounded
+/// ghost list (`a1out`) of recently evicted IDs. A page whose ID is still in
+/// the ghost list re-enters directly into the main LRU — it has proven
+/// itself beyond a one-hit wonder.
+#[derive(Debug, Default)]
+pub struct TwoQPolicy {
+    a1in: OrderedTracker,
+    am: OrderedTracker,
+    a1out: VecDeque<PageId>,
+    a1out_set: HashMap<PageId, ()>,
+}
+
+/// `a1in` holds at most 1/4 of tracked pages; the ghost list remembers up
+/// to 1/2.
+const TWOQ_A1IN_DENOM: usize = 4;
+const TWOQ_GHOST_DENOM: usize = 2;
+
+impl TwoQPolicy {
+    /// Creates an empty 2Q policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn remember_ghost(&mut self, id: PageId) {
+        if self.a1out_set.insert(id, ()).is_none() {
+            self.a1out.push_back(id);
+        }
+        let cap = ((self.a1in.len() + self.am.len()) / TWOQ_GHOST_DENOM).max(4);
+        while self.a1out.len() > cap {
+            if let Some(old) = self.a1out.pop_front() {
+                self.a1out_set.remove(&old);
+            }
+        }
+    }
+}
+
+impl EvictionPolicy for TwoQPolicy {
+    fn on_insert(&mut self, id: PageId) {
+        if self.am.contains(id) {
+            self.am.touch(id);
+        } else if self.a1out_set.remove(&id).is_some() {
+            // Seen recently: straight to the main queue.
+            self.a1out.retain(|g| *g != id);
+            self.am.touch(id);
+        } else {
+            self.a1in.insert_if_absent(id);
+        }
+    }
+
+    fn on_access(&mut self, id: PageId) {
+        if self.am.contains(id) {
+            self.am.touch(id);
+        }
+        // Accesses inside a1in do not promote (2Q's "one access is not
+        // enough" rule); promotion happens via the ghost queue.
+    }
+
+    fn on_remove(&mut self, id: PageId) {
+        if self.a1in.contains(id) {
+            self.a1in.remove(id);
+            self.remember_ghost(id);
+        }
+        self.am.remove(id);
+    }
+
+    fn victim(&mut self) -> Option<PageId> {
+        let a1in_cap = ((self.a1in.len() + self.am.len()) / TWOQ_A1IN_DENOM).max(1);
+        if self.a1in.len() >= a1in_cap {
+            if let Some(v) = self.a1in.oldest() {
+                return Some(v);
+            }
+        }
+        self.am.oldest().or_else(|| self.a1in.oldest())
+    }
+
+    fn len(&self) -> usize {
+        self.a1in.len() + self.am.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "2q"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgecache_pagestore::FileId;
+
+    fn pid(i: u64) -> PageId {
+        PageId::new(FileId(1), i)
+    }
+
+    fn drain(policy: &mut dyn EvictionPolicy) -> Vec<PageId> {
+        let mut out = Vec::new();
+        while let Some(v) = policy.victim() {
+            policy.on_remove(v);
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = LruPolicy::new();
+        for i in 0..4 {
+            p.on_insert(pid(i));
+        }
+        p.on_access(pid(0)); // Refresh page 0.
+        assert_eq!(drain(&mut p), vec![pid(1), pid(2), pid(3), pid(0)]);
+    }
+
+    #[test]
+    fn fifo_ignores_accesses() {
+        let mut p = FifoPolicy::new();
+        for i in 0..3 {
+            p.on_insert(pid(i));
+        }
+        p.on_access(pid(0));
+        p.on_access(pid(0));
+        assert_eq!(drain(&mut p), vec![pid(0), pid(1), pid(2)]);
+    }
+
+    #[test]
+    fn fifo_reinsert_keeps_original_position() {
+        let mut p = FifoPolicy::new();
+        p.on_insert(pid(0));
+        p.on_insert(pid(1));
+        p.on_insert(pid(0)); // Already present: no refresh.
+        assert_eq!(p.victim(), Some(pid(0)));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_complete() {
+        let order_a = {
+            let mut p = RandomPolicy::new(42);
+            for i in 0..10 {
+                p.on_insert(pid(i));
+            }
+            drain(&mut p)
+        };
+        let order_b = {
+            let mut p = RandomPolicy::new(42);
+            for i in 0..10 {
+                p.on_insert(pid(i));
+            }
+            drain(&mut p)
+        };
+        assert_eq!(order_a, order_b, "same seed, same order");
+        let mut sorted = order_a.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..10).map(pid).collect::<Vec<_>>(), "evicts everything once");
+        // Different seed should (overwhelmingly likely) differ.
+        let mut p = RandomPolicy::new(7);
+        for i in 0..10 {
+            p.on_insert(pid(i));
+        }
+        assert_ne!(drain(&mut p), order_a);
+    }
+
+    #[test]
+    fn random_victim_is_stable_until_removed() {
+        let mut p = RandomPolicy::new(1);
+        for i in 0..5 {
+            p.on_insert(pid(i));
+        }
+        let v1 = p.victim().unwrap();
+        let v2 = p.victim().unwrap();
+        assert_eq!(v1, v2, "repeated peek returns the same victim");
+        p.on_remove(v1);
+        assert_ne!(p.victim(), Some(v1));
+    }
+
+    #[test]
+    fn removing_untracked_page_is_harmless() {
+        for kind in [
+            EvictionPolicyKind::Lru,
+            EvictionPolicyKind::Fifo,
+            EvictionPolicyKind::Random { seed: 3 },
+        ] {
+            let mut p = build_policy(kind);
+            p.on_insert(pid(0));
+            p.on_remove(pid(99));
+            assert_eq!(p.len(), 1);
+            assert_eq!(p.victim(), Some(pid(0)));
+        }
+    }
+
+    #[test]
+    fn empty_policies_have_no_victim() {
+        for kind in [
+            EvictionPolicyKind::Lru,
+            EvictionPolicyKind::Fifo,
+            EvictionPolicyKind::Random { seed: 3 },
+        ] {
+            let mut p = build_policy(kind);
+            assert!(p.victim().is_none());
+            assert!(p.is_empty());
+        }
+    }
+
+    #[test]
+    fn build_policy_names() {
+        assert_eq!(build_policy(EvictionPolicyKind::Lru).name(), "lru");
+        assert_eq!(build_policy(EvictionPolicyKind::Fifo).name(), "fifo");
+        assert_eq!(
+            build_policy(EvictionPolicyKind::Random { seed: 0 }).name(),
+            "random"
+        );
+        assert_eq!(build_policy(EvictionPolicyKind::Slru).name(), "slru");
+        assert_eq!(build_policy(EvictionPolicyKind::TwoQ).name(), "2q");
+    }
+
+    #[test]
+    fn slru_protects_reaccessed_pages_from_scans() {
+        let mut p = SlruPolicy::new();
+        // A small hot set that gets re-accessed (promoted to protected)...
+        for i in 0..4 {
+            p.on_insert(pid(i));
+            p.on_access(pid(i));
+        }
+        // ...then a scan flood of one-hit wonders.
+        for i in 100..120 {
+            p.on_insert(pid(i));
+        }
+        // Evicting 20 pages must take the scan pages before the hot set.
+        for _ in 0..20 {
+            let v = p.victim().unwrap();
+            assert!(v.index >= 100, "evicted hot page {v} during the scan");
+            p.on_remove(v);
+        }
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn slru_with_everything_promoted_degrades_to_lru() {
+        let mut p = SlruPolicy::new();
+        for i in 0..5 {
+            p.on_insert(pid(i));
+            p.on_access(pid(i)); // Everything promoted.
+        }
+        p.on_access(pid(0)); // Refresh page 0.
+        assert_eq!(drain(&mut p), vec![pid(1), pid(2), pid(3), pid(4), pid(0)]);
+    }
+
+    #[test]
+    fn slru_drains_completely() {
+        let mut p = SlruPolicy::new();
+        for i in 0..10 {
+            p.on_insert(pid(i));
+            if i % 2 == 0 {
+                p.on_access(pid(i));
+            }
+        }
+        let drained = drain(&mut p);
+        assert_eq!(drained.len(), 10);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn twoq_ghost_readmission_goes_to_main() {
+        let mut p = TwoQPolicy::new();
+        for i in 0..8 {
+            p.on_insert(pid(i));
+        }
+        // Evict page 0 out of a1in; it lands in the ghost list.
+        let v = p.victim().unwrap();
+        p.on_remove(v);
+        // Re-inserting it goes to the main LRU, so the next victim is an
+        // a1in page, not the re-admitted one.
+        p.on_insert(v);
+        let next = p.victim().unwrap();
+        assert_ne!(next, v, "ghost re-admission must be protected");
+    }
+
+    #[test]
+    fn twoq_one_hit_wonders_evict_first() {
+        let mut p = TwoQPolicy::new();
+        // Build a main set via ghost re-admission.
+        for i in 0..4 {
+            p.on_insert(pid(i));
+        }
+        for _ in 0..4 {
+            let v = p.victim().unwrap();
+            p.on_remove(v);
+            p.on_insert(v); // Now in `am`.
+        }
+        // A scan flood enters a1in.
+        for i in 100..108 {
+            p.on_insert(pid(i));
+        }
+        // The first evictions take scan pages.
+        for _ in 0..6 {
+            let v = p.victim().unwrap();
+            assert!(v.index >= 100, "evicted main page {v} during scan");
+            p.on_remove(v);
+        }
+    }
+
+    #[test]
+    fn twoq_drains_completely() {
+        let mut p = TwoQPolicy::new();
+        for i in 0..12 {
+            p.on_insert(pid(i));
+            if i % 3 == 0 {
+                p.on_access(pid(i));
+            }
+        }
+        let drained = drain(&mut p);
+        assert_eq!(drained.len(), 12);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn scan_resistance_hit_rates() {
+        // A miniature cache simulation: Zipf-ish hot set + periodic scans.
+        // Scan-resistant policies (SLRU, 2Q) must beat plain LRU.
+        fn simulate(kind: EvictionPolicyKind) -> f64 {
+            const CAP: usize = 32;
+            let mut policy = build_policy(kind);
+            let mut resident = std::collections::HashSet::new();
+            let mut hits = 0u64;
+            let mut total = 0u64;
+            let mut scan_id = 1000u64;
+            for round in 0..400u64 {
+                // Hot set accesses.
+                for i in 0..16u64 {
+                    let id = pid(i);
+                    total += 1;
+                    if resident.contains(&id) {
+                        hits += 1;
+                        policy.on_access(id);
+                    } else {
+                        policy.on_insert(id);
+                        resident.insert(id);
+                        while resident.len() > CAP {
+                            let v = policy.victim().expect("non-empty");
+                            policy.on_remove(v);
+                            resident.remove(&v);
+                        }
+                    }
+                }
+                // Every other round: a burst of scan pages.
+                if round % 2 == 0 {
+                    for _ in 0..24 {
+                        let id = pid(scan_id);
+                        scan_id += 1;
+                        total += 1;
+                        policy.on_insert(id);
+                        resident.insert(id);
+                        while resident.len() > CAP {
+                            let v = policy.victim().expect("non-empty");
+                            policy.on_remove(v);
+                            resident.remove(&v);
+                        }
+                    }
+                }
+            }
+            hits as f64 / total as f64
+        }
+        let lru = simulate(EvictionPolicyKind::Lru);
+        let slru = simulate(EvictionPolicyKind::Slru);
+        let twoq = simulate(EvictionPolicyKind::TwoQ);
+        assert!(slru > lru, "slru {slru:.3} must beat lru {lru:.3} under scans");
+        assert!(twoq > lru, "2q {twoq:.3} must beat lru {lru:.3} under scans");
+    }
+}

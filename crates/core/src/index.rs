@@ -1,0 +1,388 @@
+//! The index manager: indexed sets over the page universe (§4.4, Figure 5).
+//!
+//! "We use indexed sets to store all pages' metadata. The universe set
+//! contains all pages that are currently stored in the cache. Each indexed
+//! set is a subset of the universe indexed by a certain property of the
+//! page's metadata." The supported levels are: page (finest), file, the
+//! logical scope tree (partition/table/schema/global), and the storage
+//! directory (device) — each lookup is O(1) in the number of non-matching
+//! pages.
+
+use std::collections::{HashMap, HashSet};
+
+use edgecache_pagestore::{CacheScope, FileId, PageId, PageInfo};
+use parking_lot::RwLock;
+
+/// In-memory page metadata with secondary indexes.
+///
+/// All page *metadata* lives in memory (§4.2: "maintaining the metadata
+/// still in memory to ensure fast access"); payloads live in the page store.
+#[derive(Debug, Default)]
+pub struct IndexManager {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// The universe set.
+    universe: HashMap<PageId, PageInfo>,
+    /// File-level index.
+    by_file: HashMap<FileId, HashSet<PageId>>,
+    /// Scope-level index. A page is registered under its *entire* scope
+    /// chain, so "all pages of table T" is a single lookup.
+    by_scope: HashMap<CacheScope, HashSet<PageId>>,
+    /// Per-scope byte usage, maintained incrementally for O(1) quota checks.
+    scope_bytes: HashMap<CacheScope, u64>,
+    /// Directory-(device-)level index (§4.4: "address all pages stored in a
+    /// particular storage device").
+    by_dir: Vec<HashSet<PageId>>,
+    /// Per-directory byte usage (parallel to `by_dir`).
+    dir_bytes: Vec<u64>,
+    total_bytes: u64,
+}
+
+impl IndexManager {
+    /// Creates an empty index with `dirs` directory slots.
+    pub fn new(dirs: usize) -> Self {
+        let inner = Inner {
+            by_dir: vec![HashSet::new(); dirs],
+            dir_bytes: vec![0; dirs],
+            ..Default::default()
+        };
+        Self { inner: RwLock::new(inner) }
+    }
+
+    /// Inserts (or replaces) a page's metadata. Returns the previous info if
+    /// the page was already indexed.
+    pub fn insert(&self, info: PageInfo) -> Option<PageInfo> {
+        let mut inner = self.inner.write();
+        let old = inner.remove_internal(&info.id);
+        inner.insert_internal(info);
+        old
+    }
+
+    /// Removes a page from every index. Returns its info if present.
+    pub fn remove(&self, id: &PageId) -> Option<PageInfo> {
+        self.inner.write().remove_internal(id)
+    }
+
+    /// Looks up a page's metadata.
+    pub fn get(&self, id: &PageId) -> Option<PageInfo> {
+        self.inner.read().universe.get(id).cloned()
+    }
+
+    /// Whether the page is indexed.
+    pub fn contains(&self, id: &PageId) -> bool {
+        self.inner.read().universe.contains_key(id)
+    }
+
+    /// All pages of a file.
+    pub fn pages_of_file(&self, file: FileId) -> Vec<PageId> {
+        self.inner
+            .read()
+            .by_file
+            .get(&file)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All pages within a scope (including nested scopes).
+    pub fn pages_of_scope(&self, scope: &CacheScope) -> Vec<PageId> {
+        self.inner
+            .read()
+            .by_scope
+            .get(scope)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All pages on a storage directory.
+    pub fn pages_of_dir(&self, dir: usize) -> Vec<PageId> {
+        self.inner
+            .read()
+            .by_dir
+            .get(dir)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Bytes cached on a storage directory. O(1).
+    pub fn bytes_of_dir(&self, dir: usize) -> u64 {
+        self.inner.read().dir_bytes.get(dir).copied().unwrap_or(0)
+    }
+
+    /// Bytes cached under a scope (including nested scopes). O(1).
+    pub fn bytes_of_scope(&self, scope: &CacheScope) -> u64 {
+        self.inner
+            .read()
+            .scope_bytes
+            .get(scope)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Distinct child partitions of a table scope that currently hold pages.
+    pub fn partitions_of_table(&self, schema: &str, table: &str) -> Vec<CacheScope> {
+        self.inner
+            .read()
+            .by_scope
+            .keys()
+            .filter(|s| {
+                matches!(s, CacheScope::Partition { schema: sc, table: tb, .. }
+                    if sc == schema && tb == table)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Total cached payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.read().total_bytes
+    }
+
+    /// The `n` scopes holding the most cached bytes at the given level of
+    /// the hierarchy (partitions by default) — the §6.1.3 "hot partition"
+    /// drill-down. Returns `(scope, bytes)` sorted descending.
+    pub fn hottest_scopes(&self, n: usize) -> Vec<(CacheScope, u64)> {
+        let inner = self.inner.read();
+        let mut out: Vec<(CacheScope, u64)> = inner
+            .scope_bytes
+            .iter()
+            .filter(|(s, _)| matches!(s, CacheScope::Partition { .. }))
+            .map(|(s, b)| (s.clone(), *b))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(n);
+        out
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.inner.read().universe.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().universe.is_empty()
+    }
+
+    /// Pages older than `cutoff_ms` (for TTL eviction).
+    pub fn pages_created_before(&self, cutoff_ms: u64) -> Vec<PageId> {
+        self.inner
+            .read()
+            .universe
+            .values()
+            .filter(|info| info.created_ms < cutoff_ms)
+            .map(|info| info.id)
+            .collect()
+    }
+
+    /// Consistency check used by tests: every secondary index entry must
+    /// refer to a universe page, and sizes must add up.
+    #[doc(hidden)]
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let inner = self.inner.read();
+        let mut total = 0u64;
+        for (id, info) in &inner.universe {
+            total += info.size;
+            if !inner.by_file.get(&info.id.file).is_some_and(|s| s.contains(id)) {
+                return Err(format!("page {id} missing from file index"));
+            }
+            for scope in info.scope.chain() {
+                if !inner.by_scope.get(&scope).is_some_and(|s| s.contains(id)) {
+                    return Err(format!("page {id} missing from scope {scope}"));
+                }
+            }
+            if !inner.by_dir.get(info.dir).is_some_and(|s| s.contains(id)) {
+                return Err(format!("page {id} missing from dir index"));
+            }
+        }
+        if total != inner.total_bytes {
+            return Err(format!(
+                "total bytes mismatch: computed {total}, tracked {}",
+                inner.total_bytes
+            ));
+        }
+        let universe_count = inner.universe.len();
+        let file_count: usize = inner.by_file.values().map(HashSet::len).sum();
+        if file_count != universe_count {
+            return Err("file index is not a partition of the universe".to_string());
+        }
+        let dir_count: usize = inner.by_dir.iter().map(HashSet::len).sum();
+        if dir_count != universe_count {
+            return Err("dir index is not a partition of the universe".to_string());
+        }
+        let dir_total: u64 = inner.dir_bytes.iter().sum();
+        if dir_total != inner.total_bytes {
+            return Err("dir byte accounting does not sum to total".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Inner {
+    fn insert_internal(&mut self, info: PageInfo) {
+        let id = info.id;
+        self.by_file.entry(id.file).or_default().insert(id);
+        for scope in info.scope.chain() {
+            self.by_scope.entry(scope.clone()).or_default().insert(id);
+            *self.scope_bytes.entry(scope).or_default() += info.size;
+        }
+        if info.dir >= self.by_dir.len() {
+            self.by_dir.resize_with(info.dir + 1, HashSet::new);
+            self.dir_bytes.resize(info.dir + 1, 0);
+        }
+        self.by_dir[info.dir].insert(id);
+        self.dir_bytes[info.dir] += info.size;
+        self.total_bytes += info.size;
+        self.universe.insert(id, info);
+    }
+
+    fn remove_internal(&mut self, id: &PageId) -> Option<PageInfo> {
+        let info = self.universe.remove(id)?;
+        if let Some(set) = self.by_file.get_mut(&id.file) {
+            set.remove(id);
+            if set.is_empty() {
+                self.by_file.remove(&id.file);
+            }
+        }
+        for scope in info.scope.chain() {
+            if let Some(set) = self.by_scope.get_mut(&scope) {
+                set.remove(id);
+                if set.is_empty() {
+                    self.by_scope.remove(&scope);
+                }
+            }
+            if let Some(b) = self.scope_bytes.get_mut(&scope) {
+                *b -= info.size;
+                if *b == 0 {
+                    self.scope_bytes.remove(&scope);
+                }
+            }
+        }
+        if let Some(set) = self.by_dir.get_mut(info.dir) {
+            set.remove(id);
+        }
+        if let Some(b) = self.dir_bytes.get_mut(info.dir) {
+            *b -= info.size;
+        }
+        self.total_bytes -= info.size;
+        Some(info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(f: u64, i: u64, size: u64, scope: CacheScope, dir: usize) -> PageInfo {
+        PageInfo::new(PageId::new(FileId(f), i), size, scope, dir, 0)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let idx = IndexManager::new(2);
+        let scope = CacheScope::partition("s", "t", "p");
+        idx.insert(info(1, 0, 100, scope.clone(), 0));
+        idx.insert(info(1, 1, 50, scope.clone(), 1));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.total_bytes(), 150);
+        assert_eq!(idx.pages_of_file(FileId(1)).len(), 2);
+        assert_eq!(idx.pages_of_dir(0).len(), 1);
+        assert_eq!(idx.pages_of_dir(1).len(), 1);
+        idx.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn scope_queries_cover_ancestors() {
+        let idx = IndexManager::new(1);
+        idx.insert(info(1, 0, 10, CacheScope::partition("s", "t", "p1"), 0));
+        idx.insert(info(2, 0, 20, CacheScope::partition("s", "t", "p2"), 0));
+        idx.insert(info(3, 0, 40, CacheScope::partition("s", "u", "p1"), 0));
+        assert_eq!(idx.pages_of_scope(&CacheScope::table("s", "t")).len(), 2);
+        assert_eq!(idx.pages_of_scope(&CacheScope::parse("s")).len(), 3);
+        assert_eq!(idx.pages_of_scope(&CacheScope::Global).len(), 3);
+        assert_eq!(idx.bytes_of_scope(&CacheScope::table("s", "t")), 30);
+        assert_eq!(idx.bytes_of_scope(&CacheScope::Global), 70);
+        assert_eq!(
+            idx.bytes_of_scope(&CacheScope::partition("s", "t", "p2")),
+            20
+        );
+    }
+
+    #[test]
+    fn remove_updates_every_index() {
+        let idx = IndexManager::new(1);
+        let scope = CacheScope::partition("s", "t", "p");
+        idx.insert(info(1, 0, 100, scope.clone(), 0));
+        let removed = idx.remove(&PageId::new(FileId(1), 0)).unwrap();
+        assert_eq!(removed.size, 100);
+        assert!(idx.is_empty());
+        assert_eq!(idx.total_bytes(), 0);
+        assert!(idx.pages_of_file(FileId(1)).is_empty());
+        assert!(idx.pages_of_scope(&scope).is_empty());
+        assert_eq!(idx.bytes_of_scope(&CacheScope::Global), 0);
+        idx.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let idx = IndexManager::new(2);
+        idx.insert(info(1, 0, 100, CacheScope::Global, 0));
+        let old = idx.insert(info(1, 0, 60, CacheScope::Global, 1));
+        assert_eq!(old.unwrap().size, 100);
+        assert_eq!(idx.total_bytes(), 60);
+        assert!(idx.pages_of_dir(0).is_empty());
+        assert_eq!(idx.pages_of_dir(1).len(), 1);
+        idx.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn partitions_of_table_lists_live_partitions() {
+        let idx = IndexManager::new(1);
+        idx.insert(info(1, 0, 10, CacheScope::partition("s", "t", "p1"), 0));
+        idx.insert(info(2, 0, 10, CacheScope::partition("s", "t", "p2"), 0));
+        idx.insert(info(3, 0, 10, CacheScope::partition("s", "x", "p9"), 0));
+        let mut parts = idx.partitions_of_table("s", "t");
+        parts.sort();
+        assert_eq!(parts.len(), 2);
+        idx.remove(&PageId::new(FileId(1), 0));
+        assert_eq!(idx.partitions_of_table("s", "t").len(), 1);
+    }
+
+    #[test]
+    fn ttl_query_filters_by_creation_time() {
+        let idx = IndexManager::new(1);
+        idx.insert(PageInfo::new(PageId::new(FileId(1), 0), 1, CacheScope::Global, 0, 100));
+        idx.insert(PageInfo::new(PageId::new(FileId(1), 1), 1, CacheScope::Global, 0, 200));
+        let old = idx.pages_created_before(150);
+        assert_eq!(old, vec![PageId::new(FileId(1), 0)]);
+    }
+
+    #[test]
+    fn hottest_scopes_rank_partitions() {
+        let idx = IndexManager::new(1);
+        idx.insert(info(1, 0, 500, CacheScope::partition("s", "t", "hot"), 0));
+        idx.insert(info(2, 0, 300, CacheScope::partition("s", "t", "warm"), 0));
+        idx.insert(info(3, 0, 100, CacheScope::partition("s", "u", "cold"), 0));
+        let top = idx.hottest_scopes(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], (CacheScope::partition("s", "t", "hot"), 500));
+        assert_eq!(top[1], (CacheScope::partition("s", "t", "warm"), 300));
+        // Table/schema/global scopes are not listed at this level.
+        assert!(idx
+            .hottest_scopes(10)
+            .iter()
+            .all(|(s, _)| matches!(s, CacheScope::Partition { .. })));
+    }
+
+    #[test]
+    fn missing_lookups_are_empty() {
+        let idx = IndexManager::new(1);
+        assert!(idx.get(&PageId::new(FileId(1), 0)).is_none());
+        assert!(idx.remove(&PageId::new(FileId(1), 0)).is_none());
+        assert!(idx.pages_of_file(FileId(9)).is_empty());
+        assert!(idx.pages_of_dir(5).is_empty());
+        assert_eq!(idx.bytes_of_scope(&CacheScope::parse("none")), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! The edgecache local cache — the paper's primary contribution (§4, §5).
+//!
+//! An embeddable, SSD-backed, page-oriented cache for OLAP and storage
+//! engines. It runs inside the host process (no daemons, no sockets),
+//! transforms file-level reads into page-level operations, and serves them
+//! read-through from local storage.
+//!
+//! Component map (mirrors Figure 3 of the paper):
+//!
+//! * [`admission`] — the *admission controller*: JSON filter rules with
+//!   `maxCachedPartitions` (§5.1) and the `BucketTimeRateLimit` sliding
+//!   window (§6.2.2).
+//! * [`allocator`] — assigns pages to cache directories by file affinity,
+//!   hash, and remaining capacity (§4.1).
+//! * [`eviction`] — LRU, FIFO, and random eviction policies behind a common
+//!   interface, plus TTL-based expiry (§4.1).
+//! * [`index`] — the *index manager*: indexed sets over the page universe
+//!   (by file, by scope, by directory; §4.4, Figure 5).
+//! * [`quota`] — hierarchical multi-tenant quotas with over-subscribable
+//!   child quotas and two violation-eviction strategies (§5.2).
+//! * [`manager`] — the *cache manager* tying it all together: read-through,
+//!   fine-grained locking, timeout fallback, corruption and `NoSpace`
+//!   handling (§4.1, §8), metrics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use edgecache_core::config::CacheConfig;
+//! use edgecache_core::manager::{CacheManager, RemoteSource, SourceFile};
+//! use edgecache_pagestore::{CacheScope, MemoryPageStore};
+//! use edgecache_common::error::Result;
+//! use bytes::Bytes;
+//!
+//! struct Remote;
+//! impl RemoteSource for Remote {
+//!     fn read(&self, _path: &str, offset: u64, len: u64) -> Result<Bytes> {
+//!         Ok(Bytes::from(vec![0xAB; len.min(1024 - offset) as usize]))
+//!     }
+//! }
+//!
+//! let cache = CacheManager::builder(CacheConfig::default())
+//!     .with_store(Arc::new(MemoryPageStore::new()), 1 << 30)
+//!     .build()
+//!     .unwrap();
+//! let file = SourceFile::new("/data/part-0", 1, 1024, CacheScope::Global);
+//! let bytes = cache.read(&file, 0, 100, &Remote).unwrap(); // Miss: loads page.
+//! let again = cache.read(&file, 0, 100, &Remote).unwrap(); // Hit: local.
+//! assert_eq!(bytes, again);
+//! assert_eq!(cache.metrics().counter("hits").get(), 1);
+//! ```
+
+pub mod admission;
+pub mod allocator;
+pub mod config;
+pub mod eviction;
+pub mod index;
+pub mod manager;
+pub mod quota;
+pub mod ratelimit;
+
+pub use admission::{AdmissionPolicy, AdmitAll, FilterRuleAdmission, SlidingWindowAdmission};
+pub use config::{CacheConfig, EvictionPolicyKind};
+pub use eviction::EvictionPolicy;
+pub use index::IndexManager;
+pub use manager::{CacheManager, RemoteSource, SourceFile};
+pub use quota::QuotaManager;
+pub use ratelimit::BucketTimeRateLimit;

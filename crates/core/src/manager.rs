@@ -1,0 +1,1236 @@
+//! The cache manager (§4.1, Figure 3): read-through page caching with
+//! admission control, quota enforcement, eviction, and failure handling.
+//!
+//! The manager ties the components together. A file-level read is split into
+//! page-level operations; each page is served from the local page store on a
+//! hit, or fetched read-through from the [`RemoteSource`] on a miss (subject
+//! to the admission policy). Failure handling follows §8:
+//!
+//! * **Read hang** — local reads optionally run on an I/O pool with a
+//!   deadline (10 s in production); on timeout the manager falls back to the
+//!   remote source without failing the request.
+//! * **Corruption** — a checksum failure evicts the page early and refetches.
+//! * **`No space left on device`** — a `NoSpace` from the store triggers
+//!   early eviction (before the configured capacity is reached) and a retry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
+use edgecache_common::clock::{system_clock, SharedClock};
+use edgecache_common::error::{Error, Result};
+use edgecache_common::ByteSize;
+use edgecache_metrics::MetricRegistry;
+use edgecache_pagestore::{CacheScope, FileId, PageId, PageInfo, PageStore};
+use parking_lot::Mutex;
+
+use crate::admission::{AdmissionPolicy, AdmitAll};
+use crate::allocator::Allocator;
+use crate::config::CacheConfig;
+use crate::eviction::{build_policy, EvictionPolicy};
+use crate::index::IndexManager;
+use crate::quota::{QuotaManager, QuotaViolation};
+
+/// Number of page-lock stripes (power of two).
+const LOCK_STRIPES: usize = 1024;
+
+/// The remote data source the cache reads through on a miss.
+///
+/// Implementations in this workspace: the simulated HDFS client and the
+/// S3-like object store (`edgecache-storage`).
+pub trait RemoteSource: Sync {
+    /// Reads `len` bytes at `offset` of `path`. Short reads at end-of-file
+    /// return the available prefix.
+    fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes>;
+}
+
+impl<T: RemoteSource + ?Sized> RemoteSource for &T {
+    fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        (**self).read(path, offset, len)
+    }
+}
+
+/// Identity and shape of a remote file being read through the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Remote path (also the admission key).
+    pub path: String,
+    /// Version token: modification time, HDFS generation stamp, etag. A new
+    /// version yields a new [`FileId`], invalidating stale cache entries
+    /// (§6.1.1) and giving snapshot isolation under append (§6.2.3).
+    pub version: u64,
+    /// Total length in bytes.
+    pub length: u64,
+    /// Scope in the schema/table/partition hierarchy.
+    pub scope: CacheScope,
+}
+
+impl SourceFile {
+    /// Creates a source-file descriptor.
+    pub fn new(path: impl Into<String>, version: u64, length: u64, scope: CacheScope) -> Self {
+        Self { path: path.into(), version, length, scope }
+    }
+
+    /// The stable cache identity of this file+version.
+    pub fn file_id(&self) -> FileId {
+        FileId::from_path_version(&self.path, self.version)
+    }
+}
+
+/// A snapshot of headline cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheStats {
+    pub pages: usize,
+    pub bytes: u64,
+    pub hits: u64,
+    pub misses: u64,
+    /// `hits / (hits + misses)`, or 0 with no traffic.
+    pub hit_rate: f64,
+}
+
+/// Builder for [`CacheManager`].
+pub struct CacheManagerBuilder {
+    config: CacheConfig,
+    stores: Vec<Arc<dyn PageStore>>,
+    capacities: Vec<u64>,
+    admission: Arc<dyn AdmissionPolicy>,
+    quota: QuotaManager,
+    clock: SharedClock,
+    metrics: Option<MetricRegistry>,
+    recover: bool,
+    scope_resolver: Option<Box<dyn Fn(&str) -> CacheScope + Send + Sync>>,
+}
+
+impl CacheManagerBuilder {
+    /// Adds a cache directory: a page store with a byte capacity.
+    pub fn with_store(mut self, store: Arc<dyn PageStore>, capacity: u64) -> Self {
+        self.stores.push(store);
+        self.capacities.push(capacity);
+        self
+    }
+
+    /// Sets the admission policy (default: admit everything).
+    pub fn with_admission(mut self, policy: Arc<dyn AdmissionPolicy>) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Sets a quota for a scope.
+    pub fn with_quota(self, scope: CacheScope, quota: ByteSize) -> Self {
+        self.quota.set_quota(scope, quota);
+        self
+    }
+
+    /// Uses the given clock (simulations pass a `SimClock`).
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Uses the given metric registry (e.g. one shared per node).
+    pub fn with_metrics(mut self, metrics: MetricRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Rebuilds the in-memory index from the page stores on startup (§4.3's
+    /// cache recovery). Recovered pages get their scope from the resolver
+    /// set via [`Self::with_scope_resolver`], or [`CacheScope::Global`].
+    pub fn with_recovery(mut self) -> Self {
+        self.recover = true;
+        self
+    }
+
+    /// Maps recovered page paths back to scopes during recovery.
+    pub fn with_scope_resolver(
+        mut self,
+        resolver: impl Fn(&str) -> CacheScope + Send + Sync + 'static,
+    ) -> Self {
+        self.scope_resolver = Some(Box::new(resolver));
+        self
+    }
+
+    /// Builds the manager.
+    pub fn build(self) -> Result<CacheManager> {
+        if self.stores.is_empty() {
+            return Err(Error::InvalidArgument(
+                "cache manager needs at least one store".into(),
+            ));
+        }
+        let dirs = self.stores.len();
+        let index = IndexManager::new(dirs);
+        let policies: Vec<Mutex<Box<dyn EvictionPolicy>>> = (0..dirs)
+            .map(|_| Mutex::new(build_policy(self.config.eviction)))
+            .collect();
+        let io_pool = if self.config.enforce_read_timeout {
+            Some(IoPool::new(self.config.io_threads.max(1)))
+        } else {
+            None
+        };
+        let manager = CacheManager {
+            allocator: Allocator::new(self.capacities),
+            stores: self.stores,
+            index,
+            policies,
+            quota: self.quota,
+            admission: self.admission,
+            metrics: self.metrics.unwrap_or_else(|| MetricRegistry::new("cache")),
+            clock: self.clock,
+            page_locks: (0..LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
+            io_pool,
+            rng_state: AtomicU64::new(0x853c_49e6_748f_ea9b),
+            config: self.config,
+        };
+        if self.recover {
+            manager.recover()?;
+        }
+        Ok(manager)
+    }
+}
+
+/// The local cache: the embeddable, page-oriented, SSD-backed cache of §4.
+pub struct CacheManager {
+    config: CacheConfig,
+    stores: Vec<Arc<dyn PageStore>>,
+    allocator: Allocator,
+    index: IndexManager,
+    policies: Vec<Mutex<Box<dyn EvictionPolicy>>>,
+    quota: QuotaManager,
+    admission: Arc<dyn AdmissionPolicy>,
+    metrics: MetricRegistry,
+    clock: SharedClock,
+    page_locks: Vec<Mutex<()>>,
+    io_pool: Option<IoPool>,
+    rng_state: AtomicU64,
+}
+
+impl CacheManager {
+    /// Starts building a manager with the given configuration.
+    pub fn builder(config: CacheConfig) -> CacheManagerBuilder {
+        CacheManagerBuilder {
+            config,
+            stores: Vec::new(),
+            capacities: Vec::new(),
+            admission: Arc::new(AdmitAll),
+            quota: QuotaManager::new(),
+            clock: system_clock(),
+            metrics: None,
+            recover: false,
+            scope_resolver: None,
+        }
+    }
+
+    /// The manager's metric registry.
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+
+    /// The configured page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.config.page_size.as_u64()
+    }
+
+    /// The quota manager (quotas may be adjusted at runtime).
+    pub fn quota(&self) -> &QuotaManager {
+        &self.quota
+    }
+
+    /// The index manager (read-only introspection).
+    pub fn index(&self) -> &IndexManager {
+        &self.index
+    }
+
+    /// Headline statistics.
+    pub fn stats(&self) -> CacheStats {
+        let hits = self.metrics.counter("hits").get();
+        let misses = self.metrics.counter("misses").get();
+        let total = hits + misses;
+        CacheStats {
+            pages: self.index.len(),
+            bytes: self.index.total_bytes(),
+            hits,
+            misses,
+            hit_rate: if total == 0 { 0.0 } else { hits as f64 / total as f64 },
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.clock.now_millis()
+    }
+
+    fn stripe(&self, id: PageId) -> &Mutex<()> {
+        &self.page_locks[(id.stable_hash() as usize) & (LOCK_STRIPES - 1)]
+    }
+
+    fn next_rand(&self) -> u64 {
+        // Xorshift over an atomic state: statistically fine for victim
+        // sampling, and keeps the manager lock-free here.
+        let mut x = self.rng_state.load(Ordering::Relaxed);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state.store(x, Ordering::Relaxed);
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Reads `len` bytes at `offset` from `file`, serving cached pages
+    /// locally and fetching missing pages read-through from `source`.
+    pub fn read(
+        &self,
+        file: &SourceFile,
+        offset: u64,
+        len: u64,
+        source: &dyn RemoteSource,
+    ) -> Result<Bytes> {
+        let end = offset.saturating_add(len).min(file.length);
+        if offset >= end {
+            return Ok(Bytes::new());
+        }
+        self.metrics.counter("bytes_requested").add(end - offset);
+        let ps = self.page_size();
+        let first = offset / ps;
+        let last = (end - 1) / ps;
+        if first == last {
+            // Fast path: single page.
+            let page_off = first * ps;
+            return self.read_page_range(file, first, offset - page_off, end - offset, source);
+        }
+        let mut out = BytesMut::with_capacity((end - offset) as usize);
+        for idx in first..=last {
+            let page_start = idx * ps;
+            let within_off = offset.max(page_start) - page_start;
+            let within_end = end.min(page_start + ps) - page_start;
+            let chunk =
+                self.read_page_range(file, idx, within_off, within_end - within_off, source)?;
+            out.extend_from_slice(&chunk);
+        }
+        Ok(out.freeze())
+    }
+
+    /// Reads a byte range within one page.
+    fn read_page_range(
+        &self,
+        file: &SourceFile,
+        page_index: u64,
+        within_offset: u64,
+        within_len: u64,
+        source: &dyn RemoteSource,
+    ) -> Result<Bytes> {
+        let id = PageId::new(file.file_id(), page_index);
+        let _guard = self.stripe(id).lock();
+
+        if let Some(info) = self.index.get(&id) {
+            match self.store_get(info.dir, id, within_offset, within_len) {
+                Ok(bytes) => {
+                    self.metrics.counter("hits").inc();
+                    self.metrics.counter("bytes_from_cache").add(bytes.len() as u64);
+                    self.policies[info.dir].lock().on_access(id);
+                    return Ok(bytes);
+                }
+                Err(Error::Timeout { op, waited_ms }) => {
+                    // §8 "File read hanging": fall back to remote, keep the
+                    // cached page for future reads.
+                    self.metrics.record_error("get", "timeout");
+                    self.metrics.counter("fallbacks.timeout").inc();
+                    let _ = (op, waited_ms);
+                    let abs = page_index * self.page_size() + within_offset;
+                    let bytes = source.read(&file.path, abs, within_len)?;
+                    self.metrics.counter("bytes_from_remote").add(bytes.len() as u64);
+                    self.metrics.counter("remote_requests").inc();
+                    return Ok(bytes);
+                }
+                Err(e @ Error::Corrupted(_)) => {
+                    // §8 "Corrupted files": evict early and refetch below.
+                    self.metrics.record_error("get", e.kind());
+                    self.evict_page(&id, "corrupt");
+                }
+                Err(Error::NotFound(_)) => {
+                    // The store lost the page (external cleanup); repair the
+                    // index and treat as a miss.
+                    self.drop_from_index(&id);
+                }
+                Err(e) => {
+                    self.metrics.record_error("get", e.kind());
+                    self.evict_page(&id, "error");
+                }
+            }
+        }
+
+        // Miss path.
+        self.metrics.counter("misses").inc();
+        if !self.admission.admit(&file.path, &file.scope, self.now_ms()) {
+            // Non-cache read path (Figure 3): read exactly what was asked.
+            self.metrics.counter("admission_rejected").inc();
+            let abs = page_index * self.page_size() + within_offset;
+            let bytes = source.read(&file.path, abs, within_len)?;
+            self.metrics.counter("bytes_from_remote").add(bytes.len() as u64);
+            self.metrics.counter("remote_requests").inc();
+            return Ok(bytes);
+        }
+
+        // Read-through at page granularity: fetch the whole page, cache it,
+        // serve the requested slice. The page-vs-request delta is the read
+        // amplification the §7 page-size trade-off discusses.
+        let ps = self.page_size();
+        let page_start = page_index * ps;
+        let page_len = ps.min(file.length - page_start);
+        let data = source.read(&file.path, page_start, page_len)?;
+        self.metrics.counter("bytes_from_remote").add(data.len() as u64);
+        self.metrics.counter("remote_requests").inc();
+        if let Err(e) = self.put_page_locked(file, id, &data) {
+            // Caching failed (quota, space, store error): the read still
+            // succeeds from the fetched bytes.
+            self.metrics.record_error("put", e.kind());
+        }
+        let start = (within_offset as usize).min(data.len());
+        let end = ((within_offset + within_len) as usize).min(data.len());
+        Ok(data.slice(start..end))
+    }
+
+    /// Local store read, with the configured deadline when enforced.
+    fn store_get(&self, dir: usize, id: PageId, offset: u64, len: u64) -> Result<Bytes> {
+        let store = &self.stores[dir];
+        match &self.io_pool {
+            None => store.get(id, offset, len),
+            Some(pool) => {
+                let store = Arc::clone(store);
+                pool.run_with_deadline(self.config.read_timeout, move || {
+                    store.get(id, offset, len)
+                })
+            }
+        }
+    }
+
+    /// Explicitly caches one page (used by block-level integrations like the
+    /// HDFS local cache, which load whole blocks rather than reading
+    /// through).
+    pub fn put_page(&self, file: &SourceFile, page_index: u64, data: &[u8]) -> Result<()> {
+        let id = PageId::new(file.file_id(), page_index);
+        let _guard = self.stripe(id).lock();
+        self.put_page_locked(file, id, data)
+    }
+
+    /// Reads one cached page range without a remote fallback. Returns
+    /// `NotFound` on a miss (used by integrations that manage their own
+    /// miss path).
+    pub fn get_page(&self, file: &SourceFile, page_index: u64, offset: u64, len: u64) -> Result<Bytes> {
+        let id = PageId::new(file.file_id(), page_index);
+        let _guard = self.stripe(id).lock();
+        let info = self
+            .index
+            .get(&id)
+            .ok_or_else(|| Error::NotFound(format!("page {id}")))?;
+        match self.store_get(info.dir, id, offset, len) {
+            Ok(bytes) => {
+                self.metrics.counter("hits").inc();
+                self.metrics.counter("bytes_from_cache").add(bytes.len() as u64);
+                self.policies[info.dir].lock().on_access(id);
+                Ok(bytes)
+            }
+            Err(e @ Error::Corrupted(_)) => {
+                self.metrics.record_error("get", e.kind());
+                self.evict_page(&id, "corrupt");
+                Err(e)
+            }
+            Err(e) => {
+                self.metrics.record_error("get", e.kind());
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether a page is cached.
+    pub fn contains(&self, file: &SourceFile, page_index: u64) -> bool {
+        self.index.contains(&PageId::new(file.file_id(), page_index))
+    }
+
+    /// Inner put: caller holds the page's stripe lock.
+    fn put_page_locked(&self, file: &SourceFile, id: PageId, data: &[u8]) -> Result<()> {
+        let size = data.len() as u64;
+        let Some(dir) = self.allocator.pick(id.file, size) else {
+            return Err(Error::InvalidArgument(format!(
+                "page of {size} bytes exceeds every cache directory"
+            )));
+        };
+
+        // Hierarchical quota verification (§5.2), most detailed level first.
+        if let Some(v) =
+            self.quota
+                .first_violation(&file.scope, size, |s| self.index.bytes_of_scope(s))
+        {
+            self.evict_for_quota(&v, size);
+            if self
+                .quota
+                .first_violation(&file.scope, size, |s| self.index.bytes_of_scope(s))
+                .is_some()
+            {
+                return Err(Error::QuotaExceeded(format!(
+                    "scope {} cannot admit {size} bytes",
+                    v.scope()
+                )));
+            }
+        }
+
+        // Capacity eviction within the target directory.
+        let capacity = self.allocator.capacity(dir);
+        while self.index.bytes_of_dir(dir) + size > capacity {
+            let victim = self.policies[dir].lock().victim();
+            let Some(victim) = victim else {
+                return Err(Error::NoSpace);
+            };
+            self.evict_page(&victim, "capacity");
+        }
+
+        match self.stores[dir].put(id, data) {
+            Ok(()) => {}
+            Err(Error::NoSpace) => {
+                // §8 "Insufficient disk capacity": the device filled up
+                // before our configured capacity — evict early and retry.
+                self.metrics.record_error("put", "no_space");
+                self.evict_some(dir, size.max(1));
+                self.stores[dir].put(id, data)?;
+            }
+            Err(e) => return Err(e),
+        }
+
+        let info = PageInfo::new(id, size, file.scope.clone(), dir, self.now_ms());
+        if let Some(old) = self.index.insert(info) {
+            // Replaced an existing page (e.g. refreshed content).
+            let _ = old;
+        }
+        self.policies[dir].lock().on_insert(id);
+        self.metrics.counter("puts").inc();
+        self.metrics.counter("bytes_written").add(size);
+        Ok(())
+    }
+
+    /// Evicts up to `want_bytes` from directory `dir` (early eviction on
+    /// device pressure).
+    fn evict_some(&self, dir: usize, want_bytes: u64) {
+        let mut freed = 0u64;
+        while freed < want_bytes {
+            let victim = self.policies[dir].lock().victim();
+            let Some(victim) = victim else { return };
+            freed += self
+                .evict_page(&victim, "no_space")
+                .map(|i| i.size)
+                .unwrap_or(1);
+        }
+    }
+
+    /// Applies the §5.2 strategy for a quota violation.
+    fn evict_for_quota(&self, violation: &QuotaViolation, needed: u64) {
+        let scope = violation.scope().clone();
+        let Some(quota) = self.quota.quota_of(&scope).map(|q| q.as_u64()) else {
+            return;
+        };
+        let target = quota.saturating_sub(needed);
+        match violation {
+            QuotaViolation::Partition(_) => {
+                // Partition-level eviction: remove pages of that partition.
+                while self.index.bytes_of_scope(&scope) > target {
+                    let pages = self.index.pages_of_scope(&scope);
+                    let Some(&victim) = pages.first() else { break };
+                    self.evict_page(&victim, "quota");
+                }
+            }
+            QuotaViolation::SharedScope(_) => {
+                // Table-level sharing: random eviction across partitions, so
+                // one greedy partition cannot starve its siblings.
+                while self.index.bytes_of_scope(&scope) > target {
+                    let pages = self.index.pages_of_scope(&scope);
+                    if pages.is_empty() {
+                        break;
+                    }
+                    let pick = (self.next_rand() % pages.len() as u64) as usize;
+                    self.evict_page(&pages[pick], "quota");
+                }
+            }
+        }
+    }
+
+    /// Removes a page from the index, its policy, and its store. Returns the
+    /// page's info if it was present.
+    fn evict_page(&self, id: &PageId, cause: &str) -> Option<PageInfo> {
+        let info = self.index.remove(id)?;
+        self.policies[info.dir].lock().on_remove(*id);
+        if let Err(e) = self.stores[info.dir].delete(*id) {
+            self.metrics.record_error("delete", e.kind());
+        }
+        self.metrics.counter(&format!("evictions.{cause}")).inc();
+        Some(info)
+    }
+
+    /// Removes a page from the index and policy only (store already lost it).
+    fn drop_from_index(&self, id: &PageId) {
+        if let Some(info) = self.index.remove(id) {
+            self.policies[info.dir].lock().on_remove(*id);
+        }
+    }
+
+    /// Deletes every cached page of a file (e.g. on HDFS block delete,
+    /// §6.2.3). Returns the number of pages removed.
+    pub fn delete_file(&self, file: FileId) -> usize {
+        let pages = self.index.pages_of_file(file);
+        let mut n = 0;
+        for id in pages {
+            if self.evict_page(&id, "delete").is_some() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Deletes every cached page within a scope — the §4.4 bulk operation
+    /// ("delete all pages belonging to a certain outdated partition").
+    /// Returns the number of pages removed.
+    pub fn delete_scope(&self, scope: &CacheScope) -> usize {
+        let pages = self.index.pages_of_scope(scope);
+        let mut n = 0;
+        for id in pages {
+            if self.evict_page(&id, "delete").is_some() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Evicts pages older than the configured TTL (§4.1's "periodic
+    /// background job evicts expired data"). Returns the number evicted.
+    pub fn evict_expired(&self) -> usize {
+        let Some(ttl) = self.config.ttl else { return 0 };
+        let cutoff = self.now_ms().saturating_sub(ttl.as_millis() as u64);
+        let expired = self.index.pages_created_before(cutoff);
+        let mut n = 0;
+        for id in expired {
+            if self.evict_page(&id, "ttl").is_some() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Rebuilds the index from the stores (cold-start recovery, §4.3).
+    fn recover(&self) -> Result<()> {
+        for (dir, store) in self.stores.iter().enumerate() {
+            for (id, size) in store.recover()? {
+                // Scope information is not persisted per page; recovered
+                // pages are tracked globally (quotas re-apply as new traffic
+                // re-tags pages).
+                let info = PageInfo::new(id, size, CacheScope::Global, dir, self.now_ms());
+                self.index.insert(info);
+                self.policies[dir].lock().on_insert(id);
+                self.metrics.counter("recovered_pages").inc();
+            }
+        }
+        Ok(())
+    }
+
+    /// Wipes the entire cache (used by integrations whose invalidation state
+    /// was lost, e.g. a DataNode restart, §6.2.3). Returns pages removed.
+    pub fn clear(&self) -> usize {
+        self.delete_scope(&CacheScope::Global)
+    }
+
+    /// Starts the §4.1 periodic background job that evicts expired data:
+    /// a thread calling [`Self::evict_expired`] every `interval`. The job
+    /// stops when the returned handle is dropped. No-op thread if no TTL is
+    /// configured.
+    pub fn start_ttl_janitor(self: &Arc<Self>, interval: Duration) -> TtlJanitor {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let cache = Arc::clone(self);
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("edgecache-ttl-janitor".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::SeqCst) {
+                    std::thread::sleep(interval);
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    cache.evict_expired();
+                }
+            })
+            .expect("spawn ttl janitor");
+        TtlJanitor { stop, thread: Some(thread) }
+    }
+}
+
+/// Handle for the TTL background job; dropping it stops the thread.
+pub struct TtlJanitor {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for TtlJanitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            // The janitor may be mid-sleep; detach rather than block the
+            // caller for up to one interval.
+            drop(t);
+        }
+    }
+}
+
+/// A tiny I/O pool that runs closures with a deadline, implementing the §8
+/// read-hang fallback without blocking request threads indefinitely.
+struct IoPool {
+    sender: Sender<Box<dyn FnOnce() + Send>>,
+    _workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl IoPool {
+    fn new(threads: usize) -> Self {
+        let (sender, receiver) = unbounded::<Box<dyn FnOnce() + Send>>();
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("edgecache-io-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn io worker")
+            })
+            .collect();
+        Self { sender, _workers: workers }
+    }
+
+    /// Runs `f` on the pool; errors with [`Error::Timeout`] if no result
+    /// arrives within `deadline`. The abandoned job finishes in the
+    /// background (its result is discarded), mirroring a hung `read_file`.
+    fn run_with_deadline<T: Send + 'static>(
+        &self,
+        deadline: Duration,
+        f: impl FnOnce() -> Result<T> + Send + 'static,
+    ) -> Result<T> {
+        let (tx, rx) = bounded(1);
+        self.sender
+            .send(Box::new(move || {
+                let _ = tx.send(f());
+            }))
+            .map_err(|_| Error::Other("io pool shut down".into()))?;
+        match rx.recv_timeout(deadline) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => Err(Error::Timeout {
+                op: "read_file",
+                waited_ms: deadline.as_millis() as u64,
+            }),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(Error::Other("io worker dropped result".into()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::SlidingWindowAdmission;
+    use crate::config::EvictionPolicyKind;
+    use edgecache_pagestore::{FaultPlan, FaultyStore, MemoryPageStore};
+    use parking_lot::Mutex as PlMutex;
+    use std::collections::HashMap;
+
+    /// A scripted remote: serves deterministic bytes and counts reads.
+    struct ScriptedRemote {
+        reads: PlMutex<Vec<(String, u64, u64)>>,
+        files: PlMutex<HashMap<String, Vec<u8>>>,
+    }
+
+    impl ScriptedRemote {
+        fn new() -> Self {
+            Self { reads: PlMutex::new(Vec::new()), files: PlMutex::new(HashMap::new()) }
+        }
+
+        fn with_file(self, path: &str, data: Vec<u8>) -> Self {
+            self.files.lock().insert(path.to_string(), data);
+            self
+        }
+
+        fn read_count(&self) -> usize {
+            self.reads.lock().len()
+        }
+
+        fn bytes_served(&self) -> u64 {
+            self.reads.lock().iter().map(|(_, _, l)| l).sum()
+        }
+    }
+
+    impl RemoteSource for ScriptedRemote {
+        fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+            let files = self.files.lock();
+            let data = files
+                .get(path)
+                .ok_or_else(|| Error::NotFound(path.to_string()))?;
+            let start = (offset as usize).min(data.len());
+            let end = ((offset + len) as usize).min(data.len());
+            self.reads.lock().push((path.to_string(), offset, (end - start) as u64));
+            Ok(Bytes::copy_from_slice(&data[start..end]))
+        }
+    }
+
+    fn pattern(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 251) as u8).collect()
+    }
+
+    fn small_cache(page_size: u64, capacity: u64) -> CacheManager {
+        CacheManager::builder(
+            CacheConfig::default().with_page_size(ByteSize::new(page_size)),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), capacity)
+        .build()
+        .unwrap()
+    }
+
+    fn file(path: &str, len: u64) -> SourceFile {
+        SourceFile::new(path, 1, len, CacheScope::partition("s", "t", "p"))
+    }
+
+    #[test]
+    fn read_through_then_hit() {
+        let cache = small_cache(1024, 1 << 20);
+        let data = pattern(4000);
+        let remote = ScriptedRemote::new().with_file("/f", data.clone());
+        let f = file("/f", 4000);
+
+        let got = cache.read(&f, 100, 500, &remote).unwrap();
+        assert_eq!(got.as_ref(), &data[100..600]);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 0);
+
+        let got = cache.read(&f, 100, 500, &remote).unwrap();
+        assert_eq!(got.as_ref(), &data[100..600]);
+        assert_eq!(cache.stats().hits, 1);
+        // Only the first read touched the remote, at page granularity.
+        assert_eq!(remote.read_count(), 1);
+        assert_eq!(remote.bytes_served(), 1024);
+    }
+
+    #[test]
+    fn multi_page_read_spans_pages() {
+        let cache = small_cache(1000, 1 << 20);
+        let data = pattern(5000);
+        let remote = ScriptedRemote::new().with_file("/f", data.clone());
+        let f = file("/f", 5000);
+
+        let got = cache.read(&f, 500, 3000, &remote).unwrap();
+        assert_eq!(got.as_ref(), &data[500..3500]);
+        // Pages 0..=3 were fetched.
+        assert_eq!(remote.read_count(), 4);
+        // Second read of the same span is all hits.
+        cache.read(&f, 500, 3000, &remote).unwrap();
+        assert_eq!(remote.read_count(), 4);
+        assert_eq!(cache.stats().hits, 4);
+    }
+
+    #[test]
+    fn read_past_eof_is_clamped() {
+        let cache = small_cache(1024, 1 << 20);
+        let data = pattern(100);
+        let remote = ScriptedRemote::new().with_file("/f", data.clone());
+        let f = file("/f", 100);
+        let got = cache.read(&f, 50, 500, &remote).unwrap();
+        assert_eq!(got.as_ref(), &data[50..]);
+        assert!(cache.read(&f, 200, 10, &remote).unwrap().is_empty());
+        assert!(cache.read(&f, 0, 0, &remote).unwrap().is_empty());
+    }
+
+    #[test]
+    fn version_change_invalidates() {
+        let cache = small_cache(1024, 1 << 20);
+        let remote = ScriptedRemote::new().with_file("/f", pattern(100));
+        let v1 = SourceFile::new("/f", 1, 100, CacheScope::Global);
+        let v2 = SourceFile::new("/f", 2, 100, CacheScope::Global);
+        cache.read(&v1, 0, 100, &remote).unwrap();
+        cache.read(&v2, 0, 100, &remote).unwrap();
+        // Different versions are distinct cache entries.
+        assert_eq!(remote.read_count(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn capacity_eviction_lru() {
+        // Capacity of 3 pages; touch 4 distinct pages.
+        let cache = small_cache(100, 300);
+        let remote = ScriptedRemote::new().with_file("/f", pattern(400));
+        let f = file("/f", 400);
+        for page in 0..4u64 {
+            cache.read(&f, page * 100, 100, &remote).unwrap();
+        }
+        assert_eq!(cache.index().len(), 3);
+        assert_eq!(cache.metrics().counter("evictions.capacity").get(), 1);
+        // Page 0 was least recently used → evicted → re-reading it misses.
+        cache.read(&f, 0, 100, &remote).unwrap();
+        assert_eq!(cache.stats().misses, 5);
+    }
+
+    #[test]
+    fn eviction_respects_policy_kind() {
+        // FIFO with capacity 2 pages: access page 0 repeatedly, it still
+        // goes first.
+        let cache = CacheManager::builder(
+            CacheConfig::default()
+                .with_page_size(ByteSize::new(100))
+                .with_eviction(EvictionPolicyKind::Fifo),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), 200)
+        .build()
+        .unwrap();
+        let remote = ScriptedRemote::new().with_file("/f", pattern(300));
+        let f = file("/f", 300);
+        cache.read(&f, 0, 100, &remote).unwrap();
+        cache.read(&f, 100, 100, &remote).unwrap();
+        cache.read(&f, 0, 100, &remote).unwrap(); // Hit; FIFO unaffected.
+        cache.read(&f, 200, 100, &remote).unwrap(); // Evicts page 0.
+        assert!(!cache.contains(&f, 0));
+        assert!(cache.contains(&f, 1));
+        assert!(cache.contains(&f, 2));
+    }
+
+    #[test]
+    fn admission_rejection_reads_exact_range() {
+        let cache = CacheManager::builder(
+            CacheConfig::default().with_page_size(ByteSize::new(1024)),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+        .with_admission(Arc::new(SlidingWindowAdmission::per_minute(10, 3)))
+        .build()
+        .unwrap();
+        let remote = ScriptedRemote::new().with_file("/f", pattern(2048));
+        let f = file("/f", 2048);
+        // First two accesses are not admitted: remote serves only 10 bytes.
+        cache.read(&f, 0, 10, &remote).unwrap();
+        assert_eq!(remote.bytes_served(), 10);
+        cache.read(&f, 0, 10, &remote).unwrap();
+        assert_eq!(remote.bytes_served(), 20);
+        assert_eq!(cache.metrics().counter("admission_rejected").get(), 2);
+        // Third access crosses the threshold: full page cached.
+        cache.read(&f, 0, 10, &remote).unwrap();
+        assert_eq!(remote.bytes_served(), 20 + 1024);
+        assert!(cache.contains(&f, 0));
+    }
+
+    #[test]
+    fn quota_partition_eviction() {
+        let scope = CacheScope::partition("s", "t", "p");
+        let cache = CacheManager::builder(
+            CacheConfig::default().with_page_size(ByteSize::new(100)),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+        .with_quota(scope.clone(), ByteSize::new(250))
+        .build()
+        .unwrap();
+        let remote = ScriptedRemote::new().with_file("/f", pattern(1000));
+        let f = file("/f", 1000);
+        for page in 0..5u64 {
+            cache.read(&f, page * 100, 100, &remote).unwrap();
+        }
+        // Quota allows 2 pages (250 bytes); eviction kept usage compliant.
+        assert!(cache.index().bytes_of_scope(&scope) <= 250);
+        assert!(cache.metrics().counter("evictions.quota").get() >= 3);
+    }
+
+    #[test]
+    fn quota_table_random_eviction_spreads() {
+        let table = CacheScope::table("s", "t");
+        let cache = CacheManager::builder(
+            CacheConfig::default().with_page_size(ByteSize::new(100)),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+        .with_quota(table.clone(), ByteSize::new(500))
+        .build()
+        .unwrap();
+        // Two partitions, ten pages each: table quota forces eviction across
+        // partitions.
+        for (i, part) in ["p1", "p2"].iter().enumerate() {
+            let remote =
+                ScriptedRemote::new().with_file(&format!("/f{i}"), pattern(1000));
+            let f = SourceFile::new(
+                format!("/f{i}"),
+                1,
+                1000,
+                CacheScope::partition("s", "t", part),
+            );
+            for page in 0..10u64 {
+                cache.read(&f, page * 100, 100, &remote).unwrap();
+            }
+        }
+        assert!(cache.index().bytes_of_scope(&table) <= 500);
+        cache.index().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn corrupted_page_is_evicted_and_refetched() {
+        let plan = FaultPlan::none();
+        let store = Arc::new(FaultyStore::new(MemoryPageStore::new(), Arc::clone(&plan)));
+        let cache = CacheManager::builder(
+            CacheConfig::default().with_page_size(ByteSize::new(100)),
+        )
+        .with_store(store, 1 << 20)
+        .build()
+        .unwrap();
+        let data = pattern(100);
+        let remote = ScriptedRemote::new().with_file("/f", data.clone());
+        let f = file("/f", 100);
+        cache.read(&f, 0, 100, &remote).unwrap();
+        plan.corrupt_page(PageId::new(f.file_id(), 0));
+        // The read still succeeds (early evict + refetch) and the page is
+        // re-cached cleanly.
+        let got = cache.read(&f, 0, 100, &remote).unwrap();
+        assert_eq!(got.as_ref(), &data[..]);
+        assert_eq!(cache.metrics().counter("evictions.corrupt").get(), 1);
+        let got = cache.read(&f, 0, 100, &remote).unwrap();
+        assert_eq!(got.as_ref(), &data[..]);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn device_enospc_triggers_early_eviction() {
+        let plan = FaultPlan::none();
+        // Device truly holds 250 bytes although the cache believes 1000.
+        plan.set_device_capacity(250);
+        let store = Arc::new(FaultyStore::new(MemoryPageStore::new(), Arc::clone(&plan)));
+        let cache = CacheManager::builder(
+            CacheConfig::default().with_page_size(ByteSize::new(100)),
+        )
+        .with_store(store, 1000)
+        .build()
+        .unwrap();
+        let remote = ScriptedRemote::new().with_file("/f", pattern(500));
+        let f = file("/f", 500);
+        for page in 0..5u64 {
+            cache.read(&f, page * 100, 100, &remote).unwrap();
+        }
+        // All reads succeeded; early eviction kept the device within bounds.
+        assert!(cache.index().total_bytes() <= 250);
+        assert!(cache.metrics().counter("evictions.no_space").get() >= 1);
+        cache.index().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn read_timeout_falls_back_to_remote() {
+        let plan = FaultPlan::none();
+        plan.set_read_hang(Duration::from_millis(200), 1);
+        let store = Arc::new(FaultyStore::new(MemoryPageStore::new(), Arc::clone(&plan)));
+        let cache = CacheManager::builder(
+            CacheConfig::default()
+                .with_page_size(ByteSize::new(100))
+                .with_read_timeout(Duration::from_millis(20)),
+        )
+        .with_store(store, 1 << 20)
+        .build()
+        .unwrap();
+        let data = pattern(100);
+        let remote = ScriptedRemote::new().with_file("/f", data.clone());
+        let f = file("/f", 100);
+        cache.read(&f, 0, 100, &remote).unwrap(); // Miss: cached.
+        let got = cache.read(&f, 0, 100, &remote).unwrap(); // Hit hangs → remote.
+        assert_eq!(got.as_ref(), &data[..]);
+        assert_eq!(cache.metrics().counter("fallbacks.timeout").get(), 1);
+        // The page is still cached (fallback does not evict).
+        assert!(cache.contains(&f, 0));
+    }
+
+    #[test]
+    fn ttl_evicts_expired_pages() {
+        let clock = Arc::new(edgecache_common::SimClock::new());
+        let cache = CacheManager::builder(
+            CacheConfig::default()
+                .with_page_size(ByteSize::new(100))
+                .with_ttl(Duration::from_secs(60)),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+        .with_clock(clock.clone())
+        .build()
+        .unwrap();
+        let remote = ScriptedRemote::new().with_file("/f", pattern(200));
+        let f = file("/f", 200);
+        cache.read(&f, 0, 100, &remote).unwrap();
+        clock.advance(Duration::from_secs(30));
+        cache.read(&f, 100, 100, &remote).unwrap();
+        clock.advance(Duration::from_secs(40)); // Page 0 is now 70 s old.
+        assert_eq!(cache.evict_expired(), 1);
+        assert!(!cache.contains(&f, 0));
+        assert!(cache.contains(&f, 1));
+        assert_eq!(cache.metrics().counter("evictions.ttl").get(), 1);
+    }
+
+    #[test]
+    fn ttl_janitor_evicts_in_background() {
+        let cache = Arc::new(
+            CacheManager::builder(
+                CacheConfig::default()
+                    .with_page_size(ByteSize::new(100))
+                    .with_ttl(Duration::from_millis(30)),
+            )
+            .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+            .build()
+            .unwrap(),
+        );
+        let remote = ScriptedRemote::new().with_file("/f", pattern(100));
+        cache.read(&file("/f", 100), 0, 100, &remote).unwrap();
+        let _janitor = cache.start_ttl_janitor(Duration::from_millis(10));
+        // The page expires after 30 ms; the janitor should reap it shortly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while cache.index().len() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(cache.index().len(), 0, "janitor reaped the expired page");
+        assert!(cache.metrics().counter("evictions.ttl").get() >= 1);
+    }
+
+    #[test]
+    fn delete_scope_bulk_removes_partition() {
+        let cache = small_cache(100, 1 << 20);
+        let remote = ScriptedRemote::new()
+            .with_file("/a", pattern(300))
+            .with_file("/b", pattern(300));
+        let fa = SourceFile::new("/a", 1, 300, CacheScope::partition("s", "t", "2024-01-01"));
+        let fb = SourceFile::new("/b", 1, 300, CacheScope::partition("s", "t", "2024-01-02"));
+        cache.read(&fa, 0, 300, &remote).unwrap();
+        cache.read(&fb, 0, 300, &remote).unwrap();
+        assert_eq!(cache.index().len(), 6);
+        let removed = cache.delete_scope(&CacheScope::partition("s", "t", "2024-01-01"));
+        assert_eq!(removed, 3);
+        assert_eq!(cache.index().len(), 3);
+        assert!(!cache.contains(&fa, 0));
+        assert!(cache.contains(&fb, 0));
+        cache.index().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn delete_file_removes_all_its_pages() {
+        let cache = small_cache(100, 1 << 20);
+        let remote = ScriptedRemote::new().with_file("/a", pattern(250));
+        let f = file("/a", 250);
+        cache.read(&f, 0, 250, &remote).unwrap();
+        assert_eq!(cache.delete_file(f.file_id()), 3);
+        assert_eq!(cache.index().len(), 0);
+    }
+
+    #[test]
+    fn recovery_restores_hits() {
+        let dir = std::env::temp_dir().join(format!(
+            "edgecache-mgr-recover-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let data = pattern(300);
+        {
+            let store = Arc::new(
+                edgecache_pagestore::LocalPageStore::open(
+                    &dir,
+                    edgecache_pagestore::LocalStoreConfig {
+                        page_size: 100,
+                        ..Default::default()
+                    },
+                )
+                .unwrap(),
+            );
+            let cache = CacheManager::builder(
+                CacheConfig::default().with_page_size(ByteSize::new(100)),
+            )
+            .with_store(store, 1 << 20)
+            .build()
+            .unwrap();
+            let remote = ScriptedRemote::new().with_file("/a", data.clone());
+            cache.read(&file("/a", 300), 0, 300, &remote).unwrap();
+        }
+        // New process: recover from disk.
+        let store = Arc::new(
+            edgecache_pagestore::LocalPageStore::open(
+                &dir,
+                edgecache_pagestore::LocalStoreConfig { page_size: 100, ..Default::default() },
+            )
+            .unwrap(),
+        );
+        let cache = CacheManager::builder(
+            CacheConfig::default().with_page_size(ByteSize::new(100)),
+        )
+        .with_store(store, 1 << 20)
+        .with_recovery()
+        .build()
+        .unwrap();
+        assert_eq!(cache.metrics().counter("recovered_pages").get(), 3);
+        let remote = ScriptedRemote::new().with_file("/a", data.clone());
+        let got = cache.read(&file("/a", 300), 0, 300, &remote).unwrap();
+        assert_eq!(got.as_ref(), &data[..]);
+        assert_eq!(cache.stats().hits, 3);
+        assert_eq!(remote.read_count(), 0, "everything served from recovery");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_wipes_everything() {
+        let cache = small_cache(100, 1 << 20);
+        let remote = ScriptedRemote::new().with_file("/a", pattern(300));
+        cache.read(&file("/a", 300), 0, 300, &remote).unwrap();
+        assert_eq!(cache.clear(), 3);
+        assert!(cache.index().is_empty());
+    }
+
+    #[test]
+    fn builder_without_store_fails() {
+        assert!(CacheManager::builder(CacheConfig::default()).build().is_err());
+    }
+
+    #[test]
+    fn multiple_directories_spread_files() {
+        let cache = CacheManager::builder(
+            CacheConfig::default().with_page_size(ByteSize::new(100)),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+        .build()
+        .unwrap();
+        let remote = ScriptedRemote::new();
+        for i in 0..30 {
+            let path = format!("/file-{i}");
+            remote.files.lock().insert(path.clone(), pattern(100));
+            let f = SourceFile::new(path, 1, 100, CacheScope::Global);
+            cache.read(&f, 0, 100, &remote).unwrap();
+        }
+        let dirs_used = (0..3)
+            .filter(|&d| cache.index().bytes_of_dir(d) > 0)
+            .count();
+        assert!(dirs_used >= 2, "files should spread over directories");
+        cache.index().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn concurrent_reads_are_consistent() {
+        let cache = Arc::new(small_cache(256, 1 << 20));
+        let data = pattern(4096);
+        let remote = Arc::new(ScriptedRemote::new().with_file("/f", data.clone()));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let cache = Arc::clone(&cache);
+            let remote = Arc::clone(&remote);
+            let data = data.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let off = ((t * 131 + i * 67) % 4000) as u64;
+                    let len = 96.min(4096 - off);
+                    let f = file("/f", 4096);
+                    let got = cache.read(&f, off, len, remote.as_ref()).unwrap();
+                    assert_eq!(got.as_ref(), &data[off as usize..(off + len) as usize]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        cache.index().check_consistency().unwrap();
+        // Each request touches one or two pages (reads may straddle a page
+        // boundary), so page-level accesses land in [400, 800].
+        let stats = cache.stats();
+        assert!((400..=800).contains(&(stats.hits + stats.misses)));
+    }
+}

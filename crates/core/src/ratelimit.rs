@@ -1,0 +1,196 @@
+//! `BucketTimeRateLimit` — the sliding-window access counter behind the HDFS
+//! cache rate limiter (§6.2.2, Figure 12).
+//!
+//! The algorithm decides "if a data block has been accessed more than X times
+//! in the past Y time interval". It keeps an ordered list of minute-long
+//! buckets; each bucket maps block keys to the access count observed during
+//! its window. The oldest bucket is discarded as time advances, and a key is
+//! classified as cache-worthy when its aggregated count across all live
+//! buckets reaches the threshold.
+
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::Mutex;
+
+/// Sliding-window access-frequency estimator.
+#[derive(Debug)]
+pub struct BucketTimeRateLimit {
+    inner: Mutex<Inner>,
+    /// Width of one bucket in milliseconds (one minute in the paper).
+    bucket_ms: u64,
+    /// Number of live buckets (the window is `buckets * bucket_ms`).
+    buckets: usize,
+    /// Access-count threshold at which a key becomes cache-worthy.
+    threshold: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Front = oldest. Each entry is `(bucket_start_ms, counts)`.
+    window: VecDeque<(u64, HashMap<u64, u64>)>,
+}
+
+impl BucketTimeRateLimit {
+    /// Creates a limiter: a key is cache-worthy once it has been seen at
+    /// least `threshold` times within the last `buckets` windows of
+    /// `bucket_ms` milliseconds each.
+    ///
+    /// The paper's HDFS deployment uses minute buckets
+    /// (`bucket_ms = 60_000`).
+    pub fn new(bucket_ms: u64, buckets: usize, threshold: u64) -> Self {
+        assert!(bucket_ms > 0 && buckets > 0, "window must be non-empty");
+        Self {
+            inner: Mutex::new(Inner::default()),
+            bucket_ms,
+            buckets,
+            threshold,
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    fn bucket_start(&self, now_ms: u64) -> u64 {
+        now_ms - now_ms % self.bucket_ms
+    }
+
+    /// Rolls the window forward and returns a guard over the inner state.
+    fn advance(&self, now_ms: u64) -> parking_lot::MutexGuard<'_, Inner> {
+        let start = self.bucket_start(now_ms);
+        let mut inner = self.inner.lock();
+        // Open the current bucket if time moved past the newest one.
+        let needs_new = match inner.window.back() {
+            Some((s, _)) => *s < start,
+            None => true,
+        };
+        if needs_new {
+            inner.window.push_back((start, HashMap::new()));
+        }
+        // Retire buckets that fell out of the window. `BucketTimeRateLimit
+        // keeps a constant number of active buckets and discards the oldest
+        // bucket every minute` (§6.2.2).
+        let oldest_allowed = start.saturating_sub(self.bucket_ms * (self.buckets as u64 - 1));
+        while inner
+            .window
+            .front()
+            .is_some_and(|(s, _)| *s < oldest_allowed)
+        {
+            inner.window.pop_front();
+        }
+        inner
+    }
+
+    /// Records one access of `key` at `now_ms` and returns whether the key's
+    /// aggregate count (including this access) has reached the threshold.
+    pub fn record_and_check(&self, key: u64, now_ms: u64) -> bool {
+        let mut inner = self.advance(now_ms);
+        let (_, counts) = inner.window.back_mut().expect("advance opened a bucket");
+        *counts.entry(key).or_insert(0) += 1;
+        let total: u64 = inner
+            .window
+            .iter()
+            .map(|(_, c)| c.get(&key).copied().unwrap_or(0))
+            .sum();
+        total >= self.threshold
+    }
+
+    /// Returns the current aggregate count for `key` without recording.
+    pub fn count(&self, key: u64, now_ms: u64) -> u64 {
+        let inner = self.advance(now_ms);
+        inner
+            .window
+            .iter()
+            .map(|(_, c)| c.get(&key).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Number of live buckets (for introspection/tests).
+    pub fn live_buckets(&self, now_ms: u64) -> usize {
+        self.advance(now_ms).window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIN: u64 = 60_000;
+
+    #[test]
+    fn below_threshold_is_rejected() {
+        let rl = BucketTimeRateLimit::new(MIN, 10, 15);
+        for i in 0..14 {
+            assert!(!rl.record_and_check(7, i * 100), "access {i} must not qualify");
+        }
+        assert!(rl.record_and_check(7, 1500), "15th access qualifies");
+    }
+
+    #[test]
+    fn threshold_of_one_admits_immediately() {
+        let rl = BucketTimeRateLimit::new(MIN, 10, 1);
+        assert!(rl.record_and_check(1, 0));
+    }
+
+    #[test]
+    fn counts_aggregate_across_buckets() {
+        let rl = BucketTimeRateLimit::new(MIN, 10, 15);
+        // The Figure 12 example: accesses spread over several minutes still
+        // aggregate to the threshold.
+        for minute in 0..5u64 {
+            for _ in 0..3 {
+                rl.record_and_check(42, minute * MIN + 1);
+            }
+        }
+        assert_eq!(rl.count(42, 4 * MIN + 2), 15);
+        assert!(rl.record_and_check(42, 4 * MIN + 3));
+    }
+
+    #[test]
+    fn old_buckets_expire() {
+        let rl = BucketTimeRateLimit::new(MIN, 3, 10);
+        for _ in 0..9 {
+            rl.record_and_check(5, 0);
+        }
+        assert_eq!(rl.count(5, 1), 9);
+        // Advance past the window: all 9 accesses fall out.
+        assert_eq!(rl.count(5, 3 * MIN + 1), 0);
+        assert!(!rl.record_and_check(5, 3 * MIN + 2));
+    }
+
+    #[test]
+    fn window_keeps_constant_bucket_count() {
+        let rl = BucketTimeRateLimit::new(MIN, 3, 10);
+        for minute in 0..10u64 {
+            rl.record_and_check(1, minute * MIN);
+            assert!(rl.live_buckets(minute * MIN) <= 3);
+        }
+        assert_eq!(rl.live_buckets(9 * MIN), 3);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let rl = BucketTimeRateLimit::new(MIN, 10, 3);
+        rl.record_and_check(1, 0);
+        rl.record_and_check(1, 1);
+        assert!(!rl.record_and_check(2, 2), "key 2 has its own count");
+        assert!(rl.record_and_check(1, 3));
+    }
+
+    #[test]
+    fn partial_expiry_keeps_recent_accesses() {
+        let rl = BucketTimeRateLimit::new(MIN, 3, 100);
+        rl.record_and_check(9, 0); // Minute 0.
+        rl.record_and_check(9, MIN); // Minute 1.
+        rl.record_and_check(9, 2 * MIN); // Minute 2.
+        // At minute 3, minute 0 expired but minutes 1 and 2 remain.
+        assert_eq!(rl.count(9, 3 * MIN), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_buckets_panics() {
+        let _ = BucketTimeRateLimit::new(MIN, 0, 1);
+    }
+}

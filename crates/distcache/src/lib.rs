@@ -1,0 +1,28 @@
+//! A distributed cache tier built from edgecache workers.
+//!
+//! Figure 6 of the paper places a *distributed cache layer* between compute
+//! and storage: "Alluxio local cache is integrated into each cache worker
+//! node to serve the traffic". This crate is that layer:
+//!
+//! * [`CacheWorker`] — one cache-worker node: a local cache manager plus an
+//!   in-flight-request bound (its "occupied" signal).
+//! * [`DistCacheTier`] — the tier: a consistent-hash ring routes each file
+//!   to at most [`TierConfig::max_replicas`] candidate workers (the paper
+//!   caps this at **two**, §7); when every candidate is occupied or offline
+//!   the request **falls back to origin storage directly, bypassing the
+//!   cache** — the hybrid the paper found "more robust and lower latency
+//!   than simply increasing the number of replicas".
+//! * Node restarts are handled with **lazy data movement** (§7): an offline
+//!   worker keeps its ring seat for a grace period, so a container bounce
+//!   moves no data.
+//!
+//! [`DistCacheTier`] itself implements
+//! [`RemoteSource`](edgecache_core::manager::RemoteSource), so a
+//! compute-layer local cache can stack directly on top of the tier —
+//! the full three-layer architecture of Figure 6.
+
+pub mod tier;
+pub mod worker;
+
+pub use tier::{DistCacheTier, TierConfig, TierStats};
+pub use worker::{CacheWorker, WorkerCacheConfig};

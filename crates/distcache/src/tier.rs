@@ -1,0 +1,366 @@
+//! The distributed cache tier: routing, bounded replicas, remote fallback,
+//! lazy node lifecycle.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use edgecache_common::clock::SharedClock;
+use edgecache_common::error::{Error, Result};
+use edgecache_common::ring::{ConsistentRing, RingConfig};
+use edgecache_core::manager::{RemoteSource, SourceFile};
+use edgecache_metrics::MetricRegistry;
+use edgecache_pagestore::CacheScope;
+use parking_lot::RwLock;
+
+use crate::worker::{CacheWorker, WorkerCacheConfig};
+
+/// Tier configuration.
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    /// Number of cache workers.
+    pub workers: usize,
+    /// Candidate replicas per file — the paper caps this at two (§7).
+    pub max_replicas: usize,
+    /// Per-worker cache configuration.
+    pub worker: WorkerCacheConfig,
+    /// Ring configuration (virtual nodes, lazy-movement timeout).
+    pub ring: RingConfig,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_replicas: 2,
+            worker: WorkerCacheConfig::default(),
+            ring: RingConfig::default(),
+        }
+    }
+}
+
+/// Point-in-time tier statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierStats {
+    /// Requests served by a cache worker.
+    pub served_by_tier: u64,
+    /// Requests that bypassed the tier to origin (all candidates occupied
+    /// or offline).
+    pub origin_fallbacks: u64,
+    /// Total bytes currently cached across workers.
+    pub bytes_cached: u64,
+}
+
+/// The distributed cache tier.
+pub struct DistCacheTier {
+    workers: HashMap<String, Arc<CacheWorker>>,
+    ring: ConsistentRing,
+    origin: Arc<dyn RemoteSource + Send + Sync>,
+    /// Path → (version, length) resolution for the `RemoteSource` view,
+    /// where only a path is available.
+    known_files: RwLock<HashMap<String, (u64, u64)>>,
+    metrics: MetricRegistry,
+    max_replicas: usize,
+}
+
+impl DistCacheTier {
+    /// Builds the tier over `origin` storage.
+    pub fn new(
+        config: TierConfig,
+        origin: Arc<dyn RemoteSource + Send + Sync>,
+        clock: SharedClock,
+    ) -> Result<Self> {
+        if config.workers == 0 {
+            return Err(Error::InvalidArgument("tier needs at least one worker".into()));
+        }
+        if config.max_replicas == 0 {
+            return Err(Error::InvalidArgument("max_replicas must be ≥ 1".into()));
+        }
+        let ring = ConsistentRing::new(config.ring.clone(), clock.clone());
+        let mut workers = HashMap::new();
+        for i in 0..config.workers {
+            let name = format!("cw{i}");
+            ring.add_node(&name);
+            workers.insert(
+                name.clone(),
+                Arc::new(CacheWorker::new(&name, config.worker.clone(), clock.clone())?),
+            );
+        }
+        Ok(Self {
+            workers,
+            ring,
+            origin,
+            known_files: RwLock::new(HashMap::new()),
+            metrics: MetricRegistry::new("dist-cache-tier"),
+            max_replicas: config.max_replicas,
+        })
+    }
+
+    /// Tier-level metrics.
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+
+    /// A worker by name (introspection).
+    pub fn worker(&self, name: &str) -> Option<&Arc<CacheWorker>> {
+        self.workers.get(name)
+    }
+
+    /// All worker names, sorted.
+    pub fn worker_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.workers.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Marks a worker offline; its ring seat is kept for the lazy window.
+    pub fn worker_offline(&self, name: &str) {
+        self.ring.mark_offline(name);
+    }
+
+    /// Brings a worker back online.
+    pub fn worker_online(&self, name: &str) {
+        self.ring.mark_online(name);
+    }
+
+    /// Removes workers whose lazy grace period has expired.
+    pub fn sweep_expired(&self) -> Vec<String> {
+        self.ring.sweep_expired()
+    }
+
+    /// Registers a file so the bare-path [`RemoteSource`] view can resolve
+    /// its version and length (a catalog would normally provide these).
+    pub fn register_file(&self, path: &str, version: u64, length: u64) {
+        self.known_files
+            .write()
+            .insert(path.to_string(), (version, length));
+    }
+
+    /// Point-in-time stats.
+    pub fn stats(&self) -> TierStats {
+        TierStats {
+            served_by_tier: self.metrics.counter("served_by_tier").get(),
+            origin_fallbacks: self.metrics.counter("origin_fallbacks").get(),
+            bytes_cached: self
+                .workers
+                .values()
+                .map(|w| w.cache().index().total_bytes())
+                .sum(),
+        }
+    }
+
+    /// Reads `len` bytes at `offset` of `file` through the tier: the file's
+    /// replica workers are tried in ring order; if every candidate is
+    /// occupied or offline, the read goes straight to origin, bypassing the
+    /// cache (§7's hybrid fallback).
+    pub fn read(&self, file: &SourceFile, offset: u64, len: u64) -> Result<Bytes> {
+        let candidates = self.ring.candidates(&file.path, self.max_replicas);
+        for name in &candidates {
+            let worker = self.workers.get(name).expect("ring nodes are workers");
+            let Some(_guard) = worker.try_acquire() else {
+                self.metrics.counter("occupied_probes").inc();
+                continue;
+            };
+            self.metrics.counter("served_by_tier").inc();
+            return worker.serve(file, offset, len, self.origin.as_ref());
+        }
+        // All candidates occupied (or no worker online): origin fallback.
+        self.metrics.counter("origin_fallbacks").inc();
+        self.origin.read(&file.path, offset, len)
+    }
+}
+
+/// The tier is itself a [`RemoteSource`], so compute-layer caches can stack
+/// on top (Figure 6's full three-layer architecture). Files must be
+/// registered via [`DistCacheTier::register_file`] (or the read falls back
+/// to origin directly).
+impl RemoteSource for DistCacheTier {
+    fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let known = self.known_files.read().get(path).copied();
+        match known {
+            Some((version, length)) => {
+                let file = SourceFile::new(path, version, length, CacheScope::Global);
+                DistCacheTier::read(self, &file, offset, len)
+            }
+            None => {
+                self.metrics.counter("unregistered_reads").inc();
+                self.origin.read(path, offset, len)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgecache_common::clock::SimClock;
+    use edgecache_common::ByteSize;
+    use parking_lot::Mutex;
+    use std::time::Duration;
+
+    struct CountingOrigin {
+        reads: Mutex<u64>,
+    }
+
+    impl CountingOrigin {
+        fn new() -> Arc<Self> {
+            Arc::new(Self { reads: Mutex::new(0) })
+        }
+    }
+
+    impl RemoteSource for CountingOrigin {
+        fn read(&self, _p: &str, offset: u64, len: u64) -> Result<Bytes> {
+            *self.reads.lock() += 1;
+            Ok(Bytes::from(
+                (offset..offset + len).map(|i| (i % 253) as u8).collect::<Vec<u8>>(),
+            ))
+        }
+    }
+
+    fn tier(workers: usize, max_inflight: u32) -> (DistCacheTier, Arc<CountingOrigin>, SimClock) {
+        let clock = SimClock::new();
+        let origin = CountingOrigin::new();
+        let tier = DistCacheTier::new(
+            TierConfig {
+                workers,
+                max_replicas: 2,
+                worker: WorkerCacheConfig {
+                    page_size: ByteSize::kib(4),
+                    max_inflight,
+                    ..Default::default()
+                },
+                ring: RingConfig::default(),
+            },
+            origin.clone(),
+            Arc::new(clock.clone()),
+        )
+        .unwrap();
+        (tier, origin, clock)
+    }
+
+    fn file(path: &str) -> SourceFile {
+        SourceFile::new(path, 1, 1 << 20, CacheScope::Global)
+    }
+
+    #[test]
+    fn repeated_reads_are_served_by_one_worker_cache() {
+        let (tier, origin, _) = tier(4, 64);
+        let f = file("/hot");
+        let a = tier.read(&f, 100, 1000).unwrap();
+        let b = tier.read(&f, 100, 1000).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(*origin.reads.lock(), 1, "page fetched once");
+        // Exactly one worker holds the file's pages.
+        let holders = tier
+            .worker_names()
+            .iter()
+            .filter(|w| tier.worker(w).unwrap().cache().index().len() > 0)
+            .count();
+        assert_eq!(holders, 1);
+        assert_eq!(tier.stats().served_by_tier, 2);
+    }
+
+    #[test]
+    fn occupied_primary_spills_to_secondary_then_origin() {
+        let (tier, origin, _) = tier(3, 1);
+        let f = file("/k");
+        let (primary, secondary) = {
+            let c = tier.ring.candidates(&f.path, 2);
+            (c[0].clone(), c[1].clone())
+        };
+        // Saturate the primary.
+        let p = tier.worker(&primary).unwrap().clone();
+        let _hold_primary = p.try_acquire().unwrap();
+        tier.read(&f, 0, 100).unwrap();
+        assert!(
+            tier.worker(&secondary).unwrap().cache().index().len() > 0,
+            "secondary served the spill"
+        );
+        // Saturate both: origin fallback, nothing cached anywhere new.
+        let s = tier.worker(&secondary).unwrap().clone();
+        let _hold_secondary = s.try_acquire().unwrap();
+        let before = *origin.reads.lock();
+        tier.read(&f, 0, 100).unwrap();
+        assert_eq!(tier.stats().origin_fallbacks, 1);
+        assert_eq!(*origin.reads.lock(), before + 1);
+    }
+
+    #[test]
+    fn offline_worker_is_skipped_and_recovers_lazily() {
+        let (tier, _, clock) = tier(3, 64);
+        let f = file("/x");
+        tier.read(&f, 0, 100).unwrap();
+        let home = tier.ring.candidates(&f.path, 1)[0].clone();
+        tier.worker_offline(&home);
+        clock.advance(Duration::from_secs(60));
+        assert!(tier.sweep_expired().is_empty(), "grace period holds the seat");
+        tier.read(&f, 0, 100).unwrap(); // Served by the next candidate.
+        tier.worker_online(&home);
+        // The original worker still has its pages: an immediate hit.
+        let hits_before = tier.worker(&home).unwrap().cache().stats().hits;
+        tier.read(&f, 0, 100).unwrap();
+        assert_eq!(tier.worker(&home).unwrap().cache().stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn all_workers_offline_means_origin_only() {
+        let (tier, origin, _) = tier(2, 64);
+        for w in tier.worker_names() {
+            tier.worker_offline(&w);
+        }
+        tier.read(&file("/y"), 0, 50).unwrap();
+        assert_eq!(tier.stats().origin_fallbacks, 1);
+        assert_eq!(*origin.reads.lock(), 1);
+    }
+
+    #[test]
+    fn remote_source_view_stacks_under_a_compute_cache() {
+        use edgecache_core::config::CacheConfig;
+        use edgecache_core::manager::CacheManager;
+        use edgecache_pagestore::MemoryPageStore;
+
+        let (tier, origin, _) = tier(3, 64);
+        tier.register_file("/wh/t/f", 1, 1 << 20);
+        let compute = CacheManager::builder(
+            CacheConfig::default().with_page_size(ByteSize::kib(4)),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), ByteSize::mib(64).as_u64())
+        .build()
+        .unwrap();
+        let f = file("/wh/t/f");
+        // Three layers: compute cache → tier worker cache → origin.
+        let a = compute.read(&f, 0, 2048, &tier).unwrap();
+        let b = compute.read(&f, 0, 2048, &tier).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(*origin.reads.lock(), 1, "origin touched once");
+        assert_eq!(compute.stats().hits, 1, "second read hit at compute layer");
+        assert_eq!(tier.stats().served_by_tier, 1, "tier served only the miss");
+    }
+
+    #[test]
+    fn unregistered_paths_fall_back_to_origin() {
+        let (tier, origin, _) = tier(2, 64);
+        let src: &dyn RemoteSource = &tier;
+        src.read("/unknown", 0, 10).unwrap();
+        assert_eq!(*origin.reads.lock(), 1);
+        assert_eq!(tier.metrics().counter("unregistered_reads").get(), 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let clock: SharedClock = Arc::new(SimClock::new());
+        let origin = CountingOrigin::new();
+        assert!(DistCacheTier::new(
+            TierConfig { workers: 0, ..Default::default() },
+            origin.clone(),
+            clock.clone(),
+        )
+        .is_err());
+        assert!(DistCacheTier::new(
+            TierConfig { max_replicas: 0, ..Default::default() },
+            origin,
+            clock,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! One cache-worker node of the distributed tier.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use edgecache_common::clock::SharedClock;
+use edgecache_common::error::Result;
+use edgecache_common::ByteSize;
+use edgecache_core::config::CacheConfig;
+use edgecache_core::manager::{CacheManager, RemoteSource, SourceFile};
+use edgecache_metrics::MetricRegistry;
+use edgecache_pagestore::MemoryPageStore;
+
+/// Configuration for a [`CacheWorker`].
+#[derive(Debug, Clone)]
+pub struct WorkerCacheConfig {
+    /// Local-cache capacity in bytes.
+    pub cache_capacity: u64,
+    /// Cache page size.
+    pub page_size: ByteSize,
+    /// Maximum concurrent requests before the worker reports itself
+    /// occupied (the tier then tries the next replica or falls back).
+    pub max_inflight: u32,
+}
+
+impl Default for WorkerCacheConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity: ByteSize::gib(1).as_u64(),
+            page_size: ByteSize::mib(1),
+            max_inflight: 64,
+        }
+    }
+}
+
+/// A cache-worker node: a local cache plus an occupancy bound.
+pub struct CacheWorker {
+    name: String,
+    cache: CacheManager,
+    inflight: AtomicU32,
+    max_inflight: u32,
+}
+
+/// RAII guard decrementing the worker's in-flight count.
+pub(crate) struct InflightGuard<'a>(&'a AtomicU32);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl CacheWorker {
+    /// Creates a worker with an in-memory page store.
+    pub fn new(name: &str, config: WorkerCacheConfig, clock: SharedClock) -> Result<Self> {
+        let cache = CacheManager::builder(
+            CacheConfig::default().with_page_size(config.page_size),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), config.cache_capacity)
+        .with_clock(clock)
+        .with_metrics(MetricRegistry::new(format!("{name}-cache")))
+        .build()?;
+        Ok(Self {
+            name: name.to_string(),
+            cache,
+            inflight: AtomicU32::new(0),
+            max_inflight: config.max_inflight,
+        })
+    }
+
+    /// The worker's name (its ring identity).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The embedded cache (introspection).
+    pub fn cache(&self) -> &CacheManager {
+        &self.cache
+    }
+
+    /// Current in-flight requests.
+    pub fn inflight(&self) -> u32 {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Tries to reserve a request slot; `None` when the worker is occupied.
+    pub(crate) fn try_acquire(&self) -> Option<InflightGuard<'_>> {
+        let mut cur = self.inflight.load(Ordering::SeqCst);
+        loop {
+            if cur >= self.max_inflight {
+                return None;
+            }
+            match self.inflight.compare_exchange(
+                cur,
+                cur + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Some(InflightGuard(&self.inflight)),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Serves a ranged read through this worker's local cache.
+    pub(crate) fn serve(
+        &self,
+        file: &SourceFile,
+        offset: u64,
+        len: u64,
+        origin: &dyn RemoteSource,
+    ) -> Result<Bytes> {
+        self.cache.read(file, offset, len, origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgecache_common::clock::system_clock;
+    use edgecache_pagestore::CacheScope;
+
+    struct Zero;
+    impl RemoteSource for Zero {
+        fn read(&self, _p: &str, _o: u64, len: u64) -> Result<Bytes> {
+            Ok(Bytes::from(vec![0u8; len as usize]))
+        }
+    }
+
+    #[test]
+    fn inflight_slots_are_bounded() {
+        let w = CacheWorker::new(
+            "w0",
+            WorkerCacheConfig { max_inflight: 2, ..Default::default() },
+            system_clock(),
+        )
+        .unwrap();
+        let g1 = w.try_acquire().unwrap();
+        let _g2 = w.try_acquire().unwrap();
+        assert!(w.try_acquire().is_none(), "occupied at the bound");
+        drop(g1);
+        assert!(w.try_acquire().is_some(), "slot released");
+    }
+
+    #[test]
+    fn serve_caches_locally() {
+        let w = CacheWorker::new("w0", WorkerCacheConfig::default(), system_clock()).unwrap();
+        let file = SourceFile::new("/f", 1, 1 << 20, CacheScope::Global);
+        w.serve(&file, 0, 1024, &Zero).unwrap();
+        w.serve(&file, 0, 1024, &Zero).unwrap();
+        assert_eq!(w.cache().stats().hits, 1);
+    }
+}

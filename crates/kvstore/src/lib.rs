@@ -1,0 +1,17 @@
+//! A small log-structured, persistent key-value store.
+//!
+//! §6.1.1 of the paper: "the metadata, represented as key-value pairs, can
+//! be stored in memory, files, or persistent key-value stores like RocksDB.
+//! ... In enterprise-grade production environments, data is usually cached
+//! in files and metadata in memory or RocksDB." This crate fills the
+//! RocksDB role without the dependency: an append-only log with an
+//! in-memory index, checksummed records, tombstone deletes, crash-tail
+//! recovery, and compaction.
+//!
+//! Not a general-purpose database — the workload is the metadata cache's:
+//! modest key counts, value sizes in the kilobytes, overwhelmingly reads.
+
+pub mod log;
+mod proptests;
+
+pub use log::{CompactionStats, LogKv, LogKvConfig};

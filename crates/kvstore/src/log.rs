@@ -1,0 +1,487 @@
+//! The log-structured store.
+//!
+//! On-disk format: a single `kv.log` file of records,
+//!
+//! ```text
+//! [u32 key_len][u32 val_len | TOMBSTONE][key bytes][val bytes][u64 fnv1a64]
+//! ```
+//!
+//! where the checksum covers the four preceding fields. `open` replays the
+//! log to rebuild the in-memory index; a torn tail (crash mid-append) is
+//! detected by length/checksum and truncated away. `compact` rewrites only
+//! the live records into a fresh log and atomically swaps it in.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use bytes::Bytes;
+use edgecache_common::error::{Error, Result};
+use edgecache_common::hash::fnv1a64;
+use parking_lot::Mutex;
+
+/// `val_len` sentinel marking a delete.
+const TOMBSTONE: u32 = u32::MAX;
+/// Fixed record header length.
+const HEADER: usize = 8;
+/// Trailing checksum length.
+const CHECKSUM: usize = 8;
+
+/// Configuration for [`LogKv`].
+#[derive(Debug, Clone)]
+pub struct LogKvConfig {
+    /// Call `fsync` after every append (durable but slow). The metadata
+    /// cache is rebuildable, so the default is off.
+    pub sync_writes: bool,
+    /// Auto-compact when dead bytes exceed this fraction of the log
+    /// (`0` disables auto-compaction).
+    pub compact_dead_ratio: f64,
+}
+
+impl Default for LogKvConfig {
+    fn default() -> Self {
+        Self { sync_writes: false, compact_dead_ratio: 0.5 }
+    }
+}
+
+/// Statistics from one compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    pub live_records: usize,
+    pub bytes_before: u64,
+    pub bytes_after: u64,
+}
+
+struct Inner {
+    file: File,
+    /// Key → (value offset, value length) into the log file.
+    index: HashMap<Vec<u8>, (u64, u32)>,
+    /// Bytes occupied by overwritten/deleted records.
+    dead_bytes: u64,
+    /// Total log length.
+    log_len: u64,
+}
+
+/// The store handle. All operations take `&self`; internal locking makes it
+/// safe to share behind an `Arc`.
+pub struct LogKv {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+    config: LogKvConfig,
+}
+
+impl std::fmt::Debug for LogKv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogKv")
+            .field("dir", &self.dir)
+            .field("keys", &self.len())
+            .finish()
+    }
+}
+
+fn record_len(key_len: usize, val_len: usize) -> u64 {
+    (HEADER + key_len + val_len + CHECKSUM) as u64
+}
+
+fn checksum(key_len: u32, val_len: u32, key: &[u8], val: &[u8]) -> u64 {
+    let mut buf = Vec::with_capacity(HEADER + key.len() + val.len());
+    buf.extend_from_slice(&key_len.to_le_bytes());
+    buf.extend_from_slice(&val_len.to_le_bytes());
+    buf.extend_from_slice(key);
+    buf.extend_from_slice(val);
+    fnv1a64(&buf)
+}
+
+impl LogKv {
+    /// Opens (or creates) a store in `dir`, replaying the log.
+    pub fn open(dir: impl Into<PathBuf>, config: LogKvConfig) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join("kv.log");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        let (index, dead_bytes, valid_len) = Self::replay(&mut file)?;
+        // Truncate a torn tail so future appends start from a clean record
+        // boundary.
+        let actual_len = file.metadata()?.len();
+        if valid_len < actual_len {
+            file.set_len(valid_len)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(Self {
+            dir,
+            inner: Mutex::new(Inner { file, index, dead_bytes, log_len: valid_len }),
+            config,
+        })
+    }
+
+    /// Scans the log, returning `(index, dead_bytes, valid_prefix_len)`.
+    fn replay(file: &mut File) -> Result<(HashMap<Vec<u8>, (u64, u32)>, u64, u64)> {
+        let mut data = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut data)?;
+        let mut index: HashMap<Vec<u8>, (u64, u32)> = HashMap::new();
+        let mut dead = 0u64;
+        let mut pos = 0usize;
+        while pos + HEADER + CHECKSUM <= data.len() {
+            let key_len =
+                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let val_len_raw =
+                u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let val_len = if val_len_raw == TOMBSTONE { 0 } else { val_len_raw as usize };
+            let total = HEADER + key_len + val_len + CHECKSUM;
+            if pos + total > data.len() {
+                break; // Torn tail.
+            }
+            let key = &data[pos + HEADER..pos + HEADER + key_len];
+            let val = &data[pos + HEADER + key_len..pos + HEADER + key_len + val_len];
+            let stored = u64::from_le_bytes(
+                data[pos + total - CHECKSUM..pos + total]
+                    .try_into()
+                    .expect("8 bytes"),
+            );
+            if checksum(key_len as u32, val_len_raw, key, val) != stored {
+                break; // Torn/corrupt tail.
+            }
+            if val_len_raw == TOMBSTONE {
+                if let Some((_, old_len)) = index.remove(key) {
+                    dead += record_len(key_len, old_len as usize);
+                }
+                dead += record_len(key_len, 0); // The tombstone itself.
+            } else {
+                if let Some((_, old_len)) = index.insert(
+                    key.to_vec(),
+                    ((pos + HEADER + key_len) as u64, val_len as u32),
+                ) {
+                    dead += record_len(key_len, old_len as usize);
+                }
+            }
+            pos += total;
+        }
+        Ok((index, dead, pos as u64))
+    }
+
+    fn append(&self, inner: &mut Inner, key: &[u8], val: Option<&[u8]>) -> Result<()> {
+        let key_len = key.len() as u32;
+        let (val_len_raw, val) = match val {
+            Some(v) => (v.len() as u32, v),
+            None => (TOMBSTONE, &[][..]),
+        };
+        let mut buf = Vec::with_capacity(HEADER + key.len() + val.len() + CHECKSUM);
+        buf.extend_from_slice(&key_len.to_le_bytes());
+        buf.extend_from_slice(&val_len_raw.to_le_bytes());
+        buf.extend_from_slice(key);
+        buf.extend_from_slice(val);
+        buf.extend_from_slice(&checksum(key_len, val_len_raw, key, val).to_le_bytes());
+        inner.file.write_all(&buf)?;
+        if self.config.sync_writes {
+            inner.file.sync_data()?;
+        }
+        let value_offset = inner.log_len + (HEADER + key.len()) as u64;
+        inner.log_len += buf.len() as u64;
+        match val_len_raw {
+            TOMBSTONE => {
+                if let Some((_, old_len)) = inner.index.remove(key) {
+                    inner.dead_bytes += record_len(key.len(), old_len as usize);
+                }
+                inner.dead_bytes += record_len(key.len(), 0);
+            }
+            len => {
+                if let Some((_, old_len)) =
+                    inner.index.insert(key.to_vec(), (value_offset, len))
+                {
+                    inner.dead_bytes += record_len(key.len(), old_len as usize);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores `key → value`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        if value.len() as u32 == TOMBSTONE {
+            return Err(Error::InvalidArgument("value too large".into()));
+        }
+        let mut inner = self.inner.lock();
+        self.append(&mut inner, key, Some(value))?;
+        drop(inner);
+        self.maybe_autocompact()
+    }
+
+    /// Fetches a value.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        let mut inner = self.inner.lock();
+        let Some(&(offset, len)) = inner.index.get(key) else {
+            return Ok(None);
+        };
+        let mut buf = vec![0u8; len as usize];
+        inner.file.seek(SeekFrom::Start(offset))?;
+        inner.file.read_exact(&mut buf)?;
+        inner.file.seek(SeekFrom::End(0))?;
+        Ok(Some(Bytes::from(buf)))
+    }
+
+    /// Deletes a key. Returns whether it existed.
+    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        let mut inner = self.inner.lock();
+        if !inner.index.contains_key(key) {
+            return Ok(false);
+        }
+        self.append(&mut inner, key, None)?;
+        drop(inner);
+        self.maybe_autocompact()?;
+        Ok(true)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    /// Whether the store holds no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current log length in bytes (live + dead).
+    pub fn log_bytes(&self) -> u64 {
+        self.inner.lock().log_len
+    }
+
+    /// Bytes occupied by dead (overwritten/deleted) records.
+    pub fn dead_bytes(&self) -> u64 {
+        self.inner.lock().dead_bytes
+    }
+
+    fn maybe_autocompact(&self) -> Result<()> {
+        if self.config.compact_dead_ratio <= 0.0 {
+            return Ok(());
+        }
+        let (dead, total) = {
+            let inner = self.inner.lock();
+            (inner.dead_bytes, inner.log_len)
+        };
+        if total > 4096 && dead as f64 / total as f64 >= self.config.compact_dead_ratio {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the live records into a fresh log and swaps it in.
+    pub fn compact(&self) -> Result<CompactionStats> {
+        let mut inner = self.inner.lock();
+        let bytes_before = inner.log_len;
+        let tmp_path = self.dir.join("kv.log.compact");
+        let live: Vec<(Vec<u8>, Vec<u8>)> = {
+            let keys: Vec<(Vec<u8>, (u64, u32))> =
+                inner.index.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            let mut out = Vec::with_capacity(keys.len());
+            for (key, (offset, len)) in keys {
+                let mut buf = vec![0u8; len as usize];
+                inner.file.seek(SeekFrom::Start(offset))?;
+                inner.file.read_exact(&mut buf)?;
+                out.push((key, buf));
+            }
+            out
+        };
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            for (key, val) in &live {
+                let key_len = key.len() as u32;
+                let val_len = val.len() as u32;
+                tmp.write_all(&key_len.to_le_bytes())?;
+                tmp.write_all(&val_len.to_le_bytes())?;
+                tmp.write_all(key)?;
+                tmp.write_all(val)?;
+                tmp.write_all(&checksum(key_len, val_len, key, val).to_le_bytes())?;
+            }
+            tmp.sync_data()?;
+        }
+        fs::rename(&tmp_path, self.dir.join("kv.log"))?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(self.dir.join("kv.log"))?;
+        let (index, dead, len) = Self::replay(&mut file)?;
+        file.seek(SeekFrom::End(0))?;
+        *inner = Inner { file, index, dead_bytes: dead, log_len: len };
+        Ok(CompactionStats {
+            live_records: live.len(),
+            bytes_before,
+            bytes_after: inner.log_len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("edgecache-kv-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn no_autocompact() -> LogKvConfig {
+        LogKvConfig { compact_dead_ratio: 0.0, ..Default::default() }
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let dir = temp("basic");
+        let kv = LogKv::open(&dir, LogKvConfig::default()).unwrap();
+        assert!(kv.get(b"missing").unwrap().is_none());
+        kv.put(b"a", b"alpha").unwrap();
+        kv.put(b"b", b"beta").unwrap();
+        assert_eq!(kv.get(b"a").unwrap().unwrap().as_ref(), b"alpha");
+        kv.put(b"a", b"alpha2").unwrap();
+        assert_eq!(kv.get(b"a").unwrap().unwrap().as_ref(), b"alpha2");
+        assert!(kv.delete(b"a").unwrap());
+        assert!(!kv.delete(b"a").unwrap());
+        assert!(kv.get(b"a").unwrap().is_none());
+        assert_eq!(kv.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_recovers_state() {
+        let dir = temp("reopen");
+        {
+            let kv = LogKv::open(&dir, LogKvConfig::default()).unwrap();
+            for i in 0..100u32 {
+                kv.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            }
+            kv.delete(b"k50").unwrap();
+            kv.put(b"k51", b"updated").unwrap();
+        }
+        let kv = LogKv::open(&dir, LogKvConfig::default()).unwrap();
+        assert_eq!(kv.len(), 99);
+        assert!(kv.get(b"k50").unwrap().is_none());
+        assert_eq!(kv.get(b"k51").unwrap().unwrap().as_ref(), b"updated");
+        assert_eq!(kv.get(b"k7").unwrap().unwrap().as_ref(), b"v7");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let dir = temp("torn");
+        {
+            let kv = LogKv::open(&dir, LogKvConfig::default()).unwrap();
+            kv.put(b"good", b"value").unwrap();
+        }
+        // Simulate a crash mid-append: garbage half-record at the tail.
+        let path = dir.join("kv.log");
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[9, 0, 0, 0, 5, 0]).unwrap(); // Truncated header.
+        drop(f);
+        let kv = LogKv::open(&dir, LogKvConfig::default()).unwrap();
+        assert_eq!(kv.len(), 1);
+        assert_eq!(kv.get(b"good").unwrap().unwrap().as_ref(), b"value");
+        // Appending after recovery works.
+        kv.put(b"next", b"ok").unwrap();
+        drop(kv);
+        let kv = LogKv::open(&dir, LogKvConfig::default()).unwrap();
+        assert_eq!(kv.get(b"next").unwrap().unwrap().as_ref(), b"ok");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tail_checksum_is_dropped() {
+        let dir = temp("corrupt");
+        {
+            let kv = LogKv::open(&dir, LogKvConfig::default()).unwrap();
+            kv.put(b"one", b"1").unwrap();
+            kv.put(b"two", b"2").unwrap();
+        }
+        // Flip a byte in the LAST record's value.
+        let path = dir.join("kv.log");
+        let mut data = fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - CHECKSUM - 1] ^= 0xff;
+        fs::write(&path, data).unwrap();
+        let kv = LogKv::open(&dir, LogKvConfig::default()).unwrap();
+        assert_eq!(kv.len(), 1, "corrupt record and everything after dropped");
+        assert_eq!(kv.get(b"one").unwrap().unwrap().as_ref(), b"1");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_shrinks_the_log() {
+        let dir = temp("compact");
+        let kv = LogKv::open(&dir, no_autocompact()).unwrap();
+        for round in 0..10 {
+            for i in 0..20u32 {
+                kv.put(format!("k{i}").as_bytes(), vec![round as u8; 100].as_slice()).unwrap();
+            }
+        }
+        let before = kv.log_bytes();
+        assert!(kv.dead_bytes() > 0);
+        let stats = kv.compact().unwrap();
+        assert_eq!(stats.live_records, 20);
+        assert!(stats.bytes_after < before / 5, "{stats:?}");
+        assert_eq!(kv.dead_bytes(), 0);
+        // Data intact after compaction and after reopen.
+        assert_eq!(kv.get(b"k3").unwrap().unwrap().as_ref(), &[9u8; 100][..]);
+        drop(kv);
+        let kv = LogKv::open(&dir, no_autocompact()).unwrap();
+        assert_eq!(kv.len(), 20);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn autocompaction_triggers_on_dead_ratio() {
+        let dir = temp("auto");
+        let kv = LogKv::open(
+            &dir,
+            LogKvConfig { compact_dead_ratio: 0.5, ..Default::default() },
+        )
+        .unwrap();
+        for _ in 0..200 {
+            kv.put(b"same-key", &[7u8; 200]).unwrap();
+        }
+        // Overwrites made most of the log dead; autocompaction kept it small.
+        assert!(kv.log_bytes() < 50_000, "{}", kv.log_bytes());
+        assert_eq!(kv.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_values_and_keys() {
+        let dir = temp("empty");
+        let kv = LogKv::open(&dir, LogKvConfig::default()).unwrap();
+        kv.put(b"", b"").unwrap();
+        assert_eq!(kv.get(b"").unwrap().unwrap().len(), 0);
+        assert!(kv.delete(b"").unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let dir = temp("concurrent");
+        let kv = std::sync::Arc::new(LogKv::open(&dir, no_autocompact()).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let kv = std::sync::Arc::clone(&kv);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    let key = format!("t{t}-k{i}");
+                    kv.put(key.as_bytes(), format!("v{i}").as_bytes()).unwrap();
+                    assert_eq!(
+                        kv.get(key.as_bytes()).unwrap().unwrap().as_ref(),
+                        format!("v{i}").as_bytes()
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kv.len(), 400);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,79 @@
+//! Model-based property tests: arbitrary operation sequences against the
+//! log store must match a plain `HashMap`, including across reopen and
+//! compaction boundaries.
+
+#![cfg(test)]
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use crate::log::{LogKv, LogKvConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+    Reopen,
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => any::<u8>().prop_map(Op::Delete),
+        1 => Just(Op::Reopen),
+        1 => Just(Op::Compact),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn log_kv_matches_hashmap_model(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        seed in 0u64..1_000_000,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "edgecache-kv-prop-{}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = LogKvConfig { compact_dead_ratio: 0.0, ..Default::default() };
+        let mut kv = LogKv::open(&dir, config.clone()).unwrap();
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    kv.put(&[k], &v).unwrap();
+                    model.insert(vec![k], v);
+                }
+                Op::Delete(k) => {
+                    let existed = kv.delete(&[k]).unwrap();
+                    prop_assert_eq!(existed, model.remove(&vec![k]).is_some());
+                }
+                Op::Reopen => {
+                    drop(kv);
+                    kv = LogKv::open(&dir, config.clone()).unwrap();
+                }
+                Op::Compact => {
+                    kv.compact().unwrap();
+                }
+            }
+            // Spot-check a few keys plus full cardinality after every op.
+            prop_assert_eq!(kv.len(), model.len());
+            for k in [0u8, 17, 255] {
+                let got = kv.get(&[k]).unwrap().map(|b| b.to_vec());
+                prop_assert_eq!(&got, &model.get(&vec![k]).cloned());
+            }
+        }
+        // Final exhaustive comparison.
+        for (k, v) in &model {
+            let got = kv.get(k).unwrap().unwrap();
+            prop_assert_eq!(got.as_ref(), &v[..]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,149 @@
+//! Cluster-level metric aggregation.
+//!
+//! The paper's deployments run thousands of local caches; tuning and
+//! debugging them requires "a centralized view of predefined and
+//! user-customized metrics" (§7). [`ClusterAggregator`] merges
+//! [`RegistrySnapshot`]s from many nodes: counters add, gauges add,
+//! histograms merge losslessly (so cluster-level percentiles are computed
+//! over the union of observations, not averaged per node).
+
+use std::collections::BTreeMap;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::registry::RegistrySnapshot;
+
+/// Merges snapshots from many nodes into one cluster-level view.
+#[derive(Debug, Default)]
+pub struct ClusterAggregator {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+    nodes: Vec<String>,
+}
+
+impl ClusterAggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one node's snapshot.
+    pub fn ingest(&mut self, snap: &RegistrySnapshot) {
+        self.nodes.push(snap.name.clone());
+        for (k, v) in &snap.counters {
+            *self.counters.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &snap.gauges {
+            *self.gauges.entry(k.clone()).or_default() += v;
+        }
+        for (k, hs) in &snap.histograms {
+            let entry = self
+                .histograms
+                .entry(k.clone())
+                .or_insert_with(HistogramSnapshot::empty);
+            let merged = Histogram::new();
+            merged.merge_snapshot(entry);
+            merged.merge_snapshot(hs);
+            *entry = merged.snapshot();
+        }
+    }
+
+    /// Number of ingested node snapshots.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Cluster-wide counter total.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Cluster-wide gauge total.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Cluster-wide histogram (merged across nodes), if any node reported it.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms.get(name).map(|s| s.to_histogram())
+    }
+
+    /// Hit ratio derived from `hits` / (`hits` + `misses`) counters, a
+    /// drill-down the paper's dashboards expose. Returns `None` when there is
+    /// no traffic.
+    pub fn ratio(&self, numerator: &str, denominator_extra: &str) -> Option<f64> {
+        let num = self.counter(numerator) as f64;
+        let den = num + self.counter(denominator_extra) as f64;
+        (den > 0.0).then_some(num / den)
+    }
+
+    /// Finalizes into a single cluster-level snapshot.
+    pub fn into_snapshot(self, name: impl Into<String>) -> RegistrySnapshot {
+        RegistrySnapshot {
+            name: name.into(),
+            counters: self.counters,
+            gauges: self.gauges,
+            histograms: self.histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricRegistry;
+
+    fn node_snapshot(name: &str, hits: u64, misses: u64, lat: &[u64]) -> RegistrySnapshot {
+        let m = MetricRegistry::new(name);
+        m.counter("hits").add(hits);
+        m.counter("misses").add(misses);
+        for &l in lat {
+            m.histogram("get_latency_us").record(l);
+        }
+        m.gauge("bytes_cached").set(100);
+        m.snapshot()
+    }
+
+    #[test]
+    fn counters_and_gauges_sum() {
+        let mut agg = ClusterAggregator::new();
+        agg.ingest(&node_snapshot("a", 10, 5, &[]));
+        agg.ingest(&node_snapshot("b", 20, 5, &[]));
+        assert_eq!(agg.node_count(), 2);
+        assert_eq!(agg.counter("hits"), 30);
+        assert_eq!(agg.gauge("bytes_cached"), 200);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut agg = ClusterAggregator::new();
+        agg.ingest(&node_snapshot("a", 75, 25, &[]));
+        assert_eq!(agg.ratio("hits", "misses"), Some(0.75));
+        let empty = ClusterAggregator::new();
+        assert_eq!(empty.ratio("hits", "misses"), None);
+    }
+
+    #[test]
+    fn histograms_merge_across_nodes() {
+        let mut agg = ClusterAggregator::new();
+        // Node `a` is fast, node `b` is slow; cluster P50 must reflect the
+        // union, not a per-node average.
+        agg.ingest(&node_snapshot("a", 0, 0, &[10; 100]));
+        agg.ingest(&node_snapshot("b", 0, 0, &[1000; 100]));
+        let h = agg.histogram("get_latency_us").unwrap();
+        assert_eq!(h.count(), 200);
+        assert_eq!(h.quantile(0.25), Some(10));
+        let p90 = h.quantile(0.90).unwrap();
+        assert!((950..=1050).contains(&p90), "p90 = {p90}");
+    }
+
+    #[test]
+    fn into_snapshot_preserves_totals() {
+        let mut agg = ClusterAggregator::new();
+        agg.ingest(&node_snapshot("a", 7, 0, &[5]));
+        let snap = agg.into_snapshot("cluster");
+        assert_eq!(snap.name, "cluster");
+        assert_eq!(snap.counter("hits"), 7);
+        assert_eq!(snap.histograms["get_latency_us"].count, 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Metrics for the `edgecache` workspace.
+//!
+//! The paper stresses that "an aggregated metrics system is crucial for cache
+//! tuning and debugging" (§7): thousands of local cache deployments need their
+//! counters rolled up to a cluster-level view, and *error breakdowns* (error
+//! counts per operation and per concrete error type) were called out as the
+//! single most useful debugging signal.
+//!
+//! This crate provides:
+//!
+//! * [`Counter`] and [`Gauge`] — lock-free scalar metrics.
+//! * [`Histogram`] — a log-bucketed histogram with percentile estimation and
+//!   lossless merging, used for latency distributions (P50/P90/P95 figures).
+//! * [`MetricRegistry`] — a named collection of metrics with error-breakdown
+//!   recording, snapshots, and JSON export.
+//! * [`ClusterAggregator`] — merges snapshots from many nodes into one
+//!   cluster-level view (the paper's "aggregated metrics system").
+
+pub mod aggregate;
+pub mod histogram;
+pub mod registry;
+pub mod scalar;
+
+pub use aggregate::ClusterAggregator;
+pub use histogram::{Histogram, HistogramSnapshot, Percentiles};
+pub use registry::{MetricRegistry, RegistrySnapshot};
+pub use scalar::{Counter, Gauge};

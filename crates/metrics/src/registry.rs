@@ -1,0 +1,220 @@
+//! A named collection of metrics with snapshots and error breakdowns.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::scalar::{Counter, Gauge};
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Lookup is by `&str`; the first lookup of a name creates the metric.
+/// Registries are cheap to clone (shared state) and can be embedded in every
+/// cache component. Error breakdowns follow the paper's recommendation (§7):
+/// `record_error("put", "no_space")` maintains a counter per
+/// *(operation, error-kind)* pair.
+///
+/// # Examples
+///
+/// ```
+/// use edgecache_metrics::MetricRegistry;
+/// let m = MetricRegistry::new("cache");
+/// m.counter("hits").inc();
+/// m.histogram("get_latency_us").record(120);
+/// m.record_error("put", "no_space");
+/// let snap = m.snapshot();
+/// assert_eq!(snap.counters["hits"], 1);
+/// assert_eq!(snap.counters["errors.put.no_space"], 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetricRegistry {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    name: String,
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricRegistry {
+    /// Creates a registry identified by `name` (e.g. the node id).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                name: name.into(),
+                counters: RwLock::new(BTreeMap::new()),
+                gauges: RwLock::new(BTreeMap::new()),
+                histograms: RwLock::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// The registry's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.inner.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut w = self.inner.counters.write();
+        Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.inner.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        let mut w = self.inner.gauges.write();
+        Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.inner.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        let mut w = self.inner.histograms.write();
+        Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    /// Records an error for `op` with error kind `kind`
+    /// (maintains the `errors.<op>.<kind>` counter).
+    pub fn record_error(&self, op: &str, kind: &str) {
+        self.counter(&format!("errors.{op}.{kind}")).inc();
+    }
+
+    /// Sum of all error counters for operation `op`.
+    pub fn error_count(&self, op: &str) -> u64 {
+        let prefix = format!("errors.{op}.");
+        self.inner
+            .counters
+            .read()
+            .iter()
+            .filter(|(k, _)| k.starts_with(&prefix))
+            .map(|(_, c)| c.get())
+            .sum()
+    }
+
+    /// Takes a point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            name: self.inner.name.clone(),
+            counters: self
+                .inner
+                .counters
+                .read()
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time, serializable snapshot of a [`MetricRegistry`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Name of the source registry (node id).
+    pub name: String,
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Serializes the snapshot as pretty JSON (the export format, standing in
+    /// for the paper's JMX exporters).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Parses a snapshot from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Returns counter value or 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let m = MetricRegistry::new("n");
+        m.counter("x").inc();
+        m.counter("x").inc();
+        assert_eq!(m.counter("x").get(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = MetricRegistry::new("n");
+        let m2 = m.clone();
+        m.counter("hits").add(5);
+        assert_eq!(m2.counter("hits").get(), 5);
+    }
+
+    #[test]
+    fn error_breakdown() {
+        let m = MetricRegistry::new("n");
+        m.record_error("put", "no_space");
+        m.record_error("put", "no_space");
+        m.record_error("put", "corrupted");
+        m.record_error("get", "timeout");
+        assert_eq!(m.error_count("put"), 3);
+        assert_eq!(m.error_count("get"), 1);
+        assert_eq!(m.error_count("delete"), 0);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("errors.put.no_space"), 2);
+        assert_eq!(snap.counter("errors.put.corrupted"), 1);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let m = MetricRegistry::new("node-7");
+        m.counter("hits").add(10);
+        m.gauge("bytes_cached").set(-3);
+        m.histogram("lat").record(42);
+        let snap = m.snapshot();
+        let json = snap.to_json();
+        let back = RegistrySnapshot::from_json(&json).unwrap();
+        assert_eq!(back.name, "node-7");
+        assert_eq!(back.counter("hits"), 10);
+        assert_eq!(back.gauges["bytes_cached"], -3);
+        assert_eq!(back.histograms["lat"].count, 1);
+    }
+
+    #[test]
+    fn missing_counter_reads_zero() {
+        let snap = MetricRegistry::new("n").snapshot();
+        assert_eq!(snap.counter("nonexistent"), 0);
+    }
+}

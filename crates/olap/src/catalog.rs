@@ -1,0 +1,200 @@
+//! The table catalog: schema → table → partition → data files.
+//!
+//! "In Presto, the data is organized in a partition-table-schema hierarchy.
+//! This hierarchy maps to a tree of nested scopes in Alluxio local cache"
+//! (§4.4). [`TableDef::partition_scope`] performs exactly that mapping.
+
+use std::collections::BTreeMap;
+
+use edgecache_common::error::{Error, Result};
+use edgecache_columnar::Schema;
+use edgecache_pagestore::CacheScope;
+use parking_lot::RwLock;
+
+/// One immutable data file of a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataFile {
+    /// Path in the remote store.
+    pub path: String,
+    /// Version (etag / modification stamp) for cache invalidation.
+    pub version: u64,
+    /// File length in bytes.
+    pub length: u64,
+}
+
+/// One partition: a name (e.g. a date) plus its files.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartitionDef {
+    pub name: String,
+    pub files: Vec<DataFile>,
+}
+
+/// One table: its columnar schema and partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    pub schema_name: String,
+    pub table_name: String,
+    pub columns: Schema,
+    pub partitions: Vec<PartitionDef>,
+}
+
+impl TableDef {
+    /// The cache scope of this table.
+    pub fn scope(&self) -> CacheScope {
+        CacheScope::table(&self.schema_name, &self.table_name)
+    }
+
+    /// The cache scope of one of this table's partitions.
+    pub fn partition_scope(&self, partition: &str) -> CacheScope {
+        CacheScope::partition(&self.schema_name, &self.table_name, partition)
+    }
+
+    /// All files with their partition names.
+    pub fn files(&self) -> impl Iterator<Item = (&str, &DataFile)> {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.files.iter().map(move |f| (p.name.as_str(), f)))
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files().map(|(_, f)| f.length).sum()
+    }
+}
+
+/// The catalog: a registry of tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<BTreeMap<(String, String), TableDef>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a table.
+    pub fn register(&self, table: TableDef) {
+        self.tables
+            .write()
+            .insert((table.schema_name.clone(), table.table_name.clone()), table);
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, schema: &str, table: &str) -> Result<TableDef> {
+        self.tables
+            .read()
+            .get(&(schema.to_string(), table.to_string()))
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("table `{schema}.{table}`")))
+    }
+
+    /// Adds a partition to an existing table.
+    pub fn add_partition(&self, schema: &str, table: &str, partition: PartitionDef) -> Result<()> {
+        let mut tables = self.tables.write();
+        let def = tables
+            .get_mut(&(schema.to_string(), table.to_string()))
+            .ok_or_else(|| Error::NotFound(format!("table `{schema}.{table}`")))?;
+        def.partitions.retain(|p| p.name != partition.name);
+        def.partitions.push(partition);
+        Ok(())
+    }
+
+    /// Drops a partition (the catalog side of the §4.4 "delete an outdated
+    /// partition" flow). Returns the dropped definition.
+    pub fn drop_partition(&self, schema: &str, table: &str, partition: &str) -> Result<PartitionDef> {
+        let mut tables = self.tables.write();
+        let def = tables
+            .get_mut(&(schema.to_string(), table.to_string()))
+            .ok_or_else(|| Error::NotFound(format!("table `{schema}.{table}`")))?;
+        let idx = def
+            .partitions
+            .iter()
+            .position(|p| p.name == partition)
+            .ok_or_else(|| Error::NotFound(format!("partition `{partition}`")))?;
+        Ok(def.partitions.remove(idx))
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<(String, String)> {
+        self.tables.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgecache_columnar::ColumnType;
+
+    fn table() -> TableDef {
+        TableDef {
+            schema_name: "sales".into(),
+            table_name: "orders".into(),
+            columns: Schema::new(vec![("id", ColumnType::Int64)]),
+            partitions: vec![PartitionDef {
+                name: "2024-01-01".into(),
+                files: vec![DataFile { path: "/w/orders/p0/f0".into(), version: 1, length: 100 }],
+            }],
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let c = Catalog::new();
+        c.register(table());
+        let t = c.table("sales", "orders").unwrap();
+        assert_eq!(t.partitions.len(), 1);
+        assert!(c.table("sales", "nope").is_err());
+        assert_eq!(c.table_names(), vec![("sales".into(), "orders".into())]);
+    }
+
+    #[test]
+    fn scopes_map_to_hierarchy() {
+        let t = table();
+        assert_eq!(t.scope(), CacheScope::table("sales", "orders"));
+        assert_eq!(
+            t.partition_scope("2024-01-01"),
+            CacheScope::partition("sales", "orders", "2024-01-01")
+        );
+    }
+
+    #[test]
+    fn add_and_drop_partition() {
+        let c = Catalog::new();
+        c.register(table());
+        c.add_partition(
+            "sales",
+            "orders",
+            PartitionDef {
+                name: "2024-01-02".into(),
+                files: vec![DataFile { path: "/w/orders/p1/f0".into(), version: 1, length: 50 }],
+            },
+        )
+        .unwrap();
+        let t = c.table("sales", "orders").unwrap();
+        assert_eq!(t.partitions.len(), 2);
+        assert_eq!(t.total_bytes(), 150);
+        assert_eq!(t.files().count(), 2);
+
+        let dropped = c.drop_partition("sales", "orders", "2024-01-01").unwrap();
+        assert_eq!(dropped.files.len(), 1);
+        assert_eq!(c.table("sales", "orders").unwrap().partitions.len(), 1);
+        assert!(c.drop_partition("sales", "orders", "2024-01-01").is_err());
+    }
+
+    #[test]
+    fn add_partition_replaces_same_name() {
+        let c = Catalog::new();
+        c.register(table());
+        c.add_partition(
+            "sales",
+            "orders",
+            PartitionDef { name: "2024-01-01".into(), files: vec![] },
+        )
+        .unwrap();
+        let t = c.table("sales", "orders").unwrap();
+        assert_eq!(t.partitions.len(), 1);
+        assert!(t.partitions[0].files.is_empty());
+    }
+}

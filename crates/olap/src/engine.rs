@@ -1,0 +1,669 @@
+//! The coordinator/engine: planning, soft-affinity scheduling, distributed
+//! execution, and per-query stats.
+//!
+//! Queries run functionally for real; *time* is simulated. Each worker
+//! executes its splits sequentially on its own virtual timeline; the query's
+//! wall time is the slowest worker's timeline (the critical path) plus a
+//! coordinator overhead, matching how a Presto stage completes when its last
+//! task does.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use edgecache_common::clock::SharedClock;
+use edgecache_common::error::{Error, Result};
+use edgecache_columnar::Value;
+use edgecache_core::manager::RemoteSource;
+
+use crate::catalog::{Catalog, DataFile};
+use crate::plan::{JoinClause, QueryPlan};
+use crate::scheduler::{SchedulerConfig, SoftAffinityScheduler};
+use crate::stats::{QueryStatsCollector, RuntimeStats};
+use crate::worker::{PartialAgg, PreparedJoin, Worker, WorkerConfig};
+
+/// Engine-level configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker nodes.
+    pub workers: usize,
+    pub scheduler: SchedulerConfig,
+    pub worker: WorkerConfig,
+    /// Fixed coordinator overhead added to every query (plan + dispatch).
+    pub coordinator_overhead: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            scheduler: SchedulerConfig::default(),
+            worker: WorkerConfig::default(),
+            coordinator_overhead: Duration::from_millis(20),
+        }
+    }
+}
+
+/// A query result: rows plus runtime statistics.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub rows: Vec<Vec<Value>>,
+    pub stats: RuntimeStats,
+}
+
+/// The engine: catalog + coordinator + workers.
+pub struct Engine {
+    catalog: Arc<Catalog>,
+    workers: HashMap<String, Worker>,
+    scheduler: SoftAffinityScheduler,
+    remote: Arc<dyn RemoteSource + Send + Sync>,
+    collector: QueryStatsCollector,
+    config: EngineConfig,
+    next_query: AtomicU64,
+}
+
+impl Engine {
+    /// Builds an engine over `remote` storage.
+    pub fn new(
+        catalog: Arc<Catalog>,
+        remote: Arc<dyn RemoteSource + Send + Sync>,
+        config: EngineConfig,
+        clock: SharedClock,
+    ) -> Result<Self> {
+        if config.workers == 0 {
+            return Err(Error::InvalidArgument("engine needs at least one worker".into()));
+        }
+        let names: Vec<String> = (0..config.workers).map(|i| format!("worker-{i}")).collect();
+        let mut workers = HashMap::new();
+        for name in &names {
+            workers.insert(
+                name.clone(),
+                Worker::new(name, config.worker.clone(), clock.clone())?,
+            );
+        }
+        let scheduler = SoftAffinityScheduler::new(&names, config.scheduler.clone(), clock);
+        Ok(Self {
+            catalog,
+            workers,
+            scheduler,
+            remote,
+            collector: QueryStatsCollector::new(),
+            config,
+            next_query: AtomicU64::new(1),
+        })
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The scheduler (for node lifecycle in tests/experiments).
+    pub fn scheduler(&self) -> &SoftAffinityScheduler {
+        &self.scheduler
+    }
+
+    /// The per-table stats collector (§6.1.3).
+    pub fn stats_collector(&self) -> &QueryStatsCollector {
+        &self.collector
+    }
+
+    /// A worker by name.
+    pub fn worker(&self, name: &str) -> Option<&Worker> {
+        self.workers.get(name)
+    }
+
+    /// All worker names.
+    pub fn worker_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.workers.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Drops a partition everywhere: catalog, and each worker's cached pages
+    /// for that partition scope (the §4.4 bulk-delete flow).
+    pub fn drop_partition(&self, schema: &str, table: &str, partition: &str) -> Result<usize> {
+        self.catalog.drop_partition(schema, table, partition)?;
+        let scope = edgecache_pagestore::CacheScope::partition(schema, table, partition);
+        let mut removed = 0;
+        for worker in self.workers.values() {
+            if let Some(cache) = worker.cache() {
+                removed += cache.delete_scope(&scope);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Builds the broadcast hash table for one join clause by scanning the
+    /// dimension table as an internal (join-free) query — so the build side
+    /// also flows through the workers' local caches, just like Presto's
+    /// broadcast exchange reads.
+    fn prepare_join(&self, clause: &JoinClause) -> Result<(PreparedJoin, RuntimeStats)> {
+        let mut projection: Vec<&str> = vec![clause.dim_key.as_str()];
+        projection.extend(
+            clause
+                .dim_columns
+                .iter()
+                .filter(|c| **c != clause.dim_key)
+                .map(String::as_str),
+        );
+        let mut dim_plan = QueryPlan::scan(&clause.dim_schema, &clause.dim_table, &projection);
+        if let Some(f) = &clause.dim_filter {
+            dim_plan = dim_plan.filter(f.clone());
+        }
+        let result = self.execute(&dim_plan)?;
+        let mut map = HashMap::with_capacity(result.rows.len());
+        for row in result.rows {
+            let key = match &row[0] {
+                Value::Int64(k) => *k,
+                other => {
+                    return Err(Error::InvalidArgument(format!(
+                        "join key `{}` must be int64, got {}",
+                        clause.dim_key,
+                        other.column_type()
+                    )))
+                }
+            };
+            let mut values: Vec<(String, Value)> = Vec::with_capacity(clause.dim_columns.len());
+            for name in &clause.dim_columns {
+                let value = if name == &clause.dim_key {
+                    row[0].clone()
+                } else {
+                    let idx = 1 + clause
+                        .dim_columns
+                        .iter()
+                        .filter(|c| **c != clause.dim_key)
+                        .position(|c| c == name)
+                        .expect("projected above");
+                    row[idx].clone()
+                };
+                values.push((name.clone(), value));
+            }
+            // Duplicate dimension keys keep the last row (dimension tables
+            // are keyed; duplicates indicate generator noise).
+            map.insert(key, Arc::new(values));
+        }
+        Ok((
+            PreparedJoin { fact_key: clause.fact_key.clone(), map: Arc::new(map) },
+            result.stats,
+        ))
+    }
+
+    /// Executes a query.
+    pub fn execute(&self, plan: &QueryPlan) -> Result<QueryResult> {
+        let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
+        let table = self.catalog.table(&plan.schema, &plan.table)?;
+
+        // Broadcast-join build sides, prepared up front; their scan costs
+        // are part of this query's time and traffic.
+        let mut joins = Vec::with_capacity(plan.joins.len());
+        let mut build_stats: Vec<RuntimeStats> = Vec::new();
+        for clause in &plan.joins {
+            let (prepared, stats) = self.prepare_join(clause)?;
+            joins.push(prepared);
+            build_stats.push(stats);
+        }
+
+        // Enumerate splits: one per data file of the selected partitions.
+        let mut splits: Vec<(String, DataFile)> = Vec::new();
+        for partition in &table.partitions {
+            if !plan.partitions.is_empty() && !plan.partitions.contains(&partition.name) {
+                continue;
+            }
+            for file in &partition.files {
+                splits.push((partition.name.clone(), file.clone()));
+            }
+        }
+
+        // Schedule every split (soft affinity), then execute per worker.
+        // BTreeMap: deterministic worker order makes floating-point
+        // aggregate merges reproducible run to run.
+        let mut assigned: BTreeMap<String, Vec<(String, DataFile, bool)>> = BTreeMap::new();
+        let mut assignments = Vec::with_capacity(splits.len());
+        for (partition, file) in splits {
+            let a = self.scheduler.assign(&file.path)?;
+            assigned
+                .entry(a.worker.clone())
+                .or_default()
+                .push((partition, file, a.use_cache));
+            assignments.push(a);
+        }
+
+        let mut stats = RuntimeStats {
+            query_id,
+            table: format!("{}.{}", plan.schema, plan.table),
+            splits: assignments.len(),
+            ..Default::default()
+        };
+        let mut merged_partial: Option<PartialAgg> = None;
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut critical_path = Duration::ZERO;
+        let mut critical_input = Duration::ZERO;
+        let mut critical_cpu = Duration::ZERO;
+
+        for (worker_name, worker_splits) in &assigned {
+            let worker = self
+                .workers
+                .get(worker_name)
+                .ok_or_else(|| Error::Other(format!("unknown worker {worker_name}")))?;
+            let mut worker_time = Duration::ZERO;
+            let mut worker_input = Duration::ZERO;
+            let mut worker_cpu = Duration::ZERO;
+            for (partition, file, use_cache) in worker_splits {
+                let scope = table.partition_scope(partition);
+                let out = worker.execute_split(
+                    file,
+                    &scope,
+                    plan,
+                    &joins,
+                    self.remote.as_ref(),
+                    *use_cache,
+                )?;
+                worker_time += out.io_time + out.cpu_time;
+                worker_input += out.io_time;
+                worker_cpu += out.cpu_time;
+                stats.rows_scanned += out.rows_scanned;
+                stats.bytes_from_cache += out.bytes_from_cache;
+                stats.bytes_from_remote += out.bytes_from_remote;
+                stats.cache_hits += out.cache_hits;
+                stats.cache_misses += out.cache_misses;
+                match out.partial {
+                    Some(p) => match &mut merged_partial {
+                        Some(m) => m.merge(&p),
+                        None => merged_partial = Some(p),
+                    },
+                    None => rows.extend(out.rows),
+                }
+            }
+            if worker_time > critical_path {
+                critical_path = worker_time;
+                critical_input = worker_input;
+                critical_cpu = worker_cpu;
+            }
+        }
+
+        for a in &assignments {
+            self.scheduler.complete(&a.worker);
+        }
+
+        if let Some(partial) = merged_partial {
+            rows = partial.finalize();
+        }
+        if let Some(limit) = plan.limit {
+            rows.truncate(limit);
+        }
+
+        stats.rows_output = rows.len() as u64;
+        stats.input_wall = critical_input;
+        stats.cpu_time = critical_cpu;
+        stats.wall_time = critical_path + self.config.coordinator_overhead;
+        // Join build sides happen before the probe stage: serial prefix.
+        for b in &build_stats {
+            stats.wall_time += b.wall_time;
+            stats.input_wall += b.input_wall;
+            stats.cpu_time += b.cpu_time;
+            stats.rows_scanned += b.rows_scanned;
+            stats.bytes_from_cache += b.bytes_from_cache;
+            stats.bytes_from_remote += b.bytes_from_remote;
+            stats.cache_hits += b.cache_hits;
+            stats.cache_misses += b.cache_misses;
+        }
+        self.collector.record(&stats);
+        Ok(QueryResult { rows, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{PartitionDef, TableDef};
+    use crate::plan::AggExpr;
+    use edgecache_columnar::{ColfWriter, ColumnType, Predicate, Schema};
+    use edgecache_common::clock::SimClock;
+    use edgecache_common::ByteSize;
+    use edgecache_storage::ObjectStore;
+
+    /// Builds a two-partition table in an object store and the catalog.
+    fn setup() -> (Arc<Catalog>, Arc<ObjectStore>, SimClock) {
+        let clock = SimClock::new();
+        let store = Arc::new(ObjectStore::new(Arc::new(clock.clone())));
+        let catalog = Arc::new(Catalog::new());
+        let schema = Schema::new(vec![
+            ("id", ColumnType::Int64),
+            ("region", ColumnType::Utf8),
+            ("amount", ColumnType::Float64),
+        ]);
+        let mut partitions = Vec::new();
+        for (p, base) in [("2024-01-01", 0i64), ("2024-01-02", 1000)] {
+            let mut files = Vec::new();
+            for f in 0..2 {
+                let mut w = ColfWriter::new(schema.clone(), 20);
+                for i in 0..50i64 {
+                    let id = base + f * 50 + i;
+                    w.push_row(vec![
+                        Value::Int64(id),
+                        Value::Utf8(format!("r{}", id % 3)),
+                        Value::Float64(id as f64),
+                    ])
+                    .unwrap();
+                }
+                let bytes = w.finish().unwrap();
+                let path = format!("/wh/sales/{p}/part-{f}.colf");
+                store.put_object(&path, bytes.clone());
+                files.push(DataFile { path, version: 1, length: bytes.len() as u64 });
+            }
+            partitions.push(PartitionDef { name: p.to_string(), files });
+        }
+        catalog.register(TableDef {
+            schema_name: "sales".into(),
+            table_name: "orders".into(),
+            columns: schema,
+            partitions,
+        });
+        (catalog, store, clock)
+    }
+
+    fn engine(catalog: Arc<Catalog>, store: Arc<ObjectStore>, clock: &SimClock) -> Engine {
+        Engine::new(
+            catalog,
+            store,
+            EngineConfig {
+                workers: 3,
+                worker: WorkerConfig {
+                    page_size: ByteSize::kib(1),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            Arc::new(clock.clone()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn count_star_counts_everything() {
+        let (catalog, store, clock) = setup();
+        let e = engine(catalog, store, &clock);
+        let q = QueryPlan::scan("sales", "orders", &[]).aggregate(vec![AggExpr::count()]);
+        let r = e.execute(&q).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int64(200)]]);
+        assert_eq!(r.stats.splits, 4);
+        assert_eq!(r.stats.rows_scanned, 200);
+        assert!(r.stats.wall_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn filtered_projection() {
+        let (catalog, store, clock) = setup();
+        let e = engine(catalog, store, &clock);
+        let q = QueryPlan::scan("sales", "orders", &["id"])
+            .filter(Predicate::Between("id".into(), Value::Int64(95), Value::Int64(104)));
+        let mut r = e.execute(&q).unwrap();
+        r.rows.sort_by_key(|row| match row[0] {
+            Value::Int64(v) => v,
+            _ => 0,
+        });
+        let ids: Vec<i64> = r
+            .rows
+            .iter()
+            .map(|row| match row[0] {
+                Value::Int64(v) => v,
+                _ => panic!(),
+            })
+            .collect();
+        // ids 95..=99 exist in partition 1; 1000..=1004 don't fall in range.
+        assert_eq!(ids, vec![95, 96, 97, 98, 99]);
+    }
+
+    #[test]
+    fn partition_pruning_reduces_scanned_rows() {
+        let (catalog, store, clock) = setup();
+        let e = engine(catalog, store, &clock);
+        let all = QueryPlan::scan("sales", "orders", &[]).aggregate(vec![AggExpr::count()]);
+        let one = all.clone().in_partitions(&["2024-01-02"]);
+        assert_eq!(e.execute(&all).unwrap().stats.rows_scanned, 200);
+        let r = e.execute(&one).unwrap();
+        assert_eq!(r.stats.rows_scanned, 100);
+        assert_eq!(r.rows, vec![vec![Value::Int64(100)]]);
+    }
+
+    #[test]
+    fn group_by_aggregation() {
+        let (catalog, store, clock) = setup();
+        let e = engine(catalog, store, &clock);
+        let q = QueryPlan::scan("sales", "orders", &[])
+            .aggregate(vec![AggExpr::count(), AggExpr::sum("amount")])
+            .group("region");
+        let r = e.execute(&q).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        let total: i64 = r
+            .rows
+            .iter()
+            .map(|row| match row[1] {
+                Value::Int64(v) => v,
+                _ => panic!(),
+            })
+            .sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn warm_cache_speeds_up_second_run() {
+        let (catalog, store, clock) = setup();
+        let e = engine(catalog, store, &clock);
+        let q = QueryPlan::scan("sales", "orders", &["id", "amount"])
+            .aggregate(vec![AggExpr::sum("amount")]);
+        let cold = e.execute(&q).unwrap();
+        let warm = e.execute(&q).unwrap();
+        assert_eq!(cold.rows, warm.rows, "results identical warm vs cold");
+        assert!(warm.stats.bytes_from_remote < cold.stats.bytes_from_remote);
+        assert!(warm.stats.wall_time < cold.stats.wall_time);
+        assert!(warm.stats.input_wall < cold.stats.input_wall);
+    }
+
+    #[test]
+    fn affinity_routes_same_file_to_same_worker() {
+        let (catalog, store, clock) = setup();
+        let e = engine(catalog, store, &clock);
+        let q = QueryPlan::scan("sales", "orders", &[]).aggregate(vec![AggExpr::count()]);
+        e.execute(&q).unwrap();
+        e.execute(&q).unwrap();
+        // Each file was read twice; with stable affinity each worker's cache
+        // gets a hit on the second pass, so cluster-wide remote bytes stop
+        // growing.
+        let r3 = e.execute(&q).unwrap();
+        assert_eq!(r3.stats.bytes_from_remote, 0, "fully warm after two passes");
+    }
+
+    #[test]
+    fn drop_partition_purges_caches() {
+        let (catalog, store, clock) = setup();
+        let e = engine(catalog, store, &clock);
+        let q = QueryPlan::scan("sales", "orders", &[]).aggregate(vec![AggExpr::count()]);
+        e.execute(&q).unwrap();
+        let removed = e.drop_partition("sales", "orders", "2024-01-01").unwrap();
+        assert!(removed > 0, "cached pages of the partition were deleted");
+        let r = e.execute(&q).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int64(100)]]);
+    }
+
+    #[test]
+    fn stats_collector_aggregates_per_table() {
+        let (catalog, store, clock) = setup();
+        let e = engine(catalog, store, &clock);
+        let q = QueryPlan::scan("sales", "orders", &[]).aggregate(vec![AggExpr::sum("amount")]);
+        for _ in 0..5 {
+            e.execute(&q).unwrap();
+        }
+        let insights = e.stats_collector().table_insights("sales.orders").unwrap();
+        assert_eq!(insights.queries, 5);
+        assert!(insights.hit_rate.unwrap() > 0.5, "later queries hit");
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let (catalog, store, clock) = setup();
+        let e = engine(catalog, store, &clock);
+        let q = QueryPlan::scan("sales", "orders", &["id"]).take(7);
+        let r = e.execute(&q).unwrap();
+        assert_eq!(r.rows.len(), 7);
+        assert_eq!(r.stats.rows_output, 7);
+    }
+
+    #[test]
+    fn unknown_table_fails() {
+        let (catalog, store, clock) = setup();
+        let e = engine(catalog, store, &clock);
+        assert!(e.execute(&QueryPlan::scan("x", "y", &[])).is_err());
+    }
+
+    #[test]
+    fn join_with_dimension_table() {
+        let (catalog, store, clock) = setup();
+        // A dimension keyed by region id (r0, r1, r2 → ids 0, 1, 2).
+        let dim_schema = Schema::new(vec![
+            ("r_id", ColumnType::Int64),
+            ("r_name", ColumnType::Utf8),
+            ("r_tier", ColumnType::Int64),
+        ]);
+        let mut w = ColfWriter::new(dim_schema.clone(), 10);
+        for i in 0..3i64 {
+            w.push_row(vec![
+                Value::Int64(i),
+                Value::Utf8(format!("region-{i}")),
+                Value::Int64(i % 2),
+            ])
+            .unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        store.put_object("/dims/region", bytes.clone());
+        catalog.register(crate::catalog::TableDef {
+            schema_name: "sales".into(),
+            table_name: "region".into(),
+            columns: dim_schema,
+            partitions: vec![crate::catalog::PartitionDef {
+                name: "all".into(),
+                files: vec![DataFile {
+                    path: "/dims/region".into(),
+                    version: 1,
+                    length: bytes.len() as u64,
+                }],
+            }],
+        });
+        let e = engine(catalog, store, &clock);
+
+        // Fact rows have region = "r{id % 3}" as a string; derive the join
+        // key from the numeric id instead: id % 3 == region id. The fact
+        // table has no numeric region key, so join on a synthetic check:
+        // use `id` joined against nothing would be meaningless — instead
+        // group by the joined dimension name via key = id % 3 is not
+        // expressible, so join fact.id → dim.r_id for ids 0..=2 only.
+        let q = QueryPlan::scan("sales", "orders", &["id"])
+            .join("sales", "region", "id", "r_id", &["r_name", "r_tier"], None)
+            .aggregate(vec![AggExpr::count()])
+            .group("r_name");
+        let r = e.execute(&q).unwrap();
+        // Inner join keeps only fact ids 0, 1, 2 (one row each).
+        assert_eq!(r.rows.len(), 3);
+        for row in &r.rows {
+            assert_eq!(row[1], Value::Int64(1));
+        }
+        // Join stats include the build-side scan.
+        assert!(r.stats.rows_scanned >= 203, "{}", r.stats.rows_scanned);
+    }
+
+    #[test]
+    fn join_with_dim_filter_drops_unmatched() {
+        let (catalog, store, clock) = setup();
+        let dim_schema = Schema::new(vec![
+            ("r_id", ColumnType::Int64),
+            ("r_tier", ColumnType::Int64),
+        ]);
+        let mut w = ColfWriter::new(dim_schema.clone(), 10);
+        for i in 0..200i64 {
+            w.push_row(vec![Value::Int64(i), Value::Int64(i % 2)]).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        store.put_object("/dims/r", bytes.clone());
+        catalog.register(crate::catalog::TableDef {
+            schema_name: "sales".into(),
+            table_name: "r".into(),
+            columns: dim_schema,
+            partitions: vec![crate::catalog::PartitionDef {
+                name: "all".into(),
+                files: vec![DataFile { path: "/dims/r".into(), version: 1, length: bytes.len() as u64 }],
+            }],
+        });
+        let e = engine(catalog, store, &clock);
+        // Fact ids 0..100 (partition 1); dim filter keeps even tiers only
+        // → half the fact rows survive the inner join.
+        let q = QueryPlan::scan("sales", "orders", &[])
+            .in_partitions(&["2024-01-01"])
+            .join(
+                "sales",
+                "r",
+                "id",
+                "r_id",
+                &["r_tier"],
+                Some(Predicate::Eq("r_tier".into(), Value::Int64(0))),
+            )
+            .aggregate(vec![AggExpr::count()]);
+        let r = e.execute(&q).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int64(50)]]);
+        // Predicates over joined columns evaluate post-join too.
+        let q2 = QueryPlan::scan("sales", "orders", &[])
+            .in_partitions(&["2024-01-01"])
+            .join("sales", "r", "id", "r_id", &["r_tier"], None)
+            .filter(Predicate::Eq("r_tier".into(), Value::Int64(1)))
+            .aggregate(vec![AggExpr::count()]);
+        let r2 = e.execute(&q2).unwrap();
+        assert_eq!(r2.rows, vec![vec![Value::Int64(50)]]);
+    }
+
+    #[test]
+    fn warm_join_queries_match_cold_and_speed_up() {
+        let (catalog, store, clock) = setup();
+        let dim_schema = Schema::new(vec![
+            ("r_id", ColumnType::Int64),
+            ("r_name", ColumnType::Utf8),
+        ]);
+        let mut w = ColfWriter::new(dim_schema.clone(), 50);
+        for i in 0..2000i64 {
+            w.push_row(vec![Value::Int64(i), Value::Utf8(format!("n{}", i % 7))]).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        store.put_object("/dims/big", bytes.clone());
+        catalog.register(crate::catalog::TableDef {
+            schema_name: "sales".into(),
+            table_name: "big".into(),
+            columns: dim_schema,
+            partitions: vec![crate::catalog::PartitionDef {
+                name: "all".into(),
+                files: vec![DataFile { path: "/dims/big".into(), version: 1, length: bytes.len() as u64 }],
+            }],
+        });
+        let e = engine(catalog, store, &clock);
+        let q = QueryPlan::scan("sales", "orders", &[])
+            .join("sales", "big", "id", "r_id", &["r_name"], None)
+            .aggregate(vec![AggExpr::count(), AggExpr::sum("amount")])
+            .group("r_name");
+        let cold = e.execute(&q).unwrap();
+        let warm = e.execute(&q).unwrap();
+        assert_eq!(cold.rows, warm.rows);
+        assert!(warm.stats.wall_time < cold.stats.wall_time);
+        assert!(warm.stats.bytes_from_remote < cold.stats.bytes_from_remote);
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let (catalog, store, clock) = setup();
+        let r = Engine::new(
+            catalog,
+            store,
+            EngineConfig { workers: 0, ..Default::default() },
+            Arc::new(clock.clone()),
+        );
+        assert!(r.is_err());
+    }
+}

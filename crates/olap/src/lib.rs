@@ -1,0 +1,32 @@
+//! A Presto-like distributed OLAP engine (§2.1.1, §6.1) — the compute layer
+//! the paper embeds its local cache into.
+//!
+//! The engine follows Presto's coordinator–worker architecture:
+//!
+//! * [`catalog`] — schemas, tables, partitions, and their data files; the
+//!   partition hierarchy maps one-to-one onto cache scopes (§4.4).
+//! * [`plan`] — single-table scan–filter–project–aggregate query plans,
+//!   enough to express the TPC-DS-shaped workloads of the evaluation.
+//! * [`scheduler`] — the soft-affinity split scheduler (§6.1.2): consistent
+//!   hashing on the file, a busy check against `max_splits_per_node`, a
+//!   secondary node, and a least-loaded fallback that bypasses the cache.
+//! * [`worker`] — workers embedding the local cache and the metadata cache;
+//!   execution charges simulated I/O and CPU time from device cost models.
+//! * [`engine`] — the coordinator: plans splits, schedules, merges partial
+//!   aggregates, and reports per-query [`RuntimeStats`] (§6.1.3), including
+//!   the `inputWall` metric of the ScanFilterProject stage that Figure 10
+//!   reports.
+
+pub mod catalog;
+pub mod engine;
+pub mod plan;
+pub mod scheduler;
+pub mod stats;
+pub mod worker;
+
+pub use catalog::{Catalog, DataFile, PartitionDef, TableDef};
+pub use engine::{Engine, EngineConfig, QueryResult};
+pub use plan::{AggExpr, AggFunc, JoinClause, QueryPlan};
+pub use scheduler::{SchedulerConfig, SoftAffinityScheduler, SplitAssignment};
+pub use stats::{QueryStatsCollector, RuntimeStats};
+pub use worker::{PreparedJoin, Worker, WorkerConfig};

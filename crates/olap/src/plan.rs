@@ -1,0 +1,233 @@
+//! Query plans: single-table scan–filter–project–aggregate queries.
+//!
+//! Presto plans are far richer, but the cache-relevant behaviour — which
+//! files are scanned, which columns are projected, which row groups survive
+//! pushdown — is fully captured by this shape, and the TPC-DS-like workload
+//! generator emits plans of exactly this form.
+
+use edgecache_columnar::Predicate;
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// One aggregate expression, e.g. `Sum(price)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    /// Aggregated column (ignored for `Count`).
+    pub column: String,
+}
+
+impl AggExpr {
+    /// `COUNT(*)`.
+    pub fn count() -> Self {
+        Self { func: AggFunc::Count, column: String::new() }
+    }
+
+    /// `SUM(column)`.
+    pub fn sum(column: &str) -> Self {
+        Self { func: AggFunc::Sum, column: column.to_string() }
+    }
+
+    /// `AVG(column)`.
+    pub fn avg(column: &str) -> Self {
+        Self { func: AggFunc::Avg, column: column.to_string() }
+    }
+
+    /// `MIN(column)`.
+    pub fn min(column: &str) -> Self {
+        Self { func: AggFunc::Min, column: column.to_string() }
+    }
+
+    /// `MAX(column)`.
+    pub fn max(column: &str) -> Self {
+        Self { func: AggFunc::Max, column: column.to_string() }
+    }
+}
+
+/// An inner equi-join of the scanned (fact) table against a dimension
+/// table, executed as a broadcast hash join: the dimension side is scanned
+/// once (through the caches), filtered, and built into a hash table; fact
+/// rows probe it during the scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Dimension table schema name.
+    pub dim_schema: String,
+    /// Dimension table name.
+    pub dim_table: String,
+    /// Fact-side join key column (must be `Int64`).
+    pub fact_key: String,
+    /// Dimension-side join key column (must be `Int64`).
+    pub dim_key: String,
+    /// Dimension columns made available to projection / predicate /
+    /// aggregates / group-by after the join.
+    pub dim_columns: Vec<String>,
+    /// Filter applied to dimension rows while building the hash table
+    /// (rows failing it are absent, so matching fact rows drop — inner-join
+    /// semantics).
+    pub dim_filter: Option<Predicate>,
+}
+
+/// A query: scan a table (optionally a subset of partitions), join against
+/// dimensions, filter, project, and optionally aggregate (optionally
+/// grouped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    pub schema: String,
+    pub table: String,
+    /// Partition names to scan; empty = all partitions.
+    pub partitions: Vec<String>,
+    /// Projected columns (for non-aggregate queries, the output columns).
+    pub projection: Vec<String>,
+    pub predicate: Option<Predicate>,
+    /// Broadcast hash joins against dimension tables.
+    pub joins: Vec<JoinClause>,
+    /// Aggregates; empty = plain projection query.
+    pub aggregates: Vec<AggExpr>,
+    /// Optional single-column GROUP BY (requires aggregates).
+    pub group_by: Option<String>,
+    /// Optional row limit on the final result.
+    pub limit: Option<usize>,
+}
+
+impl QueryPlan {
+    /// A full-table scan of the given columns.
+    pub fn scan(schema: &str, table: &str, projection: &[&str]) -> Self {
+        Self {
+            schema: schema.to_string(),
+            table: table.to_string(),
+            partitions: Vec::new(),
+            projection: projection.iter().map(|s| s.to_string()).collect(),
+            predicate: None,
+            joins: Vec::new(),
+            aggregates: Vec::new(),
+            group_by: None,
+            limit: None,
+        }
+    }
+
+    /// Adds a broadcast hash join against a dimension table.
+    pub fn join(
+        mut self,
+        dim_schema: &str,
+        dim_table: &str,
+        fact_key: &str,
+        dim_key: &str,
+        dim_columns: &[&str],
+        dim_filter: Option<Predicate>,
+    ) -> Self {
+        self.joins.push(JoinClause {
+            dim_schema: dim_schema.to_string(),
+            dim_table: dim_table.to_string(),
+            fact_key: fact_key.to_string(),
+            dim_key: dim_key.to_string(),
+            dim_columns: dim_columns.iter().map(|s| s.to_string()).collect(),
+            dim_filter,
+        });
+        self
+    }
+
+    /// Adds a predicate.
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.predicate = Some(predicate);
+        self
+    }
+
+    /// Restricts to specific partitions (partition pruning).
+    pub fn in_partitions(mut self, partitions: &[&str]) -> Self {
+        self.partitions = partitions.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Turns the query into an aggregation.
+    pub fn aggregate(mut self, aggregates: Vec<AggExpr>) -> Self {
+        self.aggregates = aggregates;
+        self
+    }
+
+    /// Groups the aggregation by a column.
+    pub fn group(mut self, column: &str) -> Self {
+        self.group_by = Some(column.to_string());
+        self
+    }
+
+    /// Limits the result.
+    pub fn take(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// All column names the query references (projection ∪ predicate ∪
+    /// aggregates ∪ group-by), fact- and dimension-side alike.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.projection.clone();
+        if let Some(p) = &self.predicate {
+            out.extend(p.columns().into_iter().map(String::from));
+        }
+        for agg in &self.aggregates {
+            if !agg.column.is_empty() {
+                out.push(agg.column.clone());
+            }
+        }
+        if let Some(g) = &self.group_by {
+            out.push(g.clone());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The columns the *fact-table scan* must read: every referenced column
+    /// that is not supplied by a join, plus the fact-side join keys.
+    pub fn required_columns(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .referenced_columns()
+            .into_iter()
+            .filter(|c| !self.joins.iter().any(|j| j.dim_columns.contains(c)))
+            .collect();
+        out.extend(self.joins.iter().map(|j| j.fact_key.clone()));
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgecache_columnar::Value;
+
+    #[test]
+    fn builder_chain() {
+        let q = QueryPlan::scan("s", "t", &["a", "b"])
+            .filter(Predicate::Eq("c".into(), Value::Int64(1)))
+            .aggregate(vec![AggExpr::sum("a"), AggExpr::count()])
+            .group("b")
+            .take(10);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.group_by.as_deref(), Some("b"));
+        assert_eq!(q.aggregates.len(), 2);
+    }
+
+    #[test]
+    fn required_columns_unions_everything() {
+        let q = QueryPlan::scan("s", "t", &["a"])
+            .filter(Predicate::Lt("c".into(), Value::Int64(5)))
+            .aggregate(vec![AggExpr::sum("d"), AggExpr::count()])
+            .group("b");
+        assert_eq!(q.required_columns(), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn count_has_no_column() {
+        let q = QueryPlan::scan("s", "t", &[]).aggregate(vec![AggExpr::count()]);
+        assert!(q.required_columns().is_empty());
+    }
+}

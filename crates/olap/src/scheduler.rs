@@ -1,0 +1,257 @@
+//! The soft-affinity split scheduler (§6.1.2, Figure 8).
+//!
+//! "The soft-affinity scheduler uses the consistent hashing algorithm, with
+//! the file as the hashing input, to calculate the preferred worker node for
+//! a split. ... If the initially chosen worker node is deemed busy, the
+//! scheduler opts for a secondary worker node from the hash ring. If the
+//! secondary node also lacks sufficient resources ... the scheduler assigns
+//! the task to the least burdened worker in the cluster. This worker is
+//! instructed to fetch data directly from external storage, bypassing local
+//! caching."
+
+use std::collections::HashMap;
+
+use edgecache_common::clock::SharedClock;
+use edgecache_common::error::{Error, Result};
+use edgecache_common::ring::{ConsistentRing, RingConfig};
+use parking_lot::Mutex;
+
+/// Scheduler tuning knobs (names follow the Presto configuration keys the
+/// paper cites).
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// A node is "busy" when its pending splits reach this bound.
+    pub max_splits_per_node: usize,
+    /// Additional pending-split headroom granted to affinity assignments
+    /// (the `max-pending-splits-per-task` comparison of §6.1.2).
+    pub max_pending_splits_per_task: usize,
+    /// Ring configuration (virtual nodes, lazy-movement timeout).
+    pub ring: RingConfig,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            max_splits_per_node: 100,
+            max_pending_splits_per_task: 10,
+            ring: RingConfig::default(),
+        }
+    }
+}
+
+/// Where a split was placed and whether it may use the local cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitAssignment {
+    pub worker: String,
+    /// `false` when the fallback path was taken: the worker must bypass its
+    /// cache and read straight from external storage.
+    pub use_cache: bool,
+    /// Which choice served: 0 = primary, 1 = secondary, 2 = least-loaded.
+    pub choice: u8,
+}
+
+/// The scheduler: a consistent-hash ring plus per-worker load accounting.
+pub struct SoftAffinityScheduler {
+    ring: ConsistentRing,
+    config: SchedulerConfig,
+    pending: Mutex<HashMap<String, usize>>,
+}
+
+impl SoftAffinityScheduler {
+    /// Creates a scheduler over the given workers.
+    pub fn new(workers: &[String], config: SchedulerConfig, clock: SharedClock) -> Self {
+        let ring = ConsistentRing::new(config.ring.clone(), clock);
+        let mut pending = HashMap::new();
+        for w in workers {
+            ring.add_node(w);
+            pending.insert(w.clone(), 0);
+        }
+        Self { ring, config, pending: Mutex::new(pending) }
+    }
+
+    /// The underlying ring (for node lifecycle events).
+    pub fn ring(&self) -> &ConsistentRing {
+        &self.ring
+    }
+
+    /// Current pending splits of a worker.
+    pub fn pending_of(&self, worker: &str) -> usize {
+        self.pending.lock().get(worker).copied().unwrap_or(0)
+    }
+
+    fn is_busy(&self, pending: &HashMap<String, usize>, worker: &str) -> bool {
+        let load = pending.get(worker).copied().unwrap_or(0);
+        load >= self.config.max_splits_per_node + self.config.max_pending_splits_per_task
+    }
+
+    /// Assigns a split identified by its file path. Increments the chosen
+    /// worker's pending count; call [`Self::complete`] when the split
+    /// finishes.
+    pub fn assign(&self, file_path: &str) -> Result<SplitAssignment> {
+        let (primary, secondary) = self.ring.primary_and_secondary(file_path);
+        let mut pending = self.pending.lock();
+        if let Some(primary) = primary {
+            if !self.is_busy(&pending, &primary) {
+                *pending.entry(primary.clone()).or_default() += 1;
+                return Ok(SplitAssignment { worker: primary, use_cache: true, choice: 0 });
+            }
+            if let Some(secondary) = secondary {
+                if !self.is_busy(&pending, &secondary) {
+                    *pending.entry(secondary.clone()).or_default() += 1;
+                    return Ok(SplitAssignment {
+                        worker: secondary,
+                        use_cache: true,
+                        choice: 1,
+                    });
+                }
+            }
+        }
+        // Fallback: least-burdened online worker, cache bypassed.
+        let online = self.ring.nodes();
+        let least = online
+            .iter()
+            .filter(|w| self.ring.is_online(w))
+            .min_by_key(|w| pending.get(*w).copied().unwrap_or(0))
+            .cloned()
+            .ok_or_else(|| Error::Other("no online workers".into()))?;
+        *pending.entry(least.clone()).or_default() += 1;
+        Ok(SplitAssignment { worker: least, use_cache: false, choice: 2 })
+    }
+
+    /// Marks a split complete on `worker`.
+    pub fn complete(&self, worker: &str) {
+        let mut pending = self.pending.lock();
+        if let Some(n) = pending.get_mut(worker) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Registers a new worker.
+    pub fn add_worker(&self, worker: &str) {
+        self.ring.add_node(worker);
+        self.pending.lock().entry(worker.to_string()).or_insert(0);
+    }
+
+    /// Marks a worker offline (keeps its ring seat per lazy data movement).
+    pub fn worker_offline(&self, worker: &str) {
+        self.ring.mark_offline(worker);
+    }
+
+    /// Marks a worker online again.
+    pub fn worker_online(&self, worker: &str) {
+        self.ring.mark_online(worker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgecache_common::clock::SimClock;
+    use std::sync::Arc;
+
+    fn scheduler(workers: usize, max_per_node: usize) -> SoftAffinityScheduler {
+        let names: Vec<String> = (0..workers).map(|i| format!("w{i}")).collect();
+        SoftAffinityScheduler::new(
+            &names,
+            SchedulerConfig {
+                max_splits_per_node: max_per_node,
+                max_pending_splits_per_task: 0,
+                ring: RingConfig::default(),
+            },
+            Arc::new(SimClock::new()),
+        )
+    }
+
+    #[test]
+    fn same_file_goes_to_same_worker() {
+        let s = scheduler(4, 100);
+        let first = s.assign("/data/f1").unwrap();
+        assert_eq!(first.choice, 0);
+        for _ in 0..10 {
+            let a = s.assign("/data/f1").unwrap();
+            assert_eq!(a.worker, first.worker, "affinity must be stable");
+            assert!(a.use_cache);
+        }
+    }
+
+    #[test]
+    fn busy_primary_overflows_to_secondary() {
+        let s = scheduler(4, 2);
+        let a1 = s.assign("/f").unwrap();
+        let a2 = s.assign("/f").unwrap();
+        assert_eq!(a1.worker, a2.worker);
+        // Primary now at the bound: next goes to the secondary, still cached.
+        let a3 = s.assign("/f").unwrap();
+        assert_ne!(a3.worker, a1.worker);
+        assert!(a3.use_cache);
+        assert_eq!(a3.choice, 1);
+    }
+
+    #[test]
+    fn both_busy_falls_back_least_loaded_without_cache() {
+        let s = scheduler(4, 1);
+        let a1 = s.assign("/f").unwrap();
+        let a2 = s.assign("/f").unwrap();
+        // Primary and secondary are both at the bound now.
+        let a3 = s.assign("/f").unwrap();
+        assert_eq!(a3.choice, 2);
+        assert!(!a3.use_cache, "fallback bypasses the cache");
+        assert_ne!(a3.worker, a1.worker);
+        assert_ne!(a3.worker, a2.worker);
+    }
+
+    #[test]
+    fn completion_frees_capacity() {
+        let s = scheduler(2, 1);
+        let a1 = s.assign("/f").unwrap();
+        s.complete(&a1.worker);
+        let a2 = s.assign("/f").unwrap();
+        assert_eq!(a2.worker, a1.worker);
+        assert_eq!(a2.choice, 0);
+    }
+
+    #[test]
+    fn offline_worker_is_skipped_and_reverts() {
+        let s = scheduler(3, 100);
+        let home = s.assign("/f").unwrap().worker;
+        s.complete(&home);
+        s.worker_offline(&home);
+        let moved = s.assign("/f").unwrap();
+        assert_ne!(moved.worker, home);
+        s.complete(&moved.worker);
+        // Lazy data movement: the worker returns and resumes its keys.
+        s.worker_online(&home);
+        assert_eq!(s.assign("/f").unwrap().worker, home);
+    }
+
+    #[test]
+    fn pending_accounting() {
+        let s = scheduler(2, 100);
+        let a = s.assign("/x").unwrap();
+        assert_eq!(s.pending_of(&a.worker), 1);
+        s.complete(&a.worker);
+        assert_eq!(s.pending_of(&a.worker), 0);
+        s.complete(&a.worker); // Double-complete is harmless.
+        assert_eq!(s.pending_of(&a.worker), 0);
+    }
+
+    #[test]
+    fn no_workers_errors() {
+        let s = scheduler(0, 1);
+        assert!(s.assign("/f").is_err());
+    }
+
+    #[test]
+    fn load_spreads_across_files() {
+        let s = scheduler(4, 1_000_000);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for i in 0..2000 {
+            let a = s.assign(&format!("/file-{i}")).unwrap();
+            *counts.entry(a.worker).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        for (_, c) in counts {
+            assert!((200..900).contains(&c), "rough balance: {c}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Page-oriented storage for the edgecache local cache.
+//!
+//! The paper's cache "transforms file-level read operations into more
+//! granular page-level operations through the *page store*" (§4.1). This
+//! crate implements that page store:
+//!
+//! * [`page`] — page identity ([`FileId`], [`PageId`]) and metadata
+//!   ([`PageInfo`]), plus the hierarchical [`CacheScope`] used for quota and
+//!   bulk operations (§4.4).
+//! * [`store`] — the [`PageStore`] trait: put/get/delete of pages with
+//!   partial (ranged) reads.
+//! * [`local`] — [`LocalPageStore`], the SSD-backed implementation with the
+//!   paper's on-disk layout (§4.3): a top-level `page_size=` directory that
+//!   makes recovery self-describing, hash-bucket fan-out, one directory per
+//!   file ID, self-contained page names, atomic tmp+rename writes, and a
+//!   checksum trailer for corruption detection (§8).
+//! * [`memory`] — [`MemoryPageStore`], an in-memory implementation for tests
+//!   and metadata-style payloads.
+//! * [`faulty`] — [`FaultyStore`], a fault-injection wrapper reproducing the
+//!   failure modes of §8 (corruption, `No space left on device`, read hangs).
+
+pub mod faulty;
+pub mod local;
+pub mod memory;
+pub mod page;
+pub mod store;
+
+pub use faulty::{FaultPlan, FaultyStore};
+pub use local::{LocalPageStore, LocalStoreConfig};
+pub use memory::MemoryPageStore;
+pub use page::{CacheScope, FileId, PageId, PageInfo};
+pub use store::PageStore;

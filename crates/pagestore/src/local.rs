@@ -1,0 +1,579 @@
+//! The SSD-backed page store with the paper's on-disk layout (§4.3).
+//!
+//! ```text
+//! <root>/
+//!   page_size=1048576/            top-level folder: persistent global info
+//!     bucket_00/ … bucket_3f/     hash fan-out bounding directory width
+//!       <file-id, 16 hex chars>/  one directory per cached file
+//!         .fileinfo               original path + version (shared file info)
+//!         0, 1, 2, …              page files, named by page index
+//! ```
+//!
+//! Page information is self-contained in page names and parent folders
+//! (§4.3), so a cold restart can rebuild the in-memory index purely from a
+//! directory scan ([`LocalPageStore::recover`]).
+//!
+//! Each page file is `payload ‖ checksum(8 bytes, FNV-1a LE) ‖ magic(4 bytes)`.
+//! Writes go to a temporary name and are published with an atomic `rename`,
+//! so a concurrent reader sees the old state or the new state, never a torn
+//! page. Full-page reads verify the checksum and surface
+//! [`Error::Corrupted`](edgecache_common::error::Error) — the
+//! signal that drives early eviction (§8, "Corrupted files").
+//!
+//! Page data is rebuildable from the remote source by definition, so files
+//! are *not* fsynced; a crash can lose recently written pages but never
+//! serves a torn one (the checksum catches partial writes that survived a
+//! crash).
+
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use edgecache_common::error::{Error, Result};
+use edgecache_common::hash::fnv1a64;
+
+use crate::page::{FileId, PageId};
+use crate::store::PageStore;
+
+/// Trailer magic marking a complete edgecache page file.
+const PAGE_MAGIC: &[u8; 4] = b"ECP1";
+/// Trailer length: 8-byte checksum + 4-byte magic.
+const TRAILER_LEN: u64 = 12;
+
+/// Configuration for a [`LocalPageStore`].
+#[derive(Debug, Clone)]
+pub struct LocalStoreConfig {
+    /// Nominal page size; recorded in the top-level directory name because
+    /// it is "required to calculate the page index" during recovery (§4.3).
+    pub page_size: u64,
+    /// Number of hash buckets between the page-size directory and the
+    /// per-file directories.
+    pub buckets: usize,
+    /// Verify page checksums during [`LocalPageStore::recover`]; corrupt
+    /// pages are dropped instead of reported.
+    pub verify_on_recovery: bool,
+}
+
+impl Default for LocalStoreConfig {
+    fn default() -> Self {
+        Self {
+            page_size: 1 << 20, // 1 MB, the paper's production default (§7).
+            buckets: 64,
+            verify_on_recovery: false,
+        }
+    }
+}
+
+/// A page store backed by one local directory (one cache directory of the
+/// paper's page store; the allocator in `edgecache-core` spreads pages over
+/// several of these).
+#[derive(Debug)]
+pub struct LocalPageStore {
+    root: PathBuf,
+    base: PathBuf,
+    config: LocalStoreConfig,
+    bytes_used: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+impl LocalPageStore {
+    /// Opens (or creates) a page store rooted at `root`.
+    ///
+    /// If `root` already holds a store with a *different* page size, the old
+    /// contents are wiped: page indexes computed with another page size are
+    /// meaningless, so the cache must restart cold (§4.3).
+    pub fn open(root: impl Into<PathBuf>, config: LocalStoreConfig) -> Result<Self> {
+        if config.page_size == 0 {
+            return Err(Error::InvalidArgument("page_size must be positive".into()));
+        }
+        if config.buckets == 0 {
+            return Err(Error::InvalidArgument("buckets must be positive".into()));
+        }
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let expected = format!("page_size={}", config.page_size);
+        for entry in fs::read_dir(&root)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("page_size=") && name != expected {
+                fs::remove_dir_all(entry.path())?;
+            }
+        }
+        let base = root.join(&expected);
+        fs::create_dir_all(&base)?;
+        let store = Self {
+            root,
+            base,
+            config,
+            bytes_used: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        };
+        // Initialize the usage gauge from what is already on disk.
+        let existing: u64 = store.recover()?.iter().map(|(_, s)| s).sum();
+        store.bytes_used.store(existing, Ordering::SeqCst);
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Detects the page size of an existing store directory from its
+    /// top-level `page_size=` folder (the §4.3 "persistent global
+    /// information"), without opening the store.
+    pub fn detect_page_size(root: impl AsRef<Path>) -> Option<u64> {
+        for entry in fs::read_dir(root).ok()?.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(rest) = name.strip_prefix("page_size=") {
+                if let Ok(size) = rest.parse() {
+                    return Some(size);
+                }
+            }
+        }
+        None
+    }
+
+    /// The configured nominal page size.
+    pub fn page_size(&self) -> u64 {
+        self.config.page_size
+    }
+
+    fn bucket_dir(&self, file: FileId) -> PathBuf {
+        let bucket = (file.0 % self.config.buckets as u64) as usize;
+        self.base.join(format!("bucket_{bucket:02x}"))
+    }
+
+    fn file_dir(&self, file: FileId) -> PathBuf {
+        self.bucket_dir(file).join(file.as_hex())
+    }
+
+    fn page_path(&self, id: PageId) -> PathBuf {
+        self.file_dir(id.file).join(id.index.to_string())
+    }
+
+    /// Records the original path and version of a cached file (the "shared
+    /// file information … such as full paths, and file version information"
+    /// of §4.3). Purely informational; recovery does not require it.
+    pub fn set_file_info(&self, file: FileId, path: &str, version: u64) -> Result<()> {
+        let dir = self.file_dir(file);
+        fs::create_dir_all(&dir)?;
+        let mut f = fs::File::create(dir.join(".fileinfo"))?;
+        writeln!(f, "{path}")?;
+        writeln!(f, "{version}")?;
+        Ok(())
+    }
+
+    /// Reads back the file info recorded by [`Self::set_file_info`].
+    pub fn file_info(&self, file: FileId) -> Option<(String, u64)> {
+        let content = fs::read_to_string(self.file_dir(file).join(".fileinfo")).ok()?;
+        let mut lines = content.lines();
+        let path = lines.next()?.to_string();
+        let version = lines.next()?.parse().ok()?;
+        Some((path, version))
+    }
+
+    /// Reads and verifies a whole page file, returning the payload.
+    fn read_verified(&self, path: &Path, id: PageId) -> Result<Bytes> {
+        let raw = match fs::read(path) {
+            Ok(r) => r,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(Error::NotFound(format!("page {id}")))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if (raw.len() as u64) < TRAILER_LEN || &raw[raw.len() - 4..] != PAGE_MAGIC {
+            return Err(Error::Corrupted(format!("page {id}: bad trailer")));
+        }
+        let payload_len = raw.len() - TRAILER_LEN as usize;
+        let stored = u64::from_le_bytes(
+            raw[payload_len..payload_len + 8]
+                .try_into()
+                .expect("8-byte checksum slice"),
+        );
+        if fnv1a64(&raw[..payload_len]) != stored {
+            return Err(Error::Corrupted(format!("page {id}: checksum mismatch")));
+        }
+        let mut payload = raw;
+        payload.truncate(payload_len);
+        Ok(Bytes::from(payload))
+    }
+}
+
+impl PageStore for LocalPageStore {
+    fn put(&self, id: PageId, data: &[u8]) -> Result<()> {
+        let dir = self.file_dir(id.file);
+        fs::create_dir_all(&dir)?;
+        let final_path = self.page_path(id);
+        let tmp_path = dir.join(format!(
+            ".{}.tmp{}",
+            id.index,
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let old_size = fs::metadata(&final_path)
+            .ok()
+            .map(|m| m.len().saturating_sub(TRAILER_LEN));
+        let write = (|| -> Result<()> {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(data)?;
+            f.write_all(&fnv1a64(data).to_le_bytes())?;
+            f.write_all(PAGE_MAGIC)?;
+            Ok(())
+        })();
+        if let Err(e) = write {
+            let _ = fs::remove_file(&tmp_path);
+            return Err(e);
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        if let Some(old) = old_size {
+            self.bytes_used.fetch_sub(old, Ordering::SeqCst);
+        }
+        self.bytes_used.fetch_add(data.len() as u64, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn get(&self, id: PageId, offset: u64, len: u64) -> Result<Bytes> {
+        let path = self.page_path(id);
+        let meta = match fs::metadata(&path) {
+            Ok(m) => m,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(Error::NotFound(format!("page {id}")))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if meta.len() < TRAILER_LEN {
+            return Err(Error::Corrupted(format!("page {id}: truncated file")));
+        }
+        let payload_len = meta.len() - TRAILER_LEN;
+        if offset == 0 && len >= payload_len {
+            // Full read: verify the checksum trailer.
+            return self.read_verified(&path, id);
+        }
+        if offset >= payload_len {
+            return Ok(Bytes::new());
+        }
+        let take = len.min(payload_len - offset);
+        let mut f = fs::File::open(&path)?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; take as usize];
+        f.read_exact(&mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    fn delete(&self, id: PageId) -> Result<bool> {
+        let path = self.page_path(id);
+        let size = match fs::metadata(&path) {
+            Ok(m) => m.len().saturating_sub(TRAILER_LEN),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => return Err(e.into()),
+        };
+        match fs::remove_file(&path) {
+            Ok(()) => {
+                self.bytes_used.fetch_sub(size, Ordering::SeqCst);
+                // Opportunistically clean the per-file and bucket dirs; a
+                // failure just means they are not empty.
+                let _ = fs::remove_file(self.file_dir(id.file).join(".fileinfo"));
+                let _ = fs::remove_dir(self.file_dir(id.file));
+                Ok(true)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn contains(&self, id: PageId) -> bool {
+        self.page_path(id).is_file()
+    }
+
+    fn bytes_used(&self) -> u64 {
+        self.bytes_used.load(Ordering::SeqCst)
+    }
+
+    fn recover(&self) -> Result<Vec<(PageId, u64)>> {
+        let mut out = Vec::new();
+        for bucket in fs::read_dir(&self.base)? {
+            let bucket = bucket?.path();
+            if !bucket.is_dir() {
+                continue;
+            }
+            for file_dir in fs::read_dir(&bucket)? {
+                let file_dir = file_dir?.path();
+                let Some(file_id) = file_dir
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(FileId::from_hex)
+                else {
+                    continue;
+                };
+                for page in fs::read_dir(&file_dir)? {
+                    let page = page?.path();
+                    let Some(name) = page.file_name().and_then(|n| n.to_str()) else {
+                        continue;
+                    };
+                    if name.contains(".tmp") {
+                        // Leftover in-flight write from a crash: discard.
+                        let _ = fs::remove_file(&page);
+                        continue;
+                    }
+                    let Ok(index) = name.parse::<u64>() else {
+                        continue;
+                    };
+                    let id = PageId::new(file_id, index);
+                    let len = fs::metadata(&page)?.len();
+                    if len < TRAILER_LEN {
+                        let _ = fs::remove_file(&page);
+                        continue;
+                    }
+                    if self.config.verify_on_recovery
+                        && self.read_verified(&page, id).is_err()
+                    {
+                        let _ = fs::remove_file(&page);
+                        continue;
+                    }
+                    out.push((id, len - TRAILER_LEN));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn temp_store() -> (LocalPageStore, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "edgecache-test-{}-{}",
+            std::process::id(),
+            rand_suffix()
+        ));
+        let store = LocalPageStore::open(&dir, LocalStoreConfig::default()).unwrap();
+        (store, dir)
+    }
+
+    fn rand_suffix() -> u64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+            ^ (std::thread::current().id().as_u64_hack())
+    }
+
+    // Stable-ish unique value per thread without unstable APIs.
+    trait ThreadIdHack {
+        fn as_u64_hack(&self) -> u64;
+    }
+    impl ThreadIdHack for std::thread::ThreadId {
+        fn as_u64_hack(&self) -> u64 {
+            edgecache_common::hash::hash_str(&format!("{self:?}"))
+        }
+    }
+
+    fn pid(f: u64, i: u64) -> PageId {
+        PageId::new(FileId(f), i)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (store, dir) = temp_store();
+        let data = vec![7u8; 1000];
+        store.put(pid(1, 0), &data).unwrap();
+        assert_eq!(store.get_full(pid(1, 0)).unwrap().as_ref(), &data[..]);
+        assert_eq!(store.bytes_used(), 1000);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn partial_reads() {
+        let (store, dir) = temp_store();
+        let data: Vec<u8> = (0..=255u8).collect();
+        store.put(pid(2, 3), &data).unwrap();
+        assert_eq!(store.get(pid(2, 3), 10, 5).unwrap().as_ref(), &data[10..15]);
+        assert_eq!(store.get(pid(2, 3), 250, 100).unwrap().as_ref(), &data[250..]);
+        assert!(store.get(pid(2, 3), 300, 10).unwrap().is_empty());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_page_is_not_found() {
+        let (store, dir) = temp_store();
+        assert!(matches!(store.get_full(pid(9, 9)), Err(Error::NotFound(_))));
+        assert!(!store.contains(pid(9, 9)));
+        assert!(!store.delete(pid(9, 9)).unwrap());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn overwrite_replaces_and_accounts() {
+        let (store, dir) = temp_store();
+        store.put(pid(1, 0), &[1u8; 500]).unwrap();
+        store.put(pid(1, 0), &[2u8; 200]).unwrap();
+        assert_eq!(store.bytes_used(), 200);
+        assert_eq!(store.get_full(pid(1, 0)).unwrap().as_ref(), &[2u8; 200][..]);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let (store, dir) = temp_store();
+        store.put(pid(1, 0), &[1u8; 500]).unwrap();
+        store.put(pid(1, 1), &[1u8; 300]).unwrap();
+        assert!(store.delete(pid(1, 0)).unwrap());
+        assert_eq!(store.bytes_used(), 300);
+        assert!(!store.contains(pid(1, 0)));
+        assert!(store.contains(pid(1, 1)));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corruption_is_detected_on_full_read() {
+        let (store, dir) = temp_store();
+        store.put(pid(4, 0), b"important payload").unwrap();
+        // Flip a payload byte behind the store's back.
+        let path = store.page_path(pid(4, 0));
+        let mut raw = fs::read(&path).unwrap();
+        raw[3] ^= 0xff;
+        fs::write(&path, &raw).unwrap();
+        assert!(matches!(store.get_full(pid(4, 0)), Err(Error::Corrupted(_))));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn truncated_file_is_corrupted() {
+        let (store, dir) = temp_store();
+        store.put(pid(4, 1), b"0123456789").unwrap();
+        let path = store.page_path(pid(4, 1));
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..5]).unwrap();
+        assert!(matches!(store.get_full(pid(4, 1)), Err(Error::Corrupted(_))));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn recovery_rebuilds_index() {
+        let (store, dir) = temp_store();
+        let pages: HashSet<(PageId, u64)> = [(pid(1, 0), 100u64), (pid(1, 1), 50), (pid(2, 0), 75)]
+            .into_iter()
+            .collect();
+        for &(id, size) in &pages {
+            store.put(id, &vec![0xabu8; size as usize]).unwrap();
+        }
+        drop(store);
+        // Re-open: the constructor runs recovery for usage accounting.
+        let store = LocalPageStore::open(&dir, LocalStoreConfig::default()).unwrap();
+        let recovered: HashSet<(PageId, u64)> = store.recover().unwrap().into_iter().collect();
+        assert_eq!(recovered, pages);
+        assert_eq!(store.bytes_used(), 225);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn recovery_discards_tmp_files() {
+        let (store, dir) = temp_store();
+        store.put(pid(1, 0), &[1u8; 10]).unwrap();
+        // Simulate a crash mid-write.
+        let tmp = store.file_dir(FileId(1)).join(".7.tmp99");
+        fs::write(&tmp, b"partial").unwrap();
+        let recovered = store.recover().unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert!(!tmp.exists(), "tmp file must be cleaned up");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn recovery_with_verification_drops_corrupt_pages() {
+        let dir = std::env::temp_dir().join(format!("edgecache-verify-{}", rand_suffix()));
+        let config = LocalStoreConfig { verify_on_recovery: true, ..Default::default() };
+        let store = LocalPageStore::open(&dir, config.clone()).unwrap();
+        store.put(pid(1, 0), b"good").unwrap();
+        store.put(pid(1, 1), b"bad!").unwrap();
+        let path = store.page_path(pid(1, 1));
+        let mut raw = fs::read(&path).unwrap();
+        raw[0] ^= 0x01;
+        fs::write(&path, &raw).unwrap();
+        let recovered = store.recover().unwrap();
+        assert_eq!(recovered, vec![(pid(1, 0), 4)]);
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn changed_page_size_wipes_old_cache() {
+        let dir = std::env::temp_dir().join(format!("edgecache-resize-{}", rand_suffix()));
+        let store =
+            LocalPageStore::open(&dir, LocalStoreConfig { page_size: 1 << 20, ..Default::default() })
+                .unwrap();
+        store.put(pid(1, 0), &[5u8; 64]).unwrap();
+        drop(store);
+        let store =
+            LocalPageStore::open(&dir, LocalStoreConfig { page_size: 1 << 16, ..Default::default() })
+                .unwrap();
+        assert_eq!(store.bytes_used(), 0);
+        assert!(store.recover().unwrap().is_empty());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn file_info_round_trip() {
+        let (store, dir) = temp_store();
+        store
+            .set_file_info(FileId(42), "/warehouse/sales/part-0.colf", 1700000000)
+            .unwrap();
+        assert_eq!(
+            store.file_info(FileId(42)),
+            Some(("/warehouse/sales/part-0.colf".to_string(), 1700000000))
+        );
+        assert_eq!(store.file_info(FileId(43)), None);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn empty_page_is_allowed() {
+        let (store, dir) = temp_store();
+        store.put(pid(8, 0), &[]).unwrap();
+        assert!(store.get_full(pid(8, 0)).unwrap().is_empty());
+        assert_eq!(store.bytes_used(), 0);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn concurrent_put_get_different_pages() {
+        let (store, dir) = temp_store();
+        let store = std::sync::Arc::new(store);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let store = std::sync::Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let id = pid(t, i);
+                    let payload = vec![(t as u8) ^ (i as u8); 128];
+                    store.put(id, &payload).unwrap();
+                    assert_eq!(store.get_full(id).unwrap().as_ref(), &payload[..]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.bytes_used(), 4 * 50 * 128);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("edgecache-bad-{}", rand_suffix()));
+        assert!(LocalPageStore::open(
+            &dir,
+            LocalStoreConfig { page_size: 0, ..Default::default() }
+        )
+        .is_err());
+        assert!(LocalPageStore::open(
+            &dir,
+            LocalStoreConfig { buckets: 0, ..Default::default() }
+        )
+        .is_err());
+        let _ = fs::remove_dir_all(dir);
+    }
+}

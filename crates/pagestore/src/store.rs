@@ -1,0 +1,50 @@
+//! The [`PageStore`] trait: the storage backend beneath the cache manager.
+
+use bytes::Bytes;
+use edgecache_common::error::Result;
+
+use crate::page::PageId;
+
+/// A backend that stores page payloads.
+///
+/// Implementations: [`LocalPageStore`](crate::local::LocalPageStore) (SSD
+/// files, the production path), [`MemoryPageStore`](crate::memory::MemoryPageStore)
+/// (tests/metadata), and [`FaultyStore`](crate::faulty::FaultyStore)
+/// (fault injection).
+///
+/// Thread safety: all methods take `&self`; implementations must be safe for
+/// concurrent readers and writers of *different* pages. Writers of the *same*
+/// page are serialized by the cache manager's per-page locks.
+pub trait PageStore: Send + Sync {
+    /// Stores a page payload atomically: after `put` returns, a concurrent
+    /// `get` sees either the whole new payload or the previous state, never a
+    /// torn write (§4.3: a completed page write is "immediately available for
+    /// subsequent read operations").
+    fn put(&self, id: PageId, data: &[u8]) -> Result<()>;
+
+    /// Reads `len` bytes starting at `offset` within the page. Reading past
+    /// the end of the payload returns the available prefix (possibly empty).
+    ///
+    /// Full-page reads (offset 0 with `len >= payload`) verify the checksum
+    /// trailer where the backend has one.
+    fn get(&self, id: PageId, offset: u64, len: u64) -> Result<Bytes>;
+
+    /// Reads the entire page payload, verifying integrity.
+    fn get_full(&self, id: PageId) -> Result<Bytes> {
+        self.get(id, 0, u64::MAX)
+    }
+
+    /// Deletes a page. Deleting a missing page returns `Ok(false)`.
+    fn delete(&self, id: PageId) -> Result<bool>;
+
+    /// Whether a page is present.
+    fn contains(&self, id: PageId) -> bool;
+
+    /// Bytes of payload currently stored.
+    fn bytes_used(&self) -> u64;
+
+    /// Scans the backend and returns `(page, payload_size)` for every page
+    /// found — used for cold-start cache recovery (§4.3's "persistent global
+    /// information that can be used in cache recovery").
+    fn recover(&self) -> Result<Vec<(PageId, u64)>>;
+}

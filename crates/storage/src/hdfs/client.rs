@@ -1,0 +1,376 @@
+//! Cluster wiring and the client-side view of the simulated HDFS.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+use edgecache_common::clock::SharedClock;
+use edgecache_common::error::{Error, Result};
+use edgecache_core::manager::RemoteSource;
+use parking_lot::RwLock;
+
+use super::datanode::{DataNode, DataNodeConfig};
+use super::namenode::{BlockId, NameNode};
+
+/// Configuration for a [`HdfsCluster`].
+#[derive(Debug, Clone)]
+pub struct HdfsClusterConfig {
+    /// Number of DataNodes.
+    pub datanodes: usize,
+    /// HDFS block size.
+    pub block_size: u64,
+    /// Replication factor.
+    pub replication: usize,
+    /// Per-DataNode configuration.
+    pub datanode: DataNodeConfig,
+}
+
+impl Default for HdfsClusterConfig {
+    fn default() -> Self {
+        Self {
+            datanodes: 4,
+            block_size: 64 << 20,
+            replication: 1,
+            datanode: DataNodeConfig::default(),
+        }
+    }
+}
+
+/// A simulated HDFS cluster: one NameNode plus DataNodes.
+pub struct HdfsCluster {
+    namenode: NameNode,
+    datanodes: HashMap<String, Arc<DataNode>>,
+    /// File payloads retained for append bookkeeping (HDFS clients resend
+    /// the grown tail block; we reconstruct it from the stored replicas).
+    node_order: Vec<String>,
+    /// Round-robin cursor for picking among replicas on read.
+    read_cursor: RwLock<usize>,
+}
+
+impl HdfsCluster {
+    /// Builds a cluster.
+    pub fn new(config: HdfsClusterConfig, clock: SharedClock) -> Result<Self> {
+        let namenode = NameNode::new(config.block_size, config.replication);
+        let mut datanodes = HashMap::new();
+        let mut node_order = Vec::new();
+        for i in 0..config.datanodes {
+            let name = format!("dn{i}");
+            let mut dn_config = config.datanode.clone();
+            if let Some(dir) = dn_config.cache_dir.take() {
+                dn_config.cache_dir = Some(dir.join(&name));
+            }
+            let node = DataNode::new(&name, dn_config, clock.clone())?;
+            namenode.register_datanode(&name);
+            datanodes.insert(name.clone(), Arc::new(node));
+            node_order.push(name);
+        }
+        Ok(Self { namenode, datanodes, node_order, read_cursor: RwLock::new(0) })
+    }
+
+    /// The NameNode.
+    pub fn namenode(&self) -> &NameNode {
+        &self.namenode
+    }
+
+    /// A DataNode by name.
+    pub fn datanode(&self, name: &str) -> Option<&Arc<DataNode>> {
+        self.datanodes.get(name)
+    }
+
+    /// All DataNodes, in registration order.
+    pub fn datanodes(&self) -> Vec<&Arc<DataNode>> {
+        self.node_order
+            .iter()
+            .map(|n| self.datanodes.get(n).expect("registered node"))
+            .collect()
+    }
+
+    /// Writes a new file, placing block replicas on DataNodes.
+    pub fn write_file(&self, path: &str, data: &[u8]) -> Result<()> {
+        let blocks = self.namenode.create_file(path, data.len() as u64)?;
+        let mut offset = 0usize;
+        for block in blocks {
+            let end = offset + block.len as usize;
+            let payload = Bytes::copy_from_slice(&data[offset..end]);
+            for location in &block.locations {
+                let node = self.datanodes.get(location).expect("placed on known node");
+                node.store_block(block.id, block.gen_stamp, payload.clone());
+            }
+            offset = end;
+        }
+        Ok(())
+    }
+
+    /// Appends to an existing file (§6.2.3): the tail block grows under a
+    /// new generation stamp; any remainder lands in fresh blocks.
+    pub fn append_file(&self, path: &str, data: &[u8]) -> Result<()> {
+        let plan = self.namenode.append_file(path, data.len() as u64)?;
+        let mut offset = 0usize;
+        if let Some((block, old_gen, new_gen, added)) = plan.grown_tail {
+            // Reconstruct the grown tail from any replica holding the old
+            // generation, then apply the append to all replicas.
+            let info = self
+                .namenode
+                .file_blocks(path)?
+                .into_iter()
+                .find(|b| b.id == block)
+                .expect("tail block listed");
+            let old_len = info.len - added;
+            let holder = info
+                .locations
+                .iter()
+                .find_map(|l| self.datanodes.get(l))
+                .ok_or_else(|| Error::NotFound(format!("replica of {block}")))?;
+            // The old-generation replica is still addressable pre-append.
+            let mut grown = BytesMut::from(
+                holder
+                    .read_with_gen(block, old_gen, 0, old_len)?
+                    .as_ref(),
+            );
+            grown.extend_from_slice(&data[..added as usize]);
+            let grown = grown.freeze();
+            for location in &info.locations {
+                let node = self.datanodes.get(location).expect("known node");
+                node.apply_append(block, old_gen, new_gen, grown.clone());
+            }
+            offset += added as usize;
+        }
+        for block in plan.new_blocks {
+            let end = offset + block.len as usize;
+            let payload = Bytes::copy_from_slice(&data[offset..end]);
+            for location in &block.locations {
+                let node = self.datanodes.get(location).expect("known node");
+                node.store_block(block.id, block.gen_stamp, payload.clone());
+            }
+            offset = end;
+        }
+        Ok(())
+    }
+
+    /// Deletes a file: the NameNode drops the mapping and every DataNode
+    /// holding a replica removes the block and its cache entries.
+    pub fn delete_file(&self, path: &str) -> Result<()> {
+        for block in self.namenode.delete_file(path)? {
+            for location in &block.locations {
+                if let Some(node) = self.datanodes.get(location) {
+                    node.delete_block(block.id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a byte range of a file, fanning out to the DataNodes that hold
+    /// the covered blocks.
+    pub fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let blocks = self.namenode.file_blocks(path)?;
+        let total: u64 = blocks.iter().map(|b| b.len).sum();
+        let end = offset.saturating_add(len).min(total);
+        if offset >= end {
+            return Ok(Bytes::new());
+        }
+        let mut out = BytesMut::with_capacity((end - offset) as usize);
+        let mut block_start = 0u64;
+        for block in &blocks {
+            let block_end = block_start + block.len;
+            if block_end > offset && block_start < end {
+                let from = offset.max(block_start) - block_start;
+                let to = end.min(block_end) - block_start;
+                let node = self.pick_replica(block.id, &block.locations)?;
+                out.extend_from_slice(&node.read_block(block.id, from, to - from)?);
+            }
+            block_start = block_end;
+            if block_start >= end {
+                break;
+            }
+        }
+        Ok(out.freeze())
+    }
+
+    /// File length.
+    pub fn file_len(&self, path: &str) -> Result<u64> {
+        self.namenode.file_len(path)
+    }
+
+    fn pick_replica(&self, _block: BlockId, locations: &[String]) -> Result<Arc<DataNode>> {
+        let mut cursor = self.read_cursor.write();
+        *cursor = cursor.wrapping_add(1);
+        let start = *cursor;
+        drop(cursor);
+        locations
+            .iter()
+            .cycle()
+            .skip(start % locations.len().max(1))
+            .take(locations.len())
+            .find_map(|l| self.datanodes.get(l).cloned())
+            .ok_or_else(|| Error::NotFound("no live replica".into()))
+    }
+}
+
+impl DataNode {
+    /// Reads a specific generation of a block directly from the block files
+    /// (used by the append path to reconstruct the grown tail).
+    pub(crate) fn read_with_gen(
+        &self,
+        block: BlockId,
+        gen: u64,
+        offset: u64,
+        len: u64,
+    ) -> Result<Bytes> {
+        // Route through the disk unit view, skipping the checksum prefix.
+        self.disk_read_unit(&format!("{block}@{gen}"), 8 + offset, len)
+    }
+}
+
+/// A client handle implementing [`RemoteSource`], so OLAP engines can read
+/// HDFS through their local cache.
+#[derive(Clone)]
+pub struct HdfsClient {
+    cluster: Arc<HdfsCluster>,
+}
+
+impl HdfsClient {
+    /// Wraps a cluster.
+    pub fn new(cluster: Arc<HdfsCluster>) -> Self {
+        Self { cluster }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Arc<HdfsCluster> {
+        &self.cluster
+    }
+}
+
+impl RemoteSource for HdfsClient {
+    fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        self.cluster.read(path, offset, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgecache_common::clock::SimClock;
+    use edgecache_common::ByteSize;
+
+    fn cluster(block_size: u64, replication: usize) -> HdfsCluster {
+        let config = HdfsClusterConfig {
+            datanodes: 3,
+            block_size,
+            replication,
+            datanode: DataNodeConfig {
+                cache_capacity: 1 << 20,
+                page_size: ByteSize::kib(4),
+                admission_window: None,
+                ..Default::default()
+            },
+        };
+        HdfsCluster::new(config, Arc::new(SimClock::new())).unwrap()
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 239) as u8).collect()
+    }
+
+    #[test]
+    fn write_read_round_trip_across_blocks() {
+        let c = cluster(100, 1);
+        let data = payload(350);
+        c.write_file("/f", &data).unwrap();
+        assert_eq!(c.file_len("/f").unwrap(), 350);
+        let got = c.read("/f", 0, 350).unwrap();
+        assert_eq!(got.as_ref(), &data[..]);
+        // A range crossing block boundaries.
+        let got = c.read("/f", 80, 150).unwrap();
+        assert_eq!(got.as_ref(), &data[80..230]);
+    }
+
+    #[test]
+    fn read_clamps_at_eof() {
+        let c = cluster(100, 1);
+        c.write_file("/f", &payload(120)).unwrap();
+        assert_eq!(c.read("/f", 100, 500).unwrap().len(), 20);
+        assert!(c.read("/f", 500, 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn replication_places_copies() {
+        let c = cluster(100, 2);
+        c.write_file("/f", &payload(100)).unwrap();
+        let blocks = c.namenode().file_blocks("/f").unwrap();
+        assert_eq!(blocks[0].locations.len(), 2);
+        let holders = c
+            .datanodes()
+            .iter()
+            .filter(|d| d.has_block(blocks[0].id))
+            .count();
+        assert_eq!(holders, 2);
+    }
+
+    #[test]
+    fn append_grows_and_stays_readable() {
+        let c = cluster(100, 1);
+        let mut data = payload(80);
+        c.write_file("/f", &data).unwrap();
+        // Warm the cache with the old generation.
+        c.read("/f", 0, 80).unwrap();
+        let extra = payload(150);
+        c.append_file("/f", &extra).unwrap();
+        data.extend_from_slice(&extra);
+        assert_eq!(c.file_len("/f").unwrap(), 230);
+        let got = c.read("/f", 0, 230).unwrap();
+        assert_eq!(got.as_ref(), &data[..], "append is visible and coherent");
+    }
+
+    #[test]
+    fn append_twice_keeps_coherence() {
+        let c = cluster(100, 1);
+        let mut data = payload(50);
+        c.write_file("/f", &data).unwrap();
+        for round in 0..2 {
+            let extra = vec![round as u8 + 1; 70];
+            c.read("/f", 0, data.len() as u64).unwrap(); // Cache current.
+            c.append_file("/f", &extra).unwrap();
+            data.extend_from_slice(&extra);
+            let got = c.read("/f", 0, data.len() as u64).unwrap();
+            assert_eq!(got.as_ref(), &data[..], "round {round}");
+        }
+    }
+
+    #[test]
+    fn delete_removes_everywhere() {
+        let c = cluster(100, 2);
+        c.write_file("/f", &payload(200)).unwrap();
+        let blocks = c.namenode().file_blocks("/f").unwrap();
+        c.read("/f", 0, 200).unwrap(); // Populate caches.
+        c.delete_file("/f").unwrap();
+        assert!(c.read("/f", 0, 10).is_err());
+        for d in c.datanodes() {
+            for b in &blocks {
+                assert!(!d.has_block(b.id));
+            }
+        }
+    }
+
+    #[test]
+    fn client_remote_source_view() {
+        let c = Arc::new(cluster(100, 1));
+        let data = payload(150);
+        c.write_file("/f", &data).unwrap();
+        let client = HdfsClient::new(Arc::clone(&c));
+        let got = client.read("/f", 30, 60).unwrap();
+        assert_eq!(got.as_ref(), &data[30..90]);
+    }
+
+    #[test]
+    fn reads_with_replication_spread_over_replicas() {
+        let c = cluster(100, 2);
+        c.write_file("/f", &payload(100)).unwrap();
+        for _ in 0..20 {
+            c.read("/f", 0, 100).unwrap();
+        }
+        // Both replicas served traffic (round-robin read cursor).
+        let served: Vec<u64> = c.datanodes().iter().map(|d| d.hdd_bytes() + d.cache_bytes()).collect();
+        assert!(served.iter().filter(|&&b| b > 0).count() >= 2, "{served:?}");
+    }
+}

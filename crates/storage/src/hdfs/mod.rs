@@ -1,0 +1,21 @@
+//! A simulated HDFS: the storage system the paper's HDFS local cache is
+//! embedded into (§2.1.2, §6.2).
+//!
+//! * [`NameNode`] — file → block mapping, block locations, and generation
+//!   stamps (the versioning mechanism behind `append` snapshot isolation).
+//! * [`DataNode`] — stores block files plus their checksum metadata files on
+//!   a modeled HDD, and embeds the local cache exactly as §6.2 describes:
+//!   sliding-window admission (the *cache rate limiter*), cache keys of
+//!   `(blockId, generationStamp)`, an in-memory `blockId → (cacheId, len)`
+//!   map for deletes, and cache wipe on restart.
+//! * [`HdfsCluster`] / [`HdfsClient`] — wiring and a
+//!   [`RemoteSource`](edgecache_core::manager::RemoteSource) view for
+//!   compute engines.
+
+mod client;
+mod datanode;
+mod namenode;
+
+pub use client::{HdfsClient, HdfsCluster, HdfsClusterConfig};
+pub use datanode::{DataNode, DataNodeConfig};
+pub use namenode::{AppendPlan, BlockId, BlockInfo, NameNode};

@@ -1,0 +1,296 @@
+//! The NameNode: file-system namespace, block mapping, and generation
+//! stamps.
+//!
+//! "HDFS employs a versioning system where each block is assigned a
+//! *generation stamp*. Each invocation of the append operation increments
+//! the block's generation stamp, signaling a new version of the block"
+//! (§6.2.3).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use edgecache_common::error::{Error, Result};
+use parking_lot::RwLock;
+
+/// A block identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "blk_{}", self.0)
+    }
+}
+
+/// Metadata for one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    pub id: BlockId,
+    /// The current generation stamp.
+    pub gen_stamp: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// DataNode names holding replicas.
+    pub locations: Vec<String>,
+}
+
+/// The plan the NameNode returns for an append: which existing block grows
+/// (with its old and new generation stamps) and which fresh blocks are
+/// allocated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendPlan {
+    /// `(block, old_gen, new_gen, added_bytes)` when the tail block grows.
+    pub grown_tail: Option<(BlockId, u64, u64, u64)>,
+    /// Newly allocated blocks, in order.
+    pub new_blocks: Vec<BlockInfo>,
+}
+
+/// The simulated NameNode.
+#[derive(Debug)]
+pub struct NameNode {
+    files: RwLock<HashMap<String, Vec<BlockId>>>,
+    blocks: RwLock<HashMap<BlockId, BlockInfo>>,
+    datanodes: RwLock<Vec<String>>,
+    next_block: AtomicU64,
+    next_gen: AtomicU64,
+    next_placement: AtomicU64,
+    block_size: u64,
+    replication: usize,
+}
+
+impl NameNode {
+    /// Creates a NameNode with the given block size and replication factor.
+    pub fn new(block_size: u64, replication: usize) -> Self {
+        assert!(block_size > 0 && replication > 0);
+        Self {
+            files: RwLock::new(HashMap::new()),
+            blocks: RwLock::new(HashMap::new()),
+            datanodes: RwLock::new(Vec::new()),
+            next_block: AtomicU64::new(1),
+            next_gen: AtomicU64::new(1000),
+            next_placement: AtomicU64::new(0),
+            block_size,
+            replication,
+        }
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Registers a DataNode for block placement.
+    pub fn register_datanode(&self, name: &str) {
+        self.datanodes.write().push(name.to_string());
+    }
+
+    fn pick_locations(&self) -> Vec<String> {
+        let nodes = self.datanodes.read();
+        assert!(!nodes.is_empty(), "no DataNodes registered");
+        let r = self.replication.min(nodes.len());
+        let start = self.next_placement.fetch_add(1, Ordering::Relaxed) as usize;
+        (0..r).map(|i| nodes[(start + i) % nodes.len()].clone()).collect()
+    }
+
+    fn fresh_block(&self, len: u64) -> BlockInfo {
+        BlockInfo {
+            id: BlockId(self.next_block.fetch_add(1, Ordering::Relaxed)),
+            gen_stamp: self.next_gen.fetch_add(1, Ordering::Relaxed),
+            len,
+            locations: self.pick_locations(),
+        }
+    }
+
+    /// Creates a file of `len` bytes, allocating blocks. Fails if the path
+    /// exists.
+    pub fn create_file(&self, path: &str, len: u64) -> Result<Vec<BlockInfo>> {
+        let mut files = self.files.write();
+        if files.contains_key(path) {
+            return Err(Error::InvalidArgument(format!("`{path}` already exists")));
+        }
+        let mut out = Vec::new();
+        let mut remaining = len;
+        loop {
+            let this = remaining.min(self.block_size);
+            let info = self.fresh_block(this);
+            out.push(info.clone());
+            self.blocks.write().insert(info.id, info);
+            remaining -= this;
+            if remaining == 0 {
+                break;
+            }
+        }
+        files.insert(path.to_string(), out.iter().map(|b| b.id).collect());
+        Ok(out)
+    }
+
+    /// Plans an append of `len` bytes: grows the tail block (incrementing
+    /// its generation stamp) and allocates new blocks for any remainder.
+    pub fn append_file(&self, path: &str, len: u64) -> Result<AppendPlan> {
+        let files = self.files.write();
+        let block_ids = files
+            .get(path)
+            .ok_or_else(|| Error::NotFound(format!("file `{path}`")))?
+            .clone();
+        drop(files);
+
+        let mut blocks = self.blocks.write();
+        let mut remaining = len;
+        let mut grown_tail = None;
+        if let Some(&tail_id) = block_ids.last() {
+            let tail = blocks.get_mut(&tail_id).expect("tail block exists");
+            let room = self.block_size - tail.len;
+            if room > 0 && remaining > 0 {
+                let add = remaining.min(room);
+                let old_gen = tail.gen_stamp;
+                tail.gen_stamp = self.next_gen.fetch_add(1, Ordering::Relaxed);
+                tail.len += add;
+                grown_tail = Some((tail_id, old_gen, tail.gen_stamp, add));
+                remaining -= add;
+            }
+        }
+        let mut new_blocks = Vec::new();
+        while remaining > 0 {
+            let this = remaining.min(self.block_size);
+            let info = self.fresh_block(this);
+            blocks.insert(info.id, info.clone());
+            new_blocks.push(info);
+            remaining -= this;
+        }
+        drop(blocks);
+        if !new_blocks.is_empty() {
+            let mut files = self.files.write();
+            let ids = files.get_mut(path).expect("checked above");
+            ids.extend(new_blocks.iter().map(|b| b.id));
+        }
+        Ok(AppendPlan { grown_tail, new_blocks })
+    }
+
+    /// Deletes a file, returning its blocks so DataNodes can be told to drop
+    /// them (and their cache entries, §6.2.3).
+    pub fn delete_file(&self, path: &str) -> Result<Vec<BlockInfo>> {
+        let ids = self
+            .files
+            .write()
+            .remove(path)
+            .ok_or_else(|| Error::NotFound(format!("file `{path}`")))?;
+        let mut blocks = self.blocks.write();
+        Ok(ids.iter().filter_map(|id| blocks.remove(id)).collect())
+    }
+
+    /// The blocks of a file, in order.
+    pub fn file_blocks(&self, path: &str) -> Result<Vec<BlockInfo>> {
+        let files = self.files.read();
+        let ids = files
+            .get(path)
+            .ok_or_else(|| Error::NotFound(format!("file `{path}`")))?;
+        let blocks = self.blocks.read();
+        Ok(ids
+            .iter()
+            .map(|id| blocks.get(id).expect("block registered").clone())
+            .collect())
+    }
+
+    /// Total length of a file.
+    pub fn file_len(&self, path: &str) -> Result<u64> {
+        Ok(self.file_blocks(path)?.iter().map(|b| b.len).sum())
+    }
+
+    /// Whether a path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    /// Number of files in the namespace.
+    pub fn file_count(&self) -> usize {
+        self.files.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn namenode() -> NameNode {
+        let nn = NameNode::new(100, 2);
+        for n in ["dn0", "dn1", "dn2"] {
+            nn.register_datanode(n);
+        }
+        nn
+    }
+
+    #[test]
+    fn create_splits_into_blocks() {
+        let nn = namenode();
+        let blocks = nn.create_file("/f", 250).unwrap();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].len, 100);
+        assert_eq!(blocks[2].len, 50);
+        assert_eq!(nn.file_len("/f").unwrap(), 250);
+        for b in &blocks {
+            assert_eq!(b.locations.len(), 2, "replication factor honored");
+        }
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let nn = namenode();
+        nn.create_file("/f", 10).unwrap();
+        assert!(nn.create_file("/f", 10).is_err());
+    }
+
+    #[test]
+    fn zero_length_file_gets_one_empty_block() {
+        let nn = namenode();
+        let blocks = nn.create_file("/empty", 0).unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].len, 0);
+    }
+
+    #[test]
+    fn append_grows_tail_and_bumps_gen_stamp() {
+        let nn = namenode();
+        let blocks = nn.create_file("/f", 80).unwrap();
+        let old_gen = blocks[0].gen_stamp;
+        let plan = nn.append_file("/f", 50).unwrap();
+        let (id, plan_old, plan_new, added) = plan.grown_tail.unwrap();
+        assert_eq!(id, blocks[0].id);
+        assert_eq!(plan_old, old_gen);
+        assert!(plan_new > old_gen, "generation stamp must increase");
+        assert_eq!(added, 20, "tail had 20 bytes of room");
+        assert_eq!(plan.new_blocks.len(), 1);
+        assert_eq!(plan.new_blocks[0].len, 30);
+        assert_eq!(nn.file_len("/f").unwrap(), 130);
+    }
+
+    #[test]
+    fn append_to_full_tail_only_allocates() {
+        let nn = namenode();
+        nn.create_file("/f", 100).unwrap();
+        let plan = nn.append_file("/f", 100).unwrap();
+        assert!(plan.grown_tail.is_none());
+        assert_eq!(plan.new_blocks.len(), 1);
+    }
+
+    #[test]
+    fn delete_returns_blocks_and_removes_file() {
+        let nn = namenode();
+        nn.create_file("/f", 250).unwrap();
+        let dropped = nn.delete_file("/f").unwrap();
+        assert_eq!(dropped.len(), 3);
+        assert!(!nn.exists("/f"));
+        assert!(nn.file_blocks("/f").is_err());
+        assert!(nn.delete_file("/f").is_err());
+    }
+
+    #[test]
+    fn placement_round_robins() {
+        let nn = namenode();
+        let mut firsts = std::collections::HashSet::new();
+        for i in 0..3 {
+            let blocks = nn.create_file(&format!("/f{i}"), 10).unwrap();
+            firsts.insert(blocks[0].locations[0].clone());
+        }
+        assert_eq!(firsts.len(), 3, "primaries rotate across DataNodes");
+    }
+}

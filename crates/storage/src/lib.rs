@@ -1,0 +1,25 @@
+//! Storage substrate for edgecache: the systems the paper's evaluation runs
+//! against, rebuilt as deterministic simulations.
+//!
+//! * [`simdev`] — cost models for storage devices and networks
+//!   ([`DeviceModel`]) and a fluid queueing model ([`FluidQueue`]) that
+//!   reproduces I/O throttling: the "blocked processes" signal of §2.2 and
+//!   Figure 14.
+//! * [`object`] — an S3-like object store ([`ObjectStore`]) with network
+//!   cost accounting and API-rate throttling, standing in for the paper's
+//!   AWS S3 / GCS data lake.
+//! * [`hdfs`] — a simulated HDFS: [`NameNode`](hdfs::NameNode) (file → block
+//!   mapping, generation stamps), [`DataNode`](hdfs::DataNode) (block +
+//!   checksum-metadata files on a modeled HDD, with the embedded Alluxio-style
+//!   local cache of §6.2), and a [`HdfsClient`](hdfs::HdfsClient).
+//!
+//! The *functional* behaviour (what bytes are returned, what is cached,
+//! what is invalidated) is real; only device *time* is simulated, via cost
+//! models the experiment harnesses consult.
+
+pub mod hdfs;
+pub mod object;
+pub mod simdev;
+
+pub use object::ObjectStore;
+pub use simdev::{DeviceModel, FluidQueue};

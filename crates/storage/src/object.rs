@@ -1,0 +1,254 @@
+//! An S3-like object store: the simulated data lake beneath the compute
+//! layer (the paper's TPC-DS evaluation reads Parquet from AWS S3).
+//!
+//! Functionally a versioned key → bytes map with ranged GETs. Each request
+//! is accounted (count + bytes) and charged a simulated network duration
+//! from a [`DeviceModel`]; an optional API rate limit makes excess requests
+//! fail with [`Error::Throttled`], reproducing the "API throughput" strain
+//! of §1.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use edgecache_common::clock::SharedClock;
+use edgecache_common::error::{Error, Result};
+use edgecache_core::manager::RemoteSource;
+use parking_lot::RwLock;
+
+use crate::simdev::DeviceModel;
+
+/// A stored object: payload plus a version (etag analog).
+#[derive(Debug, Clone)]
+struct StoredObject {
+    data: Bytes,
+    version: u64,
+}
+
+/// The simulated object store.
+pub struct ObjectStore {
+    objects: RwLock<HashMap<String, StoredObject>>,
+    network: DeviceModel,
+    clock: SharedClock,
+    /// GET requests served.
+    get_requests: AtomicU64,
+    /// Bytes served by GETs.
+    bytes_served: AtomicU64,
+    /// Cumulative simulated time spent serving GETs (nanoseconds).
+    sim_nanos: AtomicU64,
+    /// Requests allowed per second (0 = unlimited).
+    rate_limit_per_sec: AtomicU64,
+    /// Requests observed in the current one-second window.
+    window_start_ms: AtomicU64,
+    window_count: AtomicU64,
+    throttled: AtomicU64,
+}
+
+impl ObjectStore {
+    /// Creates an empty store with the default object-store network model.
+    pub fn new(clock: SharedClock) -> Self {
+        Self::with_network(clock, DeviceModel::object_store())
+    }
+
+    /// Creates a store with a custom network model.
+    pub fn with_network(clock: SharedClock, network: DeviceModel) -> Self {
+        Self {
+            objects: RwLock::new(HashMap::new()),
+            network,
+            clock,
+            get_requests: AtomicU64::new(0),
+            bytes_served: AtomicU64::new(0),
+            sim_nanos: AtomicU64::new(0),
+            rate_limit_per_sec: AtomicU64::new(0),
+            window_start_ms: AtomicU64::new(0),
+            window_count: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets an API rate limit in GETs per second (0 disables).
+    pub fn set_rate_limit(&self, per_sec: u64) {
+        self.rate_limit_per_sec.store(per_sec, Ordering::SeqCst);
+    }
+
+    /// Uploads an object; returns its new version.
+    pub fn put_object(&self, key: &str, data: impl Into<Bytes>) -> u64 {
+        let mut objects = self.objects.write();
+        let version = objects.get(key).map(|o| o.version + 1).unwrap_or(1);
+        objects.insert(key.to_string(), StoredObject { data: data.into(), version });
+        version
+    }
+
+    /// Deletes an object; returns whether it existed.
+    pub fn delete_object(&self, key: &str) -> bool {
+        self.objects.write().remove(key).is_some()
+    }
+
+    /// Object length and version, if present (a HEAD request; not charged).
+    pub fn head_object(&self, key: &str) -> Option<(u64, u64)> {
+        self.objects
+            .read()
+            .get(key)
+            .map(|o| (o.data.len() as u64, o.version))
+    }
+
+    /// Ranged GET. Clamped at end of object.
+    pub fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Bytes> {
+        self.check_rate_limit()?;
+        let objects = self.objects.read();
+        let obj = objects
+            .get(key)
+            .ok_or_else(|| Error::NotFound(format!("object `{key}`")))?;
+        let total = obj.data.len() as u64;
+        let start = offset.min(total);
+        let end = offset.saturating_add(len).min(total);
+        let body = obj.data.slice(start as usize..end as usize);
+        self.get_requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_served.fetch_add(body.len() as u64, Ordering::Relaxed);
+        self.sim_nanos.fetch_add(
+            self.network.read_time(body.len() as u64).as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        Ok(body)
+    }
+
+    fn check_rate_limit(&self) -> Result<()> {
+        let limit = self.rate_limit_per_sec.load(Ordering::SeqCst);
+        if limit == 0 {
+            return Ok(());
+        }
+        let now_s = self.clock.now_millis() / 1000;
+        let window = self.window_start_ms.load(Ordering::SeqCst);
+        if window != now_s {
+            self.window_start_ms.store(now_s, Ordering::SeqCst);
+            self.window_count.store(0, Ordering::SeqCst);
+        }
+        if self.window_count.fetch_add(1, Ordering::SeqCst) >= limit {
+            self.throttled.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::Throttled(format!("rate limit {limit}/s exceeded")));
+        }
+        Ok(())
+    }
+
+    /// GET requests served so far.
+    pub fn request_count(&self) -> u64 {
+        self.get_requests.load(Ordering::Relaxed)
+    }
+
+    /// Bytes served so far.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected by the rate limit.
+    pub fn throttled_count(&self) -> u64 {
+        self.throttled.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative simulated network time spent on GETs.
+    pub fn sim_time(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.sim_nanos.load(Ordering::Relaxed))
+    }
+
+    /// The network model (for harnesses computing per-request cost).
+    pub fn network(&self) -> DeviceModel {
+        self.network
+    }
+
+    /// Resets the accounting counters (not the objects).
+    pub fn reset_counters(&self) {
+        self.get_requests.store(0, Ordering::SeqCst);
+        self.bytes_served.store(0, Ordering::SeqCst);
+        self.sim_nanos.store(0, Ordering::SeqCst);
+        self.throttled.store(0, Ordering::SeqCst);
+    }
+}
+
+impl RemoteSource for ObjectStore {
+    fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        self.get_range(path, offset, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgecache_common::clock::SimClock;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn store() -> (ObjectStore, SimClock) {
+        let clock = SimClock::new();
+        (ObjectStore::new(Arc::new(clock.clone())), clock)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (s, _) = store();
+        let v = s.put_object("a/b", vec![1u8, 2, 3, 4]);
+        assert_eq!(v, 1);
+        assert_eq!(s.get_range("a/b", 0, 10).unwrap().as_ref(), &[1, 2, 3, 4]);
+        assert_eq!(s.get_range("a/b", 1, 2).unwrap().as_ref(), &[2, 3]);
+        assert_eq!(s.head_object("a/b"), Some((4, 1)));
+    }
+
+    #[test]
+    fn versions_bump_on_overwrite() {
+        let (s, _) = store();
+        s.put_object("k", vec![0]);
+        let v2 = s.put_object("k", vec![1]);
+        assert_eq!(v2, 2);
+        assert_eq!(s.head_object("k"), Some((1, 2)));
+    }
+
+    #[test]
+    fn missing_object_is_not_found() {
+        let (s, _) = store();
+        assert!(matches!(s.get_range("nope", 0, 1), Err(Error::NotFound(_))));
+        assert!(!s.delete_object("nope"));
+        assert_eq!(s.head_object("nope"), None);
+    }
+
+    #[test]
+    fn accounting_tracks_requests_and_bytes() {
+        let (s, _) = store();
+        s.put_object("k", vec![9u8; 1000]);
+        s.get_range("k", 0, 400).unwrap();
+        s.get_range("k", 400, 600).unwrap();
+        assert_eq!(s.request_count(), 2);
+        assert_eq!(s.bytes_served(), 1000);
+        assert!(s.sim_time() >= Duration::from_millis(60), "2 RTTs charged");
+        s.reset_counters();
+        assert_eq!(s.request_count(), 0);
+    }
+
+    #[test]
+    fn rate_limit_throttles_excess() {
+        let (s, clock) = store();
+        s.put_object("k", vec![0u8; 10]);
+        s.set_rate_limit(5);
+        let mut ok = 0;
+        let mut throttled = 0;
+        for _ in 0..10 {
+            match s.get_range("k", 0, 1) {
+                Ok(_) => ok += 1,
+                Err(Error::Throttled(_)) => throttled += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(ok, 5);
+        assert_eq!(throttled, 5);
+        assert_eq!(s.throttled_count(), 5);
+        // The next second opens a fresh window.
+        clock.advance(Duration::from_secs(1));
+        assert!(s.get_range("k", 0, 1).is_ok());
+    }
+
+    #[test]
+    fn remote_source_impl_reads() {
+        let (s, _) = store();
+        s.put_object("p", vec![7u8; 100]);
+        let src: &dyn RemoteSource = &s;
+        assert_eq!(src.read("p", 10, 5).unwrap().len(), 5);
+    }
+}

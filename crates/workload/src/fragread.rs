@@ -1,0 +1,116 @@
+//! Fragmented read-size distribution.
+//!
+//! §2.2: "More than 50 % of SQL requests on HDFS access less than 10 KB of
+//! data, and over 90 % involve less than 1 MB." The sampler draws request
+//! sizes from a three-band log-uniform mixture calibrated to those two
+//! published quantiles.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const KIB: u64 = 1 << 10;
+const MIB: u64 = 1 << 20;
+
+/// Samples per-request read sizes matching the paper's characterization.
+#[derive(Debug)]
+pub struct FragmentedReadSampler {
+    rng: StdRng,
+    /// Probability mass of the `< 10 KB` band.
+    small: f64,
+    /// Probability mass of the `10 KB – 1 MB` band.
+    medium: f64,
+    /// Upper bound for the large band.
+    max_size: u64,
+}
+
+impl FragmentedReadSampler {
+    /// The paper-calibrated sampler: 55 % < 10 KB, 37 % in 10 KB–1 MB, 8 %
+    /// in 1–64 MB (so ~55 % under 10 KB and ~92 % under 1 MB).
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(0.55, 0.37, 64 * MIB, seed)
+    }
+
+    /// A custom mixture. `small + medium` must be ≤ 1.
+    pub fn new(small: f64, medium: f64, max_size: u64, seed: u64) -> Self {
+        assert!(small >= 0.0 && medium >= 0.0 && small + medium <= 1.0);
+        assert!(max_size > MIB);
+        Self { rng: StdRng::seed_from_u64(seed), small, medium, max_size }
+    }
+
+    fn log_uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        let (lo, hi) = (lo.max(1) as f64, hi as f64);
+        let u: f64 = self.rng.random();
+        (lo * (hi / lo).powf(u)).round() as u64
+    }
+
+    /// Draws one request size in bytes.
+    pub fn sample(&mut self) -> u64 {
+        let u: f64 = self.rng.random();
+        if u < self.small {
+            self.log_uniform(64, 10 * KIB - 1)
+        } else if u < self.small + self.medium {
+            self.log_uniform(10 * KIB, MIB - 1)
+        } else {
+            self.log_uniform(MIB, self.max_size)
+        }
+    }
+
+    /// Draws `n` sizes.
+    pub fn sample_many(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+/// Fraction of `sizes` strictly below `threshold`.
+pub fn fraction_below(sizes: &[u64], threshold: u64) -> f64 {
+    if sizes.is_empty() {
+        return 0.0;
+    }
+    sizes.iter().filter(|&&s| s < threshold).count() as f64 / sizes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quantiles_hold() {
+        let mut s = FragmentedReadSampler::paper_default(11);
+        let sizes = s.sample_many(100_000);
+        let under_10k = fraction_below(&sizes, 10 * KIB);
+        let under_1m = fraction_below(&sizes, MIB);
+        assert!(under_10k > 0.50, "under 10KB: {under_10k:.3}");
+        assert!(under_1m > 0.90, "under 1MB: {under_1m:.3}");
+        // And the distribution is not degenerate: some large reads exist.
+        assert!(under_1m < 0.99);
+    }
+
+    #[test]
+    fn sizes_are_positive_and_bounded() {
+        let mut s = FragmentedReadSampler::paper_default(5);
+        for size in s.sample_many(10_000) {
+            assert!(size >= 1 && size <= 64 * MIB, "{size}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = FragmentedReadSampler::paper_default(3).sample_many(100);
+        let b = FragmentedReadSampler::paper_default(3).sample_many(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_mixture_respected() {
+        // All mass in the small band.
+        let mut s = FragmentedReadSampler::new(1.0, 0.0, 2 * MIB, 1);
+        let sizes = s.sample_many(1000);
+        assert_eq!(fraction_below(&sizes, 10 * KIB), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_mixture_panics() {
+        let _ = FragmentedReadSampler::new(0.8, 0.5, 2 * MIB, 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! HDFS DataNode trace synthesis matching Table 1's shape.
+//!
+//! Table 1 reports, per high-activity DataNode over ~20 hours: 8.5–14.3 M
+//! reads, 3.3–45 K writes (read:write ratios of ~318–4 091), and 89–99 % of
+//! read traffic concentrated on the top 10 K blocks. The generator draws
+//! block popularity from a Zipf distribution and read sizes from the
+//! fragmented-read mixture, yielding event streams with those aggregate
+//! statistics.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::fragread::FragmentedReadSampler;
+use crate::zipf::ZipfSampler;
+
+/// One trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Milliseconds since trace start.
+    pub time_ms: u64,
+    /// Block rank (0 = hottest) — map to real block ids at replay time.
+    pub block: u64,
+    /// Offset of the read within the block.
+    pub offset: u64,
+    /// Bytes requested.
+    pub len: u64,
+    /// Write (true) or read (false).
+    pub is_write: bool,
+}
+
+/// Configuration for a synthetic DataNode trace.
+#[derive(Debug, Clone)]
+pub struct HdfsTraceConfig {
+    /// Distinct blocks on the node.
+    pub blocks: usize,
+    /// Block size in bytes (bounds offsets).
+    pub block_size: u64,
+    /// Total read events.
+    pub reads: u64,
+    /// Total write events.
+    pub writes: u64,
+    /// Zipf exponent of block popularity.
+    pub zipf_s: f64,
+    /// Trace duration.
+    pub duration_ms: u64,
+    pub seed: u64,
+}
+
+impl Default for HdfsTraceConfig {
+    fn default() -> Self {
+        Self {
+            blocks: 100_000,
+            block_size: 64 << 20,
+            reads: 1_000_000,
+            writes: 300,
+            zipf_s: 1.1,
+            duration_ms: 20 * 3600 * 1000,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregate statistics of a generated trace (the Table 1 columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdfsTraceStats {
+    pub total_reads: u64,
+    pub total_writes: u64,
+    pub read_write_ratio: f64,
+    /// Fraction of read events hitting the 10 K most-read blocks.
+    pub top_10k_share: f64,
+}
+
+/// Generates the trace as an iterator of events (time-ordered, reads and
+/// writes interleaved uniformly over the duration).
+pub struct HdfsTraceGen {
+    config: HdfsTraceConfig,
+    zipf: ZipfSampler,
+    sizes: FragmentedReadSampler,
+    rng: StdRng,
+    emitted: u64,
+    total: u64,
+    /// Every `write_every`-th event is a write.
+    write_every: u64,
+}
+
+impl HdfsTraceGen {
+    /// Creates a generator.
+    pub fn new(config: HdfsTraceConfig) -> Self {
+        let total = config.reads + config.writes;
+        let write_every = if config.writes == 0 {
+            u64::MAX
+        } else {
+            (total / config.writes).max(1)
+        };
+        Self {
+            zipf: ZipfSampler::new(config.blocks, config.zipf_s, config.seed),
+            sizes: FragmentedReadSampler::paper_default(config.seed ^ 0x5eed),
+            rng: StdRng::seed_from_u64(config.seed ^ 0xdead),
+            emitted: 0,
+            total,
+            write_every,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HdfsTraceConfig {
+        &self.config
+    }
+}
+
+impl Iterator for HdfsTraceGen {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        if self.emitted >= self.total {
+            return None;
+        }
+        let i = self.emitted;
+        self.emitted += 1;
+        let time_ms = if self.total <= 1 {
+            0
+        } else {
+            i * self.config.duration_ms / (self.total - 1)
+        };
+        let is_write = i % self.write_every == self.write_every - 1;
+        let block = self.zipf.sample() as u64;
+        let len = self.sizes.sample().min(self.config.block_size);
+        let max_offset = self.config.block_size - len;
+        let offset = if max_offset == 0 { 0 } else { self.rng.random_range(0..=max_offset) };
+        Some(TraceEvent { time_ms, block, offset, len, is_write })
+    }
+}
+
+/// Computes the Table 1 statistics for a trace.
+pub fn trace_stats(events: impl Iterator<Item = TraceEvent>, blocks: usize) -> HdfsTraceStats {
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut per_block = vec![0u64; blocks];
+    for e in events {
+        if e.is_write {
+            writes += 1;
+        } else {
+            reads += 1;
+            per_block[e.block as usize] += 1;
+        }
+    }
+    per_block.sort_unstable_by(|a, b| b.cmp(a));
+    let top: u64 = per_block.iter().take(10_000).sum();
+    HdfsTraceStats {
+        total_reads: reads,
+        total_writes: writes,
+        read_write_ratio: if writes == 0 { f64::INFINITY } else { reads as f64 / writes as f64 },
+        top_10k_share: if reads == 0 { 0.0 } else { top as f64 / reads as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> HdfsTraceConfig {
+        HdfsTraceConfig {
+            blocks: 20_000,
+            reads: 100_000,
+            writes: 100,
+            zipf_s: 1.1,
+            duration_ms: 3_600_000,
+            seed: 7,
+            block_size: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn event_counts_match_config() {
+        let gen = HdfsTraceGen::new(small_config());
+        let stats = trace_stats(gen, 20_000);
+        assert_eq!(stats.total_reads + stats.total_writes, 100_100);
+        assert_eq!(stats.total_writes, 100);
+        assert!((stats.read_write_ratio - 1000.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn hot_blocks_dominate() {
+        let gen = HdfsTraceGen::new(small_config());
+        let stats = trace_stats(gen, 20_000);
+        // 10K of 20K blocks under Zipf 1.1 carry the vast majority of reads.
+        assert!(stats.top_10k_share > 0.85, "{}", stats.top_10k_share);
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_bounded() {
+        let config = small_config();
+        let mut last = 0;
+        for e in HdfsTraceGen::new(config.clone()).take(5000) {
+            assert!(e.time_ms >= last);
+            last = e.time_ms;
+            assert!((e.block as usize) < config.blocks);
+            assert!(e.offset + e.len <= config.block_size);
+            assert!(e.len > 0);
+        }
+        assert!(last <= config.duration_ms);
+    }
+
+    #[test]
+    fn zero_writes_supported() {
+        let config = HdfsTraceConfig { writes: 0, reads: 1000, ..small_config() };
+        let stats = trace_stats(HdfsTraceGen::new(config), 20_000);
+        assert_eq!(stats.total_writes, 0);
+        assert!(stats.read_write_ratio.is_infinite());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<TraceEvent> = HdfsTraceGen::new(small_config()).take(100).collect();
+        let b: Vec<TraceEvent> = HdfsTraceGen::new(small_config()).take(100).collect();
+        assert_eq!(a, b);
+    }
+}

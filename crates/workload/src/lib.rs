@@ -1,0 +1,30 @@
+//! Workload synthesis for the edgecache evaluation.
+//!
+//! The paper's evaluation runs on production traces we do not have; §2.2
+//! publishes their distribution parameters, and this crate synthesizes
+//! traces from those published parameters:
+//!
+//! * [`zipf`] — Zipfian popularity (Figure 2 reports a factor of ~1.39 for
+//!   Presto file access at Uber) with a slope-fit helper.
+//! * [`fragread`] — fragmented read sizes: ">50 % of SQL requests on HDFS
+//!   access less than 10 KB of data, and over 90 % involve less than 1 MB".
+//! * [`hdfs_trace`] — per-DataNode block traces matching Table 1's shape
+//!   (read:write ratios in the hundreds-to-thousands, top-10K-block
+//!   concentration of 89–99 %).
+//! * [`tpcds`] — a TPC-DS-like star schema (a sales fact table partitioned
+//!   by date plus dimension tables) in `colf` format, and 99 parameterized
+//!   query templates mirroring the benchmark's scan/aggregate shapes.
+//! * [`replay`] — drives a simulated DataNode from a trace, minute by
+//!   minute, producing the time series behind Figures 13 and 14.
+
+pub mod fragread;
+pub mod hdfs_trace;
+pub mod replay;
+pub mod tpcds;
+pub mod zipf;
+
+pub use fragread::FragmentedReadSampler;
+pub use hdfs_trace::{HdfsTraceConfig, HdfsTraceStats, TraceEvent};
+pub use replay::{DataNodeReplay, MinuteStats};
+pub use tpcds::{TpcdsGen, TpcdsScale};
+pub use zipf::ZipfSampler;

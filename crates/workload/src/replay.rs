@@ -1,0 +1,236 @@
+//! Trace replay against a simulated DataNode.
+//!
+//! Drives [`TraceEvent`]s through a [`DataNode`] minute by minute on a
+//! shared [`SimClock`], collecting the per-minute series behind Figure 13
+//! (cache vs. non-cache read rates) and Figure 14 (blocked processes from
+//! the HDD queue model).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use edgecache_common::clock::{Clock, SimClock};
+use edgecache_common::error::Result;
+use edgecache_storage::hdfs::{BlockId, DataNode};
+use edgecache_storage::FluidQueue;
+
+use crate::hdfs_trace::TraceEvent;
+
+/// Per-minute replay statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinuteStats {
+    /// Minute index since replay start.
+    pub minute: u64,
+    /// Bytes served from the local cache during the minute.
+    pub cache_bytes: u64,
+    /// Bytes served from the HDD during the minute.
+    pub hdd_bytes: u64,
+    /// HDD requests during the minute.
+    pub hdd_requests: u64,
+    /// Blocked processes at minute end (HDD queue backlog).
+    pub blocked_processes: u64,
+    /// HDD utilization during the minute.
+    pub utilization: f64,
+}
+
+/// Replays a trace against one DataNode.
+pub struct DataNodeReplay {
+    node: Arc<DataNode>,
+    clock: SimClock,
+    queue: FluidQueue,
+    /// Size of the blocks actually stored on the node (trace offsets are
+    /// clamped to this).
+    stored_block_size: u64,
+}
+
+impl DataNodeReplay {
+    /// Creates a replay harness; the queue model comes from the node's HDD
+    /// device model.
+    pub fn new(node: Arc<DataNode>, clock: SimClock) -> Self {
+        let queue = FluidQueue::new(node.hdd_model());
+        Self { node, clock, queue, stored_block_size: 0 }
+    }
+
+    /// Stores `blocks` blocks of `block_size` bytes on the node, ids
+    /// matching trace block ranks.
+    pub fn prepare_blocks(&mut self, blocks: usize, block_size: u64) -> Result<()> {
+        let payload: Vec<u8> = (0..block_size).map(|i| (i % 251) as u8).collect();
+        for b in 0..blocks {
+            self.node.store_block(BlockId(b as u64), 1, payload.clone());
+        }
+        self.stored_block_size = block_size;
+        Ok(())
+    }
+
+    /// The node under replay.
+    pub fn node(&self) -> &Arc<DataNode> {
+        &self.node
+    }
+
+    /// Replays `events` (time-ordered), returning one [`MinuteStats`] per
+    /// elapsed minute. `on_minute` fires after each minute closes (e.g. to
+    /// toggle the cache mid-run, as the Figure 14 experiment does).
+    pub fn run(
+        &mut self,
+        events: impl Iterator<Item = TraceEvent>,
+        mut on_minute: impl FnMut(u64, &Arc<DataNode>),
+    ) -> Result<Vec<MinuteStats>> {
+        let start_ms = self.clock.now_millis();
+        let mut out = Vec::new();
+        let mut minute = 0u64;
+        let mut last_cache = self.node.cache_bytes();
+        let mut last_hdd = self.node.hdd_bytes();
+        let mut last_reqs = self.node.hdd_requests();
+
+        let close_minute = |minute: u64,
+                                queue: &mut FluidQueue,
+                                node: &Arc<DataNode>,
+                                last_cache: &mut u64,
+                                last_hdd: &mut u64,
+                                last_reqs: &mut u64|
+         -> MinuteStats {
+            let cache_bytes = node.cache_bytes() - *last_cache;
+            let hdd_bytes = node.hdd_bytes() - *last_hdd;
+            let hdd_requests = node.hdd_requests() - *last_reqs;
+            *last_cache = node.cache_bytes();
+            *last_hdd = node.hdd_bytes();
+            *last_reqs = node.hdd_requests();
+            let window = queue.offer(hdd_requests, hdd_bytes, Duration::from_secs(60));
+            MinuteStats {
+                minute,
+                cache_bytes,
+                hdd_bytes,
+                hdd_requests,
+                blocked_processes: window.blocked_processes,
+                utilization: window.utilization,
+            }
+        };
+
+        for event in events {
+            // Close any minutes that elapsed before this event.
+            while event.time_ms >= (minute + 1) * 60_000 {
+                self.clock
+                    .advance_to(Duration::from_millis(start_ms + (minute + 1) * 60_000));
+                out.push(close_minute(
+                    minute,
+                    &mut self.queue,
+                    &self.node,
+                    &mut last_cache,
+                    &mut last_hdd,
+                    &mut last_reqs,
+                ));
+                minute += 1;
+                on_minute(minute, &self.node);
+            }
+            self.clock
+                .advance_to(Duration::from_millis(start_ms + event.time_ms));
+            if event.is_write {
+                continue; // Replay measures the read path (Figures 13/14).
+            }
+            let offset = event.offset.min(self.stored_block_size.saturating_sub(1));
+            let len = event.len.min(self.stored_block_size - offset).max(1);
+            self.node.read_block(BlockId(event.block), offset, len)?;
+        }
+        // Close the final minute.
+        out.push(close_minute(
+            minute,
+            &mut self.queue,
+            &self.node,
+            &mut last_cache,
+            &mut last_hdd,
+            &mut last_reqs,
+        ));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hdfs_trace::{HdfsTraceConfig, HdfsTraceGen};
+    use edgecache_common::ByteSize;
+    use edgecache_storage::hdfs::DataNodeConfig;
+
+    fn replay(admission: Option<(usize, u64)>) -> DataNodeReplay {
+        let clock = SimClock::new();
+        let node = DataNode::new(
+            "dn0",
+            DataNodeConfig {
+                cache_capacity: 8 << 20,
+                page_size: ByteSize::kib(64),
+                admission_window: admission,
+                ..Default::default()
+            },
+            Arc::new(clock.clone()),
+        )
+        .unwrap();
+        let mut r = DataNodeReplay::new(Arc::new(node), clock);
+        r.prepare_blocks(200, 256 << 10).unwrap();
+        r
+    }
+
+    fn trace(reads: u64, minutes: u64) -> HdfsTraceGen {
+        HdfsTraceGen::new(HdfsTraceConfig {
+            blocks: 200,
+            block_size: 256 << 10,
+            reads,
+            writes: 10,
+            zipf_s: 1.2,
+            duration_ms: minutes * 60_000,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn produces_one_stats_row_per_minute() {
+        let mut r = replay(None);
+        let stats = r.run(trace(2000, 10), |_, _| {}).unwrap();
+        assert!(stats.len() >= 10 && stats.len() <= 11, "{}", stats.len());
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(s.minute, i as u64);
+        }
+    }
+
+    #[test]
+    fn cache_takes_over_traffic() {
+        let mut r = replay(None);
+        let stats = r.run(trace(5000, 10), |_, _| {}).unwrap();
+        let early = &stats[0];
+        let late = stats
+            .iter()
+            .rev()
+            .find(|s| s.cache_bytes + s.hdd_bytes > 0)
+            .expect("some active minute");
+        assert!(early.hdd_bytes > 0, "cold start reads disk");
+        assert!(
+            late.cache_bytes > late.hdd_bytes,
+            "warm cache dominates: {late:?}"
+        );
+    }
+
+    #[test]
+    fn on_minute_can_toggle_cache() {
+        let mut r = replay(None);
+        let stats = r
+            .run(trace(5000, 10), |minute, node| {
+                if minute == 5 {
+                    node.set_cache_enabled(false);
+                }
+            })
+            .unwrap();
+        let before: u64 = stats[3..5].iter().map(|s| s.hdd_bytes).sum();
+        let after: u64 = stats[6..8].iter().map(|s| s.hdd_bytes).sum();
+        assert!(after > before * 2, "disabling the cache floods the disk");
+    }
+
+    #[test]
+    fn total_bytes_conserved() {
+        let mut r = replay(None);
+        let stats = r.run(trace(1000, 5), |_, _| {}).unwrap();
+        let total: u64 = stats.iter().map(|s| s.cache_bytes + s.hdd_bytes).sum();
+        assert_eq!(
+            total,
+            r.node().cache_bytes() + r.node().hdd_bytes(),
+            "per-minute deltas sum to the counters"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Zipfian popularity sampling and slope fitting.
+//!
+//! Figure 2 of the paper shows Presto file popularity at Uber following a
+//! Zipf distribution with a factor of up to 1.39. [`ZipfSampler`] draws item
+//! ranks from `P(rank = k) ∝ 1 / k^s`; [`fit_zipf_factor`] recovers `s` from
+//! an observed popularity histogram, which is how the Figure 2 harness
+//! verifies the synthetic trace matches the paper's characterization.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Samples ranks `0..n` with Zipfian weights via inverse-CDF lookup.
+#[derive(Debug)]
+pub struct ZipfSampler {
+    /// Cumulative distribution over ranks.
+    cdf: Vec<f64>,
+    rng: StdRng,
+    s: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` items with exponent `s`, seeded for
+    /// reproducibility.
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf, rng: StdRng::seed_from_u64(seed), s }
+    }
+
+    /// The configured exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `0..n` (0 = most popular).
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.random();
+        // First index with cdf >= u.
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Draws `count` ranks and returns per-rank access counts.
+    pub fn histogram(&mut self, count: u64) -> Vec<u64> {
+        let mut counts = vec![0u64; self.cdf.len()];
+        for _ in 0..count {
+            counts[self.sample()] += 1;
+        }
+        counts
+    }
+}
+
+/// Fits the Zipf factor `s` by least-squares regression of
+/// `log(count)` on `log(rank)` over the populated head of a popularity
+/// histogram. `counts` must be sorted descending (rank order).
+pub fn fit_zipf_factor(counts: &[u64]) -> Option<f64> {
+    let points: Vec<(f64, f64)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| (((i + 1) as f64).ln(), (c as f64).ln()))
+        .collect();
+    if points.len() < 3 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    Some(-slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let mut a = ZipfSampler::new(100, 1.0, 7);
+        let mut b = ZipfSampler::new(100, 1.0, 7);
+        let va: Vec<usize> = (0..50).map(|_| a.sample()).collect();
+        let vb: Vec<usize> = (0..50).map(|_| b.sample()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let mut z = ZipfSampler::new(1000, 1.2, 1);
+        let counts = z.histogram(50_000);
+        assert!(counts[0] > counts[10] && counts[10] > counts[100]);
+        // The top 10 items should take a large share under s = 1.2.
+        let head: u64 = counts[..10].iter().sum();
+        assert!(head as f64 / 50_000.0 > 0.4, "head share {head}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let mut z = ZipfSampler::new(10, 0.0, 3);
+        let counts = z.histogram(100_000);
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{c}");
+        }
+    }
+
+    #[test]
+    fn fit_recovers_exponent() {
+        for s in [0.8, 1.0, 1.39] {
+            let mut z = ZipfSampler::new(10_000, s, 42);
+            let mut counts = z.histogram(1_000_000);
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            // Fit over the well-populated head.
+            let fitted = fit_zipf_factor(&counts[..1000]).unwrap();
+            assert!(
+                (fitted - s).abs() < 0.12,
+                "fitted {fitted:.3} for true s = {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_needs_enough_points() {
+        assert!(fit_zipf_factor(&[5, 3]).is_none());
+        assert!(fit_zipf_factor(&[]).is_none());
+    }
+
+    #[test]
+    fn sample_is_in_range() {
+        let mut z = ZipfSampler::new(7, 2.0, 9);
+        for _ in 0..1000 {
+            assert!(z.sample() < 7);
+        }
+    }
+}

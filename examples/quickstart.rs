@@ -1,0 +1,79 @@
+//! Quickstart: an SSD-backed local cache in front of a (mock) remote store.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Demonstrates the embeddable cache exactly as an application would use it:
+//! open a page store on local disk, wrap it in a `CacheManager`, and issue
+//! file reads that are served read-through — first from the remote, then
+//! from local pages.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use edgecache::common::ByteSize;
+use edgecache::core::config::CacheConfig;
+use edgecache::core::manager::{CacheManager, RemoteSource, SourceFile};
+use edgecache::pagestore::{CacheScope, LocalPageStore, LocalStoreConfig};
+
+/// A stand-in for HDFS/S3: serves deterministic bytes with a simulated
+/// "slow" accounting so the speedup is visible.
+struct SlowRemote;
+
+impl RemoteSource for SlowRemote {
+    fn read(&self, path: &str, offset: u64, len: u64) -> edgecache::Result<Bytes> {
+        println!("  remote read: {path} [{offset}..{}]", offset + len);
+        let data: Vec<u8> = (offset..offset + len).map(|i| (i % 251) as u8).collect();
+        Ok(Bytes::from(data))
+    }
+}
+
+fn main() -> edgecache::Result<()> {
+    // 1. A page store on local disk (the "SSD"), 64 KB pages for the demo.
+    let dir = std::env::temp_dir().join("edgecache-quickstart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(LocalPageStore::open(
+        &dir,
+        LocalStoreConfig { page_size: 64 << 10, ..Default::default() },
+    )?);
+
+    // 2. The cache manager: 1 GB capacity, LRU, 64 KB pages.
+    let cache = CacheManager::builder(
+        CacheConfig::default().with_page_size(ByteSize::kib(64)),
+    )
+    .with_store(store, ByteSize::gib(1).as_u64())
+    .build()?;
+
+    // 3. Describe the remote file (path + version + length + scope).
+    let file = SourceFile::new(
+        "/warehouse/sales/orders/2024-01-01/part-0.parquet",
+        1,
+        ByteSize::mib(4).as_u64(),
+        CacheScope::partition("sales", "orders", "2024-01-01"),
+    );
+
+    println!("cold read (miss → read-through):");
+    let first = cache.read(&file, 100_000, 4_096, &SlowRemote)?;
+
+    println!("warm read (hit → local SSD page, no remote line below):");
+    let second = cache.read(&file, 100_000, 4_096, &SlowRemote)?;
+    assert_eq!(first, second);
+
+    println!("another range of the same page (still a hit):");
+    let _ = cache.read(&file, 90_000, 1_000, &SlowRemote)?;
+
+    let stats = cache.stats();
+    println!(
+        "\nstats: {} pages, {} cached, hits={}, misses={}, hit rate {:.0}%",
+        stats.pages,
+        ByteSize::new(stats.bytes),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate * 100.0
+    );
+    println!("\nmetrics snapshot:\n{}", cache.metrics().snapshot().to_json());
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

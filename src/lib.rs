@@ -1,0 +1,64 @@
+//! # edgecache
+//!
+//! An embeddable, SSD-backed, page-oriented local cache for petabyte-scale
+//! OLAP — a from-scratch Rust implementation of the system described in
+//! *"Data Caching for Enterprise-Grade Petabyte-Scale OLAP"* (USENIX ATC
+//! 2024, the Alluxio local cache), together with every substrate its
+//! evaluation depends on.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `edgecache-core` | the cache manager: admission, quota, eviction, index, allocation |
+//! | [`pagestore`] | `edgecache-pagestore` | page identity and SSD/memory page stores with recovery |
+//! | [`storage`] | `edgecache-storage` | simulated HDFS (NameNode/DataNode), object store, device models |
+//! | [`columnar`] | `edgecache-columnar` | `colf`, a Parquet-like columnar format |
+//! | [`olap`] | `edgecache-olap` | a Presto-like engine with soft-affinity scheduling |
+//! | [`workload`] | `edgecache-workload` | Zipf/fragmented-read/TPC-DS-like workload synthesis |
+//! | [`metrics`] | `edgecache-metrics` | counters, histograms, cluster aggregation |
+//! | [`common`] | `edgecache-common` | clocks, hashing, consistent-hash ring |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use edgecache::core::config::CacheConfig;
+//! use edgecache::core::manager::{CacheManager, RemoteSource, SourceFile};
+//! use edgecache::pagestore::{CacheScope, MemoryPageStore};
+//! use bytes::Bytes;
+//!
+//! struct MyStorage;
+//! impl RemoteSource for MyStorage {
+//!     fn read(&self, _path: &str, offset: u64, len: u64) -> edgecache::Result<Bytes> {
+//!         let end = (offset + len).min(1 << 20);
+//!         Ok(Bytes::from(vec![7u8; end.saturating_sub(offset) as usize]))
+//!     }
+//! }
+//!
+//! let cache = CacheManager::builder(CacheConfig::default())
+//!     .with_store(Arc::new(MemoryPageStore::new()), 1 << 30)
+//!     .build()?;
+//! let file = SourceFile::new("/lake/t/part-0", 1, 1 << 20, CacheScope::Global);
+//! let bytes = cache.read(&file, 4096, 1024, &MyStorage)?; // miss → read-through
+//! let again = cache.read(&file, 4096, 1024, &MyStorage)?; // hit → local page
+//! assert_eq!(bytes, again);
+//! # edgecache::Result::Ok(())
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios (Presto-style query
+//! caching, the HDFS DataNode cache, trace replay) and `crates/bench` for
+//! the harnesses that regenerate every table and figure of the paper.
+
+pub use edgecache_columnar as columnar;
+pub use edgecache_common as common;
+pub use edgecache_distcache as distcache;
+pub use edgecache_kvstore as kvstore;
+pub use edgecache_core as core;
+pub use edgecache_metrics as metrics;
+pub use edgecache_olap as olap;
+pub use edgecache_pagestore as pagestore;
+pub use edgecache_storage as storage;
+pub use edgecache_workload as workload;
+
+pub use edgecache_common::{Error, Result};

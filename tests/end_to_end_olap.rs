@@ -1,0 +1,218 @@
+//! End-to-end integration: OLAP engine + local cache + columnar format +
+//! simulated object store. Verifies correctness invariants the paper's
+//! deployment depends on: caching never changes results, affinity warms the
+//! right workers, invalidation works, and bulk scope deletes purge exactly
+//! the right pages.
+
+use std::sync::Arc;
+
+use edgecache::columnar::{ColfWriter, ColumnType, Predicate, Schema, Value};
+use edgecache::common::clock::SimClock;
+use edgecache::common::ByteSize;
+use edgecache::olap::{
+    AggExpr, Catalog, DataFile, Engine, EngineConfig, PartitionDef, QueryPlan, TableDef,
+    WorkerConfig,
+};
+use edgecache::storage::ObjectStore;
+use edgecache::workload::tpcds::{TpcdsGen, TpcdsScale};
+
+fn tpcds_engine(workers: usize) -> (TpcdsGen, Engine, Arc<ObjectStore>) {
+    let clock = SimClock::new();
+    let gen = TpcdsGen::new(TpcdsScale::tiny(), 3);
+    let (catalog, store) = gen.build_fresh(Arc::new(clock.clone())).unwrap();
+    let engine = Engine::new(
+        catalog,
+        store.clone(),
+        EngineConfig {
+            workers,
+            worker: WorkerConfig {
+                page_size: ByteSize::kib(8),
+                cache_capacity: ByteSize::mib(64).as_u64(),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        Arc::new(clock),
+    )
+    .unwrap();
+    (gen, engine, store)
+}
+
+#[test]
+fn all_queries_warm_equals_cold_across_worker_counts() {
+    for workers in [1, 2, 5] {
+        let (gen, engine, _) = tpcds_engine(workers);
+        for q in (1..=99).step_by(7) {
+            let plan = gen.query(q);
+            let cold = engine.execute(&plan).unwrap();
+            let warm = engine.execute(&plan).unwrap();
+            assert_eq!(
+                cold.rows, warm.rows,
+                "q{q} with {workers} workers: warm result differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn cluster_cache_stops_remote_traffic_once_warm() {
+    let (gen, engine, store) = tpcds_engine(3);
+    let plan = gen.query(3);
+    engine.execute(&plan).unwrap();
+    engine.execute(&plan).unwrap();
+    let requests_after_warm = store.request_count();
+    for _ in 0..5 {
+        engine.execute(&plan).unwrap();
+    }
+    assert_eq!(
+        store.request_count(),
+        requests_after_warm,
+        "warm cluster must not touch the object store"
+    );
+}
+
+#[test]
+fn file_version_bump_invalidates_across_cluster() {
+    let clock = SimClock::new();
+    let store = Arc::new(ObjectStore::new(Arc::new(clock.clone())));
+    let catalog = Arc::new(Catalog::new());
+    let schema = Schema::new(vec![("v", ColumnType::Int64)]);
+
+    let build_file = |value: i64| {
+        let mut w = ColfWriter::new(schema.clone(), 10);
+        for _ in 0..10 {
+            w.push_row(vec![Value::Int64(value)]).unwrap();
+        }
+        w.finish().unwrap()
+    };
+
+    let v1 = build_file(1);
+    let version = store.put_object("/t/f", v1.clone());
+    catalog.register(TableDef {
+        schema_name: "s".into(),
+        table_name: "t".into(),
+        columns: schema.clone(),
+        partitions: vec![PartitionDef {
+            name: "p".into(),
+            files: vec![DataFile { path: "/t/f".into(), version, length: v1.len() as u64 }],
+        }],
+    });
+
+    let engine = Engine::new(
+        Arc::clone(&catalog),
+        store.clone(),
+        EngineConfig { workers: 2, ..Default::default() },
+        Arc::new(clock),
+    )
+    .unwrap();
+    let plan = QueryPlan::scan("s", "t", &[]).aggregate(vec![AggExpr::sum("v")]);
+    let r1 = engine.execute(&plan).unwrap();
+    assert_eq!(r1.rows, vec![vec![Value::Float64(10.0)]]);
+
+    // Rewrite the file: new etag → new version → new cache identity.
+    let v2 = build_file(5);
+    let version2 = store.put_object("/t/f", v2.clone());
+    assert!(version2 > version);
+    catalog
+        .add_partition(
+            "s",
+            "t",
+            PartitionDef {
+                name: "p".into(),
+                files: vec![DataFile {
+                    path: "/t/f".into(),
+                    version: version2,
+                    length: v2.len() as u64,
+                }],
+            },
+        )
+        .unwrap();
+    let r2 = engine.execute(&plan).unwrap();
+    assert_eq!(
+        r2.rows,
+        vec![vec![Value::Float64(50.0)]],
+        "stale cached pages must not serve the old content"
+    );
+}
+
+#[test]
+fn predicate_pushdown_results_match_plain_scan_through_cache() {
+    let (gen, engine, _) = tpcds_engine(2);
+    // A predicate on the row-group-ordered id column exercises pruning.
+    let pushed = QueryPlan::scan("tpcds", "store_sales", &[])
+        .filter(Predicate::Between(
+            "ss_quantity".into(),
+            Value::Int64(10),
+            Value::Int64(20),
+        ))
+        .aggregate(vec![AggExpr::count()]);
+    let all = QueryPlan::scan("tpcds", "store_sales", &["ss_quantity"]);
+    let pushed_count = match engine.execute(&pushed).unwrap().rows[0][0] {
+        Value::Int64(n) => n,
+        ref v => panic!("unexpected {v:?}"),
+    };
+    let manual = engine
+        .execute(&all)
+        .unwrap()
+        .rows
+        .iter()
+        .filter(|row| matches!(row[0], Value::Int64(q) if (10..=20).contains(&q)))
+        .count() as i64;
+    assert_eq!(pushed_count, manual);
+    let _ = gen;
+}
+
+#[test]
+fn drop_partition_frees_cache_and_changes_results() {
+    let (gen, engine, _) = tpcds_engine(2);
+    let count_all = QueryPlan::scan("tpcds", "store_sales", &[]).aggregate(vec![AggExpr::count()]);
+    let before = engine.execute(&count_all).unwrap().rows[0][0].clone();
+    let total_pages_before: usize = engine
+        .worker_names()
+        .iter()
+        .filter_map(|w| engine.worker(w).and_then(|w| w.cache()).map(|c| c.index().len()))
+        .sum();
+    assert!(total_pages_before > 0);
+
+    let part = gen.fact_partitions()[0].clone();
+    engine.drop_partition("tpcds", "store_sales", &part).unwrap();
+    let after = engine.execute(&count_all).unwrap().rows[0][0].clone();
+    match (before, after) {
+        (Value::Int64(b), Value::Int64(a)) => assert!(a < b, "{a} !< {b}"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn worker_outage_is_transparent_with_lazy_seats() {
+    let (gen, engine, _) = tpcds_engine(3);
+    let plan = gen.query(2);
+    let expected = engine.execute(&plan).unwrap().rows;
+    // Take one worker offline; queries keep working and stay correct.
+    let victim = engine.worker_names()[0].clone();
+    engine.scheduler().worker_offline(&victim);
+    assert_eq!(engine.execute(&plan).unwrap().rows, expected);
+    // It returns within the lazy window; still correct, affinity restored.
+    engine.scheduler().worker_online(&victim);
+    assert_eq!(engine.execute(&plan).unwrap().rows, expected);
+}
+
+#[test]
+fn rate_limited_object_store_throttles_cold_scans() {
+    let clock = SimClock::new();
+    let gen = TpcdsGen::new(TpcdsScale::tiny(), 5);
+    let (catalog, store) = gen.build_fresh(Arc::new(clock.clone())).unwrap();
+    store.set_rate_limit(2); // Absurdly low API budget.
+    let engine = Engine::new(
+        catalog,
+        store.clone(),
+        EngineConfig { workers: 2, ..Default::default() },
+        Arc::new(clock),
+    )
+    .unwrap();
+    let err = engine
+        .execute(&gen.query(3))
+        .expect_err("cold scan must exceed 2 GETs/sec");
+    assert!(matches!(err, edgecache::Error::Throttled(_)), "{err}");
+    assert!(store.throttled_count() > 0);
+}

@@ -1,0 +1,141 @@
+//! Integration: the §8 failure cases driven through the full cache manager —
+//! read hangs, corrupted pages, and a device that fills up early — plus
+//! combinations of them under concurrent traffic.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use edgecache::common::ByteSize;
+use edgecache::core::config::CacheConfig;
+use edgecache::core::manager::{CacheManager, RemoteSource, SourceFile};
+use edgecache::pagestore::{CacheScope, FaultPlan, FaultyStore, MemoryPageStore, PageId};
+
+struct PatternRemote;
+
+impl RemoteSource for PatternRemote {
+    fn read(&self, _path: &str, offset: u64, len: u64) -> edgecache::Result<Bytes> {
+        Ok(Bytes::from(
+            (offset..offset + len).map(|i| (i % 241) as u8).collect::<Vec<u8>>(),
+        ))
+    }
+}
+
+fn expected(offset: u64, len: u64) -> Vec<u8> {
+    (offset..offset + len).map(|i| (i % 241) as u8).collect()
+}
+
+fn faulty_cache(plan: &Arc<FaultPlan>, timeout: Option<Duration>) -> CacheManager {
+    let store = Arc::new(FaultyStore::new(MemoryPageStore::new(), Arc::clone(plan)));
+    let mut config = CacheConfig::default().with_page_size(ByteSize::kib(4));
+    if let Some(t) = timeout {
+        config = config.with_read_timeout(t);
+    }
+    CacheManager::builder(config)
+        .with_store(store, ByteSize::mib(32).as_u64())
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn hanging_reads_fall_back_within_deadline() {
+    let plan = FaultPlan::none();
+    let cache = faulty_cache(&plan, Some(Duration::from_millis(25)));
+    let file = SourceFile::new("/f", 1, 64 << 10, CacheScope::Global);
+    cache.read(&file, 0, 4096, &PatternRemote).unwrap();
+
+    // Every local read now hangs for 300 ms, far past the 25 ms deadline.
+    plan.set_read_hang(Duration::from_millis(300), 1);
+    let start = std::time::Instant::now();
+    let got = cache.read(&file, 0, 4096, &PatternRemote).unwrap();
+    assert_eq!(got.as_ref(), &expected(0, 4096)[..]);
+    assert!(
+        start.elapsed() < Duration::from_millis(200),
+        "fallback must not wait out the hang"
+    );
+    assert!(cache.metrics().counter("fallbacks.timeout").get() >= 1);
+    // The cached page was kept; once the hang clears, hits resume.
+    plan.set_read_hang(Duration::ZERO, 0);
+    let hits_before = cache.stats().hits;
+    cache.read(&file, 0, 4096, &PatternRemote).unwrap();
+    assert_eq!(cache.stats().hits, hits_before + 1);
+}
+
+#[test]
+fn corruption_storm_is_survivable() {
+    let plan = FaultPlan::none();
+    let cache = faulty_cache(&plan, None);
+    let file = SourceFile::new("/f", 1, 256 << 10, CacheScope::Global);
+    cache.read(&file, 0, 256 << 10, &PatternRemote).unwrap();
+    // Corrupt every cached page at once.
+    for page in cache.index().pages_of_file(file.file_id()) {
+        plan.corrupt_page(page);
+    }
+    let got = cache.read(&file, 0, 256 << 10, &PatternRemote).unwrap();
+    assert_eq!(got.as_ref(), &expected(0, 256 << 10)[..]);
+    assert!(cache.metrics().counter("evictions.corrupt").get() >= 1);
+    // And the refilled pages serve hits again.
+    let hits_before = cache.stats().hits;
+    cache.read(&file, 0, 4 << 10, &PatternRemote).unwrap();
+    assert!(cache.stats().hits > hits_before);
+}
+
+#[test]
+fn shrinking_device_keeps_reads_working() {
+    let plan = FaultPlan::none();
+    let cache = faulty_cache(&plan, None);
+    let file = SourceFile::new("/f", 1, 1 << 20, CacheScope::Global);
+    cache.read(&file, 0, 1 << 20, &PatternRemote).unwrap();
+    // The device "loses" capacity below what is already cached: new puts
+    // ENOSPC until early eviction frees room.
+    plan.set_device_capacity(64 << 10);
+    let other = SourceFile::new("/g", 1, 512 << 10, CacheScope::Global);
+    let got = cache.read(&other, 0, 512 << 10, &PatternRemote).unwrap();
+    assert_eq!(got.len(), 512 << 10);
+    assert!(cache.metrics().counter("evictions.no_space").get() >= 1);
+}
+
+#[test]
+fn concurrent_traffic_with_mixed_faults_is_correct() {
+    let plan = FaultPlan::none();
+    plan.set_read_hang(Duration::from_millis(5), 17); // Occasional slow read.
+    let cache = Arc::new(faulty_cache(&plan, Some(Duration::from_millis(2))));
+    let corrupt_target = PageId::new(
+        SourceFile::new("/f0", 1, 64 << 10, CacheScope::Global).file_id(),
+        1,
+    );
+    plan.corrupt_page(corrupt_target);
+
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let cache = Arc::clone(&cache);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..60u64 {
+                let f = SourceFile::new(format!("/f{}", t % 3), 1, 64 << 10, CacheScope::Global);
+                let offset = (i * 1013) % (60 << 10);
+                let len = 2048.min((64 << 10) - offset);
+                let got = cache.read(&f, offset, len, &PatternRemote).unwrap();
+                assert_eq!(got.as_ref(), &expected(offset, len)[..]);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    cache.index().check_consistency().unwrap();
+}
+
+#[test]
+fn error_breakdown_metrics_are_populated() {
+    // §7: error counts per operation and error kind are the key debugging
+    // signal; make sure the faults above actually surface there.
+    let plan = FaultPlan::none();
+    let cache = faulty_cache(&plan, None);
+    let file = SourceFile::new("/f", 1, 8 << 10, CacheScope::Global);
+    cache.read(&file, 0, 8 << 10, &PatternRemote).unwrap();
+    plan.corrupt_page(PageId::new(file.file_id(), 0));
+    cache.read(&file, 0, 1024, &PatternRemote).unwrap();
+    let snapshot = cache.metrics().snapshot();
+    assert_eq!(snapshot.counter("errors.get.corrupted"), 1);
+    assert!(cache.metrics().error_count("get") >= 1);
+}

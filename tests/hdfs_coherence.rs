@@ -1,0 +1,142 @@
+//! Integration: HDFS + local cache coherence under mutation (§6.2.3).
+//! Appends, deletes, restarts, and replica reads must never serve stale or
+//! mixed data through the cache.
+
+use std::sync::Arc;
+
+use edgecache::common::clock::SimClock;
+use edgecache::common::ByteSize;
+use edgecache::storage::hdfs::{DataNodeConfig, HdfsClient, HdfsCluster, HdfsClusterConfig};
+use edgecache::core::manager::RemoteSource;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn cluster(replication: usize) -> (HdfsCluster, SimClock) {
+    let clock = SimClock::new();
+    let c = HdfsCluster::new(
+        HdfsClusterConfig {
+            datanodes: 3,
+            block_size: 64 << 10,
+            replication,
+            datanode: DataNodeConfig {
+                cache_capacity: ByteSize::mib(16).as_u64(),
+                page_size: ByteSize::kib(4),
+                admission_window: None, // Cache aggressively for coherence tests.
+                ..Default::default()
+            },
+        },
+        Arc::new(clock.clone()),
+    )
+    .unwrap();
+    (c, clock)
+}
+
+fn payload(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random()).collect()
+}
+
+#[test]
+fn repeated_appends_stay_coherent_through_the_cache() {
+    let (c, _) = cluster(1);
+    let mut expected = payload(100_000, 1);
+    c.write_file("/f", &expected).unwrap();
+
+    for round in 0..8u64 {
+        // Warm the cache with the current content.
+        let got = c.read("/f", 0, expected.len() as u64).unwrap();
+        assert_eq!(got.as_ref(), &expected[..], "pre-append round {round}");
+        // Append crosses block boundaries on some rounds.
+        let extra = payload(37_000, round + 2);
+        c.append_file("/f", &extra).unwrap();
+        expected.extend_from_slice(&extra);
+        let got = c.read("/f", 0, expected.len() as u64).unwrap();
+        assert_eq!(got.as_ref(), &expected[..], "post-append round {round}");
+    }
+}
+
+#[test]
+fn random_ranged_reads_match_ground_truth() {
+    let (c, _) = cluster(2);
+    let data = payload(400_000, 7);
+    c.write_file("/data", &data).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..300 {
+        let offset = rng.random_range(0..data.len() as u64);
+        let len = rng.random_range(1..64_000u64);
+        let got = c.read("/data", offset, len).unwrap();
+        let end = (offset + len).min(data.len() as u64) as usize;
+        assert_eq!(got.as_ref(), &data[offset as usize..end]);
+    }
+    // A healthy share of those reads was served from the caches.
+    let cached: u64 = c.datanodes().iter().map(|d| d.cache_bytes()).sum();
+    assert!(cached > 0, "cache never engaged");
+}
+
+#[test]
+fn delete_then_recreate_serves_new_content() {
+    let (c, _) = cluster(1);
+    let old = payload(80_000, 11);
+    c.write_file("/x", &old).unwrap();
+    c.read("/x", 0, 80_000).unwrap(); // Cached.
+    c.delete_file("/x").unwrap();
+
+    let new = payload(80_000, 12);
+    c.write_file("/x", &new).unwrap();
+    let got = c.read("/x", 0, 80_000).unwrap();
+    assert_eq!(got.as_ref(), &new[..], "must not resurrect deleted blocks");
+}
+
+#[test]
+fn datanode_restart_preserves_correctness() {
+    let (c, _) = cluster(1);
+    let data = payload(200_000, 21);
+    c.write_file("/f", &data).unwrap();
+    c.read("/f", 0, 200_000).unwrap();
+    for dn in c.datanodes() {
+        dn.restart();
+    }
+    let got = c.read("/f", 50_000, 100_000).unwrap();
+    assert_eq!(got.as_ref(), &data[50_000..150_000]);
+}
+
+#[test]
+fn hdfs_client_is_a_remote_source_for_compute_caches() {
+    // The paper's layering: a Presto worker's local cache reads *through*
+    // HDFS, whose DataNodes have their own local caches underneath.
+    use edgecache::core::config::CacheConfig;
+    use edgecache::core::manager::{CacheManager, SourceFile};
+    use edgecache::pagestore::{CacheScope, MemoryPageStore};
+
+    let (c, _) = cluster(1);
+    let data = payload(150_000, 31);
+    c.write_file("/warehouse/t/f", &data).unwrap();
+    let client = HdfsClient::new(Arc::new(c));
+
+    let compute_cache = CacheManager::builder(
+        CacheConfig::default().with_page_size(ByteSize::kib(16)),
+    )
+    .with_store(Arc::new(MemoryPageStore::new()), ByteSize::mib(64).as_u64())
+    .build()
+    .unwrap();
+    let file = SourceFile::new("/warehouse/t/f", 1, 150_000, CacheScope::Global);
+    let a = compute_cache.read(&file, 10_000, 30_000, &client).unwrap();
+    assert_eq!(a.as_ref(), &data[10_000..40_000]);
+    let b = compute_cache.read(&file, 10_000, 30_000, &client).unwrap();
+    assert_eq!(a, b);
+    // The 30 000-byte range spans three 16 KB pages: three page-level hits.
+    assert_eq!(compute_cache.stats().hits, 3, "second read is a compute-layer hit");
+    // Direct client read still fine.
+    assert_eq!(
+        client.read("/warehouse/t/f", 0, 10).unwrap().as_ref(),
+        &data[..10]
+    );
+}
+
+#[test]
+fn truncated_cluster_read_clamps_at_eof() {
+    let (c, _) = cluster(1);
+    c.write_file("/small", &payload(1000, 41)).unwrap();
+    assert_eq!(c.read("/small", 900, 500).unwrap().len(), 100);
+    assert!(c.read("/small", 5000, 10).unwrap().is_empty());
+}

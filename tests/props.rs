@@ -1,0 +1,202 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use edgecache::columnar::{
+    ColfReader, ColfWriter, ColumnType, Predicate, Schema, Value,
+};
+use edgecache::common::hash::hash_str;
+use edgecache::common::ByteSize;
+use edgecache::core::config::{CacheConfig, EvictionPolicyKind};
+use edgecache::core::manager::{CacheManager, RemoteSource, SourceFile};
+use edgecache::metrics::Histogram;
+use edgecache::pagestore::{CacheScope, MemoryPageStore};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct SeededRemote {
+    len: u64,
+    seed: u64,
+}
+
+impl SeededRemote {
+    fn byte_at(&self, i: u64) -> u8 {
+        (hash_str(&format!("{}:{}", self.seed, i / 256)) >> (i % 8)) as u8 ^ (i % 251) as u8
+    }
+}
+
+impl RemoteSource for SeededRemote {
+    fn read(&self, _path: &str, offset: u64, len: u64) -> edgecache::Result<Bytes> {
+        let end = (offset + len).min(self.len);
+        Ok(Bytes::from(
+            (offset..end).map(|i| self.byte_at(i)).collect::<Vec<u8>>(),
+        ))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever sequence of ranged reads is issued, with any page size and
+    /// any (possibly tiny) capacity, the cache returns exactly the remote's
+    /// bytes.
+    #[test]
+    fn cache_reads_equal_remote_reads(
+        page_size_kb in 1u64..64,
+        capacity_pages in 1u64..32,
+        file_len in 1u64..200_000,
+        seed in 0u64..1000,
+        ops in proptest::collection::vec((0u64..220_000, 1u64..50_000), 1..30),
+    ) {
+        let remote = SeededRemote { len: file_len, seed };
+        let page_size = page_size_kb << 10;
+        let cache = CacheManager::builder(
+            CacheConfig::default().with_page_size(ByteSize::new(page_size)),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), page_size * capacity_pages)
+        .build()
+        .unwrap();
+        let file = SourceFile::new("/f", seed, file_len, CacheScope::Global);
+        for (offset, len) in ops {
+            let got = cache.read(&file, offset, len, &remote).unwrap();
+            let end = offset.saturating_add(len).min(file_len);
+            let want: Vec<u8> = (offset.min(end)..end).map(|i| remote.byte_at(i)).collect();
+            prop_assert_eq!(got.as_ref(), &want[..]);
+        }
+        cache.index().check_consistency().unwrap();
+    }
+
+    /// The cache never holds more bytes than its configured capacity, under
+    /// any eviction policy.
+    #[test]
+    fn capacity_is_never_exceeded(
+        policy in prop_oneof![
+            Just(EvictionPolicyKind::Lru),
+            Just(EvictionPolicyKind::Fifo),
+            Just(EvictionPolicyKind::Random { seed: 9 }),
+        ],
+        capacity_pages in 1u64..16,
+        ops in proptest::collection::vec((0u64..40, 0u64..200_000), 1..60),
+    ) {
+        const PAGE: u64 = 4 << 10;
+        let remote = SeededRemote { len: 1 << 20, seed: 5 };
+        let cache = CacheManager::builder(
+            CacheConfig::default()
+                .with_page_size(ByteSize::new(PAGE))
+                .with_eviction(policy),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), PAGE * capacity_pages)
+        .build()
+        .unwrap();
+        for (file_idx, offset) in ops {
+            let file = SourceFile::new(format!("/f{file_idx}"), 1, 1 << 20, CacheScope::Global);
+            cache.read(&file, offset, 1000, &remote).unwrap();
+            prop_assert!(cache.index().total_bytes() <= PAGE * capacity_pages);
+        }
+        cache.index().check_consistency().unwrap();
+    }
+
+    /// colf round trip: arbitrary typed rows written and read back are
+    /// identical, for any row-group size.
+    #[test]
+    fn colf_round_trips(
+        rows in proptest::collection::vec(
+            (any::<i64>(), any::<bool>(), "[a-z]{0,8}", -1e9f64..1e9),
+            0..200,
+        ),
+        per_group in 1usize..50,
+    ) {
+        let schema = Schema::new(vec![
+            ("a", ColumnType::Int64),
+            ("b", ColumnType::Bool),
+            ("c", ColumnType::Utf8),
+            ("d", ColumnType::Float64),
+        ]);
+        let mut w = ColfWriter::new(schema, per_group);
+        for (a, b, c, d) in &rows {
+            w.push_row(vec![
+                Value::Int64(*a),
+                Value::Bool(*b),
+                Value::Utf8(c.clone()),
+                Value::Float64(*d),
+            ])
+            .unwrap();
+        }
+        let file = w.finish().unwrap();
+        let r = ColfReader::open(file).unwrap();
+        prop_assert_eq!(r.metadata().total_rows, rows.len() as u64);
+        let mut row_idx = 0usize;
+        for rg in 0..r.row_groups() {
+            let cols = r.read_row_group(rg, &[0, 1, 2, 3]).unwrap();
+            for i in 0..cols[0].len() {
+                let (a, b, c, d) = &rows[row_idx];
+                prop_assert_eq!(cols[0].value(i), Value::Int64(*a));
+                prop_assert_eq!(cols[1].value(i), Value::Bool(*b));
+                prop_assert_eq!(cols[2].value(i), Value::Utf8(c.clone()));
+                prop_assert_eq!(cols[3].value(i), Value::Float64(*d));
+                row_idx += 1;
+            }
+        }
+        prop_assert_eq!(row_idx, rows.len());
+    }
+
+    /// Predicate pushdown never changes results: pruned row groups contain
+    /// no matching rows.
+    #[test]
+    fn pushdown_is_sound(
+        values in proptest::collection::vec(-1000i64..1000, 1..300),
+        per_group in 1usize..40,
+        lo in -1000i64..1000,
+        width in 0i64..500,
+    ) {
+        let schema = Schema::new(vec![("x", ColumnType::Int64)]);
+        let mut w = ColfWriter::new(schema, per_group);
+        for v in &values {
+            w.push_row(vec![Value::Int64(*v)]).unwrap();
+        }
+        let r = ColfReader::open(w.finish().unwrap()).unwrap();
+        let pred = Predicate::Between("x".into(), Value::Int64(lo), Value::Int64(lo + width));
+        let kept = r.prune(Some(&pred));
+        // Rows matching in pruned-away groups would be a soundness bug.
+        for rg in 0..r.row_groups() {
+            if kept.contains(&rg) {
+                continue;
+            }
+            let col = r.read_column(rg, 0).unwrap();
+            let matches = pred.matching_rows(&[("x", &col)], col.len());
+            prop_assert!(matches.is_empty(), "pruned group {rg} had matches");
+        }
+    }
+
+    /// Histogram quantiles are bounded by min/max and monotone in q.
+    #[test]
+    fn histogram_quantiles_are_sane(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..500),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        let mut last = 0u64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            prop_assert!(est >= min && est <= max, "q{q}: {est} not in [{min},{max}]");
+            prop_assert!(est >= last, "quantiles must be monotone");
+            last = est;
+        }
+    }
+
+    /// ByteSize display → parse is the identity.
+    #[test]
+    fn bytesize_display_parse_round_trip(bytes in 0u64..u64::MAX / 2) {
+        let b = ByteSize::new(bytes);
+        let reparsed: ByteSize = b.to_string().parse().unwrap();
+        // Display rounds to 0.1 units; the round trip must stay within that.
+        let tolerance = (bytes / 512).max(1);
+        prop_assert!(reparsed.as_u64().abs_diff(bytes) <= tolerance,
+            "{} -> {} -> {}", bytes, b, reparsed.as_u64());
+    }
+}
