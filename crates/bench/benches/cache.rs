@@ -20,12 +20,10 @@ impl RemoteSource for ZeroRemote {
 }
 
 fn benches(c: &mut Criterion) {
-    let cache = CacheManager::builder(
-        CacheConfig::default().with_page_size(ByteSize::kib(64)),
-    )
-    .with_store(Arc::new(MemoryPageStore::new()), ByteSize::gib(8).as_u64())
-    .build()
-    .unwrap();
+    let cache = CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::kib(64)))
+        .with_store(Arc::new(MemoryPageStore::new()), ByteSize::gib(8).as_u64())
+        .build()
+        .unwrap();
     let files: Vec<SourceFile> = (0..256)
         .map(|i| SourceFile::new(format!("/f{i}"), 1, 1 << 20, CacheScope::Global))
         .collect();

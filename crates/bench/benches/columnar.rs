@@ -3,9 +3,7 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use edgecache_columnar::{
-    ColfReader, ColfWriter, ColumnType, MetadataCache, Schema, Value,
-};
+use edgecache_columnar::{ColfReader, ColfWriter, ColumnType, MetadataCache, Schema, Value};
 
 fn sample_file(rows: usize) -> Bytes {
     let schema = Schema::new(vec![

@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the parallel read-through pipeline: an
+//! 8-thread, 50 %-miss, 8-page-range OLAP-scan shape (plus a cold-scan
+//! variant) against the sequential baseline (`coalesce_fetches = false`,
+//! `max_concurrent_fetches = 1`). The remote charges a fixed per-request
+//! latency, so the numbers show what coalescing and concurrent fetches
+//! save on the wire, not just lock overhead.
+//!
+//! Each iteration is one barrier-released scan wave over persistent reader
+//! threads (see [`ScanHarness`]); the timed region contains no spawns.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edgecache_bench::experiments::readpath_scaling::{ScanHarness, PAGES_PER_RANGE};
+
+const THREADS: u64 = 8;
+const PAGE: u64 = 16 << 10;
+
+fn benches(c: &mut Criterion) {
+    // Object-store-like round-trip cost per request.
+    let latency = Duration::from_millis(2);
+    let mut group = c.benchmark_group("readpath");
+    group.throughput(Throughput::Bytes(THREADS * PAGES_PER_RANGE * PAGE));
+
+    // (name, parallel pipeline?, miss period: pages at its multiples miss)
+    for (name, parallel, miss_period) in [
+        ("parallel_8thread_50miss", true, 2),
+        ("sequential_8thread_50miss", false, 2),
+        ("parallel_8thread_cold", true, 1),
+        ("sequential_8thread_cold", false, 1),
+    ] {
+        group.bench_function(name, |b| {
+            let harness = ScanHarness::new(parallel, THREADS, latency);
+            b.iter(|| harness.wave(miss_period));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

@@ -19,7 +19,11 @@ fn main() {
     }
     println!("=== summary ===");
     for report in &reports {
-        let status = if report.all_ok() { "OK      " } else { "MISMATCH" };
+        let status = if report.all_ok() {
+            "OK      "
+        } else {
+            "MISMATCH"
+        };
         println!("{status} {} — {}", report.id, report.title);
     }
     if failed > 0 {

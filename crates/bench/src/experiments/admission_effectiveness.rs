@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use bytes::Bytes;
 use edgecache_common::clock::SimClock;
 use edgecache_common::ByteSize;
 use edgecache_core::admission::{FilterRule, FilterRuleAdmission, FilterRuleSet};
@@ -17,7 +18,6 @@ use edgecache_core::config::CacheConfig;
 use edgecache_core::manager::{CacheManager, RemoteSource, SourceFile};
 use edgecache_pagestore::{CacheScope, MemoryPageStore};
 use edgecache_workload::zipf::ZipfSampler;
-use bytes::Bytes;
 
 use crate::report::{Check, ExperimentReport, TextTable};
 
@@ -51,13 +51,11 @@ fn filter_rule_phase(files: usize, requests: usize) -> (f64, f64) {
             .collect(),
         default_admit: false,
     };
-    let cache = CacheManager::builder(
-        CacheConfig::default().with_page_size(ByteSize::new(PAGE)),
-    )
-    .with_store(Arc::new(MemoryPageStore::new()), ByteSize::gib(4).as_u64())
-    .with_admission(Arc::new(FilterRuleAdmission::new(rules)))
-    .build()
-    .expect("cache builds");
+    let cache = CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(PAGE)))
+        .with_store(Arc::new(MemoryPageStore::new()), ByteSize::gib(4).as_u64())
+        .with_admission(Arc::new(FilterRuleAdmission::new(rules)))
+        .build()
+        .expect("cache builds");
 
     // Zipf over files; file rank f belongs to table f / files_per_table, so
     // hot tables own the hot files.
@@ -76,7 +74,12 @@ fn filter_rule_phase(files: usize, requests: usize) -> (f64, f64) {
         );
         let before = m.counter("remote_requests").get();
         cache
-            .read(&file, (i as u64 * 7919) % (FILE_LEN - 1024), 1024, &ZeroRemote)
+            .read(
+                &file,
+                (i as u64 * 7919) % (FILE_LEN - 1024),
+                1024,
+                &ZeroRemote,
+            )
             .expect("read succeeds");
         if i >= requests / 4 {
             measured += 1;
@@ -92,16 +95,14 @@ fn filter_rule_phase(files: usize, requests: usize) -> (f64, f64) {
 
 fn sliding_window_phase(blocks: usize, requests: usize) -> f64 {
     let clock = SimClock::new();
-    let cache = CacheManager::builder(
-        CacheConfig::default().with_page_size(ByteSize::new(PAGE)),
-    )
-    .with_store(Arc::new(MemoryPageStore::new()), ByteSize::gib(4).as_u64())
-    .with_admission(Arc::new(
-        edgecache_core::admission::SlidingWindowAdmission::per_minute(60, 3),
-    ))
-    .with_clock(Arc::new(clock.clone()))
-    .build()
-    .expect("cache builds");
+    let cache = CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(PAGE)))
+        .with_store(Arc::new(MemoryPageStore::new()), ByteSize::gib(4).as_u64())
+        .with_admission(Arc::new(
+            edgecache_core::admission::SlidingWindowAdmission::per_minute(60, 3),
+        ))
+        .with_clock(Arc::new(clock.clone()))
+        .build()
+        .expect("cache builds");
 
     let mut zipf = ZipfSampler::new(blocks, 1.2, 9);
     let m = cache.metrics();
@@ -113,7 +114,9 @@ fn sliding_window_phase(blocks: usize, requests: usize) -> f64 {
         clock.advance(std::time::Duration::from_millis(50));
         let rejected_before = m.counter("admission_rejected").get();
         let misses_before = m.counter("misses").get();
-        cache.read(&file, 0, 1024, &ZeroRemote).expect("read succeeds");
+        cache
+            .read(&file, 0, 1024, &ZeroRemote)
+            .expect("read succeeds");
         let was_rejected = m.counter("admission_rejected").get() > rejected_before;
         let was_miss = m.counter("misses").get() > misses_before;
         // "Requests which fulfill the admission policy": not rejected.
@@ -133,7 +136,11 @@ pub fn run(quick: bool) -> ExperimentReport {
         "admission",
         "Admission effectiveness: filter rules (<10% remote) and sliding window (~1% slow path)",
     );
-    let (files, requests) = if quick { (800, 24_000) } else { (8_000, 240_000) };
+    let (files, requests) = if quick {
+        (800, 24_000)
+    } else {
+        (8_000, 240_000)
+    };
     let (remote_fraction, hit_rate) = filter_rule_phase(files, requests);
     let slow_fraction = sliding_window_phase(files, requests);
 

@@ -50,13 +50,17 @@ fn run_policy(kind: EvictionPolicyKind, files: usize, requests: usize, scans: bo
                 let f = scan_cursor % files;
                 scan_cursor += 7; // Stride so scans cover the table.
                 let file = SourceFile::new(format!("/f{f}"), 1, PAGE, CacheScope::Global);
-                cache.read(&file, 0, PAGE, &ZeroRemote).expect("read succeeds");
+                cache
+                    .read(&file, 0, PAGE, &ZeroRemote)
+                    .expect("read succeeds");
             }
             continue;
         }
         let f = zipf.sample();
         let file = SourceFile::new(format!("/f{f}"), 1, PAGE, CacheScope::Global);
-        cache.read(&file, 0, PAGE, &ZeroRemote).expect("read succeeds");
+        cache
+            .read(&file, 0, PAGE, &ZeroRemote)
+            .expect("read succeeds");
     }
     cache.stats().hit_rate
 }
@@ -93,7 +97,10 @@ pub fn run(quick: bool) -> ExperimentReport {
     }
 
     let rate = |list: &[(&str, f64)], name: &str| {
-        list.iter().find(|(n, _)| *n == name).map(|(_, r)| *r).expect("policy ran")
+        list.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, r)| *r)
+            .expect("policy ran")
     };
     report.checks.push(Check::new(
         "LRU beats FIFO and random on skewed traffic",

@@ -11,10 +11,10 @@
 
 use std::sync::Arc;
 
+use edgecache_columnar::{ColfWriter, ColumnType, Schema, Value};
 use edgecache_common::clock::SimClock;
 use edgecache_common::ByteSize;
 use edgecache_metrics::Histogram;
-use edgecache_columnar::{ColfWriter, ColumnType, Schema, Value};
 use edgecache_olap::{
     AggExpr, Catalog, DataFile, Engine, EngineConfig, PartitionDef, QueryPlan, TableDef,
     WorkerConfig,
@@ -35,10 +35,7 @@ struct Setup {
 fn build_table(files: usize, rows_per_file: usize, clock: &SimClock) -> Setup {
     let store = Arc::new(ObjectStore::new(Arc::new(clock.clone())));
     let catalog = Arc::new(Catalog::new());
-    let schema = Schema::new(vec![
-        ("k", ColumnType::Int64),
-        ("v", ColumnType::Float64),
-    ]);
+    let schema = Schema::new(vec![("k", ColumnType::Int64), ("v", ColumnType::Float64)]);
     let mut partitions = Vec::new();
     let mut defs = Vec::new();
     for f in 0..files {
@@ -56,7 +53,11 @@ fn build_table(files: usize, rows_per_file: usize, clock: &SimClock) -> Setup {
         let name = format!("p{f}");
         defs.push(PartitionDef {
             name: name.clone(),
-            files: vec![DataFile { path, version: 1, length: bytes.len() as u64 }],
+            files: vec![DataFile {
+                path,
+                version: 1,
+                length: bytes.len() as u64,
+            }],
         });
         partitions.push(name);
     }
@@ -66,7 +67,11 @@ fn build_table(files: usize, rows_per_file: usize, clock: &SimClock) -> Setup {
         columns: schema,
         partitions: defs,
     });
-    Setup { catalog, store, partitions }
+    Setup {
+        catalog,
+        store,
+        partitions,
+    }
 }
 
 fn run_phase(
@@ -159,7 +164,12 @@ pub fn run(quick: bool) -> ExperimentReport {
     let p50_red = 1.0 - a50 as f64 / b50 as f64;
     let p90_red = 1.0 - a90 as f64 / b90 as f64;
 
-    report.table = TextTable::new(&["percentile", "before cache (ms)", "after cache (ms)", "reduction"]);
+    report.table = TextTable::new(&[
+        "percentile",
+        "before cache (ms)",
+        "after cache (ms)",
+        "reduction",
+    ]);
     report.table.row(vec![
         "P50".into(),
         format!("{:.2}", b50 as f64 / 1e3),

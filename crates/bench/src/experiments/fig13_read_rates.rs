@@ -46,7 +46,9 @@ pub fn run(quick: bool) -> ExperimentReport {
     )
     .expect("datanode builds");
     let mut replay = DataNodeReplay::new(Arc::new(node), clock);
-    replay.prepare_blocks(blocks, block_size).expect("blocks stored");
+    replay
+        .prepare_blocks(blocks, block_size)
+        .expect("blocks stored");
 
     let trace = HdfsTraceGen::new(HdfsTraceConfig {
         blocks,

@@ -48,10 +48,16 @@ pub fn run(quick: bool) -> ExperimentReport {
     } else {
         TpcdsScale::small()
     };
-    let queries: Vec<usize> = if quick { (81..=99).collect() } else { (1..=99).collect() };
+    let queries: Vec<usize> = if quick {
+        (81..=99).collect()
+    } else {
+        (1..=99).collect()
+    };
     let gen = TpcdsGen::new(scale, 7);
     let clock = SimClock::new();
-    let (catalog, store) = gen.build_fresh(Arc::new(clock.clone())).expect("dataset builds");
+    let (catalog, store) = gen
+        .build_fresh(Arc::new(clock.clone()))
+        .expect("dataset builds");
 
     // Non-cache engine (direct remote reads).
     let no_cache = Engine::new(
@@ -59,7 +65,11 @@ pub fn run(quick: bool) -> ExperimentReport {
         store.clone(),
         EngineConfig {
             workers: 4,
-            worker: WorkerConfig { enable_cache: false, enable_metadata_cache: false, ..worker_config() },
+            worker: WorkerConfig {
+                enable_cache: false,
+                enable_metadata_cache: false,
+                ..worker_config()
+            },
             ..Default::default()
         },
         Arc::new(clock.clone()),
@@ -70,7 +80,11 @@ pub fn run(quick: bool) -> ExperimentReport {
     let cached = Engine::new(
         catalog,
         store,
-        EngineConfig { workers: 4, worker: worker_config(), ..Default::default() },
+        EngineConfig {
+            workers: 4,
+            worker: worker_config(),
+            ..Default::default()
+        },
         Arc::new(clock.clone()),
     )
     .expect("engine builds");

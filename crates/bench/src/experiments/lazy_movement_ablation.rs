@@ -38,7 +38,12 @@ struct NodeCache {
 
 impl NodeCache {
     fn new(capacity: usize) -> Self {
-        Self { lru: LruPolicy::new(), keys: HashSet::new(), capacity, evictions: 0 }
+        Self {
+            lru: LruPolicy::new(),
+            keys: HashSet::new(),
+            capacity,
+            evictions: 0,
+        }
     }
 
     /// Serves `key`; returns `true` on a hit. Misses fill and may evict.
@@ -70,7 +75,10 @@ struct Outcome {
 fn simulate(lazy: bool, keys: usize, cycles: usize, requests_per_minute: usize) -> Outcome {
     let clock = SimClock::new();
     let ring = ConsistentRing::new(
-        RingConfig { offline_timeout: Duration::from_secs(600), ..Default::default() },
+        RingConfig {
+            offline_timeout: Duration::from_secs(600),
+            ..Default::default()
+        },
         Arc::new(clock.clone()),
     );
     let nodes = 8;
@@ -94,10 +102,10 @@ fn simulate(lazy: bool, keys: usize, cycles: usize, requests_per_minute: usize) 
 
     let mut out = Outcome::default();
     let minute = |ring: &ConsistentRing,
-                      caches: &mut HashMap<String, NodeCache>,
-                      zipf: &mut ZipfSampler,
-                      out: &mut Outcome,
-                      flapping_offline: bool| {
+                  caches: &mut HashMap<String, NodeCache>,
+                  zipf: &mut ZipfSampler,
+                  out: &mut Outcome,
+                  flapping_offline: bool| {
         for _ in 0..requests_per_minute {
             let key = zipf.sample() as u64;
             let key_str = key.to_string();
@@ -155,7 +163,11 @@ pub fn run(quick: bool) -> ExperimentReport {
         "lazy_movement",
         "Lazy data movement: ring timeout vs. immediate reassignment under node flapping (§7)",
     );
-    let (keys, cycles, rpm) = if quick { (2_000, 4, 2_000) } else { (10_000, 12, 10_000) };
+    let (keys, cycles, rpm) = if quick {
+        (2_000, 4, 2_000)
+    } else {
+        (10_000, 12, 10_000)
+    };
     let lazy = simulate(true, keys, cycles, rpm);
     let immediate = simulate(false, keys, cycles, rpm);
 
@@ -187,7 +199,10 @@ pub fn run(quick: bool) -> ExperimentReport {
     report.checks.push(Check::new(
         "lazy avoids polluting sibling caches",
         "fewer evictions",
-        format!("{} vs {}", lazy.pollution_evictions, immediate.pollution_evictions),
+        format!(
+            "{} vs {}",
+            lazy.pollution_evictions, immediate.pollution_evictions
+        ),
         lazy.pollution_evictions < immediate.pollution_evictions,
     ));
     report.notes.push(

@@ -12,9 +12,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use edgecache_columnar::{ColfWriter, ColumnType, Schema, Value};
 use edgecache_common::clock::SimClock;
 use edgecache_common::ByteSize;
-use edgecache_columnar::{ColfWriter, ColumnType, Schema, Value};
 use edgecache_olap::{
     AggExpr, Catalog, DataFile, Engine, EngineConfig, PartitionDef, QueryPlan, TableDef,
     WorkerConfig,
@@ -25,7 +25,11 @@ use edgecache_workload::zipf::ZipfSampler;
 use crate::report::{Check, ExperimentReport, TextTable};
 
 /// Builds wide files (many columns and row groups → large footers).
-fn build(files: usize, rows: usize, clock: &SimClock) -> (Arc<Catalog>, Arc<ObjectStore>, Vec<String>) {
+fn build(
+    files: usize,
+    rows: usize,
+    clock: &SimClock,
+) -> (Arc<Catalog>, Arc<ObjectStore>, Vec<String>) {
     let store = Arc::new(ObjectStore::new(Arc::new(clock.clone())));
     let catalog = Arc::new(Catalog::new());
     // 24 columns: wide schemas are what make footers expensive.
@@ -47,7 +51,11 @@ fn build(files: usize, rows: usize, clock: &SimClock) -> (Arc<Catalog>, Arc<Obje
         let name = format!("p{f}");
         defs.push(PartitionDef {
             name: name.clone(),
-            files: vec![DataFile { path, version: 1, length: bytes.len() as u64 }],
+            files: vec![DataFile {
+                path,
+                version: 1,
+                length: bytes.len() as u64,
+            }],
         });
         names.push(name);
     }
@@ -99,7 +107,13 @@ fn run_phase(
     let parse: Duration = engine
         .worker_names()
         .iter()
-        .map(|w| engine.worker(w).expect("worker").metadata_cache().total_parse_cost())
+        .map(|w| {
+            engine
+                .worker(w)
+                .expect("worker")
+                .metadata_cache()
+                .total_parse_cost()
+        })
         .sum();
     (total_cpu, parse)
 }
@@ -110,7 +124,11 @@ pub fn run(quick: bool) -> ExperimentReport {
         "metadata",
         "Metadata caching: CPU spent parsing footers, cache off vs. on (§7)",
     );
-    let (files, rows, queries) = if quick { (40, 2_000, 300) } else { (200, 4_000, 2_000) };
+    let (files, rows, queries) = if quick {
+        (40, 2_000, 300)
+    } else {
+        (200, 4_000, 2_000)
+    };
     let clock = SimClock::new();
     let (catalog, store, partitions) = build(files, rows, &clock);
 

@@ -8,12 +8,13 @@ pub mod fig13_read_rates;
 pub mod fig14_blocked_procs;
 pub mod fig2_zipf;
 pub mod fig9_tpcds;
-pub mod meta_latency;
-pub mod pagesize_ablation;
-pub mod metadata_ablation;
-pub mod quota_ablation;
-pub mod replicas_ablation;
 pub mod lazy_movement_ablation;
+pub mod meta_latency;
+pub mod metadata_ablation;
+pub mod pagesize_ablation;
+pub mod quota_ablation;
+pub mod readpath_scaling;
+pub mod replicas_ablation;
 pub mod table1_hdfs_traffic;
 
 use crate::report::ExperimentReport;
@@ -35,5 +36,6 @@ pub fn run_all(quick: bool) -> Vec<ExperimentReport> {
         replicas_ablation::run(quick),
         lazy_movement_ablation::run(quick),
         quota_ablation::run(quick),
+        readpath_scaling::run(quick),
     ]
 }

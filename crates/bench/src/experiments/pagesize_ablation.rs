@@ -41,12 +41,11 @@ struct SweepPoint {
 }
 
 fn sweep_one(page_size: u64, files: usize, file_len: u64, requests: usize) -> SweepPoint {
-    let cache = CacheManager::builder(
-        CacheConfig::default().with_page_size(ByteSize::new(page_size)),
-    )
-    .with_store(Arc::new(MemoryPageStore::new()), u64::MAX / 2)
-    .build()
-    .expect("cache builds");
+    let cache =
+        CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(page_size)))
+            .with_store(Arc::new(MemoryPageStore::new()), u64::MAX / 2)
+            .build()
+            .expect("cache builds");
     let mut zipf = ZipfSampler::new(files, 1.1, 21);
     let mut sizes = FragmentedReadSampler::paper_default(21);
     let mut rng = StdRng::seed_from_u64(77);
@@ -61,7 +60,9 @@ fn sweep_one(page_size: u64, files: usize, file_len: u64, requests: usize) -> Sw
         let len = sizes.sample().min(file_len);
         let offset = rng.random_range(0..=(file_len - len));
         let remote_before = m.counter("bytes_from_remote").get();
-        cache.read(&file, offset, len, &ZeroRemote).expect("read succeeds");
+        cache
+            .read(&file, offset, len, &ZeroRemote)
+            .expect("read succeeds");
         let fetched = m.counter("bytes_from_remote").get() - remote_before;
         if fetched > 0 {
             amp_sum += fetched as f64 / len as f64;
@@ -105,18 +106,27 @@ pub fn run(quick: bool) -> ExperimentReport {
     }
 
     let smallest = &points[0];
-    let one_mb = points.iter().find(|p| p.page_size == 1 << 20).expect("1MB in sweep");
+    let one_mb = points
+        .iter()
+        .find(|p| p.page_size == 1 << 20)
+        .expect("1MB in sweep");
     let largest = points.last().expect("non-empty sweep");
     report.checks.push(Check::new(
         "amplification grows with page size",
         "monotone trade-off",
-        format!("{:.1}x @64KB → {:.1}x @64MB", smallest.amplification, largest.amplification),
+        format!(
+            "{:.1}x @64KB → {:.1}x @64MB",
+            smallest.amplification, largest.amplification
+        ),
         largest.amplification > smallest.amplification * 3.0,
     ));
     report.checks.push(Check::new(
         "remote requests shrink with page size",
         "monotone trade-off",
-        format!("{} @64KB → {} @64MB", smallest.remote_requests, largest.remote_requests),
+        format!(
+            "{} @64KB → {} @64MB",
+            smallest.remote_requests, largest.remote_requests
+        ),
         smallest.remote_requests > largest.remote_requests * 3,
     ));
     report.checks.push(Check::new(
@@ -135,7 +145,10 @@ pub fn run(quick: bool) -> ExperimentReport {
     report.checks.push(Check::new(
         "metadata footprint shrinks with page size",
         "smaller pages → more entries",
-        format!("{} @64KB → {} @64MB", smallest.metadata_entries, largest.metadata_entries),
+        format!(
+            "{} @64KB → {} @64MB",
+            smallest.metadata_entries, largest.metadata_entries
+        ),
         smallest.metadata_entries > largest.metadata_entries,
     ));
     report

@@ -38,11 +38,10 @@ const PARTITIONS: usize = 4;
 
 fn run_design(oversubscribed: bool, files_per_partition: usize, requests: usize) -> f64 {
     let table_quota = ByteSize::new(PAGE * 64); // 64 pages for the table.
-    let mut builder = CacheManager::builder(
-        CacheConfig::default().with_page_size(ByteSize::new(PAGE)),
-    )
-    .with_store(Arc::new(MemoryPageStore::new()), ByteSize::gib(4).as_u64())
-    .with_quota(CacheScope::table("s", "t"), table_quota);
+    let mut builder =
+        CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(PAGE)))
+            .with_store(Arc::new(MemoryPageStore::new()), ByteSize::gib(4).as_u64())
+            .with_quota(CacheScope::table("s", "t"), table_quota);
     for p in 0..PARTITIONS {
         let scope = CacheScope::partition("s", "t", &format!("p{p}"));
         let quota = if oversubscribed {
@@ -73,7 +72,9 @@ fn run_design(oversubscribed: bool, files_per_partition: usize, requests: usize)
             PAGE,
             CacheScope::partition("s", "t", &format!("p{p}")),
         );
-        cache.read(&file, 0, PAGE, &ZeroRemote).expect("read succeeds");
+        cache
+            .read(&file, 0, PAGE, &ZeroRemote)
+            .expect("read succeeds");
     }
     cache.stats().hit_rate
 }
@@ -104,7 +105,9 @@ pub fn run(quick: bool) -> ExperimentReport {
         format!("{:.1}% vs {:.1}%", evolved * 100.0, strict * 100.0),
         evolved > strict + 0.02,
     ));
-    report.notes.push("traffic: 85% of requests on one hot partition of four".into());
+    report
+        .notes
+        .push("traffic: 85% of requests on one hot partition of four".into());
     report
 }
 

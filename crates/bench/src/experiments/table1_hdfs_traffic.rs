@@ -47,10 +47,34 @@ struct Host {
 }
 
 const HOSTS: [Host; 4] = [
-    Host { name: "Host 1", reads: 13_500_000, writes: 3_300, paper_ratio: 4091.0, paper_top_share: 0.89 },
-    Host { name: "Host 2", reads: 12_800_000, writes: 4_700, paper_ratio: 2723.4, paper_top_share: 0.94 },
-    Host { name: "Host 3", reads: 8_500_000, writes: 4_600, paper_ratio: 1847.8, paper_top_share: 0.99 },
-    Host { name: "Host 4", reads: 14_300_000, writes: 45_000, paper_ratio: 317.8, paper_top_share: 0.99 },
+    Host {
+        name: "Host 1",
+        reads: 13_500_000,
+        writes: 3_300,
+        paper_ratio: 4091.0,
+        paper_top_share: 0.89,
+    },
+    Host {
+        name: "Host 2",
+        reads: 12_800_000,
+        writes: 4_700,
+        paper_ratio: 2723.4,
+        paper_top_share: 0.94,
+    },
+    Host {
+        name: "Host 3",
+        reads: 8_500_000,
+        writes: 4_600,
+        paper_ratio: 1847.8,
+        paper_top_share: 0.99,
+    },
+    Host {
+        name: "Host 4",
+        reads: 14_300_000,
+        writes: 45_000,
+        paper_ratio: 317.8,
+        paper_top_share: 0.99,
+    },
 ];
 
 /// Runs the Table 1 reproduction.

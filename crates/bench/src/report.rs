@@ -17,7 +17,12 @@ pub struct Check {
 
 impl Check {
     /// Builds a check.
-    pub fn new(metric: &str, paper: impl fmt::Display, measured: impl fmt::Display, ok: bool) -> Self {
+    pub fn new(
+        metric: &str,
+        paper: impl fmt::Display,
+        measured: impl fmt::Display,
+        ok: bool,
+    ) -> Self {
         Self {
             metric: metric.to_string(),
             paper: paper.to_string(),

@@ -48,15 +48,20 @@ fn open(dir: &Path) -> Result<LocalPageStore> {
             dir.display()
         ))
     })?;
-    LocalPageStore::open(dir, LocalStoreConfig { page_size, ..Default::default() })
+    LocalPageStore::open(
+        dir,
+        LocalStoreConfig {
+            page_size,
+            ..Default::default()
+        },
+    )
 }
 
 /// Summarizes a cache directory.
 pub fn inspect(dir: &Path) -> Result<InspectReport> {
     let store = open(dir)?;
     let pages = store.recover()?;
-    let files: std::collections::HashSet<FileId> =
-        pages.iter().map(|(id, _)| id.file).collect();
+    let files: std::collections::HashSet<FileId> = pages.iter().map(|(id, _)| id.file).collect();
     Ok(InspectReport {
         page_size: store.page_size(),
         pages: pages.len(),
@@ -92,7 +97,11 @@ pub fn verify(dir: &Path, repair: bool) -> Result<VerifyReport> {
             Err(e) => return Err(e),
         }
     }
-    Ok(VerifyReport { checked: pages.len(), corrupt, repaired: repair })
+    Ok(VerifyReport {
+        checked: pages.len(),
+        corrupt,
+        repaired: repair,
+    })
 }
 
 /// The `n` largest cached files: `(file id, pages, bytes)`.
@@ -141,13 +150,19 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = LocalPageStore::open(
             &dir,
-            LocalStoreConfig { page_size: 4096, ..Default::default() },
+            LocalStoreConfig {
+                page_size: 4096,
+                ..Default::default()
+            },
         )
         .unwrap();
         for f in 0..3u64 {
             for p in 0..=f {
                 store
-                    .put(PageId::new(FileId(f + 1), p), &vec![7u8; 100 * (f as usize + 1)])
+                    .put(
+                        PageId::new(FileId(f + 1), p),
+                        &vec![7u8; 100 * (f as usize + 1)],
+                    )
                     .unwrap();
             }
         }
@@ -219,8 +234,8 @@ mod tests {
     }
 
     /// Finds the first file named `name` under `dir`.
-    fn walk_find(dir: &PathBuf, name: &str) -> PathBuf {
-        let mut stack = vec![dir.clone()];
+    fn walk_find(dir: &std::path::Path, name: &str) -> PathBuf {
+        let mut stack = vec![dir.to_path_buf()];
         while let Some(d) = stack.pop() {
             for entry in std::fs::read_dir(&d).unwrap().flatten() {
                 let p = entry.path();

@@ -54,7 +54,12 @@ fn main() -> ExitCode {
             edgecache_cli::top(&dir, n).map(|entries| {
                 println!("{:<18} {:>8} {:>12}", "file id", "pages", "bytes");
                 for (file, pages, bytes) in entries {
-                    println!("{:<18} {:>8} {:>12}", file.as_hex(), pages, ByteSize::new(bytes).to_string());
+                    println!(
+                        "{:<18} {:>8} {:>12}",
+                        file.as_hex(),
+                        pages,
+                        ByteSize::new(bytes).to_string()
+                    );
                 }
             })
         }

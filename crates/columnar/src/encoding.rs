@@ -62,15 +62,21 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn str(&mut self) -> Result<String> {
@@ -248,8 +254,7 @@ pub fn decode(encoding: Encoding, ty: ColumnType, rows: usize, data: &[u8]) -> R
                     ColumnData::Utf8(out)
                 }
                 ColumnType::Int64 => {
-                    let dict: Vec<i64> =
-                        (0..dict_len).map(|_| cur.i64()).collect::<Result<_>>()?;
+                    let dict: Vec<i64> = (0..dict_len).map(|_| cur.i64()).collect::<Result<_>>()?;
                     let mut out = Vec::with_capacity(rows);
                     for _ in 0..rows {
                         let idx = cur.u32()? as usize;
@@ -317,7 +322,11 @@ mod tests {
     fn round_trips_all_types() {
         round_trip(ColumnData::Int64(vec![1, -5, i64::MAX, 0, i64::MIN]));
         round_trip(ColumnData::Float64(vec![1.5, -0.0, f64::MAX, 3.25]));
-        round_trip(ColumnData::Utf8(vec!["a".into(), "".into(), "日本語".into()]));
+        round_trip(ColumnData::Utf8(vec![
+            "a".into(),
+            "".into(),
+            "日本語".into(),
+        ]));
         round_trip(ColumnData::Bool(vec![true, false, true, true]));
     }
 
@@ -329,9 +338,7 @@ mod tests {
 
     #[test]
     fn dictionary_wins_on_repetitive_strings() {
-        let col = ColumnData::Utf8(
-            (0..1000).map(|i| format!("city_{}", i % 5)).collect(),
-        );
+        let col = ColumnData::Utf8((0..1000).map(|i| format!("city_{}", i % 5)).collect());
         let (enc, bytes) = encode_best(&col);
         assert_eq!(enc, Encoding::Dictionary);
         assert!(bytes.len() < encode_plain(&col).len() / 2);
@@ -340,9 +347,7 @@ mod tests {
 
     #[test]
     fn rle_wins_on_runs() {
-        let col = ColumnData::Int64(
-            (0..1000).map(|i| (i / 250) as i64).collect(),
-        );
+        let col = ColumnData::Int64((0..1000).map(|i| (i / 250) as i64).collect());
         let (enc, bytes) = encode_best(&col);
         assert_eq!(enc, Encoding::RunLength);
         assert!(bytes.len() < 100);

@@ -45,7 +45,10 @@ impl Schema {
         Self {
             columns: columns
                 .into_iter()
-                .map(|(name, ty)| ColumnSchema { name: name.to_string(), ty })
+                .map(|(name, ty)| ColumnSchema {
+                    name: name.to_string(),
+                    ty,
+                })
                 .collect(),
         }
     }
@@ -160,11 +163,22 @@ impl FileMetadata {
                     .ok_or_else(|| Error::Decode("bad encoding tag".into()))?;
                 let min = decode_stat(&mut cur, col.ty)?;
                 let max = decode_stat(&mut cur, col.ty)?;
-                chunks.push(ChunkMeta { offset, len, encoding, min, max });
+                chunks.push(ChunkMeta {
+                    offset,
+                    len,
+                    encoding,
+                    min,
+                    max,
+                });
             }
             row_groups.push(RowGroupMeta { rows, chunks });
         }
-        Ok(Self { schema, row_groups, total_rows, footer_len: data.len() as u64 })
+        Ok(Self {
+            schema,
+            row_groups,
+            total_rows,
+            footer_len: data.len() as u64,
+        })
     }
 }
 

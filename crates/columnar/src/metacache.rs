@@ -50,7 +50,10 @@ impl MetadataCache {
 
     /// Creates a cache backed by a persistent key-value store.
     pub fn with_backing(backing: Arc<edgecache_kvstore::LogKv>) -> Self {
-        Self { backing: Some(backing), ..Default::default() }
+        Self {
+            backing: Some(backing),
+            ..Default::default()
+        }
     }
 
     /// Returns the cached metadata for `key`, or parses it with `parse` and
@@ -72,14 +75,13 @@ impl MetadataCache {
                     self.backing_hits.fetch_add(1, Ordering::Relaxed);
                     let meta = Arc::new(meta);
                     let mut entries = self.entries.write();
-                    return Ok(Arc::clone(
-                        entries.entry(key.to_string()).or_insert(meta),
-                    ));
+                    return Ok(Arc::clone(entries.entry(key.to_string()).or_insert(meta)));
                 }
             }
         }
         let meta = Arc::new(parse()?);
-        self.bytes_parsed.fetch_add(meta.footer_len, Ordering::Relaxed);
+        self.bytes_parsed
+            .fetch_add(meta.footer_len, Ordering::Relaxed);
         if let Some(kv) = &self.backing {
             // Best effort: a failed persist only costs a future re-parse.
             let _ = kv.put(key.as_bytes(), &meta.encode());
@@ -193,9 +195,7 @@ mod tests {
     #[test]
     fn parse_failure_is_not_cached() {
         let cache = MetadataCache::new();
-        let r = cache.get_or_parse("f@1", || {
-            Err(edgecache_common::Error::Decode("bad".into()))
-        });
+        let r = cache.get_or_parse("f@1", || Err(edgecache_common::Error::Decode("bad".into())));
         assert!(r.is_err());
         assert!(cache.is_empty());
         // A later good parse succeeds.
@@ -206,14 +206,16 @@ mod tests {
     #[test]
     fn persistent_backing_survives_restart() {
         use edgecache_kvstore::{LogKv, LogKvConfig};
-        let dir = std::env::temp_dir()
-            .join(format!("edgecache-metakv-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("edgecache-metakv-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let full_meta = || {
             use crate::format::{ColumnSchema, Schema};
             use crate::types::ColumnType;
             let schema = Schema {
-                columns: vec![ColumnSchema { name: "x".into(), ty: ColumnType::Int64 }],
+                columns: vec![ColumnSchema {
+                    name: "x".into(),
+                    ty: ColumnType::Int64,
+                }],
             };
             let meta = FileMetadata {
                 schema,

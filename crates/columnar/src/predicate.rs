@@ -100,8 +100,9 @@ impl Predicate {
             Predicate::Lt(col, v) => {
                 value_of(col).is_some_and(|x| x.partial_cmp_same_type(v) == Some(Ordering::Less))
             }
-            Predicate::Gt(col, v) => value_of(col)
-                .is_some_and(|x| x.partial_cmp_same_type(v) == Some(Ordering::Greater)),
+            Predicate::Gt(col, v) => {
+                value_of(col).is_some_and(|x| x.partial_cmp_same_type(v) == Some(Ordering::Greater))
+            }
             Predicate::Between(col, lo, hi) => value_of(col).is_some_and(|x| {
                 x.partial_cmp_same_type(lo) != Some(Ordering::Less)
                     && x.partial_cmp_same_type(hi) != Some(Ordering::Greater)

@@ -25,6 +25,11 @@ pub trait RangeReader {
 
     /// Total file length.
     fn len(&self) -> u64;
+
+    /// Whether the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<R: RangeReader + ?Sized> RangeReader for &R {
@@ -139,7 +144,11 @@ impl<R: RangeReader> ColfReader<R> {
     }
 
     /// Reads a projection of one row group.
-    pub fn read_row_group(&self, row_group: usize, projection: &[usize]) -> Result<Vec<ColumnData>> {
+    pub fn read_row_group(
+        &self,
+        row_group: usize,
+        projection: &[usize],
+    ) -> Result<Vec<ColumnData>> {
         projection
             .iter()
             .map(|&c| self.read_column(row_group, c))

@@ -184,9 +184,7 @@ impl ColumnData {
         match self {
             ColumnData::Int64(v) => ColumnData::Int64(keep.iter().map(|&i| v[i]).collect()),
             ColumnData::Float64(v) => ColumnData::Float64(keep.iter().map(|&i| v[i]).collect()),
-            ColumnData::Utf8(v) => {
-                ColumnData::Utf8(keep.iter().map(|&i| v[i].clone()).collect())
-            }
+            ColumnData::Utf8(v) => ColumnData::Utf8(keep.iter().map(|&i| v[i].clone()).collect()),
             ColumnData::Bool(v) => ColumnData::Bool(keep.iter().map(|&i| v[i]).collect()),
         }
     }
@@ -198,7 +196,12 @@ mod tests {
 
     #[test]
     fn type_tags_round_trip() {
-        for ty in [ColumnType::Int64, ColumnType::Float64, ColumnType::Utf8, ColumnType::Bool] {
+        for ty in [
+            ColumnType::Int64,
+            ColumnType::Float64,
+            ColumnType::Utf8,
+            ColumnType::Bool,
+        ] {
             assert_eq!(ColumnType::from_tag(ty.tag()), Some(ty));
         }
         assert_eq!(ColumnType::from_tag(99), None);
@@ -214,7 +217,10 @@ mod tests {
             Value::Utf8("b".into()).partial_cmp_same_type(&Value::Utf8("a".into())),
             Some(Ordering::Greater)
         );
-        assert_eq!(Value::Int64(1).partial_cmp_same_type(&Value::Bool(true)), None);
+        assert_eq!(
+            Value::Int64(1).partial_cmp_same_type(&Value::Bool(true)),
+            None
+        );
     }
 
     #[test]

@@ -158,7 +158,8 @@ mod tests {
     #[test]
     fn file_structure_has_magic_head_and_tail() {
         let mut w = ColfWriter::new(schema(), 10);
-        w.push_row(vec![Value::Int64(1), Value::Utf8("x".into())]).unwrap();
+        w.push_row(vec![Value::Int64(1), Value::Utf8("x".into())])
+            .unwrap();
         let file = w.finish().unwrap();
         assert_eq!(&file[..4], MAGIC);
         assert_eq!(&file[file.len() - 4..], MAGIC);
@@ -171,7 +172,8 @@ mod tests {
     fn row_groups_split_at_boundary() {
         let mut w = ColfWriter::new(schema(), 3);
         for i in 0..7 {
-            w.push_row(vec![Value::Int64(i), Value::Utf8(format!("r{i}"))]).unwrap();
+            w.push_row(vec![Value::Int64(i), Value::Utf8(format!("r{i}"))])
+                .unwrap();
         }
         assert_eq!(w.rows(), 7);
         let file = w.finish().unwrap();
@@ -210,7 +212,8 @@ mod tests {
     fn chunk_stats_are_recorded() {
         let mut w = ColfWriter::new(schema(), 100);
         for i in [5i64, -3, 12] {
-            w.push_row(vec![Value::Int64(i), Value::Utf8("t".into())]).unwrap();
+            w.push_row(vec![Value::Int64(i), Value::Utf8("t".into())])
+                .unwrap();
         }
         let file = w.finish().unwrap();
         let footer_len =

@@ -22,11 +22,21 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ByteSize::mib(2).to_string(), "2MB");
 /// assert_eq!(ByteSize::new(1536).to_string(), "1.5KB");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ByteSize(pub u64);
+
+// Serialized transparently as the inner byte count.
+impl Serialize for ByteSize {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for ByteSize {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        u64::from_value(value).map(Self)
+    }
+}
 
 pub const KIB: u64 = 1 << 10;
 pub const MIB: u64 = 1 << 20;
@@ -121,9 +131,9 @@ impl FromStr for ByteSize {
             .find(|c: char| !(c.is_ascii_digit() || c == '.'))
             .unwrap_or(s.len());
         let (num, unit) = s.split_at(split);
-        let value: f64 = num.parse().map_err(|_| {
-            crate::error::Error::InvalidArgument(format!("bad byte size `{s}`"))
-        })?;
+        let value: f64 = num
+            .parse()
+            .map_err(|_| crate::error::Error::InvalidArgument(format!("bad byte size `{s}`")))?;
         let mult = match unit.trim().to_ascii_uppercase().as_str() {
             "" | "B" => 1,
             "K" | "KB" | "KIB" => KIB,

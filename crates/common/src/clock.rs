@@ -88,12 +88,10 @@ impl SimClock {
         let target_nanos = target.as_nanos() as u64;
         let mut cur = self.nanos.load(Ordering::SeqCst);
         while cur < target_nanos {
-            match self.nanos.compare_exchange(
-                cur,
-                target_nanos,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .nanos
+                .compare_exchange(cur, target_nanos, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return target,
                 Err(actual) => cur = actual,
             }

@@ -123,7 +123,11 @@ mod tests {
         assert_eq!(Error::NoSpace.kind(), "no_space");
         assert_eq!(Error::Corrupted("x".into()).kind(), "corrupted");
         assert_eq!(
-            Error::Timeout { op: "get", waited_ms: 10_000 }.kind(),
+            Error::Timeout {
+                op: "get",
+                waited_ms: 10_000
+            }
+            .kind(),
             "timeout"
         );
     }
@@ -143,14 +147,22 @@ mod tests {
     #[test]
     fn fallback_worthiness() {
         assert!(Error::Corrupted("p".into()).is_fallback_worthy());
-        assert!(Error::Timeout { op: "get", waited_ms: 1 }.is_fallback_worthy());
+        assert!(Error::Timeout {
+            op: "get",
+            waited_ms: 1
+        }
+        .is_fallback_worthy());
         assert!(!Error::NotAdmitted("f".into()).is_fallback_worthy());
         assert!(!Error::NotFound("f".into()).is_fallback_worthy());
     }
 
     #[test]
     fn display_is_informative() {
-        let s = Error::Timeout { op: "read_file", waited_ms: 10_000 }.to_string();
+        let s = Error::Timeout {
+            op: "read_file",
+            waited_ms: 10_000,
+        }
+        .to_string();
         assert!(s.contains("read_file"));
         assert!(s.contains("10000"));
     }

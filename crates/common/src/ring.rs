@@ -106,7 +106,12 @@ impl ConsistentRing {
         for p in self.node_points(node) {
             inner.points.insert(p, id.clone());
         }
-        inner.nodes.insert(id, NodeState { offline_since: None });
+        inner.nodes.insert(
+            id,
+            NodeState {
+                offline_since: None,
+            },
+        );
     }
 
     /// Removes a node immediately (no lazy timeout). Keys mapped to it move
@@ -187,7 +192,12 @@ impl ConsistentRing {
 
     /// All node ids currently on the ring.
     pub fn nodes(&self) -> Vec<String> {
-        self.inner.read().nodes.keys().map(|k| k.to_string()).collect()
+        self.inner
+            .read()
+            .nodes
+            .keys()
+            .map(|k| k.to_string())
+            .collect()
     }
 
     /// The first `max` *distinct, online* nodes clockwise from `key`'s point.
@@ -208,7 +218,7 @@ impl ConsistentRing {
             .range(point..)
             .chain(inner.points.range(..point))
         {
-            if seen.iter().any(|n| *n == node) {
+            if seen.contains(&node) {
                 continue;
             }
             seen.push(node);
@@ -253,7 +263,10 @@ mod tests {
     fn ring_with(nodes: &[&str], timeout: Duration) -> (ConsistentRing, SimClock) {
         let clock = SimClock::new();
         let ring = ConsistentRing::new(
-            RingConfig { vnodes_per_node: 64, offline_timeout: timeout },
+            RingConfig {
+                vnodes_per_node: 64,
+                offline_timeout: timeout,
+            },
             Arc::new(clock.clone()),
         );
         for n in nodes {
@@ -294,7 +307,9 @@ mod tests {
         let (ring, _) = ring_with(&["w0", "w1", "w2", "w3", "w4"], Duration::from_secs(60));
         let mut counts: Map<String, usize> = Map::new();
         for i in 0..10_000 {
-            *counts.entry(ring.primary(&format!("file{i}")).unwrap()).or_default() += 1;
+            *counts
+                .entry(ring.primary(&format!("file{i}")).unwrap())
+                .or_default() += 1;
         }
         for (_, c) in counts {
             // Perfect balance is 2000 per node; 64 vnodes gives ~±40 %.
@@ -305,8 +320,9 @@ mod tests {
     #[test]
     fn removing_a_node_only_moves_its_keys() {
         let (ring, _) = ring_with(&["w0", "w1", "w2", "w3"], Duration::from_secs(60));
-        let before: Vec<String> =
-            (0..2000).map(|i| ring.primary(&format!("f{i}")).unwrap()).collect();
+        let before: Vec<String> = (0..2000)
+            .map(|i| ring.primary(&format!("f{i}")).unwrap())
+            .collect();
         ring.remove_node("w2");
         let mut moved_from_other = 0;
         for (i, old) in before.iter().enumerate() {

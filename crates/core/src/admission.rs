@@ -76,16 +76,14 @@ fn glob_match(pattern: &str, value: &str) -> bool {
 /// A rule matches when its schema and table globs both match; `max_cached_partitions`
 /// then caps how many *distinct partitions* of that table may hold cache
 /// entries (the paper's `maxCachedPartitions: 100` example).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FilterRule {
-    /// Glob over the schema name (`*` = any).
-    #[serde(default = "any")]
+    /// Glob over the schema name (`*` = any, the default).
     pub schema: String,
-    /// Glob over the table name (`*` = any).
-    #[serde(default = "any")]
+    /// Glob over the table name (`*` = any, the default).
     pub table: String,
-    /// Upper limit on distinct cached partitions of the table.
-    #[serde(rename = "maxCachedPartitions", default)]
+    /// Upper limit on distinct cached partitions of the table. Serialized
+    /// as `maxCachedPartitions` (the paper's JSON spelling).
     pub max_cached_partitions: Option<usize>,
 }
 
@@ -93,13 +91,54 @@ fn any() -> String {
     "*".to_string()
 }
 
+impl Serialize for FilterRule {
+    fn to_value(&self) -> serde::Value {
+        let mut object = std::collections::BTreeMap::new();
+        object.insert("schema".to_owned(), self.schema.to_value());
+        object.insert("table".to_owned(), self.table.to_value());
+        object.insert(
+            "maxCachedPartitions".to_owned(),
+            self.max_cached_partitions.to_value(),
+        );
+        serde::Value::Object(object)
+    }
+}
+
+impl Deserialize for FilterRule {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            schema: serde::field_or(value, "schema", any)?,
+            table: serde::field_or(value, "table", any)?,
+            max_cached_partitions: serde::field_or(value, "maxCachedPartitions", || None)?,
+        })
+    }
+}
+
 /// The serialized form of a filter-rule configuration.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FilterRuleSet {
     pub rules: Vec<FilterRule>,
-    /// Whether entities matching no rule are admitted.
-    #[serde(rename = "defaultAdmit", default)]
+    /// Whether entities matching no rule are admitted. Serialized as
+    /// `defaultAdmit`, defaulting to `false`.
     pub default_admit: bool,
+}
+
+impl Serialize for FilterRuleSet {
+    fn to_value(&self) -> serde::Value {
+        let mut object = std::collections::BTreeMap::new();
+        object.insert("rules".to_owned(), self.rules.to_value());
+        object.insert("defaultAdmit".to_owned(), self.default_admit.to_value());
+        serde::Value::Object(object)
+    }
+}
+
+impl Deserialize for FilterRuleSet {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            rules: serde::field(value, "rules")?,
+            default_admit: serde::field_or(value, "defaultAdmit", || false)?,
+        })
+    }
 }
 
 /// Static filter-rule admission (§5.1, Presto local cache).
@@ -135,8 +174,9 @@ impl FilterRuleAdmission {
     /// }
     /// ```
     pub fn from_json(json: &str) -> Result<Self, edgecache_common::Error> {
-        let config: FilterRuleSet = serde_json::from_str(json)
-            .map_err(|e| edgecache_common::Error::InvalidArgument(format!("bad filter rules: {e}")))?;
+        let config: FilterRuleSet = serde_json::from_str(json).map_err(|e| {
+            edgecache_common::Error::InvalidArgument(format!("bad filter rules: {e}"))
+        })?;
         Ok(Self::new(config))
     }
 
@@ -160,14 +200,14 @@ impl FilterRuleAdmission {
 impl AdmissionPolicy for FilterRuleAdmission {
     fn admit(&self, _key: &str, scope: &CacheScope, _now_ms: u64) -> bool {
         let (schema, table, partition) = match scope {
-            CacheScope::Partition { schema, table, partition } => {
-                (schema.as_str(), table.as_str(), Some(partition.as_str()))
-            }
+            CacheScope::Partition {
+                schema,
+                table,
+                partition,
+            } => (schema.as_str(), table.as_str(), Some(partition.as_str())),
             CacheScope::Table { schema, table } => (schema.as_str(), table.as_str(), None),
             CacheScope::Schema { schema } => (schema.as_str(), "", None),
-            CacheScope::Global | CacheScope::Custom { .. } => {
-                return self.config.default_admit
-            }
+            CacheScope::Global | CacheScope::Custom { .. } => return self.config.default_admit,
         };
         let Some(rule) = self.matching_rule(schema, table) else {
             return self.config.default_admit;

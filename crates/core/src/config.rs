@@ -49,6 +49,13 @@ pub struct CacheConfig {
     /// When `false`, local reads run inline and `read_timeout` is not
     /// enforced (cheaper; used by simulations that inject their own delays).
     pub enforce_read_timeout: bool,
+    /// Upper bound on concurrent remote fetches issued by one `read` call.
+    /// `1` serialises the fetch stage (the pre-parallel behaviour, useful as
+    /// a benchmark baseline).
+    pub max_concurrent_fetches: usize,
+    /// When `true` (default), runs of adjacent missing pages are fetched as
+    /// one ranged remote read each instead of one request per page.
+    pub coalesce_fetches: bool,
 }
 
 impl Default for CacheConfig {
@@ -60,6 +67,8 @@ impl Default for CacheConfig {
             read_timeout: Duration::from_secs(10),
             io_threads: 4,
             enforce_read_timeout: false,
+            max_concurrent_fetches: 8,
+            coalesce_fetches: true,
         }
     }
 }
@@ -89,6 +98,19 @@ impl CacheConfig {
         self.enforce_read_timeout = true;
         self
     }
+
+    /// Caps the number of concurrent remote fetches per `read` call.
+    pub fn with_max_concurrent_fetches(mut self, n: usize) -> Self {
+        self.max_concurrent_fetches = n.max(1);
+        self
+    }
+
+    /// Enables or disables miss coalescing (adjacent missing pages fetched
+    /// as one ranged remote read).
+    pub fn with_coalesce_fetches(mut self, coalesce: bool) -> Self {
+        self.coalesce_fetches = coalesce;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +124,8 @@ mod tests {
         assert_eq!(c.eviction, EvictionPolicyKind::Lru);
         assert_eq!(c.read_timeout, Duration::from_secs(10));
         assert!(c.ttl.is_none());
+        assert_eq!(c.max_concurrent_fetches, 8);
+        assert!(c.coalesce_fetches);
     }
 
     #[test]
@@ -110,10 +134,14 @@ mod tests {
             .with_page_size(ByteSize::kib(64))
             .with_eviction(EvictionPolicyKind::Fifo)
             .with_ttl(Duration::from_secs(3600))
-            .with_read_timeout(Duration::from_millis(50));
+            .with_read_timeout(Duration::from_millis(50))
+            .with_max_concurrent_fetches(0)
+            .with_coalesce_fetches(false);
         assert_eq!(c.page_size, ByteSize::kib(64));
         assert_eq!(c.eviction, EvictionPolicyKind::Fifo);
         assert_eq!(c.ttl, Some(Duration::from_secs(3600)));
         assert!(c.enforce_read_timeout);
+        assert_eq!(c.max_concurrent_fetches, 1, "clamped to at least one");
+        assert!(!c.coalesce_fetches);
     }
 }

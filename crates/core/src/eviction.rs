@@ -453,7 +453,11 @@ mod tests {
         assert_eq!(order_a, order_b, "same seed, same order");
         let mut sorted = order_a.clone();
         sorted.sort();
-        assert_eq!(sorted, (0..10).map(pid).collect::<Vec<_>>(), "evicts everything once");
+        assert_eq!(
+            sorted,
+            (0..10).map(pid).collect::<Vec<_>>(),
+            "evicts everything once"
+        );
         // Different seed should (overwhelmingly likely) differ.
         let mut p = RandomPolicy::new(7);
         for i in 0..10 {
@@ -665,7 +669,13 @@ mod tests {
         let lru = simulate(EvictionPolicyKind::Lru);
         let slru = simulate(EvictionPolicyKind::Slru);
         let twoq = simulate(EvictionPolicyKind::TwoQ);
-        assert!(slru > lru, "slru {slru:.3} must beat lru {lru:.3} under scans");
-        assert!(twoq > lru, "2q {twoq:.3} must beat lru {lru:.3} under scans");
+        assert!(
+            slru > lru,
+            "slru {slru:.3} must beat lru {lru:.3} under scans"
+        );
+        assert!(
+            twoq > lru,
+            "2q {twoq:.3} must beat lru {lru:.3} under scans"
+        );
     }
 }

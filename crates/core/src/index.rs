@@ -49,7 +49,9 @@ impl IndexManager {
             dir_bytes: vec![0; dirs],
             ..Default::default()
         };
-        Self { inner: RwLock::new(inner) }
+        Self {
+            inner: RwLock::new(inner),
+        }
     }
 
     /// Inserts (or replaces) a page's metadata. Returns the previous info if
@@ -185,7 +187,11 @@ impl IndexManager {
         let mut total = 0u64;
         for (id, info) in &inner.universe {
             total += info.size;
-            if !inner.by_file.get(&info.id.file).is_some_and(|s| s.contains(id)) {
+            if !inner
+                .by_file
+                .get(&info.id.file)
+                .is_some_and(|s| s.contains(id))
+            {
                 return Err(format!("page {id} missing from file index"));
             }
             for scope in info.scope.chain() {
@@ -353,8 +359,20 @@ mod tests {
     #[test]
     fn ttl_query_filters_by_creation_time() {
         let idx = IndexManager::new(1);
-        idx.insert(PageInfo::new(PageId::new(FileId(1), 0), 1, CacheScope::Global, 0, 100));
-        idx.insert(PageInfo::new(PageId::new(FileId(1), 1), 1, CacheScope::Global, 0, 200));
+        idx.insert(PageInfo::new(
+            PageId::new(FileId(1), 0),
+            1,
+            CacheScope::Global,
+            0,
+            100,
+        ));
+        idx.insert(PageInfo::new(
+            PageId::new(FileId(1), 1),
+            1,
+            CacheScope::Global,
+            0,
+            200,
+        ));
         let old = idx.pages_created_before(150);
         assert_eq!(old, vec![PageId::new(FileId(1), 0)]);
     }

@@ -4,7 +4,11 @@
 //! The manager ties the components together. A file-level read is split into
 //! page-level operations; each page is served from the local page store on a
 //! hit, or fetched read-through from the [`RemoteSource`] on a miss (subject
-//! to the admission policy). Failure handling follows §8:
+//! to the admission policy). Misses run through a classify → fetch → publish
+//! pipeline: runs of adjacent missing pages coalesce into single ranged
+//! remote reads issued concurrently, and a per-page single-flight latch
+//! guarantees N concurrent readers of one cold page cost one remote request.
+//! Failure handling follows §8:
 //!
 //! * **Read hang** — local reads optionally run on an I/O pool with a
 //!   deadline (10 s in production); on timeout the manager falls back to the
@@ -13,18 +17,19 @@
 //! * **`No space left on device`** — a `NoSpace` from the store triggers
 //!   early eviction (before the configured capacity is reached) and a retry.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
-use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, SendError, Sender};
 use edgecache_common::clock::{system_clock, SharedClock};
 use edgecache_common::error::{Error, Result};
 use edgecache_common::ByteSize;
 use edgecache_metrics::MetricRegistry;
 use edgecache_pagestore::{CacheScope, FileId, PageId, PageInfo, PageStore};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::admission::{AdmissionPolicy, AdmitAll};
 use crate::allocator::Allocator;
@@ -44,11 +49,106 @@ pub trait RemoteSource: Sync {
     /// Reads `len` bytes at `offset` of `path`. Short reads at end-of-file
     /// return the available prefix.
     fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes>;
+
+    /// Reads several `(offset, len)` ranges of `path` in one call, returning
+    /// one buffer per range (short at end-of-file, like [`Self::read`]).
+    ///
+    /// The cache passes one range per *coalesced run* of adjacent missing
+    /// pages, so each range should be served as a single remote request.
+    /// Implementations able to batch further (vectored I/O, HTTP
+    /// multi-range, pipelined RPCs) can override the default, which issues
+    /// one [`Self::read`] per range.
+    fn read_ranges(&self, path: &str, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>> {
+        ranges
+            .iter()
+            .map(|&(offset, len)| self.read(path, offset, len))
+            .collect()
+    }
 }
 
 impl<T: RemoteSource + ?Sized> RemoteSource for &T {
     fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
         (**self).read(path, offset, len)
+    }
+
+    fn read_ranges(&self, path: &str, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>> {
+        (**self).read_ranges(path, ranges)
+    }
+}
+
+/// Latch for a page fetch in progress. The owning reader publishes the full
+/// page (or an error — [`Error`] is not `Clone`, so failures travel as text)
+/// exactly once; concurrent readers of the same cold page block here instead
+/// of issuing duplicate remote reads.
+#[derive(Default)]
+struct InflightFetch {
+    state: Mutex<Option<std::result::Result<Bytes, String>>>,
+    done: Condvar,
+}
+
+impl InflightFetch {
+    /// Publishes the outcome and wakes every waiter.
+    fn publish(&self, outcome: std::result::Result<Bytes, String>) {
+        *self.state.lock() = Some(outcome);
+        self.done.notify_all();
+    }
+
+    /// Blocks until the owner publishes, then returns the full page.
+    fn wait(&self) -> std::result::Result<Bytes, String> {
+        let mut state = self.state.lock();
+        loop {
+            match &*state {
+                Some(Ok(bytes)) => return Ok(bytes.clone()),
+                Some(Err(msg)) => return Err(msg.clone()),
+                None => self.done.wait(&mut state),
+            }
+        }
+    }
+}
+
+/// How one requested page will be served, decided during classification.
+enum PageClass {
+    /// Present in the index: read from the local store after the lock drops.
+    Hit,
+    /// Missing and admitted, with this reader elected to fetch it.
+    Owner { latch: Arc<InflightFetch> },
+    /// Missing, but another reader is already fetching it.
+    Waiter { latch: Arc<InflightFetch> },
+    /// Missing and rejected by admission: remote-read the exact range only.
+    Bypass,
+}
+
+/// One page of a (possibly multi-page) read.
+struct PagePlan {
+    id: PageId,
+    /// Absolute offset of the page in the file.
+    page_start: u64,
+    /// Full (EOF-clamped) page length.
+    page_len: u64,
+    /// Requested sub-range within the page.
+    within_off: u64,
+    within_len: u64,
+    class: PageClass,
+    /// Remote request slot serving this page (owners and bypasses).
+    slot: Option<usize>,
+    /// Byte offset of this page inside its slot's response.
+    off_in_slot: u64,
+}
+
+/// Releases owned in-flight latches when a read unwinds before publishing
+/// (panic or early error), so waiters are not stranded.
+struct LatchCleanup<'a> {
+    cache: &'a CacheManager,
+    file: &'a SourceFile,
+    pending: Vec<(usize, PageId, Arc<InflightFetch>)>,
+}
+
+impl Drop for LatchCleanup<'_> {
+    fn drop(&mut self) {
+        for (_, id, latch) in self.pending.drain(..) {
+            self.cache
+                .finish_fetch(self.file, id, &latch, &Err("fetch abandoned".into()));
+        }
     }
 }
 
@@ -70,7 +170,12 @@ pub struct SourceFile {
 impl SourceFile {
     /// Creates a source-file descriptor.
     pub fn new(path: impl Into<String>, version: u64, length: u64, scope: CacheScope) -> Self {
-        Self { path: path.into(), version, length, scope }
+        Self {
+            path: path.into(),
+            version,
+            length,
+            scope,
+        }
     }
 
     /// The stable cache identity of this file+version.
@@ -90,6 +195,9 @@ pub struct CacheStats {
     pub hit_rate: f64,
 }
 
+/// Maps a file path to the cache scope it should be quota-accounted under.
+type ScopeResolver = Box<dyn Fn(&str) -> CacheScope + Send + Sync>;
+
 /// Builder for [`CacheManager`].
 pub struct CacheManagerBuilder {
     config: CacheConfig,
@@ -100,7 +208,7 @@ pub struct CacheManagerBuilder {
     clock: SharedClock,
     metrics: Option<MetricRegistry>,
     recover: bool,
-    scope_resolver: Option<Box<dyn Fn(&str) -> CacheScope + Send + Sync>>,
+    scope_resolver: Option<ScopeResolver>,
 }
 
 impl CacheManagerBuilder {
@@ -169,6 +277,17 @@ impl CacheManagerBuilder {
         } else {
             None
         };
+        // A persistent pool for stage-2 remote fetches: sized above the
+        // per-read cap so several reader threads can fetch at their full
+        // `max_concurrent_fetches` simultaneously. Spawning threads per
+        // read would cost more than a small remote round trip.
+        let fetch_pool = if self.config.max_concurrent_fetches > 1 {
+            Some(IoPool::new(
+                (self.config.max_concurrent_fetches * 4).min(64),
+            ))
+        } else {
+            None
+        };
         let manager = CacheManager {
             allocator: Allocator::new(self.capacities),
             stores: self.stores,
@@ -179,7 +298,9 @@ impl CacheManagerBuilder {
             metrics: self.metrics.unwrap_or_else(|| MetricRegistry::new("cache")),
             clock: self.clock,
             page_locks: (0..LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
+            inflight: Mutex::new(HashMap::new()),
             io_pool,
+            fetch_pool,
             rng_state: AtomicU64::new(0x853c_49e6_748f_ea9b),
             config: self.config,
         };
@@ -202,7 +323,13 @@ pub struct CacheManager {
     metrics: MetricRegistry,
     clock: SharedClock,
     page_locks: Vec<Mutex<()>>,
+    /// Single-flight table: pages currently being fetched from the remote.
+    /// Locked strictly *after* a stripe lock, never before.
+    inflight: Mutex<HashMap<PageId, Arc<InflightFetch>>>,
     io_pool: Option<IoPool>,
+    /// Workers for concurrent stage-2 remote fetches (absent when
+    /// `max_concurrent_fetches` is 1: fetches then run inline).
+    fetch_pool: Option<IoPool>,
     rng_state: AtomicU64,
 }
 
@@ -252,7 +379,11 @@ impl CacheManager {
             bytes: self.index.total_bytes(),
             hits,
             misses,
-            hit_rate: if total == 0 { 0.0 } else { hits as f64 / total as f64 },
+            hit_rate: if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            },
         }
     }
 
@@ -266,17 +397,43 @@ impl CacheManager {
 
     fn next_rand(&self) -> u64 {
         // Xorshift over an atomic state: statistically fine for victim
-        // sampling, and keeps the manager lock-free here.
-        let mut x = self.rng_state.load(Ordering::Relaxed);
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.rng_state.store(x, Ordering::Relaxed);
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        // sampling, and keeps the manager lock-free here. The CAS loop makes
+        // the read-modify-write atomic (a plain load/store pair would let
+        // concurrent callers draw the same value), and zero — xorshift's
+        // absorbing state — is never stored.
+        fn step(mut x: u64) -> u64 {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            if x == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                x
+            }
+        }
+        let prev = self
+            .rng_state
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |x| Some(step(x)))
+            .unwrap_or(0);
+        step(prev).wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
 
     /// Reads `len` bytes at `offset` from `file`, serving cached pages
     /// locally and fetching missing pages read-through from `source`.
+    ///
+    /// Misses go through a three-stage pipeline:
+    ///
+    /// 1. **Classify** — each page is classified under its stripe lock
+    ///    (held briefly, never across I/O) as a local hit, an in-flight
+    ///    fetch to join, a miss this reader owns, or an admission bypass.
+    /// 2. **Fetch** — owned misses are coalesced into runs of adjacent
+    ///    pages, one ranged [`RemoteSource::read_ranges`] request per run,
+    ///    executed concurrently up to
+    ///    [`max_concurrent_fetches`](CacheConfig::max_concurrent_fetches).
+    /// 3. **Publish** — fetched pages are cached (re-taking the stripe lock
+    ///    just for the insert) and released through per-page single-flight
+    ///    latches, so N concurrent readers of one cold page produce exactly
+    ///    one remote request.
     pub fn read(
         &self,
         file: &SourceFile,
@@ -289,103 +446,467 @@ impl CacheManager {
             return Ok(Bytes::new());
         }
         self.metrics.counter("bytes_requested").add(end - offset);
-        let ps = self.page_size();
-        let first = offset / ps;
-        let last = (end - 1) / ps;
-        if first == last {
-            // Fast path: single page.
-            let page_off = first * ps;
-            return self.read_page_range(file, first, offset - page_off, end - offset, source);
+
+        // Stage 1: classify (no I/O while any lock is held).
+        let mut plans = self.classify(file, offset, end);
+
+        // Owned latches must be released even if this read errors or
+        // panics, or waiters would block forever.
+        let mut cleanup = LatchCleanup {
+            cache: self,
+            file,
+            pending: Vec::new(),
+        };
+        for (pos, plan) in plans.iter().enumerate() {
+            if let PageClass::Owner { latch } = &plan.class {
+                cleanup.pending.push((pos, plan.id, Arc::clone(latch)));
+            }
         }
-        let mut out = BytesMut::with_capacity((end - offset) as usize);
-        for idx in first..=last {
-            let page_start = idx * ps;
-            let within_off = offset.max(page_start) - page_start;
-            let within_end = end.min(page_start + ps) - page_start;
-            let chunk =
-                self.read_page_range(file, idx, within_off, within_end - within_off, source)?;
-            out.extend_from_slice(&chunk);
+
+        // Stage 2: coalesce owned misses into runs and fetch them (plus any
+        // admission bypasses) concurrently.
+        let fetches = self.plan_fetches(&mut plans);
+        let mut fetched = self.execute_fetches(file, &fetches, source);
+
+        // [`Error`] is not `Clone`: keep the first failure for the caller,
+        // leaving a stringified copy in the slot for latch publication.
+        let mut first_error: Option<Error> = None;
+        for slot in fetched.iter_mut() {
+            if first_error.is_some() {
+                break;
+            }
+            if slot.is_ok() {
+                continue;
+            }
+            let msg = slot
+                .as_ref()
+                .err()
+                .map(|e| e.to_string())
+                .unwrap_or_default();
+            first_error = Some(std::mem::replace(slot, Err(Error::Other(msg))).unwrap_err());
+        }
+
+        // Stage 3: publish owned pages — cache them and release the latches
+        // before any waiting below, so two readers that own pages of each
+        // other's requests cannot deadlock.
+        let mut chunks: Vec<Option<Bytes>> = plans.iter().map(|_| None).collect();
+        // Publish in ascending page order (pending was built ascending, so
+        // pop from a reversed list): insertion order is what recency-based
+        // eviction policies see.
+        cleanup.pending.reverse();
+        while let Some(&(pos, id, ref latch)) = cleanup.pending.last() {
+            let latch = Arc::clone(latch);
+            let plan = &plans[pos];
+            let slot = plan.slot.expect("owner pages are planned a fetch slot");
+            let outcome = match &fetched[slot] {
+                Ok(bytes) => {
+                    let a = (plan.off_in_slot as usize).min(bytes.len());
+                    let b = ((plan.off_in_slot + plan.page_len) as usize).min(bytes.len());
+                    Ok(bytes.slice(a..b))
+                }
+                Err(e) => Err(e.to_string()),
+            };
+            self.finish_fetch(file, id, &latch, &outcome);
+            if let Ok(page) = outcome {
+                let a = (plan.within_off as usize).min(page.len());
+                let b = ((plan.within_off + plan.within_len) as usize).min(page.len());
+                chunks[pos] = Some(page.slice(a..b));
+            }
+            cleanup.pending.pop();
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+
+        // A cold sequential read served by one coalesced run is the common
+        // case: return a single zero-copy slice of the ranged response.
+        if plans.len() > 1
+            && plans
+                .iter()
+                .all(|p| matches!(p.class, PageClass::Owner { .. }) && p.slot == plans[0].slot)
+        {
+            let slot = plans[0].slot.expect("owner pages are planned a fetch slot");
+            if let Ok(bytes) = &fetched[slot] {
+                let base = fetches[slot].0;
+                let a = ((offset - base) as usize).min(bytes.len());
+                let b = ((end - base) as usize).min(bytes.len());
+                return Ok(bytes.slice(a..b));
+            }
+        }
+
+        // Stage 4: serve hits from the local store (I/O outside the locks).
+        for pos in 0..plans.len() {
+            if matches!(plans[pos].class, PageClass::Hit) {
+                chunks[pos] = Some(self.serve_hit(file, &plans[pos], source)?);
+            }
+        }
+
+        // Stage 5: collect pages concurrent readers fetched for us, and the
+        // bypass slots (those already hold exactly the requested ranges).
+        for (pos, plan) in plans.iter().enumerate() {
+            match &plan.class {
+                PageClass::Waiter { latch } => {
+                    let page = latch.wait().map_err(|msg| {
+                        Error::Other(format!(
+                            "concurrent fetch of page {} failed: {msg}",
+                            plan.id
+                        ))
+                    })?;
+                    let a = (plan.within_off as usize).min(page.len());
+                    let b = ((plan.within_off + plan.within_len) as usize).min(page.len());
+                    chunks[pos] = Some(page.slice(a..b));
+                }
+                PageClass::Bypass => {
+                    let slot = plan.slot.expect("bypass pages are planned a fetch slot");
+                    if let Ok(bytes) = &fetched[slot] {
+                        chunks[pos] = Some(bytes.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Assemble. A single chunk is returned zero-copy; stitching several
+        // counts the copied bytes.
+        let mut parts = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            parts.push(chunk.expect("every classified page produced a chunk"));
+        }
+        if parts.len() == 1 {
+            return Ok(parts.pop().expect("one part"));
+        }
+        let total: usize = parts.iter().map(Bytes::len).sum();
+        self.metrics.counter("bytes_copied").add(total as u64);
+        let mut out = BytesMut::with_capacity(total);
+        for part in &parts {
+            out.extend_from_slice(part);
         }
         Ok(out.freeze())
     }
 
-    /// Reads a byte range within one page.
-    fn read_page_range(
-        &self,
-        file: &SourceFile,
-        page_index: u64,
-        within_offset: u64,
-        within_len: u64,
-        source: &dyn RemoteSource,
-    ) -> Result<Bytes> {
-        let id = PageId::new(file.file_id(), page_index);
-        let _guard = self.stripe(id).lock();
-
-        if let Some(info) = self.index.get(&id) {
-            match self.store_get(info.dir, id, within_offset, within_len) {
-                Ok(bytes) => {
-                    self.metrics.counter("hits").inc();
-                    self.metrics.counter("bytes_from_cache").add(bytes.len() as u64);
+    /// Stage 1 of [`Self::read`]: classifies every requested page under its
+    /// stripe lock, with no I/O while a lock is held. Lock order everywhere
+    /// is stripe lock → in-flight map, so a concurrent publisher (which
+    /// inserts the page and removes the in-flight entry under the same
+    /// stripe lock) is seen either entirely before or entirely after: a
+    /// classifier finds the in-flight entry or the cached page, never
+    /// neither.
+    fn classify(&self, file: &SourceFile, offset: u64, end: u64) -> Vec<PagePlan> {
+        let ps = self.page_size();
+        let file_id = file.file_id();
+        let now = self.now_ms();
+        let first = offset / ps;
+        let last = (end - 1) / ps;
+        let mut plans = Vec::with_capacity((last - first + 1) as usize);
+        for idx in first..=last {
+            let page_start = idx * ps;
+            let id = PageId::new(file_id, idx);
+            let class = {
+                let _guard = self.stripe(id).lock();
+                if let Some(info) = self.index.get(&id) {
+                    // Record the access now, not at serve time: publishing
+                    // this read's own fetched pages (stage 3) must not pick
+                    // a page we are about to serve as an eviction victim.
                     self.policies[info.dir].lock().on_access(id);
-                    return Ok(bytes);
+                    PageClass::Hit
+                } else {
+                    self.metrics.counter("misses").inc();
+                    let mut inflight = self.inflight.lock();
+                    if let Some(latch) = inflight.get(&id) {
+                        // Join the in-flight fetch regardless of admission:
+                        // the owner is caching this page anyway.
+                        self.metrics.counter("fetch.inflight_waits").inc();
+                        PageClass::Waiter {
+                            latch: Arc::clone(latch),
+                        }
+                    } else if self.admission.admit(&file.path, &file.scope, now) {
+                        let latch = Arc::new(InflightFetch::default());
+                        inflight.insert(id, Arc::clone(&latch));
+                        PageClass::Owner { latch }
+                    } else {
+                        // Non-cache read path (Figure 3): read exactly what
+                        // was asked.
+                        self.metrics.counter("admission_rejected").inc();
+                        PageClass::Bypass
+                    }
                 }
-                Err(Error::Timeout { op, waited_ms }) => {
-                    // §8 "File read hanging": fall back to remote, keep the
-                    // cached page for future reads.
-                    self.metrics.record_error("get", "timeout");
-                    self.metrics.counter("fallbacks.timeout").inc();
-                    let _ = (op, waited_ms);
-                    let abs = page_index * self.page_size() + within_offset;
-                    let bytes = source.read(&file.path, abs, within_len)?;
-                    self.metrics.counter("bytes_from_remote").add(bytes.len() as u64);
-                    self.metrics.counter("remote_requests").inc();
-                    return Ok(bytes);
+            };
+            plans.push(PagePlan {
+                id,
+                page_start,
+                page_len: ps.min(file.length - page_start),
+                within_off: offset.max(page_start) - page_start,
+                within_len: end.min(page_start + ps) - offset.max(page_start),
+                class,
+                slot: None,
+                off_in_slot: 0,
+            });
+        }
+        plans
+    }
+
+    /// Stage 2 planning: assigns every owner and bypass page a remote
+    /// request slot. Runs of adjacent owned pages coalesce into one ranged
+    /// request each (when enabled); a bypass always gets its own
+    /// exact-range slot. The page-vs-request delta of owner runs is the
+    /// read amplification the §7 page-size trade-off discusses.
+    fn plan_fetches(&self, plans: &mut [PagePlan]) -> Vec<(u64, u64)> {
+        let coalesce = self.config.coalesce_fetches;
+        let mut fetches: Vec<(u64, u64)> = Vec::new();
+        let mut run_pages = 0u64;
+        for plan in plans.iter_mut() {
+            match plan.class {
+                PageClass::Owner { .. } => {
+                    if coalesce && run_pages > 0 {
+                        // Pages are consecutive by construction, so the
+                        // previous owner slot is file-contiguous with this
+                        // page: extend its range.
+                        let slot = fetches.len() - 1;
+                        plan.slot = Some(slot);
+                        plan.off_in_slot = fetches[slot].1;
+                        fetches[slot].1 += plan.page_len;
+                        run_pages += 1;
+                    } else {
+                        self.close_run(&fetches, run_pages);
+                        plan.slot = Some(fetches.len());
+                        fetches.push((plan.page_start, plan.page_len));
+                        run_pages = 1;
+                    }
                 }
-                Err(e @ Error::Corrupted(_)) => {
-                    // §8 "Corrupted files": evict early and refetch below.
-                    self.metrics.record_error("get", e.kind());
-                    self.evict_page(&id, "corrupt");
+                PageClass::Bypass => {
+                    self.close_run(&fetches, run_pages);
+                    run_pages = 0;
+                    plan.slot = Some(fetches.len());
+                    fetches.push((plan.page_start + plan.within_off, plan.within_len));
                 }
-                Err(Error::NotFound(_)) => {
-                    // The store lost the page (external cleanup); repair the
-                    // index and treat as a miss.
-                    self.drop_from_index(&id);
-                }
-                Err(e) => {
-                    self.metrics.record_error("get", e.kind());
-                    self.evict_page(&id, "error");
+                PageClass::Hit | PageClass::Waiter { .. } => {
+                    self.close_run(&fetches, run_pages);
+                    run_pages = 0;
                 }
             }
         }
+        self.close_run(&fetches, run_pages);
+        fetches
+    }
 
-        // Miss path.
+    /// Records the metrics of a completed owner run (the last slot pushed).
+    fn close_run(&self, fetches: &[(u64, u64)], run_pages: u64) {
+        if run_pages == 0 {
+            return;
+        }
+        let (_, len) = fetches[fetches.len() - 1];
+        self.metrics.histogram("fetch.batch_bytes").record(len);
+        if run_pages > 1 {
+            self.metrics
+                .counter("fetch.coalesced_pages")
+                .add(run_pages - 1);
+        }
+    }
+
+    /// Stage 2 execution: issues the planned remote requests with at most
+    /// [`max_concurrent_fetches`](CacheConfig::max_concurrent_fetches)
+    /// workers, each batching a contiguous share of the slots into one
+    /// [`RemoteSource::read_ranges`] call. Returns one result per slot.
+    fn execute_fetches(
+        &self,
+        file: &SourceFile,
+        fetches: &[(u64, u64)],
+        source: &dyn RemoteSource,
+    ) -> Vec<Result<Bytes>> {
+        if fetches.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.config.max_concurrent_fetches.max(1).min(fetches.len());
+        self.metrics.gauge("fetch.parallelism").set(workers as i64);
+        let path = file.path.as_str();
+        let chunk_results: Vec<(usize, Result<Vec<Bytes>>)> = match &self.fetch_pool {
+            Some(pool) if workers > 1 => {
+                // Contiguous chunks, sized as evenly as possible; each runs
+                // as one `read_ranges` call on the persistent fetch pool.
+                let base = fetches.len() / workers;
+                let extra = fetches.len() % workers;
+                let mut bounds = Vec::with_capacity(workers);
+                let mut start = 0;
+                for w in 0..workers {
+                    let size = base + usize::from(w < extra);
+                    bounds.push((start, start + size));
+                    start += size;
+                }
+                let results: Vec<Mutex<Option<Result<Vec<Bytes>>>>> =
+                    bounds.iter().map(|_| Mutex::new(None)).collect();
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = bounds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(a, b))| {
+                        let slot = &results[i];
+                        Box::new(move || {
+                            *slot.lock() = Some(source.read_ranges(path, &fetches[a..b]));
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.run_scoped(jobs);
+                bounds
+                    .iter()
+                    .zip(results)
+                    .map(|(&(a, b), slot)| {
+                        let result = slot
+                            .into_inner()
+                            .unwrap_or_else(|| Err(Error::Other("fetch worker panicked".into())));
+                        (b - a, result)
+                    })
+                    .collect()
+            }
+            _ => vec![(fetches.len(), source.read_ranges(path, fetches))],
+        };
+        // Flatten chunk responses into per-slot results; a failed chunk
+        // fails each of its slots.
+        let mut out: Vec<Result<Bytes>> = Vec::with_capacity(fetches.len());
+        for (want, result) in chunk_results {
+            match result {
+                Ok(buffers) if buffers.len() == want => {
+                    for bytes in buffers {
+                        self.metrics.counter("remote_requests").inc();
+                        self.metrics
+                            .counter("bytes_from_remote")
+                            .add(bytes.len() as u64);
+                        out.push(Ok(bytes));
+                    }
+                }
+                Ok(buffers) => {
+                    for _ in 0..want {
+                        out.push(Err(Error::Other(format!(
+                            "read_ranges returned {} buffers for {want} ranges",
+                            buffers.len()
+                        ))));
+                    }
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    out.push(Err(e));
+                    for _ in 1..want {
+                        out.push(Err(Error::Other(msg.clone())));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Stage 3 for one owned page: caches the fetched page (re-taking its
+    /// stripe lock just for the insert), removes the in-flight entry while
+    /// that lock is still held (see [`Self::classify`] for why), then
+    /// releases the latch.
+    fn finish_fetch(
+        &self,
+        file: &SourceFile,
+        id: PageId,
+        latch: &InflightFetch,
+        outcome: &std::result::Result<Bytes, String>,
+    ) {
+        {
+            let _guard = self.stripe(id).lock();
+            if let Ok(page) = outcome {
+                if let Err(e) = self.put_page_locked(file, id, page) {
+                    // Caching failed (quota, space, store error): the read
+                    // and its waiters are still served from the fetched
+                    // bytes.
+                    self.metrics.record_error("put", e.kind());
+                }
+            }
+            self.inflight.lock().remove(&id);
+        }
+        latch.publish(outcome.clone());
+    }
+
+    /// Serves a page classified as a hit. Runs without the stripe lock; if
+    /// the page vanished or the store failed, degrades to the appropriate
+    /// §8 fallback.
+    fn serve_hit(
+        &self,
+        file: &SourceFile,
+        plan: &PagePlan,
+        source: &dyn RemoteSource,
+    ) -> Result<Bytes> {
+        let id = plan.id;
+        let Some(info) = self.index.get(&id) else {
+            // Evicted since classification: refetch.
+            return self.fetch_page_direct(file, plan, source);
+        };
+        match self.store_get(info.dir, id, plan.within_off, plan.within_len) {
+            Ok(bytes) => {
+                // The policy access was recorded at classification time.
+                self.metrics.counter("hits").inc();
+                self.metrics
+                    .counter("bytes_from_cache")
+                    .add(bytes.len() as u64);
+                Ok(bytes)
+            }
+            Err(Error::Timeout { .. }) => {
+                // §8 "File read hanging": fall back to remote, keeping the
+                // cached page for future reads.
+                self.metrics.record_error("get", "timeout");
+                self.metrics.counter("fallbacks.timeout").inc();
+                let abs = plan.page_start + plan.within_off;
+                let bytes = source.read(&file.path, abs, plan.within_len)?;
+                self.metrics
+                    .counter("bytes_from_remote")
+                    .add(bytes.len() as u64);
+                self.metrics.counter("remote_requests").inc();
+                Ok(bytes)
+            }
+            Err(e @ Error::Corrupted(_)) => {
+                // §8 "Corrupted files": evict early and refetch.
+                self.metrics.record_error("get", e.kind());
+                self.evict_page(&id, "corrupt");
+                self.fetch_page_direct(file, plan, source)
+            }
+            Err(Error::NotFound(_)) => {
+                // The store lost the page (external cleanup); repair the
+                // index and treat as a miss.
+                self.drop_from_index(&id);
+                self.fetch_page_direct(file, plan, source)
+            }
+            Err(e) => {
+                self.metrics.record_error("get", e.kind());
+                self.evict_page(&id, "error");
+                self.fetch_page_direct(file, plan, source)
+            }
+        }
+    }
+
+    /// Fetches one page read-through without the single-flight machinery:
+    /// the rare repair path when a classified hit degrades (eviction race,
+    /// corruption, lost page).
+    fn fetch_page_direct(
+        &self,
+        file: &SourceFile,
+        plan: &PagePlan,
+        source: &dyn RemoteSource,
+    ) -> Result<Bytes> {
         self.metrics.counter("misses").inc();
         if !self.admission.admit(&file.path, &file.scope, self.now_ms()) {
-            // Non-cache read path (Figure 3): read exactly what was asked.
             self.metrics.counter("admission_rejected").inc();
-            let abs = page_index * self.page_size() + within_offset;
-            let bytes = source.read(&file.path, abs, within_len)?;
-            self.metrics.counter("bytes_from_remote").add(bytes.len() as u64);
+            let abs = plan.page_start + plan.within_off;
+            let bytes = source.read(&file.path, abs, plan.within_len)?;
+            self.metrics
+                .counter("bytes_from_remote")
+                .add(bytes.len() as u64);
             self.metrics.counter("remote_requests").inc();
             return Ok(bytes);
         }
-
-        // Read-through at page granularity: fetch the whole page, cache it,
-        // serve the requested slice. The page-vs-request delta is the read
-        // amplification the §7 page-size trade-off discusses.
-        let ps = self.page_size();
-        let page_start = page_index * ps;
-        let page_len = ps.min(file.length - page_start);
-        let data = source.read(&file.path, page_start, page_len)?;
-        self.metrics.counter("bytes_from_remote").add(data.len() as u64);
+        let data = source.read(&file.path, plan.page_start, plan.page_len)?;
+        self.metrics
+            .counter("bytes_from_remote")
+            .add(data.len() as u64);
         self.metrics.counter("remote_requests").inc();
-        if let Err(e) = self.put_page_locked(file, id, &data) {
-            // Caching failed (quota, space, store error): the read still
-            // succeeds from the fetched bytes.
-            self.metrics.record_error("put", e.kind());
+        {
+            let _guard = self.stripe(plan.id).lock();
+            if let Err(e) = self.put_page_locked(file, plan.id, &data) {
+                self.metrics.record_error("put", e.kind());
+            }
         }
-        let start = (within_offset as usize).min(data.len());
-        let end = ((within_offset + within_len) as usize).min(data.len());
+        let start = (plan.within_off as usize).min(data.len());
+        let end = ((plan.within_off + plan.within_len) as usize).min(data.len());
         Ok(data.slice(start..end))
     }
 
@@ -396,9 +917,7 @@ impl CacheManager {
             None => store.get(id, offset, len),
             Some(pool) => {
                 let store = Arc::clone(store);
-                pool.run_with_deadline(self.config.read_timeout, move || {
-                    store.get(id, offset, len)
-                })
+                pool.run_with_deadline(self.config.read_timeout, move || store.get(id, offset, len))
             }
         }
     }
@@ -415,7 +934,13 @@ impl CacheManager {
     /// Reads one cached page range without a remote fallback. Returns
     /// `NotFound` on a miss (used by integrations that manage their own
     /// miss path).
-    pub fn get_page(&self, file: &SourceFile, page_index: u64, offset: u64, len: u64) -> Result<Bytes> {
+    pub fn get_page(
+        &self,
+        file: &SourceFile,
+        page_index: u64,
+        offset: u64,
+        len: u64,
+    ) -> Result<Bytes> {
         let id = PageId::new(file.file_id(), page_index);
         let _guard = self.stripe(id).lock();
         let info = self
@@ -425,7 +950,9 @@ impl CacheManager {
         match self.store_get(info.dir, id, offset, len) {
             Ok(bytes) => {
                 self.metrics.counter("hits").inc();
-                self.metrics.counter("bytes_from_cache").add(bytes.len() as u64);
+                self.metrics
+                    .counter("bytes_from_cache")
+                    .add(bytes.len() as u64);
                 self.policies[info.dir].lock().on_access(id);
                 Ok(bytes)
             }
@@ -443,7 +970,8 @@ impl CacheManager {
 
     /// Whether a page is cached.
     pub fn contains(&self, file: &SourceFile, page_index: u64) -> bool {
-        self.index.contains(&PageId::new(file.file_id(), page_index))
+        self.index
+            .contains(&PageId::new(file.file_id(), page_index))
     }
 
     /// Inner put: caller holds the page's stripe lock.
@@ -456,9 +984,9 @@ impl CacheManager {
         };
 
         // Hierarchical quota verification (§5.2), most detailed level first.
-        if let Some(v) =
-            self.quota
-                .first_violation(&file.scope, size, |s| self.index.bytes_of_scope(s))
+        if let Some(v) = self
+            .quota
+            .first_violation(&file.scope, size, |s| self.index.bytes_of_scope(s))
         {
             self.evict_for_quota(&v, size);
             if self
@@ -654,7 +1182,10 @@ impl CacheManager {
                 }
             })
             .expect("spawn ttl janitor");
-        TtlJanitor { stop, thread: Some(thread) }
+        TtlJanitor {
+            stop,
+            thread: Some(thread),
+        }
     }
 }
 
@@ -698,7 +1229,45 @@ impl IoPool {
                     .expect("spawn io worker")
             })
             .collect();
-        Self { sender, _workers: workers }
+        Self {
+            sender,
+            _workers: workers,
+        }
+    }
+
+    /// Runs a batch of borrowed jobs on the pool and blocks until every one
+    /// has finished (or unwound). The barrier is what makes lending stack
+    /// borrows to pool workers sound: no job can outlive this call.
+    fn run_scoped(&self, jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        let pending = Arc::new((Mutex::new(jobs.len()), Condvar::new()));
+        for job in jobs {
+            // SAFETY: both sides of the transmute are the same fat pointer;
+            // only the lifetime bound is erased. The wait loop below does
+            // not return until this job has run to completion, so every
+            // borrow it captures strictly outlives its execution.
+            let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+            let pending = Arc::clone(&pending);
+            let wrapped: Box<dyn FnOnce() + Send> = Box::new(move || {
+                // A panicking remote must not kill the pool worker or
+                // strand the barrier; the caller sees the missing result.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                let (count, done) = &*pending;
+                *count.lock() -= 1;
+                done.notify_all();
+                if let Err(payload) = outcome {
+                    drop(payload);
+                }
+            });
+            if let Err(SendError(job)) = self.sender.send(wrapped) {
+                // Pool shut down: run the job inline.
+                job();
+            }
+        }
+        let (count, done) = &*pending;
+        let mut left = count.lock();
+        while *left > 0 {
+            done.wait(&mut left);
+        }
     }
 
     /// Runs `f` on the pool; errors with [`Error::Timeout`] if no result
@@ -745,7 +1314,10 @@ mod tests {
 
     impl ScriptedRemote {
         fn new() -> Self {
-            Self { reads: PlMutex::new(Vec::new()), files: PlMutex::new(HashMap::new()) }
+            Self {
+                reads: PlMutex::new(Vec::new()),
+                files: PlMutex::new(HashMap::new()),
+            }
         }
 
         fn with_file(self, path: &str, data: Vec<u8>) -> Self {
@@ -770,7 +1342,9 @@ mod tests {
                 .ok_or_else(|| Error::NotFound(path.to_string()))?;
             let start = (offset as usize).min(data.len());
             let end = ((offset + len) as usize).min(data.len());
-            self.reads.lock().push((path.to_string(), offset, (end - start) as u64));
+            self.reads
+                .lock()
+                .push((path.to_string(), offset, (end - start) as u64));
             Ok(Bytes::copy_from_slice(&data[start..end]))
         }
     }
@@ -780,12 +1354,10 @@ mod tests {
     }
 
     fn small_cache(page_size: u64, capacity: u64) -> CacheManager {
-        CacheManager::builder(
-            CacheConfig::default().with_page_size(ByteSize::new(page_size)),
-        )
-        .with_store(Arc::new(MemoryPageStore::new()), capacity)
-        .build()
-        .unwrap()
+        CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(page_size)))
+            .with_store(Arc::new(MemoryPageStore::new()), capacity)
+            .build()
+            .unwrap()
     }
 
     fn file(path: &str, len: u64) -> SourceFile {
@@ -821,11 +1393,13 @@ mod tests {
 
         let got = cache.read(&f, 500, 3000, &remote).unwrap();
         assert_eq!(got.as_ref(), &data[500..3500]);
-        // Pages 0..=3 were fetched.
-        assert_eq!(remote.read_count(), 4);
+        // Pages 0..=3 were all missing and adjacent: one coalesced request.
+        assert_eq!(remote.read_count(), 1);
+        assert_eq!(remote.bytes_served(), 4000);
+        assert_eq!(cache.metrics().counter("fetch.coalesced_pages").get(), 3);
         // Second read of the same span is all hits.
         cache.read(&f, 500, 3000, &remote).unwrap();
-        assert_eq!(remote.read_count(), 4);
+        assert_eq!(remote.read_count(), 1);
         assert_eq!(cache.stats().hits, 4);
     }
 
@@ -895,13 +1469,12 @@ mod tests {
 
     #[test]
     fn admission_rejection_reads_exact_range() {
-        let cache = CacheManager::builder(
-            CacheConfig::default().with_page_size(ByteSize::new(1024)),
-        )
-        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
-        .with_admission(Arc::new(SlidingWindowAdmission::per_minute(10, 3)))
-        .build()
-        .unwrap();
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(1024)))
+                .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+                .with_admission(Arc::new(SlidingWindowAdmission::per_minute(10, 3)))
+                .build()
+                .unwrap();
         let remote = ScriptedRemote::new().with_file("/f", pattern(2048));
         let f = file("/f", 2048);
         // First two accesses are not admitted: remote serves only 10 bytes.
@@ -919,13 +1492,12 @@ mod tests {
     #[test]
     fn quota_partition_eviction() {
         let scope = CacheScope::partition("s", "t", "p");
-        let cache = CacheManager::builder(
-            CacheConfig::default().with_page_size(ByteSize::new(100)),
-        )
-        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
-        .with_quota(scope.clone(), ByteSize::new(250))
-        .build()
-        .unwrap();
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+                .with_quota(scope.clone(), ByteSize::new(250))
+                .build()
+                .unwrap();
         let remote = ScriptedRemote::new().with_file("/f", pattern(1000));
         let f = file("/f", 1000);
         for page in 0..5u64 {
@@ -939,18 +1511,16 @@ mod tests {
     #[test]
     fn quota_table_random_eviction_spreads() {
         let table = CacheScope::table("s", "t");
-        let cache = CacheManager::builder(
-            CacheConfig::default().with_page_size(ByteSize::new(100)),
-        )
-        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
-        .with_quota(table.clone(), ByteSize::new(500))
-        .build()
-        .unwrap();
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+                .with_quota(table.clone(), ByteSize::new(500))
+                .build()
+                .unwrap();
         // Two partitions, ten pages each: table quota forces eviction across
         // partitions.
         for (i, part) in ["p1", "p2"].iter().enumerate() {
-            let remote =
-                ScriptedRemote::new().with_file(&format!("/f{i}"), pattern(1000));
+            let remote = ScriptedRemote::new().with_file(&format!("/f{i}"), pattern(1000));
             let f = SourceFile::new(
                 format!("/f{i}"),
                 1,
@@ -969,12 +1539,11 @@ mod tests {
     fn corrupted_page_is_evicted_and_refetched() {
         let plan = FaultPlan::none();
         let store = Arc::new(FaultyStore::new(MemoryPageStore::new(), Arc::clone(&plan)));
-        let cache = CacheManager::builder(
-            CacheConfig::default().with_page_size(ByteSize::new(100)),
-        )
-        .with_store(store, 1 << 20)
-        .build()
-        .unwrap();
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                .with_store(store, 1 << 20)
+                .build()
+                .unwrap();
         let data = pattern(100);
         let remote = ScriptedRemote::new().with_file("/f", data.clone());
         let f = file("/f", 100);
@@ -996,12 +1565,11 @@ mod tests {
         // Device truly holds 250 bytes although the cache believes 1000.
         plan.set_device_capacity(250);
         let store = Arc::new(FaultyStore::new(MemoryPageStore::new(), Arc::clone(&plan)));
-        let cache = CacheManager::builder(
-            CacheConfig::default().with_page_size(ByteSize::new(100)),
-        )
-        .with_store(store, 1000)
-        .build()
-        .unwrap();
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                .with_store(store, 1000)
+                .build()
+                .unwrap();
         let remote = ScriptedRemote::new().with_file("/f", pattern(500));
         let f = file("/f", 500);
         for page in 0..5u64 {
@@ -1078,7 +1646,7 @@ mod tests {
         let _janitor = cache.start_ttl_janitor(Duration::from_millis(10));
         // The page expires after 30 ms; the janitor should reap it shortly.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while cache.index().len() > 0 && std::time::Instant::now() < deadline {
+        while !cache.index().is_empty() && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(cache.index().len(), 0, "janitor reaped the expired page");
@@ -1116,10 +1684,8 @@ mod tests {
 
     #[test]
     fn recovery_restores_hits() {
-        let dir = std::env::temp_dir().join(format!(
-            "edgecache-mgr-recover-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("edgecache-mgr-recover-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let data = pattern(300);
         {
@@ -1133,12 +1699,11 @@ mod tests {
                 )
                 .unwrap(),
             );
-            let cache = CacheManager::builder(
-                CacheConfig::default().with_page_size(ByteSize::new(100)),
-            )
-            .with_store(store, 1 << 20)
-            .build()
-            .unwrap();
+            let cache =
+                CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                    .with_store(store, 1 << 20)
+                    .build()
+                    .unwrap();
             let remote = ScriptedRemote::new().with_file("/a", data.clone());
             cache.read(&file("/a", 300), 0, 300, &remote).unwrap();
         }
@@ -1146,17 +1711,19 @@ mod tests {
         let store = Arc::new(
             edgecache_pagestore::LocalPageStore::open(
                 &dir,
-                edgecache_pagestore::LocalStoreConfig { page_size: 100, ..Default::default() },
+                edgecache_pagestore::LocalStoreConfig {
+                    page_size: 100,
+                    ..Default::default()
+                },
             )
             .unwrap(),
         );
-        let cache = CacheManager::builder(
-            CacheConfig::default().with_page_size(ByteSize::new(100)),
-        )
-        .with_store(store, 1 << 20)
-        .with_recovery()
-        .build()
-        .unwrap();
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                .with_store(store, 1 << 20)
+                .with_recovery()
+                .build()
+                .unwrap();
         assert_eq!(cache.metrics().counter("recovered_pages").get(), 3);
         let remote = ScriptedRemote::new().with_file("/a", data.clone());
         let got = cache.read(&file("/a", 300), 0, 300, &remote).unwrap();
@@ -1177,19 +1744,20 @@ mod tests {
 
     #[test]
     fn builder_without_store_fails() {
-        assert!(CacheManager::builder(CacheConfig::default()).build().is_err());
+        assert!(CacheManager::builder(CacheConfig::default())
+            .build()
+            .is_err());
     }
 
     #[test]
     fn multiple_directories_spread_files() {
-        let cache = CacheManager::builder(
-            CacheConfig::default().with_page_size(ByteSize::new(100)),
-        )
-        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
-        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
-        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
-        .build()
-        .unwrap();
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+                .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+                .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+                .build()
+                .unwrap();
         let remote = ScriptedRemote::new();
         for i in 0..30 {
             let path = format!("/file-{i}");
@@ -1216,7 +1784,7 @@ mod tests {
             let data = data.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..50u64 {
-                    let off = ((t * 131 + i * 67) % 4000) as u64;
+                    let off = (t * 131 + i * 67) % 4000;
                     let len = 96.min(4096 - off);
                     let f = file("/f", 4096);
                     let got = cache.read(&f, off, len, remote.as_ref()).unwrap();
@@ -1232,5 +1800,218 @@ mod tests {
         // boundary), so page-level accesses land in [400, 800].
         let stats = cache.stats();
         assert!((400..=800).contains(&(stats.hits + stats.misses)));
+    }
+
+    /// A remote that blocks every fetch on a gate until released, counting
+    /// requests. Lets a test hold a fetch in flight while other readers pile
+    /// up behind the single-flight latch.
+    struct GatedRemote {
+        data: Vec<u8>,
+        gate: PlMutex<bool>,
+        opened: Condvar,
+        requests: AtomicU64,
+    }
+
+    impl GatedRemote {
+        fn new(data: Vec<u8>) -> Self {
+            Self {
+                data,
+                gate: PlMutex::new(false),
+                opened: Condvar::new(),
+                requests: AtomicU64::new(0),
+            }
+        }
+
+        fn open_gate(&self) {
+            *self.gate.lock() = true;
+            self.opened.notify_all();
+        }
+
+        fn serve(&self, offset: u64, len: u64) -> Bytes {
+            let start = (offset as usize).min(self.data.len());
+            let end = ((offset + len) as usize).min(self.data.len());
+            Bytes::copy_from_slice(&self.data[start..end])
+        }
+    }
+
+    impl RemoteSource for GatedRemote {
+        fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+            self.read_ranges(path, &[(offset, len)])
+                .map(|mut v| v.pop().unwrap())
+        }
+
+        fn read_ranges(&self, _path: &str, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>> {
+            self.requests.fetch_add(1, Ordering::SeqCst);
+            let mut open = self.gate.lock();
+            while !*open {
+                self.opened.wait(&mut open);
+            }
+            Ok(ranges.iter().map(|&(o, l)| self.serve(o, l)).collect())
+        }
+    }
+
+    #[test]
+    fn single_flight_dedups_concurrent_misses() {
+        let cache = Arc::new(small_cache(1024, 1 << 20));
+        let data = pattern(1024);
+        let remote = Arc::new(GatedRemote::new(data.clone()));
+
+        let mut handles = Vec::new();
+        for _ in 0..32 {
+            let cache = Arc::clone(&cache);
+            let remote = Arc::clone(&remote);
+            handles.push(std::thread::spawn(move || {
+                cache
+                    .read(&file("/f", 1024), 0, 1024, remote.as_ref())
+                    .unwrap()
+            }));
+        }
+
+        // One thread owns the (gated) fetch; the other 31 must register as
+        // in-flight waiters before we let the fetch complete.
+        let waits = cache.metrics().counter("fetch.inflight_waits");
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while waits.get() < 31 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(waits.get(), 31, "31 readers joined the in-flight fetch");
+        remote.open_gate();
+
+        for h in handles {
+            assert_eq!(h.join().unwrap().as_ref(), &data[..]);
+        }
+        // Exactly one remote request despite 32 concurrent cold readers.
+        assert_eq!(remote.requests.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.stats().misses, 32, "waiters count as misses");
+        assert_eq!(cache.metrics().counter("remote_requests").get(), 1);
+    }
+
+    #[test]
+    fn remote_requests_count_runs_not_pages() {
+        let cache = small_cache(100, 1 << 20);
+        let data = pattern(1000);
+        let remote = ScriptedRemote::new().with_file("/f", data.clone());
+        let f = file("/f", 1000);
+
+        // Pre-seed pages 2 and 6, splitting the miss span into three runs:
+        // pages [0,1], [3,4,5], [7,8,9].
+        cache.read(&f, 200, 100, &remote).unwrap();
+        cache.read(&f, 600, 100, &remote).unwrap();
+        remote.reads.lock().clear();
+
+        let got = cache.read(&f, 0, 1000, &remote).unwrap();
+        assert_eq!(got.as_ref(), &data[..]);
+        assert_eq!(
+            remote.read_count(),
+            3,
+            "one request per run of missing pages"
+        );
+        let offsets: Vec<(u64, u64)> = remote
+            .reads
+            .lock()
+            .iter()
+            .map(|(_, o, l)| (*o, *l))
+            .collect();
+        assert_eq!(offsets, vec![(0, 200), (300, 300), (700, 300)]);
+        // 2 + 3 + 3 pages fetched by 3 requests: 5 pages saved.
+        assert_eq!(cache.metrics().counter("fetch.coalesced_pages").get(), 5);
+    }
+
+    #[test]
+    fn single_run_read_avoids_copies() {
+        let cache = small_cache(100, 1 << 20);
+        let data = pattern(1000);
+        let remote = ScriptedRemote::new().with_file("/f", data.clone());
+        let f = file("/f", 1000);
+
+        // Cold read of one coalesced run: served by slicing the ranged
+        // response, no reassembly copy.
+        let got = cache.read(&f, 150, 500, &remote).unwrap();
+        assert_eq!(got.as_ref(), &data[150..650]);
+        assert_eq!(cache.metrics().counter("bytes_copied").get(), 0);
+
+        // A warm multi-page read assembles from per-page store reads.
+        let got = cache.read(&f, 150, 500, &remote).unwrap();
+        assert_eq!(got.as_ref(), &data[150..650]);
+        assert_eq!(cache.metrics().counter("bytes_copied").get(), 500);
+    }
+
+    #[test]
+    fn timeout_fallback_in_multi_page_read() {
+        let plan = FaultPlan::none();
+        let store = Arc::new(FaultyStore::new(MemoryPageStore::new(), Arc::clone(&plan)));
+        let cache = CacheManager::builder(
+            CacheConfig::default()
+                .with_page_size(ByteSize::new(100))
+                .with_read_timeout(Duration::from_millis(20)),
+        )
+        .with_store(store, 1 << 20)
+        .build()
+        .unwrap();
+        let data = pattern(400);
+        let remote = ScriptedRemote::new().with_file("/f", data.clone());
+        let f = file("/f", 400);
+        cache.read(&f, 0, 400, &remote).unwrap(); // All four pages cached.
+
+        // The next local read hangs, wedging the deadline pool; §8 fallback
+        // must keep serving correct bytes from the remote for every page the
+        // stalled device cannot deliver in time.
+        plan.set_read_hang(Duration::from_millis(200), 1);
+        let got = cache.read(&f, 0, 400, &remote).unwrap();
+        assert_eq!(got.as_ref(), &data[..]);
+        assert!(cache.metrics().counter("fallbacks.timeout").get() >= 1);
+        // Fallback does not evict: every page is still cached.
+        for page in 0..4 {
+            assert!(cache.contains(&f, page));
+        }
+    }
+
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn cache_with(page_size: u64, parallel: bool) -> CacheManager {
+            let mut config = CacheConfig::default().with_page_size(ByteSize::new(page_size));
+            if !parallel {
+                config = config
+                    .with_coalesce_fetches(false)
+                    .with_max_concurrent_fetches(1);
+            }
+            CacheManager::builder(config)
+                .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+                .build()
+                .unwrap()
+        }
+
+        proptest! {
+            /// The parallel coalesced pipeline and the sequential
+            /// single-fetch baseline return byte-identical results for any
+            /// read sequence, and both match the source of truth.
+            #[test]
+            fn parallel_reads_match_sequential(
+                page_size in 64u64..=512,
+                file_len in 1usize..6000,
+                reads in proptest::collection::vec((0u64..6000, 0u64..3000), 1..8),
+            ) {
+                let data = pattern(file_len);
+                let parallel = cache_with(page_size, true);
+                let sequential = cache_with(page_size, false);
+                for &(offset, len) in &reads {
+                    let remote_p =
+                        ScriptedRemote::new().with_file("/f", data.clone());
+                    let remote_s =
+                        ScriptedRemote::new().with_file("/f", data.clone());
+                    let f = file("/f", file_len as u64);
+                    let got_p = parallel.read(&f, offset, len, &remote_p).unwrap();
+                    let got_s = sequential.read(&f, offset, len, &remote_s).unwrap();
+                    let start = (offset as usize).min(file_len);
+                    let end = ((offset + len) as usize).min(file_len);
+                    prop_assert_eq!(got_p.as_ref(), &data[start..end]);
+                    prop_assert_eq!(got_p.as_ref(), got_s.as_ref());
+                }
+                parallel.index().check_consistency().unwrap();
+                sequential.index().check_consistency().unwrap();
+            }
+        }
     }
 }

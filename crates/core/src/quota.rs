@@ -155,7 +155,10 @@ mod tests {
         let ok = qm.first_violation(
             &p1,
             ByteSize::gib(50).as_u64(),
-            usage(&[(&p1, ByteSize::gib(700).as_u64()), (&table, ByteSize::gib(900).as_u64())]),
+            usage(&[
+                (&p1, ByteSize::gib(700).as_u64()),
+                (&table, ByteSize::gib(900).as_u64()),
+            ]),
         );
         assert!(ok.is_none());
         // p1 exceeding its own 800 GB violates at the partition.
@@ -183,8 +186,12 @@ mod tests {
         let qm = QuotaManager::new();
         let scope = CacheScope::partition("s", "t", "p");
         qm.set_quota(scope.clone(), ByteSize::new(100));
-        assert!(qm.first_violation(&scope, 40, usage(&[(&scope, 60)])).is_none());
-        assert!(qm.first_violation(&scope, 41, usage(&[(&scope, 60)])).is_some());
+        assert!(qm
+            .first_violation(&scope, 40, usage(&[(&scope, 60)]))
+            .is_none());
+        assert!(qm
+            .first_violation(&scope, 41, usage(&[(&scope, 60)]))
+            .is_some());
     }
 
     #[test]
@@ -194,7 +201,9 @@ mod tests {
         let qm = QuotaManager::new();
         let tenant = CacheScope::custom("ml-training");
         qm.set_quota(tenant.clone(), ByteSize::new(500));
-        assert!(qm.first_violation(&tenant, 400, usage(&[(&tenant, 0)])).is_none());
+        assert!(qm
+            .first_violation(&tenant, 400, usage(&[(&tenant, 0)]))
+            .is_none());
         let v = qm
             .first_violation(&tenant, 200, usage(&[(&tenant, 400)]))
             .unwrap();

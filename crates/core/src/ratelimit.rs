@@ -122,7 +122,10 @@ mod tests {
     fn below_threshold_is_rejected() {
         let rl = BucketTimeRateLimit::new(MIN, 10, 15);
         for i in 0..14 {
-            assert!(!rl.record_and_check(7, i * 100), "access {i} must not qualify");
+            assert!(
+                !rl.record_and_check(7, i * 100),
+                "access {i} must not qualify"
+            );
         }
         assert!(rl.record_and_check(7, 1500), "15th access qualifies");
     }
@@ -184,7 +187,7 @@ mod tests {
         rl.record_and_check(9, 0); // Minute 0.
         rl.record_and_check(9, MIN); // Minute 1.
         rl.record_and_check(9, 2 * MIN); // Minute 2.
-        // At minute 3, minute 0 expired but minutes 1 and 2 remain.
+                                         // At minute 3, minute 0 expired but minutes 1 and 2 remain.
         assert_eq!(rl.count(9, 3 * MIN), 2);
     }
 

@@ -71,7 +71,9 @@ impl DistCacheTier {
         clock: SharedClock,
     ) -> Result<Self> {
         if config.workers == 0 {
-            return Err(Error::InvalidArgument("tier needs at least one worker".into()));
+            return Err(Error::InvalidArgument(
+                "tier needs at least one worker".into(),
+            ));
         }
         if config.max_replicas == 0 {
             return Err(Error::InvalidArgument("max_replicas must be ≥ 1".into()));
@@ -83,7 +85,11 @@ impl DistCacheTier {
             ring.add_node(&name);
             workers.insert(
                 name.clone(),
-                Arc::new(CacheWorker::new(&name, config.worker.clone(), clock.clone())?),
+                Arc::new(CacheWorker::new(
+                    &name,
+                    config.worker.clone(),
+                    clock.clone(),
+                )?),
             );
         }
         Ok(Self {
@@ -188,6 +194,26 @@ impl RemoteSource for DistCacheTier {
             }
         }
     }
+
+    /// Batched tier reads: the file is resolved once, then each range (one
+    /// coalesced run of the compute layer's missing pages) is one tier
+    /// request — routed, counted, and replica-bounded like any other.
+    fn read_ranges(&self, path: &str, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>> {
+        let known = self.known_files.read().get(path).copied();
+        match known {
+            Some((version, length)) => {
+                let file = SourceFile::new(path, version, length, CacheScope::Global);
+                ranges
+                    .iter()
+                    .map(|&(offset, len)| DistCacheTier::read(self, &file, offset, len))
+                    .collect()
+            }
+            None => {
+                self.metrics.counter("unregistered_reads").inc();
+                self.origin.read_ranges(path, ranges)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -204,7 +230,9 @@ mod tests {
 
     impl CountingOrigin {
         fn new() -> Arc<Self> {
-            Arc::new(Self { reads: Mutex::new(0) })
+            Arc::new(Self {
+                reads: Mutex::new(0),
+            })
         }
     }
 
@@ -212,7 +240,9 @@ mod tests {
         fn read(&self, _p: &str, offset: u64, len: u64) -> Result<Bytes> {
             *self.reads.lock() += 1;
             Ok(Bytes::from(
-                (offset..offset + len).map(|i| (i % 253) as u8).collect::<Vec<u8>>(),
+                (offset..offset + len)
+                    .map(|i| (i % 253) as u8)
+                    .collect::<Vec<u8>>(),
             ))
         }
     }
@@ -254,7 +284,7 @@ mod tests {
         let holders = tier
             .worker_names()
             .iter()
-            .filter(|w| tier.worker(w).unwrap().cache().index().len() > 0)
+            .filter(|w| !tier.worker(w).unwrap().cache().index().is_empty())
             .count();
         assert_eq!(holders, 1);
         assert_eq!(tier.stats().served_by_tier, 2);
@@ -273,7 +303,7 @@ mod tests {
         let _hold_primary = p.try_acquire().unwrap();
         tier.read(&f, 0, 100).unwrap();
         assert!(
-            tier.worker(&secondary).unwrap().cache().index().len() > 0,
+            !tier.worker(&secondary).unwrap().cache().index().is_empty(),
             "secondary served the spill"
         );
         // Saturate both: origin fallback, nothing cached anywhere new.
@@ -293,13 +323,19 @@ mod tests {
         let home = tier.ring.candidates(&f.path, 1)[0].clone();
         tier.worker_offline(&home);
         clock.advance(Duration::from_secs(60));
-        assert!(tier.sweep_expired().is_empty(), "grace period holds the seat");
+        assert!(
+            tier.sweep_expired().is_empty(),
+            "grace period holds the seat"
+        );
         tier.read(&f, 0, 100).unwrap(); // Served by the next candidate.
         tier.worker_online(&home);
         // The original worker still has its pages: an immediate hit.
         let hits_before = tier.worker(&home).unwrap().cache().stats().hits;
         tier.read(&f, 0, 100).unwrap();
-        assert_eq!(tier.worker(&home).unwrap().cache().stats().hits, hits_before + 1);
+        assert_eq!(
+            tier.worker(&home).unwrap().cache().stats().hits,
+            hits_before + 1
+        );
     }
 
     #[test]
@@ -321,12 +357,11 @@ mod tests {
 
         let (tier, origin, _) = tier(3, 64);
         tier.register_file("/wh/t/f", 1, 1 << 20);
-        let compute = CacheManager::builder(
-            CacheConfig::default().with_page_size(ByteSize::kib(4)),
-        )
-        .with_store(Arc::new(MemoryPageStore::new()), ByteSize::mib(64).as_u64())
-        .build()
-        .unwrap();
+        let compute =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::kib(4)))
+                .with_store(Arc::new(MemoryPageStore::new()), ByteSize::mib(64).as_u64())
+                .build()
+                .unwrap();
         let f = file("/wh/t/f");
         // Three layers: compute cache → tier worker cache → origin.
         let a = compute.read(&f, 0, 2048, &tier).unwrap();
@@ -351,13 +386,19 @@ mod tests {
         let clock: SharedClock = Arc::new(SimClock::new());
         let origin = CountingOrigin::new();
         assert!(DistCacheTier::new(
-            TierConfig { workers: 0, ..Default::default() },
+            TierConfig {
+                workers: 0,
+                ..Default::default()
+            },
             origin.clone(),
             clock.clone(),
         )
         .is_err());
         assert!(DistCacheTier::new(
-            TierConfig { max_replicas: 0, ..Default::default() },
+            TierConfig {
+                max_replicas: 0,
+                ..Default::default()
+            },
             origin,
             clock,
         )

@@ -54,13 +54,11 @@ impl Drop for InflightGuard<'_> {
 impl CacheWorker {
     /// Creates a worker with an in-memory page store.
     pub fn new(name: &str, config: WorkerCacheConfig, clock: SharedClock) -> Result<Self> {
-        let cache = CacheManager::builder(
-            CacheConfig::default().with_page_size(config.page_size),
-        )
-        .with_store(Arc::new(MemoryPageStore::new()), config.cache_capacity)
-        .with_clock(clock)
-        .with_metrics(MetricRegistry::new(format!("{name}-cache")))
-        .build()?;
+        let cache = CacheManager::builder(CacheConfig::default().with_page_size(config.page_size))
+            .with_store(Arc::new(MemoryPageStore::new()), config.cache_capacity)
+            .with_clock(clock)
+            .with_metrics(MetricRegistry::new(format!("{name}-cache")))
+            .build()?;
         Ok(Self {
             name: name.to_string(),
             cache,
@@ -91,12 +89,10 @@ impl CacheWorker {
             if cur >= self.max_inflight {
                 return None;
             }
-            match self.inflight.compare_exchange(
-                cur,
-                cur + 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .inflight
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return Some(InflightGuard(&self.inflight)),
                 Err(actual) => cur = actual,
             }
@@ -132,7 +128,10 @@ mod tests {
     fn inflight_slots_are_bounded() {
         let w = CacheWorker::new(
             "w0",
-            WorkerCacheConfig { max_inflight: 2, ..Default::default() },
+            WorkerCacheConfig {
+                max_inflight: 2,
+                ..Default::default()
+            },
             system_clock(),
         )
         .unwrap();

@@ -41,7 +41,10 @@ pub struct LogKvConfig {
 
 impl Default for LogKvConfig {
     fn default() -> Self {
-        Self { sync_writes: false, compact_dead_ratio: 0.5 }
+        Self {
+            sync_writes: false,
+            compact_dead_ratio: 0.5,
+        }
     }
 }
 
@@ -52,6 +55,9 @@ pub struct CompactionStats {
     pub bytes_before: u64,
     pub bytes_after: u64,
 }
+
+/// Result of replaying a log file: `(index, dead_bytes, valid_prefix_len)`.
+type ReplayState = (HashMap<Vec<u8>, (u64, u32)>, u64, u64);
 
 struct Inner {
     file: File,
@@ -114,13 +120,18 @@ impl LogKv {
         file.seek(SeekFrom::End(0))?;
         Ok(Self {
             dir,
-            inner: Mutex::new(Inner { file, index, dead_bytes, log_len: valid_len }),
+            inner: Mutex::new(Inner {
+                file,
+                index,
+                dead_bytes,
+                log_len: valid_len,
+            }),
             config,
         })
     }
 
     /// Scans the log, returning `(index, dead_bytes, valid_prefix_len)`.
-    fn replay(file: &mut File) -> Result<(HashMap<Vec<u8>, (u64, u32)>, u64, u64)> {
+    fn replay(file: &mut File) -> Result<ReplayState> {
         let mut data = Vec::new();
         file.seek(SeekFrom::Start(0))?;
         file.read_to_end(&mut data)?;
@@ -132,7 +143,11 @@ impl LogKv {
                 u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             let val_len_raw =
                 u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
-            let val_len = if val_len_raw == TOMBSTONE { 0 } else { val_len_raw as usize };
+            let val_len = if val_len_raw == TOMBSTONE {
+                0
+            } else {
+                val_len_raw as usize
+            };
             let total = HEADER + key_len + val_len + CHECKSUM;
             if pos + total > data.len() {
                 break; // Torn tail.
@@ -191,9 +206,7 @@ impl LogKv {
                 inner.dead_bytes += record_len(key.len(), 0);
             }
             len => {
-                if let Some((_, old_len)) =
-                    inner.index.insert(key.to_vec(), (value_offset, len))
-                {
+                if let Some((_, old_len)) = inner.index.insert(key.to_vec(), (value_offset, len)) {
                     inner.dead_bytes += record_len(key.len(), old_len as usize);
                 }
             }
@@ -308,7 +321,12 @@ impl LogKv {
             .open(self.dir.join("kv.log"))?;
         let (index, dead, len) = Self::replay(&mut file)?;
         file.seek(SeekFrom::End(0))?;
-        *inner = Inner { file, index, dead_bytes: dead, log_len: len };
+        *inner = Inner {
+            file,
+            index,
+            dead_bytes: dead,
+            log_len: len,
+        };
         Ok(CompactionStats {
             live_records: live.len(),
             bytes_before,
@@ -328,7 +346,10 @@ mod tests {
     }
 
     fn no_autocompact() -> LogKvConfig {
-        LogKvConfig { compact_dead_ratio: 0.0, ..Default::default() }
+        LogKvConfig {
+            compact_dead_ratio: 0.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -354,7 +375,8 @@ mod tests {
         {
             let kv = LogKv::open(&dir, LogKvConfig::default()).unwrap();
             for i in 0..100u32 {
-                kv.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+                kv.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
             }
             kv.delete(b"k50").unwrap();
             kv.put(b"k51", b"updated").unwrap();
@@ -416,7 +438,11 @@ mod tests {
         let kv = LogKv::open(&dir, no_autocompact()).unwrap();
         for round in 0..10 {
             for i in 0..20u32 {
-                kv.put(format!("k{i}").as_bytes(), vec![round as u8; 100].as_slice()).unwrap();
+                kv.put(
+                    format!("k{i}").as_bytes(),
+                    vec![round as u8; 100].as_slice(),
+                )
+                .unwrap();
             }
         }
         let before = kv.log_bytes();
@@ -438,7 +464,10 @@ mod tests {
         let dir = temp("auto");
         let kv = LogKv::open(
             &dir,
-            LogKvConfig { compact_dead_ratio: 0.5, ..Default::default() },
+            LogKvConfig {
+                compact_dead_ratio: 0.5,
+                ..Default::default()
+            },
         )
         .unwrap();
         for _ in 0..200 {

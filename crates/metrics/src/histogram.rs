@@ -101,7 +101,8 @@ impl Histogram {
     pub fn record_n(&self, value: u64, n: u64) {
         self.counts[bucket_of(value)].fetch_add(n, Ordering::Relaxed);
         self.total.fetch_add(n, Ordering::Relaxed);
-        self.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        self.sum
+            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
     }
@@ -187,7 +188,7 @@ impl Histogram {
 }
 
 /// Selected percentiles of a [`Histogram`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Percentiles {
     pub p50: u64,
     pub p90: u64,
@@ -195,8 +196,30 @@ pub struct Percentiles {
     pub p99: u64,
 }
 
+impl Serialize for Percentiles {
+    fn to_value(&self) -> serde::Value {
+        let mut object = std::collections::BTreeMap::new();
+        object.insert("p50".to_owned(), self.p50.to_value());
+        object.insert("p90".to_owned(), self.p90.to_value());
+        object.insert("p95".to_owned(), self.p95.to_value());
+        object.insert("p99".to_owned(), self.p99.to_value());
+        serde::Value::Object(object)
+    }
+}
+
+impl Deserialize for Percentiles {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            p50: serde::field(value, "p50")?,
+            p90: serde::field(value, "p90")?,
+            p95: serde::field(value, "p95")?,
+            p99: serde::field(value, "p99")?,
+        })
+    }
+}
+
 /// A serializable, mergeable snapshot of a [`Histogram`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Sparse `(bucket_index, count)` pairs.
     pub buckets: Vec<(u32, u64)>,
@@ -206,10 +229,40 @@ pub struct HistogramSnapshot {
     pub max: u64,
 }
 
+impl Serialize for HistogramSnapshot {
+    fn to_value(&self) -> serde::Value {
+        let mut object = std::collections::BTreeMap::new();
+        object.insert("buckets".to_owned(), self.buckets.to_value());
+        object.insert("count".to_owned(), self.count.to_value());
+        object.insert("sum".to_owned(), self.sum.to_value());
+        object.insert("min".to_owned(), self.min.to_value());
+        object.insert("max".to_owned(), self.max.to_value());
+        serde::Value::Object(object)
+    }
+}
+
+impl Deserialize for HistogramSnapshot {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            buckets: serde::field(value, "buckets")?,
+            count: serde::field(value, "count")?,
+            sum: serde::field(value, "sum")?,
+            min: serde::field(value, "min")?,
+            max: serde::field(value, "max")?,
+        })
+    }
+}
+
 impl HistogramSnapshot {
     /// An empty snapshot.
     pub fn empty() -> Self {
-        Self { buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
+        Self {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     /// Rehydrates into a [`Histogram`] for quantile queries.
@@ -227,7 +280,20 @@ mod tests {
     #[test]
     fn bucket_mapping_is_monotone() {
         let mut last = 0usize;
-        for v in [0u64, 1, 5, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, u64::MAX / 2] {
+        for v in [
+            0u64,
+            1,
+            5,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1000,
+            1 << 20,
+            u64::MAX / 2,
+        ] {
             let b = bucket_of(v);
             assert!(b >= last, "bucket_of({v}) = {b} < {last}");
             last = b;

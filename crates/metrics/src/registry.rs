@@ -135,13 +135,35 @@ impl MetricRegistry {
 }
 
 /// A point-in-time, serializable snapshot of a [`MetricRegistry`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RegistrySnapshot {
     /// Name of the source registry (node id).
     pub name: String,
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, i64>,
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Serialize for RegistrySnapshot {
+    fn to_value(&self) -> serde::Value {
+        let mut object = BTreeMap::new();
+        object.insert("name".to_owned(), self.name.to_value());
+        object.insert("counters".to_owned(), self.counters.to_value());
+        object.insert("gauges".to_owned(), self.gauges.to_value());
+        object.insert("histograms".to_owned(), self.histograms.to_value());
+        serde::Value::Object(object)
+    }
+}
+
+impl Deserialize for RegistrySnapshot {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            name: serde::field(value, "name")?,
+            counters: serde::field(value, "counters")?,
+            gauges: serde::field(value, "gauges")?,
+            histograms: serde::field(value, "histograms")?,
+        })
+    }
 }
 
 impl RegistrySnapshot {

@@ -6,8 +6,8 @@
 
 use std::collections::BTreeMap;
 
-use edgecache_common::error::{Error, Result};
 use edgecache_columnar::Schema;
+use edgecache_common::error::{Error, Result};
 use edgecache_pagestore::CacheScope;
 use parking_lot::RwLock;
 
@@ -103,7 +103,12 @@ impl Catalog {
 
     /// Drops a partition (the catalog side of the §4.4 "delete an outdated
     /// partition" flow). Returns the dropped definition.
-    pub fn drop_partition(&self, schema: &str, table: &str, partition: &str) -> Result<PartitionDef> {
+    pub fn drop_partition(
+        &self,
+        schema: &str,
+        table: &str,
+        partition: &str,
+    ) -> Result<PartitionDef> {
         let mut tables = self.tables.write();
         let def = tables
             .get_mut(&(schema.to_string(), table.to_string()))
@@ -134,7 +139,11 @@ mod tests {
             columns: Schema::new(vec![("id", ColumnType::Int64)]),
             partitions: vec![PartitionDef {
                 name: "2024-01-01".into(),
-                files: vec![DataFile { path: "/w/orders/p0/f0".into(), version: 1, length: 100 }],
+                files: vec![DataFile {
+                    path: "/w/orders/p0/f0".into(),
+                    version: 1,
+                    length: 100,
+                }],
             }],
         }
     }
@@ -168,7 +177,11 @@ mod tests {
             "orders",
             PartitionDef {
                 name: "2024-01-02".into(),
-                files: vec![DataFile { path: "/w/orders/p1/f0".into(), version: 1, length: 50 }],
+                files: vec![DataFile {
+                    path: "/w/orders/p1/f0".into(),
+                    version: 1,
+                    length: 50,
+                }],
             },
         )
         .unwrap();
@@ -190,7 +203,10 @@ mod tests {
         c.add_partition(
             "sales",
             "orders",
-            PartitionDef { name: "2024-01-01".into(), files: vec![] },
+            PartitionDef {
+                name: "2024-01-01".into(),
+                files: vec![],
+            },
         )
         .unwrap();
         let t = c.table("sales", "orders").unwrap();

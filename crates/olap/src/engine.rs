@@ -12,9 +12,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use edgecache_columnar::Value;
 use edgecache_common::clock::SharedClock;
 use edgecache_common::error::{Error, Result};
-use edgecache_columnar::Value;
 use edgecache_core::manager::RemoteSource;
 
 use crate::catalog::{Catalog, DataFile};
@@ -72,7 +72,9 @@ impl Engine {
         clock: SharedClock,
     ) -> Result<Self> {
         if config.workers == 0 {
-            return Err(Error::InvalidArgument("engine needs at least one worker".into()));
+            return Err(Error::InvalidArgument(
+                "engine needs at least one worker".into(),
+            ));
         }
         let names: Vec<String> = (0..config.workers).map(|i| format!("worker-{i}")).collect();
         let mut workers = HashMap::new();
@@ -185,7 +187,10 @@ impl Engine {
             map.insert(key, Arc::new(values));
         }
         Ok((
-            PreparedJoin { fact_key: clause.fact_key.clone(), map: Arc::new(map) },
+            PreparedJoin {
+                fact_key: clause.fact_key.clone(),
+                map: Arc::new(map),
+            },
             result.stats,
         ))
     }
@@ -351,9 +356,16 @@ mod tests {
                 let bytes = w.finish().unwrap();
                 let path = format!("/wh/sales/{p}/part-{f}.colf");
                 store.put_object(&path, bytes.clone());
-                files.push(DataFile { path, version: 1, length: bytes.len() as u64 });
+                files.push(DataFile {
+                    path,
+                    version: 1,
+                    length: bytes.len() as u64,
+                });
             }
-            partitions.push(PartitionDef { name: p.to_string(), files });
+            partitions.push(PartitionDef {
+                name: p.to_string(),
+                files,
+            });
         }
         catalog.register(TableDef {
             schema_name: "sales".into(),
@@ -397,8 +409,11 @@ mod tests {
     fn filtered_projection() {
         let (catalog, store, clock) = setup();
         let e = engine(catalog, store, &clock);
-        let q = QueryPlan::scan("sales", "orders", &["id"])
-            .filter(Predicate::Between("id".into(), Value::Int64(95), Value::Int64(104)));
+        let q = QueryPlan::scan("sales", "orders", &["id"]).filter(Predicate::Between(
+            "id".into(),
+            Value::Int64(95),
+            Value::Int64(104),
+        ));
         let mut r = e.execute(&q).unwrap();
         r.rows.sort_by_key(|row| match row[0] {
             Value::Int64(v) => v,
@@ -582,7 +597,8 @@ mod tests {
         ]);
         let mut w = ColfWriter::new(dim_schema.clone(), 10);
         for i in 0..200i64 {
-            w.push_row(vec![Value::Int64(i), Value::Int64(i % 2)]).unwrap();
+            w.push_row(vec![Value::Int64(i), Value::Int64(i % 2)])
+                .unwrap();
         }
         let bytes = w.finish().unwrap();
         store.put_object("/dims/r", bytes.clone());
@@ -592,7 +608,11 @@ mod tests {
             columns: dim_schema,
             partitions: vec![crate::catalog::PartitionDef {
                 name: "all".into(),
-                files: vec![DataFile { path: "/dims/r".into(), version: 1, length: bytes.len() as u64 }],
+                files: vec![DataFile {
+                    path: "/dims/r".into(),
+                    version: 1,
+                    length: bytes.len() as u64,
+                }],
             }],
         });
         let e = engine(catalog, store, &clock);
@@ -630,7 +650,8 @@ mod tests {
         ]);
         let mut w = ColfWriter::new(dim_schema.clone(), 50);
         for i in 0..2000i64 {
-            w.push_row(vec![Value::Int64(i), Value::Utf8(format!("n{}", i % 7))]).unwrap();
+            w.push_row(vec![Value::Int64(i), Value::Utf8(format!("n{}", i % 7))])
+                .unwrap();
         }
         let bytes = w.finish().unwrap();
         store.put_object("/dims/big", bytes.clone());
@@ -640,7 +661,11 @@ mod tests {
             columns: dim_schema,
             partitions: vec![crate::catalog::PartitionDef {
                 name: "all".into(),
-                files: vec![DataFile { path: "/dims/big".into(), version: 1, length: bytes.len() as u64 }],
+                files: vec![DataFile {
+                    path: "/dims/big".into(),
+                    version: 1,
+                    length: bytes.len() as u64,
+                }],
             }],
         });
         let e = engine(catalog, store, &clock);
@@ -661,7 +686,10 @@ mod tests {
         let r = Engine::new(
             catalog,
             store,
-            EngineConfig { workers: 0, ..Default::default() },
+            EngineConfig {
+                workers: 0,
+                ..Default::default()
+            },
             Arc::new(clock.clone()),
         );
         assert!(r.is_err());

@@ -28,27 +28,42 @@ pub struct AggExpr {
 impl AggExpr {
     /// `COUNT(*)`.
     pub fn count() -> Self {
-        Self { func: AggFunc::Count, column: String::new() }
+        Self {
+            func: AggFunc::Count,
+            column: String::new(),
+        }
     }
 
     /// `SUM(column)`.
     pub fn sum(column: &str) -> Self {
-        Self { func: AggFunc::Sum, column: column.to_string() }
+        Self {
+            func: AggFunc::Sum,
+            column: column.to_string(),
+        }
     }
 
     /// `AVG(column)`.
     pub fn avg(column: &str) -> Self {
-        Self { func: AggFunc::Avg, column: column.to_string() }
+        Self {
+            func: AggFunc::Avg,
+            column: column.to_string(),
+        }
     }
 
     /// `MIN(column)`.
     pub fn min(column: &str) -> Self {
-        Self { func: AggFunc::Min, column: column.to_string() }
+        Self {
+            func: AggFunc::Min,
+            column: column.to_string(),
+        }
     }
 
     /// `MAX(column)`.
     pub fn max(column: &str) -> Self {
-        Self { func: AggFunc::Max, column: column.to_string() }
+        Self {
+            func: AggFunc::Max,
+            column: column.to_string(),
+        }
     }
 }
 

@@ -66,7 +66,11 @@ impl SoftAffinityScheduler {
             ring.add_node(w);
             pending.insert(w.clone(), 0);
         }
-        Self { ring, config, pending: Mutex::new(pending) }
+        Self {
+            ring,
+            config,
+            pending: Mutex::new(pending),
+        }
     }
 
     /// The underlying ring (for node lifecycle events).
@@ -93,7 +97,11 @@ impl SoftAffinityScheduler {
         if let Some(primary) = primary {
             if !self.is_busy(&pending, &primary) {
                 *pending.entry(primary.clone()).or_default() += 1;
-                return Ok(SplitAssignment { worker: primary, use_cache: true, choice: 0 });
+                return Ok(SplitAssignment {
+                    worker: primary,
+                    use_cache: true,
+                    choice: 0,
+                });
             }
             if let Some(secondary) = secondary {
                 if !self.is_busy(&pending, &secondary) {
@@ -115,7 +123,11 @@ impl SoftAffinityScheduler {
             .cloned()
             .ok_or_else(|| Error::Other("no online workers".into()))?;
         *pending.entry(least.clone()).or_default() += 1;
-        Ok(SplitAssignment { worker: least, use_cache: false, choice: 2 })
+        Ok(SplitAssignment {
+            worker: least,
+            use_cache: false,
+            choice: 2,
+        })
     }
 
     /// Marks a split complete on `worker`.

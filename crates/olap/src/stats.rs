@@ -86,7 +86,8 @@ impl QueryStatsCollector {
         let mut tables = self.tables.lock();
         let acc = tables.entry(stats.table.clone()).or_default();
         acc.queries += 1;
-        acc.input_wall_us.record(stats.input_wall.as_micros() as u64);
+        acc.input_wall_us
+            .record(stats.input_wall.as_micros() as u64);
         acc.wall_us.record(stats.wall_time.as_micros() as u64);
         acc.bytes_from_cache += stats.bytes_from_cache;
         acc.bytes_from_remote += stats.bytes_from_remote;

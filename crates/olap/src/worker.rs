@@ -13,10 +13,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
+use edgecache_columnar::{ColfReader, ColumnData, MetadataCache, RangeReader, Value};
 use edgecache_common::clock::SharedClock;
 use edgecache_common::error::{Error, Result};
 use edgecache_common::ByteSize;
-use edgecache_columnar::{ColfReader, ColumnData, MetadataCache, RangeReader, Value};
 use edgecache_core::config::CacheConfig;
 use edgecache_core::manager::{CacheManager, RemoteSource, SourceFile};
 use edgecache_metrics::MetricRegistry;
@@ -72,8 +72,11 @@ pub struct PreparedJoin {
     /// Fact-side key column name.
     pub fact_key: String,
     /// Key → `(column name, value)` pairs of the (filtered) dimension row.
-    pub map: Arc<std::collections::HashMap<i64, Arc<Vec<(String, Value)>>>>,
+    pub map: Arc<std::collections::HashMap<i64, DimensionRow>>,
 }
+
+/// The `(column name, value)` pairs of one (filtered) dimension row.
+pub type DimensionRow = Arc<Vec<(String, Value)>>;
 
 /// Output of one split execution.
 #[derive(Debug, Default)]
@@ -145,18 +148,24 @@ impl Worker {
     pub fn new(id: &str, config: WorkerConfig, clock: SharedClock) -> Result<Self> {
         let cache = if config.enable_cache && config.cache_capacity > 0 {
             Some(
-                CacheManager::builder(
-                    CacheConfig::default().with_page_size(config.page_size),
-                )
-                .with_store(std::sync::Arc::new(MemoryPageStore::new()), config.cache_capacity)
-                .with_clock(clock)
-                .with_metrics(MetricRegistry::new(format!("{id}-cache")))
-                .build()?,
+                CacheManager::builder(CacheConfig::default().with_page_size(config.page_size))
+                    .with_store(
+                        std::sync::Arc::new(MemoryPageStore::new()),
+                        config.cache_capacity,
+                    )
+                    .with_clock(clock)
+                    .with_metrics(MetricRegistry::new(format!("{id}-cache")))
+                    .build()?,
             )
         } else {
             None
         };
-        Ok(Self { id: id.to_string(), cache, meta_cache: MetadataCache::new(), config })
+        Ok(Self {
+            id: id.to_string(),
+            cache,
+            meta_cache: MetadataCache::new(),
+            config,
+        })
     }
 
     /// The worker id.
@@ -191,11 +200,20 @@ impl Worker {
         remote: &dyn RemoteSource,
         use_cache: bool,
     ) -> Result<SplitOutput> {
-        let source_file = SourceFile::new(&file.path, file.version, file.length, partition_scope.clone());
+        let source_file = SourceFile::new(
+            &file.path,
+            file.version,
+            file.length,
+            partition_scope.clone(),
+        );
         match (use_cache, self.cache.as_ref()) {
             (true, Some(cache)) => {
                 let before = CacheCounters::snapshot(cache.metrics());
-                let reader = CachedRangeReader { cache, file: &source_file, remote };
+                let reader = CachedRangeReader {
+                    cache,
+                    file: &source_file,
+                    remote,
+                };
                 let mut out = self.scan(reader, file, plan, joins)?;
                 let delta = CacheCounters::snapshot(cache.metrics()).minus(&before);
                 out.bytes_from_cache = delta.bytes_from_cache;
@@ -286,9 +304,7 @@ impl Worker {
                 // Fast columnar path.
                 let keep: Vec<usize> = match &plan.predicate {
                     Some(p) => {
-                        cpu += Duration::from_nanos(
-                            rows as u64 * self.config.filter_nanos_per_row,
-                        );
+                        cpu += Duration::from_nanos(rows as u64 * self.config.filter_nanos_per_row);
                         let refs: Vec<(&str, &ColumnData)> =
                             columns.iter().map(|(n, d)| (n.as_str(), d)).collect();
                         p.matching_rows(&refs, rows)
@@ -346,8 +362,9 @@ impl Worker {
                         }
                     };
                     match pj.map.get(&key) {
-                        Some(vals) => dim_values
-                            .extend(vals.iter().map(|(n, v)| (n.as_str(), v.clone()))),
+                        Some(vals) => {
+                            dim_values.extend(vals.iter().map(|(n, v)| (n.as_str(), v.clone())))
+                        }
                         None => {
                             dropped = true;
                             break;
@@ -461,9 +478,7 @@ impl AggState {
                 if let Some(v) = v {
                     let replace = match cur {
                         None => true,
-                        Some(c) => {
-                            v.partial_cmp_same_type(c) == Some(std::cmp::Ordering::Less)
-                        }
+                        Some(c) => v.partial_cmp_same_type(c) == Some(std::cmp::Ordering::Less),
                     };
                     if replace {
                         *cur = Some(v.clone());
@@ -474,9 +489,7 @@ impl AggState {
                 if let Some(v) = v {
                     let replace = match cur {
                         None => true,
-                        Some(c) => {
-                            v.partial_cmp_same_type(c) == Some(std::cmp::Ordering::Greater)
-                        }
+                        Some(c) => v.partial_cmp_same_type(c) == Some(std::cmp::Ordering::Greater),
                     };
                     if replace {
                         *cur = Some(v.clone());
@@ -522,12 +535,8 @@ impl AggState {
         match self {
             AggState::Count(n) => Value::Int64(*n as i64),
             AggState::Sum(s) => Value::Float64(*s),
-            AggState::Avg { sum, n } => {
-                Value::Float64(if *n == 0 { 0.0 } else { sum / *n as f64 })
-            }
-            AggState::Min(v) | AggState::Max(v) => {
-                v.clone().unwrap_or(Value::Int64(0))
-            }
+            AggState::Avg { sum, n } => Value::Float64(if *n == 0 { 0.0 } else { sum / *n as f64 }),
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Int64(0)),
         }
     }
 }
@@ -537,16 +546,19 @@ fn numeric(v: Option<&Value>) -> Result<f64> {
         Some(Value::Int64(x)) => Ok(*x as f64),
         Some(Value::Float64(x)) => Ok(*x),
         Some(Value::Bool(b)) => Ok(*b as u8 as f64),
-        Some(Value::Utf8(_)) | None => {
-            Err(Error::InvalidArgument("non-numeric value in numeric aggregate".into()))
-        }
+        Some(Value::Utf8(_)) | None => Err(Error::InvalidArgument(
+            "non-numeric value in numeric aggregate".into(),
+        )),
     }
 }
 
 impl PartialAgg {
     /// Fresh state for the given aggregates.
     pub fn new(aggregates: &[AggExpr]) -> Self {
-        Self { groups: BTreeMap::new(), n_aggs: aggregates.len() }
+        Self {
+            groups: BTreeMap::new(),
+            n_aggs: aggregates.len(),
+        }
     }
 
     fn accumulate(
@@ -557,18 +569,25 @@ impl PartialAgg {
     ) -> Result<()> {
         let find = |name: &str| columns.iter().find(|(n, _)| n == name).map(|(_, d)| d);
         let group_col = match &plan.group_by {
-            Some(g) => Some(
-                find(g).ok_or_else(|| Error::InvalidArgument(format!("group column `{g}`")))?,
-            ),
+            Some(g) => {
+                Some(find(g).ok_or_else(|| Error::InvalidArgument(format!("group column `{g}`")))?)
+            }
             None => None,
         };
         for &row in keep {
             let key = group_col.map(|c| c.value(row).to_string());
             let states = self.groups.entry(key).or_insert_with(|| {
-                plan.aggregates.iter().map(|a| AggState::new(a.func)).collect()
+                plan.aggregates
+                    .iter()
+                    .map(|a| AggState::new(a.func))
+                    .collect()
             });
             for (state, agg) in states.iter_mut().zip(&plan.aggregates) {
-                let v = if agg.column.is_empty() { None } else { find(&agg.column).map(|c| c.value(row)) };
+                let v = if agg.column.is_empty() {
+                    None
+                } else {
+                    find(&agg.column).map(|c| c.value(row))
+                };
                 state.update(v.as_ref())?;
             }
         }
@@ -591,10 +610,17 @@ impl PartialAgg {
             None => None,
         };
         let states = self.groups.entry(key).or_insert_with(|| {
-            plan.aggregates.iter().map(|a| AggState::new(a.func)).collect()
+            plan.aggregates
+                .iter()
+                .map(|a| AggState::new(a.func))
+                .collect()
         });
         for (state, agg) in states.iter_mut().zip(&plan.aggregates) {
-            let v = if agg.column.is_empty() { None } else { value_of(&agg.column) };
+            let v = if agg.column.is_empty() {
+                None
+            } else {
+                value_of(&agg.column)
+            };
             state.update(v.as_ref())?;
         }
         Ok(())
@@ -659,7 +685,9 @@ mod tests {
     impl RemoteSource for MapRemote {
         fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
             let files = self.files.lock();
-            let data = files.get(path).ok_or_else(|| Error::NotFound(path.into()))?;
+            let data = files
+                .get(path)
+                .ok_or_else(|| Error::NotFound(path.into()))?;
             let total = data.len() as u64;
             let start = offset.min(total) as usize;
             let end = offset.saturating_add(len).min(total) as usize;
@@ -683,15 +711,24 @@ mod tests {
             .unwrap();
         }
         let bytes = w.finish().unwrap();
-        let file = DataFile { path: "/t/f0".into(), version: 1, length: bytes.len() as u64 };
-        let remote = MapRemote { files: PlMutex::new(HashMap::from([(file.path.clone(), bytes)])) };
+        let file = DataFile {
+            path: "/t/f0".into(),
+            version: 1,
+            length: bytes.len() as u64,
+        };
+        let remote = MapRemote {
+            files: PlMutex::new(HashMap::from([(file.path.clone(), bytes)])),
+        };
         (remote, file)
     }
 
     fn worker() -> Worker {
         Worker::new(
             "w0",
-            WorkerConfig { page_size: ByteSize::kib(1), ..Default::default() },
+            WorkerConfig {
+                page_size: ByteSize::kib(1),
+                ..Default::default()
+            },
             Arc::new(SimClock::new()),
         )
         .unwrap()
@@ -701,14 +738,25 @@ mod tests {
     fn projection_query_returns_rows() {
         let (remote, file) = sample_remote();
         let w = worker();
-        let plan = QueryPlan::scan("s", "t", &["id"])
-            .filter(Predicate::Lt("id".into(), Value::Int64(3)));
+        let plan =
+            QueryPlan::scan("s", "t", &["id"]).filter(Predicate::Lt("id".into(), Value::Int64(3)));
         let out = w
-            .execute_split(&file, &CacheScope::table("s", "t"), &plan, &[], &remote, true)
+            .execute_split(
+                &file,
+                &CacheScope::table("s", "t"),
+                &plan,
+                &[],
+                &remote,
+                true,
+            )
             .unwrap();
         assert_eq!(
             out.rows,
-            vec![vec![Value::Int64(0)], vec![Value::Int64(1)], vec![Value::Int64(2)]]
+            vec![
+                vec![Value::Int64(0)],
+                vec![Value::Int64(1)],
+                vec![Value::Int64(2)]
+            ]
         );
         // Predicate pruning means only the first row group is scanned.
         assert_eq!(out.rows_scanned, 25);
@@ -724,7 +772,14 @@ mod tests {
             .aggregate(vec![AggExpr::count(), AggExpr::sum("amount")])
             .group("region");
         let out = w
-            .execute_split(&file, &CacheScope::table("s", "t"), &plan, &[], &remote, true)
+            .execute_split(
+                &file,
+                &CacheScope::table("s", "t"),
+                &plan,
+                &[],
+                &remote,
+                true,
+            )
             .unwrap();
         let rows = out.partial.unwrap().finalize();
         assert_eq!(rows.len(), 4);
@@ -740,11 +795,25 @@ mod tests {
         let w = worker();
         let plan = QueryPlan::scan("s", "t", &["id", "amount"]);
         let cold = w
-            .execute_split(&file, &CacheScope::table("s", "t"), &plan, &[], &remote, true)
+            .execute_split(
+                &file,
+                &CacheScope::table("s", "t"),
+                &plan,
+                &[],
+                &remote,
+                true,
+            )
             .unwrap();
         assert!(cold.bytes_from_remote > 0);
         let warm = w
-            .execute_split(&file, &CacheScope::table("s", "t"), &plan, &[], &remote, true)
+            .execute_split(
+                &file,
+                &CacheScope::table("s", "t"),
+                &plan,
+                &[],
+                &remote,
+                true,
+            )
             .unwrap();
         assert_eq!(warm.bytes_from_remote, 0, "fully cached");
         assert!(warm.bytes_from_cache > 0);
@@ -757,7 +826,14 @@ mod tests {
         let w = worker();
         let plan = QueryPlan::scan("s", "t", &["id"]);
         let out = w
-            .execute_split(&file, &CacheScope::table("s", "t"), &plan, &[], &remote, false)
+            .execute_split(
+                &file,
+                &CacheScope::table("s", "t"),
+                &plan,
+                &[],
+                &remote,
+                false,
+            )
             .unwrap();
         assert_eq!(out.bytes_from_cache, 0);
         assert!(out.bytes_from_remote > 0);
@@ -770,8 +846,12 @@ mod tests {
         let w = worker();
         let plan = QueryPlan::scan("s", "t", &["id"]);
         let scope = CacheScope::table("s", "t");
-        let first = w.execute_split(&file, &scope, &plan, &[], &remote, true).unwrap();
-        let second = w.execute_split(&file, &scope, &plan, &[], &remote, true).unwrap();
+        let first = w
+            .execute_split(&file, &scope, &plan, &[], &remote, true)
+            .unwrap();
+        let second = w
+            .execute_split(&file, &scope, &plan, &[], &remote, true)
+            .unwrap();
         assert!(second.cpu_time < first.cpu_time, "no footer parse on reuse");
         assert_eq!(w.metadata_cache().misses(), 1);
         assert_eq!(w.metadata_cache().hits(), 1);
@@ -779,7 +859,13 @@ mod tests {
 
     #[test]
     fn partial_agg_merge_matches_single_pass() {
-        let aggs = vec![AggExpr::count(), AggExpr::sum("x"), AggExpr::min("x"), AggExpr::max("x"), AggExpr::avg("x")];
+        let aggs = vec![
+            AggExpr::count(),
+            AggExpr::sum("x"),
+            AggExpr::min("x"),
+            AggExpr::max("x"),
+            AggExpr::avg("x"),
+        ];
         let plan = QueryPlan::scan("s", "t", &[]).aggregate(aggs.clone());
         let col = |vals: Vec<i64>| vec![("x".to_string(), ColumnData::Int64(vals))];
 
@@ -789,9 +875,11 @@ mod tests {
             .unwrap();
 
         let mut a = PartialAgg::new(&aggs);
-        a.accumulate(&plan, &col(vec![1, 2, 3]), &[0, 1, 2]).unwrap();
+        a.accumulate(&plan, &col(vec![1, 2, 3]), &[0, 1, 2])
+            .unwrap();
         let mut b = PartialAgg::new(&aggs);
-        b.accumulate(&plan, &col(vec![4, 5, 6]), &[0, 1, 2]).unwrap();
+        b.accumulate(&plan, &col(vec![4, 5, 6]), &[0, 1, 2])
+            .unwrap();
         a.merge(&b);
 
         assert_eq!(a.finalize(), single.finalize());
@@ -809,7 +897,14 @@ mod tests {
         let w = worker();
         let plan = QueryPlan::scan("s", "t", &["nonexistent"]);
         assert!(w
-            .execute_split(&file, &CacheScope::table("s", "t"), &plan, &[], &remote, true)
+            .execute_split(
+                &file,
+                &CacheScope::table("s", "t"),
+                &plan,
+                &[],
+                &remote,
+                true
+            )
             .is_err());
     }
 }

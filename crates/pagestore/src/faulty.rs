@@ -90,7 +90,7 @@ impl<S: PageStore> FaultyStore<S> {
             return;
         }
         let n = self.plan.gets.fetch_add(1, Ordering::SeqCst) + 1;
-        if n % period == 0 {
+        if n.is_multiple_of(period) {
             let delay = self.plan.get_delay_nanos.load(Ordering::SeqCst);
             if delay > 0 {
                 std::thread::sleep(Duration::from_nanos(delay));

@@ -230,7 +230,8 @@ impl PageStore for LocalPageStore {
         if let Some(old) = old_size {
             self.bytes_used.fetch_sub(old, Ordering::SeqCst);
         }
-        self.bytes_used.fetch_add(data.len() as u64, Ordering::SeqCst);
+        self.bytes_used
+            .fetch_add(data.len() as u64, Ordering::SeqCst);
         Ok(())
     }
 
@@ -326,9 +327,7 @@ impl PageStore for LocalPageStore {
                         let _ = fs::remove_file(&page);
                         continue;
                     }
-                    if self.config.verify_on_recovery
-                        && self.read_verified(&page, id).is_err()
-                    {
+                    if self.config.verify_on_recovery && self.read_verified(&page, id).is_err() {
                         let _ = fs::remove_file(&page);
                         continue;
                     }
@@ -357,7 +356,10 @@ mod tests {
 
     fn rand_suffix() -> u64 {
         use std::time::{SystemTime, UNIX_EPOCH};
-        SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos() as u64
             ^ (std::thread::current().id().as_u64_hack())
     }
 
@@ -391,7 +393,10 @@ mod tests {
         let data: Vec<u8> = (0..=255u8).collect();
         store.put(pid(2, 3), &data).unwrap();
         assert_eq!(store.get(pid(2, 3), 10, 5).unwrap().as_ref(), &data[10..15]);
-        assert_eq!(store.get(pid(2, 3), 250, 100).unwrap().as_ref(), &data[250..]);
+        assert_eq!(
+            store.get(pid(2, 3), 250, 100).unwrap().as_ref(),
+            &data[250..]
+        );
         assert!(store.get(pid(2, 3), 300, 10).unwrap().is_empty());
         let _ = fs::remove_dir_all(dir);
     }
@@ -436,7 +441,10 @@ mod tests {
         let mut raw = fs::read(&path).unwrap();
         raw[3] ^= 0xff;
         fs::write(&path, &raw).unwrap();
-        assert!(matches!(store.get_full(pid(4, 0)), Err(Error::Corrupted(_))));
+        assert!(matches!(
+            store.get_full(pid(4, 0)),
+            Err(Error::Corrupted(_))
+        ));
         let _ = fs::remove_dir_all(dir);
     }
 
@@ -447,7 +455,10 @@ mod tests {
         let path = store.page_path(pid(4, 1));
         let raw = fs::read(&path).unwrap();
         fs::write(&path, &raw[..5]).unwrap();
-        assert!(matches!(store.get_full(pid(4, 1)), Err(Error::Corrupted(_))));
+        assert!(matches!(
+            store.get_full(pid(4, 1)),
+            Err(Error::Corrupted(_))
+        ));
         let _ = fs::remove_dir_all(dir);
     }
 
@@ -485,7 +496,10 @@ mod tests {
     #[test]
     fn recovery_with_verification_drops_corrupt_pages() {
         let dir = std::env::temp_dir().join(format!("edgecache-verify-{}", rand_suffix()));
-        let config = LocalStoreConfig { verify_on_recovery: true, ..Default::default() };
+        let config = LocalStoreConfig {
+            verify_on_recovery: true,
+            ..Default::default()
+        };
         let store = LocalPageStore::open(&dir, config.clone()).unwrap();
         store.put(pid(1, 0), b"good").unwrap();
         store.put(pid(1, 1), b"bad!").unwrap();
@@ -502,14 +516,24 @@ mod tests {
     #[test]
     fn changed_page_size_wipes_old_cache() {
         let dir = std::env::temp_dir().join(format!("edgecache-resize-{}", rand_suffix()));
-        let store =
-            LocalPageStore::open(&dir, LocalStoreConfig { page_size: 1 << 20, ..Default::default() })
-                .unwrap();
+        let store = LocalPageStore::open(
+            &dir,
+            LocalStoreConfig {
+                page_size: 1 << 20,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         store.put(pid(1, 0), &[5u8; 64]).unwrap();
         drop(store);
-        let store =
-            LocalPageStore::open(&dir, LocalStoreConfig { page_size: 1 << 16, ..Default::default() })
-                .unwrap();
+        let store = LocalPageStore::open(
+            &dir,
+            LocalStoreConfig {
+                page_size: 1 << 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(store.bytes_used(), 0);
         assert!(store.recover().unwrap().is_empty());
         let _ = fs::remove_dir_all(dir);
@@ -566,12 +590,18 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("edgecache-bad-{}", rand_suffix()));
         assert!(LocalPageStore::open(
             &dir,
-            LocalStoreConfig { page_size: 0, ..Default::default() }
+            LocalStoreConfig {
+                page_size: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(LocalPageStore::open(
             &dir,
-            LocalStoreConfig { buckets: 0, ..Default::default() }
+            LocalStoreConfig {
+                buckets: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         let _ = fs::remove_dir_all(dir);

@@ -40,9 +40,11 @@ impl PageStore for MemoryPageStore {
     fn put(&self, id: PageId, data: &[u8]) -> Result<()> {
         let mut pages = self.pages.write();
         if let Some(old) = pages.insert(id, Bytes::copy_from_slice(data)) {
-            self.bytes_used.fetch_sub(old.len() as u64, Ordering::SeqCst);
+            self.bytes_used
+                .fetch_sub(old.len() as u64, Ordering::SeqCst);
         }
-        self.bytes_used.fetch_add(data.len() as u64, Ordering::SeqCst);
+        self.bytes_used
+            .fetch_add(data.len() as u64, Ordering::SeqCst);
         Ok(())
     }
 
@@ -63,7 +65,8 @@ impl PageStore for MemoryPageStore {
         let mut pages = self.pages.write();
         match pages.remove(&id) {
             Some(old) => {
-                self.bytes_used.fetch_sub(old.len() as u64, Ordering::SeqCst);
+                self.bytes_used
+                    .fetch_sub(old.len() as u64, Ordering::SeqCst);
                 Ok(true)
             }
             None => Ok(false),

@@ -99,9 +99,15 @@ impl CacheScope {
     /// Parses a dotted scope path: `""` → global, `"s"`, `"s.t"`, `"s.t.p"`.
     pub fn parse(path: &str) -> Self {
         let mut parts = path.splitn(3, '.');
-        match (parts.next().filter(|s| !s.is_empty()), parts.next(), parts.next()) {
+        match (
+            parts.next().filter(|s| !s.is_empty()),
+            parts.next(),
+            parts.next(),
+        ) {
             (None, _, _) => CacheScope::Global,
-            (Some(s), None, _) => CacheScope::Schema { schema: s.to_string() },
+            (Some(s), None, _) => CacheScope::Schema {
+                schema: s.to_string(),
+            },
             (Some(s), Some(t), None) => CacheScope::Table {
                 schema: s.to_string(),
                 table: t.to_string(),
@@ -133,7 +139,9 @@ impl CacheScope {
 
     /// Builds a custom-tenant scope (§5.2).
     pub fn custom(group: &str) -> Self {
-        CacheScope::Custom { group: group.to_string() }
+        CacheScope::Custom {
+            group: group.to_string(),
+        }
     }
 
     /// The parent scope, or `None` for [`CacheScope::Global`].
@@ -175,7 +183,11 @@ impl fmt::Display for CacheScope {
             CacheScope::Global => f.write_str("<global>"),
             CacheScope::Schema { schema } => f.write_str(schema),
             CacheScope::Table { schema, table } => write!(f, "{schema}.{table}"),
-            CacheScope::Partition { schema, table, partition } => {
+            CacheScope::Partition {
+                schema,
+                table,
+                partition,
+            } => {
                 write!(f, "{schema}.{table}.{partition}")
             }
             CacheScope::Custom { group } => write!(f, "custom:{group}"),
@@ -202,7 +214,13 @@ pub struct PageInfo {
 impl PageInfo {
     /// Creates page metadata.
     pub fn new(id: PageId, size: u64, scope: CacheScope, dir: usize, created_ms: u64) -> Self {
-        Self { id, size, scope, dir, created_ms }
+        Self {
+            id,
+            size,
+            scope,
+            dir,
+            created_ms,
+        }
     }
 }
 
@@ -231,9 +249,14 @@ mod tests {
         assert_eq!(CacheScope::parse(""), CacheScope::Global);
         assert_eq!(
             CacheScope::parse("sales"),
-            CacheScope::Schema { schema: "sales".into() }
+            CacheScope::Schema {
+                schema: "sales".into()
+            }
         );
-        assert_eq!(CacheScope::parse("sales.orders"), CacheScope::table("sales", "orders"));
+        assert_eq!(
+            CacheScope::parse("sales.orders"),
+            CacheScope::table("sales", "orders")
+        );
         assert_eq!(
             CacheScope::parse("sales.orders.2024-01-01"),
             CacheScope::partition("sales", "orders", "2024-01-01")

@@ -64,7 +64,12 @@ impl HdfsCluster {
             datanodes.insert(name.clone(), Arc::new(node));
             node_order.push(name);
         }
-        Ok(Self { namenode, datanodes, node_order, read_cursor: RwLock::new(0) })
+        Ok(Self {
+            namenode,
+            datanodes,
+            node_order,
+            read_cursor: RwLock::new(0),
+        })
     }
 
     /// The NameNode.
@@ -122,11 +127,8 @@ impl HdfsCluster {
                 .find_map(|l| self.datanodes.get(l))
                 .ok_or_else(|| Error::NotFound(format!("replica of {block}")))?;
             // The old-generation replica is still addressable pre-append.
-            let mut grown = BytesMut::from(
-                holder
-                    .read_with_gen(block, old_gen, 0, old_len)?
-                    .as_ref(),
-            );
+            let mut grown =
+                BytesMut::from(holder.read_with_gen(block, old_gen, 0, old_len)?.as_ref());
             grown.extend_from_slice(&data[..added as usize]);
             let grown = grown.freeze();
             for location in &info.locations {
@@ -244,6 +246,16 @@ impl HdfsClient {
 impl RemoteSource for HdfsClient {
     fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
         self.cluster.read(path, offset, len)
+    }
+
+    /// Each range (one coalesced run of missing pages) becomes one client
+    /// read, which the cluster pipelines across the blocks and replicas the
+    /// range spans.
+    fn read_ranges(&self, path: &str, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>> {
+        ranges
+            .iter()
+            .map(|&(offset, len)| self.cluster.read(path, offset, len))
+            .collect()
     }
 }
 
@@ -370,7 +382,11 @@ mod tests {
             c.read("/f", 0, 100).unwrap();
         }
         // Both replicas served traffic (round-robin read cursor).
-        let served: Vec<u64> = c.datanodes().iter().map(|d| d.hdd_bytes() + d.cache_bytes()).collect();
+        let served: Vec<u64> = c
+            .datanodes()
+            .iter()
+            .map(|d| d.hdd_bytes() + d.cache_bytes())
+            .collect();
         assert!(served.iter().filter(|&&b| b > 0).count() >= 2, "{served:?}");
     }
 }

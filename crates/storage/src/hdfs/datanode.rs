@@ -95,29 +95,38 @@ impl DiskStore {
             .split_once('@')
             .ok_or_else(|| Error::InvalidArgument(format!("bad block path `{path}`")))?;
         Ok((
-            id.parse().map_err(|_| Error::InvalidArgument(path.into()))?,
-            gen.parse().map_err(|_| Error::InvalidArgument(path.into()))?,
+            id.parse()
+                .map_err(|_| Error::InvalidArgument(path.into()))?,
+            gen.parse()
+                .map_err(|_| Error::InvalidArgument(path.into()))?,
         ))
     }
 }
 
-impl RemoteSource for DiskStore {
-    /// Serves a range of the cached *unit* (`meta ‖ payload`) from the block
-    /// and metadata files, verifying that they match (§6.2.1).
-    fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+impl DiskStore {
+    /// Resolves and checksum-verifies a block unit (§6.2.1) once, so a
+    /// batch of ranges pays for the verification a single time.
+    fn unit_view(&self, path: &str) -> Result<([u8; 8], Bytes)> {
         let key = Self::unit_key(path)?;
-        let blocks = self.blocks.read();
-        let data = blocks
+        let data = self
+            .blocks
+            .read()
             .get(&key)
+            .cloned()
             .ok_or_else(|| Error::NotFound(format!("block `{path}`")))?;
         let meta = *self
             .metas
             .read()
             .get(&key)
             .ok_or_else(|| Error::Corrupted(format!("missing meta for `{path}`")))?;
-        if fnv1a64(data) != u64::from_le_bytes(meta) {
+        if fnv1a64(&data) != u64::from_le_bytes(meta) {
             return Err(Error::Corrupted(format!("checksum mismatch for `{path}`")));
         }
+        Ok((meta, data))
+    }
+
+    /// Serves one range of the *unit* view (`meta ‖ payload`).
+    fn slice_unit(meta: &[u8; 8], data: &Bytes, offset: u64, len: u64) -> Bytes {
         let unit_len = META_LEN + data.len() as u64;
         let start = offset.min(unit_len);
         let end = offset.saturating_add(len).min(unit_len);
@@ -134,9 +143,33 @@ impl RemoteSource for DiskStore {
                 break;
             }
         }
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        self.counters.bytes.fetch_add(out.len() as u64, Ordering::Relaxed);
-        Ok(out.freeze())
+        out.freeze()
+    }
+}
+
+impl RemoteSource for DiskStore {
+    /// Serves a range of the cached *unit* (`meta ‖ payload`) from the block
+    /// and metadata files, verifying that they match (§6.2.1).
+    fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        self.read_ranges(path, &[(offset, len)])
+            .map(|mut v| v.pop().expect("one range in, one buffer out"))
+    }
+
+    /// Batched disk reads: the unit is resolved and checksum-verified once;
+    /// each range (one coalesced run of missing cache pages) still counts
+    /// as one disk request.
+    fn read_ranges(&self, path: &str, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>> {
+        let (meta, data) = self.unit_view(path)?;
+        let mut out = Vec::with_capacity(ranges.len());
+        for &(offset, len) in ranges {
+            let body = Self::slice_unit(&meta, &data, offset, len);
+            self.counters.requests.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .bytes
+                .fetch_add(body.len() as u64, Ordering::Relaxed);
+            out.push(body);
+        }
+        Ok(out)
     }
 }
 
@@ -366,7 +399,10 @@ mod tests {
             admission_window: admission,
             ..Default::default()
         };
-        (DataNode::new("dn0", config, Arc::new(clock.clone())).unwrap(), clock)
+        (
+            DataNode::new("dn0", config, Arc::new(clock.clone())).unwrap(),
+            clock,
+        )
     }
 
     fn payload(n: usize) -> Vec<u8> {
@@ -445,7 +481,10 @@ mod tests {
         assert!(!dn.has_block(BlockId(1)));
         assert!(dn.read_block(BlockId(1), 0, 10).is_err());
         let m = dn.cache_metrics().unwrap();
-        assert!(m.counter("evictions.delete").get() > 0, "cache pages removed");
+        assert!(
+            m.counter("evictions.delete").get() > 0,
+            "cache pages removed"
+        );
     }
 
     #[test]
@@ -457,7 +496,10 @@ mod tests {
         dn.restart();
         // The block itself survives (it is on disk) but the cache is cold.
         dn.read_block(BlockId(1), 0, 1000).unwrap();
-        assert!(dn.hdd_bytes() > hdd_before, "post-restart read went to disk");
+        assert!(
+            dn.hdd_bytes() > hdd_before,
+            "post-restart read went to disk"
+        );
     }
 
     #[test]
@@ -492,7 +534,10 @@ mod tests {
         let clock = SimClock::new();
         let dn = DataNode::new(
             "dn0",
-            DataNodeConfig { cache_capacity: 0, ..Default::default() },
+            DataNodeConfig {
+                cache_capacity: 0,
+                ..Default::default()
+            },
             Arc::new(clock),
         )
         .unwrap();

@@ -89,7 +89,9 @@ impl NameNode {
         assert!(!nodes.is_empty(), "no DataNodes registered");
         let r = self.replication.min(nodes.len());
         let start = self.next_placement.fetch_add(1, Ordering::Relaxed) as usize;
-        (0..r).map(|i| nodes[(start + i) % nodes.len()].clone()).collect()
+        (0..r)
+            .map(|i| nodes[(start + i) % nodes.len()].clone())
+            .collect()
     }
 
     fn fresh_block(&self, len: u64) -> BlockInfo {
@@ -163,7 +165,10 @@ impl NameNode {
             let ids = files.get_mut(path).expect("checked above");
             ids.extend(new_blocks.iter().map(|b| b.id));
         }
-        Ok(AppendPlan { grown_tail, new_blocks })
+        Ok(AppendPlan {
+            grown_tail,
+            new_blocks,
+        })
     }
 
     /// Deletes a file, returning its blocks so DataNodes can be told to drop

@@ -75,7 +75,13 @@ impl ObjectStore {
     pub fn put_object(&self, key: &str, data: impl Into<Bytes>) -> u64 {
         let mut objects = self.objects.write();
         let version = objects.get(key).map(|o| o.version + 1).unwrap_or(1);
-        objects.insert(key.to_string(), StoredObject { data: data.into(), version });
+        objects.insert(
+            key.to_string(),
+            StoredObject {
+                data: data.into(),
+                version,
+            },
+        );
         version
     }
 
@@ -104,7 +110,8 @@ impl ObjectStore {
         let end = offset.saturating_add(len).min(total);
         let body = obj.data.slice(start as usize..end as usize);
         self.get_requests.fetch_add(1, Ordering::Relaxed);
-        self.bytes_served.fetch_add(body.len() as u64, Ordering::Relaxed);
+        self.bytes_served
+            .fetch_add(body.len() as u64, Ordering::Relaxed);
         self.sim_nanos.fetch_add(
             self.network.read_time(body.len() as u64).as_nanos() as u64,
             Ordering::Relaxed,
@@ -167,6 +174,33 @@ impl ObjectStore {
 impl RemoteSource for ObjectStore {
     fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
         self.get_range(path, offset, len)
+    }
+
+    /// Batched ranged GETs: the object is resolved once, then each range is
+    /// served (and accounted, including against the rate limit) as one GET —
+    /// the cache passes one range per coalesced run of missing pages.
+    fn read_ranges(&self, path: &str, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>> {
+        let objects = self.objects.read();
+        let obj = objects
+            .get(path)
+            .ok_or_else(|| Error::NotFound(format!("object `{path}`")))?;
+        let total = obj.data.len() as u64;
+        let mut out = Vec::with_capacity(ranges.len());
+        for &(offset, len) in ranges {
+            self.check_rate_limit()?;
+            let start = offset.min(total);
+            let end = offset.saturating_add(len).min(total);
+            let body = obj.data.slice(start as usize..end as usize);
+            self.get_requests.fetch_add(1, Ordering::Relaxed);
+            self.bytes_served
+                .fetch_add(body.len() as u64, Ordering::Relaxed);
+            self.sim_nanos.fetch_add(
+                self.network.read_time(body.len() as u64).as_nanos() as u64,
+                Ordering::Relaxed,
+            );
+            out.push(body);
+        }
+        Ok(out)
     }
 }
 

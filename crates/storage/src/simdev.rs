@@ -68,7 +68,8 @@ impl DeviceModel {
 
     /// Time to serve one read of `bytes`.
     pub fn read_time(&self, bytes: u64) -> Duration {
-        self.request_latency + Duration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.bandwidth)
+        self.request_latency
+            + Duration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.bandwidth)
     }
 
     /// Time to serve `requests` reads totalling `bytes`, with per-request
@@ -116,7 +117,11 @@ pub struct FluidQueue {
 impl FluidQueue {
     /// A queue over the given device, initially idle.
     pub fn new(device: DeviceModel) -> Self {
-        Self { device, backlog_requests: 0.0, backlog_bytes: 0.0 }
+        Self {
+            device,
+            backlog_requests: 0.0,
+            backlog_bytes: 0.0,
+        }
     }
 
     /// The device model.
@@ -130,7 +135,11 @@ impl FluidQueue {
         let demand_requests = self.backlog_requests + requests as f64;
         let demand_bytes = self.backlog_bytes + bytes as f64;
         // Service requirement for the whole demand.
-        let mean_size = if demand_requests > 0.0 { demand_bytes / demand_requests } else { 0.0 };
+        let mean_size = if demand_requests > 0.0 {
+            demand_bytes / demand_requests
+        } else {
+            0.0
+        };
         let per_request =
             self.device.request_latency.as_secs_f64() + mean_size / self.device.bandwidth as f64;
         let capacity = if per_request > 0.0 {
@@ -190,9 +199,8 @@ mod tests {
         // Fragmentation still hurts badly, but the pipeline (depth 8)
         // amortizes the per-request latency across in-flight GETs.
         assert!(many_small > one_big * 50);
-        let expected = d.request_latency * (1000 / 8) + Duration::from_nanos(
-            ((1u64 << 20) * 1_000_000_000) / d.bandwidth,
-        );
+        let expected = d.request_latency * (1000 / 8)
+            + Duration::from_nanos(((1u64 << 20) * 1_000_000_000) / d.bandwidth);
         assert_eq!(many_small, expected);
     }
 

@@ -34,7 +34,12 @@ impl FragmentedReadSampler {
     pub fn new(small: f64, medium: f64, max_size: u64, seed: u64) -> Self {
         assert!(small >= 0.0 && medium >= 0.0 && small + medium <= 1.0);
         assert!(max_size > MIB);
-        Self { rng: StdRng::seed_from_u64(seed), small, medium, max_size }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            small,
+            medium,
+            max_size,
+        }
     }
 
     fn log_uniform(&mut self, lo: u64, hi: u64) -> u64 {
@@ -89,7 +94,7 @@ mod tests {
     fn sizes_are_positive_and_bounded() {
         let mut s = FragmentedReadSampler::paper_default(5);
         for size in s.sample_many(10_000) {
-            assert!(size >= 1 && size <= 64 * MIB, "{size}");
+            assert!((1..=64 * MIB).contains(&size), "{size}");
         }
     }
 

@@ -87,11 +87,9 @@ impl HdfsTraceGen {
     /// Creates a generator.
     pub fn new(config: HdfsTraceConfig) -> Self {
         let total = config.reads + config.writes;
-        let write_every = if config.writes == 0 {
-            u64::MAX
-        } else {
-            (total / config.writes).max(1)
-        };
+        let write_every = total
+            .checked_div(config.writes)
+            .map_or(u64::MAX, |v| v.max(1));
         Self {
             zipf: ZipfSampler::new(config.blocks, config.zipf_s, config.seed),
             sizes: FragmentedReadSampler::paper_default(config.seed ^ 0x5eed),
@@ -127,8 +125,18 @@ impl Iterator for HdfsTraceGen {
         let block = self.zipf.sample() as u64;
         let len = self.sizes.sample().min(self.config.block_size);
         let max_offset = self.config.block_size - len;
-        let offset = if max_offset == 0 { 0 } else { self.rng.random_range(0..=max_offset) };
-        Some(TraceEvent { time_ms, block, offset, len, is_write })
+        let offset = if max_offset == 0 {
+            0
+        } else {
+            self.rng.random_range(0..=max_offset)
+        };
+        Some(TraceEvent {
+            time_ms,
+            block,
+            offset,
+            len,
+            is_write,
+        })
     }
 }
 
@@ -150,8 +158,16 @@ pub fn trace_stats(events: impl Iterator<Item = TraceEvent>, blocks: usize) -> H
     HdfsTraceStats {
         total_reads: reads,
         total_writes: writes,
-        read_write_ratio: if writes == 0 { f64::INFINITY } else { reads as f64 / writes as f64 },
-        top_10k_share: if reads == 0 { 0.0 } else { top as f64 / reads as f64 },
+        read_write_ratio: if writes == 0 {
+            f64::INFINITY
+        } else {
+            reads as f64 / writes as f64
+        },
+        top_10k_share: if reads == 0 {
+            0.0
+        } else {
+            top as f64 / reads as f64
+        },
     }
 }
 
@@ -204,7 +220,11 @@ mod tests {
 
     #[test]
     fn zero_writes_supported() {
-        let config = HdfsTraceConfig { writes: 0, reads: 1000, ..small_config() };
+        let config = HdfsTraceConfig {
+            writes: 0,
+            reads: 1000,
+            ..small_config()
+        };
         let stats = trace_stats(HdfsTraceGen::new(config), 20_000);
         assert_eq!(stats.total_writes, 0);
         assert!(stats.read_write_ratio.is_infinite());

@@ -11,8 +11,8 @@
 
 use std::sync::Arc;
 
-use edgecache_common::error::Result;
 use edgecache_columnar::{ColfWriter, ColumnType, Predicate, Schema, Value};
+use edgecache_common::error::Result;
 use edgecache_olap::{AggExpr, Catalog, DataFile, PartitionDef, QueryPlan, TableDef};
 use edgecache_storage::ObjectStore;
 use rand::rngs::StdRng;
@@ -117,9 +117,16 @@ impl TpcdsGen {
                 let bytes = w.finish()?;
                 let path = format!("/warehouse/tpcds/store_sales/date={date_sk}/part-{f}.colf");
                 store.put_object(&path, bytes.clone());
-                files.push(DataFile { path, version: 1, length: bytes.len() as u64 });
+                files.push(DataFile {
+                    path,
+                    version: 1,
+                    length: bytes.len() as u64,
+                });
             }
-            partitions.push(PartitionDef { name: format!("date={date_sk}"), files });
+            partitions.push(PartitionDef {
+                name: format!("date={date_sk}"),
+                files,
+            });
         }
         catalog.register(TableDef {
             schema_name: "tpcds".into(),
@@ -152,7 +159,11 @@ impl TpcdsGen {
             columns: schema,
             partitions: vec![PartitionDef {
                 name: "all".into(),
-                files: vec![DataFile { path, version: 1, length: bytes.len() as u64 }],
+                files: vec![DataFile {
+                    path,
+                    version: 1,
+                    length: bytes.len() as u64,
+                }],
             }],
         });
         Ok(())
@@ -160,8 +171,16 @@ impl TpcdsGen {
 
     fn build_item(&self, store: &ObjectStore, catalog: &Catalog) -> Result<()> {
         const CATEGORIES: [&str; 10] = [
-            "Books", "Home", "Electronics", "Jewelry", "Men", "Music", "Shoes", "Sports",
-            "Toys", "Women",
+            "Books",
+            "Home",
+            "Electronics",
+            "Jewelry",
+            "Men",
+            "Music",
+            "Shoes",
+            "Sports",
+            "Toys",
+            "Women",
         ];
         let schema = Schema::new(vec![
             ("i_item_sk", ColumnType::Int64),
@@ -268,7 +287,10 @@ impl TpcdsGen {
         };
         // Rotate the window start so different queries touch different dates.
         let start = (q * 3) % (parts.len() - reach + 1).max(1);
-        let selected: Vec<&str> = parts[start..start + reach].iter().map(String::as_str).collect();
+        let selected: Vec<&str> = parts[start..start + reach]
+            .iter()
+            .map(String::as_str)
+            .collect();
 
         let price_cut = 20.0 + (q % 9) as f64 * 20.0;
         let predicate = match q % 3 {
@@ -284,7 +306,10 @@ impl TpcdsGen {
         let aggregates = match q % 4 {
             0 => vec![AggExpr::count(), AggExpr::sum("ss_net_profit")],
             1 => vec![AggExpr::sum("ss_sales_price"), AggExpr::avg("ss_quantity")],
-            2 => vec![AggExpr::min("ss_sales_price"), AggExpr::max("ss_net_profit")],
+            2 => vec![
+                AggExpr::min("ss_sales_price"),
+                AggExpr::max("ss_net_profit"),
+            ],
             _ => vec![AggExpr::count()],
         };
 
@@ -292,7 +317,7 @@ impl TpcdsGen {
             .in_partitions(&selected)
             .filter(predicate)
             .aggregate(aggregates);
-        if q % 6 == 0 {
+        if q.is_multiple_of(6) {
             plan = plan.group("ss_store_sk");
         }
         // Star joins, like the real benchmark's fact ⋈ dimension templates.
@@ -300,7 +325,14 @@ impl TpcdsGen {
             3 => {
                 // Sales by item category.
                 plan = plan
-                    .join("tpcds", "item", "ss_item_sk", "i_item_sk", &["i_category"], None)
+                    .join(
+                        "tpcds",
+                        "item",
+                        "ss_item_sk",
+                        "i_item_sk",
+                        &["i_category"],
+                        None,
+                    )
                     .group("i_category");
             }
             9 => {
@@ -335,8 +367,8 @@ impl TpcdsGen {
 mod tests {
     use super::*;
     use edgecache_common::clock::SimClock;
-    use edgecache_olap::{Engine, EngineConfig, WorkerConfig};
     use edgecache_common::ByteSize;
+    use edgecache_olap::{Engine, EngineConfig, WorkerConfig};
 
     fn engine() -> (TpcdsGen, Engine) {
         let clock = SimClock::new();
@@ -347,7 +379,10 @@ mod tests {
             store,
             EngineConfig {
                 workers: 2,
-                worker: WorkerConfig { page_size: ByteSize::kib(4), ..Default::default() },
+                worker: WorkerConfig {
+                    page_size: ByteSize::kib(4),
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             Arc::new(clock),
@@ -371,7 +406,9 @@ mod tests {
         let (gen, e) = engine();
         for q in 1..=99 {
             let plan = gen.query(q);
-            let r = e.execute(&plan).unwrap_or_else(|err| panic!("q{q} failed: {err}"));
+            let r = e
+                .execute(&plan)
+                .unwrap_or_else(|err| panic!("q{q} failed: {err}"));
             assert!(r.stats.splits > 0, "q{q} scanned nothing");
         }
     }

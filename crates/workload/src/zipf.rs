@@ -34,7 +34,11 @@ impl ZipfSampler {
         for v in &mut cdf {
             *v /= total;
         }
-        Self { cdf, rng: StdRng::seed_from_u64(seed), s }
+        Self {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+            s,
+        }
     }
 
     /// The configured exponent.
@@ -51,7 +55,10 @@ impl ZipfSampler {
     pub fn sample(&mut self) -> usize {
         let u: f64 = self.rng.random();
         // First index with cdf >= u.
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

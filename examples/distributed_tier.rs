@@ -42,11 +42,9 @@ fn main() -> edgecache::Result<()> {
     tier.register_file("/wh/events/part-0", version, payload.len() as u64);
 
     // Layer 1: a compute node's local cache, reading through the tier.
-    let compute = CacheManager::builder(
-        CacheConfig::default().with_page_size(ByteSize::kib(64)),
-    )
-    .with_store(Arc::new(MemoryPageStore::new()), ByteSize::mib(32).as_u64())
-    .build()?;
+    let compute = CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::kib(64)))
+        .with_store(Arc::new(MemoryPageStore::new()), ByteSize::mib(32).as_u64())
+        .build()?;
     let file = SourceFile::new(
         "/wh/events/part-0",
         version,
@@ -59,7 +57,10 @@ fn main() -> edgecache::Result<()> {
         for chunk in 0..8u64 {
             let offset = chunk * 300_000;
             let got = compute.read(&file, offset, 10_000, &tier)?;
-            assert_eq!(got.as_ref(), &payload[offset as usize..offset as usize + 10_000]);
+            assert_eq!(
+                got.as_ref(),
+                &payload[offset as usize..offset as usize + 10_000]
+            );
         }
         println!(
             "round {round}: compute hits={}, tier served={}, lake GETs={}",

@@ -34,7 +34,10 @@ fn main() -> edgecache::Result<()> {
     // Write a file of several blocks.
     let data: Vec<u8> = (0..3_500_000u32).map(|i| (i % 249) as u8).collect();
     cluster.write_file("/logs/events.log", &data)?;
-    println!("wrote /logs/events.log: {} across blocks", ByteSize::new(data.len() as u64));
+    println!(
+        "wrote /logs/events.log: {} across blocks",
+        ByteSize::new(data.len() as u64)
+    );
 
     // Hot traffic: repeated reads of the same range. The first reads are
     // denied by the rate limiter; once the block proves hot it is cached.

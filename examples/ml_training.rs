@@ -43,15 +43,16 @@ fn main() -> edgecache::Result<()> {
     }
 
     // The FUSE daemon's local cache.
-    let cache = CacheManager::builder(
-        CacheConfig::default().with_page_size(ByteSize::mib(1)),
-    )
-    .with_store(Arc::new(MemoryPageStore::new()), ByteSize::gib(1).as_u64())
-    .build()?;
+    let cache = CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::mib(1)))
+        .with_store(Arc::new(MemoryPageStore::new()), ByteSize::gib(1).as_u64())
+        .build()?;
 
     let ssd = DeviceModel::local_ssd();
     let remote = lake.network();
-    println!("{:<8} {:>14} {:>14} {:>12}", "epoch", "io time (ms)", "from cache", "GPU util");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12}",
+        "epoch", "io time (ms)", "from cache", "GPU util"
+    );
     for epoch in 1..=4 {
         let m = cache.metrics();
         let (h0, bc0, br0, rr0) = (
@@ -64,7 +65,12 @@ fn main() -> edgecache::Result<()> {
         for i in 0..SHARDS {
             let shard = (i * 29 + epoch * 13) % SHARDS; // Epoch-dependent order.
             for chunk in 0..4u64 {
-                cache.read(&files[shard], chunk * (SHARD as u64 / 4), SHARD as u64 / 4, lake.as_ref())?;
+                cache.read(
+                    &files[shard],
+                    chunk * (SHARD as u64 / 4),
+                    SHARD as u64 / 4,
+                    lake.as_ref(),
+                )?;
             }
         }
         let hits = m.counter("hits").get() - h0;

@@ -35,7 +35,10 @@ fn main() -> edgecache::Result<()> {
     )?;
 
     println!("running queries q81..q85 cold, then warm:\n");
-    println!("{:<6} {:>14} {:>14} {:>10}", "query", "cold (ms)", "warm (ms)", "saving");
+    println!(
+        "{:<6} {:>14} {:>14} {:>10}",
+        "query", "cold (ms)", "warm (ms)", "saving"
+    );
     for q in 81..=85 {
         let plan = gen.query(q);
         let cold = engine.execute(&plan)?;

@@ -35,15 +35,16 @@ fn main() -> edgecache::Result<()> {
     let _ = std::fs::remove_dir_all(&dir);
     let store = Arc::new(LocalPageStore::open(
         &dir,
-        LocalStoreConfig { page_size: 64 << 10, ..Default::default() },
+        LocalStoreConfig {
+            page_size: 64 << 10,
+            ..Default::default()
+        },
     )?);
 
     // 2. The cache manager: 1 GB capacity, LRU, 64 KB pages.
-    let cache = CacheManager::builder(
-        CacheConfig::default().with_page_size(ByteSize::kib(64)),
-    )
-    .with_store(store, ByteSize::gib(1).as_u64())
-    .build()?;
+    let cache = CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::kib(64)))
+        .with_store(store, ByteSize::gib(1).as_u64())
+        .build()?;
 
     // 3. Describe the remote file (path + version + length + scope).
     let file = SourceFile::new(
@@ -72,7 +73,10 @@ fn main() -> edgecache::Result<()> {
         stats.misses,
         stats.hit_rate * 100.0
     );
-    println!("\nmetrics snapshot:\n{}", cache.metrics().snapshot().to_json());
+    println!(
+        "\nmetrics snapshot:\n{}",
+        cache.metrics().snapshot().to_json()
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())

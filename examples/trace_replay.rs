@@ -45,14 +45,21 @@ fn main() -> edgecache::Result<()> {
     });
 
     println!("replaying {minutes} minutes of trace; cache disabled at minute {disable_at}\n");
-    println!("{:<8} {:>12} {:>12} {:>10} {:>8}", "minute", "cache MB/s", "disk MB/s", "blocked", "util");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>8}",
+        "minute", "cache MB/s", "disk MB/s", "blocked", "util"
+    );
     let stats = replay.run(trace, |minute, node| {
         if minute == disable_at {
             node.set_cache_enabled(false);
         }
     })?;
     for s in &stats {
-        let marker = if s.minute == disable_at { "  <- cache disabled" } else { "" };
+        let marker = if s.minute == disable_at {
+            "  <- cache disabled"
+        } else {
+            ""
+        };
         println!(
             "{:<8} {:>12.2} {:>12.2} {:>10} {:>8.2}{marker}",
             s.minute,

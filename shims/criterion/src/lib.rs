@@ -1,0 +1,211 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Measures each benchmark's mean wall-clock time per iteration (short
+//! warm-up, then timed batches sized to fill a measurement window) and
+//! prints one line per benchmark, with throughput when configured. No
+//! statistical analysis, HTML reports, or baseline comparisons.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark name with a parameter, e.g. `primary/64`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            full: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+/// Runs closures under timing; handed to each benchmark body.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean per-iteration cost. The mean is taken
+    /// from the fastest of several measurement windows: on shared or
+    /// single-core machines a single window is easily inflated by
+    /// scheduler noise, and the minimum is the standard robust estimator.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm up and estimate per-iteration cost.
+        let warmup = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Measure in batches sized for a ~100 ms window; keep the best of 5.
+        let window = Duration::from_millis(100);
+        let batch = ((window.as_nanos() as f64 / est_ns) as u64).clamp(1, u64::MAX);
+        let mut best_ns = f64::INFINITY;
+        for _ in 0..5 {
+            let timed = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            best_ns = best_ns.min(timed.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        self.mean_ns = best_ns;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<48} {:>12}/iter", human_time(mean_ns));
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib_s = bytes as f64 / mean_ns * 1e9 / (1u64 << 30) as f64;
+            line.push_str(&format!("  {gib_s:>9.3} GiB/s"));
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / mean_ns * 1e9;
+            line.push_str(&format!("  {elem_s:>12.0} elem/s"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut body: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher { mean_ns: 0.0 };
+        body(&mut bencher);
+        report(name, bencher.mean_ns, None);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it share a throughput setting.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks (prefix + shared throughput).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, mut body: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher { mean_ns: 0.0 };
+        body(&mut bencher);
+        report(
+            &format!("{}/{name}", self.name),
+            bencher.mean_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Registers and runs a parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher { mean_ns: 0.0 };
+        body(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id.full),
+            bencher.mean_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function running each listed registration fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups (ignores harness CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo-bench passes flags like `--bench`; nothing to parse.
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(2u64 + 2));
+        });
+        group.finish();
+    }
+}

@@ -52,9 +52,9 @@
 
 pub use edgecache_columnar as columnar;
 pub use edgecache_common as common;
+pub use edgecache_core as core;
 pub use edgecache_distcache as distcache;
 pub use edgecache_kvstore as kvstore;
-pub use edgecache_core as core;
 pub use edgecache_metrics as metrics;
 pub use edgecache_olap as olap;
 pub use edgecache_pagestore as pagestore;

@@ -46,14 +46,15 @@ fn open_cache(dir: &PathBuf, recover: bool) -> CacheManager {
     let store = Arc::new(
         LocalPageStore::open(
             dir,
-            LocalStoreConfig { page_size: 4 << 10, ..Default::default() },
+            LocalStoreConfig {
+                page_size: 4 << 10,
+                ..Default::default()
+            },
         )
         .unwrap(),
     );
-    let builder = CacheManager::builder(
-        CacheConfig::default().with_page_size(ByteSize::kib(4)),
-    )
-    .with_store(store, ByteSize::mib(64).as_u64());
+    let builder = CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::kib(4)))
+        .with_store(store, ByteSize::mib(64).as_u64());
     if recover {
         builder.with_recovery().build().unwrap()
     } else {
@@ -76,7 +77,11 @@ fn restart_restores_all_pages_without_remote_traffic() {
     let cache = open_cache(&dir, true);
     let got = cache.read(&file, 0, 100_000, &remote).unwrap();
     assert_eq!(got.as_ref(), &remote.data[..]);
-    assert_eq!(*remote.reads.lock(), reads_before, "recovery made remote reads");
+    assert_eq!(
+        *remote.reads.lock(),
+        reads_before,
+        "recovery made remote reads"
+    );
     assert_eq!(cache.stats().misses, 0);
     let _ = fs::remove_dir_all(&dir);
 }
@@ -130,7 +135,9 @@ fn leftover_tmp_files_are_discarded_on_recovery() {
     let cache = open_cache(&dir, true);
     assert_eq!(cache.metrics().counter("recovered_pages").get(), 3);
     assert!(
-        !walk(&dir).iter().any(|p| p.to_string_lossy().contains(".tmp")),
+        !walk(&dir)
+            .iter()
+            .any(|p| p.to_string_lossy().contains(".tmp")),
         "tmp files must be cleaned"
     );
     let _ = fs::remove_dir_all(&dir);
@@ -143,17 +150,27 @@ fn page_size_change_invalidates_the_cache_directory() {
         let store = Arc::new(
             LocalPageStore::open(
                 &dir,
-                LocalStoreConfig { page_size: 4 << 10, ..Default::default() },
+                LocalStoreConfig {
+                    page_size: 4 << 10,
+                    ..Default::default()
+                },
             )
             .unwrap(),
         );
-        store.put(edgecache::pagestore::PageId::new(edgecache::pagestore::FileId(1), 0), &[1; 64])
+        store
+            .put(
+                edgecache::pagestore::PageId::new(edgecache::pagestore::FileId(1), 0),
+                &[1; 64],
+            )
             .unwrap();
     }
     // Re-open with a different page size: the old layout is wiped.
     let store = LocalPageStore::open(
         &dir,
-        LocalStoreConfig { page_size: 8 << 10, ..Default::default() },
+        LocalStoreConfig {
+            page_size: 8 << 10,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(store.recover().unwrap().len(), 0);
@@ -161,9 +178,9 @@ fn page_size_change_invalidates_the_cache_directory() {
 }
 
 /// Recursively lists files under `dir`.
-fn walk(dir: &PathBuf) -> Vec<PathBuf> {
+fn walk(dir: &std::path::Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
-    let mut stack = vec![dir.clone()];
+    let mut stack = vec![dir.to_path_buf()];
     while let Some(d) = stack.pop() {
         if let Ok(entries) = fs::read_dir(&d) {
             for entry in entries.flatten() {

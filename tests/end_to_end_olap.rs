@@ -94,14 +94,21 @@ fn file_version_bump_invalidates_across_cluster() {
         columns: schema.clone(),
         partitions: vec![PartitionDef {
             name: "p".into(),
-            files: vec![DataFile { path: "/t/f".into(), version, length: v1.len() as u64 }],
+            files: vec![DataFile {
+                path: "/t/f".into(),
+                version,
+                length: v1.len() as u64,
+            }],
         }],
     });
 
     let engine = Engine::new(
         Arc::clone(&catalog),
         store.clone(),
-        EngineConfig { workers: 2, ..Default::default() },
+        EngineConfig {
+            workers: 2,
+            ..Default::default()
+        },
         Arc::new(clock),
     )
     .unwrap();
@@ -170,12 +177,19 @@ fn drop_partition_frees_cache_and_changes_results() {
     let total_pages_before: usize = engine
         .worker_names()
         .iter()
-        .filter_map(|w| engine.worker(w).and_then(|w| w.cache()).map(|c| c.index().len()))
+        .filter_map(|w| {
+            engine
+                .worker(w)
+                .and_then(|w| w.cache())
+                .map(|c| c.index().len())
+        })
         .sum();
     assert!(total_pages_before > 0);
 
     let part = gen.fact_partitions()[0].clone();
-    engine.drop_partition("tpcds", "store_sales", &part).unwrap();
+    engine
+        .drop_partition("tpcds", "store_sales", &part)
+        .unwrap();
     let after = engine.execute(&count_all).unwrap().rows[0][0].clone();
     match (before, after) {
         (Value::Int64(b), Value::Int64(a)) => assert!(a < b, "{a} !< {b}"),
@@ -206,7 +220,10 @@ fn rate_limited_object_store_throttles_cold_scans() {
     let engine = Engine::new(
         catalog,
         store.clone(),
-        EngineConfig { workers: 2, ..Default::default() },
+        EngineConfig {
+            workers: 2,
+            ..Default::default()
+        },
         Arc::new(clock),
     )
     .unwrap();

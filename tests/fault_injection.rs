@@ -16,7 +16,9 @@ struct PatternRemote;
 impl RemoteSource for PatternRemote {
     fn read(&self, _path: &str, offset: u64, len: u64) -> edgecache::Result<Bytes> {
         Ok(Bytes::from(
-            (offset..offset + len).map(|i| (i % 241) as u8).collect::<Vec<u8>>(),
+            (offset..offset + len)
+                .map(|i| (i % 241) as u8)
+                .collect::<Vec<u8>>(),
         ))
     }
 }

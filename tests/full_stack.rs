@@ -74,6 +74,10 @@ fn three_layer_stack_serves_queries_correctly() {
     let lake_requests = lake.request_count();
     engine.execute(&q1).unwrap();
     engine.execute(&q2).unwrap();
-    assert_eq!(lake.request_count(), lake_requests, "warm stack bypasses the lake");
+    assert_eq!(
+        lake.request_count(),
+        lake_requests,
+        "warm stack bypasses the lake"
+    );
     assert!(tier.stats().bytes_cached > 0);
 }

@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use edgecache::common::clock::SimClock;
 use edgecache::common::ByteSize;
-use edgecache::storage::hdfs::{DataNodeConfig, HdfsClient, HdfsCluster, HdfsClusterConfig};
 use edgecache::core::manager::RemoteSource;
+use edgecache::storage::hdfs::{DataNodeConfig, HdfsClient, HdfsCluster, HdfsClusterConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -113,19 +113,22 @@ fn hdfs_client_is_a_remote_source_for_compute_caches() {
     c.write_file("/warehouse/t/f", &data).unwrap();
     let client = HdfsClient::new(Arc::new(c));
 
-    let compute_cache = CacheManager::builder(
-        CacheConfig::default().with_page_size(ByteSize::kib(16)),
-    )
-    .with_store(Arc::new(MemoryPageStore::new()), ByteSize::mib(64).as_u64())
-    .build()
-    .unwrap();
+    let compute_cache =
+        CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::kib(16)))
+            .with_store(Arc::new(MemoryPageStore::new()), ByteSize::mib(64).as_u64())
+            .build()
+            .unwrap();
     let file = SourceFile::new("/warehouse/t/f", 1, 150_000, CacheScope::Global);
     let a = compute_cache.read(&file, 10_000, 30_000, &client).unwrap();
     assert_eq!(a.as_ref(), &data[10_000..40_000]);
     let b = compute_cache.read(&file, 10_000, 30_000, &client).unwrap();
     assert_eq!(a, b);
     // The 30 000-byte range spans three 16 KB pages: three page-level hits.
-    assert_eq!(compute_cache.stats().hits, 3, "second read is a compute-layer hit");
+    assert_eq!(
+        compute_cache.stats().hits,
+        3,
+        "second read is a compute-layer hit"
+    );
     // Direct client read still fine.
     assert_eq!(
         client.read("/warehouse/t/f", 0, 10).unwrap().as_ref(),

@@ -3,9 +3,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use edgecache::columnar::{
-    ColfReader, ColfWriter, ColumnType, Predicate, Schema, Value,
-};
+use edgecache::columnar::{ColfReader, ColfWriter, ColumnType, Predicate, Schema, Value};
 use edgecache::common::hash::hash_str;
 use edgecache::common::ByteSize;
 use edgecache::core::config::{CacheConfig, EvictionPolicyKind};
