@@ -26,6 +26,14 @@ pub trait Clock: Send + Sync + std::fmt::Debug {
     fn now_millis(&self) -> u64 {
         self.now_nanos() / 1_000_000
     }
+
+    /// Blocks the caller for `duration` of *this clock's* time. The wall
+    /// clock really sleeps; a [`SimClock`] just advances, so injected
+    /// delays (device stalls, read hangs) cost virtual time only and stay
+    /// deterministic.
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
 }
 
 /// The real wall clock.
@@ -104,6 +112,10 @@ impl Clock for SimClock {
     fn now_nanos(&self) -> u64 {
         self.nanos.load(Ordering::SeqCst)
     }
+
+    fn sleep(&self, duration: Duration) {
+        self.advance(duration);
+    }
 }
 
 /// A shared, dynamically dispatched clock handle.
@@ -156,5 +168,17 @@ mod tests {
     fn starting_at_offsets() {
         let c = SimClock::starting_at(Duration::from_secs(3600));
         assert_eq!(c.now_millis(), 3_600_000);
+    }
+
+    #[test]
+    fn sim_clock_sleep_is_virtual() {
+        let c = SimClock::new();
+        let wall = std::time::Instant::now();
+        c.sleep(Duration::from_secs(3600));
+        assert_eq!(c.now_millis(), 3_600_000, "sleep advanced virtual time");
+        assert!(
+            wall.elapsed() < Duration::from_secs(5),
+            "no wall time was spent"
+        );
     }
 }

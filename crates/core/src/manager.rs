@@ -369,6 +369,33 @@ impl CacheManager {
         &self.index
     }
 
+    /// The configuration the manager was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of per-page single-flight latches currently registered.
+    /// An idle cache must report 0 — a leaked latch would strand every
+    /// future reader of that page (the torture harness asserts this after
+    /// every operation).
+    pub fn inflight_fetches(&self) -> usize {
+        self.inflight.lock().len()
+    }
+
+    /// Per-directory `(bytes_used_by_store, bytes_indexed, capacity)` —
+    /// the accounting triple the harness cross-checks after every op.
+    pub fn dir_usage(&self) -> Vec<(u64, u64, u64)> {
+        (0..self.stores.len())
+            .map(|dir| {
+                (
+                    self.stores[dir].bytes_used(),
+                    self.index.bytes_of_dir(dir),
+                    self.allocator.capacity(dir),
+                )
+            })
+            .collect()
+    }
+
     /// Headline statistics.
     pub fn stats(&self) -> CacheStats {
         let hits = self.metrics.counter("hits").get();
@@ -449,6 +476,9 @@ impl CacheManager {
 
         // Stage 1: classify (no I/O while any lock is held).
         let mut plans = self.classify(file, offset, end);
+        // Every page this read touches, hit or miss — the conservation
+        // anchor: page_reads == hits + misses + fallbacks.timeout.
+        self.metrics.counter("page_reads").add(plans.len() as u64);
 
         // Owned latches must be released even if this read errors or
         // panics, or waiters would block forever.
@@ -769,7 +799,19 @@ impl CacheManager {
                         self.metrics
                             .counter("bytes_from_remote")
                             .add(bytes.len() as u64);
-                        out.push(Ok(bytes));
+                        // Ranges are pre-clamped to the file length, so an
+                        // honest remote returns exactly the bytes asked for.
+                        // A short buffer must fail the slot here — cached
+                        // truncated, it would be served as wrong data.
+                        let expected = fetches[out.len()].1;
+                        if bytes.len() as u64 != expected {
+                            out.push(Err(Error::Decode(format!(
+                                "remote returned {} bytes for a {expected}-byte range",
+                                bytes.len()
+                            ))));
+                        } else {
+                            out.push(Ok(bytes));
+                        }
                     }
                 }
                 Ok(buffers) => {
@@ -852,6 +894,13 @@ impl CacheManager {
                     .counter("bytes_from_remote")
                     .add(bytes.len() as u64);
                 self.metrics.counter("remote_requests").inc();
+                if bytes.len() as u64 != plan.within_len {
+                    return Err(Error::Decode(format!(
+                        "remote returned {} bytes for a {}-byte range",
+                        bytes.len(),
+                        plan.within_len
+                    )));
+                }
                 Ok(bytes)
             }
             Err(e @ Error::Corrupted(_)) => {
@@ -892,6 +941,13 @@ impl CacheManager {
                 .counter("bytes_from_remote")
                 .add(bytes.len() as u64);
             self.metrics.counter("remote_requests").inc();
+            if bytes.len() as u64 != plan.within_len {
+                return Err(Error::Decode(format!(
+                    "remote returned {} bytes for a {}-byte range",
+                    bytes.len(),
+                    plan.within_len
+                )));
+            }
             return Ok(bytes);
         }
         let data = source.read(&file.path, plan.page_start, plan.page_len)?;
@@ -899,6 +955,14 @@ impl CacheManager {
             .counter("bytes_from_remote")
             .add(data.len() as u64);
         self.metrics.counter("remote_requests").inc();
+        if data.len() as u64 != plan.page_len {
+            // Never cache a short page (see execute_fetches).
+            return Err(Error::Decode(format!(
+                "remote returned {} bytes for a {}-byte page",
+                data.len(),
+                plan.page_len
+            )));
+        }
         {
             let _guard = self.stripe(plan.id).lock();
             if let Err(e) = self.put_page_locked(file, plan.id, &data) {
@@ -1058,20 +1122,27 @@ impl CacheManager {
         match violation {
             QuotaViolation::Partition(_) => {
                 // Partition-level eviction: remove pages of that partition.
+                // The index returns hash order; sort so the victim is a pure
+                // function of the cache contents (deterministic simulation
+                // replays the same evictions for the same seed).
                 while self.index.bytes_of_scope(&scope) > target {
-                    let pages = self.index.pages_of_scope(&scope);
+                    let mut pages = self.index.pages_of_scope(&scope);
+                    pages.sort_unstable();
                     let Some(&victim) = pages.first() else { break };
                     self.evict_page(&victim, "quota");
                 }
             }
             QuotaViolation::SharedScope(_) => {
                 // Table-level sharing: random eviction across partitions, so
-                // one greedy partition cannot starve its siblings.
+                // one greedy partition cannot starve its siblings. Sorted for
+                // the same reason as above: the draw must pick from a
+                // deterministic ordering, not hash order.
                 while self.index.bytes_of_scope(&scope) > target {
-                    let pages = self.index.pages_of_scope(&scope);
+                    let mut pages = self.index.pages_of_scope(&scope);
                     if pages.is_empty() {
                         break;
                     }
+                    pages.sort_unstable();
                     let pick = (self.next_rand() % pages.len() as u64) as usize;
                     self.evict_page(&pages[pick], "quota");
                 }
@@ -1143,7 +1214,12 @@ impl CacheManager {
     /// Rebuilds the index from the stores (cold-start recovery, §4.3).
     fn recover(&self) -> Result<()> {
         for (dir, store) in self.stores.iter().enumerate() {
-            for (id, size) in store.recover()? {
+            // Stores scan directories in filesystem order; sort so recovered
+            // pages enter the index and eviction policies in one canonical
+            // order (restart determinism for the simulation harness).
+            let mut pages = store.recover()?;
+            pages.sort_unstable_by_key(|&(id, _)| id);
+            for (id, size) in pages {
                 // Scope information is not persisted per page; recovered
                 // pages are tracked globally (quotas re-apply as new traffic
                 // re-tags pages).

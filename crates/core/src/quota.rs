@@ -65,6 +65,20 @@ impl QuotaManager {
         self.quotas.read().is_empty()
     }
 
+    /// Every configured `(scope, quota)` pair, sorted by scope rendering so
+    /// callers (e.g. the budget oracle of the simulation harness) can walk
+    /// them in a stable order.
+    pub fn snapshot(&self) -> Vec<(CacheScope, ByteSize)> {
+        let mut out: Vec<(CacheScope, ByteSize)> = self
+            .quotas
+            .read()
+            .iter()
+            .map(|(s, &q)| (s.clone(), ByteSize::new(q)))
+            .collect();
+        out.sort_by_key(|(s, _)| s.to_string());
+        out
+    }
+
     /// Checks the scope chain of `scope` (most detailed first) against the
     /// usage reported by `usage_of`, assuming `additional` bytes are about to
     /// be added to every scope in the chain. Returns the first violation.

@@ -172,7 +172,19 @@ impl DistCacheTier {
         }
         // All candidates occupied (or no worker online): origin fallback.
         self.metrics.counter("origin_fallbacks").inc();
-        self.origin.read(&file.path, offset, len)
+        let bytes = self.origin.read(&file.path, offset, len)?;
+        // The fallback bypasses every cache-layer checksum, so the only
+        // guard against a truncated origin response is the registered file
+        // length: anything but an exact (EOF-clamped) range is an error.
+        let want = offset.saturating_add(len).min(file.length) - offset.min(file.length);
+        if bytes.len() as u64 != want {
+            return Err(Error::Decode(format!(
+                "origin returned {} bytes for a {want}-byte range of {}",
+                bytes.len(),
+                file.path
+            )));
+        }
+        Ok(bytes)
     }
 }
 

@@ -1,0 +1,259 @@
+//! Conservation-law checking over registry snapshots.
+//!
+//! The torture harness (`crates/simtest`) validates cache runs against
+//! *conservation laws* — linear relations between counter deltas that must
+//! hold no matter what the workload or fault schedule did, e.g.
+//! `hits + misses + fallbacks.timeout == page_reads`. Expressing the laws
+//! over a [`SnapshotDiff`] (after − before) rather than absolute values lets
+//! callers check any window of a run, including windows that start on a
+//! warm cache.
+//!
+//! A [`ConservationLaw`] is `sum(lhs counters) REL sum(rhs counters)`, with
+//! REL one of `==`, `<=`, `>=`. [`assert_conserved`] evaluates a slice of
+//! laws and reports every violated one with both sides' values, so a failed
+//! oracle names the drifting counter instead of just "mismatch".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::registry::RegistrySnapshot;
+
+/// The delta between two snapshots of one registry: `after − before`,
+/// counter-wise (counters are monotone, so deltas are non-negative in any
+/// well-formed window).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotDiff {
+    counters: BTreeMap<String, u64>,
+}
+
+impl SnapshotDiff {
+    /// Computes `after − before`. Counters absent from `before` count from
+    /// zero; counters that went *backwards* (registry misuse) saturate to 0.
+    pub fn between(before: &RegistrySnapshot, after: &RegistrySnapshot) -> Self {
+        let mut counters = BTreeMap::new();
+        for (name, &v) in &after.counters {
+            let base = before.counter(name);
+            counters.insert(name.clone(), v.saturating_sub(base));
+        }
+        Self { counters }
+    }
+
+    /// A diff measured from an empty registry (i.e. the snapshot itself).
+    pub fn from_start(after: &RegistrySnapshot) -> Self {
+        let mut counters = BTreeMap::new();
+        for (name, &v) in &after.counters {
+            counters.insert(name.clone(), v);
+        }
+        Self { counters }
+    }
+
+    /// Counter delta, 0 if the counter never appeared.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of deltas of every counter whose name starts with `prefix`.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+/// How the two sides of a law must relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `lhs == rhs`
+    Equal,
+    /// `lhs <= rhs`
+    AtMost,
+    /// `lhs >= rhs`
+    AtLeast,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Relation::Equal => "==",
+            Relation::AtMost => "<=",
+            Relation::AtLeast => ">=",
+        })
+    }
+}
+
+/// One conservation law: `sum(lhs) REL sum(rhs)` over counter *deltas*.
+/// A term ending in `*` sums every counter with that prefix (e.g.
+/// `evictions.*`).
+#[derive(Debug, Clone)]
+pub struct ConservationLaw {
+    /// Human-readable name, e.g. `"page reads balance"`.
+    pub name: &'static str,
+    /// Left-hand-side counter names (summed).
+    pub lhs: Vec<&'static str>,
+    /// Right-hand-side counter names (summed).
+    pub rhs: Vec<&'static str>,
+    /// Relation between the sums.
+    pub relation: Relation,
+}
+
+impl ConservationLaw {
+    /// Builds an equality law.
+    pub fn equal(name: &'static str, lhs: &[&'static str], rhs: &[&'static str]) -> Self {
+        Self {
+            name,
+            lhs: lhs.to_vec(),
+            rhs: rhs.to_vec(),
+            relation: Relation::Equal,
+        }
+    }
+
+    /// Builds an `lhs <= rhs` law.
+    pub fn at_most(name: &'static str, lhs: &[&'static str], rhs: &[&'static str]) -> Self {
+        Self {
+            name,
+            lhs: lhs.to_vec(),
+            rhs: rhs.to_vec(),
+            relation: Relation::AtMost,
+        }
+    }
+
+    fn side(diff: &SnapshotDiff, terms: &[&'static str]) -> u64 {
+        terms
+            .iter()
+            .map(|t| match t.strip_suffix('*') {
+                Some(prefix) => diff.counter_prefix_sum(prefix),
+                None => diff.counter(t),
+            })
+            .sum()
+    }
+
+    /// Evaluates the law against a diff; `None` means it holds, otherwise a
+    /// description of the violation with both sides' values.
+    pub fn check(&self, diff: &SnapshotDiff) -> Option<String> {
+        let lhs = Self::side(diff, &self.lhs);
+        let rhs = Self::side(diff, &self.rhs);
+        let ok = match self.relation {
+            Relation::Equal => lhs == rhs,
+            Relation::AtMost => lhs <= rhs,
+            Relation::AtLeast => lhs >= rhs,
+        };
+        if ok {
+            None
+        } else {
+            Some(format!(
+                "law '{}' violated: {}={} {} {}={}",
+                self.name,
+                self.lhs.join("+"),
+                lhs,
+                self.relation,
+                self.rhs.join("+"),
+                rhs,
+            ))
+        }
+    }
+}
+
+/// Checks every law against the diff; `Err` lists each violated law with
+/// both sides' values.
+pub fn assert_conserved(diff: &SnapshotDiff, laws: &[ConservationLaw]) -> Result<(), String> {
+    let violations: Vec<String> = laws.iter().filter_map(|l| l.check(diff)).collect();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricRegistry;
+
+    fn diff_after(f: impl Fn(&MetricRegistry)) -> SnapshotDiff {
+        let m = MetricRegistry::new("t");
+        let before = m.snapshot();
+        f(&m);
+        SnapshotDiff::between(&before, &m.snapshot())
+    }
+
+    #[test]
+    fn diff_subtracts_and_defaults_to_zero() {
+        let m = MetricRegistry::new("t");
+        m.counter("a").add(5);
+        let before = m.snapshot();
+        m.counter("a").add(3);
+        m.counter("b").add(7);
+        let d = SnapshotDiff::between(&before, &m.snapshot());
+        assert_eq!(d.counter("a"), 3);
+        assert_eq!(d.counter("b"), 7);
+        assert_eq!(d.counter("never"), 0);
+    }
+
+    #[test]
+    fn prefix_sum_covers_error_breakdowns() {
+        let d = diff_after(|m| {
+            m.record_error("get", "timeout");
+            m.record_error("get", "corrupted");
+            m.record_error("put", "no_space");
+        });
+        assert_eq!(d.counter_prefix_sum("errors.get."), 2);
+        assert_eq!(d.counter_prefix_sum("errors."), 3);
+    }
+
+    #[test]
+    fn equality_law_holds_and_fails() {
+        let d = diff_after(|m| {
+            m.counter("hits").add(4);
+            m.counter("misses").add(6);
+            m.counter("page_reads").add(10);
+        });
+        let law = ConservationLaw::equal("balance", &["hits", "misses"], &["page_reads"]);
+        assert!(law.check(&d).is_none());
+
+        let skewed = diff_after(|m| {
+            m.counter("hits").add(4);
+            m.counter("page_reads").add(10);
+        });
+        let msg = law.check(&skewed).expect("violated");
+        assert!(msg.contains("hits+misses=4"), "{msg}");
+        assert!(msg.contains("page_reads=10"), "{msg}");
+    }
+
+    #[test]
+    fn at_most_law_and_wildcards() {
+        let d = diff_after(|m| {
+            m.counter("remote_requests").add(3);
+            m.counter("misses").add(5);
+            m.counter("evictions.capacity").add(2);
+            m.counter("evictions.quota").add(1);
+            m.counter("puts").add(4);
+        });
+        let laws = [
+            ConservationLaw::at_most("single-flight", &["remote_requests"], &["misses"]),
+            ConservationLaw::at_most("no phantom evictions", &["evictions.*"], &["puts"]),
+        ];
+        assert!(assert_conserved(&d, &laws).is_ok());
+
+        let bad = diff_after(|m| {
+            m.counter("remote_requests").add(9);
+            m.counter("misses").add(5);
+        });
+        let err = assert_conserved(&bad, &laws[..1]).unwrap_err();
+        assert!(err.contains("single-flight"), "{err}");
+    }
+
+    #[test]
+    fn multiple_violations_are_all_reported() {
+        let d = diff_after(|m| {
+            m.counter("a").add(1);
+        });
+        let laws = [
+            ConservationLaw::equal("first", &["a"], &["b"]),
+            ConservationLaw::equal("second", &["a"], &["c"]),
+        ];
+        let err = assert_conserved(&d, &laws).unwrap_err();
+        assert!(err.contains("first") && err.contains("second"), "{err}");
+    }
+}

@@ -15,13 +15,18 @@
 //!   recording, snapshots, and JSON export.
 //! * [`ClusterAggregator`] — merges snapshots from many nodes into one
 //!   cluster-level view (the paper's "aggregated metrics system").
+//! * [`conservation`] — snapshot-diff conservation laws
+//!   ([`assert_conserved`]), the invariant-oracle vocabulary of the
+//!   simulation harness.
 
 pub mod aggregate;
+pub mod conservation;
 pub mod histogram;
 pub mod registry;
 pub mod scalar;
 
 pub use aggregate::ClusterAggregator;
+pub use conservation::{assert_conserved, ConservationLaw, Relation, SnapshotDiff};
 pub use histogram::{Histogram, HistogramSnapshot, Percentiles};
 pub use registry::{MetricRegistry, RegistrySnapshot};
 pub use scalar::{Counter, Gauge};

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
+use edgecache_common::clock::SharedClock;
 use edgecache_common::error::{Error, Result};
 use parking_lot::Mutex;
 
@@ -33,6 +34,11 @@ pub struct FaultPlan {
     /// If nonzero, every Nth `get` hangs for `get_delay`; 1 = every get.
     hang_every: AtomicU64,
     gets: AtomicU64,
+    /// Clock that pays for hangs. `None` sleeps on the wall clock (the
+    /// historical behaviour, which real-timeout tests rely on); a
+    /// [`SimClock`](edgecache_common::clock::SimClock) here makes hangs
+    /// advance virtual time only, keeping simulation runs deterministic.
+    clock: Mutex<Option<SharedClock>>,
 }
 
 impl FaultPlan {
@@ -65,6 +71,12 @@ impl FaultPlan {
             .store(delay.as_nanos() as u64, Ordering::SeqCst);
         self.hang_every.store(period, Ordering::SeqCst);
     }
+
+    /// Charges injected hangs to `clock` instead of the wall clock (see the
+    /// `clock` field; simulation harnesses pass a `SimClock` here).
+    pub fn set_clock(&self, clock: SharedClock) {
+        *self.clock.lock() = Some(clock);
+    }
 }
 
 /// A [`PageStore`] wrapper that injects failures per a shared [`FaultPlan`].
@@ -93,7 +105,11 @@ impl<S: PageStore> FaultyStore<S> {
         if n.is_multiple_of(period) {
             let delay = self.plan.get_delay_nanos.load(Ordering::SeqCst);
             if delay > 0 {
-                std::thread::sleep(Duration::from_nanos(delay));
+                let delay = Duration::from_nanos(delay);
+                match self.plan.clock.lock().as_ref() {
+                    Some(clock) => clock.sleep(delay),
+                    None => std::thread::sleep(delay),
+                }
             }
         }
     }
@@ -186,6 +202,21 @@ mod tests {
         let t = Instant::now();
         store.get_full(pid(0)).unwrap();
         assert!(t.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn hangs_on_a_sim_clock_cost_no_wall_time() {
+        use edgecache_common::clock::{Clock, SimClock};
+        let sim = SimClock::new();
+        let plan = FaultPlan::none();
+        plan.set_clock(Arc::new(sim.clone()));
+        plan.set_read_hang(Duration::from_secs(600), 1); // §8's 10-minute hang
+        let store = FaultyStore::new(MemoryPageStore::new(), Arc::clone(&plan));
+        store.put(pid(0), b"x").unwrap();
+        let t = Instant::now();
+        store.get_full(pid(0)).unwrap();
+        assert!(t.elapsed() < Duration::from_secs(5), "no real sleep");
+        assert_eq!(sim.now_millis(), 600_000, "hang charged to virtual time");
     }
 
     #[test]

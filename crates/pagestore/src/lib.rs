@@ -18,13 +18,19 @@
 //!   and metadata-style payloads.
 //! * [`faulty`] — [`FaultyStore`], a fault-injection wrapper reproducing the
 //!   failure modes of §8 (corruption, `No space left on device`, read hangs).
+//! * [`crash`] — [`CrashPlan`], armable crash points that make a
+//!   [`LocalPageStore`] operation leave a realistic half-effect on disk
+//!   (orphaned tmp file, torn tail) and fail as if the process died, so
+//!   recovery (§4.3) can be tortured deterministically.
 
+pub mod crash;
 pub mod faulty;
 pub mod local;
 pub mod memory;
 pub mod page;
 pub mod store;
 
+pub use crash::{is_simulated_crash, CrashPlan, CrashSite};
 pub use faulty::{FaultPlan, FaultyStore};
 pub use local::{LocalPageStore, LocalStoreConfig};
 pub use memory::MemoryPageStore;

@@ -29,11 +29,13 @@ use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use edgecache_common::error::{Error, Result};
 use edgecache_common::hash::fnv1a64;
 
+use crate::crash::{CrashPlan, CrashSite};
 use crate::page::{FileId, PageId};
 use crate::store::PageStore;
 
@@ -54,6 +56,10 @@ pub struct LocalStoreConfig {
     /// Verify page checksums during [`LocalPageStore::recover`]; corrupt
     /// pages are dropped instead of reported.
     pub verify_on_recovery: bool,
+    /// Optional crash-point plan (test harnesses only): armed sites make the
+    /// matching operation leave a realistic half-effect on disk and fail
+    /// with a simulated-crash error. `None` in production.
+    pub crash_plan: Option<Arc<CrashPlan>>,
 }
 
 impl Default for LocalStoreConfig {
@@ -62,6 +68,7 @@ impl Default for LocalStoreConfig {
             page_size: 1 << 20, // 1 MB, the paper's production default (§7).
             buckets: 64,
             verify_on_recovery: false,
+            crash_plan: None,
         }
     }
 }
@@ -175,6 +182,26 @@ impl LocalPageStore {
         Some((path, version))
     }
 
+    /// Whether an armed crash point at `site` fires now (consumes it).
+    fn crash_armed(&self, site: CrashSite) -> bool {
+        self.config
+            .crash_plan
+            .as_ref()
+            .is_some_and(|p| p.should_crash(site))
+    }
+
+    /// Simulates data blocks that never reached the device: overwrites the
+    /// tail of the file — always covering the checksum trailer — with a fill
+    /// pattern, leaving a full-length but torn page.
+    fn tear_tail(path: &Path) -> Result<()> {
+        let len = fs::metadata(path)?.len();
+        let torn_from = (len / 2).min(len.saturating_sub(TRAILER_LEN));
+        let mut f = fs::OpenOptions::new().write(true).open(path)?;
+        f.seek(SeekFrom::Start(torn_from))?;
+        f.write_all(&vec![0xEE; (len - torn_from) as usize])?;
+        Ok(())
+    }
+
     /// Reads and verifies a whole page file, returning the payload.
     fn read_verified(&self, path: &Path, id: PageId) -> Result<Bytes> {
         let raw = match fs::read(path) {
@@ -226,7 +253,17 @@ impl PageStore for LocalPageStore {
             let _ = fs::remove_file(&tmp_path);
             return Err(e);
         }
+        if self.crash_armed(CrashSite::PutTmpWritten) {
+            // Process dies with the tmp file orphaned; recovery discards it.
+            return Err(CrashPlan::crash_error(CrashSite::PutTmpWritten));
+        }
         fs::rename(&tmp_path, &final_path)?;
+        if self.crash_armed(CrashSite::PutTornTail) {
+            // The rename published the name, but the unsynced data blocks
+            // never hit the device: full length, torn content.
+            Self::tear_tail(&final_path)?;
+            return Err(CrashPlan::crash_error(CrashSite::PutTornTail));
+        }
         if let Some(old) = old_size {
             self.bytes_used.fetch_sub(old, Ordering::SeqCst);
         }
@@ -270,6 +307,12 @@ impl PageStore for LocalPageStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
             Err(e) => return Err(e.into()),
         };
+        if self.crash_armed(CrashSite::DeleteTornTail) {
+            // Interrupted mid-delete/compaction: the page is neither intact
+            // nor gone — torn tail, unlink never happened.
+            Self::tear_tail(&path)?;
+            return Err(CrashPlan::crash_error(CrashSite::DeleteTornTail));
+        }
         match fs::remove_file(&path) {
             Ok(()) => {
                 self.bytes_used.fetch_sub(size, Ordering::SeqCst);

@@ -1,0 +1,37 @@
+//! Deterministic full-stack simulation and torture testing for edgecache.
+//!
+//! A single `u64` seed expands into a complete scenario — stack shape
+//! (page store backend, direct cache or distributed tier), a Zipf/fragmented
+//! workload from the `edgecache-workload` samplers, and a layered fault
+//! schedule spanning every failure mode of the paper's §8 (remote errors and
+//! short reads, device stalls, store corruption, `NoSpace`, read hangs, and
+//! mid-operation process crashes with restart recovery). The scenario runs
+//! against the real cache stack on a virtual clock, and *invariant oracles*
+//! check what must hold regardless of the schedule: every completed read
+//! returns ground-truth bytes, metric conservation laws balance, accounting
+//! never goes negative or over budget, and recovery never serves a torn
+//! page.
+//!
+//! * [`scenario`] — seed → [`Scenario`](scenario::Scenario) expansion.
+//! * [`remote`] — the simulated remote: ground truth, content-hashed fault
+//!   decisions, device-model time charged to the sim clock.
+//! * [`runner`] — executes a scenario, applies faults, checks oracles,
+//!   produces a byte-stable event trace.
+//! * [`oracle`] — the invariants: byte correctness, conservation laws,
+//!   structural accounting.
+//! * [`shrink`] — ddmin-style failure minimizer and reproducer renderer.
+//!
+//! The `simtest` binary sweeps seeds (`--seeds N`), replays one
+//! (`--seed X`), and selects depth with `--profile smoke|torture`; any
+//! oracle violation is shrunk to a minimal, copy-pasteable reproducer.
+
+pub mod oracle;
+pub mod remote;
+pub mod runner;
+pub mod scenario;
+pub mod shrink;
+
+pub use oracle::Violation;
+pub use runner::{run_scenario, RunReport};
+pub use scenario::{Profile, Scenario};
+pub use shrink::{render_repro, shrink, ShrinkResult};

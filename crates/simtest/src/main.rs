@@ -1,0 +1,175 @@
+//! The `simtest` binary: seeded simulation sweeps over the full cache stack.
+//!
+//! ```text
+//! simtest [--seed X | --seeds N] [--start S] [--profile smoke|torture]
+//!         [--shrink-budget R] [--verbose]
+//! ```
+//!
+//! Each seed expands into a deterministic scenario (workload + layered fault
+//! schedule), runs twice to assert trace-level determinism, and is checked
+//! against the invariant oracles. Any violation is shrunk to a minimal
+//! reproducer and printed as a ready-to-paste Rust test. Exit code 0 means
+//! every seed passed.
+
+use std::process::ExitCode;
+
+use edgecache_simtest::scenario::{Profile, Scenario};
+use edgecache_simtest::shrink::{render_repro, shrink};
+use edgecache_simtest::{run_scenario, RunReport};
+
+struct Args {
+    seeds: Vec<u64>,
+    profile: Profile,
+    shrink_budget: usize,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut seed: Option<u64> = None;
+    let mut count: u64 = 16;
+    let mut start: u64 = 0;
+    let mut profile = Profile::Smoke;
+    let mut shrink_budget = 300usize;
+    let mut verbose = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--seed" => {
+                seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--seeds" => {
+                count = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--start" => {
+                start = value("--start")?
+                    .parse()
+                    .map_err(|e| format!("--start: {e}"))?
+            }
+            "--profile" => {
+                let v = value("--profile")?;
+                profile = Profile::parse(&v).ok_or(format!("unknown profile {v:?}"))?;
+            }
+            "--shrink-budget" => {
+                shrink_budget = value("--shrink-budget")?
+                    .parse()
+                    .map_err(|e| format!("--shrink-budget: {e}"))?;
+            }
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: simtest [--seed X | --seeds N] [--start S] \
+                     [--profile smoke|torture] [--shrink-budget R] [--verbose]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let seeds = match seed {
+        Some(s) => vec![s],
+        None => (start..start + count).collect(),
+    };
+    Ok(Args {
+        seeds,
+        profile,
+        shrink_budget,
+        verbose,
+    })
+}
+
+fn describe(sc: &Scenario) -> String {
+    format!(
+        "{:?}/{:?} page={}B cap={}KiB files={} ops={} faults={}",
+        sc.backend,
+        sc.topology,
+        sc.page_size,
+        sc.cache_capacity / 1024,
+        sc.files,
+        sc.ops.len(),
+        sc.faults.len()
+    )
+}
+
+fn report_failure(sc: &Scenario, report: &RunReport, budget: usize) {
+    eprintln!(
+        "seed {} FAILED with {} violation(s):",
+        sc.seed,
+        report.violations.len()
+    );
+    for v in &report.violations {
+        eprintln!("  {v}");
+    }
+    eprintln!("shrinking (budget {budget} runs)...");
+    let result = shrink(sc, budget);
+    eprintln!(
+        "shrunk: ops {} -> {}, faults {} -> {} in {} runs",
+        result.ops.0, result.ops.1, result.faults.0, result.faults.1, result.runs
+    );
+    eprintln!("--- reproducer (seed {}) ---", sc.seed);
+    eprintln!("{}", render_repro(&result.scenario));
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("simtest: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = 0usize;
+    for &seed in &args.seeds {
+        let sc = Scenario::generate(seed, args.profile);
+        let report = run_scenario(&sc);
+        let replay = run_scenario(&sc);
+
+        let deterministic = report.trace_hash == replay.trace_hash
+            && report.final_metrics_json == replay.final_metrics_json;
+        if !deterministic {
+            failed += 1;
+            eprintln!("seed {seed} NONDETERMINISTIC: traces diverge across identical runs");
+            for (a, b) in report.trace.iter().zip(replay.trace.iter()) {
+                if a != b {
+                    eprintln!("  first divergence:\n  run1: {a}\n  run2: {b}");
+                    break;
+                }
+            }
+            continue;
+        }
+
+        if report.ok() {
+            println!(
+                "seed {seed:>4} OK   [{}] epochs={} crashes={} trace={:016x}",
+                describe(&sc),
+                report.epochs,
+                report.crashes,
+                report.trace_hash
+            );
+            if args.verbose {
+                for line in &report.trace {
+                    println!("    {line}");
+                }
+            }
+        } else {
+            failed += 1;
+            report_failure(&sc, &report, args.shrink_budget);
+        }
+    }
+
+    if failed > 0 {
+        eprintln!("{failed} of {} seed(s) failed", args.seeds.len());
+        ExitCode::FAILURE
+    } else {
+        println!("{} seed(s) passed", args.seeds.len());
+        ExitCode::SUCCESS
+    }
+}

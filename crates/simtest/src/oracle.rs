@@ -1,0 +1,212 @@
+//! Invariant oracles: what must hold no matter what the fault schedule did.
+//!
+//! Three families of checks (§8 of the paper is, at heart, a list of ways
+//! these were violated in production):
+//!
+//! * **Byte correctness** — every completed read returns exactly the ground
+//!   truth bytes of the simulated remote, whatever mixture of cache hits,
+//!   coalesced fetches, fallbacks, and recoveries produced them. Checked
+//!   per-op by the runner via [`check_read`].
+//! * **Conservation laws** — linear relations between metric counter deltas
+//!   ([`cache_epoch_laws`]) checked over each "process lifetime" (epoch).
+//! * **Accounting** — the index, the store, the allocator, and the quota
+//!   manager must agree: no negative/over-budget usage, no orphaned bytes,
+//!   no in-flight latches left behind ([`check_accounting`]).
+
+use bytes::Bytes;
+use edgecache_core::manager::CacheManager;
+use edgecache_metrics::ConservationLaw;
+
+/// One oracle violation, tied to the op that exposed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the op during which the violation surfaced, if any.
+    pub op: Option<usize>,
+    /// Stable category, e.g. `byte-mismatch`, `conservation`, `quota`.
+    pub kind: &'static str,
+    /// Human-readable description with the values involved.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.op {
+            Some(op) => write!(f, "[op {op}] {}: {}", self.kind, self.detail),
+            None => write!(f, "[end] {}: {}", self.kind, self.detail),
+        }
+    }
+}
+
+/// The conservation laws of one cache epoch (one process lifetime, measured
+/// on a registry that was fresh at epoch start).
+///
+/// `clean` means no read op returned an error this epoch: then every
+/// classified page was fully served and the read balance is an equality.
+/// A failed read legitimately abandons pages after they were counted in
+/// `page_reads` (classification) but before they were served as a hit, so
+/// epochs with errors only bound the balance from above.
+pub fn cache_epoch_laws(clean: bool) -> Vec<ConservationLaw> {
+    let mut laws = vec![
+        ConservationLaw::at_most(
+            "single-flight bounds remote requests",
+            &["remote_requests"],
+            &["misses", "fallbacks.timeout"],
+        ),
+        ConservationLaw::at_most("every put came from a miss", &["puts"], &["misses"]),
+        ConservationLaw::at_most(
+            "every eviction had an insertion",
+            &["evictions.*"],
+            &["puts", "recovered_pages"],
+        ),
+        ConservationLaw::at_most(
+            "assembled bytes are bounded by requested bytes",
+            &["bytes_copied"],
+            &["bytes_requested"],
+        ),
+        ConservationLaw::at_most("hits are classified reads", &["hits"], &["page_reads"]),
+    ];
+    if clean {
+        laws.push(ConservationLaw::equal(
+            "page reads balance",
+            &["hits", "misses", "fallbacks.timeout"],
+            &["page_reads"],
+        ));
+    } else {
+        laws.push(ConservationLaw::at_most(
+            "page reads balance (lossy epoch)",
+            &["hits", "misses", "fallbacks.timeout"],
+            &["page_reads"],
+        ));
+    }
+    laws
+}
+
+/// Byte-correctness check for one completed read.
+pub fn check_read(op: usize, got: &Bytes, expected: &Bytes) -> Option<Violation> {
+    if got == expected {
+        return None;
+    }
+    let detail = if got.len() != expected.len() {
+        format!(
+            "read returned {} bytes, ground truth has {}",
+            got.len(),
+            expected.len()
+        )
+    } else {
+        let first = got
+            .iter()
+            .zip(expected.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        format!(
+            "read returned wrong bytes: first divergence at offset {first} (got {:#04x}, want {:#04x})",
+            got[first], expected[first]
+        )
+    };
+    Some(Violation {
+        op: Some(op),
+        kind: "byte-mismatch",
+        detail,
+    })
+}
+
+/// Structural accounting checks over a live manager, run after every op.
+///
+/// `store_index_agree` is false for the op window in which a simulated
+/// crash fired: the store and index legitimately disagree until the
+/// restart that immediately follows.
+pub fn check_accounting(
+    op: usize,
+    cache: &CacheManager,
+    store_index_agree: bool,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mk = |kind, detail| Violation {
+        op: Some(op),
+        kind,
+        detail,
+    };
+
+    if cache.inflight_fetches() != 0 {
+        out.push(mk(
+            "latch-leak",
+            format!(
+                "{} in-flight fetch latches left after a completed op",
+                cache.inflight_fetches()
+            ),
+        ));
+    }
+    if let Err(e) = cache.index().check_consistency() {
+        out.push(mk("index-inconsistent", e));
+    }
+    for (dir, (store_bytes, index_bytes, capacity)) in cache.dir_usage().into_iter().enumerate() {
+        if index_bytes > capacity {
+            out.push(mk(
+                "over-capacity",
+                format!("dir {dir}: index accounts {index_bytes} B over capacity {capacity} B"),
+            ));
+        }
+        if store_index_agree && store_bytes != index_bytes {
+            out.push(mk(
+                "store-index-drift",
+                format!(
+                    "dir {dir}: store holds {store_bytes} B but index accounts {index_bytes} B"
+                ),
+            ));
+        }
+    }
+    for (scope, quota) in cache.quota().snapshot() {
+        let used = cache.index().bytes_of_scope(&scope);
+        if used > quota.as_u64() {
+            out.push(mk(
+                "quota-exceeded",
+                format!(
+                    "scope {scope}: {used} B cached over quota {} B",
+                    quota.as_u64()
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgecache_metrics::{assert_conserved, MetricRegistry, SnapshotDiff};
+
+    #[test]
+    fn clean_epoch_requires_exact_balance() {
+        let m = MetricRegistry::new("t");
+        m.counter("page_reads").add(10);
+        m.counter("hits").add(4);
+        m.counter("misses").add(5);
+        let diff = SnapshotDiff::from_start(&m.snapshot());
+        // One classified page was never served: clean laws reject, lossy
+        // laws accept.
+        assert!(assert_conserved(&diff, &cache_epoch_laws(true)).is_err());
+        assert!(assert_conserved(&diff, &cache_epoch_laws(false)).is_ok());
+        m.counter("fallbacks.timeout").inc();
+        let diff = SnapshotDiff::from_start(&m.snapshot());
+        assert!(assert_conserved(&diff, &cache_epoch_laws(true)).is_ok());
+    }
+
+    #[test]
+    fn byte_mismatch_reports_first_divergence() {
+        let got = Bytes::from_static(b"abcXef");
+        let want = Bytes::from_static(b"abcdef");
+        let v = check_read(3, &got, &want).expect("mismatch");
+        assert_eq!(v.kind, "byte-mismatch");
+        assert!(v.detail.contains("offset 3"), "{}", v.detail);
+        assert!(check_read(3, &want, &want).is_none());
+    }
+
+    #[test]
+    fn length_mismatch_is_reported_as_lengths() {
+        let got = Bytes::from_static(b"ab");
+        let want = Bytes::from_static(b"abcd");
+        let v = check_read(0, &got, &want).expect("mismatch");
+        assert!(v.detail.contains("2 bytes"), "{}", v.detail);
+        assert!(v.detail.contains("4"), "{}", v.detail);
+    }
+}

@@ -1,0 +1,303 @@
+//! The simulated remote: ground truth plus faults plus virtual time.
+//!
+//! [`SimRemote`] plays the data lake under the cache. Its three jobs:
+//!
+//! 1. **Ground truth.** Every byte of every file is a pure function of
+//!    `(seed, file, position)`, so the byte-correctness oracle can check any
+//!    completed read without storing the corpus.
+//! 2. **Fault injection.** Error and short-read decisions are pure functions
+//!    of the request *content* (path, offset, length) and the active fault
+//!    window's salt — never of wall time or arrival order — so concurrent
+//!    fetch workers racing inside one `read` call cannot make a run
+//!    diverge between executions.
+//! 3. **Virtual time.** Each request charges a [`DeviceModel`] cost (scaled
+//!    by the active stall factor) to the shared [`SimClock`] via atomic
+//!    advances, which commute across threads.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use edgecache_common::clock::SharedClock;
+use edgecache_common::error::{Error, Result};
+use edgecache_common::hash::{combine, fnv1a64, hash_str};
+use edgecache_core::manager::RemoteSource;
+use edgecache_storage::DeviceModel;
+
+use crate::scenario::Scenario;
+
+/// Deterministic content byte of `file` at absolute position `i`.
+pub fn ground_truth_byte(seed: u64, file: u32, i: u64) -> u8 {
+    let x = seed
+        ^ (file as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ i.wrapping_mul(0xa076_1d64_78bd_642f);
+    let x = (x ^ (x >> 29)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    (x >> 56) as u8
+}
+
+/// The expected bytes of a read, EOF-clamped like the real remote.
+pub fn expected_bytes(seed: u64, file: u32, file_len: u64, offset: u64, len: u64) -> Bytes {
+    if offset >= file_len {
+        return Bytes::new();
+    }
+    let end = (offset + len).min(file_len);
+    let mut out = Vec::with_capacity((end - offset) as usize);
+    for i in offset..end {
+        out.push(ground_truth_byte(seed, file, i));
+    }
+    Bytes::from(out)
+}
+
+/// The simulated remote source (see module docs).
+pub struct SimRemote {
+    seed: u64,
+    file_len: u64,
+    files: u32,
+    clock: SharedClock,
+    device: DeviceModel,
+    /// Device degradation factor for the current op (1 = nominal). Set by
+    /// the runner at op boundaries from its virtual-time `StallSchedule`.
+    stall_factor: AtomicU32,
+    /// Percent of requests failing while an error window is active.
+    error_percent: AtomicU32,
+    /// Percent of requests returning truncated buffers.
+    short_percent: AtomicU32,
+    /// Per-window salt: distinct fault windows make distinct per-request
+    /// decisions, but decisions stay stable *within* a window.
+    salt: AtomicU64,
+    /// Total remote requests served (including failed ones).
+    requests: AtomicU64,
+    /// After this many requests, responses carry one flipped byte — the
+    /// planted bug the oracle meta-tests against. `u64::MAX` = off.
+    sabotage_after: AtomicU64,
+}
+
+impl SimRemote {
+    /// Builds the remote for a scenario over `clock`.
+    pub fn new(sc: &Scenario, clock: SharedClock) -> Arc<Self> {
+        Arc::new(Self {
+            seed: sc.seed,
+            file_len: sc.file_len,
+            files: sc.files,
+            clock,
+            device: DeviceModel::object_store(),
+            stall_factor: AtomicU32::new(1),
+            error_percent: AtomicU32::new(0),
+            short_percent: AtomicU32::new(0),
+            salt: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            sabotage_after: AtomicU64::new(sc.sabotage_after.unwrap_or(u64::MAX)),
+        })
+    }
+
+    /// Ground truth for `(offset, len)` of file index `file`.
+    pub fn expected(&self, file: u32, offset: u64, len: u64) -> Bytes {
+        expected_bytes(self.seed, file, self.file_len, offset, len)
+    }
+
+    /// Total requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::SeqCst)
+    }
+
+    /// Sets the device degradation factor for subsequent requests.
+    pub fn set_stall_factor(&self, factor: u32) {
+        self.stall_factor.store(factor.max(1), Ordering::SeqCst);
+    }
+
+    /// Opens (or closes, with 0) an error window.
+    pub fn set_error_percent(&self, percent: u32, salt: u64) {
+        self.salt.store(salt, Ordering::SeqCst);
+        self.error_percent.store(percent, Ordering::SeqCst);
+    }
+
+    /// Opens (or closes, with 0) a short-read window.
+    pub fn set_short_percent(&self, percent: u32, salt: u64) {
+        self.salt.store(salt, Ordering::SeqCst);
+        self.short_percent.store(percent, Ordering::SeqCst);
+    }
+
+    /// Whether any fault window is currently open (reads may legitimately
+    /// fail; the oracle relaxes its completed-read expectations).
+    pub fn faults_active(&self) -> bool {
+        self.error_percent.load(Ordering::SeqCst) > 0
+            || self.short_percent.load(Ordering::SeqCst) > 0
+    }
+
+    fn file_index(&self, path: &str) -> Result<u32> {
+        let idx: u32 = path
+            .strip_prefix("/sim/f")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::NotFound(format!("unknown simulated path {path}")))?;
+        if idx >= self.files {
+            return Err(Error::NotFound(format!("file {idx} out of range")));
+        }
+        Ok(idx)
+    }
+
+    /// Content-hash fault decision: stable for a given request within a
+    /// given fault window, independent of timing and thread interleaving.
+    fn decide(&self, path: &str, offset: u64, len: u64, which: u64, percent: u32) -> bool {
+        if percent == 0 {
+            return false;
+        }
+        let h = combine(
+            combine(hash_str(path), self.salt.load(Ordering::SeqCst) ^ which),
+            combine(offset, fnv1a64(&len.to_le_bytes())),
+        );
+        (h % 100) < percent as u64
+    }
+
+    fn charge(&self, requests: u64, bytes: u64) {
+        let factor = self.stall_factor.load(Ordering::SeqCst);
+        let cost = self
+            .device
+            .degraded(factor)
+            .batch_read_time(requests, bytes);
+        self.clock.sleep(cost);
+    }
+
+    fn serve(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let file = self.file_index(path)?;
+        let n = self.requests.fetch_add(1, Ordering::SeqCst);
+        if self.decide(
+            path,
+            offset,
+            len,
+            0xe44,
+            self.error_percent.load(Ordering::SeqCst),
+        ) {
+            return Err(Error::Other(format!(
+                "injected remote error for {path}@{offset}+{len}"
+            )));
+        }
+        let mut bytes = self.expected(file, offset, len);
+        if n >= self.sabotage_after.load(Ordering::SeqCst) && !bytes.is_empty() {
+            // The planted bug: flip the first byte of the response.
+            let mut v = bytes.to_vec();
+            v[0] ^= 0xff;
+            bytes = Bytes::from(v);
+        }
+        if self.decide(
+            path,
+            offset,
+            len,
+            0x5407,
+            self.short_percent.load(Ordering::SeqCst),
+        ) && bytes.len() > 1
+        {
+            // Injected short read: drop the final byte mid-file, which the
+            // cache must detect (EOF clamping already happened above).
+            bytes = bytes.slice(0..bytes.len() - 1);
+        }
+        Ok(bytes)
+    }
+}
+
+impl RemoteSource for SimRemote {
+    fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        self.charge(1, len);
+        self.serve(path, offset, len)
+    }
+
+    fn read_ranges(&self, path: &str, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>> {
+        let total: u64 = ranges.iter().map(|&(_, l)| l).sum();
+        self.charge(ranges.len() as u64, total);
+        ranges
+            .iter()
+            .map(|&(offset, len)| self.serve(path, offset, len))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Profile;
+    use edgecache_common::clock::{Clock, SimClock};
+
+    fn remote() -> Arc<SimRemote> {
+        let sc = Scenario::generate(5, Profile::Smoke);
+        SimRemote::new(&sc, Arc::new(SimClock::new()))
+    }
+
+    #[test]
+    fn serves_ground_truth_deterministically() {
+        let r = remote();
+        let a = r.read("/sim/f0", 100, 200).unwrap();
+        let b = r.read("/sim/f0", 100, 200).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, r.expected(0, 100, 200));
+        // Different files and offsets differ.
+        assert_ne!(r.read("/sim/f1", 100, 200).unwrap(), a);
+        assert_ne!(r.read("/sim/f0", 101, 200).unwrap(), a);
+    }
+
+    #[test]
+    fn clamps_at_eof_and_rejects_unknown_paths() {
+        let sc = Scenario::generate(5, Profile::Smoke);
+        let r = remote();
+        let tail = r.read("/sim/f0", sc.file_len - 10, 100).unwrap();
+        assert_eq!(tail.len(), 10);
+        assert!(r.read("/nope", 0, 10).is_err());
+        assert!(r.read("/sim/f99", 0, 10).is_err());
+    }
+
+    #[test]
+    fn fault_decisions_are_content_stable() {
+        let r = remote();
+        r.set_error_percent(50, 7);
+        let first: Vec<bool> = (0..64)
+            .map(|i| r.read("/sim/f0", i * 128, 64).is_err())
+            .collect();
+        let second: Vec<bool> = (0..64)
+            .map(|i| r.read("/sim/f0", i * 128, 64).is_err())
+            .collect();
+        assert_eq!(first, second, "same window, same request, same outcome");
+        assert!(first.iter().any(|&e| e), "50% window fails something");
+        assert!(!first.iter().all(|&e| e), "…but not everything");
+        // A different salt (new window) reshuffles the decisions.
+        r.set_error_percent(50, 8);
+        let third: Vec<bool> = (0..64)
+            .map(|i| r.read("/sim/f0", i * 128, 64).is_err())
+            .collect();
+        assert_ne!(first, third);
+    }
+
+    #[test]
+    fn short_reads_truncate_mid_file() {
+        let r = remote();
+        r.set_short_percent(100, 1);
+        let bytes = r.read("/sim/f0", 0, 256).unwrap();
+        assert_eq!(bytes.len(), 255, "one byte short of the request");
+    }
+
+    #[test]
+    fn requests_charge_virtual_time_only() {
+        let sc = Scenario::generate(5, Profile::Smoke);
+        let clock = Arc::new(SimClock::new());
+        let r = SimRemote::new(&sc, clock.clone());
+        r.read("/sim/f0", 0, 1 << 20).unwrap();
+        let base = clock.now_millis();
+        assert!(base > 0, "object-store model charges real latency");
+        r.set_stall_factor(10);
+        r.read("/sim/f0", 0, 1 << 20).unwrap();
+        assert!(
+            clock.now_millis() - base > base,
+            "stall degrades the device"
+        );
+    }
+
+    #[test]
+    fn sabotage_flips_a_byte_after_threshold() {
+        let mut sc = Scenario::generate(5, Profile::Smoke);
+        sc.sabotage_after = Some(2);
+        let r = SimRemote::new(&sc, Arc::new(SimClock::new()));
+        let good = r.read("/sim/f0", 0, 64).unwrap();
+        assert_eq!(good, r.expected(0, 0, 64));
+        let _ = r.read("/sim/f0", 0, 64).unwrap();
+        let bad = r.read("/sim/f0", 0, 64).unwrap();
+        assert_ne!(bad, r.expected(0, 0, 64));
+        assert_eq!(&bad[1..], &r.expected(0, 0, 64)[1..]);
+    }
+}

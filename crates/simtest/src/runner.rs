@@ -1,0 +1,677 @@
+//! The scenario runner: executes a [`Scenario`] against a real cache stack
+//! with simulated time, applying the fault schedule at op boundaries and
+//! checking the invariant oracles as it goes.
+//!
+//! Determinism contract: ops execute sequentially on the runner thread; all
+//! concurrency lives inside the cache's own fetch pool, whose effects are
+//! made order-independent by construction — remote fault decisions hash the
+//! request content, virtual-time charges are commuting atomic advances, and
+//! page publication happens in ascending page order after every fetch slot
+//! has joined. Two runs of the same scenario therefore produce
+//! byte-identical event traces ([`RunReport::trace_hash`]).
+//!
+//! A fired crash point (simulated process death inside the page store) is
+//! detected at the op boundary; the runner finalizes the epoch's
+//! conservation laws, drops the whole cache, and re-opens the same directory
+//! with `verify_on_recovery` — the §4.3 restart path — before continuing.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use edgecache_common::bytesize::ByteSize;
+use edgecache_common::clock::{Clock, SharedClock, SimClock};
+use edgecache_common::hash::{fnv1a64, hash_str};
+use edgecache_core::config::CacheConfig;
+use edgecache_core::manager::{CacheManager, RemoteSource, SourceFile};
+use edgecache_distcache::tier::{DistCacheTier, TierConfig};
+use edgecache_distcache::worker::WorkerCacheConfig;
+use edgecache_metrics::{assert_conserved, MetricRegistry, SnapshotDiff};
+use edgecache_pagestore::{
+    CacheScope, CrashPlan, FaultPlan, FaultyStore, LocalPageStore, LocalStoreConfig,
+    MemoryPageStore, PageId, PageStore,
+};
+use edgecache_storage::{StallSchedule, StallWindow};
+
+use crate::oracle::{cache_epoch_laws, check_accounting, check_read, Violation};
+use crate::remote::SimRemote;
+use crate::scenario::{Backend, Fault, Op, Scenario, Topology};
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub seed: u64,
+    /// One line per op / fault / epoch boundary; byte-identical across runs
+    /// of the same scenario.
+    pub trace: Vec<String>,
+    /// FNV-1a over the joined trace — the determinism fingerprint.
+    pub trace_hash: u64,
+    pub violations: Vec<Violation>,
+    /// Process lifetimes (1 + number of crash restarts).
+    pub epochs: usize,
+    /// Crash points that fired.
+    pub crashes: u64,
+    /// Final epoch's metrics snapshot as canonical JSON.
+    pub final_metrics_json: String,
+}
+
+impl RunReport {
+    /// Whether every oracle held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs a scenario to completion. Never panics on oracle violations — they
+/// are collected in the report so the shrinker can re-run candidates.
+pub fn run_scenario(sc: &Scenario) -> RunReport {
+    match sc.topology {
+        Topology::Direct => run_direct(sc),
+        Topology::Tier => run_tier(sc),
+    }
+}
+
+/// A scratch directory for `LocalPageStore` scenarios, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(seed: u64) -> std::io::Result<Self> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "edgecache-simtest-{}-{}-{}",
+            std::process::id(),
+            seed,
+            SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(Self(path))
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Scope of file `file`: files alternate between two tables so table quota
+/// and shared-scope eviction are exercised.
+fn scope_of(file: u32) -> CacheScope {
+    CacheScope::Table {
+        schema: "sim".into(),
+        table: format!("t{}", file % 2),
+    }
+}
+
+fn source_file(sc: &Scenario, file: u32) -> SourceFile {
+    SourceFile::new(Scenario::path_of(file), 1, sc.file_len, scope_of(file))
+}
+
+/// Parses a `/sim/fN` path back to its scope (the recovery scope resolver).
+fn scope_of_path(path: &str) -> CacheScope {
+    path.strip_prefix("/sim/f")
+        .and_then(|s| s.parse::<u32>().ok())
+        .map(scope_of)
+        .unwrap_or(CacheScope::Global)
+}
+
+/// Everything the Direct-topology runner rebuilds on a crash restart.
+struct DirectStack {
+    cache: CacheManager,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_direct(
+    sc: &Scenario,
+    clock: &SharedClock,
+    fault_plan: &Arc<FaultPlan>,
+    crash_plan: &Arc<CrashPlan>,
+    scratch: Option<&ScratchDir>,
+    memory_store: Option<&Arc<dyn PageStore>>,
+    epoch: usize,
+) -> Result<DirectStack, String> {
+    let mut config = CacheConfig::default()
+        .with_page_size(ByteSize::new(sc.page_size))
+        .with_ttl(Duration::from_secs(60))
+        .with_max_concurrent_fetches(4);
+    // Injected delays pay virtual time; the wall-clock deadline machinery
+    // would race against them and break determinism.
+    config.enforce_read_timeout = false;
+
+    let store: Arc<dyn PageStore> = match sc.backend {
+        Backend::Memory => Arc::clone(memory_store.expect("memory store outlives epochs")),
+        Backend::Local => {
+            let dir = &scratch.expect("local backend has a scratch dir").0;
+            let local = LocalPageStore::open(
+                dir,
+                LocalStoreConfig {
+                    page_size: sc.page_size,
+                    buckets: 16,
+                    // The crash-safe restart mode: recovery drops any page
+                    // whose checksum trailer does not verify, so a torn
+                    // write can never be served (§4.3, §8).
+                    verify_on_recovery: true,
+                    crash_plan: Some(Arc::clone(crash_plan)),
+                },
+            )
+            .map_err(|e| format!("open local store: {e}"))?;
+            Arc::new(FaultyStore::new(local, Arc::clone(fault_plan)))
+        }
+    };
+
+    let mut builder = CacheManager::builder(config)
+        .with_store(store, sc.cache_capacity)
+        .with_clock(Arc::clone(clock))
+        .with_metrics(MetricRegistry::new(format!("simtest-epoch{epoch}")))
+        .with_scope_resolver(scope_of_path)
+        .with_recovery();
+    if let Some(q) = sc.quota {
+        builder = builder.with_quota(
+            CacheScope::Table {
+                schema: "sim".into(),
+                table: "t0".into(),
+            },
+            ByteSize::new(q),
+        );
+    }
+    let cache = builder.build().map_err(|e| format!("build cache: {e}"))?;
+    Ok(DirectStack { cache })
+}
+
+/// Finalizes an epoch: conservation laws over the epoch's registry, plus a
+/// trace line with every counter (the metrics fingerprint).
+fn finish_epoch(
+    cache: &CacheManager,
+    epoch: usize,
+    clean: bool,
+    trace: &mut Vec<String>,
+    violations: &mut Vec<Violation>,
+) -> String {
+    let snapshot = cache.metrics().snapshot();
+    let diff = SnapshotDiff::from_start(&snapshot);
+    if let Err(e) = assert_conserved(&diff, &cache_epoch_laws(clean)) {
+        violations.push(Violation {
+            op: None,
+            kind: "conservation",
+            detail: format!("epoch {epoch}: {e}"),
+        });
+    }
+    let counters: Vec<String> = snapshot
+        .counters
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    trace.push(format!("epoch {epoch} end: {}", counters.join(" ")));
+    snapshot.to_json()
+}
+
+fn run_direct(sc: &Scenario) -> RunReport {
+    let sim = Arc::new(SimClock::new());
+    let clock: SharedClock = sim.clone();
+    let remote = SimRemote::new(sc, Arc::clone(&clock));
+    let fault_plan = FaultPlan::none();
+    fault_plan.set_clock(Arc::clone(&clock));
+    let crash_plan = CrashPlan::new();
+
+    let mut trace: Vec<String> = Vec::with_capacity(sc.ops.len() + 8);
+    let mut violations: Vec<Violation> = Vec::new();
+
+    let scratch = match sc.backend {
+        Backend::Local => match ScratchDir::new(sc.seed) {
+            Ok(d) => Some(d),
+            Err(e) => {
+                return setup_failure(sc, format!("scratch dir: {e}"));
+            }
+        },
+        Backend::Memory => None,
+    };
+    let memory_store: Option<Arc<dyn PageStore>> = match sc.backend {
+        Backend::Memory => Some(Arc::new(FaultyStore::new(
+            MemoryPageStore::new(),
+            Arc::clone(&fault_plan),
+        ))),
+        Backend::Local => None,
+    };
+
+    let mut epoch = 0usize;
+    let mut stack = match build_direct(
+        sc,
+        &clock,
+        &fault_plan,
+        &crash_plan,
+        scratch.as_ref(),
+        memory_store.as_ref(),
+        epoch,
+    ) {
+        Ok(s) => s,
+        Err(e) => return setup_failure(sc, e),
+    };
+
+    let mut epoch_clean = true;
+    let mut crashes_seen = 0u64;
+    let mut stalls = StallSchedule::none();
+    let mut salt_counter = 0u64;
+    let mut err_until = 0usize;
+    let mut short_until = 0usize;
+    let mut fault_idx = 0usize;
+    let mut final_json;
+
+    for (i, op) in sc.ops.iter().enumerate() {
+        // Expire remote fault windows that ran out.
+        if err_until != 0 && i >= err_until {
+            remote.set_error_percent(0, 0);
+            err_until = 0;
+        }
+        if short_until != 0 && i >= short_until {
+            remote.set_short_percent(0, 0);
+            short_until = 0;
+        }
+        // Apply faults scheduled at this boundary.
+        while fault_idx < sc.faults.len() && sc.faults[fault_idx].at <= i {
+            let fault = &sc.faults[fault_idx].fault;
+            trace.push(format!("fault@{i} {fault:?}"));
+            match fault {
+                Fault::CorruptPage { file, page } => {
+                    fault_plan.corrupt_page(PageId::new(source_file(sc, *file).file_id(), *page));
+                }
+                Fault::DeviceCapacity { bytes } => fault_plan.set_device_capacity(*bytes),
+                Fault::ReadHang { millis, period } => {
+                    fault_plan.set_read_hang(Duration::from_millis(*millis), *period);
+                }
+                Fault::RemoteErrors { percent, ops } => {
+                    salt_counter += 1;
+                    remote.set_error_percent(*percent as u32, salt_counter);
+                    err_until = i + *ops as usize;
+                }
+                Fault::RemoteShortReads { percent, ops } => {
+                    salt_counter += 1;
+                    remote.set_short_percent(*percent as u32, salt_counter);
+                    short_until = i + *ops as usize;
+                }
+                Fault::RemoteStall { millis, factor } => {
+                    let now = clock.now();
+                    stalls.add(StallWindow {
+                        start: now,
+                        end: now + Duration::from_millis(*millis),
+                        factor: *factor,
+                    });
+                }
+                Fault::ArmCrash { site, skip } => {
+                    if sc.backend == Backend::Local {
+                        crash_plan.arm_after(*site, *skip);
+                    }
+                }
+            }
+            fault_idx += 1;
+        }
+        remote.set_stall_factor(stalls.factor_at(clock.now()));
+
+        // Execute the op.
+        let fired_before = crash_plan.fired();
+        let digest = match op {
+            Op::Read { file, offset, len } => {
+                let sf = source_file(sc, *file);
+                match stack.cache.read(&sf, *offset, *len, remote.as_ref()) {
+                    Ok(bytes) => {
+                        let expected = remote.expected(*file, *offset, *len);
+                        if let Some(v) = check_read(i, &bytes, &expected) {
+                            violations.push(v);
+                        }
+                        format!("ok len={} fnv={:016x}", bytes.len(), fnv1a64(&bytes))
+                    }
+                    Err(e) => {
+                        epoch_clean = false;
+                        let crashed = crash_plan.fired() > fired_before;
+                        if !remote.faults_active() && !crashed {
+                            violations.push(Violation {
+                                op: Some(i),
+                                kind: "unexpected-error",
+                                detail: format!("read failed with no fault window open: {e}"),
+                            });
+                        }
+                        format!("err {}", e.kind())
+                    }
+                }
+            }
+            Op::DeleteFile { file } => {
+                let n = stack.cache.delete_file(source_file(sc, *file).file_id());
+                format!("deleted {n}")
+            }
+            Op::AdvanceClock { millis } => {
+                sim.advance(Duration::from_millis(*millis));
+                format!("t={}ms", sim.now_millis())
+            }
+            Op::EvictExpired => format!("expired {}", stack.cache.evict_expired()),
+            Op::CrashRestart => {
+                if sc.backend == Backend::Local {
+                    // Simulated kill -9: the process dies with no store
+                    // half-effect; everything in memory is lost.
+                    "killed".to_string()
+                } else {
+                    "noop".to_string()
+                }
+            }
+            Op::WorkerOffline { .. } | Op::WorkerOnline { .. } => "noop".to_string(),
+        };
+        trace.push(format!(
+            "op{i:03} {op:?} -> {digest} clock={}ms",
+            sim.now_millis()
+        ));
+
+        // Process-death handling: a fired crash point (or an explicit kill)
+        // ends the epoch; restart over the same directory with recovery.
+        let fired_now = crash_plan.fired();
+        let crashed = fired_now > fired_before;
+        let killed = matches!(op, Op::CrashRestart) && sc.backend == Backend::Local;
+        if crashed || killed {
+            crashes_seen = fired_now;
+            final_json = finish_epoch(
+                &stack.cache,
+                epoch,
+                epoch_clean,
+                &mut trace,
+                &mut violations,
+            );
+            drop(stack);
+            epoch += 1;
+            epoch_clean = true;
+            trace.push(format!("restart -> epoch {epoch}"));
+            stack = match build_direct(
+                sc,
+                &clock,
+                &fault_plan,
+                &crash_plan,
+                scratch.as_ref(),
+                memory_store.as_ref(),
+                epoch,
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    violations.push(Violation {
+                        op: Some(i),
+                        kind: "restart-failed",
+                        detail: e,
+                    });
+                    let trace_hash = hash_trace(&trace);
+                    return RunReport {
+                        seed: sc.seed,
+                        trace,
+                        trace_hash,
+                        violations,
+                        epochs: epoch + 1,
+                        crashes: crashes_seen,
+                        final_metrics_json: final_json,
+                    };
+                }
+            };
+        }
+
+        // Structural accounting must hold after every completed op (on the
+        // freshly recovered stack when a crash just fired).
+        violations.extend(check_accounting(i, &stack.cache, true));
+    }
+
+    final_json = finish_epoch(
+        &stack.cache,
+        epoch,
+        epoch_clean,
+        &mut trace,
+        &mut violations,
+    );
+    let trace_hash = hash_trace(&trace);
+    RunReport {
+        seed: sc.seed,
+        trace,
+        trace_hash,
+        violations,
+        epochs: epoch + 1,
+        crashes: crashes_seen,
+        final_metrics_json: final_json,
+    }
+}
+
+fn run_tier(sc: &Scenario) -> RunReport {
+    let sim = Arc::new(SimClock::new());
+    let clock: SharedClock = sim.clone();
+    let remote = SimRemote::new(sc, Arc::clone(&clock));
+
+    let mut trace: Vec<String> = Vec::with_capacity(sc.ops.len() + 8);
+    let mut violations: Vec<Violation> = Vec::new();
+
+    let workers = 3usize;
+    let tier = match DistCacheTier::new(
+        TierConfig {
+            workers,
+            max_replicas: 2,
+            worker: WorkerCacheConfig {
+                cache_capacity: sc.cache_capacity,
+                page_size: ByteSize::new(sc.page_size),
+                max_inflight: 8,
+            },
+            ring: Default::default(),
+        },
+        Arc::clone(&remote) as Arc<dyn RemoteSource + Send + Sync>,
+        Arc::clone(&clock),
+    ) {
+        Ok(t) => t,
+        Err(e) => return setup_failure(sc, format!("build tier: {e}")),
+    };
+    for file in 0..sc.files {
+        tier.register_file(&Scenario::path_of(file), 1, sc.file_len);
+    }
+
+    let mut stalls = StallSchedule::none();
+    let mut salt_counter = 0u64;
+    let mut err_until = 0usize;
+    let mut short_until = 0usize;
+    let mut fault_idx = 0usize;
+    let mut tier_reads = 0u64;
+
+    for (i, op) in sc.ops.iter().enumerate() {
+        if err_until != 0 && i >= err_until {
+            remote.set_error_percent(0, 0);
+            err_until = 0;
+        }
+        if short_until != 0 && i >= short_until {
+            remote.set_short_percent(0, 0);
+            short_until = 0;
+        }
+        while fault_idx < sc.faults.len() && sc.faults[fault_idx].at <= i {
+            let fault = &sc.faults[fault_idx].fault;
+            trace.push(format!("fault@{i} {fault:?}"));
+            match fault {
+                Fault::RemoteErrors { percent, ops } => {
+                    salt_counter += 1;
+                    remote.set_error_percent(*percent as u32, salt_counter);
+                    err_until = i + *ops as usize;
+                }
+                Fault::RemoteShortReads { percent, ops } => {
+                    salt_counter += 1;
+                    remote.set_short_percent(*percent as u32, salt_counter);
+                    short_until = i + *ops as usize;
+                }
+                Fault::RemoteStall { millis, factor } => {
+                    let now = clock.now();
+                    stalls.add(StallWindow {
+                        start: now,
+                        end: now + Duration::from_millis(*millis),
+                        factor: *factor,
+                    });
+                }
+                // Store-level and crash faults have no seat in the tier
+                // topology (the harness does not own the workers' stores).
+                _ => {}
+            }
+            fault_idx += 1;
+        }
+        remote.set_stall_factor(stalls.factor_at(clock.now()));
+
+        let digest = match op {
+            Op::Read { file, offset, len } => {
+                let sf =
+                    SourceFile::new(Scenario::path_of(*file), 1, sc.file_len, CacheScope::Global);
+                tier_reads += 1;
+                match tier.read(&sf, *offset, *len) {
+                    Ok(bytes) => {
+                        let expected = remote.expected(*file, *offset, *len);
+                        if let Some(v) = check_read(i, &bytes, &expected) {
+                            violations.push(v);
+                        }
+                        format!("ok len={} fnv={:016x}", bytes.len(), fnv1a64(&bytes))
+                    }
+                    Err(e) => {
+                        if !remote.faults_active() {
+                            violations.push(Violation {
+                                op: Some(i),
+                                kind: "unexpected-error",
+                                detail: format!("tier read failed with no fault window: {e}"),
+                            });
+                        }
+                        format!("err {}", e.kind())
+                    }
+                }
+            }
+            Op::AdvanceClock { millis } => {
+                sim.advance(Duration::from_millis(*millis));
+                format!("t={}ms", sim.now_millis())
+            }
+            Op::EvictExpired => {
+                let mut swept = tier.sweep_expired();
+                swept.sort();
+                format!("swept {}", swept.len())
+            }
+            Op::WorkerOffline { idx } => {
+                tier.worker_offline(&format!("cw{}", *idx as usize % workers));
+                "offline".to_string()
+            }
+            Op::WorkerOnline { idx } => {
+                tier.worker_online(&format!("cw{}", *idx as usize % workers));
+                "online".to_string()
+            }
+            // File deletion and crashes are Direct-topology concerns.
+            Op::DeleteFile { .. } | Op::CrashRestart => "noop".to_string(),
+        };
+        trace.push(format!(
+            "op{i:03} {op:?} -> {digest} clock={}ms",
+            sim.now_millis()
+        ));
+    }
+
+    // Tier conservation: every tier read is served by exactly one of a
+    // worker or the origin fallback.
+    let stats = tier.stats();
+    if stats.served_by_tier + stats.origin_fallbacks != tier_reads {
+        violations.push(Violation {
+            op: None,
+            kind: "tier-conservation",
+            detail: format!(
+                "served_by_tier={} + origin_fallbacks={} != tier reads {}",
+                stats.served_by_tier, stats.origin_fallbacks, tier_reads
+            ),
+        });
+    }
+    let snapshot = tier.metrics().snapshot();
+    let counters: Vec<String> = snapshot
+        .counters
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    trace.push(format!("tier end: {}", counters.join(" ")));
+    let final_json = snapshot.to_json();
+
+    let trace_hash = hash_trace(&trace);
+    RunReport {
+        seed: sc.seed,
+        trace,
+        trace_hash,
+        violations,
+        epochs: 1,
+        crashes: 0,
+        final_metrics_json: final_json,
+    }
+}
+
+fn hash_trace(trace: &[String]) -> u64 {
+    trace.iter().fold(0xcbf2_9ce4_8422_2325, |acc, line| {
+        edgecache_common::hash::combine(acc, hash_str(line))
+    })
+}
+
+fn setup_failure(sc: &Scenario, detail: String) -> RunReport {
+    RunReport {
+        seed: sc.seed,
+        trace: vec![format!("setup failed: {detail}")],
+        trace_hash: hash_str(&detail),
+        violations: vec![Violation {
+            op: None,
+            kind: "setup-failed",
+            detail,
+        }],
+        epochs: 0,
+        crashes: 0,
+        final_metrics_json: String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Profile;
+
+    #[test]
+    fn smoke_seed_runs_clean() {
+        let sc = Scenario::generate(0, Profile::Smoke);
+        let report = run_scenario(&sc);
+        assert!(
+            report.ok(),
+            "violations: {:?}\ntrace tail: {:?}",
+            report.violations,
+            report.trace.iter().rev().take(5).collect::<Vec<_>>()
+        );
+        assert!(report.trace.len() > sc.ops.len());
+    }
+
+    #[test]
+    fn same_scenario_same_trace() {
+        for seed in [1u64, 2, 3] {
+            let sc = Scenario::generate(seed, Profile::Smoke);
+            let a = run_scenario(&sc);
+            let b = run_scenario(&sc);
+            assert_eq!(a.trace, b.trace, "seed {seed} diverged");
+            assert_eq!(a.trace_hash, b.trace_hash);
+            assert_eq!(a.final_metrics_json, b.final_metrics_json);
+        }
+    }
+
+    #[test]
+    fn tier_seed_runs_clean() {
+        // Seed 3 maps to the Tier topology (seed % 7 == 3).
+        let sc = Scenario::generate(3, Profile::Smoke);
+        assert_eq!(sc.topology, Topology::Tier);
+        let report = run_scenario(&sc);
+        assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn sabotage_is_caught_by_the_byte_oracle() {
+        let mut sc = Scenario::generate(0, Profile::Smoke);
+        sc.sabotage_after = Some(3);
+        let report = run_scenario(&sc);
+        assert!(
+            report.violations.iter().any(|v| v.kind == "byte-mismatch"),
+            "sabotaged remote must trip the oracle: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn torture_seed_with_crashes_recovers() {
+        // An odd seed on the torture profile: Local backend, crash points
+        // armed. The run must stay oracle-clean through restarts.
+        let sc = Scenario::generate(9, Profile::Torture);
+        assert_eq!(sc.backend, Backend::Local);
+        let report = run_scenario(&sc);
+        assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+}

@@ -1,0 +1,376 @@
+//! Seeded scenario generation: a single `u64` seed expands into a complete
+//! torture scenario — stack shape, workload operations, and a layered fault
+//! schedule — via the workspace's deterministic RNG and workload samplers.
+//!
+//! The expansion is a pure function of `(seed, profile)`, so a failing seed
+//! printed by the harness is a complete reproducer. The shrinker
+//! ([`crate::shrink`]) operates on the expanded [`Scenario`] (op and fault
+//! lists), which `Debug`-renders as copy-pasteable Rust literals.
+
+use edgecache_pagestore::CrashSite;
+use edgecache_workload::fragread::FragmentedReadSampler;
+use edgecache_workload::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sweep profile: how hard the generated scenarios push the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Short runs, light fault schedule; bounded for tier-1 CI.
+    Smoke,
+    /// Long runs, dense faults, crash/restart cycles; for scheduled sweeps.
+    Torture,
+}
+
+impl Profile {
+    /// Parses `"smoke"` / `"torture"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "smoke" => Some(Profile::Smoke),
+            "torture" => Some(Profile::Torture),
+            _ => None,
+        }
+    }
+}
+
+/// Which page-store backend the scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// `FaultyStore<MemoryPageStore>` — fast, supports §8 store faults.
+    Memory,
+    /// `FaultyStore<LocalPageStore>` on a scratch directory — real on-disk
+    /// layout, checksum trailers, crash points, and restart recovery.
+    Local,
+}
+
+/// Which stack the workload drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// One `CacheManager` reading through the simulated remote.
+    Direct,
+    /// A `DistCacheTier` (consistent ring of cache workers) over the
+    /// simulated remote, with worker outages in the op stream.
+    Tier,
+}
+
+/// One workload operation. Ops execute sequentially on the harness thread;
+/// all concurrency lives inside the cache's own fetch pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Read `len` bytes at `offset` of file `file` through the cache.
+    Read { file: u32, offset: u64, len: u64 },
+    /// Drop every cached page of file `file` (coordinated invalidation).
+    DeleteFile { file: u32 },
+    /// Advance the simulated clock (lets TTLs expire, stalls pass).
+    AdvanceClock { millis: u64 },
+    /// Run the TTL janitor's sweep once.
+    EvictExpired,
+    /// Kill the process mid-run and restart over the same directory
+    /// (Local backend only; a no-op restart elsewhere).
+    CrashRestart,
+    /// Take a tier worker offline (Tier topology only).
+    WorkerOffline { idx: u32 },
+    /// Bring a tier worker back online (Tier topology only).
+    WorkerOnline { idx: u32 },
+}
+
+/// One fault, injected at an op boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Mark a cached page corrupt (checksum failure on next read).
+    CorruptPage { file: u32, page: u64 },
+    /// Shrink the simulated device capacity (puts fail with `NoSpace`).
+    DeviceCapacity { bytes: u64 },
+    /// Every `period`-th store read hangs for `millis` of virtual time.
+    ReadHang { millis: u64, period: u64 },
+    /// Remote requests fail with probability `percent`% for the next `ops`
+    /// operations (decided per request content, so retries are stable).
+    RemoteErrors { percent: u8, ops: u32 },
+    /// Remote requests return truncated buffers with probability
+    /// `percent`% for the next `ops` operations.
+    RemoteShortReads { percent: u8, ops: u32 },
+    /// Degrade the remote device model by `factor` for `millis` of virtual
+    /// time (a `StallSchedule` window).
+    RemoteStall { millis: u64, factor: u32 },
+    /// Arm a crash point: the `skip`+1-th matching store operation leaves
+    /// its half-effect on disk and fails as a process death.
+    ArmCrash { site: CrashSite, skip: u64 },
+}
+
+/// A fault scheduled before op index `at` (clamped to the op count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub at: usize,
+    pub fault: Fault,
+}
+
+/// A fully expanded scenario: everything [`crate::runner::run_scenario`]
+/// needs, with no residual randomness.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub seed: u64,
+    pub profile: Profile,
+    pub backend: Backend,
+    pub topology: Topology,
+    /// Cache page size in bytes.
+    pub page_size: u64,
+    /// Local cache capacity in bytes.
+    pub cache_capacity: u64,
+    /// Number of distinct remote files.
+    pub files: u32,
+    /// Length of each remote file in bytes.
+    pub file_len: u64,
+    /// Optional per-table quota in bytes (applied to table `t0`).
+    pub quota: Option<u64>,
+    /// After this many remote reads, the simulated remote starts returning
+    /// a flipped byte — a deliberately planted bug that the byte-correctness
+    /// oracle must catch (meta-test of the oracle + shrinker).
+    pub sabotage_after: Option<u64>,
+    pub ops: Vec<Op>,
+    pub faults: Vec<FaultEvent>,
+}
+
+impl Scenario {
+    /// Expands `(seed, profile)` into a scenario. Pure and deterministic.
+    pub fn generate(seed: u64, profile: Profile) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x051b_7e57_0001);
+        Self::generate_with(seed, profile, &mut rng)
+    }
+
+    fn generate_with(seed: u64, profile: Profile, rng: &mut StdRng) -> Self {
+        let page_size: u64 = *[2048u64, 4096, 8192]
+            .get(rng.random_range(0usize..3))
+            .unwrap();
+        let pages_per_file: u64 = rng.random_range(8u64..=32);
+        let file_len = page_size * pages_per_file - rng.random_range(0u64..page_size / 2);
+        let files: u32 = rng.random_range(3u32..=8);
+        // Capacity below the working set about half the time, so capacity
+        // eviction is exercised; never below four pages.
+        let total_pages = pages_per_file * files as u64;
+        let cap_pages = rng.random_range((total_pages / 4).max(4)..=total_pages + 8);
+        let cache_capacity = cap_pages * page_size;
+        let quota = rng
+            .random_bool(0.5)
+            .then(|| rng.random_range(3u64..=8) * page_size);
+
+        let backend = if seed % 2 == 1 {
+            Backend::Local
+        } else {
+            Backend::Memory
+        };
+        let topology = if seed % 7 == 3 {
+            Topology::Tier
+        } else {
+            Topology::Direct
+        };
+
+        let op_count = match profile {
+            Profile::Smoke => 60,
+            Profile::Torture => 400,
+        };
+        let ops = Self::gen_ops(
+            rng, seed, profile, backend, topology, files, file_len, op_count,
+        );
+        let faults = Self::gen_faults(
+            rng,
+            profile,
+            backend,
+            topology,
+            files,
+            file_len / page_size,
+            cache_capacity,
+            op_count,
+        );
+
+        Scenario {
+            seed,
+            profile,
+            backend,
+            topology,
+            page_size,
+            cache_capacity,
+            files,
+            file_len,
+            quota,
+            sabotage_after: None,
+            ops,
+            faults,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_ops(
+        rng: &mut StdRng,
+        seed: u64,
+        profile: Profile,
+        backend: Backend,
+        topology: Topology,
+        files: u32,
+        file_len: u64,
+        op_count: usize,
+    ) -> Vec<Op> {
+        // Zipf-popular files, fragmented read sizes: the paper's workload
+        // shape (§3), driven by the workload crate's samplers.
+        let mut zipf = ZipfSampler::new(files as usize, 1.1, seed ^ 0xf11e);
+        let mut frag = FragmentedReadSampler::paper_default(seed ^ 0xf7a6);
+        let mut ops = Vec::with_capacity(op_count);
+        for _ in 0..op_count {
+            let roll: f64 = rng.random();
+            let op = if roll < 0.80 {
+                let file = zipf.sample() as u32;
+                let len = frag.sample().clamp(1, file_len);
+                let offset = rng.random_range(0..file_len);
+                Op::Read { file, offset, len }
+            } else if roll < 0.84 {
+                Op::DeleteFile {
+                    file: rng.random_range(0..files),
+                }
+            } else if roll < 0.92 {
+                Op::AdvanceClock {
+                    millis: rng.random_range(50u64..20_000),
+                }
+            } else if roll < 0.96 {
+                Op::EvictExpired
+            } else if topology == Topology::Tier {
+                let idx = rng.random_range(0u32..3);
+                if rng.random_bool(0.5) {
+                    Op::WorkerOffline { idx }
+                } else {
+                    Op::WorkerOnline { idx }
+                }
+            } else if profile == Profile::Torture && backend == Backend::Local {
+                Op::CrashRestart
+            } else {
+                Op::EvictExpired
+            };
+            ops.push(op);
+        }
+        ops
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gen_faults(
+        rng: &mut StdRng,
+        profile: Profile,
+        backend: Backend,
+        topology: Topology,
+        files: u32,
+        pages_per_file: u64,
+        cache_capacity: u64,
+        op_count: usize,
+    ) -> Vec<FaultEvent> {
+        let fault_count = match profile {
+            Profile::Smoke => rng.random_range(2usize..=4),
+            Profile::Torture => rng.random_range(8usize..=16),
+        };
+        let mut faults = Vec::with_capacity(fault_count);
+        for _ in 0..fault_count {
+            let at = rng.random_range(0..op_count);
+            let fault = match rng.random_range(0u32..100) {
+                // Remote-level faults apply to every topology.
+                0..=24 => Fault::RemoteErrors {
+                    percent: rng.random_range(10u8..=60),
+                    ops: rng.random_range(3u32..=10),
+                },
+                25..=39 => Fault::RemoteShortReads {
+                    percent: rng.random_range(10u8..=50),
+                    ops: rng.random_range(3u32..=10),
+                },
+                40..=59 => Fault::RemoteStall {
+                    millis: rng.random_range(1_000u64..=60_000),
+                    factor: rng.random_range(2u32..=20),
+                },
+                // Store-level faults only make sense on the Direct stack,
+                // where the harness owns the page store.
+                60..=74 if topology == Topology::Direct => Fault::CorruptPage {
+                    file: rng.random_range(0..files),
+                    page: rng.random_range(0..pages_per_file),
+                },
+                75..=84 if topology == Topology::Direct => Fault::DeviceCapacity {
+                    bytes: rng.random_range(cache_capacity / 4..=cache_capacity),
+                },
+                85..=94 if topology == Topology::Direct => Fault::ReadHang {
+                    millis: rng.random_range(100u64..=600_000),
+                    period: rng.random_range(1u64..=5),
+                },
+                _ if backend == Backend::Local
+                    && topology == Topology::Direct
+                    && profile == Profile::Torture =>
+                {
+                    let site = match rng.random_range(0u32..3) {
+                        0 => CrashSite::PutTmpWritten,
+                        1 => CrashSite::PutTornTail,
+                        _ => CrashSite::DeleteTornTail,
+                    };
+                    Fault::ArmCrash {
+                        site,
+                        skip: rng.random_range(0u64..4),
+                    }
+                }
+                _ => Fault::RemoteStall {
+                    millis: rng.random_range(1_000u64..=60_000),
+                    factor: rng.random_range(2u32..=20),
+                },
+            };
+            faults.push(FaultEvent { at, fault });
+        }
+        faults.sort_by_key(|f| f.at);
+        faults
+    }
+
+    /// Remote path of file index `i`.
+    pub fn path_of(file: u32) -> String {
+        format!("/sim/f{file}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..20 {
+            let a = Scenario::generate(seed, Profile::Smoke);
+            let b = Scenario::generate(seed, Profile::Smoke);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn profiles_differ_in_scale() {
+        let smoke = Scenario::generate(7, Profile::Smoke);
+        let torture = Scenario::generate(7, Profile::Torture);
+        assert!(torture.ops.len() > smoke.ops.len() * 3);
+        assert!(torture.faults.len() >= smoke.faults.len());
+    }
+
+    #[test]
+    fn seeds_cover_both_backends_and_topologies() {
+        let mut memory = 0;
+        let mut local = 0;
+        let mut tier = 0;
+        for seed in 0..32 {
+            let s = Scenario::generate(seed, Profile::Torture);
+            match s.backend {
+                Backend::Memory => memory += 1,
+                Backend::Local => local += 1,
+            }
+            if s.topology == Topology::Tier {
+                tier += 1;
+            }
+        }
+        assert!(memory > 0 && local > 0 && tier > 0);
+    }
+
+    #[test]
+    fn faults_arrive_sorted_and_in_range() {
+        let s = Scenario::generate(11, Profile::Torture);
+        let mut last = 0;
+        for f in &s.faults {
+            assert!(f.at >= last);
+            assert!(f.at < s.ops.len());
+            last = f.at;
+        }
+    }
+}

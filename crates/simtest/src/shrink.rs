@@ -1,0 +1,191 @@
+//! Failure minimization: shrink a violating scenario to a minimal
+//! reproducer.
+//!
+//! A ddmin-style pass over the two lists that define a scenario — the fault
+//! schedule and the op sequence — repeatedly removes chunks (halves, then
+//! quarters, down to single elements) and keeps any candidate that still
+//! violates an oracle. Because runs are deterministic, "still fails" is a
+//! pure predicate and the loop converges; a run budget bounds worst-case
+//! work. The result renders as a copy-pasteable Rust test via
+//! [`render_repro`].
+
+use crate::runner::run_scenario;
+use crate::scenario::Scenario;
+
+/// Outcome of a shrink: the smallest still-failing scenario found, plus
+/// bookkeeping about the effort spent.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    pub scenario: Scenario,
+    /// Scenario runs consumed.
+    pub runs: usize,
+    /// Op count before → after.
+    pub ops: (usize, usize),
+    /// Fault count before → after.
+    pub faults: (usize, usize),
+}
+
+/// Shrinks `scenario` (which must already violate an oracle) to a smaller
+/// reproducer, spending at most `max_runs` scenario executions.
+pub fn shrink(scenario: &Scenario, max_runs: usize) -> ShrinkResult {
+    let mut best = scenario.clone();
+    let mut runs = 0usize;
+
+    let fails = |sc: &Scenario, runs: &mut usize| -> bool {
+        *runs += 1;
+        !run_scenario(sc).violations.is_empty()
+    };
+
+    // Fixpoint loop: alternate fault-shrinking and op-shrinking until a full
+    // round removes nothing (or the budget runs out).
+    loop {
+        let before = (best.ops.len(), best.faults.len());
+
+        // Shrink the fault schedule first: faults are few and removing one
+        // often makes many ops removable.
+        let mut chunk = best.faults.len().max(1);
+        while chunk >= 1 && runs < max_runs {
+            let mut start = 0;
+            while start < best.faults.len() && runs < max_runs {
+                let mut candidate = best.clone();
+                let end = (start + chunk).min(candidate.faults.len());
+                candidate.faults.drain(start..end);
+                if fails(&candidate, &mut runs) {
+                    best = candidate;
+                    // Same start now points at fresh elements.
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Shrink the op sequence the same way.
+        let mut chunk = (best.ops.len() / 2).max(1);
+        while chunk >= 1 && runs < max_runs {
+            let mut start = 0;
+            while start < best.ops.len() && runs < max_runs {
+                let mut candidate = best.clone();
+                let end = (start + chunk).min(candidate.ops.len());
+                candidate.ops.drain(start..end);
+                // Fault `at` indices refer to op positions; pull forward any
+                // that now point past the removed window so they still fire.
+                let removed = end - start;
+                for f in candidate.faults.iter_mut() {
+                    if f.at >= end {
+                        f.at -= removed;
+                    } else if f.at > start {
+                        f.at = start;
+                    }
+                }
+                if fails(&candidate, &mut runs) {
+                    best = candidate;
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        if (best.ops.len(), best.faults.len()) == before || runs >= max_runs {
+            break;
+        }
+    }
+
+    ShrinkResult {
+        ops: (scenario.ops.len(), best.ops.len()),
+        faults: (scenario.faults.len(), best.faults.len()),
+        scenario: best,
+        runs,
+    }
+}
+
+/// Renders a shrunk scenario as a ready-to-paste Rust test.
+pub fn render_repro(sc: &Scenario) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "// Reproducer: seed {} ({:?} profile), {} ops / {} faults after shrinking.\n",
+        sc.seed,
+        sc.profile,
+        sc.ops.len(),
+        sc.faults.len()
+    ));
+    out.push_str("#[test]\nfn shrunk_reproducer() {\n");
+    out.push_str("    use edgecache_simtest::scenario::{Backend, Fault, FaultEvent, Op, Profile, Scenario, Topology};\n");
+    out.push_str("    use edgecache_simtest::runner::run_scenario;\n");
+    out.push_str("    use edgecache_pagestore::CrashSite;\n");
+    out.push_str("    use Op::*;\n");
+    out.push_str("    use Fault::*;\n");
+    out.push_str("    let scenario = Scenario {\n");
+    out.push_str(&format!("        seed: {},\n", sc.seed));
+    out.push_str(&format!("        profile: Profile::{:?},\n", sc.profile));
+    out.push_str(&format!("        backend: Backend::{:?},\n", sc.backend));
+    out.push_str(&format!("        topology: Topology::{:?},\n", sc.topology));
+    out.push_str(&format!("        page_size: {},\n", sc.page_size));
+    out.push_str(&format!("        cache_capacity: {},\n", sc.cache_capacity));
+    out.push_str(&format!("        files: {},\n", sc.files));
+    out.push_str(&format!("        file_len: {},\n", sc.file_len));
+    out.push_str(&format!("        quota: {:?},\n", sc.quota));
+    out.push_str(&format!(
+        "        sabotage_after: {:?},\n",
+        sc.sabotage_after
+    ));
+    out.push_str("        ops: vec![\n");
+    for op in &sc.ops {
+        out.push_str(&format!("            {op:?},\n"));
+    }
+    out.push_str("        ],\n");
+    out.push_str("        faults: vec![\n");
+    for f in &sc.faults {
+        out.push_str(&format!(
+            "            FaultEvent {{ at: {}, fault: {:?} }},\n",
+            f.at, f.fault
+        ));
+    }
+    out.push_str("        ],\n");
+    out.push_str("    };\n");
+    out.push_str("    let report = run_scenario(&scenario);\n");
+    out.push_str("    assert!(report.violations.is_empty(), \"{:#?}\", report.violations);\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Profile;
+
+    #[test]
+    fn shrinks_a_sabotaged_scenario() {
+        let mut sc = Scenario::generate(0, Profile::Smoke);
+        sc.sabotage_after = Some(3);
+        let result = shrink(&sc, 200);
+        assert!(
+            !run_scenario(&result.scenario).violations.is_empty(),
+            "shrunk scenario must still fail"
+        );
+        assert!(
+            result.scenario.ops.len() < sc.ops.len(),
+            "shrinking removed no ops ({} of {})",
+            result.scenario.ops.len(),
+            sc.ops.len()
+        );
+    }
+
+    #[test]
+    fn repro_names_the_seed_and_compiles_shapes() {
+        let mut sc = Scenario::generate(4, Profile::Smoke);
+        sc.sabotage_after = Some(1);
+        sc.ops.truncate(4);
+        let repro = render_repro(&sc);
+        assert!(repro.contains("seed: 4"), "{repro}");
+        assert!(repro.contains("run_scenario"), "{repro}");
+        assert!(repro.contains("Read {"), "{repro}");
+    }
+}

@@ -22,4 +22,4 @@ pub mod object;
 pub mod simdev;
 
 pub use object::ObjectStore;
-pub use simdev::{DeviceModel, FluidQueue};
+pub use simdev::{DeviceModel, FluidQueue, StallSchedule, StallWindow};

@@ -84,6 +84,76 @@ impl DeviceModel {
     pub fn iops_at(&self, mean_request_bytes: u64) -> f64 {
         1.0 / self.read_time(mean_request_bytes).as_secs_f64()
     }
+
+    /// The same device degraded by `factor`: request latency multiplied,
+    /// bandwidth divided. Models a transient brown-out (GC pause on a
+    /// storage node, a saturated ToR link) without changing the preset.
+    pub fn degraded(&self, factor: u32) -> Self {
+        let factor = factor.max(1);
+        Self {
+            request_latency: self.request_latency * factor,
+            bandwidth: (self.bandwidth / factor as u64).max(1),
+            pipeline_depth: self.pipeline_depth,
+        }
+    }
+}
+
+/// One window of degraded service: between `start` and `end` of simulated
+/// time, the device runs `factor`× slower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// Window start (inclusive), in simulated time since run start.
+    pub start: Duration,
+    /// Window end (exclusive).
+    pub end: Duration,
+    /// Slowdown factor applied inside the window (≥ 1).
+    pub factor: u32,
+}
+
+/// A schedule of [`StallWindow`]s over simulated time.
+///
+/// Torture scenarios layer stalls onto a [`DeviceModel`]: a read that lands
+/// inside a window is charged the degraded device's time. Windows may
+/// overlap; the largest factor wins.
+#[derive(Debug, Clone, Default)]
+pub struct StallSchedule {
+    windows: Vec<StallWindow>,
+}
+
+impl StallSchedule {
+    /// A schedule with no stalls.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A schedule from explicit windows.
+    pub fn new(windows: Vec<StallWindow>) -> Self {
+        Self { windows }
+    }
+
+    /// Adds one window.
+    pub fn add(&mut self, window: StallWindow) {
+        self.windows.push(window);
+    }
+
+    /// The slowdown factor in effect at `now` (1 outside every window).
+    pub fn factor_at(&self, now: Duration) -> u32 {
+        self.windows
+            .iter()
+            .filter(|w| w.start <= now && now < w.end)
+            .map(|w| w.factor.max(1))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// `device` as seen at `now`: degraded inside a stall window, pristine
+    /// outside.
+    pub fn apply(&self, device: &DeviceModel, now: Duration) -> DeviceModel {
+        match self.factor_at(now) {
+            1 => *device,
+            f => device.degraded(f),
+        }
+    }
 }
 
 /// Outcome of offering one window of load to a [`FluidQueue`].
@@ -267,5 +337,49 @@ mod tests {
         // HDD ≈ 1/8 ms ≈ 125 IOPS at tiny request sizes.
         let iops = DeviceModel::hdd().iops_at(512);
         assert!((100.0..130.0).contains(&iops), "{iops}");
+    }
+
+    #[test]
+    fn degraded_device_is_slower() {
+        let d = DeviceModel::object_store();
+        let slow = d.degraded(10);
+        assert_eq!(slow.request_latency, d.request_latency * 10);
+        assert_eq!(slow.bandwidth, d.bandwidth / 10);
+        assert!(slow.read_time(1 << 20) > d.read_time(1 << 20) * 9);
+        assert_eq!(d.degraded(0), d.degraded(1), "factor clamps to 1");
+    }
+
+    #[test]
+    fn stall_schedule_applies_inside_windows_only() {
+        let sched = StallSchedule::new(vec![
+            StallWindow {
+                start: Duration::from_secs(10),
+                end: Duration::from_secs(20),
+                factor: 4,
+            },
+            StallWindow {
+                start: Duration::from_secs(15),
+                end: Duration::from_secs(30),
+                factor: 8,
+            },
+        ]);
+        assert_eq!(sched.factor_at(Duration::from_secs(5)), 1);
+        assert_eq!(
+            sched.factor_at(Duration::from_secs(10)),
+            4,
+            "inclusive start"
+        );
+        assert_eq!(
+            sched.factor_at(Duration::from_secs(17)),
+            8,
+            "overlap: max wins"
+        );
+        assert_eq!(sched.factor_at(Duration::from_secs(20)), 8, "exclusive end");
+        assert_eq!(sched.factor_at(Duration::from_secs(30)), 1);
+
+        let d = DeviceModel::object_store();
+        assert_eq!(sched.apply(&d, Duration::from_secs(5)), d);
+        assert_eq!(sched.apply(&d, Duration::from_secs(12)), d.degraded(4));
+        assert!(StallSchedule::none().factor_at(Duration::ZERO) == 1);
     }
 }

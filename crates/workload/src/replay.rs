@@ -213,10 +213,6 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "statistical: the 2x disk-traffic threshold was tuned against the real rand \
-                crate's stream; the offline rand shim draws a different trace and the warm-cache \
-                hit rate leaves the ratio at ~1.9x. The shape (disabling the cache roughly \
-                doubles disk bytes and takes requests 168 -> 500/min) still holds"]
     fn on_minute_can_toggle_cache() {
         let mut r = replay(None);
         let stats = r
@@ -226,9 +222,22 @@ mod tests {
                 }
             })
             .unwrap();
+        // Seeded trace (seed 3) through the shim RNG: warm minutes 3–4 serve
+        // ~165 requests/min from disk, disabled minutes 6–7 send all 500/min
+        // there — requests triple and bytes nearly double (36.1 MB → 69.7 MB).
+        let before_reqs: u64 = stats[3..5].iter().map(|s| s.hdd_requests).sum();
+        let after_reqs: u64 = stats[6..8].iter().map(|s| s.hdd_requests).sum();
+        assert!(
+            after_reqs > before_reqs * 2,
+            "disabling the cache floods the disk with requests: {before_reqs} -> {after_reqs}"
+        );
         let before: u64 = stats[3..5].iter().map(|s| s.hdd_bytes).sum();
         let after: u64 = stats[6..8].iter().map(|s| s.hdd_bytes).sum();
-        assert!(after > before * 2, "disabling the cache floods the disk");
+        assert!(
+            after as f64 > before as f64 * 1.5,
+            "disabling the cache floods the disk with bytes: {before} -> {after}"
+        );
+        assert_eq!(stats[6].cache_bytes, 0, "cache is off after the toggle");
     }
 
     #[test]

@@ -195,3 +195,72 @@ fn walk(dir: &std::path::Path) -> Vec<PathBuf> {
     }
     out
 }
+
+fn open_crash_cache(
+    dir: &PathBuf,
+    plan: &Arc<edgecache::pagestore::CrashPlan>,
+    capacity: u64,
+) -> CacheManager {
+    let store = Arc::new(
+        LocalPageStore::open(
+            dir,
+            LocalStoreConfig {
+                page_size: 4 << 10,
+                verify_on_recovery: true,
+                crash_plan: Some(Arc::clone(plan)),
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::kib(4)))
+        .with_store(store, capacity)
+        .with_recovery()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn crash_during_eviction_recovers_without_torn_pages() {
+    use edgecache::pagestore::{CrashPlan, CrashSite};
+
+    let dir = temp_dir("crash-evict");
+    let plan = CrashPlan::new();
+    let remote = CountingRemote::new(32 << 10);
+    let a = SourceFile::new("/t/a", 1, 32 << 10, CacheScope::Global);
+    let b = SourceFile::new("/t/b", 2, 16 << 10, CacheScope::Global);
+    {
+        // Capacity equals /t/a exactly, so caching /t/b forces evictions.
+        let cache = open_crash_cache(&dir, &plan, 32 << 10);
+        cache.read(&a, 0, 32 << 10, &remote).unwrap();
+        // Arm the crash point: the next page delete — an eviction under
+        // capacity pressure — tears the page file's tail and dies before
+        // the unlink, leaving a full-length but unreadable page on disk.
+        plan.arm(CrashSite::DeleteTornTail);
+        let got = cache.read(&b, 0, 16 << 10, &remote).unwrap();
+        assert_eq!(got.as_ref(), &remote.data[..16 << 10]);
+        assert_eq!(plan.fired(), 1, "eviction must hit the armed crash point");
+        // The process "dies" here: the manager drops with the torn page
+        // file still present in the directory.
+    }
+
+    let cache = open_crash_cache(&dir, &plan, 32 << 10);
+    assert!(
+        cache.metrics().counter("recovered_pages").get() >= 1,
+        "surviving pages must be re-indexed"
+    );
+    // Recovery must have discarded the torn page rather than re-indexing
+    // it: every read after restart returns ground-truth bytes.
+    for (file, len) in [(&a, 32usize << 10), (&b, 16 << 10)] {
+        let got = cache.read(file, 0, len as u64, &remote).unwrap();
+        assert_eq!(
+            got.as_ref(),
+            &remote.data[..len],
+            "recovery served a torn page of {}",
+            file.path
+        );
+    }
+    assert_eq!(plan.fired(), 1, "recovery must not re-trigger the crash");
+    cache.index().check_consistency().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -141,3 +141,115 @@ fn error_breakdown_metrics_are_populated() {
     assert_eq!(snapshot.counter("errors.get.corrupted"), 1);
     assert!(cache.metrics().error_count("get") >= 1);
 }
+
+/// Remote that serves the §8 byte pattern but fails any ranged request
+/// starting at a configured offset, recording every request it sees.
+struct PartialFailRemote {
+    fail_at: parking_lot::Mutex<Option<u64>>,
+    requests: parking_lot::Mutex<Vec<(u64, u64)>>,
+}
+
+impl PartialFailRemote {
+    fn new() -> Self {
+        Self {
+            fail_at: parking_lot::Mutex::new(None),
+            requests: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl RemoteSource for PartialFailRemote {
+    fn read(&self, _path: &str, offset: u64, len: u64) -> edgecache::Result<Bytes> {
+        self.requests.lock().push((offset, len));
+        if *self.fail_at.lock() == Some(offset) {
+            return Err(edgecache::Error::Other("injected range failure".into()));
+        }
+        Ok(Bytes::from(expected(offset, len)))
+    }
+}
+
+#[test]
+fn ranged_fetch_partial_failure_fails_only_affected_pages() {
+    // Regression: when a multi-page read coalesces into several ranged
+    // requests and one of them errors, the pages of the *other* runs must
+    // still be cached and every single-flight latch released, so a retry
+    // after the fault clears only refetches the failed range.
+    let plan = FaultPlan::none();
+    let cache = faulty_cache(&plan, None);
+    let page = 4096u64;
+    let file = SourceFile::new("/f", 1, 5 * page, CacheScope::Global);
+    let remote = PartialFailRemote::new();
+
+    // Pre-seed page 2 so a read of pages 0..=4 splits into two coalesced
+    // runs: [pages 0-1] at offset 0 and [pages 3-4] at offset 3*page.
+    cache.read(&file, 2 * page, page, &remote).unwrap();
+
+    // Fail exactly the second run's ranged request.
+    *remote.fail_at.lock() = Some(3 * page);
+    let err = cache.read(&file, 0, 5 * page, &remote).unwrap_err();
+    assert!(err.to_string().contains("injected range failure"), "{err}");
+
+    // Only the failed run's pages are missing; the healthy run was
+    // published and cached despite the overall read erroring.
+    assert!(cache.contains(&file, 0), "page 0 from the healthy run");
+    assert!(cache.contains(&file, 1), "page 1 from the healthy run");
+    assert!(cache.contains(&file, 2), "pre-seeded page survives");
+    assert!(!cache.contains(&file, 3), "failed run must not cache");
+    assert!(!cache.contains(&file, 4), "failed run must not cache");
+    assert_eq!(
+        cache.inflight_fetches(),
+        0,
+        "failed fetch must clean up its single-flight latches"
+    );
+
+    // Heal the remote: the retry succeeds and refetches only the range the
+    // failed run covered.
+    *remote.fail_at.lock() = None;
+    let before = remote.requests.lock().len();
+    let got = cache.read(&file, 0, 5 * page, &remote).unwrap();
+    assert_eq!(got.as_ref(), &expected(0, 5 * page)[..]);
+    let after: Vec<(u64, u64)> = remote.requests.lock()[before..].to_vec();
+    assert_eq!(
+        after,
+        vec![(3 * page, 2 * page)],
+        "retry must only refetch the failed run"
+    );
+}
+
+#[test]
+fn failed_fetch_releases_waiters_for_retry() {
+    // Two threads race onto the same cold page while the remote is failing:
+    // whichever becomes the owner publishes the error, the waiter sees it
+    // as an error (not a hang), and once the fault clears a fresh read
+    // succeeds with no leaked latches.
+    let plan = FaultPlan::none();
+    let cache = Arc::new(faulty_cache(&plan, None));
+    let file = SourceFile::new("/f", 1, 64 << 10, CacheScope::Global);
+    let remote = Arc::new(PartialFailRemote::new());
+    *remote.fail_at.lock() = Some(0);
+
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let cache = Arc::clone(&cache);
+        let remote = Arc::clone(&remote);
+        let file = file.clone();
+        handles.push(std::thread::spawn(move || {
+            cache.read(&file, 0, 4096, remote.as_ref()).map(|_| ())
+        }));
+    }
+    for h in handles {
+        // Both attempts raced a failing remote; each must return promptly
+        // with an error rather than deadlock on an orphaned latch.
+        let result = h.join().unwrap();
+        assert!(result.is_err(), "read during the fault must error");
+    }
+    assert_eq!(
+        cache.inflight_fetches(),
+        0,
+        "no latch may outlive the error"
+    );
+
+    *remote.fail_at.lock() = None;
+    let got = cache.read(&file, 0, 4096, remote.as_ref()).unwrap();
+    assert_eq!(got.as_ref(), &expected(0, 4096)[..]);
+}
