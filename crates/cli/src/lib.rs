@@ -10,7 +10,9 @@
 //! * [`verify`] — full checksum scan, reporting (and optionally deleting)
 //!   corrupt pages;
 //! * [`top`] — largest cached files;
-//! * [`purge`] — delete everything, or one file's pages.
+//! * [`purge`] — delete everything, or one file's pages;
+//! * [`trace_summary`] — per-stage latency table from a Chrome trace dump
+//!   (written by `simtest --trace-dump` or the `trace_dump` bench).
 //!
 //! The binary (`edgecache-cli`) is a thin argument parser over these
 //! functions.
@@ -20,6 +22,8 @@ use std::path::Path;
 
 use edgecache_common::error::{Error, Result};
 use edgecache_common::ByteSize;
+use edgecache_metrics::trace::summarize_chrome_trace;
+use edgecache_metrics::StageSummary;
 use edgecache_pagestore::{FileId, LocalPageStore, LocalStoreConfig, PageStore};
 
 /// Summary of a cache directory.
@@ -139,6 +143,17 @@ pub fn purge(dir: &Path, file: Option<&str>) -> Result<usize> {
     Ok(removed)
 }
 
+/// Summarizes a Chrome trace-event dump (`simtest --trace-dump`, the
+/// `trace_dump` bench, or any `Tracer::chrome_trace_json` output) into a
+/// per-stage latency table, sorted by total time descending.
+pub fn trace_summary(path: &Path) -> Result<Vec<StageSummary>> {
+    let raw = std::fs::read_to_string(path)?;
+    let doc = serde_json::parse_value(&raw)
+        .map_err(|e| Error::InvalidArgument(format!("`{}`: {e}", path.display())))?;
+    summarize_chrome_trace(&doc)
+        .map_err(|e| Error::InvalidArgument(format!("`{}`: {e}", path.display())))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +237,36 @@ mod tests {
         assert_eq!(inspect(&dir).unwrap().pages, 0);
         assert!(purge(&dir, Some("zznothex")).is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_summary_reads_a_dump() {
+        use edgecache_common::SimClock;
+        use edgecache_metrics::Tracer;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let clock = Arc::new(SimClock::new());
+        let tracer = Tracer::enabled(clock.clone());
+        for micros in [100u64, 300] {
+            let _span = tracer.span("cache.read");
+            clock.advance(Duration::from_micros(micros));
+        }
+        let path =
+            std::env::temp_dir().join(format!("edgecache-cli-trace-{}.json", std::process::id()));
+        std::fs::write(&path, tracer.chrome_trace_json()).unwrap();
+
+        let stages = trace_summary(&path).unwrap();
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].name, "cache.read");
+        assert_eq!(stages[0].count, 2);
+        assert_eq!(stages[0].total, Duration::from_micros(400));
+        assert_eq!(stages[0].max, Duration::from_micros(300));
+
+        std::fs::write(&path, "not json").unwrap();
+        assert!(trace_summary(&path).is_err());
+        assert!(trace_summary(Path::new("/no/such/trace.json")).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! edgecache-cli verify  <dir> [--repair]
 //! edgecache-cli top     <dir> [-n <count>]
 //! edgecache-cli purge   <dir> [--file <hex-file-id>]
+//! edgecache-cli trace   <dump.json>
 //! ```
 
 use std::path::PathBuf;
@@ -15,7 +16,8 @@ use edgecache_common::ByteSize;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  edgecache-cli inspect <dir>\n  edgecache-cli verify <dir> [--repair]\n  \
-         edgecache-cli top <dir> [-n <count>]\n  edgecache-cli purge <dir> [--file <hex-id>]"
+         edgecache-cli top <dir> [-n <count>]\n  edgecache-cli purge <dir> [--file <hex-id>]\n  \
+         edgecache-cli trace <dump.json>"
     );
     ExitCode::from(2)
 }
@@ -63,6 +65,25 @@ fn main() -> ExitCode {
                 }
             })
         }
+        "trace" => edgecache_cli::trace_summary(&dir).map(|stages| {
+            let us = |d: std::time::Duration| d.as_micros();
+            println!(
+                "{:<18} {:>7} {:>12} {:>9} {:>9} {:>9} {:>9}",
+                "stage", "count", "total_us", "p50_us", "p95_us", "p99_us", "max_us"
+            );
+            for s in stages {
+                println!(
+                    "{:<18} {:>7} {:>12} {:>9} {:>9} {:>9} {:>9}",
+                    s.name,
+                    s.count,
+                    us(s.total),
+                    us(s.p50),
+                    us(s.p95),
+                    us(s.p99),
+                    us(s.max)
+                );
+            }
+        }),
         "purge" => {
             let file = rest
                 .iter()

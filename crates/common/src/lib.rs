@@ -20,6 +20,6 @@ pub mod hash;
 pub mod ring;
 
 pub use bytesize::ByteSize;
-pub use clock::{Clock, SimClock, SystemClock};
+pub use clock::{Clock, SharedClock, SimClock, SystemClock};
 pub use error::{Error, Result};
 pub use ring::ConsistentRing;

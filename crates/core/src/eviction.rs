@@ -249,13 +249,25 @@ impl EvictionPolicy for RandomPolicy {
 /// Segmented LRU: a probation segment for first-timers and a protected
 /// segment for re-accessed pages. Victims always drain probation (in LRU
 /// order) before touching the protected segment, so a one-pass scan cannot
-/// flush the hot working set. The protected segment is unbounded — with
-/// every page promoted it degenerates gracefully into plain LRU.
+/// flush the hot working set.
+///
+/// The protected segment is capped at [`SLRU_PROTECTED_NUM`]/
+/// [`SLRU_PROTECTED_DENOM`] of the tracked pages; overflow is demoted
+/// (oldest first) to the top of probation when a victim is chosen — the
+/// same lazy enforcement point as 2Q's queue balance. Without the cap a
+/// workload that re-accesses everything promotes everything, probation
+/// empties, and the "scan-resistant" policy silently loses the segment
+/// structure that justifies it.
 #[derive(Debug, Default)]
 pub struct SlruPolicy {
     probation: OrderedTracker,
     protected: OrderedTracker,
 }
+
+/// Protected-segment cap, as a fraction of tracked pages: 3/4.
+const SLRU_PROTECTED_NUM: usize = 3;
+/// See [`SLRU_PROTECTED_NUM`].
+const SLRU_PROTECTED_DENOM: usize = 4;
 
 impl SlruPolicy {
     /// Creates an empty SLRU policy.
@@ -289,6 +301,14 @@ impl EvictionPolicy for SlruPolicy {
     }
 
     fn victim(&mut self) -> Option<PageId> {
+        let cap = (self.len() * SLRU_PROTECTED_NUM / SLRU_PROTECTED_DENOM).max(1);
+        while self.protected.len() > cap {
+            let Some(old) = self.protected.oldest() else {
+                break;
+            };
+            self.protected.remove(old);
+            self.probation.touch(old);
+        }
         self.probation.oldest().or_else(|| self.protected.oldest())
     }
 
@@ -549,6 +569,33 @@ mod tests {
         }
         p.on_access(pid(0)); // Refresh page 0.
         assert_eq!(drain(&mut p), vec![pid(1), pid(2), pid(3), pid(4), pid(0)]);
+    }
+
+    #[test]
+    fn slru_protected_segment_is_capped() {
+        let mut p = SlruPolicy::new();
+        // Promote everything: without a cap, probation would be empty and
+        // the very next victim would come from the hot set's LRU tail even
+        // while colder demotion candidates exist.
+        for i in 0..100 {
+            p.on_insert(pid(i));
+            p.on_access(pid(i));
+        }
+        let _ = p.victim();
+        assert!(
+            p.protected.len() <= 100 * SLRU_PROTECTED_NUM / SLRU_PROTECTED_DENOM,
+            "protected {} exceeds its cap",
+            p.protected.len()
+        );
+        assert!(
+            p.probation.len() >= 100 / SLRU_PROTECTED_DENOM,
+            "demotion must refill probation"
+        );
+        // Eviction order is still oldest-first overall.
+        let drained = drain(&mut p);
+        assert_eq!(drained.len(), 100);
+        assert_eq!(drained[0], pid(0));
+        assert_eq!(*drained.last().unwrap(), pid(99));
     }
 
     #[test]

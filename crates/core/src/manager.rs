@@ -27,6 +27,7 @@ use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, SendError, Sender
 use edgecache_common::clock::{system_clock, SharedClock};
 use edgecache_common::error::{Error, Result};
 use edgecache_common::ByteSize;
+use edgecache_metrics::trace::{Span, SpanId, Tracer};
 use edgecache_metrics::MetricRegistry;
 use edgecache_pagestore::{CacheScope, FileId, PageId, PageInfo, PageStore};
 use parking_lot::{Condvar, Mutex};
@@ -146,8 +147,13 @@ struct LatchCleanup<'a> {
 impl Drop for LatchCleanup<'_> {
     fn drop(&mut self) {
         for (_, id, latch) in self.pending.drain(..) {
-            self.cache
-                .finish_fetch(self.file, id, &latch, &Err("fetch abandoned".into()));
+            self.cache.finish_fetch(
+                self.file,
+                id,
+                &latch,
+                &Err("fetch abandoned".into()),
+                SpanId::NONE,
+            );
         }
     }
 }
@@ -209,6 +215,7 @@ pub struct CacheManagerBuilder {
     metrics: Option<MetricRegistry>,
     recover: bool,
     scope_resolver: Option<ScopeResolver>,
+    tracer: Tracer,
 }
 
 impl CacheManagerBuilder {
@@ -240,6 +247,14 @@ impl CacheManagerBuilder {
     /// Uses the given metric registry (e.g. one shared per node).
     pub fn with_metrics(mut self, metrics: MetricRegistry) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches a span tracer to the read path (default: disabled, which
+    /// costs nothing). Drive it from the same clock passed to
+    /// [`Self::with_clock`] so stage timestamps share the read's timeline.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -302,6 +317,7 @@ impl CacheManagerBuilder {
             io_pool,
             fetch_pool,
             rng_state: AtomicU64::new(0x853c_49e6_748f_ea9b),
+            tracer: self.tracer,
             config: self.config,
         };
         if self.recover {
@@ -331,6 +347,7 @@ pub struct CacheManager {
     /// `max_concurrent_fetches` is 1: fetches then run inline).
     fetch_pool: Option<IoPool>,
     rng_state: AtomicU64,
+    tracer: Tracer,
 }
 
 impl CacheManager {
@@ -346,12 +363,18 @@ impl CacheManager {
             metrics: None,
             recover: false,
             scope_resolver: None,
+            tracer: Tracer::disabled(),
         }
     }
 
     /// The manager's metric registry.
     pub fn metrics(&self) -> &MetricRegistry {
         &self.metrics
+    }
+
+    /// The manager's span tracer (disabled unless one was attached).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The configured page size in bytes.
@@ -473,9 +496,22 @@ impl CacheManager {
             return Ok(Bytes::new());
         }
         self.metrics.counter("bytes_requested").add(end - offset);
+        let mut root = self.tracer.span("cache.read");
+        root.annotate("path", &file.path);
+        root.annotate("offset", offset);
+        root.annotate("len", end - offset);
 
         // Stage 1: classify (no I/O while any lock is held).
-        let mut plans = self.classify(file, offset, end);
+        let mut classify_span = self.tracer.child(root.id(), "classify");
+        let mut plans = self.classify(file, offset, end, classify_span.id());
+        if classify_span.is_recording() {
+            let count = |f: fn(&PageClass) -> bool| plans.iter().filter(|p| f(&p.class)).count();
+            classify_span.annotate("hits", count(|c| matches!(c, PageClass::Hit)));
+            classify_span.annotate("waiters", count(|c| matches!(c, PageClass::Waiter { .. })));
+            classify_span.annotate("owned", count(|c| matches!(c, PageClass::Owner { .. })));
+            classify_span.annotate("bypass", count(|c| matches!(c, PageClass::Bypass)));
+        }
+        classify_span.finish();
         // Every page this read touches, hit or miss — the conservation
         // anchor: page_reads == hits + misses + fallbacks.timeout.
         self.metrics.counter("page_reads").add(plans.len() as u64);
@@ -495,8 +531,24 @@ impl CacheManager {
 
         // Stage 2: coalesce owned misses into runs and fetch them (plus any
         // admission bypasses) concurrently.
+        let mut plan_span = self.tracer.child(root.id(), "plan_fetches");
         let fetches = self.plan_fetches(&mut plans);
-        let mut fetched = self.execute_fetches(file, &fetches, source);
+        plan_span.annotate("ranges", fetches.len());
+        plan_span.finish();
+        let mut fetch_span = self.tracer.child(root.id(), "remote_fetch");
+        let mut fetched = self.execute_fetches(file, &fetches, source, fetch_span.id());
+        if fetch_span.is_recording() {
+            fetch_span.annotate("ranges", fetches.len());
+            fetch_span.annotate(
+                "bytes",
+                fetched
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok())
+                    .map(|b| b.len() as u64)
+                    .sum::<u64>(),
+            );
+        }
+        fetch_span.finish();
 
         // [`Error`] is not `Clone`: keep the first failure for the caller,
         // leaving a stringified copy in the slot for latch publication.
@@ -519,6 +571,7 @@ impl CacheManager {
         // Stage 3: publish owned pages — cache them and release the latches
         // before any waiting below, so two readers that own pages of each
         // other's requests cannot deadlock.
+        let publish_span = self.tracer.child(root.id(), "publish");
         let mut chunks: Vec<Option<Bytes>> = plans.iter().map(|_| None).collect();
         // Publish in ascending page order (pending was built ascending, so
         // pop from a reversed list): insertion order is what recency-based
@@ -536,7 +589,7 @@ impl CacheManager {
                 }
                 Err(e) => Err(e.to_string()),
             };
-            self.finish_fetch(file, id, &latch, &outcome);
+            self.finish_fetch(file, id, &latch, &outcome, publish_span.id());
             if let Ok(page) = outcome {
                 let a = (plan.within_off as usize).min(page.len());
                 let b = ((plan.within_off + plan.within_len) as usize).min(page.len());
@@ -544,6 +597,7 @@ impl CacheManager {
             }
             cleanup.pending.pop();
         }
+        publish_span.finish();
         if let Some(e) = first_error {
             return Err(e);
         }
@@ -565,23 +619,29 @@ impl CacheManager {
         }
 
         // Stage 4: serve hits from the local store (I/O outside the locks).
+        let serve_span = self.tracer.child(root.id(), "serve");
         for pos in 0..plans.len() {
             if matches!(plans[pos].class, PageClass::Hit) {
-                chunks[pos] = Some(self.serve_hit(file, &plans[pos], source)?);
+                chunks[pos] = Some(self.serve_hit(file, &plans[pos], source, serve_span.id())?);
             }
         }
+        serve_span.finish();
 
         // Stage 5: collect pages concurrent readers fetched for us, and the
         // bypass slots (those already hold exactly the requested ranges).
+        let collect_span = self.tracer.child(root.id(), "collect");
         for (pos, plan) in plans.iter().enumerate() {
             match &plan.class {
                 PageClass::Waiter { latch } => {
+                    let mut wait_span = self.tracer.child(collect_span.id(), "singleflight_wait");
+                    wait_span.annotate("page", plan.id);
                     let page = latch.wait().map_err(|msg| {
                         Error::Other(format!(
                             "concurrent fetch of page {} failed: {msg}",
                             plan.id
                         ))
                     })?;
+                    wait_span.finish();
                     let a = (plan.within_off as usize).min(page.len());
                     let b = ((plan.within_off + plan.within_len) as usize).min(page.len());
                     chunks[pos] = Some(page.slice(a..b));
@@ -595,9 +655,11 @@ impl CacheManager {
                 _ => {}
             }
         }
+        collect_span.finish();
 
         // Assemble. A single chunk is returned zero-copy; stitching several
         // counts the copied bytes.
+        let _assemble_span = self.tracer.child(root.id(), "assemble");
         let mut parts = Vec::with_capacity(chunks.len());
         for chunk in chunks {
             parts.push(chunk.expect("every classified page produced a chunk"));
@@ -621,7 +683,7 @@ impl CacheManager {
     /// stripe lock) is seen either entirely before or entirely after: a
     /// classifier finds the in-flight entry or the cached page, never
     /// neither.
-    fn classify(&self, file: &SourceFile, offset: u64, end: u64) -> Vec<PagePlan> {
+    fn classify(&self, file: &SourceFile, offset: u64, end: u64, parent: SpanId) -> Vec<PagePlan> {
         let ps = self.page_size();
         let file_id = file.file_id();
         let now = self.now_ms();
@@ -649,15 +711,22 @@ impl CacheManager {
                         PageClass::Waiter {
                             latch: Arc::clone(latch),
                         }
-                    } else if self.admission.admit(&file.path, &file.scope, now) {
-                        let latch = Arc::new(InflightFetch::default());
-                        inflight.insert(id, Arc::clone(&latch));
-                        PageClass::Owner { latch }
                     } else {
-                        // Non-cache read path (Figure 3): read exactly what
-                        // was asked.
-                        self.metrics.counter("admission_rejected").inc();
-                        PageClass::Bypass
+                        let mut admission_span = self.tracer.child(parent, "admission");
+                        let admitted = self.admission.admit(&file.path, &file.scope, now);
+                        admission_span.annotate("page", id);
+                        admission_span.annotate("admitted", admitted);
+                        admission_span.finish();
+                        if admitted {
+                            let latch = Arc::new(InflightFetch::default());
+                            inflight.insert(id, Arc::clone(&latch));
+                            PageClass::Owner { latch }
+                        } else {
+                            // Non-cache read path (Figure 3): read exactly
+                            // what was asked.
+                            self.metrics.counter("admission_rejected").inc();
+                            PageClass::Bypass
+                        }
                     }
                 }
             };
@@ -742,6 +811,7 @@ impl CacheManager {
         file: &SourceFile,
         fetches: &[(u64, u64)],
         source: &dyn RemoteSource,
+        parent: SpanId,
     ) -> Vec<Result<Bytes>> {
         if fetches.is_empty() {
             return Vec::new();
@@ -749,7 +819,16 @@ impl CacheManager {
         let workers = self.config.max_concurrent_fetches.max(1).min(fetches.len());
         self.metrics.gauge("fetch.parallelism").set(workers as i64);
         let path = file.path.as_str();
-        let chunk_results: Vec<(usize, Result<Vec<Bytes>>)> = match &self.fetch_pool {
+        // Per-thread timestamps of concurrent chunks are only deterministic
+        // when the tracer explicitly allows them (see the trace module's
+        // determinism contract); otherwise every chunk reports the issuing
+        // thread's fetch window.
+        let per_thread = self.tracer.concurrent_timing();
+        let now = || self.tracer.now_nanos().unwrap_or(0);
+        let window_start = now();
+        // Slot count, fetch outcome, and timing interval of one worker chunk.
+        type FetchedChunk = (usize, Result<Vec<Bytes>>, (u64, u64));
+        let chunk_results: Vec<FetchedChunk> = match &self.fetch_pool {
             Some(pool) if workers > 1 => {
                 // Contiguous chunks, sized as evenly as possible; each runs
                 // as one `read_ranges` call on the persistent fetch pool.
@@ -762,36 +841,48 @@ impl CacheManager {
                     bounds.push((start, start + size));
                     start += size;
                 }
-                let results: Vec<Mutex<Option<Result<Vec<Bytes>>>>> =
-                    bounds.iter().map(|_| Mutex::new(None)).collect();
+                type ChunkSlot = Mutex<Option<(Result<Vec<Bytes>>, (u64, u64))>>;
+                let results: Vec<ChunkSlot> = bounds.iter().map(|_| Mutex::new(None)).collect();
+                let now = &now;
                 let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = bounds
                     .iter()
                     .enumerate()
                     .map(|(i, &(a, b))| {
                         let slot = &results[i];
                         Box::new(move || {
-                            *slot.lock() = Some(source.read_ranges(path, &fetches[a..b]));
+                            let t0 = if per_thread { now() } else { 0 };
+                            let result = source.read_ranges(path, &fetches[a..b]);
+                            let t1 = if per_thread { now() } else { 0 };
+                            *slot.lock() = Some((result, (t0, t1)));
                         }) as Box<dyn FnOnce() + Send + '_>
                     })
                     .collect();
                 pool.run_scoped(jobs);
+                let window = (window_start, now());
                 bounds
                     .iter()
                     .zip(results)
                     .map(|(&(a, b), slot)| {
-                        let result = slot
-                            .into_inner()
-                            .unwrap_or_else(|| Err(Error::Other("fetch worker panicked".into())));
-                        (b - a, result)
+                        let (result, interval) = slot.into_inner().unwrap_or_else(|| {
+                            (Err(Error::Other("fetch worker panicked".into())), (0, 0))
+                        });
+                        (b - a, result, if per_thread { interval } else { window })
                     })
                     .collect()
             }
-            _ => vec![(fetches.len(), source.read_ranges(path, fetches))],
+            _ => {
+                let result = source.read_ranges(path, fetches);
+                vec![(fetches.len(), result, (window_start, now()))]
+            }
         };
         // Flatten chunk responses into per-slot results; a failed chunk
         // fails each of its slots.
         let mut out: Vec<Result<Bytes>> = Vec::with_capacity(fetches.len());
-        for (want, result) in chunk_results {
+        let mut slot_intervals: Vec<(u64, u64)> = Vec::new();
+        for (want, result, interval) in chunk_results {
+            for _ in 0..want {
+                slot_intervals.push(interval);
+            }
             match result {
                 Ok(buffers) if buffers.len() == want => {
                     for bytes in buffers {
@@ -831,6 +922,28 @@ impl CacheManager {
                 }
             }
         }
+        if self.tracer.is_enabled() {
+            // One child span per coalesced range, timed by the chunk (the
+            // `read_ranges` call on the wire) that carried it.
+            for (slot, &(off, len)) in fetches.iter().enumerate() {
+                let (t0, t1) = slot_intervals[slot];
+                let status = match &out[slot] {
+                    Ok(_) => "ok".to_string(),
+                    Err(e) => e.kind().to_string(),
+                };
+                self.tracer.record_interval(
+                    parent,
+                    "fetch_range",
+                    t0,
+                    t1,
+                    vec![
+                        ("offset", off.to_string()),
+                        ("len", len.to_string()),
+                        ("status", status),
+                    ],
+                );
+            }
+        }
         out
     }
 
@@ -844,11 +957,12 @@ impl CacheManager {
         id: PageId,
         latch: &InflightFetch,
         outcome: &std::result::Result<Bytes, String>,
+        parent: SpanId,
     ) {
         {
             let _guard = self.stripe(id).lock();
             if let Ok(page) = outcome {
-                if let Err(e) = self.put_page_locked(file, id, page) {
+                if let Err(e) = self.put_page_locked_traced(file, id, page, parent) {
                     // Caching failed (quota, space, store error): the read
                     // and its waiters are still served from the fetched
                     // bytes.
@@ -868,13 +982,24 @@ impl CacheManager {
         file: &SourceFile,
         plan: &PagePlan,
         source: &dyn RemoteSource,
+        parent: SpanId,
     ) -> Result<Bytes> {
         let id = plan.id;
         let Some(info) = self.index.get(&id) else {
             // Evicted since classification: refetch.
-            return self.fetch_page_direct(file, plan, source);
+            return self.fetch_page_direct(file, plan, source, parent);
         };
-        match self.store_get(info.dir, id, plan.within_off, plan.within_len) {
+        let mut ssd_span = self.tracer.child(parent, "ssd_read");
+        ssd_span.annotate("page", id);
+        let got = self.store_get(info.dir, id, plan.within_off, plan.within_len);
+        if ssd_span.is_recording() {
+            match &got {
+                Ok(bytes) => ssd_span.annotate("bytes", bytes.len()),
+                Err(e) => ssd_span.annotate("status", e.kind()),
+            }
+        }
+        ssd_span.finish();
+        match got {
             Ok(bytes) => {
                 // The policy access was recorded at classification time.
                 self.metrics.counter("hits").inc();
@@ -888,6 +1013,9 @@ impl CacheManager {
                 // cached page for future reads.
                 self.metrics.record_error("get", "timeout");
                 self.metrics.counter("fallbacks.timeout").inc();
+                let mut fallback_span = self.tracer.child(parent, "remote_fallback");
+                fallback_span.annotate("reason", "timeout");
+                fallback_span.annotate("page", id);
                 let abs = plan.page_start + plan.within_off;
                 let bytes = source.read(&file.path, abs, plan.within_len)?;
                 self.metrics
@@ -907,18 +1035,18 @@ impl CacheManager {
                 // §8 "Corrupted files": evict early and refetch.
                 self.metrics.record_error("get", e.kind());
                 self.evict_page(&id, "corrupt");
-                self.fetch_page_direct(file, plan, source)
+                self.fetch_page_direct(file, plan, source, parent)
             }
             Err(Error::NotFound(_)) => {
                 // The store lost the page (external cleanup); repair the
                 // index and treat as a miss.
                 self.drop_from_index(&id);
-                self.fetch_page_direct(file, plan, source)
+                self.fetch_page_direct(file, plan, source, parent)
             }
             Err(e) => {
                 self.metrics.record_error("get", e.kind());
                 self.evict_page(&id, "error");
-                self.fetch_page_direct(file, plan, source)
+                self.fetch_page_direct(file, plan, source, parent)
             }
         }
     }
@@ -931,7 +1059,11 @@ impl CacheManager {
         file: &SourceFile,
         plan: &PagePlan,
         source: &dyn RemoteSource,
+        parent: SpanId,
     ) -> Result<Bytes> {
+        let mut direct_span = self.tracer.child(parent, "remote_fallback");
+        direct_span.annotate("reason", "refetch");
+        direct_span.annotate("page", plan.id);
         self.metrics.counter("misses").inc();
         if !self.admission.admit(&file.path, &file.scope, self.now_ms()) {
             self.metrics.counter("admission_rejected").inc();
@@ -965,7 +1097,7 @@ impl CacheManager {
         }
         {
             let _guard = self.stripe(plan.id).lock();
-            if let Err(e) = self.put_page_locked(file, plan.id, &data) {
+            if let Err(e) = self.put_page_locked_traced(file, plan.id, &data, direct_span.id()) {
                 self.metrics.record_error("put", e.kind());
             }
         }
@@ -1040,24 +1172,41 @@ impl CacheManager {
 
     /// Inner put: caller holds the page's stripe lock.
     fn put_page_locked(&self, file: &SourceFile, id: PageId, data: &[u8]) -> Result<()> {
+        self.put_page_locked_traced(file, id, data, SpanId::NONE)
+    }
+
+    /// Inner put with a trace parent: eviction work done to make room is
+    /// recorded as an `eviction` child span (only when evictions happen).
+    fn put_page_locked_traced(
+        &self,
+        file: &SourceFile,
+        id: PageId,
+        data: &[u8],
+        parent: SpanId,
+    ) -> Result<()> {
         let size = data.len() as u64;
         let Some(dir) = self.allocator.pick(id.file, size) else {
             return Err(Error::InvalidArgument(format!(
                 "page of {size} bytes exceeds every cache directory"
             )));
         };
+        let mut evict_span: Option<Span> = None;
+        let mut evicted = 0u64;
 
         // Hierarchical quota verification (§5.2), most detailed level first.
         if let Some(v) = self
             .quota
             .first_violation(&file.scope, size, |s| self.index.bytes_of_scope(s))
         {
+            evict_span.get_or_insert_with(|| self.tracer.child(parent, "eviction"));
             self.evict_for_quota(&v, size);
+            evicted += 1;
             if self
                 .quota
                 .first_violation(&file.scope, size, |s| self.index.bytes_of_scope(s))
                 .is_some()
             {
+                finish_eviction_span(evict_span, evicted);
                 return Err(Error::QuotaExceeded(format!(
                     "scope {} cannot admit {size} bytes",
                     v.scope()
@@ -1068,12 +1217,16 @@ impl CacheManager {
         // Capacity eviction within the target directory.
         let capacity = self.allocator.capacity(dir);
         while self.index.bytes_of_dir(dir) + size > capacity {
+            evict_span.get_or_insert_with(|| self.tracer.child(parent, "eviction"));
             let victim = self.policies[dir].lock().victim();
             let Some(victim) = victim else {
+                finish_eviction_span(evict_span, evicted);
                 return Err(Error::NoSpace);
             };
             self.evict_page(&victim, "capacity");
+            evicted += 1;
         }
+        finish_eviction_span(evict_span, evicted);
 
         match self.stores[dir].put(id, data) {
             Ok(()) => {}
@@ -1262,6 +1415,15 @@ impl CacheManager {
             stop,
             thread: Some(thread),
         }
+    }
+}
+
+/// Finishes a lazily created `eviction` span, annotating how many pages were
+/// evicted to make room. No-op when no eviction happened.
+fn finish_eviction_span(span: Option<Span>, evicted: u64) {
+    if let Some(mut s) = span {
+        s.annotate("evicted", evicted);
+        s.finish();
     }
 }
 
@@ -2088,6 +2250,122 @@ mod tests {
                 parallel.index().check_consistency().unwrap();
                 sequential.index().check_consistency().unwrap();
             }
+        }
+    }
+
+    mod tracing {
+        use super::*;
+        use edgecache_common::SimClock;
+        use edgecache_metrics::trace::chrome_trace_json;
+        use std::time::Duration;
+
+        /// A remote that charges deterministic virtual latency on a
+        /// [`SimClock`] before serving bytes.
+        struct VirtualLatencyRemote {
+            inner: ScriptedRemote,
+            clock: Arc<SimClock>,
+            latency: Duration,
+        }
+
+        impl RemoteSource for VirtualLatencyRemote {
+            fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+                self.clock.advance(self.latency);
+                self.inner.read(path, offset, len)
+            }
+        }
+
+        /// Runs one miss + one hit under a tracer and returns the records
+        /// plus the Chrome export for determinism comparison.
+        fn traced_run() -> (Vec<edgecache_metrics::SpanRecord>, String) {
+            let clock = Arc::new(SimClock::new());
+            let shared: SharedClock = Arc::new(SimClock::clone(&clock));
+            let tracer = Tracer::enabled(Arc::clone(&shared));
+            let cache =
+                CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(1024)))
+                    .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+                    .with_clock(shared)
+                    .with_tracer(tracer)
+                    .build()
+                    .unwrap();
+            let data = pattern(8192);
+            let remote = VirtualLatencyRemote {
+                inner: ScriptedRemote::new().with_file("/f", data.clone()),
+                clock,
+                latency: Duration::from_micros(250),
+            };
+            let f = file("/f", 8192);
+            assert_eq!(cache.read(&f, 0, 4096, &remote).unwrap(), &data[..4096]);
+            assert_eq!(cache.read(&f, 0, 4096, &remote).unwrap(), &data[..4096]);
+            let records = cache.tracer().take_records();
+            let json = chrome_trace_json(&records);
+            (records, json)
+        }
+
+        #[test]
+        fn stage_durations_sum_to_root_latency() {
+            let (records, _) = traced_run();
+            let roots: Vec<_> = records
+                .iter()
+                .filter(|r| r.parent == SpanId::NONE.raw())
+                .collect();
+            assert_eq!(roots.len(), 2, "one root span per cache.read call");
+            for root in &roots {
+                assert_eq!(root.name, "cache.read");
+                let stage_sum: u64 = records
+                    .iter()
+                    .filter(|r| r.parent == root.id)
+                    .map(|r| r.duration().as_nanos() as u64)
+                    .sum();
+                let total = root.duration().as_nanos() as u64;
+                // Under SimClock time only advances inside stages, so the
+                // per-stage breakdown accounts for the whole read.
+                assert_eq!(stage_sum, total, "stages partition {}", root.name);
+            }
+            // The miss read charged remote latency; the hit read was free.
+            let miss_total = roots[0].duration();
+            assert!(miss_total >= Duration::from_micros(250), "{miss_total:?}");
+            assert_eq!(roots[1].duration(), Duration::ZERO);
+        }
+
+        #[test]
+        fn miss_and_hit_produce_expected_span_kinds() {
+            let (records, _) = traced_run();
+            let names: Vec<&str> = records.iter().map(|r| r.name).collect();
+            for stage in [
+                "cache.read",
+                "classify",
+                "plan_fetches",
+                "remote_fetch",
+                "fetch_range",
+                "publish",
+                "serve",
+                "ssd_read",
+                "assemble",
+            ] {
+                assert!(names.contains(&stage), "missing span kind {stage}");
+            }
+            // The coalesced miss fetched one 4 KiB range.
+            let fetch = records.iter().find(|r| r.name == "fetch_range").unwrap();
+            assert!(fetch.args.iter().any(|(k, v)| *k == "len" && v == "4096"));
+        }
+
+        #[test]
+        fn trace_export_is_deterministic_across_runs() {
+            let (_, first) = traced_run();
+            let (_, second) = traced_run();
+            assert_eq!(first, second);
+            assert!(first.contains("\"traceEvents\""));
+        }
+
+        #[test]
+        fn disabled_tracer_records_nothing() {
+            let cache = small_cache(1024, 1 << 20);
+            let data = pattern(4096);
+            let remote = ScriptedRemote::new().with_file("/f", data);
+            let f = file("/f", 4096);
+            cache.read(&f, 0, 4096, &remote).unwrap();
+            assert!(!cache.tracer().is_enabled());
+            assert!(cache.tracer().take_records().is_empty());
         }
     }
 }

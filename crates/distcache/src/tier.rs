@@ -9,7 +9,7 @@ use edgecache_common::clock::SharedClock;
 use edgecache_common::error::{Error, Result};
 use edgecache_common::ring::{ConsistentRing, RingConfig};
 use edgecache_core::manager::{RemoteSource, SourceFile};
-use edgecache_metrics::MetricRegistry;
+use edgecache_metrics::{MetricRegistry, Tracer};
 use edgecache_pagestore::CacheScope;
 use parking_lot::RwLock;
 
@@ -60,6 +60,7 @@ pub struct DistCacheTier {
     /// where only a path is available.
     known_files: RwLock<HashMap<String, (u64, u64)>>,
     metrics: MetricRegistry,
+    tracer: Tracer,
     max_replicas: usize,
 }
 
@@ -98,13 +99,26 @@ impl DistCacheTier {
             origin,
             known_files: RwLock::new(HashMap::new()),
             metrics: MetricRegistry::new("dist-cache-tier"),
+            tracer: Tracer::disabled(),
             max_replicas: config.max_replicas,
         })
+    }
+
+    /// Attaches a tracer: each read served by a cache worker records a
+    /// `distcache_hop` span. Use the same clock as the tier.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Tier-level metrics.
     pub fn metrics(&self) -> &MetricRegistry {
         &self.metrics
+    }
+
+    /// The tier's span tracer (disabled unless one was attached).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// A worker by name (introspection).
@@ -160,6 +174,9 @@ impl DistCacheTier {
     /// occupied or offline, the read goes straight to origin, bypassing the
     /// cache (§7's hybrid fallback).
     pub fn read(&self, file: &SourceFile, offset: u64, len: u64) -> Result<Bytes> {
+        // Lazy data movement (§7): purge seats whose offline grace period
+        // has expired, so their keys rehash to surviving workers.
+        self.ring.sweep_expired();
         let candidates = self.ring.candidates(&file.path, self.max_replicas);
         for name in &candidates {
             let worker = self.workers.get(name).expect("ring nodes are workers");
@@ -168,7 +185,18 @@ impl DistCacheTier {
                 continue;
             };
             self.metrics.counter("served_by_tier").inc();
-            return worker.serve(file, offset, len, self.origin.as_ref());
+            let mut hop = self.tracer.span("distcache_hop");
+            if hop.is_recording() {
+                hop.annotate("worker", name);
+                hop.annotate("path", &file.path);
+                hop.annotate("len", len);
+            }
+            let out = worker.serve(file, offset, len, self.origin.as_ref());
+            if let Err(e) = &out {
+                hop.annotate("status", e.kind());
+            }
+            hop.finish();
+            return out;
         }
         // All candidates occupied (or no worker online): origin fallback.
         self.metrics.counter("origin_fallbacks").inc();
@@ -348,6 +376,29 @@ mod tests {
             tier.worker(&home).unwrap().cache().stats().hits,
             hits_before + 1
         );
+    }
+
+    #[test]
+    fn expired_offline_worker_is_purged_on_read() {
+        let (tier, _, clock) = tier(3, 64);
+        let f = file("/x");
+        tier.read(&f, 0, 100).unwrap();
+        let home = tier.ring.candidates(&f.path, 1)[0].clone();
+        tier.worker_offline(&home);
+        // Past the grace period the read path itself sweeps the seat: the
+        // key rehashes to the surviving workers permanently.
+        clock.advance(Duration::from_secs(11 * 60));
+        tier.read(&f, 0, 100).unwrap();
+        assert!(
+            !tier.ring.candidates(&f.path, 3).contains(&home),
+            "expired seat no longer routes"
+        );
+        let served = tier
+            .worker_names()
+            .iter()
+            .filter(|w| **w != home && !tier.worker(w).unwrap().cache().index().is_empty())
+            .count();
+        assert!(served >= 1, "a surviving worker now caches the key");
     }
 
     #[test]

@@ -398,4 +398,82 @@ mod tests {
         let est = h.quantile(0.5).unwrap() as f64;
         assert!((est - v as f64).abs() / v as f64 <= 1.0 / SUB_BUCKETS as f64 + 1e-9);
     }
+
+    mod bucket_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Inclusive `[low, high]` range of values mapping to bucket
+        /// `index`, derived independently of `bucket_of`'s bit tricks.
+        fn bucket_bounds(index: usize) -> (u64, u64) {
+            if index < SUB_BUCKETS {
+                return (index as u64, index as u64);
+            }
+            let log_sub = SUB_BUCKETS.trailing_zeros() as usize;
+            let region = index / SUB_BUCKETS;
+            let sub = index % SUB_BUCKETS;
+            let exp = region + log_sub - 1;
+            let shift = exp - log_sub;
+            let low = ((SUB_BUCKETS + sub) as u64) << shift;
+            (low, low + ((1u64 << shift) - 1))
+        }
+
+        /// The largest reachable bucket index (the one holding u64::MAX).
+        fn top_bucket() -> usize {
+            bucket_of(u64::MAX)
+        }
+
+        proptest! {
+            /// value → index → bounds roundtrip over the full u64 range:
+            /// every value lands in a bucket whose bounds contain it, the
+            /// bucket edges map back to the same index, and the next value
+            /// past the upper edge starts the next bucket.
+            #[test]
+            fn value_index_bounds_roundtrip(v in any::<u64>()) {
+                let index = bucket_of(v);
+                let (low, high) = bucket_bounds(index);
+                prop_assert!(low <= v && v <= high,
+                    "value {v} outside bucket {index} = [{low}, {high}]");
+                prop_assert_eq!(bucket_of(low), index);
+                prop_assert_eq!(bucket_of(high), index);
+                let mid = bucket_midpoint(index);
+                prop_assert!(low <= mid && mid <= high);
+                if high < u64::MAX {
+                    prop_assert_eq!(bucket_of(high + 1), index + 1,
+                        "bucket {index} upper edge not adjacent to next");
+                }
+                if low > 0 {
+                    prop_assert_eq!(bucket_of(low - 1), index - 1,
+                        "bucket {index} lower edge not adjacent to previous");
+                }
+            }
+
+            /// The mapping is monotone: larger values never map to a
+            /// smaller bucket.
+            #[test]
+            fn mapping_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                prop_assert!(bucket_of(lo) <= bucket_of(hi));
+            }
+        }
+
+        #[test]
+        fn every_reachable_bucket_roundtrips_exhaustively() {
+            // All buckets up to the one holding u64::MAX (the tail of the
+            // BUCKETS array is headroom the shift math never reaches).
+            let top = top_bucket();
+            assert!(top < BUCKETS);
+            for index in 0..=top {
+                let (low, high) = bucket_bounds(index);
+                assert_eq!(bucket_of(low), index, "low edge of {index}");
+                assert_eq!(bucket_of(high), index, "high edge of {index}");
+                assert_eq!(
+                    bucket_of(bucket_midpoint(index)),
+                    index,
+                    "midpoint of {index}"
+                );
+            }
+            assert_eq!(bucket_bounds(top).1, u64::MAX, "top bucket ends at MAX");
+        }
+    }
 }

@@ -18,15 +18,21 @@
 //! * [`conservation`] — snapshot-diff conservation laws
 //!   ([`assert_conserved`]), the invariant-oracle vocabulary of the
 //!   simulation harness.
+//! * [`trace`] — hierarchical spans with per-stage latency attribution:
+//!   clock-driven (deterministic under `SimClock`), near-zero cost when
+//!   disabled, exporting per-stage histograms, a slow-op log, and Chrome
+//!   trace-event JSON.
 
 pub mod aggregate;
 pub mod conservation;
 pub mod histogram;
 pub mod registry;
 pub mod scalar;
+pub mod trace;
 
 pub use aggregate::ClusterAggregator;
 pub use conservation::{assert_conserved, ConservationLaw, Relation, SnapshotDiff};
 pub use histogram::{Histogram, HistogramSnapshot, Percentiles};
 pub use registry::{MetricRegistry, RegistrySnapshot};
 pub use scalar::{Counter, Gauge};
+pub use trace::{Span, SpanId, SpanRecord, StageSummary, Tracer};

@@ -16,6 +16,7 @@ use edgecache_columnar::Value;
 use edgecache_common::clock::SharedClock;
 use edgecache_common::error::{Error, Result};
 use edgecache_core::manager::RemoteSource;
+use edgecache_metrics::Tracer;
 
 use crate::catalog::{Catalog, DataFile};
 use crate::plan::{JoinClause, QueryPlan};
@@ -60,6 +61,9 @@ pub struct Engine {
     remote: Arc<dyn RemoteSource + Send + Sync>,
     collector: QueryStatsCollector,
     config: EngineConfig,
+    /// Shared with every worker (via `config.worker.tracer`): queries get an
+    /// `olap.query` root span with one `olap.split` child per split.
+    tracer: Tracer,
     next_query: AtomicU64,
 }
 
@@ -91,6 +95,7 @@ impl Engine {
             scheduler,
             remote,
             collector: QueryStatsCollector::new(),
+            tracer: config.worker.tracer.clone(),
             config,
             next_query: AtomicU64::new(1),
         })
@@ -198,6 +203,9 @@ impl Engine {
     /// Executes a query.
     pub fn execute(&self, plan: &QueryPlan) -> Result<QueryResult> {
         let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
+        let mut query_span = self.tracer.span("olap.query");
+        query_span.annotate("query", query_id);
+        query_span.annotate("table", format!("{}.{}", plan.schema, plan.table));
         let table = self.catalog.table(&plan.schema, &plan.table)?;
 
         // Broadcast-join build sides, prepared up front; their scan costs
@@ -247,50 +255,59 @@ impl Engine {
         let mut critical_input = Duration::ZERO;
         let mut critical_cpu = Duration::ZERO;
 
-        for (worker_name, worker_splits) in &assigned {
-            let worker = self
-                .workers
-                .get(worker_name)
-                .ok_or_else(|| Error::Other(format!("unknown worker {worker_name}")))?;
-            let mut worker_time = Duration::ZERO;
-            let mut worker_input = Duration::ZERO;
-            let mut worker_cpu = Duration::ZERO;
-            for (partition, file, use_cache) in worker_splits {
-                let scope = table.partition_scope(partition);
-                let out = worker.execute_split(
-                    file,
-                    &scope,
-                    plan,
-                    &joins,
-                    self.remote.as_ref(),
-                    *use_cache,
-                )?;
-                worker_time += out.io_time + out.cpu_time;
-                worker_input += out.io_time;
-                worker_cpu += out.cpu_time;
-                stats.rows_scanned += out.rows_scanned;
-                stats.bytes_from_cache += out.bytes_from_cache;
-                stats.bytes_from_remote += out.bytes_from_remote;
-                stats.cache_hits += out.cache_hits;
-                stats.cache_misses += out.cache_misses;
-                match out.partial {
-                    Some(p) => match &mut merged_partial {
-                        Some(m) => m.merge(&p),
-                        None => merged_partial = Some(p),
-                    },
-                    None => rows.extend(out.rows),
+        // The scheduler's pending counts must drop on *every* exit path: an
+        // early `?` here used to leak one pending slot per assigned split,
+        // marking workers busy forever after a failed query.
+        let exec_result = (|| -> Result<()> {
+            for (worker_name, worker_splits) in &assigned {
+                let worker = self
+                    .workers
+                    .get(worker_name)
+                    .ok_or_else(|| Error::Other(format!("unknown worker {worker_name}")))?;
+                let mut worker_time = Duration::ZERO;
+                let mut worker_input = Duration::ZERO;
+                let mut worker_cpu = Duration::ZERO;
+                for (partition, file, use_cache) in worker_splits {
+                    let scope = table.partition_scope(partition);
+                    let out = worker.execute_split_traced(
+                        file,
+                        &scope,
+                        plan,
+                        &joins,
+                        self.remote.as_ref(),
+                        *use_cache,
+                        query_span.id(),
+                    )?;
+                    worker_time += out.io_time + out.cpu_time;
+                    worker_input += out.io_time;
+                    worker_cpu += out.cpu_time;
+                    stats.rows_scanned += out.rows_scanned;
+                    stats.bytes_from_cache += out.bytes_from_cache;
+                    stats.bytes_from_remote += out.bytes_from_remote;
+                    stats.cache_hits += out.cache_hits;
+                    stats.cache_misses += out.cache_misses;
+                    stats.merge_stage_breakdown(&out.stage_breakdown);
+                    match out.partial {
+                        Some(p) => match &mut merged_partial {
+                            Some(m) => m.merge(&p),
+                            None => merged_partial = Some(p),
+                        },
+                        None => rows.extend(out.rows),
+                    }
+                }
+                if worker_time > critical_path {
+                    critical_path = worker_time;
+                    critical_input = worker_input;
+                    critical_cpu = worker_cpu;
                 }
             }
-            if worker_time > critical_path {
-                critical_path = worker_time;
-                critical_input = worker_input;
-                critical_cpu = worker_cpu;
-            }
-        }
+            Ok(())
+        })();
 
         for a in &assignments {
             self.scheduler.complete(&a.worker);
         }
+        exec_result?;
 
         if let Some(partial) = merged_partial {
             rows = partial.finalize();
@@ -313,6 +330,12 @@ impl Engine {
             stats.bytes_from_remote += b.bytes_from_remote;
             stats.cache_hits += b.cache_hits;
             stats.cache_misses += b.cache_misses;
+            stats.merge_stage_breakdown(&b.stage_breakdown);
+        }
+        if query_span.is_recording() {
+            query_span.annotate("splits", stats.splits);
+            query_span.annotate("rows_output", stats.rows_output);
+            query_span.annotate("wall_us", stats.wall_time.as_micros());
         }
         self.collector.record(&stats);
         Ok(QueryResult { rows, stats })
@@ -678,6 +701,76 @@ mod tests {
         assert_eq!(cold.rows, warm.rows);
         assert!(warm.stats.wall_time < cold.stats.wall_time);
         assert!(warm.stats.bytes_from_remote < cold.stats.bytes_from_remote);
+    }
+
+    #[test]
+    fn failed_query_releases_scheduler_slots() {
+        let (catalog, store, clock) = setup();
+        let e = engine(catalog, store, &clock);
+        // The column is unknown, so every split fails *after* scheduling:
+        // the early return must still release the pending assignments.
+        let bad = QueryPlan::scan("sales", "orders", &["no_such_column"]);
+        assert!(e.execute(&bad).is_err());
+        for w in e.worker_names() {
+            assert_eq!(e.scheduler().pending_of(&w), 0, "leaked pending on {w}");
+        }
+        // The workers are not stuck "busy": a healthy query still runs and
+        // lands on its affinity nodes.
+        let q = QueryPlan::scan("sales", "orders", &[]).aggregate(vec![AggExpr::count()]);
+        assert_eq!(e.execute(&q).unwrap().rows, vec![vec![Value::Int64(200)]]);
+        for w in e.worker_names() {
+            assert_eq!(e.scheduler().pending_of(&w), 0);
+        }
+    }
+
+    #[test]
+    fn traced_query_attributes_stages() {
+        use edgecache_metrics::Tracer;
+        let (catalog, store, clock) = setup();
+        let shared: crate::worker::WorkerConfig = WorkerConfig {
+            page_size: ByteSize::kib(1),
+            tracer: Tracer::enabled(Arc::new(clock.clone())),
+            ..Default::default()
+        };
+        let tracer = shared.tracer.clone();
+        let e = Engine::new(
+            catalog,
+            store,
+            EngineConfig {
+                workers: 3,
+                worker: shared,
+                ..Default::default()
+            },
+            Arc::new(clock.clone()),
+        )
+        .unwrap();
+        let q = QueryPlan::scan("sales", "orders", &["id", "amount"])
+            .aggregate(vec![AggExpr::sum("amount")]);
+        let r = e.execute(&q).unwrap();
+        // The stats carry a per-stage breakdown covering IO and CPU.
+        assert!(r.stats.stage_breakdown.contains_key("io.remote_read"));
+        assert!(r.stats.stage_breakdown.contains_key("cpu.decode"));
+        let io: Duration = r
+            .stats
+            .stage_breakdown
+            .iter()
+            .filter(|(s, _)| s.starts_with("io."))
+            .map(|(_, d)| *d)
+            .sum();
+        // The breakdown sums over all workers' splits; input_wall is the
+        // critical path only, so IO attribution can only be larger.
+        assert!(
+            io >= r.stats.input_wall,
+            "{io:?} < {:?}",
+            r.stats.input_wall
+        );
+        // Span tree: olap.query → olap.split → operator stages, and the
+        // cache's own read-path spans ride the same tracer.
+        let records = tracer.take_records();
+        let names: Vec<&str> = records.iter().map(|r| r.name).collect();
+        for expected in ["olap.query", "olap.split", "io.remote_read", "cache.read"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
     }
 
     #[test]

@@ -92,6 +92,16 @@ impl SoftAffinityScheduler {
     /// worker's pending count; call [`Self::complete`] when the split
     /// finishes.
     pub fn assign(&self, file_path: &str) -> Result<SplitAssignment> {
+        // Lazy data movement (§7): seats whose offline timeout has expired
+        // are purged here, so their keys rehash to surviving workers instead
+        // of hitting the fallback path forever.
+        let swept = self.ring.sweep_expired();
+        if !swept.is_empty() {
+            let mut pending = self.pending.lock();
+            for gone in &swept {
+                pending.remove(gone);
+            }
+        }
         let (primary, secondary) = self.ring.primary_and_secondary(file_path);
         let mut pending = self.pending.lock();
         if let Some(primary) = primary {
@@ -234,6 +244,32 @@ mod tests {
         // Lazy data movement: the worker returns and resumes its keys.
         s.worker_online(&home);
         assert_eq!(s.assign("/f").unwrap().worker, home);
+    }
+
+    #[test]
+    fn expired_offline_worker_is_swept_on_assign() {
+        use std::time::Duration;
+        let clock = SimClock::new();
+        let names: Vec<String> = (0..3).map(|i| format!("w{i}")).collect();
+        let s =
+            SoftAffinityScheduler::new(&names, SchedulerConfig::default(), Arc::new(clock.clone()));
+        let home = s.assign("/f").unwrap().worker;
+        s.complete(&home);
+        s.worker_offline(&home);
+        // Past the lazy-movement timeout (default 10 min), `assign` itself
+        // purges the seat: the key rehashes to a surviving worker as a
+        // first-choice (cached) assignment, not the bypass fallback.
+        clock.advance(Duration::from_secs(11 * 60));
+        let a = s.assign("/f").unwrap();
+        assert_ne!(a.worker, home);
+        assert!(a.use_cache);
+        assert_eq!(a.choice, 0);
+        assert!(!s.ring().nodes().contains(&home), "seat removed for good");
+        assert_eq!(s.pending_of(&home), 0);
+        // No future assignment lands on the dead worker.
+        for i in 0..20 {
+            assert_ne!(s.assign(&format!("/file-{i}")).unwrap().worker, home);
+        }
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct RuntimeStats {
     pub bytes_from_remote: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Per-stage latency attribution, summed across the query's splits:
+    /// stage name (`scan`, `decode`, `filter`, `join`, `aggregate`, …) →
+    /// simulated time spent in that stage.
+    pub stage_breakdown: BTreeMap<&'static str, Duration>,
 }
 
 impl RuntimeStats {
@@ -42,6 +46,13 @@ impl RuntimeStats {
     pub fn hit_rate(&self) -> Option<f64> {
         let total = self.cache_hits + self.cache_misses;
         (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Adds a split's per-stage times into this query's breakdown.
+    pub fn merge_stage_breakdown(&mut self, other: &BTreeMap<&'static str, Duration>) {
+        for (&stage, &d) in other {
+            *self.stage_breakdown.entry(stage).or_default() += d;
+        }
     }
 }
 

@@ -19,7 +19,7 @@ use edgecache_common::error::{Error, Result};
 use edgecache_common::ByteSize;
 use edgecache_core::config::CacheConfig;
 use edgecache_core::manager::{CacheManager, RemoteSource, SourceFile};
-use edgecache_metrics::MetricRegistry;
+use edgecache_metrics::{MetricRegistry, SpanId, Tracer};
 use edgecache_pagestore::{CacheScope, MemoryPageStore};
 use edgecache_storage::DeviceModel;
 
@@ -47,6 +47,9 @@ pub struct WorkerConfig {
     pub filter_nanos_per_row: u64,
     /// Simulated CPU cost of one hash-join probe.
     pub join_probe_nanos_per_row: u64,
+    /// Tracer shared by the worker's cache and its split execution; the
+    /// engine also parents its per-query spans here. Disabled by default.
+    pub tracer: Tracer,
 }
 
 impl Default for WorkerConfig {
@@ -61,6 +64,7 @@ impl Default for WorkerConfig {
             decode_nanos_per_byte: 25,
             filter_nanos_per_row: 50,
             join_probe_nanos_per_row: 100,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -92,6 +96,20 @@ pub struct SplitOutput {
     pub bytes_from_remote: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Per-stage latency attribution for this split: operator/stage name →
+    /// simulated time charged (`io.cache_read`, `io.remote_read`,
+    /// `cpu.decode`, `cpu.filter`, …).
+    pub stage_breakdown: BTreeMap<&'static str, Duration>,
+}
+
+impl SplitOutput {
+    /// Attributes `d` of simulated time to `stage` (no-op for zero time, so
+    /// untouched stages stay out of the breakdown).
+    fn charge_stage(&mut self, stage: &'static str, d: Duration) {
+        if d > Duration::ZERO {
+            *self.stage_breakdown.entry(stage).or_default() += d;
+        }
+    }
 }
 
 /// A range reader that serves through the worker's local cache.
@@ -155,6 +173,7 @@ impl Worker {
                     )
                     .with_clock(clock)
                     .with_metrics(MetricRegistry::new(format!("{id}-cache")))
+                    .with_tracer(config.tracer.clone())
                     .build()?,
             )
         } else {
@@ -200,13 +219,39 @@ impl Worker {
         remote: &dyn RemoteSource,
         use_cache: bool,
     ) -> Result<SplitOutput> {
+        self.execute_split_traced(
+            file,
+            partition_scope,
+            plan,
+            joins,
+            remote,
+            use_cache,
+            SpanId::NONE,
+        )
+    }
+
+    /// [`Worker::execute_split`] with a trace parent: emits an `olap.split`
+    /// span whose children lay the split's per-stage modeled times out on a
+    /// virtual timeline, so OLAP operator costs land in the same per-stage
+    /// histograms as the cache's read-path spans.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_split_traced(
+        &self,
+        file: &DataFile,
+        partition_scope: &CacheScope,
+        plan: &QueryPlan,
+        joins: &[PreparedJoin],
+        remote: &dyn RemoteSource,
+        use_cache: bool,
+        parent: SpanId,
+    ) -> Result<SplitOutput> {
         let source_file = SourceFile::new(
             &file.path,
             file.version,
             file.length,
             partition_scope.clone(),
         );
-        match (use_cache, self.cache.as_ref()) {
+        let out = match (use_cache, self.cache.as_ref()) {
             (true, Some(cache)) => {
                 let before = CacheCounters::snapshot(cache.metrics());
                 let reader = CachedRangeReader {
@@ -220,15 +265,18 @@ impl Worker {
                 out.bytes_from_remote = delta.bytes_from_remote;
                 out.cache_hits = delta.hits;
                 out.cache_misses = delta.misses;
-                out.io_time = self
+                let ssd_time = self
                     .config
                     .ssd
-                    .batch_read_time(delta.hits, delta.bytes_from_cache)
-                    + self
-                        .config
-                        .remote
-                        .batch_read_time(delta.remote_requests, delta.bytes_from_remote);
-                Ok(out)
+                    .batch_read_time(delta.hits, delta.bytes_from_cache);
+                let remote_time = self
+                    .config
+                    .remote
+                    .batch_read_time(delta.remote_requests, delta.bytes_from_remote);
+                out.io_time = ssd_time + remote_time;
+                out.charge_stage("io.cache_read", ssd_time);
+                out.charge_stage("io.remote_read", remote_time);
+                out
             }
             _ => {
                 let reader = BypassRangeReader {
@@ -244,8 +292,47 @@ impl Worker {
                 out.bytes_from_remote = bytes;
                 out.cache_misses = requests;
                 out.io_time = self.config.remote.batch_read_time(requests, bytes);
-                Ok(out)
+                out.charge_stage("io.remote_read", out.io_time);
+                out
             }
+        };
+        self.emit_split_spans(file, &out, parent);
+        Ok(out)
+    }
+
+    /// Lays the split's per-stage modeled times out as spans on a virtual
+    /// timeline starting at the current clock reading. Time is *simulated*
+    /// (the clock does not advance during a scan), so stages are placed
+    /// back-to-back; their durations — not their absolute positions — are
+    /// the signal.
+    fn emit_split_spans(&self, file: &DataFile, out: &SplitOutput, parent: SpanId) {
+        let tracer = &self.config.tracer;
+        if !tracer.is_enabled() {
+            return;
+        }
+        let start = tracer.now_nanos().unwrap_or(0);
+        let total: u64 = out
+            .stage_breakdown
+            .values()
+            .map(|d| d.as_nanos() as u64)
+            .sum();
+        let split = tracer.record_interval(
+            parent,
+            "olap.split",
+            start,
+            start + total,
+            vec![
+                ("file", file.path.clone()),
+                ("rows", out.rows_scanned.to_string()),
+                ("cache_hits", out.cache_hits.to_string()),
+                ("cache_misses", out.cache_misses.to_string()),
+            ],
+        );
+        let mut t = start;
+        for (&stage, &d) in &out.stage_breakdown {
+            let d = d.as_nanos() as u64;
+            tracer.record_interval(split, stage, t, t + d, Vec::new());
+            t += d;
         }
     }
 
@@ -259,16 +346,21 @@ impl Worker {
         joins: &[PreparedJoin],
     ) -> Result<SplitOutput> {
         let mut cpu = Duration::ZERO;
+        let mut out = SplitOutput::default();
         let key = format!("{}@{}", file.path, file.version);
         let colf = if self.config.enable_metadata_cache {
             let parsed_before = self.meta_cache.bytes_parsed();
             let r = ColfReader::open_with_cache(reader, &self.meta_cache, &key)?;
             let parsed = self.meta_cache.bytes_parsed() - parsed_before;
-            cpu += MetadataCache::parse_cost(parsed);
+            let parse = MetadataCache::parse_cost(parsed);
+            cpu += parse;
+            out.charge_stage("cpu.metadata_parse", parse);
             r
         } else {
             let r = ColfReader::open(reader)?;
-            cpu += MetadataCache::parse_cost(r.metadata().footer_len);
+            let parse = MetadataCache::parse_cost(r.metadata().footer_len);
+            cpu += parse;
+            out.charge_stage("cpu.metadata_parse", parse);
             r
         };
 
@@ -281,7 +373,6 @@ impl Worker {
             column_indexes.push((name.clone(), idx));
         }
 
-        let mut out = SplitOutput::default();
         let mut partial = if plan.aggregates.is_empty() {
             None
         } else {
@@ -298,13 +389,18 @@ impl Worker {
             }
             let rows = colf.metadata().row_groups[rg].rows as usize;
             out.rows_scanned += rows as u64;
-            cpu += Duration::from_nanos(decoded_bytes * self.config.decode_nanos_per_byte);
+            let decode = Duration::from_nanos(decoded_bytes * self.config.decode_nanos_per_byte);
+            cpu += decode;
+            out.charge_stage("cpu.decode", decode);
 
             if joins.is_empty() {
                 // Fast columnar path.
                 let keep: Vec<usize> = match &plan.predicate {
                     Some(p) => {
-                        cpu += Duration::from_nanos(rows as u64 * self.config.filter_nanos_per_row);
+                        let filter =
+                            Duration::from_nanos(rows as u64 * self.config.filter_nanos_per_row);
+                        cpu += filter;
+                        out.charge_stage("cpu.filter", filter);
                         let refs: Vec<(&str, &ColumnData)> =
                             columns.iter().map(|(n, d)| (n.as_str(), d)).collect();
                         p.matching_rows(&refs, rows)
@@ -337,11 +433,15 @@ impl Worker {
 
             // Join path: probe build sides per row, evaluate the predicate
             // over the combined (fact ∪ dimension) row, then accumulate.
-            cpu += Duration::from_nanos(
+            let probe = Duration::from_nanos(
                 rows as u64 * joins.len() as u64 * self.config.join_probe_nanos_per_row,
             );
+            cpu += probe;
+            out.charge_stage("cpu.join_probe", probe);
             if plan.predicate.is_some() {
-                cpu += Duration::from_nanos(rows as u64 * self.config.filter_nanos_per_row);
+                let filter = Duration::from_nanos(rows as u64 * self.config.filter_nanos_per_row);
+                cpu += filter;
+                out.charge_stage("cpu.filter", filter);
             }
             let find = |name: &str| columns.iter().find(|(n, _)| n == name).map(|(_, d)| d);
             for row in 0..rows {

@@ -34,6 +34,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use edgecache_common::error::{Error, Result};
 use edgecache_common::hash::fnv1a64;
+use edgecache_metrics::Tracer;
 
 use crate::crash::{CrashPlan, CrashSite};
 use crate::page::{FileId, PageId};
@@ -83,6 +84,7 @@ pub struct LocalPageStore {
     config: LocalStoreConfig,
     bytes_used: AtomicU64,
     tmp_seq: AtomicU64,
+    tracer: Tracer,
 }
 
 impl LocalPageStore {
@@ -116,11 +118,20 @@ impl LocalPageStore {
             config,
             bytes_used: AtomicU64::new(0),
             tmp_seq: AtomicU64::new(0),
+            tracer: Tracer::disabled(),
         };
         // Initialize the usage gauge from what is already on disk.
         let existing: u64 = store.recover()?.iter().map(|(_, s)| s).sum();
         store.bytes_used.store(existing, Ordering::SeqCst);
         Ok(store)
+    }
+
+    /// Attaches a tracer: full-page reads record `checksum_verify` spans so
+    /// integrity work shows up in per-stage latency attribution. Use the same
+    /// clock as the cache manager so spans share one timeline.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The store's root directory.
@@ -287,7 +298,17 @@ impl PageStore for LocalPageStore {
         let payload_len = meta.len() - TRAILER_LEN;
         if offset == 0 && len >= payload_len {
             // Full read: verify the checksum trailer.
-            return self.read_verified(&path, id);
+            let mut span = self.tracer.span("checksum_verify");
+            let got = self.read_verified(&path, id);
+            if span.is_recording() {
+                span.annotate("page", id);
+                match &got {
+                    Ok(bytes) => span.annotate("bytes", bytes.len()),
+                    Err(e) => span.annotate("status", e.kind()),
+                }
+            }
+            span.finish();
+            return got;
         }
         if offset >= payload_len {
             return Ok(Bytes::new());

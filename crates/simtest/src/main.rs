@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! simtest [--seed X | --seeds N] [--start S] [--profile smoke|torture]
-//!         [--shrink-budget R] [--verbose]
+//!         [--shrink-budget R] [--trace-dump PATH] [--verbose]
 //! ```
 //!
 //! Each seed expands into a deterministic scenario (workload + layered fault
@@ -21,6 +21,7 @@ struct Args {
     seeds: Vec<u64>,
     profile: Profile,
     shrink_budget: usize,
+    trace_dump: Option<String>,
     verbose: bool,
 }
 
@@ -30,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
     let mut start: u64 = 0;
     let mut profile = Profile::Smoke;
     let mut shrink_budget = 300usize;
+    let mut trace_dump: Option<String> = None;
     let mut verbose = false;
 
     let mut it = std::env::args().skip(1);
@@ -62,11 +64,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--shrink-budget: {e}"))?;
             }
+            "--trace-dump" => trace_dump = Some(value("--trace-dump")?),
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
                 println!(
                     "usage: simtest [--seed X | --seeds N] [--start S] \
-                     [--profile smoke|torture] [--shrink-budget R] [--verbose]"
+                     [--profile smoke|torture] [--shrink-budget R] \
+                     [--trace-dump PATH] [--verbose]"
                 );
                 std::process::exit(0);
             }
@@ -81,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         seeds,
         profile,
         shrink_budget,
+        trace_dump,
         verbose,
     })
 }
@@ -127,10 +132,26 @@ fn main() -> ExitCode {
     };
 
     let mut failed = 0usize;
+    let mut trace_dumped = false;
     for &seed in &args.seeds {
         let sc = Scenario::generate(seed, args.profile);
         let report = run_scenario(&sc);
         let replay = run_scenario(&sc);
+
+        // The first seed's first run is the dump: one seed, one trace file.
+        if let Some(path) = args.trace_dump.as_deref().filter(|_| !trace_dumped) {
+            trace_dumped = true;
+            match std::fs::write(path, report.chrome_trace_json()) {
+                Ok(()) => println!(
+                    "seed {seed}: wrote {} span(s) to {path} (chrome://tracing format)",
+                    report.span_records.len()
+                ),
+                Err(e) => {
+                    eprintln!("simtest: --trace-dump {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
 
         let deterministic = report.trace_hash == replay.trace_hash
             && report.final_metrics_json == replay.final_metrics_json;

@@ -27,7 +27,7 @@ use edgecache_core::config::CacheConfig;
 use edgecache_core::manager::{CacheManager, RemoteSource, SourceFile};
 use edgecache_distcache::tier::{DistCacheTier, TierConfig};
 use edgecache_distcache::worker::WorkerCacheConfig;
-use edgecache_metrics::{assert_conserved, MetricRegistry, SnapshotDiff};
+use edgecache_metrics::{assert_conserved, MetricRegistry, SnapshotDiff, SpanRecord, Tracer};
 use edgecache_pagestore::{
     CacheScope, CrashPlan, FaultPlan, FaultyStore, LocalPageStore, LocalStoreConfig,
     MemoryPageStore, PageId, PageStore,
@@ -54,12 +54,21 @@ pub struct RunReport {
     pub crashes: u64,
     /// Final epoch's metrics snapshot as canonical JSON.
     pub final_metrics_json: String,
+    /// Every span the stack recorded, across all epochs, in finish order.
+    /// Deterministic for a given scenario (the tracer runs on the sim clock
+    /// with concurrent timing pinned to issuing-thread windows).
+    pub span_records: Vec<SpanRecord>,
 }
 
 impl RunReport {
     /// Whether every oracle held.
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// The run's spans as Chrome trace-event JSON (`--trace-dump`).
+    pub fn chrome_trace_json(&self) -> String {
+        edgecache_metrics::trace::chrome_trace_json(&self.span_records)
     }
 }
 
@@ -139,6 +148,13 @@ fn build_direct(
     // would race against them and break determinism.
     config.enforce_read_timeout = false;
 
+    // One registry + tracer per epoch: span rollups land in the epoch's
+    // `trace.*_us` histograms, so the final-metrics determinism check covers
+    // stage attribution too. Concurrent timing stays off (the default) so
+    // fetch-pool spans are pinned to issuing-thread windows.
+    let registry = MetricRegistry::new(format!("simtest-epoch{epoch}"));
+    let tracer = Tracer::enabled(Arc::clone(clock)).with_registry(Arc::new(registry.clone()));
+
     let store: Arc<dyn PageStore> = match sc.backend {
         Backend::Memory => Arc::clone(memory_store.expect("memory store outlives epochs")),
         Backend::Local => {
@@ -155,7 +171,8 @@ fn build_direct(
                     crash_plan: Some(Arc::clone(crash_plan)),
                 },
             )
-            .map_err(|e| format!("open local store: {e}"))?;
+            .map_err(|e| format!("open local store: {e}"))?
+            .with_tracer(tracer.clone());
             Arc::new(FaultyStore::new(local, Arc::clone(fault_plan)))
         }
     };
@@ -163,7 +180,8 @@ fn build_direct(
     let mut builder = CacheManager::builder(config)
         .with_store(store, sc.cache_capacity)
         .with_clock(Arc::clone(clock))
-        .with_metrics(MetricRegistry::new(format!("simtest-epoch{epoch}")))
+        .with_metrics(registry)
+        .with_tracer(tracer)
         .with_scope_resolver(scope_of_path)
         .with_recovery();
     if let Some(q) = sc.quota {
@@ -179,15 +197,18 @@ fn build_direct(
     Ok(DirectStack { cache })
 }
 
-/// Finalizes an epoch: conservation laws over the epoch's registry, plus a
-/// trace line with every counter (the metrics fingerprint).
+/// Finalizes an epoch: conservation laws over the epoch's registry, a trace
+/// line with every counter (the metrics fingerprint), and the epoch's span
+/// records drained into the run-wide list.
 fn finish_epoch(
     cache: &CacheManager,
     epoch: usize,
     clean: bool,
     trace: &mut Vec<String>,
     violations: &mut Vec<Violation>,
+    spans: &mut Vec<SpanRecord>,
 ) -> String {
+    spans.extend(cache.tracer().take_records());
     let snapshot = cache.metrics().snapshot();
     let diff = SnapshotDiff::from_start(&snapshot);
     if let Err(e) = assert_conserved(&diff, &cache_epoch_laws(clean)) {
@@ -216,6 +237,7 @@ fn run_direct(sc: &Scenario) -> RunReport {
 
     let mut trace: Vec<String> = Vec::with_capacity(sc.ops.len() + 8);
     let mut violations: Vec<Violation> = Vec::new();
+    let mut span_records: Vec<SpanRecord> = Vec::new();
 
     let scratch = match sc.backend {
         Backend::Local => match ScratchDir::new(sc.seed) {
@@ -372,6 +394,7 @@ fn run_direct(sc: &Scenario) -> RunReport {
                 epoch_clean,
                 &mut trace,
                 &mut violations,
+                &mut span_records,
             );
             drop(stack);
             epoch += 1;
@@ -402,6 +425,7 @@ fn run_direct(sc: &Scenario) -> RunReport {
                         epochs: epoch + 1,
                         crashes: crashes_seen,
                         final_metrics_json: final_json,
+                        span_records,
                     };
                 }
             };
@@ -418,6 +442,7 @@ fn run_direct(sc: &Scenario) -> RunReport {
         epoch_clean,
         &mut trace,
         &mut violations,
+        &mut span_records,
     );
     let trace_hash = hash_trace(&trace);
     RunReport {
@@ -428,6 +453,7 @@ fn run_direct(sc: &Scenario) -> RunReport {
         epochs: epoch + 1,
         crashes: crashes_seen,
         final_metrics_json: final_json,
+        span_records,
     }
 }
 
@@ -456,6 +482,12 @@ fn run_tier(sc: &Scenario) -> RunReport {
     ) {
         Ok(t) => t,
         Err(e) => return setup_failure(sc, format!("build tier: {e}")),
+    };
+    // Distcache-hop spans roll up into the tier's own registry, so they ride
+    // the final-metrics determinism check like the Direct topology's stages.
+    let tier = {
+        let registry = Arc::new(tier.metrics().clone());
+        tier.with_tracer(Tracer::enabled(Arc::clone(&clock)).with_registry(registry))
     };
     for file in 0..sc.files {
         tier.register_file(&Scenario::path_of(file), 1, sc.file_len);
@@ -589,6 +621,7 @@ fn run_tier(sc: &Scenario) -> RunReport {
         epochs: 1,
         crashes: 0,
         final_metrics_json: final_json,
+        span_records: tier.tracer().take_records(),
     }
 }
 
@@ -611,6 +644,7 @@ fn setup_failure(sc: &Scenario, detail: String) -> RunReport {
         epochs: 0,
         crashes: 0,
         final_metrics_json: String::new(),
+        span_records: Vec::new(),
     }
 }
 
@@ -641,7 +675,47 @@ mod tests {
             assert_eq!(a.trace, b.trace, "seed {seed} diverged");
             assert_eq!(a.trace_hash, b.trace_hash);
             assert_eq!(a.final_metrics_json, b.final_metrics_json);
+            assert_eq!(a.span_records, b.span_records, "seed {seed} spans diverged");
+            assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
         }
+    }
+
+    #[test]
+    fn runs_record_read_path_spans() {
+        let sc = Scenario::generate(0, Profile::Smoke);
+        let report = run_scenario(&sc);
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        let names: Vec<&str> = report.span_records.iter().map(|r| r.name).collect();
+        assert!(names.contains(&"cache.read"), "roots missing: {names:?}");
+        assert!(names.contains(&"remote_fetch"), "stages missing: {names:?}");
+        // Stage durations of each root must sum exactly to the root's
+        // latency: the sim clock only moves when a stage charges it, so the
+        // partition has no gaps or overlaps.
+        use std::collections::BTreeMap;
+        let mut child_sums: BTreeMap<u64, u64> = BTreeMap::new();
+        for r in &report.span_records {
+            if r.parent != 0 {
+                *child_sums.entry(r.parent).or_default() +=
+                    r.end_nanos.saturating_sub(r.start_nanos);
+            }
+        }
+        for root in report
+            .span_records
+            .iter()
+            .filter(|r| r.parent == 0 && r.name == "cache.read")
+        {
+            let total = root.end_nanos - root.start_nanos;
+            assert_eq!(
+                child_sums.get(&root.id).copied().unwrap_or(0),
+                total,
+                "stages of span {} must partition its {total}ns",
+                root.id
+            );
+        }
+        // The export is valid Chrome trace JSON with one event per span.
+        let doc = serde_json::parse_value(&report.chrome_trace_json()).expect("valid JSON");
+        let stages = edgecache_metrics::trace::summarize_chrome_trace(&doc).expect("summarize");
+        assert!(stages.iter().any(|s| s.name == "cache.read"));
     }
 
     #[test]
