@@ -1,0 +1,11 @@
+//! Harness binary for the `scanpath` experiment; pass `--quick` for the
+//! reduced-scale variant. See DESIGN.md §3 for the experiment index.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = edgecache_bench::experiments::scanpath::run(quick);
+    println!("{report}");
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

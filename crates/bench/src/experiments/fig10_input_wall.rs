@@ -91,6 +91,11 @@ fn run_phase(
                 enable_cache: cache,
                 cache_capacity,
                 page_size: ByteSize::mib(1),
+                // Production readers keep a deep ranged-GET pipeline in
+                // flight (the cost models pipeline requests at depth 8);
+                // without it the uncached phase pays one full round trip
+                // per row group and the reduction overshoots the band.
+                prefetch_depth: 8,
                 ..Default::default()
             },
             ..Default::default()

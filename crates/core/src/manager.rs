@@ -17,7 +17,7 @@
 //! * **`No space left on device`** — a `NoSpace` from the store triggers
 //!   early eviction (before the configured capacity is reached) and a retry.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -134,6 +134,18 @@ struct PagePlan {
     slot: Option<usize>,
     /// Byte offset of this page inside its slot's response.
     off_in_slot: u64,
+}
+
+/// What stages 2–5 of the read pipeline produced: one chunk per plan
+/// (covering its requested sub-range) plus the raw ranged responses, kept
+/// so callers can hand out zero-copy slices of whole coalesced runs.
+struct ServedPages {
+    /// Per-plan chunk, indexed like the plan list.
+    chunks: Vec<Bytes>,
+    /// Per-slot remote responses.
+    fetched: Vec<Result<Bytes>>,
+    /// Per-slot `(offset, len)` ranges, indexed like `fetched`.
+    fetches: Vec<(u64, u64)>,
 }
 
 /// Releases owned in-flight latches when a read unwinds before publishing
@@ -516,6 +528,228 @@ impl CacheManager {
         // anchor: page_reads == hits + misses + fallbacks.timeout.
         self.metrics.counter("page_reads").add(plans.len() as u64);
 
+        let served = self.fetch_publish_serve(file, &mut plans, source, root.id())?;
+
+        // A cold sequential read served by one coalesced run is the common
+        // case: return a single zero-copy slice of the ranged response.
+        if plans.len() > 1
+            && plans
+                .iter()
+                .all(|p| matches!(p.class, PageClass::Owner { .. }) && p.slot == plans[0].slot)
+        {
+            let slot = plans[0].slot.expect("owner pages are planned a fetch slot");
+            if let Ok(bytes) = &served.fetched[slot] {
+                let base = served.fetches[slot].0;
+                let a = ((offset - base) as usize).min(bytes.len());
+                let b = ((end - base) as usize).min(bytes.len());
+                return Ok(bytes.slice(a..b));
+            }
+        }
+
+        // Assemble. A single chunk is returned zero-copy; stitching several
+        // counts the copied bytes.
+        let _assemble_span = self.tracer.child(root.id(), "assemble");
+        let mut parts = served.chunks;
+        if parts.len() == 1 {
+            return Ok(parts.pop().expect("one part"));
+        }
+        let total: usize = parts.iter().map(Bytes::len).sum();
+        self.metrics.counter("bytes_copied").add(total as u64);
+        let mut out = BytesMut::with_capacity(total);
+        for part in &parts {
+            out.extend_from_slice(part);
+        }
+        Ok(out.freeze())
+    }
+
+    /// Reads several `(offset, len)` fragments of `file` in one vectored
+    /// operation, returning one buffer per fragment (each EOF-clamped like
+    /// [`Self::read`]).
+    ///
+    /// Fragmented columnar scans — the paper's dominant workload (§5) — ask
+    /// for many small ranges of one file at once: the projected column
+    /// chunks of a row group. Issued through [`Self::read`] one at a time
+    /// they classify, fetch, and publish per fragment, so misses on
+    /// different fragments never share a wire round-trip. This entry point
+    /// runs the same classify → fetch → publish pipeline once over the
+    /// union of all fragments:
+    ///
+    /// * every *distinct* page is classified exactly once, even when
+    ///   fragments overlap, repeat, or arrive out of order (duplicates
+    ///   share the page's chunk);
+    /// * runs of file-adjacent owned pages coalesce **across fragment
+    ///   boundaries** into single ranged remote requests, dispatched
+    ///   concurrently on the persistent fetch pool;
+    /// * per-page single-flight latches publish exactly as [`Self::read`]
+    ///   does, so concurrent readers (vectored or not) interleave safely;
+    /// * a fragment covered by one page chunk or one coalesced run is
+    ///   returned as a zero-copy slice; only fragments spanning several
+    ///   sources are stitched (counted in `bytes_copied`).
+    ///
+    /// Failures are all-or-nothing: the first error fails the whole call,
+    /// after every owned latch has been published or released.
+    pub fn read_multi(
+        &self,
+        file: &SourceFile,
+        fragments: &[(u64, u64)],
+        source: &dyn RemoteSource,
+    ) -> Result<Vec<Bytes>> {
+        if fragments.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ps = self.page_size();
+        let mut root = self.tracer.span("cache.read_multi");
+        root.annotate("path", &file.path);
+        root.annotate("fragments", fragments.len());
+
+        // Stage 0: plan fragments — clamp each to EOF and union the
+        // requested sub-range of every distinct page touched. Pure
+        // bookkeeping: no locks, no I/O. Degenerate fragments (zero-length
+        // or entirely past EOF) resolve to empty buffers.
+        let mut plan_frag_span = self.tracer.child(root.id(), "plan_fragments");
+        let mut requested = 0u64;
+        let clamped: Vec<(u64, u64)> = fragments
+            .iter()
+            .map(|&(offset, len)| {
+                let end = offset.saturating_add(len).min(file.length);
+                if offset >= end {
+                    (offset, offset)
+                } else {
+                    requested += end - offset;
+                    (offset, end)
+                }
+            })
+            .collect();
+        self.metrics.counter("bytes_requested").add(requested);
+        // Distinct pages in ascending order → union of requested
+        // page-relative sub-ranges. The union may over-read the gap between
+        // two fragments landing on the same page; it never crosses a page.
+        let mut pages: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for &(start, end) in &clamped {
+            if start >= end {
+                continue;
+            }
+            for idx in start / ps..=(end - 1) / ps {
+                let page_start = idx * ps;
+                let a = start.max(page_start) - page_start;
+                let b = end.min(page_start + ps) - page_start;
+                let entry = pages.entry(idx).or_insert((a, b));
+                entry.0 = entry.0.min(a);
+                entry.1 = entry.1.max(b);
+            }
+        }
+        if plan_frag_span.is_recording() {
+            plan_frag_span.annotate("bytes", requested);
+            plan_frag_span.annotate("pages", pages.len());
+        }
+        plan_frag_span.finish();
+
+        // Stage 1: vectored classify — one classification per distinct
+        // page, under its stripe lock (no I/O while any lock is held). A
+        // page shared by two fragments must not wait on its own latch, so
+        // deduplication above is what makes overlap safe.
+        let mut classify_span = self.tracer.child(root.id(), "vectored_classify");
+        let file_id = file.file_id();
+        let now = self.now_ms();
+        let mut plans = Vec::with_capacity(pages.len());
+        let mut page_pos: HashMap<u64, usize> = HashMap::with_capacity(pages.len());
+        for (&idx, &(within_off, within_end)) in &pages {
+            let page_start = idx * ps;
+            let id = PageId::new(file_id, idx);
+            let class = self.classify_page(file, id, now, classify_span.id());
+            page_pos.insert(idx, plans.len());
+            plans.push(PagePlan {
+                id,
+                page_start,
+                page_len: ps.min(file.length - page_start),
+                within_off,
+                within_len: within_end - within_off,
+                class,
+                slot: None,
+                off_in_slot: 0,
+            });
+        }
+        if classify_span.is_recording() {
+            let count = |f: fn(&PageClass) -> bool| plans.iter().filter(|p| f(&p.class)).count();
+            classify_span.annotate("hits", count(|c| matches!(c, PageClass::Hit)));
+            classify_span.annotate("waiters", count(|c| matches!(c, PageClass::Waiter { .. })));
+            classify_span.annotate("owned", count(|c| matches!(c, PageClass::Owner { .. })));
+            classify_span.annotate("bypass", count(|c| matches!(c, PageClass::Bypass)));
+        }
+        classify_span.finish();
+        self.metrics.counter("page_reads").add(plans.len() as u64);
+        self.metrics.counter("vectored_reads").inc();
+        self.metrics
+            .histogram("vectored.fragments")
+            .record(fragments.len() as u64);
+
+        let served = self.fetch_publish_serve(file, &mut plans, source, root.id())?;
+
+        // Stage 6: assemble one buffer per fragment. Each plan's chunk
+        // covers the page's *union* sub-range, so a fragment slices its own
+        // bytes back out; a fragment covered by a single chunk or a single
+        // coalesced owner run stays zero-copy.
+        let _assemble_span = self.tracer.child(root.id(), "assemble");
+        let mut out = Vec::with_capacity(clamped.len());
+        for &(start, end) in &clamped {
+            if start >= end {
+                out.push(Bytes::new());
+                continue;
+            }
+            let first = start / ps;
+            let last = (end - 1) / ps;
+            if first == last {
+                let plan = &plans[page_pos[&first]];
+                let chunk = &served.chunks[page_pos[&first]];
+                let rel = (start - (plan.page_start + plan.within_off)) as usize;
+                out.push(chunk.slice(rel..rel + (end - start) as usize));
+                continue;
+            }
+            // Whole fragment inside one coalesced owner run: one slice of
+            // the ranged response.
+            let run_slot = plans[page_pos[&first]].slot;
+            let one_run = run_slot.is_some()
+                && (first..=last).all(|idx| {
+                    let p = &plans[page_pos[&idx]];
+                    matches!(p.class, PageClass::Owner { .. }) && p.slot == run_slot
+                });
+            if one_run {
+                let slot = run_slot.expect("checked above");
+                if let Ok(bytes) = &served.fetched[slot] {
+                    let base = served.fetches[slot].0;
+                    let a = ((start - base) as usize).min(bytes.len());
+                    let b = ((end - base) as usize).min(bytes.len());
+                    out.push(bytes.slice(a..b));
+                    continue;
+                }
+            }
+            self.metrics.counter("bytes_copied").add(end - start);
+            let mut buf = BytesMut::with_capacity((end - start) as usize);
+            for idx in first..=last {
+                let plan = &plans[page_pos[&idx]];
+                let chunk = &served.chunks[page_pos[&idx]];
+                let a = start.max(plan.page_start);
+                let b = end.min(plan.page_start + plan.page_len);
+                let base = plan.page_start + plan.within_off;
+                buf.extend_from_slice(&chunk[(a - base) as usize..(b - base) as usize]);
+            }
+            out.push(buf.freeze());
+        }
+        Ok(out)
+    }
+
+    /// Stages 2–5 shared by [`Self::read`] and [`Self::read_multi`]: plan
+    /// and execute remote fetches, publish owned pages, serve hits, and
+    /// collect waiter/bypass pages. On success every plan has produced a
+    /// chunk covering exactly its requested sub-range
+    /// (`within_off .. within_off + within_len`, page-relative).
+    fn fetch_publish_serve(
+        &self,
+        file: &SourceFile,
+        plans: &mut [PagePlan],
+        source: &dyn RemoteSource,
+        root: SpanId,
+    ) -> Result<ServedPages> {
         // Owned latches must be released even if this read errors or
         // panics, or waiters would block forever.
         let mut cleanup = LatchCleanup {
@@ -531,11 +765,11 @@ impl CacheManager {
 
         // Stage 2: coalesce owned misses into runs and fetch them (plus any
         // admission bypasses) concurrently.
-        let mut plan_span = self.tracer.child(root.id(), "plan_fetches");
-        let fetches = self.plan_fetches(&mut plans);
+        let mut plan_span = self.tracer.child(root, "plan_fetches");
+        let fetches = self.plan_fetches(plans);
         plan_span.annotate("ranges", fetches.len());
         plan_span.finish();
-        let mut fetch_span = self.tracer.child(root.id(), "remote_fetch");
+        let mut fetch_span = self.tracer.child(root, "remote_fetch");
         let mut fetched = self.execute_fetches(file, &fetches, source, fetch_span.id());
         if fetch_span.is_recording() {
             fetch_span.annotate("ranges", fetches.len());
@@ -571,7 +805,7 @@ impl CacheManager {
         // Stage 3: publish owned pages — cache them and release the latches
         // before any waiting below, so two readers that own pages of each
         // other's requests cannot deadlock.
-        let publish_span = self.tracer.child(root.id(), "publish");
+        let publish_span = self.tracer.child(root, "publish");
         let mut chunks: Vec<Option<Bytes>> = plans.iter().map(|_| None).collect();
         // Publish in ascending page order (pending was built ascending, so
         // pop from a reversed list): insertion order is what recency-based
@@ -602,24 +836,8 @@ impl CacheManager {
             return Err(e);
         }
 
-        // A cold sequential read served by one coalesced run is the common
-        // case: return a single zero-copy slice of the ranged response.
-        if plans.len() > 1
-            && plans
-                .iter()
-                .all(|p| matches!(p.class, PageClass::Owner { .. }) && p.slot == plans[0].slot)
-        {
-            let slot = plans[0].slot.expect("owner pages are planned a fetch slot");
-            if let Ok(bytes) = &fetched[slot] {
-                let base = fetches[slot].0;
-                let a = ((offset - base) as usize).min(bytes.len());
-                let b = ((end - base) as usize).min(bytes.len());
-                return Ok(bytes.slice(a..b));
-            }
-        }
-
         // Stage 4: serve hits from the local store (I/O outside the locks).
-        let serve_span = self.tracer.child(root.id(), "serve");
+        let serve_span = self.tracer.child(root, "serve");
         for pos in 0..plans.len() {
             if matches!(plans[pos].class, PageClass::Hit) {
                 chunks[pos] = Some(self.serve_hit(file, &plans[pos], source, serve_span.id())?);
@@ -629,7 +847,7 @@ impl CacheManager {
 
         // Stage 5: collect pages concurrent readers fetched for us, and the
         // bypass slots (those already hold exactly the requested ranges).
-        let collect_span = self.tracer.child(root.id(), "collect");
+        let collect_span = self.tracer.child(root, "collect");
         for (pos, plan) in plans.iter().enumerate() {
             match &plan.class {
                 PageClass::Waiter { latch } => {
@@ -657,23 +875,15 @@ impl CacheManager {
         }
         collect_span.finish();
 
-        // Assemble. A single chunk is returned zero-copy; stitching several
-        // counts the copied bytes.
-        let _assemble_span = self.tracer.child(root.id(), "assemble");
-        let mut parts = Vec::with_capacity(chunks.len());
-        for chunk in chunks {
-            parts.push(chunk.expect("every classified page produced a chunk"));
-        }
-        if parts.len() == 1 {
-            return Ok(parts.pop().expect("one part"));
-        }
-        let total: usize = parts.iter().map(Bytes::len).sum();
-        self.metrics.counter("bytes_copied").add(total as u64);
-        let mut out = BytesMut::with_capacity(total);
-        for part in &parts {
-            out.extend_from_slice(part);
-        }
-        Ok(out.freeze())
+        let chunks = chunks
+            .into_iter()
+            .map(|c| c.expect("every classified page produced a chunk"))
+            .collect();
+        Ok(ServedPages {
+            chunks,
+            fetched,
+            fetches,
+        })
     }
 
     /// Stage 1 of [`Self::read`]: classifies every requested page under its
@@ -693,43 +903,7 @@ impl CacheManager {
         for idx in first..=last {
             let page_start = idx * ps;
             let id = PageId::new(file_id, idx);
-            let class = {
-                let _guard = self.stripe(id).lock();
-                if let Some(info) = self.index.get(&id) {
-                    // Record the access now, not at serve time: publishing
-                    // this read's own fetched pages (stage 3) must not pick
-                    // a page we are about to serve as an eviction victim.
-                    self.policies[info.dir].lock().on_access(id);
-                    PageClass::Hit
-                } else {
-                    self.metrics.counter("misses").inc();
-                    let mut inflight = self.inflight.lock();
-                    if let Some(latch) = inflight.get(&id) {
-                        // Join the in-flight fetch regardless of admission:
-                        // the owner is caching this page anyway.
-                        self.metrics.counter("fetch.inflight_waits").inc();
-                        PageClass::Waiter {
-                            latch: Arc::clone(latch),
-                        }
-                    } else {
-                        let mut admission_span = self.tracer.child(parent, "admission");
-                        let admitted = self.admission.admit(&file.path, &file.scope, now);
-                        admission_span.annotate("page", id);
-                        admission_span.annotate("admitted", admitted);
-                        admission_span.finish();
-                        if admitted {
-                            let latch = Arc::new(InflightFetch::default());
-                            inflight.insert(id, Arc::clone(&latch));
-                            PageClass::Owner { latch }
-                        } else {
-                            // Non-cache read path (Figure 3): read exactly
-                            // what was asked.
-                            self.metrics.counter("admission_rejected").inc();
-                            PageClass::Bypass
-                        }
-                    }
-                }
-            };
+            let class = self.classify_page(file, id, now, parent);
             plans.push(PagePlan {
                 id,
                 page_start,
@@ -744,32 +918,79 @@ impl CacheManager {
         plans
     }
 
+    /// Classifies one page under its stripe lock: the shared body of
+    /// [`Self::classify`] and the vectored classify of [`Self::read_multi`].
+    fn classify_page(&self, file: &SourceFile, id: PageId, now: u64, parent: SpanId) -> PageClass {
+        let _guard = self.stripe(id).lock();
+        if let Some(info) = self.index.get(&id) {
+            // Record the access now, not at serve time: publishing
+            // this read's own fetched pages (stage 3) must not pick
+            // a page we are about to serve as an eviction victim.
+            self.policies[info.dir].lock().on_access(id);
+            PageClass::Hit
+        } else {
+            self.metrics.counter("misses").inc();
+            let mut inflight = self.inflight.lock();
+            if let Some(latch) = inflight.get(&id) {
+                // Join the in-flight fetch regardless of admission:
+                // the owner is caching this page anyway.
+                self.metrics.counter("fetch.inflight_waits").inc();
+                PageClass::Waiter {
+                    latch: Arc::clone(latch),
+                }
+            } else {
+                let mut admission_span = self.tracer.child(parent, "admission");
+                let admitted = self.admission.admit(&file.path, &file.scope, now);
+                admission_span.annotate("page", id);
+                admission_span.annotate("admitted", admitted);
+                admission_span.finish();
+                if admitted {
+                    let latch = Arc::new(InflightFetch::default());
+                    inflight.insert(id, Arc::clone(&latch));
+                    PageClass::Owner { latch }
+                } else {
+                    // Non-cache read path (Figure 3): read exactly
+                    // what was asked.
+                    self.metrics.counter("admission_rejected").inc();
+                    PageClass::Bypass
+                }
+            }
+        }
+    }
+
     /// Stage 2 planning: assigns every owner and bypass page a remote
-    /// request slot. Runs of adjacent owned pages coalesce into one ranged
-    /// request each (when enabled); a bypass always gets its own
+    /// request slot. Runs of *file-adjacent* owned pages coalesce into one
+    /// ranged request each (when enabled); a bypass always gets its own
     /// exact-range slot. The page-vs-request delta of owner runs is the
     /// read amplification the §7 page-size trade-off discusses.
+    ///
+    /// Plans must be in ascending `page_start` order. A single [`Self::read`]
+    /// produces consecutive pages, so every owner follows on the previous
+    /// run's end; a [`Self::read_multi`] may carry gaps between fragments,
+    /// which close the open run — coalescing never bridges bytes nobody
+    /// asked for.
     fn plan_fetches(&self, plans: &mut [PagePlan]) -> Vec<(u64, u64)> {
         let coalesce = self.config.coalesce_fetches;
         let mut fetches: Vec<(u64, u64)> = Vec::new();
         let mut run_pages = 0u64;
+        // Absolute file offset where the open owner run ends.
+        let mut run_end = 0u64;
         for plan in plans.iter_mut() {
             match plan.class {
                 PageClass::Owner { .. } => {
-                    if coalesce && run_pages > 0 {
-                        // Pages are consecutive by construction, so the
-                        // previous owner slot is file-contiguous with this
-                        // page: extend its range.
+                    if coalesce && run_pages > 0 && plan.page_start == run_end {
                         let slot = fetches.len() - 1;
                         plan.slot = Some(slot);
                         plan.off_in_slot = fetches[slot].1;
                         fetches[slot].1 += plan.page_len;
                         run_pages += 1;
+                        run_end += plan.page_len;
                     } else {
                         self.close_run(&fetches, run_pages);
                         plan.slot = Some(fetches.len());
                         fetches.push((plan.page_start, plan.page_len));
                         run_pages = 1;
+                        run_end = plan.page_start + plan.page_len;
                     }
                 }
                 PageClass::Bypass => {
@@ -2204,6 +2425,282 @@ mod tests {
         }
     }
 
+    mod vectored {
+        use super::*;
+        use edgecache_metrics::{assert_conserved, ConservationLaw, SnapshotDiff};
+
+        /// The epoch conservation laws of a fresh cache (mirrors the
+        /// simtest oracle — duplicated here because simtest depends on
+        /// this crate).
+        pub(super) fn laws(clean: bool) -> Vec<ConservationLaw> {
+            let mut laws = vec![
+                ConservationLaw::at_most(
+                    "single-flight bounds remote requests",
+                    &["remote_requests"],
+                    &["misses", "fallbacks.timeout"],
+                ),
+                ConservationLaw::at_most("every put came from a miss", &["puts"], &["misses"]),
+                ConservationLaw::at_most(
+                    "assembled bytes are bounded by requested bytes",
+                    &["bytes_copied"],
+                    &["bytes_requested"],
+                ),
+                ConservationLaw::at_most("hits are classified reads", &["hits"], &["page_reads"]),
+            ];
+            if clean {
+                laws.push(ConservationLaw::equal(
+                    "page reads balance",
+                    &["hits", "misses", "fallbacks.timeout"],
+                    &["page_reads"],
+                ));
+            }
+            laws
+        }
+
+        fn conserved(cache: &CacheManager, clean: bool) {
+            let diff = SnapshotDiff::from_start(&cache.metrics().snapshot());
+            assert_conserved(&diff, &laws(clean)).unwrap();
+        }
+
+        #[test]
+        fn coalesces_across_fragment_boundaries() {
+            let cache = small_cache(100, 1 << 20);
+            let data = pattern(1000);
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let f = file("/f", 1000);
+
+            // Three fragments whose pages tile 0..=5 without a hole: one
+            // coalesced wire request despite the fragment gaps within pages.
+            let frags = [(0u64, 150u64), (250, 150), (450, 150)];
+            let got = cache.read_multi(&f, &frags, &remote).unwrap();
+            for (i, &(off, len)) in frags.iter().enumerate() {
+                assert_eq!(got[i].as_ref(), &data[off as usize..(off + len) as usize]);
+            }
+            assert_eq!(remote.read_count(), 1, "one request for the whole batch");
+            assert_eq!(
+                remote.reads.lock()[0],
+                ("/f".to_string(), 0, 600),
+                "pages 0..=5 fetched as one run"
+            );
+            assert_eq!(cache.metrics().counter("fetch.coalesced_pages").get(), 5);
+            conserved(&cache, true);
+        }
+
+        #[test]
+        fn gaps_between_fragments_split_runs() {
+            let cache = small_cache(100, 1 << 20);
+            let data = pattern(1000);
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let f = file("/f", 1000);
+
+            // Pages 0 and 3: the gap must not be fetched or bridged.
+            let got = cache
+                .read_multi(&f, &[(0, 100), (300, 100)], &remote)
+                .unwrap();
+            assert_eq!(got[0].as_ref(), &data[0..100]);
+            assert_eq!(got[1].as_ref(), &data[300..400]);
+            let offsets: Vec<(u64, u64)> = remote
+                .reads
+                .lock()
+                .iter()
+                .map(|(_, o, l)| (*o, *l))
+                .collect();
+            assert_eq!(offsets, vec![(0, 100), (300, 100)]);
+            assert_eq!(cache.metrics().counter("fetch.coalesced_pages").get(), 0);
+            conserved(&cache, true);
+        }
+
+        #[test]
+        fn overlapping_fragments_classify_each_page_once() {
+            let cache = small_cache(1000, 1 << 20);
+            let data = pattern(1000);
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let f = file("/f", 1000);
+
+            // All three fragments share page 0. The page must be classified
+            // once — a second classification would enqueue the batch as a
+            // waiter on its own latch and deadlock.
+            let frags = [(100u64, 200u64), (0, 200), (150, 50)];
+            let got = cache.read_multi(&f, &frags, &remote).unwrap();
+            for (i, &(off, len)) in frags.iter().enumerate() {
+                assert_eq!(got[i].as_ref(), &data[off as usize..(off + len) as usize]);
+            }
+            assert_eq!(remote.read_count(), 1);
+            assert_eq!(cache.stats().misses, 1);
+            assert_eq!(cache.metrics().counter("page_reads").get(), 1);
+            conserved(&cache, true);
+        }
+
+        #[test]
+        fn cold_fragments_in_one_run_are_zero_copy() {
+            let cache = small_cache(100, 1 << 20);
+            let data = pattern(1000);
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let f = file("/f", 1000);
+
+            // Cold: both fragments are slices of the single coalesced run.
+            let got = cache
+                .read_multi(&f, &[(0, 300), (300, 300)], &remote)
+                .unwrap();
+            assert_eq!(got[0].as_ref(), &data[0..300]);
+            assert_eq!(got[1].as_ref(), &data[300..600]);
+            assert_eq!(cache.metrics().counter("bytes_copied").get(), 0);
+
+            // Warm: each multi-page fragment stitches per-page store reads.
+            let got = cache
+                .read_multi(&f, &[(0, 300), (300, 300)], &remote)
+                .unwrap();
+            assert_eq!(got[0].as_ref(), &data[0..300]);
+            assert_eq!(got[1].as_ref(), &data[300..600]);
+            assert_eq!(cache.metrics().counter("bytes_copied").get(), 600);
+            conserved(&cache, true);
+        }
+
+        #[test]
+        fn mixed_hits_and_misses_serve_correct_bytes() {
+            let cache = small_cache(100, 1 << 20);
+            let data = pattern(1000);
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let f = file("/f", 1000);
+
+            // Warm pages 2 and 6, then batch-read fragments straddling them.
+            cache.read(&f, 200, 100, &remote).unwrap();
+            cache.read(&f, 600, 100, &remote).unwrap();
+            remote.reads.lock().clear();
+
+            let frags = [(150u64, 300u64), (550, 300)];
+            let got = cache.read_multi(&f, &frags, &remote).unwrap();
+            assert_eq!(got[0].as_ref(), &data[150..450]);
+            assert_eq!(got[1].as_ref(), &data[550..850]);
+            // Misses: pages 1, 3, 4 and 5, 7, 8 → runs [1], [3,4,5], [7,8].
+            let offsets: Vec<(u64, u64)> = remote
+                .reads
+                .lock()
+                .iter()
+                .map(|(_, o, l)| (*o, *l))
+                .collect();
+            assert_eq!(offsets, vec![(100, 100), (300, 300), (700, 200)]);
+            assert_eq!(cache.stats().hits, 2);
+            conserved(&cache, true);
+        }
+
+        #[test]
+        fn degenerate_and_eof_fragments_resolve_empty() {
+            let cache = small_cache(100, 1 << 20);
+            let data = pattern(250);
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let f = file("/f", 250);
+            let got = cache
+                .read_multi(&f, &[(0, 0), (240, 100), (500, 10), (100, 50)], &remote)
+                .unwrap();
+            assert!(got[0].is_empty());
+            assert_eq!(got[1].as_ref(), &data[240..250], "clamped at EOF");
+            assert!(got[2].is_empty(), "fragment past EOF");
+            assert_eq!(got[3].as_ref(), &data[100..150]);
+            assert!(cache.read_multi(&f, &[], &remote).unwrap().is_empty());
+            conserved(&cache, true);
+        }
+
+        /// A remote that fails every range at or beyond a cutoff offset.
+        pub(super) struct HalfBrokenRemote {
+            pub(super) inner: ScriptedRemote,
+            pub(super) fail_from: u64,
+        }
+
+        impl RemoteSource for HalfBrokenRemote {
+            fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+                if offset >= self.fail_from {
+                    return Err(Error::Other(format!("injected failure at {offset}")));
+                }
+                self.inner.read(path, offset, len)
+            }
+        }
+
+        #[test]
+        fn mid_batch_error_fails_whole_read_and_releases_latches() {
+            let cache = small_cache(100, 1 << 20);
+            let data = pattern(1000);
+            let remote = HalfBrokenRemote {
+                inner: ScriptedRemote::new().with_file("/f", data.clone()),
+                fail_from: 500,
+            };
+            let f = file("/f", 1000);
+
+            // Second run fails: the whole batch errors, but every owned
+            // latch must still be published or released.
+            let err = cache.read_multi(&f, &[(0, 100), (600, 100)], &remote);
+            assert!(err.is_err());
+            assert_eq!(cache.inflight_fetches(), 0, "no latch leaked");
+
+            // The failed epoch is lossy but still conserved.
+            conserved(&cache, false);
+
+            // The surviving run was published; a working remote completes
+            // the rest.
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let got = cache
+                .read_multi(&f, &[(0, 100), (600, 100)], &remote)
+                .unwrap();
+            assert_eq!(got[0].as_ref(), &data[0..100]);
+            assert_eq!(got[1].as_ref(), &data[600..700]);
+            assert_eq!(
+                remote.read_count(),
+                1,
+                "page 0 was cached before the failure"
+            );
+        }
+
+        #[test]
+        fn vectored_read_joins_inflight_singleflight() {
+            let cache = Arc::new(small_cache(1024, 1 << 20));
+            let data = pattern(2048);
+            let remote = Arc::new(GatedRemote::new(data.clone()));
+
+            // One plain reader owns the gated fetch of page 0...
+            let owner = {
+                let cache = Arc::clone(&cache);
+                let remote = Arc::clone(&remote);
+                std::thread::spawn(move || {
+                    cache
+                        .read(&file("/f", 2048), 0, 1024, remote.as_ref())
+                        .unwrap()
+                })
+            };
+            let waits = cache.metrics().counter("fetch.inflight_waits");
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while cache.inflight_fetches() == 0 && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+
+            // ...then a vectored reader needs pages 0 and 1: it must join
+            // the in-flight fetch for page 0 and own only page 1.
+            let vectored = {
+                let cache = Arc::clone(&cache);
+                let remote = Arc::clone(&remote);
+                std::thread::spawn(move || {
+                    cache
+                        .read_multi(
+                            &file("/f", 2048),
+                            &[(0, 1024), (1024, 1024)],
+                            remote.as_ref(),
+                        )
+                        .unwrap()
+                })
+            };
+            while waits.get() < 1 && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert_eq!(waits.get(), 1, "vectored reader joined the fetch");
+            remote.open_gate();
+
+            assert_eq!(owner.join().unwrap().as_ref(), &data[..1024]);
+            let got = vectored.join().unwrap();
+            assert_eq!(got[0].as_ref(), &data[..1024]);
+            assert_eq!(got[1].as_ref(), &data[1024..]);
+            assert_eq!(cache.inflight_fetches(), 0);
+        }
+    }
+
     mod equivalence {
         use super::*;
         use proptest::prelude::*;
@@ -2249,6 +2746,82 @@ mod tests {
                 }
                 parallel.index().check_consistency().unwrap();
                 sequential.index().check_consistency().unwrap();
+            }
+
+            /// One vectored `read_multi` over an arbitrary fragment list —
+            /// overlapping, adjacent, out-of-order, EOF-straddling — returns
+            /// byte-identical results to a sequential `read` loop, and both
+            /// caches satisfy the epoch conservation laws.
+            #[test]
+            fn read_multi_matches_sequential_read_loop(
+                page_size in 64u64..=512,
+                file_len in 1usize..6000,
+                frags in proptest::collection::vec((0u64..6000, 0u64..1500), 1..10),
+            ) {
+                let data = pattern(file_len);
+                let vectored = cache_with(page_size, true);
+                let sequential = cache_with(page_size, true);
+                let remote_v = ScriptedRemote::new().with_file("/f", data.clone());
+                let remote_s = ScriptedRemote::new().with_file("/f", data.clone());
+                let f = file("/f", file_len as u64);
+                let got_v = vectored.read_multi(&f, &frags, &remote_v).unwrap();
+                prop_assert_eq!(got_v.len(), frags.len());
+                for (i, &(offset, len)) in frags.iter().enumerate() {
+                    let got_s = sequential.read(&f, offset, len, &remote_s).unwrap();
+                    let start = (offset as usize).min(file_len);
+                    let end = (offset.saturating_add(len) as usize).min(file_len).max(start);
+                    prop_assert_eq!(got_v[i].as_ref(), &data[start..end], "fragment {}", i);
+                    prop_assert_eq!(got_v[i].as_ref(), got_s.as_ref(), "fragment {}", i);
+                }
+                // The vectored batch must never cost more wire requests than
+                // the sequential loop.
+                prop_assert!(remote_v.read_count() <= remote_s.read_count());
+                for cache in [&vectored, &sequential] {
+                    cache.index().check_consistency().unwrap();
+                    let diff = edgecache_metrics::SnapshotDiff::from_start(
+                        &cache.metrics().snapshot(),
+                    );
+                    edgecache_metrics::assert_conserved(&diff, &super::vectored::laws(true))
+                        .unwrap();
+                }
+            }
+
+            /// Mid-batch remote failures: whatever subset of ranges a remote
+            /// rejects, `read_multi` fails all-or-nothing, leaks no latch,
+            /// stays conserved, and a subsequent clean batch returns the
+            /// ground truth.
+            #[test]
+            fn read_multi_survives_mid_batch_remote_errors(
+                page_size in 64u64..=512,
+                file_len in 1usize..4000,
+                frags in proptest::collection::vec((0u64..4000, 1u64..1200), 1..8),
+                fail_from in 0u64..4000,
+            ) {
+                let data = pattern(file_len);
+                let cache = cache_with(page_size, true);
+                let broken = super::vectored::HalfBrokenRemote {
+                    inner: ScriptedRemote::new().with_file("/f", data.clone()),
+                    fail_from,
+                };
+                let f = file("/f", file_len as u64);
+                let first = cache.read_multi(&f, &frags, &broken);
+                prop_assert_eq!(cache.inflight_fetches(), 0, "no leaked latch");
+                cache.index().check_consistency().unwrap();
+                let diff = edgecache_metrics::SnapshotDiff::from_start(
+                    &cache.metrics().snapshot(),
+                );
+                edgecache_metrics::assert_conserved(
+                    &diff,
+                    &super::vectored::laws(first.is_ok()),
+                ).unwrap();
+
+                let clean = ScriptedRemote::new().with_file("/f", data.clone());
+                let got = cache.read_multi(&f, &frags, &clean).unwrap();
+                for (i, &(offset, len)) in frags.iter().enumerate() {
+                    let start = (offset as usize).min(file_len);
+                    let end = (offset.saturating_add(len) as usize).min(file_len).max(start);
+                    prop_assert_eq!(got[i].as_ref(), &data[start..end], "fragment {}", i);
+                }
             }
         }
     }
@@ -2347,6 +2920,88 @@ mod tests {
             // The coalesced miss fetched one 4 KiB range.
             let fetch = records.iter().find(|r| r.name == "fetch_range").unwrap();
             assert!(fetch.args.iter().any(|(k, v)| *k == "len" && v == "4096"));
+        }
+
+        /// Runs one cold + one warm vectored batch under a tracer.
+        fn traced_multi_run() -> (Vec<edgecache_metrics::SpanRecord>, String) {
+            let clock = Arc::new(SimClock::new());
+            let shared: SharedClock = Arc::new(SimClock::clone(&clock));
+            let tracer = Tracer::enabled(Arc::clone(&shared));
+            let cache =
+                CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(1024)))
+                    .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+                    .with_clock(shared)
+                    .with_tracer(tracer)
+                    .build()
+                    .unwrap();
+            let data = pattern(8192);
+            let remote = VirtualLatencyRemote {
+                inner: ScriptedRemote::new().with_file("/f", data.clone()),
+                clock,
+                latency: Duration::from_micros(250),
+            };
+            let f = file("/f", 8192);
+            // Fragments on pages {0,1} and {4,5}: two coalesced runs.
+            let frags = [(0u64, 2048u64), (4096, 2048)];
+            for _ in 0..2 {
+                let got = cache.read_multi(&f, &frags, &remote).unwrap();
+                assert_eq!(got[0], &data[..2048]);
+                assert_eq!(got[1], &data[4096..6144]);
+            }
+            let records = cache.tracer().take_records();
+            let json = chrome_trace_json(&records);
+            (records, json)
+        }
+
+        #[test]
+        fn vectored_stages_partition_root_latency() {
+            let (records, _) = traced_multi_run();
+            let roots: Vec<_> = records
+                .iter()
+                .filter(|r| r.parent == SpanId::NONE.raw())
+                .collect();
+            assert_eq!(roots.len(), 2, "one root span per read_multi call");
+            for root in &roots {
+                assert_eq!(root.name, "cache.read_multi");
+                let stage_sum: u64 = records
+                    .iter()
+                    .filter(|r| r.parent == root.id)
+                    .map(|r| r.duration().as_nanos() as u64)
+                    .sum();
+                let total = root.duration().as_nanos() as u64;
+                // Under SimClock time only advances inside stages, so the
+                // new vectored stages must still partition the root exactly.
+                assert_eq!(stage_sum, total, "stages partition {}", root.name);
+            }
+            let names: Vec<&str> = records.iter().map(|r| r.name).collect();
+            for stage in [
+                "cache.read_multi",
+                "plan_fragments",
+                "vectored_classify",
+                "plan_fetches",
+                "remote_fetch",
+                "fetch_range",
+                "publish",
+                "serve",
+                "ssd_read",
+                "collect",
+                "assemble",
+            ] {
+                assert!(names.contains(&stage), "missing span kind {stage}");
+            }
+            // The cold batch fetched two coalesced runs.
+            let cold_fetches = records
+                .iter()
+                .filter(|r| r.name == "fetch_range" && r.parent != SpanId::NONE.raw())
+                .count();
+            assert_eq!(cold_fetches, 2);
+        }
+
+        #[test]
+        fn vectored_trace_export_is_deterministic() {
+            let (_, first) = traced_multi_run();
+            let (_, second) = traced_multi_run();
+            assert_eq!(first, second);
         }
 
         #[test]

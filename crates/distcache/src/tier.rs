@@ -201,9 +201,14 @@ impl DistCacheTier {
         // All candidates occupied (or no worker online): origin fallback.
         self.metrics.counter("origin_fallbacks").inc();
         let bytes = self.origin.read(&file.path, offset, len)?;
-        // The fallback bypasses every cache-layer checksum, so the only
-        // guard against a truncated origin response is the registered file
-        // length: anything but an exact (EOF-clamped) range is an error.
+        Self::check_origin_len(file, offset, len, &bytes)?;
+        Ok(bytes)
+    }
+
+    /// The fallback bypasses every cache-layer checksum, so the only guard
+    /// against a truncated origin response is the registered file length:
+    /// anything but an exact (EOF-clamped) range is an error.
+    fn check_origin_len(file: &SourceFile, offset: u64, len: u64, bytes: &Bytes) -> Result<()> {
         let want = offset.saturating_add(len).min(file.length) - offset.min(file.length);
         if bytes.len() as u64 != want {
             return Err(Error::Decode(format!(
@@ -212,7 +217,56 @@ impl DistCacheTier {
                 file.path
             )));
         }
-        Ok(bytes)
+        Ok(())
+    }
+
+    /// Reads a whole fragment batch of `file` through the tier as ONE hop:
+    /// the batch is routed once, occupies one worker request slot, and the
+    /// serving worker classifies and fetches all fragments together via its
+    /// cache's vectored read path. If every candidate is occupied or
+    /// offline, the whole batch falls back to origin (one `read_ranges`
+    /// call, length-guarded per fragment).
+    pub fn read_multi(&self, file: &SourceFile, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>> {
+        if ranges.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.ring.sweep_expired();
+        let candidates = self.ring.candidates(&file.path, self.max_replicas);
+        for name in &candidates {
+            let worker = self.workers.get(name).expect("ring nodes are workers");
+            let Some(_guard) = worker.try_acquire() else {
+                self.metrics.counter("occupied_probes").inc();
+                continue;
+            };
+            self.metrics.counter("served_by_tier").inc();
+            let mut hop = self.tracer.span("distcache_hop");
+            if hop.is_recording() {
+                hop.annotate("worker", name);
+                hop.annotate("path", &file.path);
+                hop.annotate("fragments", ranges.len());
+                hop.annotate("len", ranges.iter().map(|&(_, l)| l).sum::<u64>());
+            }
+            let out = worker.serve_multi(file, ranges, self.origin.as_ref());
+            if let Err(e) = &out {
+                hop.annotate("status", e.kind());
+            }
+            hop.finish();
+            return out;
+        }
+        self.metrics.counter("origin_fallbacks").inc();
+        let chunks = self.origin.read_ranges(&file.path, ranges)?;
+        if chunks.len() != ranges.len() {
+            return Err(Error::Decode(format!(
+                "origin returned {} chunks for a {}-range batch of {}",
+                chunks.len(),
+                ranges.len(),
+                file.path
+            )));
+        }
+        for (&(offset, len), bytes) in ranges.iter().zip(&chunks) {
+            Self::check_origin_len(file, offset, len, bytes)?;
+        }
+        Ok(chunks)
     }
 }
 
@@ -235,18 +289,16 @@ impl RemoteSource for DistCacheTier {
         }
     }
 
-    /// Batched tier reads: the file is resolved once, then each range (one
-    /// coalesced run of the compute layer's missing pages) is one tier
-    /// request — routed, counted, and replica-bounded like any other.
+    /// Batched tier reads: the file is resolved once and the whole batch
+    /// (the compute layer's coalesced missing runs) travels as ONE tier hop
+    /// — one routing decision, one worker request slot, one vectored read
+    /// on the serving worker's cache.
     fn read_ranges(&self, path: &str, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>> {
         let known = self.known_files.read().get(path).copied();
         match known {
             Some((version, length)) => {
                 let file = SourceFile::new(path, version, length, CacheScope::Global);
-                ranges
-                    .iter()
-                    .map(|&(offset, len)| DistCacheTier::read(self, &file, offset, len))
-                    .collect()
+                DistCacheTier::read_multi(self, &file, ranges)
             }
             None => {
                 self.metrics.counter("unregistered_reads").inc();
@@ -433,6 +485,85 @@ mod tests {
         assert_eq!(*origin.reads.lock(), 1, "origin touched once");
         assert_eq!(compute.stats().hits, 1, "second read hit at compute layer");
         assert_eq!(tier.stats().served_by_tier, 1, "tier served only the miss");
+    }
+
+    #[test]
+    fn batched_reads_travel_as_one_hop() {
+        let (tier, origin, _) = tier(4, 64);
+        let f = file("/batch");
+        let ranges = [(0u64, 1000u64), (8192, 500), (100_000, 2000)];
+        let chunks = tier.read_multi(&f, &ranges).unwrap();
+        assert_eq!(chunks.len(), 3);
+        for (&(offset, len), chunk) in ranges.iter().zip(&chunks) {
+            let expect: Vec<u8> = (offset..offset + len).map(|i| (i % 253) as u8).collect();
+            assert_eq!(chunk.as_ref(), expect.as_slice());
+        }
+        assert_eq!(tier.stats().served_by_tier, 1, "one hop for the batch");
+        // Exactly one worker holds every fragment's pages.
+        let holders = tier
+            .worker_names()
+            .iter()
+            .filter(|w| !tier.worker(w).unwrap().cache().index().is_empty())
+            .count();
+        assert_eq!(holders, 1);
+        // A second identical batch is all hits on the same worker.
+        let again = tier.read_multi(&f, &ranges).unwrap();
+        assert_eq!(again, chunks);
+        let reads = *origin.reads.lock();
+        tier.read_multi(&f, &ranges).unwrap();
+        assert_eq!(*origin.reads.lock(), reads, "warm batch never hits origin");
+    }
+
+    #[test]
+    fn batched_origin_fallback_guards_every_fragment() {
+        let (tier, origin, _) = tier(2, 64);
+        for w in tier.worker_names() {
+            tier.worker_offline(&w);
+        }
+        let f = file("/fb");
+        let ranges = [(0u64, 100u64), (5000, 300)];
+        let chunks = tier.read_multi(&f, &ranges).unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[1].len(), 300);
+        assert_eq!(tier.stats().origin_fallbacks, 1, "one fallback per batch");
+        assert_eq!(*origin.reads.lock(), 2, "origin read per fragment");
+        // This origin never clamps at EOF, so the per-fragment length guard
+        // must reject a range extending past the registered length.
+        assert!(tier.read_multi(&f, &[(f.length - 10, 100)]).is_err());
+    }
+
+    #[test]
+    fn stacked_compute_misses_batch_through_the_tier() {
+        use edgecache_core::config::CacheConfig;
+        use edgecache_core::manager::CacheManager;
+        use edgecache_pagestore::MemoryPageStore;
+
+        let (tier, origin, _) = tier(3, 64);
+        tier.register_file("/wh/t/v", 1, 1 << 20);
+        // One fetch lane so the compute layer's missing runs leave as a
+        // single read_ranges call — the tier must serve it as one hop.
+        let compute = CacheManager::builder(
+            CacheConfig::default()
+                .with_page_size(ByteSize::kib(4))
+                .with_max_concurrent_fetches(1),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), ByteSize::mib(64).as_u64())
+        .build()
+        .unwrap();
+        let f = file("/wh/t/v");
+        // A vectored compute-layer read with two far-apart fragments: the
+        // misses reach the tier as one read_ranges batch → one hop.
+        let out = compute
+            .read_multi(&f, &[(0, 2048), (512 * 1024, 2048)], &tier)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(tier.stats().served_by_tier, 1, "batched hop");
+        assert!(*origin.reads.lock() >= 1);
+        let warm = compute
+            .read_multi(&f, &[(0, 2048), (512 * 1024, 2048)], &tier)
+            .unwrap();
+        assert_eq!(warm, out);
+        assert_eq!(tier.stats().served_by_tier, 1, "warm batch stays local");
     }
 
     #[test]

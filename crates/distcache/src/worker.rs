@@ -109,6 +109,18 @@ impl CacheWorker {
     ) -> Result<Bytes> {
         self.cache.read(file, offset, len, origin)
     }
+
+    /// Serves a whole fragment batch through this worker's local cache as
+    /// one vectored read: misses across all fragments classify, coalesce,
+    /// and fetch together.
+    pub(crate) fn serve_multi(
+        &self,
+        file: &SourceFile,
+        ranges: &[(u64, u64)],
+        origin: &dyn RemoteSource,
+    ) -> Result<Vec<Bytes>> {
+        self.cache.read_multi(file, ranges, origin)
+    }
 }
 
 #[cfg(test)]

@@ -7,9 +7,9 @@
 //! from device cost models: SSD time for cache hits, remote-network time for
 //! misses, and CPU time for decode, row filtering, and footer parsing.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -47,6 +47,17 @@ pub struct WorkerConfig {
     pub filter_nanos_per_row: u64,
     /// Simulated CPU cost of one hash-join probe.
     pub join_probe_nanos_per_row: u64,
+    /// Whether the scan plans each row group's projected chunks as one
+    /// vectored read (`CacheManager::read_multi`). `false` forces the
+    /// per-column sequential baseline the `scanpath` bench compares against.
+    pub vectored_scan: bool,
+    /// How many row groups ahead of the one being decoded the vectored scan
+    /// fetches (0 disables the prefetch pipeline). The window refills as one
+    /// vectored call, so its groups' requests stay in flight together and
+    /// amortize in a single modeled batch; the I/O overlaps the current row
+    /// group's decode CPU and only the uncovered remainder is charged, as
+    /// `io.prefetch`.
+    pub prefetch_depth: usize,
     /// Tracer shared by the worker's cache and its split execution; the
     /// engine also parents its per-query spans here. Disabled by default.
     pub tracer: Tracer,
@@ -64,6 +75,8 @@ impl Default for WorkerConfig {
             decode_nanos_per_byte: 25,
             filter_nanos_per_row: 50,
             join_probe_nanos_per_row: 100,
+            vectored_scan: true,
+            prefetch_depth: 1,
             tracer: Tracer::disabled(),
         }
     }
@@ -112,16 +125,71 @@ impl SplitOutput {
     }
 }
 
+/// The I/O a single read call put on each device: SSD requests/bytes for
+/// cache hits, remote requests/bytes for misses.
+#[derive(Debug, Default, Clone, Copy)]
+struct IoDelta {
+    ssd_requests: u64,
+    ssd_bytes: u64,
+    remote_requests: u64,
+    remote_bytes: u64,
+}
+
+/// Per-call I/O accounting shared between a scan-path reader (which appends
+/// one [`IoDelta`] per read it issues) and the scan loop (which turns each
+/// call into modeled device time — per call, because separate sequential
+/// calls cannot pipeline against each other).
+#[derive(Debug, Default)]
+struct IoLog {
+    entries: Mutex<Vec<IoDelta>>,
+}
+
+impl IoLog {
+    fn push(&self, delta: IoDelta) {
+        self.entries.lock().unwrap().push(delta);
+    }
+
+    /// Index marking "everything logged so far".
+    fn mark(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// The entries appended since `mark`.
+    fn since(&self, mark: usize) -> Vec<IoDelta> {
+        self.entries.lock().unwrap()[mark..].to_vec()
+    }
+}
+
 /// A range reader that serves through the worker's local cache.
 struct CachedRangeReader<'a> {
     cache: &'a CacheManager,
     file: &'a SourceFile,
     remote: &'a dyn RemoteSource,
+    log: Arc<IoLog>,
+}
+
+impl CachedRangeReader<'_> {
+    fn log_call<T>(&self, read: impl FnOnce() -> Result<T>) -> Result<T> {
+        let before = CacheCounters::snapshot(self.cache.metrics());
+        let out = read()?;
+        let d = CacheCounters::snapshot(self.cache.metrics()).minus(&before);
+        self.log.push(IoDelta {
+            ssd_requests: d.hits,
+            ssd_bytes: d.bytes_from_cache,
+            remote_requests: d.remote_requests,
+            remote_bytes: d.bytes_from_remote,
+        });
+        Ok(out)
+    }
 }
 
 impl RangeReader for CachedRangeReader<'_> {
     fn read(&self, offset: u64, len: u64) -> Result<Bytes> {
-        self.cache.read(self.file, offset, len, self.remote)
+        self.log_call(|| self.cache.read(self.file, offset, len, self.remote))
+    }
+
+    fn read_vectored(&self, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>> {
+        self.log_call(|| self.cache.read_multi(self.file, ranges, self.remote))
     }
 
     fn len(&self) -> u64 {
@@ -130,13 +198,16 @@ impl RangeReader for CachedRangeReader<'_> {
 }
 
 /// A range reader that bypasses the cache (the scheduler's fallback path),
-/// with its own request accounting.
+/// with its own request accounting. Its `read_vectored` still batches: the
+/// row-group plan goes out as one ranged remote request batch, so the
+/// requests amortize within a single logged call.
 struct BypassRangeReader<'a> {
     remote: &'a dyn RemoteSource,
     path: &'a str,
     length: u64,
     requests: AtomicU64,
     bytes: AtomicU64,
+    log: Arc<IoLog>,
 }
 
 impl RangeReader for BypassRangeReader<'_> {
@@ -144,6 +215,28 @@ impl RangeReader for BypassRangeReader<'_> {
         let out = self.remote.read(self.path, offset, len)?;
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.log.push(IoDelta {
+            remote_requests: 1,
+            remote_bytes: out.len() as u64,
+            ..IoDelta::default()
+        });
+        Ok(out)
+    }
+
+    fn read_vectored(&self, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>> {
+        // A scan that bypasses the cache still issues its row-group plan as
+        // one ranged remote request batch — the requests amortize within
+        // the single logged call exactly like the cached path's coalesced
+        // fetch batches do.
+        let out = self.remote.read_ranges(self.path, ranges)?;
+        let total: u64 = out.iter().map(|b| b.len() as u64).sum();
+        self.requests.fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.bytes.fetch_add(total, Ordering::Relaxed);
+        self.log.push(IoDelta {
+            remote_requests: out.len() as u64,
+            remote_bytes: total,
+            ..IoDelta::default()
+        });
         Ok(out)
     }
 
@@ -254,45 +347,34 @@ impl Worker {
         let out = match (use_cache, self.cache.as_ref()) {
             (true, Some(cache)) => {
                 let before = CacheCounters::snapshot(cache.metrics());
+                let log = Arc::new(IoLog::default());
                 let reader = CachedRangeReader {
                     cache,
                     file: &source_file,
                     remote,
+                    log: Arc::clone(&log),
                 };
-                let mut out = self.scan(reader, file, plan, joins)?;
+                let mut out = self.scan(reader, &log, file, plan, joins, parent)?;
                 let delta = CacheCounters::snapshot(cache.metrics()).minus(&before);
                 out.bytes_from_cache = delta.bytes_from_cache;
                 out.bytes_from_remote = delta.bytes_from_remote;
                 out.cache_hits = delta.hits;
                 out.cache_misses = delta.misses;
-                let ssd_time = self
-                    .config
-                    .ssd
-                    .batch_read_time(delta.hits, delta.bytes_from_cache);
-                let remote_time = self
-                    .config
-                    .remote
-                    .batch_read_time(delta.remote_requests, delta.bytes_from_remote);
-                out.io_time = ssd_time + remote_time;
-                out.charge_stage("io.cache_read", ssd_time);
-                out.charge_stage("io.remote_read", remote_time);
                 out
             }
             _ => {
+                let log = Arc::new(IoLog::default());
                 let reader = BypassRangeReader {
                     remote,
                     path: &file.path,
                     length: file.length,
                     requests: AtomicU64::new(0),
                     bytes: AtomicU64::new(0),
+                    log: Arc::clone(&log),
                 };
-                let mut out = self.scan(&reader, file, plan, joins)?;
-                let requests = reader.requests.load(Ordering::Relaxed);
-                let bytes = reader.bytes.load(Ordering::Relaxed);
-                out.bytes_from_remote = bytes;
-                out.cache_misses = requests;
-                out.io_time = self.config.remote.batch_read_time(requests, bytes);
-                out.charge_stage("io.remote_read", out.io_time);
+                let mut out = self.scan(&reader, &log, file, plan, joins, parent)?;
+                out.bytes_from_remote = reader.bytes.load(Ordering::Relaxed);
+                out.cache_misses = reader.requests.load(Ordering::Relaxed);
                 out
             }
         };
@@ -336,14 +418,34 @@ impl Worker {
         }
     }
 
+    /// Modeled device time one logged read call cost: `(ssd, remote)`.
+    fn modeled_io(&self, d: &IoDelta) -> (Duration, Duration) {
+        (
+            self.config.ssd.batch_read_time(d.ssd_requests, d.ssd_bytes),
+            self.config
+                .remote
+                .batch_read_time(d.remote_requests, d.remote_bytes),
+        )
+    }
+
     /// The ScanFilterProject + join-probe + partial-agg pipeline over one
     /// file.
+    ///
+    /// `log` is the per-call I/O ledger the reader appends to; each call is
+    /// modeled independently (sequential calls cannot pipeline against each
+    /// other, while requests *within* one call already amortize inside
+    /// `DeviceModel::batch_read_time`). On the vectored path the scan keeps
+    /// a row-group pipeline: the lookahead window's fetches are issued
+    /// before the current group decodes, and only the part of their modeled
+    /// time not hidden behind that decode is charged, as `io.prefetch`.
     fn scan<R: RangeReader>(
         &self,
         reader: R,
+        log: &IoLog,
         file: &DataFile,
         plan: &QueryPlan,
         joins: &[PreparedJoin],
+        parent: SpanId,
     ) -> Result<SplitOutput> {
         let mut cpu = Duration::ZERO;
         let mut out = SplitOutput::default();
@@ -364,6 +466,16 @@ impl Worker {
             r
         };
 
+        // Footer/tail reads issued while opening are demand I/O.
+        let mut demand_ssd = Duration::ZERO;
+        let mut demand_remote = Duration::ZERO;
+        let mut prefetch_io = Duration::ZERO;
+        for d in log.since(0) {
+            let (s, r) = self.modeled_io(&d);
+            demand_ssd += s;
+            demand_remote += r;
+        }
+
         let needed = plan.required_columns();
         let mut column_indexes = Vec::with_capacity(needed.len());
         for name in &needed {
@@ -372,6 +484,7 @@ impl Worker {
             })?;
             column_indexes.push((name.clone(), idx));
         }
+        let proj: Vec<usize> = column_indexes.iter().map(|&(_, idx)| idx).collect();
 
         let mut partial = if plan.aggregates.is_empty() {
             None
@@ -379,17 +492,129 @@ impl Worker {
             Some(PartialAgg::new(&plan.aggregates))
         };
 
-        for rg in colf.prune(plan.predicate.as_ref()) {
-            let mut columns: Vec<(String, ColumnData)> = Vec::with_capacity(column_indexes.len());
-            let mut decoded_bytes = 0u64;
-            for (name, idx) in &column_indexes {
-                let chunk_len = colf.metadata().row_groups[rg].chunks[*idx].len;
-                decoded_bytes += chunk_len;
-                columns.push((name.clone(), colf.read_column(rg, *idx)?));
-            }
+        let pruned = colf.prune(plan.predicate.as_ref());
+        let depth = if self.config.vectored_scan {
+            self.config.prefetch_depth
+        } else {
+            0
+        };
+        let tracer = &self.config.tracer;
+        // Row groups fetched ahead of the decode position, oldest first.
+        let mut staged: VecDeque<Vec<Bytes>> = VecDeque::new();
+        let mut next_fetch = 0usize;
+
+        for (pos, &rg) in pruned.iter().enumerate() {
             let rows = colf.metadata().row_groups[rg].rows as usize;
-            out.rows_scanned += rows as u64;
+            let decoded_bytes: u64 = proj
+                .iter()
+                .map(|&idx| colf.metadata().row_groups[rg].chunks[idx].len)
+                .sum();
             let decode = Duration::from_nanos(decoded_bytes * self.config.decode_nanos_per_byte);
+
+            let decoded: Vec<ColumnData> = if self.config.vectored_scan {
+                // Demand-fetch unless the pipeline staged this row group.
+                // The cold start primes the whole lookahead window in ONE
+                // vectored call — this group plus the next `depth` — the way
+                // an async reader fills its pipeline with the first request
+                // batch rather than paying a round trip before lookahead
+                // starts.
+                if staged.is_empty() {
+                    let last = (pos + depth).min(pruned.len() - 1);
+                    let mut window: Vec<(u64, u64)> = Vec::new();
+                    let mut arity: Vec<usize> = Vec::new();
+                    for &g in &pruned[pos..=last] {
+                        let ranges = colf.chunk_ranges(g, &proj)?;
+                        arity.push(ranges.len());
+                        window.extend(ranges);
+                    }
+                    let mark = log.mark();
+                    let mut parts = colf.reader().read_vectored(&window)?.into_iter();
+                    for n in arity {
+                        staged.push_back(parts.by_ref().take(n).collect());
+                    }
+                    for d in log.since(mark) {
+                        let (s, r) = self.modeled_io(&d);
+                        demand_ssd += s;
+                        demand_remote += r;
+                    }
+                    next_fetch = last + 1;
+                }
+                let raws = staged.pop_front().expect("staged above");
+
+                // Refill the lookahead window once it has drained to half
+                // depth. The whole refill is issued as ONE vectored call —
+                // the pipeline keeps `depth` row groups' requests in flight
+                // together, so they amortize inside a single modeled batch
+                // (exactly how a reader with `depth` outstanding ranged GETs
+                // behaves) instead of paying one round trip per group. The
+                // I/O overlaps this row group's decode below.
+                let issue_start = tracer.now_nanos();
+                let mut pf_time = Duration::ZERO;
+                let mut pf_fragments = 0usize;
+                if staged.len() * 2 <= depth {
+                    let mut window: Vec<(u64, u64)> = Vec::new();
+                    let mut arity: Vec<usize> = Vec::new();
+                    while next_fetch < pruned.len() && next_fetch <= pos + depth {
+                        let ranges = colf.chunk_ranges(pruned[next_fetch], &proj)?;
+                        arity.push(ranges.len());
+                        window.extend(ranges);
+                        next_fetch += 1;
+                    }
+                    if !window.is_empty() {
+                        pf_fragments = window.len();
+                        let mark = log.mark();
+                        let mut parts = colf.reader().read_vectored(&window)?.into_iter();
+                        for n in arity {
+                            staged.push_back(parts.by_ref().take(n).collect());
+                        }
+                        for d in log.since(mark) {
+                            let (s, r) = self.modeled_io(&d);
+                            pf_time += s + r;
+                        }
+                    }
+                }
+                if pf_fragments > 0 {
+                    if let (Some(t0), Some(t1)) = (issue_start, tracer.now_nanos()) {
+                        tracer.record_interval(
+                            parent,
+                            "prefetch_issue",
+                            t0,
+                            t1,
+                            vec![
+                                ("row_group", pruned[next_fetch - 1].to_string()),
+                                ("fragments", pf_fragments.to_string()),
+                            ],
+                        );
+                    }
+                }
+                // Only the prefetch time the decode can't hide is charged.
+                let residual = pf_time.saturating_sub(decode);
+                if residual > Duration::ZERO {
+                    out.charge_stage("io.prefetch", residual);
+                    prefetch_io += residual;
+                }
+
+                colf.decode_chunks(rg, &proj, raws)?
+            } else {
+                // Sequential per-column baseline: one demand read per chunk.
+                let mut cols = Vec::with_capacity(proj.len());
+                for &idx in &proj {
+                    let mark = log.mark();
+                    cols.push(colf.read_column(rg, idx)?);
+                    for d in log.since(mark) {
+                        let (s, r) = self.modeled_io(&d);
+                        demand_ssd += s;
+                        demand_remote += r;
+                    }
+                }
+                cols
+            };
+            let columns: Vec<(String, ColumnData)> = column_indexes
+                .iter()
+                .map(|(name, _)| name.clone())
+                .zip(decoded)
+                .collect();
+            out.rows_scanned += rows as u64;
             cpu += decode;
             out.charge_stage("cpu.decode", decode);
 
@@ -500,6 +725,9 @@ impl Worker {
                 }
             }
         }
+        out.charge_stage("io.cache_read", demand_ssd);
+        out.charge_stage("io.remote_read", demand_remote);
+        out.io_time = demand_ssd + demand_remote + prefetch_io;
         out.partial = partial;
         out.cpu_time = cpu;
         Ok(out)
@@ -989,6 +1217,234 @@ mod tests {
         assert_eq!(row[2], Value::Int64(1));
         assert_eq!(row[3], Value::Int64(6));
         assert_eq!(row[4], Value::Float64(3.5));
+    }
+
+    /// A remote that charges virtual latency per request, so modeled spans
+    /// get real (virtual) extents.
+    struct SlowRemote {
+        inner: MapRemote,
+        clock: Arc<SimClock>,
+        latency: Duration,
+    }
+
+    impl RemoteSource for SlowRemote {
+        fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+            self.clock.advance(self.latency);
+            self.inner.read(path, offset, len)
+        }
+    }
+
+    fn worker_with(config: WorkerConfig) -> Worker {
+        Worker::new("w0", config, Arc::new(SimClock::new())).unwrap()
+    }
+
+    fn agg_plan() -> QueryPlan {
+        QueryPlan::scan("s", "t", &[])
+            .aggregate(vec![
+                AggExpr::count(),
+                AggExpr::sum("amount"),
+                AggExpr::min("id"),
+            ])
+            .group("region")
+    }
+
+    #[test]
+    fn vectored_scan_matches_sequential_baseline() {
+        let (remote, file) = sample_remote();
+        let scope = CacheScope::table("s", "t");
+        let vectored = worker_with(WorkerConfig {
+            page_size: ByteSize::kib(1),
+            ..Default::default()
+        });
+        let sequential = worker_with(WorkerConfig {
+            page_size: ByteSize::kib(1),
+            vectored_scan: false,
+            ..Default::default()
+        });
+        let plan = agg_plan();
+        let a = vectored
+            .execute_split(&file, &scope, &plan, &[], &remote, true)
+            .unwrap();
+        let b = sequential
+            .execute_split(&file, &scope, &plan, &[], &remote, true)
+            .unwrap();
+        assert_eq!(
+            a.partial.as_ref().unwrap().finalize(),
+            b.partial.as_ref().unwrap().finalize()
+        );
+        assert_eq!(a.rows_scanned, b.rows_scanned);
+        assert_eq!(a.bytes_from_remote, b.bytes_from_remote);
+        assert!(
+            a.io_time < b.io_time,
+            "vectored cold scan must beat per-column sequential ({:?} vs {:?})",
+            a.io_time,
+            b.io_time
+        );
+    }
+
+    #[test]
+    fn prefetch_pipeline_hides_io_behind_decode() {
+        let (remote, file) = sample_remote();
+        let scope = CacheScope::table("s", "t");
+        let plan = agg_plan();
+        let no_prefetch = worker_with(WorkerConfig {
+            page_size: ByteSize::kib(1),
+            prefetch_depth: 0,
+            ..Default::default()
+        });
+        let pipelined = worker_with(WorkerConfig {
+            page_size: ByteSize::kib(1),
+            prefetch_depth: 1,
+            ..Default::default()
+        });
+        let flat = no_prefetch
+            .execute_split(&file, &scope, &plan, &[], &remote, true)
+            .unwrap();
+        let deep = pipelined
+            .execute_split(&file, &scope, &plan, &[], &remote, true)
+            .unwrap();
+        assert_eq!(
+            flat.partial.as_ref().unwrap().finalize(),
+            deep.partial.as_ref().unwrap().finalize()
+        );
+        assert!(
+            deep.io_time < flat.io_time,
+            "prefetch overlap must shrink modeled I/O ({:?} vs {:?})",
+            deep.io_time,
+            flat.io_time
+        );
+        assert!(deep.stage_breakdown.contains_key("io.prefetch"));
+        assert!(!flat.stage_breakdown.contains_key("io.prefetch"));
+    }
+
+    #[test]
+    fn split_stage_spans_partition_the_split_exactly() {
+        let (remote, file) = sample_remote();
+        let clock = Arc::new(SimClock::new());
+        let tracer = Tracer::enabled(clock.clone());
+        let w = Worker::new(
+            "w0",
+            WorkerConfig {
+                page_size: ByteSize::kib(1),
+                tracer: tracer.clone(),
+                ..Default::default()
+            },
+            clock,
+        )
+        .unwrap();
+        let plan = agg_plan();
+        w.execute_split_traced(
+            &file,
+            &CacheScope::table("s", "t"),
+            &plan,
+            &[],
+            &remote,
+            true,
+            SpanId::NONE,
+        )
+        .unwrap();
+        let records = tracer.records();
+        let split = records
+            .iter()
+            .find(|r| r.name == "olap.split")
+            .expect("olap.split span");
+        let children: Vec<_> = records.iter().filter(|r| r.parent == split.id).collect();
+        let names: Vec<_> = children.iter().map(|r| r.name).collect();
+        assert!(names.contains(&"io.prefetch"), "stages: {names:?}");
+        assert!(names.contains(&"io.remote_read"), "stages: {names:?}");
+        assert!(names.contains(&"cpu.decode"), "stages: {names:?}");
+        let stage_sum: u64 = children.iter().map(|r| r.end_nanos - r.start_nanos).sum();
+        assert_eq!(
+            stage_sum,
+            split.end_nanos - split.start_nanos,
+            "split children must partition the split span exactly"
+        );
+    }
+
+    #[test]
+    fn prefetch_issue_spans_cover_their_vectored_reads_exactly() {
+        // A file large enough that mid-file row groups sit outside both the
+        // cold-start window's page-aligned fetch and the 64 KiB tail
+        // over-read done at open — so refill prefetches actually miss.
+        let schema = Schema::new(vec![
+            ("id", ColumnType::Int64),
+            ("region", ColumnType::Utf8),
+            ("amount", ColumnType::Float64),
+        ]);
+        let mut wtr = ColfWriter::new(schema, 3_000);
+        for i in 0..12_000i64 {
+            wtr.push_row(vec![
+                Value::Int64(i),
+                Value::Utf8(format!("r{}", i % 4)),
+                Value::Float64(i as f64),
+            ])
+            .unwrap();
+        }
+        let bytes = wtr.finish().unwrap();
+        let file = DataFile {
+            path: "/t/big".into(),
+            version: 1,
+            length: bytes.len() as u64,
+        };
+        let inner = MapRemote {
+            files: PlMutex::new(HashMap::from([(file.path.clone(), bytes)])),
+        };
+        let clock = Arc::new(SimClock::new());
+        let remote = SlowRemote {
+            inner,
+            clock: clock.clone(),
+            latency: Duration::from_micros(750),
+        };
+        let tracer = Tracer::enabled(clock.clone());
+        let w = Worker::new(
+            "w0",
+            WorkerConfig {
+                page_size: ByteSize::kib(4),
+                tracer: tracer.clone(),
+                ..Default::default()
+            },
+            clock,
+        )
+        .unwrap();
+        let plan = agg_plan();
+        w.execute_split(
+            &file,
+            &CacheScope::table("s", "t"),
+            &plan,
+            &[],
+            &remote,
+            true,
+        )
+        .unwrap();
+        let records = tracer.records();
+        let issues: Vec<_> = records
+            .iter()
+            .filter(|r| r.name == "prefetch_issue")
+            .collect();
+        // 4 row groups, depth 1: the cold start primes groups 0..=1 in one
+        // demand call, so groups 2 and 3 ride the pipeline.
+        assert_eq!(issues.len(), 2);
+        assert!(
+            issues.iter().any(|i| i.end_nanos > i.start_nanos),
+            "at least one prefetch must advance virtual time (cold misses)"
+        );
+        for issue in issues {
+            let covered: u64 = records
+                .iter()
+                .filter(|r| {
+                    r.name == "cache.read_multi"
+                        && r.parent == 0
+                        && r.start_nanos >= issue.start_nanos
+                        && r.end_nanos <= issue.end_nanos
+                })
+                .map(|r| r.end_nanos - r.start_nanos)
+                .sum();
+            assert_eq!(
+                covered,
+                issue.end_nanos - issue.start_nanos,
+                "prefetch_issue must span exactly the vectored reads it issued"
+            );
+        }
     }
 
     #[test]

@@ -356,6 +356,47 @@ fn run_direct(sc: &Scenario) -> RunReport {
                     }
                 }
             }
+            Op::ReadMulti { file, ranges } => {
+                let sf = source_file(sc, *file);
+                match stack.cache.read_multi(&sf, ranges, remote.as_ref()) {
+                    Ok(parts) => {
+                        if parts.len() != ranges.len() {
+                            violations.push(Violation {
+                                op: Some(i),
+                                kind: "arity-mismatch",
+                                detail: format!(
+                                    "read_multi returned {} fragments for {} ranges",
+                                    parts.len(),
+                                    ranges.len()
+                                ),
+                            });
+                        }
+                        let mut total = 0usize;
+                        let mut fnv = 0xcbf2_9ce4_8422_2325u64;
+                        for (frag, &(offset, len)) in parts.iter().zip(ranges.iter()) {
+                            let expected = remote.expected(*file, offset, len);
+                            if let Some(v) = check_read(i, frag, &expected) {
+                                violations.push(v);
+                            }
+                            total += frag.len();
+                            fnv = edgecache_common::hash::combine(fnv, fnv1a64(frag));
+                        }
+                        format!("ok frags={} len={total} fnv={fnv:016x}", parts.len())
+                    }
+                    Err(e) => {
+                        epoch_clean = false;
+                        let crashed = crash_plan.fired() > fired_before;
+                        if !remote.faults_active() && !crashed {
+                            violations.push(Violation {
+                                op: Some(i),
+                                kind: "unexpected-error",
+                                detail: format!("read_multi failed with no fault window open: {e}"),
+                            });
+                        }
+                        format!("err {}", e.kind())
+                    }
+                }
+            }
             Op::DeleteFile { file } => {
                 let n = stack.cache.delete_file(source_file(sc, *file).file_id());
                 format!("deleted {n}")
@@ -564,6 +605,49 @@ fn run_tier(sc: &Scenario) -> RunReport {
                     }
                 }
             }
+            Op::ReadMulti { file, ranges } => {
+                let sf =
+                    SourceFile::new(Scenario::path_of(*file), 1, sc.file_len, CacheScope::Global);
+                // One batch is one tier read: it is served by exactly one
+                // worker hop or one origin fallback, whatever its arity.
+                tier_reads += 1;
+                match tier.read_multi(&sf, ranges) {
+                    Ok(parts) => {
+                        if parts.len() != ranges.len() {
+                            violations.push(Violation {
+                                op: Some(i),
+                                kind: "arity-mismatch",
+                                detail: format!(
+                                    "tier read_multi returned {} fragments for {} ranges",
+                                    parts.len(),
+                                    ranges.len()
+                                ),
+                            });
+                        }
+                        let mut total = 0usize;
+                        let mut fnv = 0xcbf2_9ce4_8422_2325u64;
+                        for (frag, &(offset, len)) in parts.iter().zip(ranges.iter()) {
+                            let expected = remote.expected(*file, offset, len);
+                            if let Some(v) = check_read(i, frag, &expected) {
+                                violations.push(v);
+                            }
+                            total += frag.len();
+                            fnv = edgecache_common::hash::combine(fnv, fnv1a64(frag));
+                        }
+                        format!("ok frags={} len={total} fnv={fnv:016x}", parts.len())
+                    }
+                    Err(e) => {
+                        if !remote.faults_active() {
+                            violations.push(Violation {
+                                op: Some(i),
+                                kind: "unexpected-error",
+                                detail: format!("tier read_multi failed with no fault window: {e}"),
+                            });
+                        }
+                        format!("err {}", e.kind())
+                    }
+                }
+            }
             Op::AdvanceClock { millis } => {
                 sim.advance(Duration::from_millis(*millis));
                 format!("t={}ms", sim.now_millis())
@@ -687,6 +771,10 @@ mod tests {
         assert!(report.ok(), "violations: {:?}", report.violations);
         let names: Vec<&str> = report.span_records.iter().map(|r| r.name).collect();
         assert!(names.contains(&"cache.read"), "roots missing: {names:?}");
+        assert!(
+            names.contains(&"cache.read_multi"),
+            "vectored roots missing: {names:?}"
+        );
         assert!(names.contains(&"remote_fetch"), "stages missing: {names:?}");
         // Stage durations of each root must sum exactly to the root's
         // latency: the sim clock only moves when a stage charges it, so the
@@ -702,7 +790,7 @@ mod tests {
         for root in report
             .span_records
             .iter()
-            .filter(|r| r.parent == 0 && r.name == "cache.read")
+            .filter(|r| r.parent == 0 && (r.name == "cache.read" || r.name == "cache.read_multi"))
         {
             let total = root.end_nanos - root.start_nanos;
             assert_eq!(

@@ -59,6 +59,11 @@ pub enum Topology {
 pub enum Op {
     /// Read `len` bytes at `offset` of file `file` through the cache.
     Read { file: u32, offset: u64, len: u64 },
+    /// Read several `(offset, len)` fragments of file `file` as one
+    /// vectored cache call: misses across all fragments classify,
+    /// coalesce, and fetch together. Fragments may overlap or repeat —
+    /// the vectored path must serve each one independently.
+    ReadMulti { file: u32, ranges: Vec<(u64, u64)> },
     /// Drop every cached page of file `file` (coordinated invalidation).
     DeleteFile { file: u32 },
     /// Advance the simulated clock (lets TTLs expire, stalls pass).
@@ -216,11 +221,23 @@ impl Scenario {
         let mut ops = Vec::with_capacity(op_count);
         for _ in 0..op_count {
             let roll: f64 = rng.random();
-            let op = if roll < 0.80 {
+            let op = if roll < 0.62 {
                 let file = zipf.sample() as u32;
                 let len = frag.sample().clamp(1, file_len);
                 let offset = rng.random_range(0..file_len);
                 Op::Read { file, offset, len }
+            } else if roll < 0.80 {
+                // The vectored scan-path shape: a batch of fragments of one
+                // popular file read as a single `read_multi` call.
+                let file = zipf.sample() as u32;
+                let count = rng.random_range(2usize..=6);
+                let ranges = (0..count)
+                    .map(|_| {
+                        let len = frag.sample().clamp(1, file_len);
+                        (rng.random_range(0..file_len), len)
+                    })
+                    .collect();
+                Op::ReadMulti { file, ranges }
             } else if roll < 0.84 {
                 Op::DeleteFile {
                     file: rng.random_range(0..files),
@@ -361,6 +378,26 @@ mod tests {
             }
         }
         assert!(memory > 0 && local > 0 && tier > 0);
+    }
+
+    #[test]
+    fn vectored_reads_ride_the_op_stream() {
+        let mut batches = 0usize;
+        for seed in 0..8 {
+            let s = Scenario::generate(seed, Profile::Smoke);
+            for op in &s.ops {
+                if let Op::ReadMulti { file, ranges } = op {
+                    batches += 1;
+                    assert!(*file < s.files);
+                    assert!((2..=6).contains(&ranges.len()), "{ranges:?}");
+                    for &(offset, len) in ranges {
+                        assert!(offset < s.file_len);
+                        assert!(len >= 1);
+                    }
+                }
+            }
+        }
+        assert!(batches > 0, "the generator must emit vectored batches");
     }
 
     #[test]
