@@ -19,9 +19,12 @@
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 use edgecache_common::error::{Error, Result};
 use edgecache_common::ByteSize;
+use edgecache_core::config::CacheConfig;
+use edgecache_core::manager::CacheManager;
 use edgecache_metrics::trace::summarize_chrome_trace;
 use edgecache_metrics::StageSummary;
 use edgecache_pagestore::{FileId, LocalPageStore, LocalStoreConfig, PageStore};
@@ -126,6 +129,12 @@ pub fn top(dir: &Path, n: usize) -> Result<Vec<(FileId, usize, u64)>> {
 
 /// Deletes cached pages: all of them, or only one file's (by hex file id).
 /// Returns the number of pages removed.
+///
+/// The purge runs through a recovered [`CacheManager`] rather than raw store
+/// deletes, so every removal flows through the index and the scope lifecycle
+/// ledger — the same exit path online evictions take. An offline purge thus
+/// keeps the same accounting discipline (and metrics) as the live system,
+/// and cannot diverge from it as the eviction path evolves.
 pub fn purge(dir: &Path, file: Option<&str>) -> Result<usize> {
     let store = open(dir)?;
     let filter = match file {
@@ -134,13 +143,16 @@ pub fn purge(dir: &Path, file: Option<&str>) -> Result<usize> {
         })?),
         None => None,
     };
-    let mut removed = 0;
-    for (id, _) in store.recover()? {
-        if filter.is_none_or(|f| f == id.file) && store.delete(id)? {
-            removed += 1;
-        }
-    }
-    Ok(removed)
+    let page_size = store.page_size();
+    let cache =
+        CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(page_size)))
+            .with_store(Arc::new(store), u64::MAX)
+            .with_recovery()
+            .build()?;
+    Ok(match filter {
+        Some(f) => cache.delete_file(f),
+        None => cache.clear(),
+    })
 }
 
 /// Summarizes a Chrome trace-event dump (`simtest --trace-dump`, the

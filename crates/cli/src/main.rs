@@ -85,11 +85,17 @@ fn main() -> ExitCode {
             }
         }),
         "purge" => {
-            let file = rest
-                .iter()
-                .position(|a| a == "--file")
-                .and_then(|i| rest.get(i + 1))
-                .map(String::as_str);
+            // Purge deletes data: refuse stray arguments rather than silently
+            // ignoring them and wiping the whole directory when the caller
+            // meant `--file <hex-id>`.
+            let file = match rest {
+                [] => None,
+                [flag, hex] if flag == "--file" => Some(hex.as_str()),
+                _ => {
+                    eprintln!("error: unrecognized purge arguments {rest:?}");
+                    return usage();
+                }
+            };
             edgecache_cli::purge(&dir, file).map(|n| println!("removed {n} pages"))
         }
         _ => return usage(),

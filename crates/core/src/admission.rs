@@ -25,6 +25,18 @@ pub trait AdmissionPolicy: Send + Sync {
     /// record the access as a side effect (frequency-based policies do).
     fn admit(&self, key: &str, scope: &CacheScope, now_ms: u64) -> bool;
 
+    /// Notifies the policy that a scope gained its first resident page (fed
+    /// by the scope lifecycle ledger's enter events), so slot-holding
+    /// policies can mark the slot occupied even when the insert did not go
+    /// through [`Self::admit`] — e.g. a put that transiently emptied and
+    /// refilled the scope. Default: no-op.
+    fn on_scope_enter(&self, _scope: &CacheScope) {}
+
+    /// Notifies the policy that a scope's cache residency dropped to zero
+    /// (fed by the scope lifecycle ledger's exit events), so slot-holding
+    /// policies can reclaim whatever the scope consumed. Default: no-op.
+    fn on_scope_exit(&self, _scope: &CacheScope) {}
+
     /// A short policy name for metrics.
     fn name(&self) -> &'static str;
 }
@@ -187,13 +199,27 @@ impl FilterRuleAdmission {
             .find(|r| glob_match(&r.schema, schema) && glob_match(&r.table, table))
     }
 
-    /// Releases a partition's admission slot (called after a bulk delete of
-    /// that partition's scope, so the cap reflects live cache contents).
+    /// Releases a partition's admission slot (driven by the ledger's
+    /// partition-exit events, so the cap always reflects live contents).
     pub fn release_partition(&self, schema: &str, table: &str, partition: &str) {
         let mut admitted = self.admitted_partitions.lock();
         if let Some(set) = admitted.get_mut(&(schema.to_string(), table.to_string())) {
             set.remove(partition);
+            if set.is_empty() {
+                admitted.remove(&(schema.to_string(), table.to_string()));
+            }
         }
+    }
+
+    /// The partition cap that applies to `(schema, table)`, if any rule
+    /// matches and carries one.
+    pub fn cap_for(&self, schema: &str, table: &str) -> Option<usize> {
+        self.matching_rule(schema, table)?.max_cached_partitions
+    }
+
+    /// Snapshot of the currently admitted partition sets, for oracles.
+    pub fn admitted_snapshot(&self) -> HashMap<(String, String), HashSet<String>> {
+        self.admitted_partitions.lock().clone()
     }
 }
 
@@ -230,6 +256,40 @@ impl AdmissionPolicy for FilterRuleAdmission {
             // A partition cap with no partition info: admit (table-level data
             // such as footers does not consume partition slots).
             _ => true,
+        }
+    }
+
+    fn on_scope_enter(&self, scope: &CacheScope) {
+        // A partition with live pages holds a slot by definition, whether or
+        // not this particular insert consulted `admit` (a put can empty and
+        // refill a partition in one operation).
+        if let CacheScope::Partition {
+            schema,
+            table,
+            partition,
+        } = scope
+        {
+            if self
+                .matching_rule(schema, table)
+                .is_some_and(|r| r.max_cached_partitions.is_some())
+            {
+                self.admitted_partitions
+                    .lock()
+                    .entry((schema.clone(), table.clone()))
+                    .or_default()
+                    .insert(partition.clone());
+            }
+        }
+    }
+
+    fn on_scope_exit(&self, scope: &CacheScope) {
+        if let CacheScope::Partition {
+            schema,
+            table,
+            partition,
+        } = scope
+        {
+            self.release_partition(schema, table, partition);
         }
     }
 

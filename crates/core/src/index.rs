@@ -21,6 +21,8 @@ use std::collections::{HashMap, HashSet};
 use edgecache_pagestore::{CacheScope, FileId, PageId, PageInfo};
 use parking_lot::RwLock;
 
+use crate::ledger::{ScopeLedger, ScopeUsage};
+
 /// Number of universe shards (power of two). Sized like the manager's page
 /// lock stripes: far more shards than CPUs keeps collision odds low.
 const INDEX_SHARDS: usize = 64;
@@ -41,6 +43,9 @@ pub struct IndexManager {
     shards: Vec<RwLock<HashMap<PageId, PageInfo>>>,
     /// Secondary indexes and byte accounting.
     aggregates: RwLock<Aggregates>,
+    /// Scope lifecycle ledger, fed by every insert/remove while the index
+    /// locks are held — no lifecycle path can bypass it.
+    ledger: ScopeLedger,
 }
 
 #[derive(Debug, Default)]
@@ -81,7 +86,13 @@ impl IndexManager {
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
             aggregates: RwLock::new(aggregates),
+            ledger: ScopeLedger::new(),
         }
+    }
+
+    /// The scope lifecycle ledger fed by this index.
+    pub fn ledger(&self) -> &ScopeLedger {
+        &self.ledger
     }
 
     fn shard(&self, id: &PageId) -> &RwLock<HashMap<PageId, PageInfo>> {
@@ -96,8 +107,10 @@ impl IndexManager {
         let old = shard.remove(&info.id);
         if let Some(old_info) = &old {
             agg.unindex(old_info);
+            self.ledger.record_remove(old_info);
         }
         agg.index(&info);
+        self.ledger.record_insert(&info);
         shard.insert(info.id, info);
         old
     }
@@ -108,6 +121,7 @@ impl IndexManager {
         let mut agg = self.aggregates.write();
         let info = shard.remove(id)?;
         agg.unindex(&info);
+        self.ledger.record_remove(&info);
         Some(info)
     }
 
@@ -285,6 +299,36 @@ impl IndexManager {
         if dir_total != agg.total_bytes {
             return Err("dir byte accounting does not sum to total".to_string());
         }
+        // Ledger oracle: the lifecycle ledger's independent books must match
+        // the per-scope usage recomputed from the universe.
+        let mut expected: HashMap<CacheScope, ScopeUsage> = HashMap::new();
+        for shard in &shards {
+            for info in shard.values() {
+                for scope in info.scope.chain() {
+                    let entry = expected.entry(scope).or_default();
+                    entry.pages += 1;
+                    entry.bytes += info.size;
+                }
+            }
+        }
+        let tracked = self.ledger.snapshot();
+        if tracked != expected {
+            for (scope, usage) in &expected {
+                if tracked.get(scope) != Some(usage) {
+                    return Err(format!(
+                        "ledger disagrees on scope {scope}: index has {usage:?}, \
+                         ledger has {:?}",
+                        tracked.get(scope)
+                    ));
+                }
+            }
+            let stray = tracked.keys().find(|s| !expected.contains_key(*s));
+            return Err(format!(
+                "ledger tracks scope {} with no live pages",
+                stray.map(|s| s.to_string()).unwrap_or_default()
+            ));
+        }
+        self.ledger.check()?;
         Ok(())
     }
 }

@@ -1,0 +1,288 @@
+//! The scope lifecycle ledger: double-entry accounting over scope residency.
+//!
+//! Multi-tenant controls (§5.1 admission caps, §5.2 hierarchical quotas) are
+//! only correct if scope residency is tracked across the *whole* page
+//! lifecycle — insertion, refresh, capacity/quota eviction, TTL expiry,
+//! corruption eviction, purge, and crash recovery. The ledger is a single
+//! accounting layer fed by the index manager on every insert/remove: it
+//! maintains per-scope page counts and bytes independently of the index's
+//! own aggregates (so the two can be cross-checked), and emits *enter/exit
+//! events* whenever a scope's residency transitions 0→1 or 1→0.
+//!
+//! Consumers subscribe as [`ScopeEventSink`]s. The cache manager installs a
+//! sink that releases `maxCachedPartitions` admission slots on partition
+//! exit and counts lifecycle transitions as metrics; the simtest oracles
+//! cross-check the ledger against the index and the admission policy after
+//! every op.
+//!
+//! Sinks are invoked while the index holds its shard + aggregates locks (so
+//! event order matches index mutation order exactly); a sink must therefore
+//! never call back into the [`crate::index::IndexManager`] or the ledger.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use edgecache_pagestore::{CacheScope, PageInfo};
+use parking_lot::{Mutex, RwLock};
+
+/// Live usage of one scope, maintained incrementally.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScopeUsage {
+    /// Pages currently resident under the scope (including nested scopes).
+    pub pages: u64,
+    /// Bytes currently resident under the scope (including nested scopes).
+    pub bytes: u64,
+}
+
+/// A residency transition on one scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeEvent {
+    /// The scope went from zero resident pages to one.
+    Enter(CacheScope),
+    /// The scope went from one resident page to zero.
+    Exit(CacheScope),
+}
+
+/// A consumer of scope lifecycle events.
+///
+/// Called synchronously under the index locks — implementations must be
+/// cheap and must not call back into the index or the ledger.
+pub trait ScopeEventSink: Send + Sync {
+    fn on_scope_event(&self, event: &ScopeEvent);
+}
+
+/// Per-scope residency accounting with enter/exit event emission.
+///
+/// The ledger is deliberately *not* a view over the index aggregates: it
+/// keeps its own books from the same insert/remove feed, so a divergence
+/// between the two surfaces a lifecycle-accounting bug (this is the simtest
+/// ledger oracle).
+#[derive(Default)]
+pub struct ScopeLedger {
+    usage: Mutex<HashMap<CacheScope, ScopeUsage>>,
+    /// Partition-level 0→1 transitions since creation (monotone).
+    partition_enters: AtomicU64,
+    /// Partition-level 1→0 transitions since creation (monotone).
+    partition_exits: AtomicU64,
+    sinks: RwLock<Vec<Arc<dyn ScopeEventSink>>>,
+}
+
+impl std::fmt::Debug for ScopeLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopeLedger")
+            .field("scopes", &self.usage.lock().len())
+            .field("partition_enters", &self.partition_enters())
+            .field("partition_exits", &self.partition_exits())
+            .finish()
+    }
+}
+
+impl ScopeLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a lifecycle event consumer.
+    pub fn subscribe(&self, sink: Arc<dyn ScopeEventSink>) {
+        self.sinks.write().push(sink);
+    }
+
+    /// Records a page entering the cache. Must be called exactly once per
+    /// index insert (after unrecording a replaced page, if any).
+    pub fn record_insert(&self, info: &PageInfo) {
+        let mut events = Vec::new();
+        {
+            let mut usage = self.usage.lock();
+            for scope in info.scope.chain() {
+                let entry = usage.entry(scope.clone()).or_default();
+                entry.pages += 1;
+                entry.bytes += info.size;
+                if entry.pages == 1 {
+                    if matches!(scope, CacheScope::Partition { .. }) {
+                        self.partition_enters.fetch_add(1, Ordering::Relaxed);
+                    }
+                    events.push(ScopeEvent::Enter(scope));
+                }
+            }
+        }
+        self.dispatch(&events);
+    }
+
+    /// Records a page leaving the cache. Must be called exactly once per
+    /// index remove (including replacement of an existing page).
+    pub fn record_remove(&self, info: &PageInfo) {
+        let mut events = Vec::new();
+        {
+            let mut usage = self.usage.lock();
+            for scope in info.scope.chain() {
+                let Some(entry) = usage.get_mut(&scope) else {
+                    debug_assert!(false, "ledger remove of untracked scope {scope}");
+                    continue;
+                };
+                entry.pages -= 1;
+                entry.bytes -= info.size;
+                if entry.pages == 0 {
+                    usage.remove(&scope);
+                    if matches!(scope, CacheScope::Partition { .. }) {
+                        self.partition_exits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    events.push(ScopeEvent::Exit(scope));
+                }
+            }
+        }
+        self.dispatch(&events);
+    }
+
+    fn dispatch(&self, events: &[ScopeEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let sinks = self.sinks.read();
+        for event in events {
+            for sink in sinks.iter() {
+                sink.on_scope_event(event);
+            }
+        }
+    }
+
+    /// Current usage of a scope. Zero if the scope holds no pages.
+    pub fn usage(&self, scope: &CacheScope) -> ScopeUsage {
+        self.usage.lock().get(scope).copied().unwrap_or_default()
+    }
+
+    /// All partition scopes that currently hold at least one page.
+    pub fn live_partitions(&self) -> Vec<CacheScope> {
+        self.usage
+            .lock()
+            .keys()
+            .filter(|s| matches!(s, CacheScope::Partition { .. }))
+            .cloned()
+            .collect()
+    }
+
+    /// Snapshot of every tracked scope's usage.
+    pub fn snapshot(&self) -> HashMap<CacheScope, ScopeUsage> {
+        self.usage.lock().clone()
+    }
+
+    /// Partition 0→1 transitions since creation.
+    pub fn partition_enters(&self) -> u64 {
+        self.partition_enters.load(Ordering::Relaxed)
+    }
+
+    /// Partition 1→0 transitions since creation.
+    pub fn partition_exits(&self) -> u64 {
+        self.partition_exits.load(Ordering::Relaxed)
+    }
+
+    /// Ledger self-check: enters − exits must equal the number of live
+    /// partitions, and no tracked scope may be empty.
+    pub fn check(&self) -> Result<(), String> {
+        let usage = self.usage.lock();
+        for (scope, u) in usage.iter() {
+            if u.pages == 0 {
+                return Err(format!("ledger tracks empty scope {scope}"));
+            }
+        }
+        let live = usage
+            .keys()
+            .filter(|s| matches!(s, CacheScope::Partition { .. }))
+            .count() as u64;
+        drop(usage);
+        let enters = self.partition_enters();
+        let exits = self.partition_exits();
+        if enters < exits || enters - exits != live {
+            return Err(format!(
+                "ledger transition counts disagree with residency: \
+                 {enters} enters − {exits} exits ≠ {live} live partitions"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgecache_pagestore::{FileId, PageId};
+
+    fn info(f: u64, i: u64, size: u64, scope: CacheScope) -> PageInfo {
+        PageInfo::new(PageId::new(FileId(f), i), size, scope, 0, 0)
+    }
+
+    #[derive(Default)]
+    struct Recorder(Mutex<Vec<ScopeEvent>>);
+
+    impl ScopeEventSink for Recorder {
+        fn on_scope_event(&self, event: &ScopeEvent) {
+            self.0.lock().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn enter_and_exit_fire_on_residency_edges() {
+        let ledger = ScopeLedger::new();
+        let rec = Arc::new(Recorder::default());
+        ledger.subscribe(rec.clone());
+        let p = CacheScope::partition("s", "t", "p");
+
+        ledger.record_insert(&info(1, 0, 10, p.clone()));
+        ledger.record_insert(&info(1, 1, 10, p.clone()));
+        // Second insert into a live partition emits nothing.
+        let enters = rec
+            .0
+            .lock()
+            .iter()
+            .filter(|e| matches!(e, ScopeEvent::Enter(s) if *s == p))
+            .count();
+        assert_eq!(enters, 1);
+        assert_eq!(
+            ledger.usage(&p),
+            ScopeUsage {
+                pages: 2,
+                bytes: 20
+            }
+        );
+
+        ledger.record_remove(&info(1, 0, 10, p.clone()));
+        assert!(rec
+            .0
+            .lock()
+            .iter()
+            .all(|e| !matches!(e, ScopeEvent::Exit(_))));
+        ledger.record_remove(&info(1, 1, 10, p.clone()));
+        assert!(rec
+            .0
+            .lock()
+            .iter()
+            .any(|e| matches!(e, ScopeEvent::Exit(s) if *s == p)));
+        assert_eq!(ledger.usage(&p), ScopeUsage::default());
+        ledger.check().unwrap();
+    }
+
+    #[test]
+    fn chain_scopes_are_all_tracked() {
+        let ledger = ScopeLedger::new();
+        ledger.record_insert(&info(1, 0, 7, CacheScope::partition("s", "t", "p")));
+        assert_eq!(ledger.usage(&CacheScope::table("s", "t")).bytes, 7);
+        assert_eq!(ledger.usage(&CacheScope::parse("s")).pages, 1);
+        assert_eq!(ledger.usage(&CacheScope::Global).pages, 1);
+        assert_eq!(ledger.partition_enters(), 1);
+        ledger.check().unwrap();
+    }
+
+    #[test]
+    fn transition_counters_track_churn() {
+        let ledger = ScopeLedger::new();
+        for round in 0..3u64 {
+            let p = CacheScope::partition("s", "t", "p");
+            ledger.record_insert(&info(1, round, 1, p.clone()));
+            ledger.record_remove(&info(1, round, 1, p));
+        }
+        assert_eq!(ledger.partition_enters(), 3);
+        assert_eq!(ledger.partition_exits(), 3);
+        assert!(ledger.live_partitions().is_empty());
+        ledger.check().unwrap();
+    }
+}

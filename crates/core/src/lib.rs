@@ -16,6 +16,9 @@
 //!   interface, plus TTL-based expiry (§4.1).
 //! * [`index`] — the *index manager*: indexed sets over the page universe
 //!   (by file, by scope, by directory; §4.4, Figure 5).
+//! * [`ledger`] — the *scope lifecycle ledger*: per-scope residency
+//!   accounting fed by the index, emitting partition enter/exit events that
+//!   drive admission-slot reclamation (§5.1/§5.2 correctness under churn).
 //! * [`quota`] — hierarchical multi-tenant quotas with over-subscribable
 //!   child quotas and two violation-eviction strategies (§5.2).
 //! * [`manager`] — the *cache manager* tying it all together: read-through,
@@ -55,7 +58,9 @@ pub mod allocator;
 pub mod config;
 pub mod eviction;
 pub mod index;
+pub mod ledger;
 pub mod manager;
+mod proptests;
 pub mod quota;
 pub mod ratelimit;
 
@@ -63,6 +68,7 @@ pub use admission::{AdmissionPolicy, AdmitAll, FilterRuleAdmission, SlidingWindo
 pub use config::{CacheConfig, EvictionPolicyKind};
 pub use eviction::EvictionPolicy;
 pub use index::IndexManager;
+pub use ledger::{ScopeEvent, ScopeEventSink, ScopeLedger, ScopeUsage};
 pub use manager::{CacheManager, RemoteSource, SourceFile};
 pub use quota::QuotaManager;
 pub use ratelimit::BucketTimeRateLimit;

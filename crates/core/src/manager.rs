@@ -37,6 +37,7 @@ use crate::allocator::Allocator;
 use crate::config::CacheConfig;
 use crate::eviction::{build_policy, EvictionPolicy};
 use crate::index::IndexManager;
+use crate::ledger::{ScopeEvent, ScopeEventSink};
 use crate::quota::{QuotaManager, QuotaViolation};
 
 /// Number of page-lock stripes (power of two).
@@ -296,6 +297,15 @@ impl CacheManagerBuilder {
         }
         let dirs = self.stores.len();
         let index = IndexManager::new(dirs);
+        let metrics = self.metrics.unwrap_or_else(|| MetricRegistry::new("cache"));
+        // Lifecycle sink: every partition enter/exit the ledger observes is
+        // counted as a metric, and exits hand the admission policy its slot
+        // back — no exit path (capacity, quota, TTL, corruption, purge,
+        // delete, clear) can leak a `maxCachedPartitions` slot.
+        index.ledger().subscribe(Arc::new(LifecycleSink {
+            metrics: metrics.clone(),
+            admission: Arc::clone(&self.admission),
+        }));
         let policies: Vec<Mutex<Box<dyn EvictionPolicy>>> = (0..dirs)
             .map(|_| Mutex::new(build_policy(self.config.eviction)))
             .collect();
@@ -322,7 +332,7 @@ impl CacheManagerBuilder {
             policies,
             quota: self.quota,
             admission: self.admission,
-            metrics: self.metrics.unwrap_or_else(|| MetricRegistry::new("cache")),
+            metrics,
             clock: self.clock,
             page_locks: (0..LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
             inflight: Mutex::new(HashMap::new()),
@@ -336,6 +346,33 @@ impl CacheManagerBuilder {
             manager.recover()?;
         }
         Ok(manager)
+    }
+}
+
+/// The ledger sink the builder installs: partition lifecycle transitions
+/// become metrics, and exits release admission slots. Runs under the index
+/// locks, so it only touches its own leaf state (counters, admission map).
+struct LifecycleSink {
+    metrics: MetricRegistry,
+    admission: Arc<dyn AdmissionPolicy>,
+}
+
+impl ScopeEventSink for LifecycleSink {
+    fn on_scope_event(&self, event: &ScopeEvent) {
+        match event {
+            ScopeEvent::Enter(scope) => {
+                if matches!(scope, CacheScope::Partition { .. }) {
+                    self.metrics.counter("ledger.enters").inc();
+                }
+                self.admission.on_scope_enter(scope);
+            }
+            ScopeEvent::Exit(scope) => {
+                if matches!(scope, CacheScope::Partition { .. }) {
+                    self.metrics.counter("ledger.exits").inc();
+                }
+                self.admission.on_scope_exit(scope);
+            }
+        }
     }
 }
 
@@ -1182,13 +1219,22 @@ impl CacheManager {
     ) {
         {
             let _guard = self.stripe(id).lock();
+            let mut cached = false;
             if let Ok(page) = outcome {
-                if let Err(e) = self.put_page_locked_traced(file, id, page, parent) {
-                    // Caching failed (quota, space, store error): the read
-                    // and its waiters are still served from the fetched
-                    // bytes.
-                    self.metrics.record_error("put", e.kind());
+                match self.put_page_locked_traced(file, id, page, parent) {
+                    Ok(()) => cached = true,
+                    Err(e) => {
+                        // Caching failed (quota, space, store error): the
+                        // read and its waiters are still served from the
+                        // fetched bytes.
+                        self.metrics.record_error("put", e.kind());
+                    }
                 }
+            }
+            if !cached {
+                // Admission granted this owner a slot at classify time but
+                // no page landed; return the slot if the scope stayed empty.
+                self.release_admission_if_vacant(&file.scope);
             }
             self.inflight.lock().remove(&id);
         }
@@ -1303,13 +1349,20 @@ impl CacheManager {
             }
             return Ok(bytes);
         }
-        let data = source.read(&file.path, plan.page_start, plan.page_len)?;
+        let data = match source.read(&file.path, plan.page_start, plan.page_len) {
+            Ok(data) => data,
+            Err(e) => {
+                self.release_admission_if_vacant(&file.scope);
+                return Err(e);
+            }
+        };
         self.metrics
             .counter("bytes_from_remote")
             .add(data.len() as u64);
         self.metrics.counter("remote_requests").inc();
         if data.len() as u64 != plan.page_len {
             // Never cache a short page (see execute_fetches).
+            self.release_admission_if_vacant(&file.scope);
             return Err(Error::Decode(format!(
                 "remote returned {} bytes for a {}-byte page",
                 data.len(),
@@ -1320,6 +1373,7 @@ impl CacheManager {
             let _guard = self.stripe(plan.id).lock();
             if let Err(e) = self.put_page_locked_traced(file, plan.id, &data, direct_span.id()) {
                 self.metrics.record_error("put", e.kind());
+                self.release_admission_if_vacant(&file.scope);
             }
         }
         let start = (plan.within_off as usize).min(data.len());
@@ -1415,19 +1469,21 @@ impl CacheManager {
         let mut evicted = 0u64;
 
         // Hierarchical quota verification (§5.2), most detailed level first.
-        if let Some(v) = self
+        // One put can violate several scopes at once (its partition and its
+        // table, say): resolve every violation in turn, failing only when a
+        // violated scope has nothing left to evict (no forward progress —
+        // the page alone exceeds the quota).
+        let mut quota_rounds = 0u64;
+        while let Some(v) = self
             .quota
             .first_violation(&file.scope, size, |s| self.index.bytes_of_scope(s))
         {
             evict_span.get_or_insert_with(|| self.tracer.child(parent, "eviction"));
-            self.evict_for_quota(&v, size);
-            evicted += 1;
-            if self
-                .quota
-                .first_violation(&file.scope, size, |s| self.index.bytes_of_scope(s))
-                .is_some()
-            {
-                finish_eviction_span(evict_span, evicted);
+            quota_rounds += 1;
+            let freed = self.evict_for_quota(&v, size);
+            evicted += freed;
+            if freed == 0 {
+                finish_eviction_span(evict_span, evicted, quota_rounds);
                 return Err(Error::QuotaExceeded(format!(
                     "scope {} cannot admit {size} bytes",
                     v.scope()
@@ -1441,13 +1497,13 @@ impl CacheManager {
             evict_span.get_or_insert_with(|| self.tracer.child(parent, "eviction"));
             let victim = self.policies[dir].lock().victim();
             let Some(victim) = victim else {
-                finish_eviction_span(evict_span, evicted);
+                finish_eviction_span(evict_span, evicted, quota_rounds);
                 return Err(Error::NoSpace);
             };
             self.evict_page(&victim, "capacity");
             evicted += 1;
         }
-        finish_eviction_span(evict_span, evicted);
+        finish_eviction_span(evict_span, evicted, quota_rounds);
 
         match self.stores[dir].put(id, data) {
             Ok(()) => {}
@@ -1463,8 +1519,16 @@ impl CacheManager {
 
         let info = PageInfo::new(id, size, file.scope.clone(), dir, self.now_ms());
         if let Some(old) = self.index.insert(info) {
-            // Replaced an existing page (e.g. refreshed content).
-            let _ = old;
+            // Refresh of an existing page: retire the old copy's policy
+            // entry, and delete its stored bytes when the allocator placed
+            // the new copy in a different directory (capacity fallback on a
+            // size change) — otherwise they stay stranded in the old store.
+            self.policies[old.dir].lock().on_remove(id);
+            if old.dir != dir {
+                if let Err(e) = self.stores[old.dir].delete(id) {
+                    self.metrics.record_error("delete", e.kind());
+                }
+            }
         }
         self.policies[dir].lock().on_insert(id);
         self.metrics.counter("puts").inc();
@@ -1486,42 +1550,49 @@ impl CacheManager {
         }
     }
 
-    /// Applies the §5.2 strategy for a quota violation.
-    fn evict_for_quota(&self, violation: &QuotaViolation, needed: u64) {
+    /// Applies the §5.2 strategy for a quota violation. Victims come from
+    /// *one* sorted snapshot of the scope taken up front — the index returns
+    /// hash order, and sorting once makes every victim a pure function of
+    /// the cache contents (deterministic simulation replays the same
+    /// evictions for the same seed) without the per-victim re-list/re-sort
+    /// that made large-partition eviction storms O(n² log n). Returns the
+    /// number of pages evicted.
+    fn evict_for_quota(&self, violation: &QuotaViolation, needed: u64) -> u64 {
         let scope = violation.scope().clone();
         let Some(quota) = self.quota.quota_of(&scope).map(|q| q.as_u64()) else {
-            return;
+            return 0;
         };
         let target = quota.saturating_sub(needed);
+        let mut pages = self.index.pages_of_scope(&scope);
+        pages.sort_unstable();
+        let mut freed = 0u64;
         match violation {
             QuotaViolation::Partition(_) => {
-                // Partition-level eviction: remove pages of that partition.
-                // The index returns hash order; sort so the victim is a pure
-                // function of the cache contents (deterministic simulation
-                // replays the same evictions for the same seed).
+                // Partition-level eviction: remove that partition's pages in
+                // ascending id order until the scope fits.
+                let mut victims = pages.into_iter();
                 while self.index.bytes_of_scope(&scope) > target {
-                    let mut pages = self.index.pages_of_scope(&scope);
-                    pages.sort_unstable();
-                    let Some(&victim) = pages.first() else { break };
-                    self.evict_page(&victim, "quota");
+                    let Some(victim) = victims.next() else { break };
+                    if self.evict_page(&victim, "quota").is_some() {
+                        freed += 1;
+                    }
                 }
             }
             QuotaViolation::SharedScope(_) => {
                 // Table-level sharing: random eviction across partitions, so
-                // one greedy partition cannot starve its siblings. Sorted for
-                // the same reason as above: the draw must pick from a
-                // deterministic ordering, not hash order.
-                while self.index.bytes_of_scope(&scope) > target {
-                    let mut pages = self.index.pages_of_scope(&scope);
-                    if pages.is_empty() {
-                        break;
-                    }
-                    pages.sort_unstable();
+                // one greedy partition cannot starve its siblings. Draws pick
+                // from the snapshot (removal keeps it sorted, so the draw
+                // stays a deterministic function of contents + rng state).
+                while self.index.bytes_of_scope(&scope) > target && !pages.is_empty() {
                     let pick = (self.next_rand() % pages.len() as u64) as usize;
-                    self.evict_page(&pages[pick], "quota");
+                    let victim = pages.remove(pick);
+                    if self.evict_page(&victim, "quota").is_some() {
+                        freed += 1;
+                    }
                 }
             }
         }
+        freed
     }
 
     /// Removes a page from the index, its policy, and its store. Returns the
@@ -1540,6 +1611,19 @@ impl CacheManager {
     fn drop_from_index(&self, id: &PageId) {
         if let Some(info) = self.index.remove(id) {
             self.policies[info.dir].lock().on_remove(*id);
+        }
+    }
+
+    /// Reclaims an admission slot consumed by a failed insert: `admit()` is
+    /// charged at classify time, so when the page never lands and its
+    /// partition holds no pages, the ledger emits no exit event and the slot
+    /// would leak. Harmless if a concurrent insert races us — the partition
+    /// simply re-admits on its next access.
+    fn release_admission_if_vacant(&self, scope: &CacheScope) {
+        if matches!(scope, CacheScope::Partition { .. })
+            && self.index.ledger().usage(scope).pages == 0
+        {
+            self.admission.on_scope_exit(scope);
         }
     }
 
@@ -1640,10 +1724,12 @@ impl CacheManager {
 }
 
 /// Finishes a lazily created `eviction` span, annotating how many pages were
-/// evicted to make room. No-op when no eviction happened.
-fn finish_eviction_span(span: Option<Span>, evicted: u64) {
+/// evicted to make room and how many quota-violation rounds were resolved.
+/// No-op when no eviction happened.
+fn finish_eviction_span(span: Option<Span>, evicted: u64, quota_rounds: u64) {
     if let Some(mut s) = span {
         s.annotate("evicted", evicted);
+        s.annotate("quota_rounds", quota_rounds);
         s.finish();
     }
 }
@@ -1759,7 +1845,9 @@ impl IoPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::admission::SlidingWindowAdmission;
+    use crate::admission::{
+        FilterRule, FilterRuleAdmission, FilterRuleSet, SlidingWindowAdmission,
+    };
     use crate::config::EvictionPolicyKind;
     use edgecache_pagestore::{FaultPlan, FaultyStore, MemoryPageStore};
     use parking_lot::Mutex as PlMutex;
@@ -1991,6 +2079,285 @@ mod tests {
             }
         }
         assert!(cache.index().bytes_of_scope(&table) <= 500);
+        cache.index().check_consistency().unwrap();
+    }
+
+    /// A `maxCachedPartitions` cap on table `t`, with everything else
+    /// admitted freely.
+    fn partition_cap(table: &str, max: usize) -> Arc<FilterRuleAdmission> {
+        Arc::new(FilterRuleAdmission::new(FilterRuleSet {
+            rules: vec![FilterRule {
+                schema: "*".into(),
+                table: table.into(),
+                max_cached_partitions: Some(max),
+            }],
+            default_admit: true,
+        }))
+    }
+
+    fn part_file(path: &str, len: u64, partition: &str) -> SourceFile {
+        SourceFile::new(path, 1, len, CacheScope::partition("s", "t", partition))
+    }
+
+    #[test]
+    fn multi_scope_quota_violations_resolved_in_one_put() {
+        // One put violates its partition quota AND leaves the table quota
+        // violated after the partition round; both must be resolved instead
+        // of returning QuotaExceeded after the first.
+        let part = CacheScope::partition("s", "t", "p");
+        let table = CacheScope::table("s", "t");
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+                .with_quota(part.clone(), ByteSize::new(200))
+                .with_quota(table.clone(), ByteSize::new(250))
+                .build()
+                .unwrap();
+        let fq = SourceFile::new("/q", 1, 1000, CacheScope::partition("s", "t", "q"));
+        let fp = SourceFile::new("/p", 1, 1000, part.clone());
+        cache.put_page(&fq, 0, &pattern(60)).unwrap(); // t = 60
+        cache.put_page(&fp, 0, &pattern(95)).unwrap(); // p = 95, t = 155
+        cache.put_page(&fp, 1, &pattern(95)).unwrap(); // p = 190, t = 250
+                                                       // Partition round evicts down to 100 (frees 95), after which the
+                                                       // table still sits at 255 with the new page — a second round.
+        cache.put_page(&fp, 2, &pattern(100)).unwrap();
+        assert!(cache.index().bytes_of_scope(&part) <= 200);
+        assert!(cache.index().bytes_of_scope(&table) <= 250);
+        assert!(cache.metrics().counter("evictions.quota").get() >= 2);
+        cache.index().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn refresh_keeps_one_policy_entry() {
+        let cache = CacheManager::builder(
+            CacheConfig::default()
+                .with_page_size(ByteSize::new(1024))
+                .with_eviction(EvictionPolicyKind::Fifo),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+        .build()
+        .unwrap();
+        let f = file("/f", 4000);
+        cache.put_page(&f, 0, &pattern(100)).unwrap();
+        cache.put_page(&f, 0, &pattern(120)).unwrap();
+        assert_eq!(cache.index().len(), 1);
+        assert_eq!(cache.index().total_bytes(), 120);
+        // The refresh must retire the old policy entry before re-inserting,
+        // or the FIFO queue holds the page twice.
+        assert_eq!(cache.policies[0].lock().len(), 1);
+        cache.index().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn refresh_into_other_dir_deletes_stale_copy() {
+        let store0 = Arc::new(MemoryPageStore::new());
+        let store1 = Arc::new(MemoryPageStore::new());
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                .with_store(Arc::clone(&store0) as Arc<dyn PageStore>, 200)
+                .with_store(Arc::clone(&store1) as Arc<dyn PageStore>, 10_000)
+                .build()
+                .unwrap();
+        // A file whose affinity directory is the small dir 0.
+        let f = (0..100)
+            .map(|i| file(&format!("/f{i}"), 1000))
+            .find(|f| cache.allocator.affinity_dir(f.file_id()) == 0)
+            .expect("some file maps to dir 0");
+        let id = PageId::new(f.file_id(), 0);
+        cache.put_page(&f, 0, &pattern(100)).unwrap();
+        assert_eq!(cache.index().get(&id).unwrap().dir, 0);
+        // The refreshed copy no longer fits dir 0: the allocator falls back
+        // to dir 1, and the dir-0 residency must be cleaned up with it.
+        cache.put_page(&f, 0, &pattern(500)).unwrap();
+        assert_eq!(cache.index().get(&id).unwrap().dir, 1);
+        assert!(
+            store0.get(id, 0, 1).is_err(),
+            "old copy must not stay stranded in dir 0"
+        );
+        assert_eq!(cache.policies[0].lock().len(), 0);
+        assert_eq!(cache.policies[1].lock().len(), 1);
+        cache.index().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn churn_readmits_partitions_after_purge() {
+        // The acceptance-criteria churn scenario: fill the table to its
+        // partition cap, purge those partitions, then insert fresh ones —
+        // the fresh partitions must be admitted (slots were leaked on main).
+        let admission = partition_cap("t", 2);
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+                .with_admission(admission.clone())
+                .build()
+                .unwrap();
+        for (i, part) in ["p1", "p2"].iter().enumerate() {
+            let remote = ScriptedRemote::new().with_file(&format!("/f{i}"), pattern(100));
+            let f = part_file(&format!("/f{i}"), 100, part);
+            cache.read(&f, 0, 100, &remote).unwrap();
+            assert!(cache.contains(&f, 0));
+        }
+        // Cap reached: a third partition is bypassed.
+        let remote3 = ScriptedRemote::new().with_file("/f3", pattern(100));
+        let f3 = part_file("/f3", 100, "p3");
+        cache.read(&f3, 0, 100, &remote3).unwrap();
+        assert!(!cache.contains(&f3, 0));
+        // Purge p1 and p2: their residency drops to zero, the ledger fires
+        // exits, and both admission slots come back.
+        cache.delete_scope(&CacheScope::partition("s", "t", "p1"));
+        cache.delete_scope(&CacheScope::partition("s", "t", "p2"));
+        for (i, part) in ["p3", "p4"].iter().enumerate() {
+            let path = format!("/g{i}");
+            let remote = ScriptedRemote::new().with_file(&path, pattern(100));
+            let f = part_file(&path, 100, part);
+            cache.read(&f, 0, 100, &remote).unwrap();
+            assert!(cache.contains(&f, 0), "fresh partition {part} rejected");
+        }
+        let snapshot = admission.admitted_snapshot();
+        let admitted = snapshot.get(&("s".to_string(), "t".to_string())).unwrap();
+        assert_eq!(admitted.len(), 2);
+        assert!(admitted.contains("p3") && admitted.contains("p4"));
+    }
+
+    #[test]
+    fn capacity_eviction_releases_admission_slot() {
+        let admission = partition_cap("t", 1);
+        // Room for exactly one page: caching anything else evicts.
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                .with_store(Arc::new(MemoryPageStore::new()), 100)
+                .with_admission(admission)
+                .build()
+                .unwrap();
+        let r1 = ScriptedRemote::new().with_file("/f1", pattern(100));
+        cache
+            .read(&part_file("/f1", 100, "p1"), 0, 100, &r1)
+            .unwrap();
+        // An uncapped table's page evicts p1's only page: the slot frees.
+        let ru = ScriptedRemote::new().with_file("/u", pattern(100));
+        let fu = SourceFile::new("/u", 1, 100, CacheScope::partition("s", "u", "q"));
+        cache.read(&fu, 0, 100, &ru).unwrap();
+        let r2 = ScriptedRemote::new().with_file("/f2", pattern(100));
+        let f2 = part_file("/f2", 100, "p2");
+        cache.read(&f2, 0, 100, &r2).unwrap();
+        assert!(cache.contains(&f2, 0), "capacity eviction leaked the slot");
+    }
+
+    #[test]
+    fn quota_eviction_releases_admission_slot() {
+        let admission = partition_cap("t", 2);
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+                .with_admission(admission.clone())
+                .with_quota(CacheScope::table("s", "t"), ByteSize::new(100))
+                .build()
+                .unwrap();
+        let r1 = ScriptedRemote::new().with_file("/f1", pattern(100));
+        cache
+            .read(&part_file("/f1", 100, "p1"), 0, 100, &r1)
+            .unwrap();
+        // p2's page violates the table quota and evicts p1's only page.
+        let r2 = ScriptedRemote::new().with_file("/f2", pattern(100));
+        cache
+            .read(&part_file("/f2", 100, "p2"), 0, 100, &r2)
+            .unwrap();
+        // p1's slot came back, so a third partition fits under the cap of 2.
+        let r3 = ScriptedRemote::new().with_file("/f3", pattern(100));
+        let f3 = part_file("/f3", 100, "p3");
+        cache.read(&f3, 0, 100, &r3).unwrap();
+        assert!(cache.contains(&f3, 0), "quota eviction leaked the slot");
+        let snapshot = admission.admitted_snapshot();
+        let admitted = snapshot.get(&("s".to_string(), "t".to_string())).unwrap();
+        assert!(!admitted.contains("p1"));
+    }
+
+    #[test]
+    fn ttl_expiry_releases_admission_slot() {
+        let clock = Arc::new(edgecache_common::SimClock::new());
+        let cache = CacheManager::builder(
+            CacheConfig::default()
+                .with_page_size(ByteSize::new(100))
+                .with_ttl(Duration::from_secs(60)),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+        .with_admission(partition_cap("t", 1))
+        .with_clock(clock.clone())
+        .build()
+        .unwrap();
+        let r1 = ScriptedRemote::new().with_file("/f1", pattern(100));
+        cache
+            .read(&part_file("/f1", 100, "p1"), 0, 100, &r1)
+            .unwrap();
+        clock.advance(Duration::from_secs(70));
+        assert_eq!(cache.evict_expired(), 1);
+        let r2 = ScriptedRemote::new().with_file("/f2", pattern(100));
+        let f2 = part_file("/f2", 100, "p2");
+        cache.read(&f2, 0, 100, &r2).unwrap();
+        assert!(cache.contains(&f2, 0), "TTL expiry leaked the slot");
+    }
+
+    #[test]
+    fn corruption_eviction_cycles_the_ledger() {
+        let plan = FaultPlan::none();
+        let store = Arc::new(FaultyStore::new(MemoryPageStore::new(), Arc::clone(&plan)));
+        let admission = partition_cap("t", 1);
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                .with_store(store, 1 << 20)
+                .with_admission(admission.clone())
+                .build()
+                .unwrap();
+        let data = pattern(100);
+        let remote = ScriptedRemote::new().with_file("/f", data.clone());
+        let f = part_file("/f", 100, "p1");
+        cache.read(&f, 0, 100, &remote).unwrap();
+        plan.corrupt_page(PageId::new(f.file_id(), 0));
+        // Corruption eviction empties p1 (exit, slot released), then the
+        // refetch re-admits it (enter): the ledger sees the full cycle.
+        let got = cache.read(&f, 0, 100, &remote).unwrap();
+        assert_eq!(got.as_ref(), &data[..]);
+        assert_eq!(cache.metrics().counter("ledger.enters").get(), 2);
+        assert_eq!(cache.metrics().counter("ledger.exits").get(), 1);
+        let snapshot = admission.admitted_snapshot();
+        let admitted = snapshot.get(&("s".to_string(), "t".to_string())).unwrap();
+        assert_eq!(admitted.len(), 1);
+        assert!(admitted.contains("p1"));
+    }
+
+    #[test]
+    fn failed_fetch_releases_vacant_admission() {
+        let admission = partition_cap("t", 1);
+        let cache =
+            CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(100)))
+                .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+                .with_admission(admission)
+                .build()
+                .unwrap();
+        // p1 is admitted at classify time, but its remote read fails: no
+        // page lands, so the slot must be handed back.
+        let empty = ScriptedRemote::new();
+        assert!(cache
+            .read(&part_file("/f1", 100, "p1"), 0, 100, &empty)
+            .is_err());
+        let r2 = ScriptedRemote::new().with_file("/f2", pattern(100));
+        let f2 = part_file("/f2", 100, "p2");
+        cache.read(&f2, 0, 100, &r2).unwrap();
+        assert!(cache.contains(&f2, 0), "failed fetch leaked the slot");
+    }
+
+    #[test]
+    fn ledger_counts_partition_lifecycle() {
+        let cache = small_cache(100, 1 << 20);
+        let remote = ScriptedRemote::new().with_file("/f", pattern(200));
+        let f = file("/f", 200);
+        cache.read(&f, 0, 200, &remote).unwrap();
+        assert_eq!(cache.metrics().counter("ledger.enters").get(), 1);
+        assert_eq!(cache.metrics().counter("ledger.exits").get(), 0);
+        assert_eq!(cache.index().ledger().live_partitions().len(), 1);
+        cache.delete_file(f.file_id());
+        assert_eq!(cache.metrics().counter("ledger.exits").get(), 1);
+        assert!(cache.index().ledger().live_partitions().is_empty());
         cache.index().check_consistency().unwrap();
     }
 

@@ -1,0 +1,188 @@
+//! Property tests for the scope lifecycle ledger: arbitrary sequences of
+//! reads, deletes, purges, and TTL expiries must preserve the ledger
+//! invariants after every operation — per-scope usage matches the index,
+//! admitted partitions match live residency, and no scope exceeds its quota
+//! once the dust settles.
+
+#![cfg(test)]
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use edgecache_common::error::Result;
+use edgecache_common::{ByteSize, SimClock};
+use edgecache_pagestore::{CacheScope, MemoryPageStore};
+use proptest::prelude::*;
+
+use crate::admission::{FilterRule, FilterRuleAdmission, FilterRuleSet};
+use crate::config::CacheConfig;
+use crate::manager::{CacheManager, RemoteSource, SourceFile};
+
+const PAGE: u64 = 64;
+const FILES: u8 = 8;
+const FILE_LEN: u64 = 4 * PAGE;
+/// Partitions of table t0 may cache at most this many distinct partitions.
+const CAP: usize = 2;
+
+/// Nightly CI bumps the case count via this env var; local runs stay quick.
+fn cases() -> u32 {
+    std::env::var("EDGECACHE_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// Serves deterministic bytes for every path and offset.
+struct PatternRemote;
+
+impl RemoteSource for PatternRemote {
+    fn read(&self, path: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let seed = path.len() as u64;
+        Ok(Bytes::from(
+            (offset..offset + len)
+                .map(|i| (i.wrapping_add(seed) % 251) as u8)
+                .collect::<Vec<u8>>(),
+        ))
+    }
+}
+
+fn scope_of(file: u8) -> CacheScope {
+    CacheScope::partition("s", &format!("t{}", file % 2), &format!("p{file}"))
+}
+
+fn source_file(file: u8) -> SourceFile {
+    SourceFile::new(format!("/f{file}"), 1, FILE_LEN, scope_of(file))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u8, u8),
+    DeleteFile(u8),
+    PurgeScope(u8),
+    Expire,
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0..FILES, 0..4u8).prop_map(|(f, p)| Op::Read(f, p)),
+        1 => (0..FILES).prop_map(Op::DeleteFile),
+        1 => (0..FILES).prop_map(Op::PurgeScope),
+        1 => Just(Op::Expire),
+        1 => Just(Op::Clear),
+    ]
+}
+
+struct Harness {
+    cache: CacheManager,
+    admission: Arc<FilterRuleAdmission>,
+    clock: Arc<SimClock>,
+}
+
+fn harness() -> Harness {
+    let admission = Arc::new(FilterRuleAdmission::new(FilterRuleSet {
+        rules: vec![FilterRule {
+            schema: "*".into(),
+            table: "t0".into(),
+            max_cached_partitions: Some(CAP),
+        }],
+        default_admit: true,
+    }));
+    let clock = Arc::new(SimClock::new());
+    let cache = CacheManager::builder(
+        CacheConfig::default()
+            .with_page_size(ByteSize::new(PAGE))
+            .with_ttl(Duration::from_secs(60)),
+    )
+    // Six pages of capacity over eight 4-page files: capacity evictions are
+    // routine, not exceptional.
+    .with_store(Arc::new(MemoryPageStore::new()), 6 * PAGE)
+    .with_admission(Arc::clone(&admission) as Arc<dyn crate::AdmissionPolicy>)
+    .with_quota(
+        CacheScope::partition("s", "t0", "p0"),
+        ByteSize::new(2 * PAGE),
+    )
+    .with_quota(CacheScope::table("s", "t0"), ByteSize::new(4 * PAGE))
+    .with_clock(clock.clone())
+    .build()
+    .unwrap();
+    Harness {
+        cache,
+        admission,
+        clock,
+    }
+}
+
+/// The ledger invariants checked after every operation.
+fn check_invariants(h: &Harness) {
+    // Per-scope ledger books ≡ index contents (and the index's own
+    // aggregates): check_consistency cross-checks all three.
+    if let Err(e) = h.cache.index().check_consistency() {
+        panic!("index/ledger oracle: {e}");
+    }
+    // No scope exceeds its quota once an operation completes.
+    for (scope, quota) in h.cache.quota().snapshot() {
+        let used = h.cache.index().bytes_of_scope(&scope);
+        prop_assert!(
+            used <= quota.as_u64(),
+            "scope {scope} holds {used} bytes over its quota {quota}"
+        );
+    }
+    // Admitted partitions of the capped table ≡ partitions with live pages.
+    let admitted: HashSet<String> = h
+        .admission
+        .admitted_snapshot()
+        .get(&("s".to_string(), "t0".to_string()))
+        .cloned()
+        .unwrap_or_default();
+    prop_assert!(admitted.len() <= CAP, "cap exceeded: {admitted:?}");
+    let live: HashSet<String> = h
+        .cache
+        .index()
+        .partitions_of_table("s", "t0")
+        .into_iter()
+        .filter_map(|s| match s {
+            CacheScope::Partition { partition, .. } => Some(partition),
+            _ => None,
+        })
+        .collect();
+    prop_assert_eq!(
+        &admitted,
+        &live,
+        "admission slots diverged from live residency"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn ledger_invariants_hold_under_churn(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let h = harness();
+        let remote = PatternRemote;
+        for op in ops {
+            match op {
+                Op::Read(f, p) => {
+                    let file = source_file(f);
+                    h.cache.read(&file, u64::from(p) * PAGE, PAGE, &remote).unwrap();
+                }
+                Op::DeleteFile(f) => {
+                    h.cache.delete_file(source_file(f).file_id());
+                }
+                Op::PurgeScope(f) => {
+                    h.cache.delete_scope(&scope_of(f));
+                }
+                Op::Expire => {
+                    h.clock.advance(Duration::from_secs(61));
+                    h.cache.evict_expired();
+                }
+                Op::Clear => {
+                    h.cache.clear();
+                }
+            }
+            check_invariants(&h);
+        }
+    }
+}

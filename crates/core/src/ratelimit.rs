@@ -57,15 +57,19 @@ impl BucketTimeRateLimit {
     }
 
     /// Rolls the window forward and returns a guard over the inner state.
+    ///
+    /// Timestamps from concurrent callers may arrive out of order; the
+    /// window only ever rolls *forward*, so structural time is the maximum
+    /// of the caller's clock and the newest bucket already opened — a stale
+    /// `now_ms` neither reopens history nor skews the retirement horizon.
     fn advance(&self, now_ms: u64) -> parking_lot::MutexGuard<'_, Inner> {
-        let start = self.bucket_start(now_ms);
         let mut inner = self.inner.lock();
-        // Open the current bucket if time moved past the newest one.
-        let needs_new = match inner.window.back() {
-            Some((s, _)) => *s < start,
-            None => true,
+        let start = match inner.window.back() {
+            Some((s, _)) => self.bucket_start(now_ms).max(*s),
+            None => self.bucket_start(now_ms),
         };
-        if needs_new {
+        // Open the current bucket if time moved past the newest one.
+        if inner.window.back().is_none_or(|(s, _)| *s < start) {
             inner.window.push_back((start, HashMap::new()));
         }
         // Retire buckets that fell out of the window. `BucketTimeRateLimit
@@ -84,10 +88,17 @@ impl BucketTimeRateLimit {
 
     /// Records one access of `key` at `now_ms` and returns whether the key's
     /// aggregate count (including this access) has reached the threshold.
+    ///
+    /// An out-of-order access is credited to the bucket its timestamp falls
+    /// in — never to the newest bucket — and is discarded entirely once that
+    /// bucket has retired (the access is too old to count toward the window
+    /// anyway).
     pub fn record_and_check(&self, key: u64, now_ms: u64) -> bool {
+        let target = self.bucket_start(now_ms);
         let mut inner = self.advance(now_ms);
-        let (_, counts) = inner.window.back_mut().expect("advance opened a bucket");
-        *counts.entry(key).or_insert(0) += 1;
+        if let Some((_, counts)) = inner.window.iter_mut().rev().find(|(s, _)| *s == target) {
+            *counts.entry(key).or_insert(0) += 1;
+        }
         let total: u64 = inner
             .window
             .iter()
@@ -195,5 +206,44 @@ mod tests {
     #[should_panic(expected = "window must be non-empty")]
     fn zero_buckets_panics() {
         let _ = BucketTimeRateLimit::new(MIN, 0, 1);
+    }
+
+    #[test]
+    fn out_of_order_access_credits_its_own_bucket() {
+        let rl = BucketTimeRateLimit::new(MIN, 3, 3);
+        rl.record_and_check(1, MIN); // Minute 1.
+        rl.record_and_check(1, 2 * MIN); // Minute 2.
+                                         // A lagging caller reports a minute-1 access after the window
+                                         // already rolled to minute 2: it still completes the threshold...
+        assert!(rl.record_and_check(1, MIN + 30_000));
+        // ...but it was carried by minute 1's bucket, so it expires with it
+        // (were it credited to the newest bucket, this count would be 2).
+        assert_eq!(rl.count(1, 4 * MIN), 1);
+    }
+
+    #[test]
+    fn stale_access_older_than_the_window_is_discarded() {
+        let rl = BucketTimeRateLimit::new(MIN, 3, 3);
+        rl.record_and_check(1, 0);
+        rl.record_and_check(1, 10);
+        // The window rolls well past minute 0...
+        assert_eq!(rl.count(1, 5 * MIN), 0);
+        // ...then a stale minute-0 access arrives: it must not be credited
+        // anywhere, must not reopen history, and must not retire buckets as
+        // if time had moved backward.
+        assert!(!rl.record_and_check(1, 20));
+        assert_eq!(rl.count(1, 5 * MIN), 0);
+        assert_eq!(rl.live_buckets(5 * MIN), 1);
+    }
+
+    #[test]
+    fn stale_timestamp_does_not_skew_retirement() {
+        let rl = BucketTimeRateLimit::new(MIN, 2, 10);
+        rl.record_and_check(7, 5 * MIN); // Window is minutes 4..=5 worth.
+        rl.record_and_check(7, 5 * MIN + 1);
+        // A stale probe from minute 0 must leave the minute-5 counts alone.
+        assert_eq!(rl.count(7, 0), 2);
+        assert!(!rl.record_and_check(7, 0));
+        assert_eq!(rl.count(7, 5 * MIN + 2), 2);
     }
 }

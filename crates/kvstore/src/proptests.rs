@@ -18,6 +18,14 @@ enum Op {
     Compact,
 }
 
+/// Nightly CI bumps the case count via this env var; local runs stay quick.
+fn cases() -> u32 {
+    std::env::var("EDGECACHE_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         4 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64))
@@ -29,7 +37,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
 
     #[test]
     fn log_kv_matches_hashmap_model(

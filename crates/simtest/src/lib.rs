@@ -22,7 +22,7 @@
 //! * [`shrink`] — ddmin-style failure minimizer and reproducer renderer.
 //!
 //! The `simtest` binary sweeps seeds (`--seeds N`), replays one
-//! (`--seed X`), and selects depth with `--profile smoke|torture`; any
+//! (`--seed X`), and selects depth with `--profile smoke|torture|quota`; any
 //! oracle violation is shrunk to a minimal, copy-pasteable reproducer.
 
 pub mod oracle;

@@ -13,9 +13,13 @@
 //!   manager must agree: no negative/over-budget usage, no orphaned bytes,
 //!   no in-flight latches left behind ([`check_accounting`]).
 
+use std::collections::{BTreeSet, HashSet};
+
 use bytes::Bytes;
+use edgecache_core::admission::FilterRuleAdmission;
 use edgecache_core::manager::CacheManager;
 use edgecache_metrics::ConservationLaw;
+use edgecache_pagestore::CacheScope;
 
 /// One oracle violation, tied to the op that exposed it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,10 +119,17 @@ pub fn check_read(op: usize, got: &Bytes, expected: &Bytes) -> Option<Violation>
 /// `store_index_agree` is false for the op window in which a simulated
 /// crash fired: the store and index legitimately disagree until the
 /// restart that immediately follows.
+///
+/// When the stack runs with a `maxCachedPartitions` admission policy,
+/// `admission` adds the scope-lifecycle oracle: for every capped table, the
+/// admitted-partition set must equal the set of partitions with live pages
+/// (slots are neither leaked on eviction/purge/expiry/crash nor lost on
+/// re-entry), and must never exceed the cap.
 pub fn check_accounting(
     op: usize,
     cache: &CacheManager,
     store_index_agree: bool,
+    admission: Option<&FilterRuleAdmission>,
 ) -> Vec<Violation> {
     let mut out = Vec::new();
     let mk = |kind, detail| Violation {
@@ -165,6 +176,55 @@ pub fn check_accounting(
                     quota.as_u64()
                 ),
             ));
+        }
+    }
+    if let Some(adm) = admission {
+        let snapshot = adm.admitted_snapshot();
+        // Check every table the policy tracks, plus every table with live
+        // pages (a live-but-untracked table is exactly the drift we hunt).
+        let mut tables: BTreeSet<(String, String)> = snapshot.keys().cloned().collect();
+        for scope in cache.index().ledger().snapshot().into_keys() {
+            if let CacheScope::Partition { schema, table, .. } = scope {
+                tables.insert((schema, table));
+            }
+        }
+        for (schema, table) in tables {
+            let Some(cap) = adm.cap_for(&schema, &table) else {
+                continue;
+            };
+            let admitted = snapshot
+                .get(&(schema.clone(), table.clone()))
+                .cloned()
+                .unwrap_or_default();
+            if admitted.len() > cap {
+                out.push(mk(
+                    "admission-over-cap",
+                    format!(
+                        "{schema}.{table}: {} admitted partitions over cap {cap}: {admitted:?}",
+                        admitted.len()
+                    ),
+                ));
+            }
+            let live: HashSet<String> = cache
+                .index()
+                .partitions_of_table(&schema, &table)
+                .into_iter()
+                .filter_map(|s| match s {
+                    CacheScope::Partition { partition, .. } => Some(partition),
+                    _ => None,
+                })
+                .collect();
+            if admitted != live {
+                let leaked: Vec<&String> = admitted.difference(&live).collect();
+                let lost: Vec<&String> = live.difference(&admitted).collect();
+                out.push(mk(
+                    "admission-drift",
+                    format!(
+                        "{schema}.{table}: slots held for evicted partitions {leaked:?}, \
+                         live partitions missing slots {lost:?}"
+                    ),
+                ));
+            }
         }
     }
     out

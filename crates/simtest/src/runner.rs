@@ -23,8 +23,10 @@ use std::time::Duration;
 use edgecache_common::bytesize::ByteSize;
 use edgecache_common::clock::{Clock, SharedClock, SimClock};
 use edgecache_common::hash::{fnv1a64, hash_str};
+use edgecache_core::admission::{FilterRule, FilterRuleAdmission, FilterRuleSet};
 use edgecache_core::config::CacheConfig;
 use edgecache_core::manager::{CacheManager, RemoteSource, SourceFile};
+use edgecache_core::AdmissionPolicy;
 use edgecache_distcache::tier::{DistCacheTier, TierConfig};
 use edgecache_distcache::worker::WorkerCacheConfig;
 use edgecache_metrics::{assert_conserved, MetricRegistry, SnapshotDiff, SpanRecord, Tracer};
@@ -104,13 +106,11 @@ impl Drop for ScratchDir {
     }
 }
 
-/// Scope of file `file`: files alternate between two tables so table quota
-/// and shared-scope eviction are exercised.
+/// Scope of file `file`: each file is its own partition, alternating
+/// between two tables, so table quota, shared-scope eviction, partition
+/// lifecycle (enter/exit), and admission-slot recycling are all exercised.
 fn scope_of(file: u32) -> CacheScope {
-    CacheScope::Table {
-        schema: "sim".into(),
-        table: format!("t{}", file % 2),
-    }
+    CacheScope::partition("sim", &format!("t{}", file % 2), &format!("p{file}"))
 }
 
 fn source_file(sc: &Scenario, file: u32) -> SourceFile {
@@ -128,6 +128,9 @@ fn scope_of_path(path: &str) -> CacheScope {
 /// Everything the Direct-topology runner rebuilds on a crash restart.
 struct DirectStack {
     cache: CacheManager,
+    /// Present when the scenario caps `maxCachedPartitions`; the oracle
+    /// compares its admitted sets against live residency after every op.
+    admission: Option<Arc<FilterRuleAdmission>>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -193,8 +196,24 @@ fn build_direct(
             ByteSize::new(q),
         );
     }
+    if let Some(q) = sc.partition_quota {
+        builder = builder.with_quota(CacheScope::partition("sim", "t0", "p0"), ByteSize::new(q));
+    }
+    let admission = sc.max_cached_partitions.map(|cap| {
+        Arc::new(FilterRuleAdmission::new(FilterRuleSet {
+            rules: vec![FilterRule {
+                schema: "sim".into(),
+                table: "*".into(),
+                max_cached_partitions: Some(cap),
+            }],
+            default_admit: true,
+        }))
+    });
+    if let Some(a) = &admission {
+        builder = builder.with_admission(Arc::clone(a) as Arc<dyn AdmissionPolicy>);
+    }
     let cache = builder.build().map_err(|e| format!("build cache: {e}"))?;
-    Ok(DirectStack { cache })
+    Ok(DirectStack { cache, admission })
 }
 
 /// Finalizes an epoch: conservation laws over the epoch's registry, a trace
@@ -401,6 +420,10 @@ fn run_direct(sc: &Scenario) -> RunReport {
                 let n = stack.cache.delete_file(source_file(sc, *file).file_id());
                 format!("deleted {n}")
             }
+            Op::PurgeScope { file } => {
+                let n = stack.cache.delete_scope(&scope_of(*file));
+                format!("purged {n}")
+            }
             Op::AdvanceClock { millis } => {
                 sim.advance(Duration::from_millis(*millis));
                 format!("t={}ms", sim.now_millis())
@@ -474,7 +497,12 @@ fn run_direct(sc: &Scenario) -> RunReport {
 
         // Structural accounting must hold after every completed op (on the
         // freshly recovered stack when a crash just fired).
-        violations.extend(check_accounting(i, &stack.cache, true));
+        violations.extend(check_accounting(
+            i,
+            &stack.cache,
+            true,
+            stack.admission.as_deref(),
+        ));
     }
 
     final_json = finish_epoch(
@@ -665,8 +693,9 @@ fn run_tier(sc: &Scenario) -> RunReport {
                 tier.worker_online(&format!("cw{}", *idx as usize % workers));
                 "online".to_string()
             }
-            // File deletion and crashes are Direct-topology concerns.
-            Op::DeleteFile { .. } | Op::CrashRestart => "noop".to_string(),
+            // File deletion, scope purges, and crashes are Direct-topology
+            // concerns (the tier does not own scopes or stores).
+            Op::DeleteFile { .. } | Op::PurgeScope { .. } | Op::CrashRestart => "noop".to_string(),
         };
         trace.push(format!(
             "op{i:03} {op:?} -> {digest} clock={}ms",
@@ -825,6 +854,117 @@ mod tests {
             "sabotaged remote must trip the oracle: {:?}",
             report.violations
         );
+    }
+
+    #[test]
+    fn quota_profile_seeds_run_clean() {
+        // One Memory and one Local seed of the multi-tenant churn profile:
+        // every seed carries a table quota, a partition quota, and an
+        // admission cap, so the admitted ≡ live-residency oracle is armed
+        // after every op. Each seed must also replay byte-identically.
+        for seed in [0u64, 1] {
+            let sc = Scenario::generate(seed, Profile::Quota);
+            assert!(sc.max_cached_partitions.is_some());
+            let a = run_scenario(&sc);
+            assert!(a.ok(), "seed {seed} violations: {:?}", a.violations);
+            let b = run_scenario(&sc);
+            assert_eq!(a.trace, b.trace, "seed {seed} diverged");
+            assert_eq!(a.final_metrics_json, b.final_metrics_json);
+        }
+    }
+
+    #[test]
+    fn admission_slots_survive_every_exit_path() {
+        use crate::scenario::{Fault, FaultEvent};
+
+        // A hand-built scenario that walks a capped table through every
+        // scope-exit path in one deterministic run: capacity eviction,
+        // quota eviction, TTL expiry, corruption eviction, operator purge,
+        // and a crash restart. Files 0/2/4 are partitions p0/p2/p4 of table
+        // t0 (cap 2); files 1/3/5 are t1. The admitted ≡ live oracle runs
+        // after every op, so any leaked or lost slot fails the run.
+        let page = 4096u64;
+        let read = |file: u32, idx: u64| Op::Read {
+            file,
+            offset: idx * page,
+            len: page,
+        };
+        let sc = Scenario {
+            seed: 424_242,
+            profile: Profile::Quota,
+            backend: Backend::Local,
+            topology: Topology::Direct,
+            page_size: page,
+            cache_capacity: 6 * page,
+            files: 6,
+            file_len: 4 * page,
+            quota: Some(4 * page),           // Table t0.
+            partition_quota: Some(2 * page), // Partition p0 under it.
+            max_cached_partitions: Some(2),
+            sabotage_after: None,
+            ops: vec![
+                // Fill p0 to its partition quota, then one page beyond it:
+                // quota eviction cycles p0's own pages.
+                read(0, 0),
+                read(0, 1),
+                read(0, 2),
+                // p2 takes the second slot; p4 must be bypassed at the cap.
+                read(2, 0),
+                read(4, 0),
+                // Push t0 over its table quota: shared-scope eviction can
+                // fully drain a partition (a quota-driven exit).
+                read(2, 1),
+                read(2, 2),
+                // Uncapped-table traffic forces capacity evictions too.
+                read(1, 0),
+                read(3, 0),
+                read(5, 0),
+                // Corruption eviction: the fault below marks p0's page 0
+                // bad; this read detects, evicts, and refetches it.
+                read(0, 0),
+                // Operator purge exits p2 outright; p4 can then admit.
+                Op::PurgeScope { file: 2 },
+                read(4, 0),
+                read(4, 1),
+                // TTL: everything expires, every slot must come back.
+                Op::AdvanceClock { millis: 61_000 },
+                Op::EvictExpired,
+                read(0, 0),
+                read(2, 3),
+                // Crash restart: the rebuilt stack re-learns slots from
+                // recovered residency, then keeps serving.
+                Op::CrashRestart,
+                read(4, 2),
+                read(0, 1),
+                Op::DeleteFile { file: 0 },
+                read(2, 0),
+            ],
+            faults: vec![FaultEvent {
+                at: 10,
+                fault: Fault::CorruptPage { file: 0, page: 0 },
+            }],
+        };
+        let a = run_scenario(&sc);
+        assert!(
+            a.ok(),
+            "violations: {:?}\ntrace: {:#?}",
+            a.violations,
+            a.trace
+        );
+        assert!(a.epochs >= 2, "the crash restart must split epochs");
+        assert!(
+            a.trace.iter().any(|l| l.contains("purged")),
+            "purge op missing from trace"
+        );
+        // Slots cycled: the ledger observed partition exits and re-entries.
+        assert!(
+            a.final_metrics_json.contains("ledger.enters"),
+            "ledger counters missing from metrics: {}",
+            a.final_metrics_json
+        );
+        let b = run_scenario(&sc);
+        assert_eq!(a.trace, b.trace, "hand-built scenario diverged");
+        assert_eq!(a.final_metrics_json, b.final_metrics_json);
     }
 
     #[test]

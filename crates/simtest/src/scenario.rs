@@ -20,14 +20,20 @@ pub enum Profile {
     Smoke,
     /// Long runs, dense faults, crash/restart cycles; for scheduled sweeps.
     Torture,
+    /// Multi-tenant churn: every seed gets a table quota, a partition
+    /// quota, and a `maxCachedPartitions` cap, so quota eviction and
+    /// admission-slot recycling run constantly. Direct topology only (the
+    /// tier does not own scopes), crash/restart cycles on Local backends.
+    Quota,
 }
 
 impl Profile {
-    /// Parses `"smoke"` / `"torture"`.
+    /// Parses `"smoke"` / `"torture"` / `"quota"`.
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "smoke" => Some(Profile::Smoke),
             "torture" => Some(Profile::Torture),
+            "quota" => Some(Profile::Quota),
             _ => None,
         }
     }
@@ -66,6 +72,9 @@ pub enum Op {
     ReadMulti { file: u32, ranges: Vec<(u64, u64)> },
     /// Drop every cached page of file `file` (coordinated invalidation).
     DeleteFile { file: u32 },
+    /// Purge file `file`'s whole partition scope through the cache manager
+    /// (the operator purge path; exercises scope-exit slot release).
+    PurgeScope { file: u32 },
     /// Advance the simulated clock (lets TTLs expire, stalls pass).
     AdvanceClock { millis: u64 },
     /// Run the TTL janitor's sweep once.
@@ -127,6 +136,13 @@ pub struct Scenario {
     pub file_len: u64,
     /// Optional per-table quota in bytes (applied to table `t0`).
     pub quota: Option<u64>,
+    /// Optional per-partition quota in bytes (applied to file 0's partition
+    /// `p0`, nested under the `t0` table quota when both are set).
+    pub partition_quota: Option<u64>,
+    /// Optional `maxCachedPartitions` cap applied to every table (a
+    /// `schema: sim, table: *` filter rule). Admission slots must recycle
+    /// through every exit path for fresh partitions to keep caching.
+    pub max_cached_partitions: Option<usize>,
     /// After this many remote reads, the simulated remote starts returning
     /// a flipped byte — a deliberately planted bug that the byte-correctness
     /// oracle must catch (meta-test of the oracle + shrinker).
@@ -154,16 +170,33 @@ impl Scenario {
         let total_pages = pages_per_file * files as u64;
         let cap_pages = rng.random_range((total_pages / 4).max(4)..=total_pages + 8);
         let cache_capacity = cap_pages * page_size;
-        let quota = rng
-            .random_bool(0.5)
-            .then(|| rng.random_range(3u64..=8) * page_size);
+        let quota = if profile == Profile::Quota {
+            Some(rng.random_range(4u64..=8) * page_size)
+        } else {
+            rng.random_bool(0.5)
+                .then(|| rng.random_range(3u64..=8) * page_size)
+        };
+        // A partition quota nested under the table quota, and an admission
+        // cap over distinct partitions: always on for the Quota profile,
+        // sampled in for the others so tier-1 sweeps cover them too.
+        let partition_quota = if profile == Profile::Quota {
+            Some(rng.random_range(2u64..=4) * page_size)
+        } else {
+            rng.random_bool(0.25)
+                .then(|| rng.random_range(2u64..=4) * page_size)
+        };
+        let max_cached_partitions = if profile == Profile::Quota {
+            Some(rng.random_range(1usize..=3))
+        } else {
+            rng.random_bool(0.4).then(|| rng.random_range(1usize..=3))
+        };
 
         let backend = if seed % 2 == 1 {
             Backend::Local
         } else {
             Backend::Memory
         };
-        let topology = if seed % 7 == 3 {
+        let topology = if profile != Profile::Quota && seed % 7 == 3 {
             Topology::Tier
         } else {
             Topology::Direct
@@ -172,6 +205,7 @@ impl Scenario {
         let op_count = match profile {
             Profile::Smoke => 60,
             Profile::Torture => 400,
+            Profile::Quota => 120,
         };
         let ops = Self::gen_ops(
             rng, seed, profile, backend, topology, files, file_len, op_count,
@@ -197,6 +231,8 @@ impl Scenario {
             files,
             file_len,
             quota,
+            partition_quota,
+            max_cached_partitions,
             sabotage_after: None,
             ops,
             faults,
@@ -238,8 +274,12 @@ impl Scenario {
                     })
                     .collect();
                 Op::ReadMulti { file, ranges }
-            } else if roll < 0.84 {
+            } else if roll < 0.83 {
                 Op::DeleteFile {
+                    file: rng.random_range(0..files),
+                }
+            } else if roll < 0.86 {
+                Op::PurgeScope {
                     file: rng.random_range(0..files),
                 }
             } else if roll < 0.92 {
@@ -255,7 +295,9 @@ impl Scenario {
                 } else {
                     Op::WorkerOnline { idx }
                 }
-            } else if profile == Profile::Torture && backend == Backend::Local {
+            } else if matches!(profile, Profile::Torture | Profile::Quota)
+                && backend == Backend::Local
+            {
                 Op::CrashRestart
             } else {
                 Op::EvictExpired
@@ -279,6 +321,7 @@ impl Scenario {
         let fault_count = match profile {
             Profile::Smoke => rng.random_range(2usize..=4),
             Profile::Torture => rng.random_range(8usize..=16),
+            Profile::Quota => rng.random_range(4usize..=8),
         };
         let mut faults = Vec::with_capacity(fault_count);
         for _ in 0..fault_count {
@@ -312,7 +355,7 @@ impl Scenario {
                 },
                 _ if backend == Backend::Local
                     && topology == Topology::Direct
-                    && profile == Profile::Torture =>
+                    && matches!(profile, Profile::Torture | Profile::Quota) =>
                 {
                     let site = match rng.random_range(0u32..3) {
                         0 => CrashSite::PutTmpWritten,
@@ -398,6 +441,29 @@ mod tests {
             }
         }
         assert!(batches > 0, "the generator must emit vectored batches");
+    }
+
+    #[test]
+    fn quota_profile_always_constrains_tenancy() {
+        for seed in 0..16 {
+            let s = Scenario::generate(seed, Profile::Quota);
+            assert_eq!(s.topology, Topology::Direct, "seed {seed}");
+            assert!(s.quota.is_some(), "seed {seed} lacks a table quota");
+            assert!(
+                s.partition_quota.is_some(),
+                "seed {seed} lacks a partition quota"
+            );
+            assert!(
+                s.max_cached_partitions.is_some(),
+                "seed {seed} lacks an admission cap"
+            );
+            assert!(
+                s.ops
+                    .iter()
+                    .any(|op| matches!(op, Op::PurgeScope { .. } | Op::DeleteFile { .. })),
+                "seed {seed} has no churn ops"
+            );
+        }
     }
 
     #[test]

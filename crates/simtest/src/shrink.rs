@@ -133,6 +133,14 @@ pub fn render_repro(sc: &Scenario) -> String {
     out.push_str(&format!("        file_len: {},\n", sc.file_len));
     out.push_str(&format!("        quota: {:?},\n", sc.quota));
     out.push_str(&format!(
+        "        partition_quota: {:?},\n",
+        sc.partition_quota
+    ));
+    out.push_str(&format!(
+        "        max_cached_partitions: {:?},\n",
+        sc.max_cached_partitions
+    ));
+    out.push_str(&format!(
         "        sabotage_after: {:?},\n",
         sc.sabotage_after
     ));
@@ -180,12 +188,22 @@ mod tests {
 
     #[test]
     fn repro_names_the_seed_and_compiles_shapes() {
+        use crate::scenario::Op;
         let mut sc = Scenario::generate(4, Profile::Smoke);
         sc.sabotage_after = Some(1);
-        sc.ops.truncate(4);
+        sc.ops = vec![
+            Op::Read {
+                file: 0,
+                offset: 0,
+                len: 64,
+            },
+            Op::PurgeScope { file: 0 },
+        ];
         let repro = render_repro(&sc);
         assert!(repro.contains("seed: 4"), "{repro}");
         assert!(repro.contains("run_scenario"), "{repro}");
         assert!(repro.contains("Read {"), "{repro}");
+        assert!(repro.contains("PurgeScope {"), "{repro}");
+        assert!(repro.contains("max_cached_partitions:"), "{repro}");
     }
 }
