@@ -1,0 +1,19 @@
+//! Harness binary for the `hotpath` wall-clock experiment. Pass `--quick`
+//! for the reduced-scale variant and `--gate <BENCH_hotpath.json>` to fail
+//! if any cell regresses more than 1.2x against a committed baseline from
+//! the same host class. See DESIGN.md §3 for the experiment index.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let report = edgecache_bench::experiments::hotpath::run_with(quick, gate.as_deref());
+    println!("{report}");
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

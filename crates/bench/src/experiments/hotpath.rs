@@ -1,0 +1,486 @@
+//! **Hot path** — wall-clock throughput of the lock-free hit path.
+//!
+//! Unlike the modeled experiments, this suite runs real threads against a
+//! real clock: the point is the *synchronization* cost of the serve path,
+//! which simulated time cannot see. Three benchmarks sweep 1/4/8/16
+//! threads:
+//!
+//! * `hit_serve` — full `cache.read` over a warm working set. Every access
+//!   must classify on the optimistic fast path (shard read lock +
+//!   per-entry `Relaxed` atomics); the `hits.slow_path` counter staying at
+//!   zero is the machine-checkable proof that no hit took a write lock.
+//! * `index_touch` — the bare `IndexManager::touch` probe, isolating the
+//!   index's contribution to hit latency.
+//! * `singleflight` — rendezvous throughput: every round all threads miss
+//!   on the same cold page and the sharded in-flight table must collapse
+//!   them into exactly one remote fetch.
+//!
+//! Results are emitted as `BENCH_hotpath.json` at the workspace root.
+//! Wall-clock numbers are machine-dependent, so the JSON records
+//! `host_cpus` and the gates are host-aware: the ≥3x scaling check (1→8
+//! threads) is enforced only on hosts with ≥8 CPUs; smaller hosts instead
+//! check that contention does not *collapse* throughput (8 threads keep at
+//! least half the single-thread rate) plus the machine-independent
+//! invariants (zero slow-path hits, exact single-flight dedup). CI's
+//! `hotpath-smoke` job re-runs the suite with `--gate` against the
+//! committed JSON and fails if any same-host cell regresses beyond 1.2x.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use bytes::Bytes;
+use edgecache_common::ByteSize;
+use edgecache_core::config::CacheConfig;
+use edgecache_core::manager::{CacheManager, RemoteSource, SourceFile};
+use edgecache_pagestore::{CacheScope, MemoryPageStore, PageId};
+use serde_json::{Number, Value};
+
+use crate::report::{Check, ExperimentReport, TextTable};
+
+/// Thread counts swept by every benchmark.
+const THREADS: [usize; 4] = [1, 4, 8, 16];
+/// Page size for the benchmark caches.
+const PAGE: u64 = 4096;
+/// Warm working set: small enough to stay resident, large enough that
+/// threads do not all hammer one shard.
+const PAGES: usize = 64;
+/// A fresh run must beat `baseline / GATE_FACTOR` in every cell to pass the
+/// `--gate` comparison.
+const GATE_FACTOR: f64 = 1.2;
+
+/// Serves deterministic bytes for any path, instantly, and counts requests.
+struct CountingRemote {
+    requests: AtomicU64,
+}
+
+impl CountingRemote {
+    fn new() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    fn requests(&self) -> u64 {
+        // Relaxed: read after thread::join, which already synchronizes.
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+impl RemoteSource for CountingRemote {
+    fn read(&self, path: &str, offset: u64, len: u64) -> edgecache_common::Result<Bytes> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let seed = path.len() as u64;
+        Ok(Bytes::from(
+            (offset..offset + len)
+                .map(|i| (i.wrapping_add(seed) % 251) as u8)
+                .collect::<Vec<u8>>(),
+        ))
+    }
+}
+
+fn build_cache(capacity: u64) -> Arc<CacheManager> {
+    Arc::new(
+        CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::new(PAGE)))
+            .with_store(Arc::new(MemoryPageStore::new()), capacity)
+            .build()
+            .expect("cache builds"),
+    )
+}
+
+fn source_file() -> SourceFile {
+    SourceFile::new("/hot/f0", 1, PAGES as u64 * PAGE, CacheScope::Global)
+}
+
+/// Runs `body(thread, iteration)` on `threads` real threads after a shared
+/// barrier and returns (total ops, wall-clock ops per second). Each worker
+/// clocks its own span; throughput uses the union span (earliest start to
+/// latest finish) — timing from the coordinating thread would miss work
+/// that completes before the coordinator is rescheduled on small hosts.
+fn measure(threads: usize, per_thread: usize, body: impl Fn(usize, usize) + Sync) -> (u64, f64) {
+    let barrier = Barrier::new(threads);
+    let spans: Vec<(Instant, Instant)> = std::thread::scope(|s| {
+        let body = &body;
+        let barrier = &barrier;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    barrier.wait();
+                    let start = Instant::now();
+                    for i in 0..per_thread {
+                        body(t, i);
+                    }
+                    (start, Instant::now())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench thread"))
+            .collect()
+    });
+    let start = spans.iter().map(|(s, _)| *s).min().expect("threads > 0");
+    let end = spans.iter().map(|(_, e)| *e).max().expect("threads > 0");
+    let total = (threads * per_thread) as u64;
+    (total, total as f64 / (end - start).as_secs_f64().max(1e-9))
+}
+
+/// One measured cell of the sweep.
+struct Cell {
+    bench: &'static str,
+    threads: usize,
+    ops_per_sec: f64,
+}
+
+/// Full-`cache.read` hit serving over a warm working set. Returns the cell
+/// plus (slow-path hits, extra misses) observed during the hammer phase.
+fn bench_hit_serve(threads: usize, per_thread: usize) -> (Cell, u64, u64) {
+    let cache = build_cache(1 << 26);
+    let remote = CountingRemote::new();
+    let f = source_file();
+    cache
+        .read(&f, 0, PAGES as u64 * PAGE, &remote)
+        .expect("warm read");
+    let slow_before = cache.metrics().counter("hits.slow_path").get();
+    let misses_before = cache.stats().misses;
+    let (_, ops) = measure(threads, per_thread, |t, i| {
+        let page = (t * 7 + i) % PAGES;
+        let got = cache
+            .read(&f, page as u64 * PAGE, PAGE, &remote)
+            .expect("hit read");
+        assert_eq!(got.len(), PAGE as usize);
+    });
+    (
+        Cell {
+            bench: "hit_serve",
+            threads,
+            ops_per_sec: ops,
+        },
+        cache.metrics().counter("hits.slow_path").get() - slow_before,
+        cache.stats().misses - misses_before,
+    )
+}
+
+/// The bare index `touch` probe: one shard read lock + two Relaxed stores.
+fn bench_index_touch(threads: usize, per_thread: usize) -> Cell {
+    let cache = build_cache(1 << 26);
+    let remote = CountingRemote::new();
+    let f = source_file();
+    cache
+        .read(&f, 0, PAGES as u64 * PAGE, &remote)
+        .expect("warm read");
+    let ids: Vec<PageId> = (0..PAGES as u64)
+        .map(|i| PageId::new(f.file_id(), i))
+        .collect();
+    let index = cache.index();
+    let (_, ops) = measure(threads, per_thread, |t, i| {
+        let id = &ids[(t * 7 + i) % PAGES];
+        assert!(index.touch(id, 1).is_some(), "warm page stays resident");
+    });
+    Cell {
+        bench: "index_touch",
+        threads,
+        ops_per_sec: ops,
+    }
+}
+
+/// Rendezvous: each round, all threads miss on the same cold page at once;
+/// the sharded single-flight table must emit exactly one remote request per
+/// round. Returns the cell plus (rounds, remote requests).
+fn bench_singleflight(threads: usize, rounds: usize) -> (Cell, u64, u64) {
+    let cache = build_cache(1 << 30);
+    let remote = CountingRemote::new();
+    let rendezvous = Barrier::new(threads);
+    let (_, ops) = {
+        let cache = &cache;
+        let remote = &remote;
+        let rendezvous = &rendezvous;
+        measure(threads, rounds, move |_, r| {
+            rendezvous.wait();
+            let f = SourceFile::new(format!("/sf/f{r}"), 1, PAGE, CacheScope::Global);
+            let got = cache.read(&f, 0, PAGE, remote).expect("cold read");
+            assert_eq!(got.len(), PAGE as usize);
+        })
+    };
+    (
+        Cell {
+            bench: "singleflight",
+            threads,
+            ops_per_sec: ops,
+        },
+        rounds as u64,
+        remote.requests(),
+    )
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+fn num_u(v: u64) -> Value {
+    Value::Number(Number::PosInt(v))
+}
+
+fn num_f(v: f64) -> Value {
+    Value::Number(Number::Float(v))
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Looks up a cell's ops/sec in a parsed `BENCH_hotpath.json`.
+fn baseline_cell(baseline: &Value, bench: &str, threads: usize) -> Option<f64> {
+    baseline.get("cells")?.as_array()?.iter().find_map(|c| {
+        if c.get("bench")?.as_str()? == bench && c.get("threads")?.as_u64()? == threads as u64 {
+            c.get("ops_per_sec")?.as_f64()
+        } else {
+            None
+        }
+    })
+}
+
+/// Runs the hot-path sweep. `gate_baseline`, when given, is a path to a
+/// previously committed `BENCH_hotpath.json`; every cell of the fresh run
+/// must reach at least `baseline / 1.2` ops/sec (compared only when the
+/// baseline was produced on a host with the same CPU count — wall-clock
+/// numbers do not transfer between machines).
+pub fn run_with(quick: bool, gate_baseline: Option<&str>) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "hotpath",
+        "Lock-free hit path: wall-clock serve/index/single-flight throughput by thread count",
+    );
+    // Read the baseline *before* the run clobbers the JSON on disk.
+    let baseline: Option<Value> = gate_baseline.and_then(|path| {
+        match std::fs::read_to_string(path).map(|s| serde_json::from_str::<Value>(&s)) {
+            Ok(Ok(v)) => Some(v),
+            Ok(Err(e)) => {
+                report.notes.push(format!("gate baseline unparseable: {e}"));
+                None
+            }
+            Err(e) => {
+                report
+                    .notes
+                    .push(format!("gate baseline unreadable ({path}): {e}"));
+                None
+            }
+        }
+    });
+
+    let (hit_iters, touch_iters, rounds, reps) = if quick {
+        (2_000, 10_000, 50, 1)
+    } else {
+        // Full runs take the best of three repetitions per cell: wall-clock
+        // throughput on a shared host is scheduler-noisy, and the peak is
+        // the stable, comparable statistic for a regression gate.
+        (40_000, 200_000, 400, 3)
+    };
+
+    report.table = TextTable::new(&["bench", "1 thr", "4 thr", "8 thr", "16 thr", "unit"]);
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut slow_path = 0u64;
+    let mut hammer_misses = 0u64;
+    let mut dedup_exact = true;
+    let mut dedup_detail = String::new();
+
+    let best = |cells: &mut Vec<Cell>, mut rep_cells: Vec<Cell>| {
+        rep_cells.sort_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec));
+        cells.push(rep_cells.pop().expect("reps > 0"));
+    };
+    for &t in &THREADS {
+        let mut reps_out = Vec::new();
+        for _ in 0..reps {
+            let (cell, slow, misses) = bench_hit_serve(t, hit_iters);
+            slow_path += slow;
+            hammer_misses += misses;
+            reps_out.push(cell);
+        }
+        best(&mut cells, reps_out);
+    }
+    for &t in &THREADS {
+        let reps_out = (0..reps)
+            .map(|_| bench_index_touch(t, touch_iters))
+            .collect();
+        best(&mut cells, reps_out);
+    }
+    for &t in &THREADS {
+        let mut reps_out = Vec::new();
+        for _ in 0..reps {
+            let (cell, want, got) = bench_singleflight(t, rounds);
+            if want != got {
+                dedup_exact = false;
+                dedup_detail = format!("{got} remote requests for {want} rounds at {t} threads");
+            }
+            reps_out.push(cell);
+        }
+        best(&mut cells, reps_out);
+    }
+
+    for bench in ["hit_serve", "index_touch", "singleflight"] {
+        let mut row = vec![bench.to_string()];
+        for &t in &THREADS {
+            let ops = cells
+                .iter()
+                .find(|c| c.bench == bench && c.threads == t)
+                .map(|c| c.ops_per_sec)
+                .unwrap_or(0.0);
+            row.push(format!("{:.0}k", ops / 1e3));
+        }
+        row.push("ops/s".to_string());
+        report.table.row(row);
+    }
+
+    let ops_of = |bench: &str, threads: usize| {
+        cells
+            .iter()
+            .find(|c| c.bench == bench && c.threads == threads)
+            .map(|c| c.ops_per_sec)
+            .unwrap_or(0.0)
+    };
+
+    report.checks.push(Check::new(
+        "lock-free hits",
+        "0 slow-path (stripe-locked) hits under pure-hit load",
+        format!("{slow_path} slow-path, {hammer_misses} misses"),
+        slow_path == 0 && hammer_misses == 0,
+    ));
+    report.checks.push(Check::new(
+        "single-flight dedup",
+        "exactly 1 remote request per rendezvous round",
+        if dedup_exact {
+            "exact at every thread count".to_string()
+        } else {
+            dedup_detail
+        },
+        dedup_exact,
+    ));
+    let single = ops_of("hit_serve", 1);
+    report.checks.push(Check::new(
+        "hit-serve floor",
+        ">= 10k ops/s single-threaded",
+        format!("{:.0}k ops/s", single / 1e3),
+        single >= 10_000.0,
+    ));
+
+    let cpus = host_cpus();
+    let eight = ops_of("hit_serve", 8);
+    let scaling = eight / single.max(1e-9);
+    if cpus >= 8 {
+        report.checks.push(Check::new(
+            "hit-serve scaling",
+            ">= 3x ops/s from 1 to 8 threads",
+            format!("{scaling:.1}x on {cpus} CPUs"),
+            scaling >= 3.0,
+        ));
+    } else {
+        // A small host cannot demonstrate parallel speedup; what it *can*
+        // demonstrate is the absence of contention collapse — 8 threads
+        // time-slicing one serve path should keep most of its throughput.
+        report.checks.push(Check::new(
+            "no contention collapse",
+            ">= 0.5x single-thread ops/s at 8 threads (scaling gate needs >= 8 CPUs)",
+            format!("{scaling:.1}x on {cpus} CPUs"),
+            scaling >= 0.5,
+        ));
+    }
+
+    if let Some(base) = &baseline {
+        let base_cpus = base.get("host_cpus").and_then(Value::as_u64).unwrap_or(0);
+        if base_cpus == cpus as u64 {
+            let mut worst: Option<(String, f64)> = None;
+            let mut compared = 0;
+            for c in &cells {
+                if let Some(b) = baseline_cell(base, c.bench, c.threads) {
+                    compared += 1;
+                    let ratio = b / c.ops_per_sec.max(1e-9);
+                    if worst.as_ref().is_none_or(|(_, w)| ratio > *w) {
+                        worst = Some((format!("{}@{}", c.bench, c.threads), ratio));
+                    }
+                }
+            }
+            let (cell, ratio) = worst.unwrap_or(("none".to_string(), 0.0));
+            report.checks.push(Check::new(
+                "regression gate",
+                format!("every cell >= baseline / {GATE_FACTOR}"),
+                format!("worst {ratio:.2}x slower ({cell}), {compared} cells compared"),
+                compared > 0 && ratio <= GATE_FACTOR,
+            ));
+        } else {
+            report.notes.push(format!(
+                "gate skipped: baseline host has {base_cpus} CPUs, this host {cpus} — \
+                 wall-clock cells are not comparable"
+            ));
+        }
+    }
+
+    report.notes.push(format!(
+        "{PAGES} x {PAGE} B warm pages; {hit_iters} hit reads and {touch_iters} touches \
+         per thread; {rounds} single-flight rounds; host_cpus={cpus}"
+    ));
+
+    // Quick (CI/test) runs skip the write so the committed full-run
+    // artifact is not clobbered with reduced-scale numbers.
+    if !quick {
+        let json_cells: Vec<Value> = cells
+            .iter()
+            .map(|c| {
+                obj(vec![
+                    ("bench", Value::String(c.bench.to_string())),
+                    ("threads", num_u(c.threads as u64)),
+                    ("ops_per_sec", num_f((c.ops_per_sec * 10.0).round() / 10.0)),
+                ])
+            })
+            .collect();
+        let json = obj(vec![
+            ("experiment", Value::String("hotpath".to_string())),
+            ("host_cpus", num_u(cpus as u64)),
+            ("pages", num_u(PAGES as u64)),
+            ("page_bytes", num_u(PAGE)),
+            ("hit_iters_per_thread", num_u(hit_iters as u64)),
+            ("touch_iters_per_thread", num_u(touch_iters as u64)),
+            ("singleflight_rounds", num_u(rounds as u64)),
+            ("slow_path_hits", num_u(slow_path)),
+            ("cells", Value::Array(json_cells)),
+        ]);
+        let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+        match serde_json::to_string_pretty(&json) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(out, text + "\n") {
+                    report.notes.push(format!("could not write {out}: {e}"));
+                } else {
+                    report
+                        .notes
+                        .push("results written to BENCH_hotpath.json".to_string());
+                }
+            }
+            Err(e) => report
+                .notes
+                .push(format!("could not serialize results: {e}")),
+        }
+    }
+    report
+}
+
+/// Runs the hot-path sweep without a regression baseline.
+pub fn run(quick: bool) -> ExperimentReport {
+    run_with(quick, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_is_lock_free_and_dedups() {
+        let report = run(true);
+        assert!(report.all_ok(), "{report}");
+    }
+}

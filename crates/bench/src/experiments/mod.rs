@@ -8,6 +8,7 @@ pub mod fig13_read_rates;
 pub mod fig14_blocked_procs;
 pub mod fig2_zipf;
 pub mod fig9_tpcds;
+pub mod hotpath;
 pub mod lazy_movement_ablation;
 pub mod meta_latency;
 pub mod metadata_ablation;
@@ -39,5 +40,6 @@ pub fn run_all(quick: bool) -> Vec<ExperimentReport> {
         quota_ablation::run(quick),
         readpath_scaling::run(quick),
         scanpath::run(quick),
+        hotpath::run(quick),
     ]
 }

@@ -1,0 +1,326 @@
+//! A bounded lock-free queue of access events, decoupling eviction-policy
+//! recency updates from the hit-serve path.
+//!
+//! A cache hit must not take the per-directory policy mutex — under read
+//! concurrency that mutex serializes every reader of the directory. Instead
+//! the hit path *records* the access here (one CAS plus two atomic stores)
+//! and whoever next locks the policy (an insert choosing victims, an
+//! eviction, an explicit drain) replays the buffered events in arrival
+//! order. Recency therefore becomes **batch-granular**: the policy sees
+//! accesses in FIFO order, but only as of the last drain point, and a full
+//! buffer *drops* events (recording the count) rather than block the hit —
+//! losing an access event can only make eviction slightly less informed,
+//! never incorrect.
+//!
+//! The implementation is the classic Vyukov bounded MPMC ring: each slot
+//! carries a sequence number that tickets it to exactly one producer or
+//! consumer per lap, so the queue needs no mutex in either direction.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use edgecache_pagestore::PageId;
+
+/// One ring slot. `seq` tickets the slot: a producer may fill it when
+/// `seq == pos`, a consumer may empty it when `seq == pos + 1`; after use
+/// each advances `seq` one lap so the other side can make the next pass.
+struct Slot {
+    seq: AtomicU64,
+    value: UnsafeCell<MaybeUninit<PageId>>,
+}
+
+/// Cache-line padding so the producer cursor, consumer cursor, and drop
+/// counter do not false-share one line (producers hammer `tail`, the
+/// consumer hammers `head`).
+#[repr(align(64))]
+struct Padded(AtomicU64);
+
+/// A bounded lock-free multi-producer/multi-consumer queue of [`PageId`]
+/// access events. Capacity is rounded up to a power of two.
+pub struct AccessQueue {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Next position to fill (producers).
+    tail: Padded,
+    /// Next position to empty (consumers).
+    head: Padded,
+    /// Events discarded because the ring was full.
+    dropped: Padded,
+}
+
+// SAFETY: a slot's value cell is only written by the producer that won the
+// slot's sequence ticket and only read by the consumer that observes the
+// producer's subsequent Release store of `seq` — the sequence protocol gives
+// each cell exactly one accessor at a time, with Acquire/Release ordering
+// the value against the ticket. `PageId` is `Copy`, so no drops are at
+// stake.
+unsafe impl Send for AccessQueue {}
+unsafe impl Sync for AccessQueue {}
+
+impl AccessQueue {
+    /// Creates a queue holding at least `capacity` events (rounded up to a
+    /// power of two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two() as u64;
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicU64::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Self {
+            slots,
+            mask: cap - 1,
+            tail: Padded(AtomicU64::new(0)),
+            head: Padded(AtomicU64::new(0)),
+            dropped: Padded(AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records an access event. Returns `false` (and counts the drop) when
+    /// the ring is full — the caller must treat the event as lost recency,
+    /// never retry-spin on the hit path.
+    pub fn push(&self, id: PageId) -> bool {
+        let mut pos = self.tail.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            // Acquire pairs with the consumer's Release lap advance: seeing
+            // `seq == pos` proves the consumer finished reading this slot's
+            // previous value.
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq.cmp(&pos) {
+                std::cmp::Ordering::Equal => {
+                    match self.tail.0.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // This producer owns the slot until the Release
+                            // below publishes it to the consumer.
+                            unsafe { (*slot.value.get()).write(id) };
+                            slot.seq.store(pos + 1, Ordering::Release);
+                            return true;
+                        }
+                        Err(now) => pos = now,
+                    }
+                }
+                std::cmp::Ordering::Less => {
+                    // The slot still holds a value from one lap ago: full.
+                    self.dropped.0.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                std::cmp::Ordering::Greater => pos = self.tail.0.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Takes the oldest buffered event, if any.
+    pub fn pop(&self) -> Option<PageId> {
+        let mut pos = self.head.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            // Acquire pairs with the producer's Release publish: seeing
+            // `seq == pos + 1` proves the value write is visible.
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq.cmp(&(pos + 1)) {
+                std::cmp::Ordering::Equal => {
+                    match self.head.0.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let id = unsafe { (*slot.value.get()).assume_init() };
+                            // Release hands the emptied slot to the producer
+                            // one lap ahead.
+                            slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                            return Some(id);
+                        }
+                        Err(now) => pos = now,
+                    }
+                }
+                std::cmp::Ordering::Less => return None,
+                std::cmp::Ordering::Greater => pos = self.head.0.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Events discarded so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.0.load(Ordering::Relaxed)
+    }
+
+    /// Approximate number of buffered events (racy; exact when quiescent).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Relaxed);
+        tail.saturating_sub(head) as usize
+    }
+
+    /// Whether the queue is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for AccessQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccessQueue")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgecache_pagestore::FileId;
+    use std::sync::Arc;
+
+    fn id(n: u64) -> PageId {
+        PageId::new(FileId(n >> 32), n & 0xffff_ffff)
+    }
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = AccessQueue::new(8);
+        for i in 0..5 {
+            assert!(q.push(id(i)));
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(id(i)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_drops_instead_of_blocking() {
+        let q = AccessQueue::new(4);
+        for i in 0..4 {
+            assert!(q.push(id(i)));
+        }
+        assert!(!q.push(id(99)));
+        assert!(!q.push(id(100)));
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(q.pop(), Some(id(0)));
+        // One slot freed: pushes work again.
+        assert!(q.push(id(5)));
+        assert!(!q.push(id(101)));
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let q = AccessQueue::new(4);
+        for lap in 0..100u64 {
+            for i in 0..3 {
+                assert!(q.push(id(lap * 10 + i)));
+            }
+            for i in 0..3 {
+                assert_eq!(q.pop(), Some(id(lap * 10 + i)));
+            }
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        assert_eq!(AccessQueue::new(0).capacity(), 2);
+        assert_eq!(AccessQueue::new(5).capacity(), 8);
+        assert_eq!(AccessQueue::new(64).capacity(), 64);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_but_drops() {
+        const PRODUCERS: u64 = 8;
+        const PER_PRODUCER: u64 = 10_000;
+        let q = Arc::new(AccessQueue::new(1024));
+        let consumed = Arc::new(AtomicU64::new(0));
+        let done = Arc::new(AtomicU64::new(0));
+        let consumer = {
+            let q = Arc::clone(&q);
+            let consumed = Arc::clone(&consumed);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                loop {
+                    while q.pop().is_some() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if done.load(Ordering::Acquire) == PRODUCERS {
+                        // Producers finished; drain whatever remains.
+                        while q.pop().is_some() {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push(id(p * PER_PRODUCER + i));
+                    }
+                    done.fetch_add(1, Ordering::Release);
+                })
+            })
+            .collect();
+        for t in producers {
+            t.join().unwrap();
+        }
+        consumer.join().unwrap();
+        // Every event was either consumed or counted as dropped.
+        assert_eq!(
+            consumed.load(Ordering::Relaxed) + q.dropped(),
+            PRODUCERS * PER_PRODUCER
+        );
+    }
+
+    #[test]
+    fn concurrent_push_pop_yields_no_duplicates() {
+        const N: u64 = 20_000;
+        let q = Arc::new(AccessQueue::new(256));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut accepted = Vec::new();
+                for i in 0..N {
+                    if q.push(id(i)) {
+                        accepted.push(i);
+                    }
+                }
+                accepted
+            })
+        };
+        let mut got = Vec::new();
+        loop {
+            match q.pop() {
+                Some(v) => got.push(v.index),
+                None if producer.is_finished() => {
+                    while let Some(v) = q.pop() {
+                        got.push(v.index);
+                    }
+                    break;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        let accepted = producer.join().unwrap();
+        assert_eq!(got, accepted, "consumer saw exactly the accepted events");
+    }
+}

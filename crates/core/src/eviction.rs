@@ -110,7 +110,14 @@ impl EvictionPolicy for LruPolicy {
     }
 
     fn on_access(&mut self, id: PageId) {
-        self.tracker.touch(id);
+        // Accesses arrive batched through the lock-free event buffer and may
+        // be drained *after* the page was evicted or deleted; touching an
+        // untracked id here would resurrect a dead entry (and a dead entry
+        // can become a `victim()` no eviction confirms, wedging the
+        // capacity loop). Only refresh pages we still track.
+        if self.tracker.contains(id) {
+            self.tracker.touch(id);
+        }
     }
 
     fn on_remove(&mut self, id: PageId) {
@@ -511,6 +518,30 @@ mod tests {
             p.on_remove(pid(99));
             assert_eq!(p.len(), 1);
             assert_eq!(p.victim(), Some(pid(0)));
+        }
+    }
+
+    #[test]
+    fn stale_access_does_not_resurrect_evicted_pages() {
+        // Batched access events can land after the page was removed (the
+        // event buffer drains at the next policy-lock acquisition); no
+        // policy may re-track the page, or `victim()` could return a page
+        // the index no longer holds.
+        for kind in [
+            EvictionPolicyKind::Lru,
+            EvictionPolicyKind::Fifo,
+            EvictionPolicyKind::Random { seed: 3 },
+            EvictionPolicyKind::Slru,
+            EvictionPolicyKind::TwoQ,
+        ] {
+            let mut p = build_policy(kind);
+            p.on_insert(pid(0));
+            p.on_insert(pid(1));
+            p.on_remove(pid(0));
+            p.on_access(pid(0)); // stale event for the evicted page
+            p.on_access(pid(7)); // event for a never-inserted page
+            assert_eq!(p.len(), 1, "{}: membership drifted", p.name());
+            assert_eq!(p.victim(), Some(pid(1)), "{}", p.name());
         }
     }
 

@@ -12,11 +12,15 @@
 //! the page's stable hash, so the point lookups of a vectored classify
 //! (`CacheManager::read_multi` probes every distinct page of a fragment
 //! batch) only contend within a shard instead of serializing on one global
-//! lock. The secondary indexes and byte accounting stay under a single
-//! aggregates lock — they are touched once per insert/remove (cold path),
-//! not per lookup.
+//! lock. The hit path goes further: [`IndexManager::touch`] classifies and
+//! records recency with only a shard *read* lock (per-entry atomics), and
+//! the universe counters (page count, total bytes, per-dir bytes) are
+//! lock-free atomics reconciled on demand by `check_consistency`. The
+//! secondary set indexes stay under a single aggregates lock — they are
+//! touched once per insert/remove (cold path), not per lookup.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use edgecache_pagestore::{CacheScope, FileId, PageId, PageInfo};
 use parking_lot::RwLock;
@@ -26,6 +30,33 @@ use crate::ledger::{ScopeLedger, ScopeUsage};
 /// Number of universe shards (power of two). Sized like the manager's page
 /// lock stripes: far more shards than CPUs keeps collision odds low.
 const INDEX_SHARDS: usize = 64;
+
+/// One universe entry: immutable page metadata plus per-entry recency
+/// bookkeeping that the hit path mutates through `&self` under the shard
+/// *read* lock.
+///
+/// Both atomics are `Relaxed` everywhere: no other data is published through
+/// them (readers only ever use the values themselves, for introspection and
+/// eviction heuristics), so there is nothing for Acquire/Release to order.
+#[derive(Debug)]
+struct PageEntry {
+    info: PageInfo,
+    /// Clock milliseconds of the most recent access.
+    last_access_ms: AtomicU64,
+    /// Number of hits served from this entry since insertion.
+    hits: AtomicU64,
+}
+
+impl PageEntry {
+    fn new(info: PageInfo) -> Self {
+        let created = info.created_ms;
+        Self {
+            info,
+            last_access_ms: AtomicU64::new(created),
+            hits: AtomicU64::new(0),
+        }
+    }
+}
 
 /// In-memory page metadata with secondary indexes.
 ///
@@ -37,12 +68,27 @@ const INDEX_SHARDS: usize = 64;
 /// so a reader holding only one lock sees each page either fully indexed or
 /// fully absent. Whole-universe scans take every shard lock in ascending
 /// order before the aggregates lock.
+///
+/// The hit path ([`Self::touch`]) takes only the page's shard lock, and only
+/// for *read*: recency lives in per-entry atomics, and the universe counters
+/// (`pages`, `total_bytes`, `dir_bytes`) are atomics updated by mutators
+/// while they hold the shard write lock — readers load them lock-free and
+/// [`Self::check_consistency`] reconciles them against a full recount.
 #[derive(Debug)]
 pub struct IndexManager {
     /// The universe set, striped by page hash.
-    shards: Vec<RwLock<HashMap<PageId, PageInfo>>>,
-    /// Secondary indexes and byte accounting.
+    shards: Vec<RwLock<HashMap<PageId, PageEntry>>>,
+    /// Secondary indexes (cold path: touched once per insert/remove).
     aggregates: RwLock<Aggregates>,
+    /// Number of pages in the universe. Relaxed: mutated only under a shard
+    /// write lock; readers want a count, not an ordering guarantee.
+    pages: AtomicUsize,
+    /// Total cached payload bytes. Relaxed, same discipline as `pages`.
+    total_bytes: AtomicU64,
+    /// Per-directory byte usage. The vector grows only under its write lock
+    /// (a dir index beyond the initial count); per-dir updates are Relaxed
+    /// `fetch_add`/`fetch_sub` under the read lock.
+    dir_bytes: RwLock<Vec<AtomicU64>>,
     /// Scope lifecycle ledger, fed by every insert/remove while the index
     /// locks are held — no lifecycle path can bypass it.
     ledger: ScopeLedger,
@@ -50,8 +96,6 @@ pub struct IndexManager {
 
 #[derive(Debug, Default)]
 struct Aggregates {
-    /// Number of pages in the universe.
-    pages: usize,
     /// File-level index.
     by_file: HashMap<FileId, HashSet<PageId>>,
     /// Scope-level index. A page is registered under its *entire* scope
@@ -62,9 +106,6 @@ struct Aggregates {
     /// Directory-(device-)level index (§4.4: "address all pages stored in a
     /// particular storage device").
     by_dir: Vec<HashSet<PageId>>,
-    /// Per-directory byte usage (parallel to `by_dir`).
-    dir_bytes: Vec<u64>,
-    total_bytes: u64,
 }
 
 impl Default for IndexManager {
@@ -78,7 +119,6 @@ impl IndexManager {
     pub fn new(dirs: usize) -> Self {
         let aggregates = Aggregates {
             by_dir: vec![HashSet::new(); dirs],
-            dir_bytes: vec![0; dirs],
             ..Default::default()
         };
         Self {
@@ -86,6 +126,9 @@ impl IndexManager {
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
             aggregates: RwLock::new(aggregates),
+            pages: AtomicUsize::new(0),
+            total_bytes: AtomicU64::new(0),
+            dir_bytes: RwLock::new((0..dirs).map(|_| AtomicU64::new(0)).collect()),
             ledger: ScopeLedger::new(),
         }
     }
@@ -95,8 +138,39 @@ impl IndexManager {
         &self.ledger
     }
 
-    fn shard(&self, id: &PageId) -> &RwLock<HashMap<PageId, PageInfo>> {
+    fn shard(&self, id: &PageId) -> &RwLock<HashMap<PageId, PageEntry>> {
         &self.shards[(id.stable_hash() as usize) & (INDEX_SHARDS - 1)]
+    }
+
+    /// Credits the atomic universe counters for an inserted page. Caller
+    /// holds the page's shard write lock (which is what makes the Relaxed
+    /// updates race-free against other mutators of the same page).
+    fn credit(&self, info: &PageInfo) {
+        self.pages.fetch_add(1, Ordering::Relaxed);
+        self.total_bytes.fetch_add(info.size, Ordering::Relaxed);
+        {
+            let dirs = self.dir_bytes.read();
+            if let Some(d) = dirs.get(info.dir) {
+                d.fetch_add(info.size, Ordering::Relaxed);
+                return;
+            }
+        }
+        // Rare growth path: a dir index beyond the construction count.
+        let mut dirs = self.dir_bytes.write();
+        while dirs.len() <= info.dir {
+            dirs.push(AtomicU64::new(0));
+        }
+        dirs[info.dir].fetch_add(info.size, Ordering::Relaxed);
+    }
+
+    /// Debits the atomic universe counters for a removed page. Caller holds
+    /// the page's shard write lock.
+    fn debit(&self, info: &PageInfo) {
+        self.pages.fetch_sub(1, Ordering::Relaxed);
+        self.total_bytes.fetch_sub(info.size, Ordering::Relaxed);
+        if let Some(d) = self.dir_bytes.read().get(info.dir) {
+            d.fetch_sub(info.size, Ordering::Relaxed);
+        }
     }
 
     /// Inserts (or replaces) a page's metadata. Returns the previous info if
@@ -104,14 +178,16 @@ impl IndexManager {
     pub fn insert(&self, info: PageInfo) -> Option<PageInfo> {
         let mut shard = self.shard(&info.id).write();
         let mut agg = self.aggregates.write();
-        let old = shard.remove(&info.id);
+        let old = shard.remove(&info.id).map(|e| e.info);
         if let Some(old_info) = &old {
             agg.unindex(old_info);
+            self.debit(old_info);
             self.ledger.record_remove(old_info);
         }
         agg.index(&info);
+        self.credit(&info);
         self.ledger.record_insert(&info);
-        shard.insert(info.id, info);
+        shard.insert(info.id, PageEntry::new(info));
         old
     }
 
@@ -119,15 +195,40 @@ impl IndexManager {
     pub fn remove(&self, id: &PageId) -> Option<PageInfo> {
         let mut shard = self.shard(id).write();
         let mut agg = self.aggregates.write();
-        let info = shard.remove(id)?;
+        let info = shard.remove(id)?.info;
         agg.unindex(&info);
+        self.debit(&info);
         self.ledger.record_remove(&info);
         Some(info)
     }
 
     /// Looks up a page's metadata. Touches only the page's shard.
     pub fn get(&self, id: &PageId) -> Option<PageInfo> {
-        self.shard(id).read().get(id).cloned()
+        self.shard(id).read().get(id).map(|e| e.info.clone())
+    }
+
+    /// The hit path's classify probe: if the page is resident, records the
+    /// access (recency timestamp + hit count, both per-entry Relaxed
+    /// atomics) and returns the page's directory. Takes only the shard
+    /// *read* lock — concurrent hits on the same shard, and even the same
+    /// page, proceed in parallel.
+    pub fn touch(&self, id: &PageId, now_ms: u64) -> Option<usize> {
+        let shard = self.shard(id).read();
+        let entry = shard.get(id)?;
+        entry.last_access_ms.store(now_ms, Ordering::Relaxed);
+        entry.hits.fetch_add(1, Ordering::Relaxed);
+        Some(entry.info.dir)
+    }
+
+    /// Per-entry access bookkeeping: `(last_access_ms, hits)`. Introspection
+    /// for tests and eviction diagnostics.
+    pub fn access_stats(&self, id: &PageId) -> Option<(u64, u64)> {
+        let shard = self.shard(id).read();
+        let entry = shard.get(id)?;
+        Some((
+            entry.last_access_ms.load(Ordering::Relaxed),
+            entry.hits.load(Ordering::Relaxed),
+        ))
     }
 
     /// Whether the page is indexed. Touches only the page's shard.
@@ -165,13 +266,13 @@ impl IndexManager {
             .unwrap_or_default()
     }
 
-    /// Bytes cached on a storage directory. O(1).
+    /// Bytes cached on a storage directory. O(1), lock-free but for the
+    /// (uncontended) growth lock on the counter vector.
     pub fn bytes_of_dir(&self, dir: usize) -> u64 {
-        self.aggregates
+        self.dir_bytes
             .read()
-            .dir_bytes
             .get(dir)
-            .copied()
+            .map(|d| d.load(Ordering::Relaxed))
             .unwrap_or(0)
     }
 
@@ -199,9 +300,9 @@ impl IndexManager {
             .collect()
     }
 
-    /// Total cached payload bytes.
+    /// Total cached payload bytes. Lock-free.
     pub fn total_bytes(&self) -> u64 {
-        self.aggregates.read().total_bytes
+        self.total_bytes.load(Ordering::Relaxed)
     }
 
     /// The `n` scopes holding the most cached bytes at the given level of
@@ -220,9 +321,9 @@ impl IndexManager {
         out
     }
 
-    /// Number of cached pages. O(1).
+    /// Number of cached pages. O(1), lock-free.
     pub fn len(&self) -> usize {
-        self.aggregates.read().pages
+        self.pages.load(Ordering::Relaxed)
     }
 
     /// Whether the cache is empty.
@@ -238,8 +339,8 @@ impl IndexManager {
                 shard
                     .read()
                     .values()
-                    .filter(|info| info.created_ms < cutoff_ms)
-                    .map(|info| info.id),
+                    .filter(|e| e.info.created_ms < cutoff_ms)
+                    .map(|e| e.info.id),
             );
         }
         out
@@ -254,10 +355,16 @@ impl IndexManager {
         let agg = self.aggregates.read();
         let mut total = 0u64;
         let mut universe_count = 0usize;
+        let mut dir_totals: Vec<u64> = Vec::new();
         for shard in &shards {
-            for (id, info) in shard.iter() {
+            for (id, entry) in shard.iter() {
+                let info = &entry.info;
                 universe_count += 1;
                 total += info.size;
+                if dir_totals.len() <= info.dir {
+                    dir_totals.resize(info.dir + 1, 0);
+                }
+                dir_totals[info.dir] += info.size;
                 if !agg
                     .by_file
                     .get(&info.id.file)
@@ -275,17 +382,39 @@ impl IndexManager {
                 }
             }
         }
-        if total != agg.total_bytes {
+        // Reconcile the lock-free universe counters against the recount.
+        // All mutators hold shard write locks, which we exclude by holding
+        // every shard read lock — the atomics are quiescent here.
+        let tracked_total = self.total_bytes.load(Ordering::Relaxed);
+        if total != tracked_total {
             return Err(format!(
-                "total bytes mismatch: computed {total}, tracked {}",
-                agg.total_bytes
+                "total bytes mismatch: computed {total}, tracked {tracked_total}"
             ));
         }
-        if universe_count != agg.pages {
+        let tracked_pages = self.pages.load(Ordering::Relaxed);
+        if universe_count != tracked_pages {
             return Err(format!(
-                "page count mismatch: computed {universe_count}, tracked {}",
-                agg.pages
+                "page count mismatch: computed {universe_count}, tracked {tracked_pages}"
             ));
+        }
+        {
+            let dirs = self.dir_bytes.read();
+            for (dir, computed) in dir_totals.iter().enumerate() {
+                let tracked = dirs.get(dir).map(|d| d.load(Ordering::Relaxed));
+                if tracked != Some(*computed) {
+                    return Err(format!(
+                        "dir {dir} bytes mismatch: computed {computed}, tracked {tracked:?}"
+                    ));
+                }
+            }
+            let stray: u64 = dirs
+                .iter()
+                .skip(dir_totals.len())
+                .map(|d| d.load(Ordering::Relaxed))
+                .sum();
+            if stray != 0 {
+                return Err(format!("{stray} B tracked for dirs holding no pages"));
+            }
         }
         let file_count: usize = agg.by_file.values().map(HashSet::len).sum();
         if file_count != universe_count {
@@ -295,15 +424,12 @@ impl IndexManager {
         if dir_count != universe_count {
             return Err("dir index is not a partition of the universe".to_string());
         }
-        let dir_total: u64 = agg.dir_bytes.iter().sum();
-        if dir_total != agg.total_bytes {
-            return Err("dir byte accounting does not sum to total".to_string());
-        }
         // Ledger oracle: the lifecycle ledger's independent books must match
         // the per-scope usage recomputed from the universe.
         let mut expected: HashMap<CacheScope, ScopeUsage> = HashMap::new();
         for shard in &shards {
-            for info in shard.values() {
+            for entry in shard.values() {
+                let info = &entry.info;
                 for scope in info.scope.chain() {
                     let entry = expected.entry(scope).or_default();
                     entry.pages += 1;
@@ -343,12 +469,8 @@ impl Aggregates {
         }
         if info.dir >= self.by_dir.len() {
             self.by_dir.resize_with(info.dir + 1, HashSet::new);
-            self.dir_bytes.resize(info.dir + 1, 0);
         }
         self.by_dir[info.dir].insert(id);
-        self.dir_bytes[info.dir] += info.size;
-        self.total_bytes += info.size;
-        self.pages += 1;
     }
 
     fn unindex(&mut self, info: &PageInfo) {
@@ -376,11 +498,6 @@ impl Aggregates {
         if let Some(set) = self.by_dir.get_mut(info.dir) {
             set.remove(id);
         }
-        if let Some(b) = self.dir_bytes.get_mut(info.dir) {
-            *b -= info.size;
-        }
-        self.total_bytes -= info.size;
-        self.pages -= 1;
     }
 }
 
@@ -509,6 +626,48 @@ mod tests {
         assert!(idx.pages_of_file(FileId(9)).is_empty());
         assert!(idx.pages_of_dir(5).is_empty());
         assert_eq!(idx.bytes_of_scope(&CacheScope::parse("none")), 0);
+    }
+
+    #[test]
+    fn touch_records_recency_and_dir() {
+        let idx = IndexManager::new(2);
+        let id = PageId::new(FileId(1), 0);
+        assert_eq!(idx.touch(&id, 5), None, "absent page is not touched");
+        idx.insert(info(1, 0, 100, CacheScope::Global, 1));
+        assert_eq!(idx.access_stats(&id), Some((0, 0)));
+        assert_eq!(idx.touch(&id, 42), Some(1));
+        assert_eq!(idx.touch(&id, 99), Some(1));
+        assert_eq!(idx.access_stats(&id), Some((99, 2)));
+        // Replacement resets the per-entry bookkeeping.
+        idx.insert(info(1, 0, 100, CacheScope::Global, 0));
+        assert_eq!(idx.access_stats(&id), Some((0, 0)));
+        idx.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn concurrent_touches_lose_no_hits() {
+        use std::sync::Arc;
+        const THREADS: u64 = 8;
+        const ITERS: u64 = 5_000;
+        let idx = Arc::new(IndexManager::new(1));
+        let id = PageId::new(FileId(7), 3);
+        idx.insert(info(7, 3, 10, CacheScope::Global, 0));
+        let threads: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let idx = Arc::clone(&idx);
+                std::thread::spawn(move || {
+                    for i in 0..ITERS {
+                        assert_eq!(idx.touch(&id, t * ITERS + i), Some(0));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let (_, hits) = idx.access_stats(&id).unwrap();
+        assert_eq!(hits, THREADS * ITERS, "no hit count lost to racing");
+        idx.check_consistency().unwrap();
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //!
 //! Component map (mirrors Figure 3 of the paper):
 //!
+//! * [`accessq`] — the bounded lock-free access-event queue that decouples
+//!   eviction recency updates from the hit-serve path (batch-granular
+//!   recency; see DESIGN.md "Hot path & memory ordering").
 //! * [`admission`] — the *admission controller*: JSON filter rules with
 //!   `maxCachedPartitions` (§5.1) and the `BucketTimeRateLimit` sliding
 //!   window (§6.2.2).
@@ -53,6 +56,7 @@
 //! assert_eq!(cache.metrics().counter("hits").get(), 1);
 //! ```
 
+pub mod accessq;
 pub mod admission;
 pub mod allocator;
 pub mod config;
@@ -64,6 +68,7 @@ mod proptests;
 pub mod quota;
 pub mod ratelimit;
 
+pub use accessq::AccessQueue;
 pub use admission::{AdmissionPolicy, AdmitAll, FilterRuleAdmission, SlidingWindowAdmission};
 pub use config::{CacheConfig, EvictionPolicyKind};
 pub use eviction::EvictionPolicy;

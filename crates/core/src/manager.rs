@@ -28,10 +28,11 @@ use edgecache_common::clock::{system_clock, SharedClock};
 use edgecache_common::error::{Error, Result};
 use edgecache_common::ByteSize;
 use edgecache_metrics::trace::{Span, SpanId, Tracer};
-use edgecache_metrics::MetricRegistry;
+use edgecache_metrics::{Counter, Histogram, MetricRegistry};
 use edgecache_pagestore::{CacheScope, FileId, PageId, PageInfo, PageStore};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
+use crate::accessq::AccessQueue;
 use crate::admission::{AdmissionPolicy, AdmitAll};
 use crate::allocator::Allocator;
 use crate::config::CacheConfig;
@@ -42,6 +43,16 @@ use crate::quota::{QuotaManager, QuotaViolation};
 
 /// Number of page-lock stripes (power of two).
 const LOCK_STRIPES: usize = 1024;
+
+/// Number of single-flight table shards (power of two): misses on different
+/// pages land on different shards and never contend on one global mutex.
+const INFLIGHT_SHARDS: usize = 64;
+
+/// Capacity of each directory's access-event ring. Sized so batches between
+/// two policy-lock acquisitions (one per put/evict) rarely overflow; a full
+/// ring drops events (counted by `policy.events_dropped`) rather than stall
+/// the hit path.
+const ACCESS_EVENT_BUFFER: usize = 4096;
 
 /// The remote data source the cache reads through on a miss.
 ///
@@ -217,6 +228,106 @@ pub struct CacheStats {
 /// Maps a file path to the cache scope it should be quota-accounted under.
 type ScopeResolver = Box<dyn Fn(&str) -> CacheScope + Send + Sync>;
 
+/// One directory's eviction policy plus the lock-free buffer of access
+/// events feeding it.
+///
+/// Hits call [`PolicyCell::record_access`] — a ring push, no mutex. Every
+/// path that locks the policy goes through [`PolicyCell::lock`], which
+/// drains the buffer first, so the policy observes all accesses recorded
+/// before the acquisition (in arrival order) before it chooses victims or
+/// registers inserts/removes. Recency is therefore *batch-granular*: exact
+/// FIFO between drain points, with drains at every insert and eviction.
+struct PolicyCell {
+    policy: Mutex<Box<dyn EvictionPolicy>>,
+    events: AccessQueue,
+}
+
+impl PolicyCell {
+    fn new(policy: Box<dyn EvictionPolicy>) -> Self {
+        Self {
+            policy: Mutex::new(policy),
+            events: AccessQueue::new(ACCESS_EVENT_BUFFER),
+        }
+    }
+
+    /// Records a hit without touching the policy mutex. Returns `false`
+    /// when the ring was full and the event was dropped (lost recency only
+    /// — membership is maintained by inserts/removes, never by accesses).
+    fn record_access(&self, id: PageId) -> bool {
+        self.events.push(id)
+    }
+
+    /// Locks the policy, first replaying buffered access events.
+    fn lock(&self) -> MutexGuard<'_, Box<dyn EvictionPolicy>> {
+        let mut guard = self.policy.lock();
+        while let Some(id) = self.events.pop() {
+            guard.on_access(id);
+        }
+        guard
+    }
+
+    /// Buffered events not yet applied to the policy.
+    fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Metric handles the per-page serve path increments, resolved once at
+/// construction. The registry's name lookup takes a `RwLock<BTreeMap>` —
+/// fine once per snapshot or error, wrong once (or more) per page read.
+/// Cold paths (error breakdowns, eviction causes, recovery, lifecycle)
+/// still go through the registry by name.
+struct HotMetrics {
+    hits: Arc<Counter>,
+    /// Hits classified under the stripe lock (the double-check after an
+    /// optimistic probe missed). A pure-hit steady state must keep this at
+    /// zero — the hotpath benchmark asserts exactly that to prove hits
+    /// acquire no lock beyond the shard read lock.
+    hits_slow_path: Arc<Counter>,
+    misses: Arc<Counter>,
+    page_reads: Arc<Counter>,
+    vectored_reads: Arc<Counter>,
+    puts: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    bytes_requested: Arc<Counter>,
+    bytes_copied: Arc<Counter>,
+    bytes_from_cache: Arc<Counter>,
+    bytes_from_remote: Arc<Counter>,
+    remote_requests: Arc<Counter>,
+    inflight_waits: Arc<Counter>,
+    admission_rejected: Arc<Counter>,
+    fallbacks_timeout: Arc<Counter>,
+    coalesced_pages: Arc<Counter>,
+    /// Access events dropped because a policy ring was full.
+    policy_events_dropped: Arc<Counter>,
+    fetch_batch_bytes: Arc<Histogram>,
+}
+
+impl HotMetrics {
+    fn new(m: &MetricRegistry) -> Self {
+        Self {
+            hits: m.counter("hits"),
+            hits_slow_path: m.counter("hits.slow_path"),
+            misses: m.counter("misses"),
+            page_reads: m.counter("page_reads"),
+            vectored_reads: m.counter("vectored_reads"),
+            puts: m.counter("puts"),
+            bytes_written: m.counter("bytes_written"),
+            bytes_requested: m.counter("bytes_requested"),
+            bytes_copied: m.counter("bytes_copied"),
+            bytes_from_cache: m.counter("bytes_from_cache"),
+            bytes_from_remote: m.counter("bytes_from_remote"),
+            remote_requests: m.counter("remote_requests"),
+            inflight_waits: m.counter("fetch.inflight_waits"),
+            admission_rejected: m.counter("admission_rejected"),
+            fallbacks_timeout: m.counter("fallbacks.timeout"),
+            coalesced_pages: m.counter("fetch.coalesced_pages"),
+            policy_events_dropped: m.counter("policy.events_dropped"),
+            fetch_batch_bytes: m.histogram("fetch.batch_bytes"),
+        }
+    }
+}
+
 /// Builder for [`CacheManager`].
 pub struct CacheManagerBuilder {
     config: CacheConfig,
@@ -306,8 +417,8 @@ impl CacheManagerBuilder {
             metrics: metrics.clone(),
             admission: Arc::clone(&self.admission),
         }));
-        let policies: Vec<Mutex<Box<dyn EvictionPolicy>>> = (0..dirs)
-            .map(|_| Mutex::new(build_policy(self.config.eviction)))
+        let policies: Vec<PolicyCell> = (0..dirs)
+            .map(|_| PolicyCell::new(build_policy(self.config.eviction)))
             .collect();
         let io_pool = if self.config.enforce_read_timeout {
             Some(IoPool::new(self.config.io_threads.max(1)))
@@ -325,6 +436,7 @@ impl CacheManagerBuilder {
         } else {
             None
         };
+        let hot = HotMetrics::new(&metrics);
         let manager = CacheManager {
             allocator: Allocator::new(self.capacities),
             stores: self.stores,
@@ -333,9 +445,12 @@ impl CacheManagerBuilder {
             quota: self.quota,
             admission: self.admission,
             metrics,
+            hot,
             clock: self.clock,
             page_locks: (0..LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
-            inflight: Mutex::new(HashMap::new()),
+            inflight: (0..INFLIGHT_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             io_pool,
             fetch_pool,
             rng_state: AtomicU64::new(0x853c_49e6_748f_ea9b),
@@ -382,15 +497,20 @@ pub struct CacheManager {
     stores: Vec<Arc<dyn PageStore>>,
     allocator: Allocator,
     index: IndexManager,
-    policies: Vec<Mutex<Box<dyn EvictionPolicy>>>,
+    policies: Vec<PolicyCell>,
     quota: QuotaManager,
     admission: Arc<dyn AdmissionPolicy>,
     metrics: MetricRegistry,
+    /// Pre-resolved handles for per-page-read metric updates.
+    hot: HotMetrics,
     clock: SharedClock,
     page_locks: Vec<Mutex<()>>,
-    /// Single-flight table: pages currently being fetched from the remote.
-    /// Locked strictly *after* a stripe lock, never before.
-    inflight: Mutex<HashMap<PageId, Arc<InflightFetch>>>,
+    /// Single-flight table: pages currently being fetched from the remote,
+    /// sharded by page hash so misses on different pages never contend.
+    /// A shard is locked strictly *after* a stripe lock, never before, and
+    /// never together with another shard (except the read-only sweep of
+    /// [`Self::inflight_fetches`], which holds no stripe lock).
+    inflight: Vec<Mutex<HashMap<PageId, Arc<InflightFetch>>>>,
     io_pool: Option<IoPool>,
     /// Workers for concurrent stage-2 remote fetches (absent when
     /// `max_concurrent_fetches` is 1: fetches then run inline).
@@ -451,7 +571,7 @@ impl CacheManager {
     /// future reader of that page (the torture harness asserts this after
     /// every operation).
     pub fn inflight_fetches(&self) -> usize {
-        self.inflight.lock().len()
+        self.inflight.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Per-directory `(bytes_used_by_store, bytes_indexed, capacity)` —
@@ -470,8 +590,8 @@ impl CacheManager {
 
     /// Headline statistics.
     pub fn stats(&self) -> CacheStats {
-        let hits = self.metrics.counter("hits").get();
-        let misses = self.metrics.counter("misses").get();
+        let hits = self.hot.hits.get();
+        let misses = self.hot.misses.get();
         let total = hits + misses;
         CacheStats {
             pages: self.index.len(),
@@ -492,6 +612,37 @@ impl CacheManager {
 
     fn stripe(&self, id: PageId) -> &Mutex<()> {
         &self.page_locks[(id.stable_hash() as usize) & (LOCK_STRIPES - 1)]
+    }
+
+    fn inflight_shard(&self, id: PageId) -> &Mutex<HashMap<PageId, Arc<InflightFetch>>> {
+        &self.inflight[(id.stable_hash() as usize) & (INFLIGHT_SHARDS - 1)]
+    }
+
+    /// Access events buffered across all directories but not yet applied to
+    /// their eviction policies (introspection for tests and oracles).
+    #[doc(hidden)]
+    pub fn pending_access_events(&self) -> usize {
+        self.policies.iter().map(PolicyCell::pending_events).sum()
+    }
+
+    /// Oracle used by the simulation harness: after draining buffered
+    /// access events, every eviction policy must track exactly as many
+    /// pages as the index holds in its directory. Deferred (batch-granular)
+    /// recency may lag; *membership* may not drift — a policy entry without
+    /// an index entry could surface as a victim no eviction confirms, and
+    /// the reverse would shelter a page from eviction forever.
+    #[doc(hidden)]
+    pub fn check_policy_coherence(&self) -> std::result::Result<(), String> {
+        for (dir, cell) in self.policies.iter().enumerate() {
+            let tracked = cell.lock().len();
+            let indexed = self.index.pages_of_dir(dir).len();
+            if tracked != indexed {
+                return Err(format!(
+                    "dir {dir}: policy tracks {tracked} pages, index holds {indexed}"
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn next_rand(&self) -> u64 {
@@ -544,7 +695,7 @@ impl CacheManager {
         if offset >= end {
             return Ok(Bytes::new());
         }
-        self.metrics.counter("bytes_requested").add(end - offset);
+        self.hot.bytes_requested.add(end - offset);
         let mut root = self.tracer.span("cache.read");
         root.annotate("path", &file.path);
         root.annotate("offset", offset);
@@ -563,7 +714,7 @@ impl CacheManager {
         classify_span.finish();
         // Every page this read touches, hit or miss — the conservation
         // anchor: page_reads == hits + misses + fallbacks.timeout.
-        self.metrics.counter("page_reads").add(plans.len() as u64);
+        self.hot.page_reads.add(plans.len() as u64);
 
         let served = self.fetch_publish_serve(file, &mut plans, source, root.id())?;
 
@@ -591,7 +742,7 @@ impl CacheManager {
             return Ok(parts.pop().expect("one part"));
         }
         let total: usize = parts.iter().map(Bytes::len).sum();
-        self.metrics.counter("bytes_copied").add(total as u64);
+        self.hot.bytes_copied.add(total as u64);
         let mut out = BytesMut::with_capacity(total);
         for part in &parts {
             out.extend_from_slice(part);
@@ -657,7 +808,7 @@ impl CacheManager {
                 }
             })
             .collect();
-        self.metrics.counter("bytes_requested").add(requested);
+        self.hot.bytes_requested.add(requested);
         // Distinct pages in ascending order → union of requested
         // page-relative sub-ranges. The union may over-read the gap between
         // two fragments landing on the same page; it never crosses a page.
@@ -714,8 +865,8 @@ impl CacheManager {
             classify_span.annotate("bypass", count(|c| matches!(c, PageClass::Bypass)));
         }
         classify_span.finish();
-        self.metrics.counter("page_reads").add(plans.len() as u64);
-        self.metrics.counter("vectored_reads").inc();
+        self.hot.page_reads.add(plans.len() as u64);
+        self.hot.vectored_reads.inc();
         self.metrics
             .histogram("vectored.fragments")
             .record(fragments.len() as u64);
@@ -760,7 +911,7 @@ impl CacheManager {
                     continue;
                 }
             }
-            self.metrics.counter("bytes_copied").add(end - start);
+            self.hot.bytes_copied.add(end - start);
             let mut buf = BytesMut::with_capacity((end - start) as usize);
             for idx in first..=last {
                 let plan = &plans[page_pos[&idx]];
@@ -955,42 +1106,65 @@ impl CacheManager {
         plans
     }
 
-    /// Classifies one page under its stripe lock: the shared body of
-    /// [`Self::classify`] and the vectored classify of [`Self::read_multi`].
+    /// Classifies one page: the shared body of [`Self::classify`] and the
+    /// vectored classify of [`Self::read_multi`].
+    ///
+    /// The hit path is lock-free in the write sense: an optimistic
+    /// [`IndexManager::touch`] classifies a resident page under its index
+    /// shard's *read* lock, records recency in per-entry atomics, and
+    /// pushes the policy access event into the lock-free ring — no stripe
+    /// mutex, no policy mutex, no aggregates lock. Recording the access at
+    /// classify (not serve) time keeps the old guarantee: stage 3 of this
+    /// very read drains the ring before choosing eviction victims, so it
+    /// cannot evict a page we are about to serve. Safety of the optimism:
+    /// if the page is evicted between classify and serve, [`Self::serve_hit`]
+    /// already degrades to a direct refetch.
+    ///
+    /// Only misses take the stripe lock, re-check the index (a concurrent
+    /// publisher may have landed the page), and consult the single-flight
+    /// shard.
     fn classify_page(&self, file: &SourceFile, id: PageId, now: u64, parent: SpanId) -> PageClass {
+        if let Some(dir) = self.index.touch(&id, now) {
+            if !self.policies[dir].record_access(id) {
+                self.hot.policy_events_dropped.inc();
+            }
+            return PageClass::Hit;
+        }
         let _guard = self.stripe(id).lock();
-        if let Some(info) = self.index.get(&id) {
-            // Record the access now, not at serve time: publishing
-            // this read's own fetched pages (stage 3) must not pick
-            // a page we are about to serve as an eviction victim.
-            self.policies[info.dir].lock().on_access(id);
-            PageClass::Hit
+        if let Some(dir) = self.index.touch(&id, now) {
+            // Double-check hit: published between the optimistic probe and
+            // the lock. Counted separately — a pure-hit workload must never
+            // land here (the hotpath benchmark asserts it stays 0).
+            self.hot.hits_slow_path.inc();
+            if !self.policies[dir].record_access(id) {
+                self.hot.policy_events_dropped.inc();
+            }
+            return PageClass::Hit;
+        }
+        self.hot.misses.inc();
+        let mut inflight = self.inflight_shard(id).lock();
+        if let Some(latch) = inflight.get(&id) {
+            // Join the in-flight fetch regardless of admission:
+            // the owner is caching this page anyway.
+            self.hot.inflight_waits.inc();
+            PageClass::Waiter {
+                latch: Arc::clone(latch),
+            }
         } else {
-            self.metrics.counter("misses").inc();
-            let mut inflight = self.inflight.lock();
-            if let Some(latch) = inflight.get(&id) {
-                // Join the in-flight fetch regardless of admission:
-                // the owner is caching this page anyway.
-                self.metrics.counter("fetch.inflight_waits").inc();
-                PageClass::Waiter {
-                    latch: Arc::clone(latch),
-                }
+            let mut admission_span = self.tracer.child(parent, "admission");
+            let admitted = self.admission.admit(&file.path, &file.scope, now);
+            admission_span.annotate("page", id);
+            admission_span.annotate("admitted", admitted);
+            admission_span.finish();
+            if admitted {
+                let latch = Arc::new(InflightFetch::default());
+                inflight.insert(id, Arc::clone(&latch));
+                PageClass::Owner { latch }
             } else {
-                let mut admission_span = self.tracer.child(parent, "admission");
-                let admitted = self.admission.admit(&file.path, &file.scope, now);
-                admission_span.annotate("page", id);
-                admission_span.annotate("admitted", admitted);
-                admission_span.finish();
-                if admitted {
-                    let latch = Arc::new(InflightFetch::default());
-                    inflight.insert(id, Arc::clone(&latch));
-                    PageClass::Owner { latch }
-                } else {
-                    // Non-cache read path (Figure 3): read exactly
-                    // what was asked.
-                    self.metrics.counter("admission_rejected").inc();
-                    PageClass::Bypass
-                }
+                // Non-cache read path (Figure 3): read exactly
+                // what was asked.
+                self.hot.admission_rejected.inc();
+                PageClass::Bypass
             }
         }
     }
@@ -1052,11 +1226,9 @@ impl CacheManager {
             return;
         }
         let (_, len) = fetches[fetches.len() - 1];
-        self.metrics.histogram("fetch.batch_bytes").record(len);
+        self.hot.fetch_batch_bytes.record(len);
         if run_pages > 1 {
-            self.metrics
-                .counter("fetch.coalesced_pages")
-                .add(run_pages - 1);
+            self.hot.coalesced_pages.add(run_pages - 1);
         }
     }
 
@@ -1144,10 +1316,8 @@ impl CacheManager {
             match result {
                 Ok(buffers) if buffers.len() == want => {
                     for bytes in buffers {
-                        self.metrics.counter("remote_requests").inc();
-                        self.metrics
-                            .counter("bytes_from_remote")
-                            .add(bytes.len() as u64);
+                        self.hot.remote_requests.inc();
+                        self.hot.bytes_from_remote.add(bytes.len() as u64);
                         // Ranges are pre-clamped to the file length, so an
                         // honest remote returns exactly the bytes asked for.
                         // A short buffer must fail the slot here — cached
@@ -1236,7 +1406,7 @@ impl CacheManager {
                 // no page landed; return the slot if the scope stayed empty.
                 self.release_admission_if_vacant(&file.scope);
             }
-            self.inflight.lock().remove(&id);
+            self.inflight_shard(id).lock().remove(&id);
         }
         latch.publish(outcome.clone());
     }
@@ -1269,26 +1439,22 @@ impl CacheManager {
         match got {
             Ok(bytes) => {
                 // The policy access was recorded at classification time.
-                self.metrics.counter("hits").inc();
-                self.metrics
-                    .counter("bytes_from_cache")
-                    .add(bytes.len() as u64);
+                self.hot.hits.inc();
+                self.hot.bytes_from_cache.add(bytes.len() as u64);
                 Ok(bytes)
             }
             Err(Error::Timeout { .. }) => {
                 // §8 "File read hanging": fall back to remote, keeping the
                 // cached page for future reads.
                 self.metrics.record_error("get", "timeout");
-                self.metrics.counter("fallbacks.timeout").inc();
+                self.hot.fallbacks_timeout.inc();
                 let mut fallback_span = self.tracer.child(parent, "remote_fallback");
                 fallback_span.annotate("reason", "timeout");
                 fallback_span.annotate("page", id);
                 let abs = plan.page_start + plan.within_off;
                 let bytes = source.read(&file.path, abs, plan.within_len)?;
-                self.metrics
-                    .counter("bytes_from_remote")
-                    .add(bytes.len() as u64);
-                self.metrics.counter("remote_requests").inc();
+                self.hot.bytes_from_remote.add(bytes.len() as u64);
+                self.hot.remote_requests.inc();
                 if bytes.len() as u64 != plan.within_len {
                     return Err(Error::Decode(format!(
                         "remote returned {} bytes for a {}-byte range",
@@ -1331,15 +1497,13 @@ impl CacheManager {
         let mut direct_span = self.tracer.child(parent, "remote_fallback");
         direct_span.annotate("reason", "refetch");
         direct_span.annotate("page", plan.id);
-        self.metrics.counter("misses").inc();
+        self.hot.misses.inc();
         if !self.admission.admit(&file.path, &file.scope, self.now_ms()) {
-            self.metrics.counter("admission_rejected").inc();
+            self.hot.admission_rejected.inc();
             let abs = plan.page_start + plan.within_off;
             let bytes = source.read(&file.path, abs, plan.within_len)?;
-            self.metrics
-                .counter("bytes_from_remote")
-                .add(bytes.len() as u64);
-            self.metrics.counter("remote_requests").inc();
+            self.hot.bytes_from_remote.add(bytes.len() as u64);
+            self.hot.remote_requests.inc();
             if bytes.len() as u64 != plan.within_len {
                 return Err(Error::Decode(format!(
                     "remote returned {} bytes for a {}-byte range",
@@ -1356,10 +1520,8 @@ impl CacheManager {
                 return Err(e);
             }
         };
-        self.metrics
-            .counter("bytes_from_remote")
-            .add(data.len() as u64);
-        self.metrics.counter("remote_requests").inc();
+        self.hot.bytes_from_remote.add(data.len() as u64);
+        self.hot.remote_requests.inc();
         if data.len() as u64 != plan.page_len {
             // Never cache a short page (see execute_fetches).
             self.release_admission_if_vacant(&file.scope);
@@ -1420,11 +1582,13 @@ impl CacheManager {
             .ok_or_else(|| Error::NotFound(format!("page {id}")))?;
         match self.store_get(info.dir, id, offset, len) {
             Ok(bytes) => {
-                self.metrics.counter("hits").inc();
-                self.metrics
-                    .counter("bytes_from_cache")
-                    .add(bytes.len() as u64);
-                self.policies[info.dir].lock().on_access(id);
+                self.hot.hits.inc();
+                self.hot.bytes_from_cache.add(bytes.len() as u64);
+                // Recency via the event ring, like the read path: this hit
+                // must not serialize on the policy mutex.
+                if !self.policies[info.dir].record_access(id) {
+                    self.hot.policy_events_dropped.inc();
+                }
                 Ok(bytes)
             }
             Err(e @ Error::Corrupted(_)) => {
@@ -1500,7 +1664,12 @@ impl CacheManager {
                 finish_eviction_span(evict_span, evicted, quota_rounds);
                 return Err(Error::NoSpace);
             };
-            self.evict_page(&victim, "capacity");
+            if self.evict_page(&victim, "capacity").is_none() {
+                // The policy offered a page the index no longer holds (a
+                // racing eviction through another path). Retire the stale
+                // entry, or this loop would redraw the same victim forever.
+                self.policies[dir].lock().on_remove(victim);
+            }
             evicted += 1;
         }
         finish_eviction_span(evict_span, evicted, quota_rounds);
@@ -1531,8 +1700,8 @@ impl CacheManager {
             }
         }
         self.policies[dir].lock().on_insert(id);
-        self.metrics.counter("puts").inc();
-        self.metrics.counter("bytes_written").add(size);
+        self.hot.puts.inc();
+        self.hot.bytes_written.add(size);
         Ok(())
     }
 
@@ -1543,10 +1712,15 @@ impl CacheManager {
         while freed < want_bytes {
             let victim = self.policies[dir].lock().victim();
             let Some(victim) = victim else { return };
-            freed += self
-                .evict_page(&victim, "no_space")
-                .map(|i| i.size)
-                .unwrap_or(1);
+            match self.evict_page(&victim, "no_space") {
+                Some(info) => freed += info.size,
+                None => {
+                    // Stale policy entry (see the capacity loop): retire it
+                    // so the next draw makes progress.
+                    self.policies[dir].lock().on_remove(victim);
+                    freed += 1;
+                }
+            }
         }
     }
 
@@ -1707,9 +1881,13 @@ impl CacheManager {
         let thread = std::thread::Builder::new()
             .name("edgecache-ttl-janitor".into())
             .spawn(move || {
-                while !stop_flag.load(Ordering::SeqCst) {
+                // Relaxed: the flag is a pure shutdown signal — no data is
+                // published through it, and the loop re-reads it every
+                // interval, so the janitor exits at most one sleep after the
+                // store regardless of ordering.
+                while !stop_flag.load(Ordering::Relaxed) {
                     std::thread::sleep(interval);
-                    if stop_flag.load(Ordering::SeqCst) {
+                    if stop_flag.load(Ordering::Relaxed) {
                         break;
                     }
                     cache.evict_expired();
@@ -1742,7 +1920,9 @@ pub struct TtlJanitor {
 
 impl Drop for TtlJanitor {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // Relaxed pairs with the janitor's Relaxed polls: shutdown needs no
+        // happens-before edge, only eventual visibility of the flag.
+        self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
             // The janitor may be mid-sleep; detach rather than block the
             // caller for up to one interval.
@@ -2667,7 +2847,9 @@ mod tests {
         }
 
         fn read_ranges(&self, _path: &str, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>> {
-            self.requests.fetch_add(1, Ordering::SeqCst);
+            // Relaxed: the test reads this only after thread::join, which
+            // already synchronizes-with everything the workers did.
+            self.requests.fetch_add(1, Ordering::Relaxed);
             let mut open = self.gate.lock();
             while !*open {
                 self.opened.wait(&mut open);
@@ -2707,9 +2889,86 @@ mod tests {
             assert_eq!(h.join().unwrap().as_ref(), &data[..]);
         }
         // Exactly one remote request despite 32 concurrent cold readers.
-        assert_eq!(remote.requests.load(Ordering::SeqCst), 1);
+        assert_eq!(remote.requests.load(Ordering::Relaxed), 1);
         assert_eq!(cache.stats().misses, 32, "waiters count as misses");
         assert_eq!(cache.metrics().counter("remote_requests").get(), 1);
+    }
+
+    #[test]
+    fn hit_hammer_32_threads_loses_no_counts() {
+        const THREADS: usize = 32;
+        const ITERS: usize = 2_000;
+        const PAGE: u64 = 1024;
+        const PAGES: usize = 8;
+
+        let cache = Arc::new(small_cache(PAGE, 1 << 20));
+        let data = pattern((PAGES as u64 * PAGE) as usize);
+        let remote = ScriptedRemote::new().with_file("/f", data.clone());
+        let f = file("/f", PAGES as u64 * PAGE);
+
+        // Warm every page, then freeze the remote out of the picture: the
+        // hammer phase below must be served entirely from cache.
+        cache.read(&f, 0, PAGES as u64 * PAGE, &remote).unwrap();
+        let warm_hits = cache.stats().hits;
+        let warm_misses = cache.stats().misses;
+        let warm_bytes = cache.metrics().counter("bytes_from_cache").get();
+        let warm_reads = remote.read_count();
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let data = data.clone();
+                std::thread::spawn(move || {
+                    let remote = NeverRemote;
+                    for i in 0..ITERS {
+                        let page = (t * 7 + i) % PAGES;
+                        let off = page as u64 * PAGE;
+                        let got = cache.read(&file("/f", PAGES as u64 * PAGE), off, PAGE, &remote);
+                        assert_eq!(
+                            got.unwrap().as_ref(),
+                            &data[off as usize..(off + PAGE) as usize]
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // Every access was a fast-path hit and every one was counted: the
+        // Relaxed per-entry counters and the striped hot counters lose
+        // nothing under contention.
+        let total = (THREADS * ITERS) as u64;
+        assert_eq!(cache.stats().hits - warm_hits, total, "no lost hit counts");
+        assert_eq!(
+            cache.metrics().counter("hits.slow_path").get(),
+            0,
+            "pure-hit load never fell back to the stripe-locked path"
+        );
+        assert_eq!(
+            cache.stats().misses,
+            warm_misses,
+            "hammer phase produced no misses"
+        );
+        assert_eq!(remote.read_count(), warm_reads, "remote untouched");
+        // Byte conservation: each iteration served exactly one page from
+        // cache, so bytes_from_cache advanced by threads * iters * page.
+        assert_eq!(
+            cache.metrics().counter("bytes_from_cache").get() - warm_bytes,
+            total * PAGE,
+            "bytes served from cache match bytes requested"
+        );
+        cache.index().check_consistency().unwrap();
+        cache.check_policy_coherence().unwrap();
+    }
+
+    /// A remote that panics if contacted — used to prove a phase is pure-hit.
+    struct NeverRemote;
+    impl RemoteSource for NeverRemote {
+        fn read(&self, path: &str, _offset: u64, _len: u64) -> Result<Bytes> {
+            panic!("remote contacted during pure-hit phase: {path}");
+        }
     }
 
     #[test]

@@ -155,8 +155,115 @@ fn check_invariants(h: &Harness) {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Batched-drain equivalence: access events buffered through the lock-free
+// AccessQueue and replayed at the next policy interaction must drive every
+// eviction policy to the same victims as inline `on_access` calls, for any
+// single-threaded history. (Concurrent histories are only batch-granular —
+// this pins down the sequential baseline the hit path relies on.)
+// ---------------------------------------------------------------------------
+
+use crate::accessq::AccessQueue;
+use crate::config::EvictionPolicyKind;
+use crate::eviction::{build_policy, EvictionPolicy};
+use edgecache_pagestore::{FileId, PageId};
+
+#[derive(Debug, Clone, Copy)]
+enum PolicyOp {
+    Insert(u8),
+    Access(u8),
+    Remove(u8),
+    Evict,
+}
+
+fn policy_op_strategy() -> impl Strategy<Value = PolicyOp> {
+    prop_oneof![
+        3 => (0..16u8).prop_map(PolicyOp::Insert),
+        5 => (0..16u8).prop_map(PolicyOp::Access),
+        1 => (0..16u8).prop_map(PolicyOp::Remove),
+        2 => Just(PolicyOp::Evict),
+    ]
+}
+
+fn pid(n: u8) -> PageId {
+    PageId::new(FileId(7), u64::from(n))
+}
+
+/// Mirrors `PolicyCell::lock`: every policy interaction drains buffered
+/// accesses (FIFO) before touching the policy.
+fn drain(queue: &AccessQueue, policy: &mut Box<dyn EvictionPolicy>) {
+    while let Some(id) = queue.pop() {
+        policy.on_access(id);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn batched_drain_matches_inline_victims(
+        ops in proptest::collection::vec(policy_op_strategy(), 1..120),
+    ) {
+        for kind in [
+            EvictionPolicyKind::Lru,
+            EvictionPolicyKind::Fifo,
+            EvictionPolicyKind::Random { seed: 11 },
+            EvictionPolicyKind::Slru,
+            EvictionPolicyKind::TwoQ,
+        ] {
+            let mut inline = build_policy(kind);
+            let mut batched = build_policy(kind);
+            // Large enough that a sequential history never drops events; a
+            // drop would be a legitimate divergence, not a model bug.
+            let queue = AccessQueue::new(256);
+
+            for &op in &ops {
+                match op {
+                    PolicyOp::Insert(n) => {
+                        inline.on_insert(pid(n));
+                        drain(&queue, &mut batched);
+                        batched.on_insert(pid(n));
+                    }
+                    PolicyOp::Access(n) => {
+                        inline.on_access(pid(n));
+                        prop_assert!(queue.push(pid(n)), "queue sized for history");
+                    }
+                    PolicyOp::Remove(n) => {
+                        inline.on_remove(pid(n));
+                        drain(&queue, &mut batched);
+                        batched.on_remove(pid(n));
+                    }
+                    PolicyOp::Evict => {
+                        let a = inline.victim();
+                        drain(&queue, &mut batched);
+                        let b = batched.victim();
+                        prop_assert_eq!(a, b, "victim diverged ({})", inline.name());
+                        if let Some(v) = a {
+                            inline.on_remove(v);
+                            batched.on_remove(v);
+                        }
+                    }
+                }
+            }
+
+            // Drain the tail and compare the full remaining victim sequence:
+            // same set, same order.
+            drain(&queue, &mut batched);
+            prop_assert_eq!(inline.len(), batched.len(), "len diverged ({})", inline.name());
+            loop {
+                let a = inline.victim();
+                let b = batched.victim();
+                prop_assert_eq!(a, b, "tail victim diverged ({})", inline.name());
+                match a {
+                    Some(v) => {
+                        inline.on_remove(v);
+                        batched.on_remove(v);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
 
     #[test]
     fn ledger_invariants_hold_under_churn(ops in proptest::collection::vec(op_strategy(), 1..80)) {

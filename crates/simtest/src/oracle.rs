@@ -150,6 +150,16 @@ pub fn check_accounting(
     if let Err(e) = cache.index().check_consistency() {
         out.push(mk("index-inconsistent", e));
     }
+    // Batched recency must stay membership-neutral: draining deferred access
+    // events (which `check_policy_coherence` does en route) may reorder a
+    // policy's queue but never add or lose tracked pages, so policy
+    // membership must equal index residency after every op. Because eviction
+    // itself stays inline, this also means deferred updates cannot let
+    // residency exceed capacity beyond the strict `over-capacity` bound
+    // checked below — the batch introduces no extra slack.
+    if let Err(e) = cache.check_policy_coherence() {
+        out.push(mk("policy-incoherent", e));
+    }
     for (dir, (store_bytes, index_bytes, capacity)) in cache.dir_usage().into_iter().enumerate() {
         if index_bytes > capacity {
             out.push(mk(
