@@ -2,13 +2,17 @@
 //!
 //! Unlike the modeled experiments, this suite runs real threads against a
 //! real clock: the point is the *synchronization* cost of the serve path,
-//! which simulated time cannot see. Three benchmarks sweep 1/4/8/16
+//! which simulated time cannot see. Four benchmarks sweep 1/4/8/16
 //! threads:
 //!
 //! * `hit_serve` — full `cache.read` over a warm working set. Every access
 //!   must classify on the optimistic fast path (shard read lock +
 //!   per-entry `Relaxed` atomics); the `hits.slow_path` counter staying at
 //!   zero is the machine-checkable proof that no hit took a write lock.
+//! * `mem_hit_serve` — the same hammer with the DRAM tier mounted: the
+//!   working set is memory-resident, so every read must serve zero-copy
+//!   from a DRAM frame on the same lock-free fast path (zero slow-path
+//!   hits, zero misses, zero lower-tier hits).
 //! * `index_touch` — the bare `IndexManager::touch` probe, isolating the
 //!   index's contribution to hit latency.
 //! * `singleflight` — rendezvous throughput: every round all threads miss
@@ -162,6 +166,53 @@ fn bench_hit_serve(threads: usize, per_thread: usize) -> (Cell, u64, u64) {
     )
 }
 
+/// Full-`cache.read` hit serving with the DRAM tier mounted. The tier's
+/// budget covers the whole warm working set, so every hammer read must be a
+/// memory hit: served zero-copy from a DRAM frame, never touching the SSD
+/// store or the io pool. Returns the cell plus (slow-path hits, extra
+/// misses, hits served below the memory tier) observed while hammering —
+/// all three must be zero.
+fn bench_mem_hit_serve(threads: usize, per_thread: usize) -> (Cell, u64, u64, u64) {
+    let cache = Arc::new(
+        CacheManager::builder(
+            CacheConfig::default()
+                .with_page_size(ByteSize::new(PAGE))
+                .with_memory_tier(ByteSize::new(1 << 26)),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), 1 << 26)
+        .build()
+        .expect("cache builds"),
+    );
+    let remote = CountingRemote::new();
+    let f = source_file();
+    cache
+        .read(&f, 0, PAGES as u64 * PAGE, &remote)
+        .expect("warm read");
+    let slow_before = cache.metrics().counter("hits.slow_path").get();
+    let misses_before = cache.stats().misses;
+    let hits_before = cache.metrics().counter("hits").get();
+    let mem_before = cache.metrics().counter("mem.hits").get();
+    let (_, ops) = measure(threads, per_thread, |t, i| {
+        let page = (t * 7 + i) % PAGES;
+        let got = cache
+            .read(&f, page as u64 * PAGE, PAGE, &remote)
+            .expect("hit read");
+        assert_eq!(got.len(), PAGE as usize);
+    });
+    let hits = cache.metrics().counter("hits").get() - hits_before;
+    let mem_hits = cache.metrics().counter("mem.hits").get() - mem_before;
+    (
+        Cell {
+            bench: "mem_hit_serve",
+            threads,
+            ops_per_sec: ops,
+        },
+        cache.metrics().counter("hits.slow_path").get() - slow_before,
+        cache.stats().misses - misses_before,
+        hits - mem_hits,
+    )
+}
+
 /// The bare index `touch` probe: one shard read lock + two Relaxed stores.
 fn bench_index_touch(threads: usize, per_thread: usize) -> Cell {
     let cache = build_cache(1 << 26);
@@ -305,6 +356,20 @@ pub fn run_with(quick: bool, gate_baseline: Option<&str>) -> ExperimentReport {
         }
         best(&mut cells, reps_out);
     }
+    let mut mem_slow = 0u64;
+    let mut mem_misses = 0u64;
+    let mut below_tier = 0u64;
+    for &t in &THREADS {
+        let mut reps_out = Vec::new();
+        for _ in 0..reps {
+            let (cell, slow, misses, below) = bench_mem_hit_serve(t, hit_iters);
+            mem_slow += slow;
+            mem_misses += misses;
+            below_tier += below;
+            reps_out.push(cell);
+        }
+        best(&mut cells, reps_out);
+    }
     for &t in &THREADS {
         let reps_out = (0..reps)
             .map(|_| bench_index_touch(t, touch_iters))
@@ -324,7 +389,7 @@ pub fn run_with(quick: bool, gate_baseline: Option<&str>) -> ExperimentReport {
         best(&mut cells, reps_out);
     }
 
-    for bench in ["hit_serve", "index_touch", "singleflight"] {
+    for bench in ["hit_serve", "mem_hit_serve", "index_touch", "singleflight"] {
         let mut row = vec![bench.to_string()];
         for &t in &THREADS {
             let ops = cells
@@ -351,6 +416,12 @@ pub fn run_with(quick: bool, gate_baseline: Option<&str>) -> ExperimentReport {
         "0 slow-path (stripe-locked) hits under pure-hit load",
         format!("{slow_path} slow-path, {hammer_misses} misses"),
         slow_path == 0 && hammer_misses == 0,
+    ));
+    report.checks.push(Check::new(
+        "memory-tier hits",
+        "every DRAM-resident read is a memory hit: 0 slow-path, 0 misses, 0 lower-tier hits",
+        format!("{mem_slow} slow-path, {mem_misses} misses, {below_tier} below-tier hits"),
+        mem_slow == 0 && mem_misses == 0 && below_tier == 0,
     ));
     report.checks.push(Check::new(
         "single-flight dedup",

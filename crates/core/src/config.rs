@@ -56,6 +56,14 @@ pub struct CacheConfig {
     /// When `true` (default), runs of adjacent missing pages are fetched as
     /// one ranged remote read each instead of one request per page.
     pub coalesce_fetches: bool,
+    /// Byte capacity of the DRAM page tier mounted above the SSD
+    /// directories. Zero (the default) disables the tier: the cache is the
+    /// paper's two-level SSD → remote hierarchy. Non-zero turns reads into
+    /// a three-level memory → SSD → remote hierarchy — published pages land
+    /// in memory first, SSD hits are promoted, and memory pressure demotes
+    /// frames back to SSD instead of dropping them. Adjustable at runtime
+    /// via `CacheManager::set_memory_capacity`.
+    pub memory_capacity: u64,
 }
 
 impl Default for CacheConfig {
@@ -69,6 +77,7 @@ impl Default for CacheConfig {
             enforce_read_timeout: false,
             max_concurrent_fetches: 8,
             coalesce_fetches: true,
+            memory_capacity: 0,
         }
     }
 }
@@ -111,6 +120,13 @@ impl CacheConfig {
         self.coalesce_fetches = coalesce;
         self
     }
+
+    /// Mounts a DRAM page tier of the given capacity above the SSD
+    /// directories (zero disables it).
+    pub fn with_memory_tier(mut self, capacity: ByteSize) -> Self {
+        self.memory_capacity = capacity.as_u64();
+        self
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +142,7 @@ mod tests {
         assert!(c.ttl.is_none());
         assert_eq!(c.max_concurrent_fetches, 8);
         assert!(c.coalesce_fetches);
+        assert_eq!(c.memory_capacity, 0, "memory tier is opt-in");
     }
 
     #[test]
@@ -136,12 +153,14 @@ mod tests {
             .with_ttl(Duration::from_secs(3600))
             .with_read_timeout(Duration::from_millis(50))
             .with_max_concurrent_fetches(0)
-            .with_coalesce_fetches(false);
+            .with_coalesce_fetches(false)
+            .with_memory_tier(ByteSize::mib(8));
         assert_eq!(c.page_size, ByteSize::kib(64));
         assert_eq!(c.eviction, EvictionPolicyKind::Fifo);
         assert_eq!(c.ttl, Some(Duration::from_secs(3600)));
         assert!(c.enforce_read_timeout);
         assert_eq!(c.max_concurrent_fetches, 1, "clamped to at least one");
         assert!(!c.coalesce_fetches);
+        assert_eq!(c.memory_capacity, ByteSize::mib(8).as_u64());
     }
 }

@@ -29,7 +29,7 @@ use edgecache_common::error::{Error, Result};
 use edgecache_common::ByteSize;
 use edgecache_metrics::trace::{Span, SpanId, Tracer};
 use edgecache_metrics::{Counter, Histogram, MetricRegistry};
-use edgecache_pagestore::{CacheScope, FileId, PageId, PageInfo, PageStore};
+use edgecache_pagestore::{CacheScope, FileId, MemTierStore, PageId, PageInfo, PageStore};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::accessq::AccessQueue;
@@ -301,6 +301,18 @@ struct HotMetrics {
     /// Access events dropped because a policy ring was full.
     policy_events_dropped: Arc<Counter>,
     fetch_batch_bytes: Arc<Histogram>,
+    /// Memory-tier flow counters. The three-tier conservation oracle
+    /// balances entries (`mem.publishes + mem.promotions`) against exits
+    /// (`mem.demotions + mem.evictions + mem.replaced`) and current
+    /// residency — every frame that leaves the tier is counted somewhere.
+    mem_hits: Arc<Counter>,
+    mem_publishes: Arc<Counter>,
+    mem_promotions: Arc<Counter>,
+    mem_demotions: Arc<Counter>,
+    mem_replaced: Arc<Counter>,
+    mem_evictions: Arc<Counter>,
+    mem_bytes_promoted: Arc<Counter>,
+    mem_bytes_demoted: Arc<Counter>,
 }
 
 impl HotMetrics {
@@ -324,6 +336,14 @@ impl HotMetrics {
             coalesced_pages: m.counter("fetch.coalesced_pages"),
             policy_events_dropped: m.counter("policy.events_dropped"),
             fetch_batch_bytes: m.histogram("fetch.batch_bytes"),
+            mem_hits: m.counter("mem.hits"),
+            mem_publishes: m.counter("mem.publishes"),
+            mem_promotions: m.counter("mem.promotions"),
+            mem_demotions: m.counter("mem.demotions"),
+            mem_replaced: m.counter("mem.replaced"),
+            mem_evictions: m.counter("mem.evictions"),
+            mem_bytes_promoted: m.counter("mem.bytes_promoted"),
+            mem_bytes_demoted: m.counter("mem.bytes_demoted"),
         }
     }
 }
@@ -406,7 +426,21 @@ impl CacheManagerBuilder {
                 "cache manager needs at least one store".into(),
             ));
         }
-        let dirs = self.stores.len();
+        // Mount the DRAM tier as one extra directory *after* the SSD
+        // stores: the same index, ledger, quota, and policy machinery then
+        // covers it for free. The allocator is built from the SSD
+        // capacities only, so `pick` never places a page in memory —
+        // memory placement is explicit (publish, promote, demote).
+        let mut stores = self.stores;
+        let mem_store = if self.config.memory_capacity > 0 {
+            let store = Arc::new(MemTierStore::new());
+            stores.push(Arc::clone(&store) as Arc<dyn PageStore>);
+            Some(store)
+        } else {
+            None
+        };
+        let mem_dir = mem_store.as_ref().map(|_| stores.len() - 1);
+        let dirs = stores.len();
         let index = IndexManager::new(dirs);
         let metrics = self.metrics.unwrap_or_else(|| MetricRegistry::new("cache"));
         // Lifecycle sink: every partition enter/exit the ledger observes is
@@ -439,7 +473,10 @@ impl CacheManagerBuilder {
         let hot = HotMetrics::new(&metrics);
         let manager = CacheManager {
             allocator: Allocator::new(self.capacities),
-            stores: self.stores,
+            stores,
+            mem_store,
+            mem_dir,
+            mem_capacity: AtomicU64::new(self.config.memory_capacity),
             index,
             policies,
             quota: self.quota,
@@ -495,6 +532,17 @@ impl ScopeEventSink for LifecycleSink {
 pub struct CacheManager {
     config: CacheConfig,
     stores: Vec<Arc<dyn PageStore>>,
+    /// The DRAM tier, when mounted: also present in `stores` as the last
+    /// directory (`mem_dir`), kept typed here for pin/verify operations.
+    mem_store: Option<Arc<MemTierStore>>,
+    /// Index directory of the DRAM tier. Always the *last* directory; the
+    /// allocator only knows the SSD directories, so its `pick` never lands
+    /// here — tier placement is explicit (publish/promote/demote).
+    mem_dir: Option<usize>,
+    /// Runtime-adjustable DRAM-tier capacity (`set_memory_capacity`).
+    /// Relaxed everywhere: a capacity is a target the next placement or
+    /// pressure pass observes, not a synchronization point.
+    mem_capacity: AtomicU64,
     allocator: Allocator,
     index: IndexManager,
     policies: Vec<PolicyCell>,
@@ -579,10 +627,17 @@ impl CacheManager {
     pub fn dir_usage(&self) -> Vec<(u64, u64, u64)> {
         (0..self.stores.len())
             .map(|dir| {
+                // The DRAM tier is not an allocator directory; its capacity
+                // is the runtime-adjustable memory budget.
+                let capacity = if Some(dir) == self.mem_dir {
+                    self.memory_capacity()
+                } else {
+                    self.allocator.capacity(dir)
+                };
                 (
                     self.stores[dir].bytes_used(),
                     self.index.bytes_of_dir(dir),
-                    self.allocator.capacity(dir),
+                    capacity,
                 )
             })
             .collect()
@@ -1387,6 +1442,12 @@ impl CacheManager {
         outcome: &std::result::Result<Bytes, String>,
         parent: SpanId,
     ) {
+        if let Ok(page) = outcome {
+            // Make room in the DRAM tier before taking the stripe lock:
+            // demotion locks the victim's stripe, and stripe locks never
+            // nest.
+            self.ensure_mem_room(page.len() as u64, parent);
+        }
         {
             let _guard = self.stripe(id).lock();
             let mut cached = false;
@@ -1426,22 +1487,45 @@ impl CacheManager {
             // Evicted since classification: refetch.
             return self.fetch_page_direct(file, plan, source, parent);
         };
-        let mut ssd_span = self.tracer.child(parent, "ssd_read");
-        ssd_span.annotate("page", id);
-        let got = self.store_get(info.dir, id, plan.within_off, plan.within_len);
-        if ssd_span.is_recording() {
+        let mem_hit = Some(info.dir) == self.mem_dir;
+        // Three-tier promotion: an SSD hit moves the page up into memory,
+        // which needs the whole page — read it once and serve the requested
+        // slice from the same buffer (no second I/O, no extra copy).
+        let promote = !mem_hit && self.mem_dir.is_some() && info.size <= self.memory_capacity();
+        let (read_off, read_len) = if promote {
+            (0, info.size)
+        } else {
+            (plan.within_off, plan.within_len)
+        };
+        let mut read_span = self
+            .tracer
+            .child(parent, if mem_hit { "mem_read" } else { "ssd_read" });
+        read_span.annotate("page", id);
+        let got = self.store_get(info.dir, id, read_off, read_len);
+        if read_span.is_recording() {
             match &got {
-                Ok(bytes) => ssd_span.annotate("bytes", bytes.len()),
-                Err(e) => ssd_span.annotate("status", e.kind()),
+                Ok(bytes) => read_span.annotate("bytes", bytes.len()),
+                Err(e) => read_span.annotate("status", e.kind()),
             }
         }
-        ssd_span.finish();
+        read_span.finish();
         match got {
             Ok(bytes) => {
                 // The policy access was recorded at classification time.
                 self.hot.hits.inc();
-                self.hot.bytes_from_cache.add(bytes.len() as u64);
-                Ok(bytes)
+                if mem_hit {
+                    self.hot.mem_hits.inc();
+                }
+                let served = if promote {
+                    self.promote_to_mem(&info, &bytes, parent);
+                    let start = (plan.within_off as usize).min(bytes.len());
+                    let end = ((plan.within_off + plan.within_len) as usize).min(bytes.len());
+                    bytes.slice(start..end)
+                } else {
+                    bytes
+                };
+                self.hot.bytes_from_cache.add(served.len() as u64);
+                Ok(served)
             }
             Err(Error::Timeout { .. }) => {
                 // §8 "File read hanging": fall back to remote, keeping the
@@ -1471,8 +1555,24 @@ impl CacheManager {
                 self.fetch_page_direct(file, plan, source, parent)
             }
             Err(Error::NotFound(_)) => {
-                // The store lost the page (external cleanup); repair the
-                // index and treat as a miss.
+                // Either the store lost the page (external cleanup), or a
+                // concurrent tier move relocated it between our index
+                // snapshot and the store read. If it moved, serve from its
+                // new home; only repair the index when the bytes are gone.
+                if let Some(cur) = self.index.get(&id) {
+                    if cur.dir != info.dir {
+                        if let Ok(bytes) =
+                            self.store_get(cur.dir, id, plan.within_off, plan.within_len)
+                        {
+                            self.hot.hits.inc();
+                            if Some(cur.dir) == self.mem_dir {
+                                self.hot.mem_hits.inc();
+                            }
+                            self.hot.bytes_from_cache.add(bytes.len() as u64);
+                            return Ok(bytes);
+                        }
+                    }
+                }
                 self.drop_from_index(&id);
                 self.fetch_page_direct(file, plan, source, parent)
             }
@@ -1531,6 +1631,9 @@ impl CacheManager {
                 plan.page_len
             )));
         }
+        // Room first, stripe second (stripe locks never nest; see
+        // `finish_fetch`).
+        self.ensure_mem_room(data.len() as u64, direct_span.id());
         {
             let _guard = self.stripe(plan.id).lock();
             if let Err(e) = self.put_page_locked_traced(file, plan.id, &data, direct_span.id()) {
@@ -1546,6 +1649,11 @@ impl CacheManager {
     /// Local store read, with the configured deadline when enforced.
     fn store_get(&self, dir: usize, id: PageId, offset: u64, len: u64) -> Result<Bytes> {
         let store = &self.stores[dir];
+        if Some(dir) == self.mem_dir {
+            // DRAM cannot hang like a failing disk: slice the frame inline
+            // (zero-copy) instead of paying an io-pool dispatch + deadline.
+            return store.get(id, offset, len);
+        }
         match &self.io_pool {
             None => store.get(id, offset, len),
             Some(pool) => {
@@ -1560,6 +1668,9 @@ impl CacheManager {
     /// through).
     pub fn put_page(&self, file: &SourceFile, page_index: u64, data: &[u8]) -> Result<()> {
         let id = PageId::new(file.file_id(), page_index);
+        // Room first, stripe second (stripe locks never nest; see
+        // `finish_fetch`).
+        self.ensure_mem_room(data.len() as u64, SpanId::NONE);
         let _guard = self.stripe(id).lock();
         self.put_page_locked(file, id, data)
     }
@@ -1624,10 +1735,27 @@ impl CacheManager {
         parent: SpanId,
     ) -> Result<()> {
         let size = data.len() as u64;
-        let Some(dir) = self.allocator.pick(id.file, size) else {
+        // Every page must fit an SSD directory even when it lands in memory
+        // first: a frame that could never be demoted would turn memory
+        // pressure into forced (remote-backed) eviction.
+        let Some(ssd_dir) = self.allocator.pick(id.file, size) else {
             return Err(Error::InvalidArgument(format!(
                 "page of {size} bytes exceeds every cache directory"
             )));
+        };
+        // Mem-first placement: publishes land in the DRAM tier when it is
+        // mounted and has room (the caller made room via `ensure_mem_room`
+        // before taking the stripe lock; if a concurrent publisher stole
+        // that room, fall back to SSD rather than demoting here — demotion
+        // takes the victim's stripe lock, and stripe locks do not nest).
+        let dir = match self.mem_dir {
+            Some(mem)
+                if size <= self.memory_capacity()
+                    && self.index.bytes_of_dir(mem) + size <= self.memory_capacity() =>
+            {
+                mem
+            }
+            _ => ssd_dir,
         };
         let mut evict_span: Option<Span> = None;
         let mut evicted = 0u64;
@@ -1655,22 +1783,27 @@ impl CacheManager {
             }
         }
 
-        // Capacity eviction within the target directory.
-        let capacity = self.allocator.capacity(dir);
-        while self.index.bytes_of_dir(dir) + size > capacity {
-            evict_span.get_or_insert_with(|| self.tracer.child(parent, "eviction"));
-            let victim = self.policies[dir].lock().victim();
-            let Some(victim) = victim else {
-                finish_eviction_span(evict_span, evicted, quota_rounds);
-                return Err(Error::NoSpace);
-            };
-            if self.evict_page(&victim, "capacity").is_none() {
-                // The policy offered a page the index no longer holds (a
-                // racing eviction through another path). Retire the stale
-                // entry, or this loop would redraw the same victim forever.
-                self.policies[dir].lock().on_remove(victim);
+        // Capacity eviction within the target directory. A memory target
+        // already fits (checked above), so this loop only runs for SSD
+        // placement — the DRAM tier makes room by *demotion*, never by the
+        // eviction this loop performs.
+        if Some(dir) != self.mem_dir {
+            let capacity = self.allocator.capacity(dir);
+            while self.index.bytes_of_dir(dir) + size > capacity {
+                evict_span.get_or_insert_with(|| self.tracer.child(parent, "eviction"));
+                let victim = self.policies[dir].lock().victim();
+                let Some(victim) = victim else {
+                    finish_eviction_span(evict_span, evicted, quota_rounds);
+                    return Err(Error::NoSpace);
+                };
+                if self.evict_page(&victim, "capacity").is_none() {
+                    // The policy offered a page the index no longer holds (a
+                    // racing eviction through another path). Retire the stale
+                    // entry, or this loop would redraw the same victim forever.
+                    self.policies[dir].lock().on_remove(victim);
+                }
+                evicted += 1;
             }
-            evicted += 1;
         }
         finish_eviction_span(evict_span, evicted, quota_rounds);
 
@@ -1698,10 +1831,18 @@ impl CacheManager {
                     self.metrics.record_error("delete", e.kind());
                 }
             }
+            if Some(old.dir) == self.mem_dir {
+                // The refresh displaced a memory-resident copy — a counted
+                // memory-tier exit even when the new copy also lands there.
+                self.hot.mem_replaced.inc();
+            }
         }
         self.policies[dir].lock().on_insert(id);
         self.hot.puts.inc();
         self.hot.bytes_written.add(size);
+        if Some(dir) == self.mem_dir {
+            self.hot.mem_publishes.inc();
+        }
         Ok(())
     }
 
@@ -1778,14 +1919,306 @@ impl CacheManager {
             self.metrics.record_error("delete", e.kind());
         }
         self.metrics.counter(&format!("evictions.{cause}")).inc();
+        if Some(info.dir) == self.mem_dir {
+            // A counted memory-tier exit: the conservation oracle balances
+            // these against publishes and promotions.
+            self.hot.mem_evictions.inc();
+        }
         Some(info)
     }
 
-    /// Removes a page from the index and policy only (store already lost it).
+    /// Removes a page from the index and policy only (store already lost
+    /// it). Verifies under the page's stripe lock that the store really
+    /// lacks the bytes — a concurrent tier move explains a transient
+    /// `NotFound` without any data having been lost, and dropping the entry
+    /// then would strand the moved copy in its new store. Callers hold no
+    /// stripe lock.
     fn drop_from_index(&self, id: &PageId) {
-        if let Some(info) = self.index.remove(id) {
+        let _guard = self.stripe(*id).lock();
+        if let Some(info) = self.index.get(id) {
+            if self.stores[info.dir].contains(*id) {
+                return; // raced a tier move: the page is real again
+            }
+            self.index.remove(id);
             self.policies[info.dir].lock().on_remove(*id);
+            if Some(info.dir) == self.mem_dir {
+                self.hot.mem_evictions.inc();
+            }
         }
+    }
+
+    /// Index directory of the DRAM tier, when one is mounted.
+    pub fn memory_dir(&self) -> Option<usize> {
+        self.mem_dir
+    }
+
+    /// The DRAM tier store, when one is mounted (frame introspection,
+    /// pin/unpin, corruption hooks for tests).
+    pub fn memory_tier(&self) -> Option<&Arc<MemTierStore>> {
+        self.mem_store.as_ref()
+    }
+
+    /// Current DRAM-tier byte capacity (zero when no tier is mounted).
+    pub fn memory_capacity(&self) -> u64 {
+        self.mem_capacity.load(Ordering::Relaxed)
+    }
+
+    /// Pins a memory-resident page against demotion and pressure eviction.
+    /// Returns `false` when no tier is mounted or the page is not resident
+    /// in memory. Pins nest; balance each with [`Self::unpin_page`].
+    pub fn pin_page(&self, file: &SourceFile, page_index: u64) -> bool {
+        let id = PageId::new(file.file_id(), page_index);
+        self.mem_store.as_ref().is_some_and(|s| s.pin(id))
+    }
+
+    /// Releases one pin taken by [`Self::pin_page`].
+    pub fn unpin_page(&self, file: &SourceFile, page_index: u64) -> bool {
+        let id = PageId::new(file.file_id(), page_index);
+        self.mem_store.as_ref().is_some_and(|s| s.unpin(id))
+    }
+
+    /// Adjusts the DRAM tier's byte capacity at runtime (no-op without a
+    /// mounted tier). Shrinking demotes resident frames to SSD until the
+    /// tier fits; a frame whose demotion fails (every SSD directory refuses
+    /// the bytes) is evicted outright — a counted, remote-backed exit,
+    /// never a silent drop. Pinned frames stay resident: pins outrank
+    /// pressure, so a capacity smaller than the pinned set is honoured only
+    /// once those pins release.
+    pub fn set_memory_capacity(&self, bytes: u64) {
+        let Some(mem) = self.mem_dir else { return };
+        self.mem_capacity.store(bytes, Ordering::Relaxed);
+        // First pass: demote down to the new capacity.
+        self.ensure_mem_room(0, SpanId::NONE);
+        // Fallback pass: demotion could not free enough (SSD full beyond
+        // eviction, or pinned frames in the victim stream) — evict what
+        // remains unpinned so the over-capacity invariant holds.
+        let mut pinned_skips = 0usize;
+        while self.index.bytes_of_dir(mem) > bytes {
+            let victim = self.policies[mem].lock().victim();
+            let Some(victim) = victim else { return };
+            match self.pressure_evict(&victim) {
+                DemoteOutcome::Freed | DemoteOutcome::Stale => pinned_skips = 0,
+                DemoteOutcome::Pinned => {
+                    pinned_skips += 1;
+                    if pinned_skips >= self.policies[mem].lock().len() {
+                        return; // everything left is pinned
+                    }
+                }
+                DemoteOutcome::Failed => return,
+            }
+        }
+    }
+
+    /// One pressure pass over a memory victim, under its stripe lock:
+    /// evicts it outright (cause `mem_pressure`) unless pinned. The stripe
+    /// lock is what makes the policy bookkeeping safe against a concurrent
+    /// promotion of the same page (see `demote_page`).
+    fn pressure_evict(&self, id: &PageId) -> DemoteOutcome {
+        let Some(mem) = self.mem_dir else {
+            return DemoteOutcome::Failed;
+        };
+        let _guard = self.stripe(*id).lock();
+        let Some(info) = self.index.get(id) else {
+            // Raced another exit: retire the stale policy entry here, where
+            // no re-insert of this page can be mid-flight.
+            self.policies[mem].lock().on_remove(*id);
+            return DemoteOutcome::Stale;
+        };
+        if info.dir != mem {
+            self.policies[mem].lock().on_remove(*id);
+            return DemoteOutcome::Stale;
+        }
+        if self.mem_store.as_ref().is_some_and(|s| s.is_pinned(*id)) {
+            // Recycle to most-recently-used so the scan moves on.
+            let mut guard = self.policies[mem].lock();
+            guard.on_remove(*id);
+            guard.on_insert(*id);
+            return DemoteOutcome::Pinned;
+        }
+        self.evict_page(id, "mem_pressure");
+        DemoteOutcome::Freed
+    }
+
+    /// Demotes memory-tier victims until `size` more bytes fit under the
+    /// tier's capacity. Must be called while holding **no** stripe lock:
+    /// demotion takes the victim's stripe, and stripe locks never nest.
+    /// Stops early when nothing more can be freed (all pinned, or SSD
+    /// refuses the bytes) — callers then fall back to SSD placement.
+    fn ensure_mem_room(&self, size: u64, parent: SpanId) {
+        let Some(mem) = self.mem_dir else { return };
+        let capacity = self.memory_capacity();
+        if size > capacity {
+            return; // can never fit; the publish path falls back to SSD
+        }
+        let mut pinned_skips = 0usize;
+        while self.index.bytes_of_dir(mem) + size > capacity {
+            let victim = self.policies[mem].lock().victim();
+            let Some(victim) = victim else { return };
+            // `demote_page` retires stale entries and recycles pinned ones
+            // itself, under the victim's stripe lock — doing it here would
+            // race a concurrent promotion re-inserting the same page.
+            match self.demote_page(&victim, parent) {
+                DemoteOutcome::Freed | DemoteOutcome::Stale => {
+                    pinned_skips = 0;
+                }
+                DemoteOutcome::Pinned => {
+                    // Give up once a full lap found only pinned frames.
+                    pinned_skips += 1;
+                    if pinned_skips >= self.policies[mem].lock().len() {
+                        return;
+                    }
+                }
+                DemoteOutcome::Failed => return,
+            }
+        }
+    }
+
+    /// Moves one memory-resident page down to SSD — the "demotion, not
+    /// eviction" half of the three-tier contract: under pressure a frame's
+    /// bytes stay in the hierarchy, one level down. Takes the victim's
+    /// stripe lock (callers hold none). A frame that fails its tier-exit
+    /// checksum is evicted instead (counted): corrupt DRAM bytes must not
+    /// land on SSD wearing a fresh trailer.
+    fn demote_page(&self, id: &PageId, parent: SpanId) -> DemoteOutcome {
+        let (Some(mem), Some(mem_store)) = (self.mem_dir, self.mem_store.as_ref()) else {
+            return DemoteOutcome::Failed;
+        };
+        let _guard = self.stripe(*id).lock();
+        let Some(info) = self.index.get(id) else {
+            // Raced another exit: retire the stale policy entry while the
+            // stripe is held — a concurrent promotion of this page (which
+            // re-inserts the policy entry) also needs this stripe, so the
+            // retirement can never clobber a fresh insert.
+            self.policies[mem].lock().on_remove(*id);
+            return DemoteOutcome::Stale;
+        };
+        if info.dir != mem {
+            self.policies[mem].lock().on_remove(*id);
+            return DemoteOutcome::Stale;
+        }
+        if mem_store.is_pinned(*id) {
+            // Recycle to most-recently-used (same stripe-held reasoning) so
+            // the pressure scan moves on to the next victim.
+            let mut guard = self.policies[mem].lock();
+            guard.on_remove(*id);
+            guard.on_insert(*id);
+            return DemoteOutcome::Pinned;
+        }
+        let data = match mem_store.verified_full(*id) {
+            Ok(data) => data,
+            Err(e) => {
+                // Checksum mismatch (or the frame vanished): a counted exit
+                // through eviction — capacity is restored either way.
+                self.metrics.record_error("demote", e.kind());
+                self.evict_page(id, "corrupt");
+                return DemoteOutcome::Freed;
+            }
+        };
+        let Some(dir) = self.allocator.pick(id.file, info.size) else {
+            return DemoteOutcome::Failed;
+        };
+        let mut span = self.tracer.child(parent, "demote");
+        span.annotate("page", *id);
+        // Make room on the target SSD directory — the same capacity loop a
+        // put runs. SSD victims evicted here hold no stripe lock of their
+        // own, so no second stripe is ever taken.
+        let capacity = self.allocator.capacity(dir);
+        while self.index.bytes_of_dir(dir) + info.size > capacity {
+            let victim = self.policies[dir].lock().victim();
+            let Some(victim) = victim else {
+                span.annotate("status", "no_victim");
+                span.finish();
+                return DemoteOutcome::Failed;
+            };
+            if self.evict_page(&victim, "capacity").is_none() {
+                self.policies[dir].lock().on_remove(victim);
+            }
+        }
+        match self.stores[dir].put(*id, &data) {
+            Ok(()) => {}
+            Err(Error::NoSpace) => {
+                self.metrics.record_error("put", "no_space");
+                self.evict_some(dir, info.size.max(1));
+                if let Err(e) = self.stores[dir].put(*id, &data) {
+                    self.metrics.record_error("demote", e.kind());
+                    span.annotate("status", e.kind());
+                    span.finish();
+                    return DemoteOutcome::Failed;
+                }
+            }
+            Err(e) => {
+                self.metrics.record_error("demote", e.kind());
+                span.annotate("status", e.kind());
+                span.finish();
+                return DemoteOutcome::Failed;
+            }
+        }
+        // Keep `created_ms`: a page's TTL clock does not reset on a tier
+        // move — only genuinely new bytes restart the privacy countdown.
+        let new_info = PageInfo::new(*id, info.size, info.scope.clone(), dir, info.created_ms);
+        if let Some(old) = self.index.insert(new_info) {
+            self.policies[old.dir].lock().on_remove(*id);
+        }
+        self.policies[dir].lock().on_insert(*id);
+        if let Err(e) = mem_store.delete(*id) {
+            self.metrics.record_error("delete", e.kind());
+        }
+        self.hot.mem_demotions.inc();
+        self.hot.mem_bytes_demoted.add(info.size);
+        span.annotate("to_dir", dir);
+        span.finish();
+        DemoteOutcome::Freed
+    }
+
+    /// Moves a just-served SSD-resident page up into the DRAM tier (the
+    /// mirror of [`Self::demote_page`]). `data` is the page's freshly read
+    /// full payload; the caller holds no stripe lock. Best-effort: any
+    /// conflict (raced refresh, no room after demotion) leaves the page
+    /// where it is.
+    fn promote_to_mem(&self, info: &PageInfo, data: &Bytes, parent: SpanId) {
+        let (Some(mem), Some(mem_store)) = (self.mem_dir, self.mem_store.as_ref()) else {
+            return;
+        };
+        if data.len() as u64 != info.size {
+            return; // short read: never promote a partial page
+        }
+        self.ensure_mem_room(info.size, parent);
+        if self.index.bytes_of_dir(mem) + info.size > self.memory_capacity() {
+            return; // could not make room (pinned frames, demotion failure)
+        }
+        let id = info.id;
+        let _guard = self.stripe(id).lock();
+        // Re-check under the stripe: a concurrent refresh, eviction, or
+        // another promotion may have changed the page since it was served.
+        let Some(cur) = self.index.get(&id) else {
+            return;
+        };
+        if cur.dir != info.dir || cur.size != info.size {
+            return;
+        }
+        let mut span = self.tracer.child(parent, "promote");
+        span.annotate("page", id);
+        if let Err(e) = mem_store.put(id, data) {
+            self.metrics.record_error("promote", e.kind());
+            span.annotate("status", e.kind());
+            span.finish();
+            return;
+        }
+        // Keep `created_ms` (see demote_page): TTL survives tier moves.
+        let new_info = PageInfo::new(id, cur.size, cur.scope.clone(), mem, cur.created_ms);
+        if let Some(old) = self.index.insert(new_info) {
+            self.policies[old.dir].lock().on_remove(id);
+            // Exclusive hierarchy: the SSD copy moves up, it is not
+            // mirrored — delete the lower copy.
+            if let Err(e) = self.stores[old.dir].delete(id) {
+                self.metrics.record_error("delete", e.kind());
+            }
+        }
+        self.policies[mem].lock().on_insert(id);
+        self.hot.mem_promotions.inc();
+        self.hot.mem_bytes_promoted.add(info.size);
+        span.annotate("from_dir", info.dir);
+        span.finish();
     }
 
     /// Reclaims an admission slot consumed by a failed insert: `admit()` is
@@ -1899,6 +2332,20 @@ impl CacheManager {
             thread: Some(thread),
         }
     }
+}
+
+/// What became of one attempted demotion (memory → SSD tier move).
+enum DemoteOutcome {
+    /// The frame left the memory tier through a counted exit: demoted to
+    /// SSD, or — for a corrupt frame — evicted.
+    Freed,
+    /// The policy's victim is no longer memory-resident (racing eviction or
+    /// move): retire the stale entry and redraw.
+    Stale,
+    /// The frame is pinned; pressure must look elsewhere.
+    Pinned,
+    /// No SSD directory would take the bytes; stop demoting.
+    Failed,
 }
 
 /// Finishes a lazily created `eviction` span, annotating how many pages were
@@ -3647,6 +4094,377 @@ mod tests {
             cache.read(&f, 0, 4096, &remote).unwrap();
             assert!(!cache.tracer().is_enabled());
             assert!(cache.tracer().take_records().is_empty());
+        }
+    }
+
+    mod mem_tier {
+        use super::*;
+
+        /// A three-level cache: DRAM tier of `mem_cap` bytes above one SSD
+        /// directory of `ssd_cap` bytes.
+        fn tiered_cache(page_size: u64, ssd_cap: u64, mem_cap: u64) -> CacheManager {
+            CacheManager::builder(
+                CacheConfig::default()
+                    .with_page_size(ByteSize::new(page_size))
+                    .with_memory_tier(ByteSize::new(mem_cap)),
+            )
+            .with_store(Arc::new(MemoryPageStore::new()), ssd_cap)
+            .build()
+            .unwrap()
+        }
+
+        fn mem_resident_pages(cache: &CacheManager) -> u64 {
+            cache
+                .index()
+                .pages_of_dir(cache.memory_dir().unwrap())
+                .len() as u64
+        }
+
+        /// The memory-tier conservation law: entries (publishes + promotions)
+        /// minus counted exits (demotions + evictions + replaced) equals the
+        /// pages currently resident — no frame ever leaves silently.
+        fn assert_mem_balance(cache: &CacheManager) {
+            let m = cache.metrics();
+            let entries = m.counter("mem.publishes").get() + m.counter("mem.promotions").get();
+            let exits = m.counter("mem.demotions").get()
+                + m.counter("mem.evictions").get()
+                + m.counter("mem.replaced").get();
+            assert_eq!(
+                entries - exits,
+                mem_resident_pages(cache),
+                "memory-tier conservation: every exit must be counted"
+            );
+        }
+
+        #[test]
+        fn publishes_land_in_memory_and_hits_serve_from_it() {
+            let cache = tiered_cache(1024, 1 << 20, 8 * 1024);
+            let data = pattern(4096);
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let f = file("/f", 4096);
+
+            cache.read(&f, 0, 4096, &remote).unwrap();
+            let mem = cache.memory_dir().unwrap();
+            assert_eq!(
+                cache.index().pages_of_dir(mem).len(),
+                4,
+                "publishes land in memory"
+            );
+            assert_eq!(cache.metrics().counter("mem.publishes").get(), 4);
+            assert_eq!(cache.memory_tier().unwrap().len(), 4);
+
+            let got = cache.read(&f, 100, 500, &NeverRemote).unwrap();
+            assert_eq!(got.as_ref(), &data[100..600]);
+            assert_eq!(cache.metrics().counter("mem.hits").get(), 1);
+            assert_eq!(cache.metrics().counter("hits.slow_path").get(), 0);
+            assert_mem_balance(&cache);
+        }
+
+        #[test]
+        fn pressure_demotes_to_ssd_instead_of_dropping() {
+            // Memory holds 2 pages, the working set is 4: publishing the
+            // later pages must push the earlier ones *down*, not out.
+            let cache = tiered_cache(1024, 1 << 20, 2 * 1024);
+            let data = pattern(4096);
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let f = file("/f", 4096);
+
+            cache.read(&f, 0, 4096, &remote).unwrap();
+            assert_eq!(cache.stats().pages, 4, "no page left the hierarchy");
+            assert_eq!(cache.metrics().counter("mem.demotions").get(), 2);
+            assert_eq!(cache.metrics().counter("mem.evictions").get(), 0);
+            assert_eq!(mem_resident_pages(&cache), 2);
+            assert_mem_balance(&cache);
+
+            // Re-reading a demoted page is a *cache* hit (SSD), not a
+            // remote refetch.
+            let reads_before = remote.read_count();
+            let got = cache.read(&f, 0, 1024, &remote).unwrap();
+            assert_eq!(got.as_ref(), &data[..1024]);
+            assert_eq!(remote.read_count(), reads_before, "served locally");
+            cache.index().check_consistency().unwrap();
+            cache.check_policy_coherence().unwrap();
+        }
+
+        #[test]
+        fn ssd_hit_promotes_the_page_into_memory() {
+            let cache = tiered_cache(1024, 1 << 20, 2 * 1024);
+            let data = pattern(4096);
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let f = file("/f", 4096);
+
+            // Fill: pages 0 and 1 get demoted to SSD by pages 2 and 3.
+            cache.read(&f, 0, 4096, &remote).unwrap();
+            let mem = cache.memory_dir().unwrap();
+            let id0 = PageId::new(f.file_id(), 0);
+            assert_ne!(cache.index().get(&id0).unwrap().dir, mem);
+
+            // An SSD hit moves the page back up (exclusive move: the SSD
+            // copy is deleted, something else is demoted to make room).
+            let got = cache.read(&f, 0, 1024, &NeverRemote).unwrap();
+            assert_eq!(got.as_ref(), &data[..1024]);
+            assert_eq!(cache.index().get(&id0).unwrap().dir, mem, "promoted");
+            assert_eq!(cache.metrics().counter("mem.promotions").get(), 1);
+            assert_eq!(cache.stats().pages, 4, "promotion moves, never copies");
+            assert_mem_balance(&cache);
+            cache.index().check_consistency().unwrap();
+        }
+
+        #[test]
+        fn promotion_preserves_ttl_epoch() {
+            let cache = tiered_cache(1024, 1 << 20, 2 * 1024);
+            let remote = ScriptedRemote::new().with_file("/f", pattern(4096));
+            let f = file("/f", 4096);
+            cache.read(&f, 0, 4096, &remote).unwrap();
+            let id0 = PageId::new(f.file_id(), 0);
+            let before = cache.index().get(&id0).unwrap().created_ms;
+            cache.read(&f, 0, 1024, &NeverRemote).unwrap(); // promote
+            let after = cache.index().get(&id0).unwrap().created_ms;
+            assert_eq!(before, after, "a tier move must not reset the TTL clock");
+        }
+
+        #[test]
+        fn pinned_frames_survive_pressure_until_unpinned() {
+            let cache = tiered_cache(1024, 1 << 20, 4 * 1024);
+            let remote = ScriptedRemote::new().with_file("/f", pattern(4096));
+            let f = file("/f", 4096);
+            cache.read(&f, 0, 4096, &remote).unwrap();
+            let mem = cache.memory_dir().unwrap();
+            assert!(cache.pin_page(&f, 1), "page 1 is memory-resident");
+
+            // Shrink to one page: everything unpinned demotes, the pinned
+            // frame stays (pins outrank pressure).
+            cache.set_memory_capacity(1024);
+            let id1 = PageId::new(f.file_id(), 1);
+            assert_eq!(
+                cache.index().get(&id1).unwrap().dir,
+                mem,
+                "pinned frame stays"
+            );
+            assert_eq!(mem_resident_pages(&cache), 1);
+            assert_eq!(cache.stats().pages, 4, "demotion kept every byte");
+            assert_mem_balance(&cache);
+
+            assert!(cache.unpin_page(&f, 1));
+            assert_eq!(cache.memory_tier().unwrap().pinned_count(), 0);
+            cache.set_memory_capacity(0);
+            assert_ne!(
+                cache.index().get(&id1).unwrap().dir,
+                mem,
+                "demoted once unpinned"
+            );
+            assert_eq!(cache.stats().pages, 4);
+            assert_mem_balance(&cache);
+            cache.index().check_consistency().unwrap();
+            cache.check_policy_coherence().unwrap();
+        }
+
+        #[test]
+        fn corrupt_frame_is_evicted_not_demoted() {
+            // A frame whose DRAM bytes fail the tier-exit checksum must not
+            // land on SSD wearing a fresh trailer: it exits via (counted)
+            // eviction and the next read refetches from remote.
+            let cache = tiered_cache(1024, 1 << 20, 4 * 1024);
+            let data = pattern(4096);
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let f = file("/f", 4096);
+            cache.read(&f, 0, 4096, &remote).unwrap();
+            let id0 = PageId::new(f.file_id(), 0);
+            assert!(cache.memory_tier().unwrap().corrupt_frame(id0));
+
+            cache.set_memory_capacity(0); // force every frame out
+            assert!(cache.index().get(&id0).is_none(), "corrupt frame evicted");
+            assert_eq!(cache.stats().pages, 3, "healthy frames were demoted");
+            assert_eq!(cache.metrics().counter("evictions.corrupt").get(), 1);
+            assert_mem_balance(&cache);
+
+            let reads_before = remote.read_count();
+            let got = cache.read(&f, 0, 1024, &remote).unwrap();
+            assert_eq!(got.as_ref(), &data[..1024], "refetched clean bytes");
+            assert!(remote.read_count() > reads_before);
+        }
+
+        #[test]
+        fn oversized_pages_fall_back_to_ssd() {
+            // Pages bigger than the memory budget go straight to SSD; the
+            // hierarchy still serves them as hits.
+            let cache = tiered_cache(2048, 1 << 20, 1024);
+            let data = pattern(4096);
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let f = file("/f", 4096);
+            cache.read(&f, 0, 4096, &remote).unwrap();
+            assert_eq!(mem_resident_pages(&cache), 0);
+            assert_eq!(cache.metrics().counter("mem.publishes").get(), 0);
+            let reads = remote.read_count();
+            cache.read(&f, 0, 4096, &remote).unwrap();
+            assert_eq!(remote.read_count(), reads, "hits served from SSD");
+            assert_mem_balance(&cache);
+        }
+
+        #[test]
+        fn dir_usage_reports_the_memory_budget_as_capacity() {
+            let cache = tiered_cache(1024, 1 << 20, 4 * 1024);
+            let usage = cache.dir_usage();
+            assert_eq!(usage.len(), 2);
+            assert_eq!(usage[1].2, 4 * 1024, "mem dir capacity is the budget");
+            cache.set_memory_capacity(2048);
+            assert_eq!(
+                cache.dir_usage()[1].2,
+                2048,
+                "budget tracks runtime changes"
+            );
+        }
+
+        #[test]
+        fn mem_hit_hammer_32_threads_stays_on_the_fast_path() {
+            // Satellite of the PR 6 lock-free hit path: memory hits must
+            // also take zero write locks, lose no counts, and never fall
+            // back to the stripe-locked slow path.
+            const THREADS: usize = 32;
+            const ITERS: usize = 2_000;
+            const PAGE: u64 = 1024;
+            const PAGES: usize = 8;
+
+            let cache = Arc::new(tiered_cache(PAGE, 1 << 20, PAGES as u64 * PAGE));
+            let data = pattern((PAGES as u64 * PAGE) as usize);
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let f = file("/f", PAGES as u64 * PAGE);
+
+            cache.read(&f, 0, PAGES as u64 * PAGE, &remote).unwrap();
+            assert_eq!(mem_resident_pages(&cache), PAGES as u64, "all resident");
+            let warm_hits = cache.stats().hits;
+            let warm_bytes = cache.metrics().counter("bytes_from_cache").get();
+
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let cache = Arc::clone(&cache);
+                    let data = data.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..ITERS {
+                            let page = (t * 7 + i) % PAGES;
+                            let off = page as u64 * PAGE;
+                            let got = cache.read(
+                                &file("/f", PAGES as u64 * PAGE),
+                                off,
+                                PAGE,
+                                &NeverRemote,
+                            );
+                            assert_eq!(
+                                got.unwrap().as_ref(),
+                                &data[off as usize..(off + PAGE) as usize]
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+
+            let total = (THREADS * ITERS) as u64;
+            assert_eq!(cache.stats().hits - warm_hits, total, "no lost hit counts");
+            assert_eq!(
+                cache.metrics().counter("mem.hits").get(),
+                total,
+                "every hammer access was a memory hit"
+            );
+            assert_eq!(
+                cache.metrics().counter("hits.slow_path").get(),
+                0,
+                "memory hits never fall back to the stripe-locked path"
+            );
+            assert_eq!(
+                cache.metrics().counter("bytes_from_cache").get() - warm_bytes,
+                total * PAGE,
+                "byte conservation under contention"
+            );
+            assert_eq!(cache.memory_tier().unwrap().pinned_count(), 0);
+            assert_mem_balance(&cache);
+            cache.index().check_consistency().unwrap();
+            cache.check_policy_coherence().unwrap();
+        }
+
+        #[test]
+        fn concurrent_promote_demote_churn_conserves_bytes() {
+            // Working set twice the memory budget: every reader keeps
+            // promoting SSD hits while its siblings' promotions demote them
+            // back, and a pin thread pins/unpins frames mid-flight. The
+            // books must balance when the dust settles.
+            const THREADS: usize = 8;
+            const ITERS: usize = 400;
+            const PAGE: u64 = 1024;
+            const PAGES: usize = 16;
+
+            let cache = Arc::new(tiered_cache(PAGE, 1 << 20, 8 * PAGE));
+            let data = pattern((PAGES as u64 * PAGE) as usize);
+            let remote = ScriptedRemote::new().with_file("/f", data.clone());
+            let f = file("/f", PAGES as u64 * PAGE);
+            cache.read(&f, 0, PAGES as u64 * PAGE, &remote).unwrap();
+
+            let mut handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let cache = Arc::clone(&cache);
+                    let data = data.clone();
+                    std::thread::spawn(move || {
+                        // Deterministic per-thread stride: all pages covered,
+                        // different interleavings across threads.
+                        for i in 0..ITERS {
+                            let page = (t * 5 + i * 3) % PAGES;
+                            let off = page as u64 * PAGE;
+                            let got = cache.read(
+                                &file("/f", PAGES as u64 * PAGE),
+                                off,
+                                PAGE,
+                                &NeverRemote,
+                            );
+                            assert_eq!(
+                                got.unwrap().as_ref(),
+                                &data[off as usize..(off + PAGE) as usize]
+                            );
+                        }
+                    })
+                })
+                .collect();
+            handles.push({
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    // Balanced pin/unpin churn racing the demotion scans.
+                    for i in 0..ITERS {
+                        let page = (i * 7) as u64 % PAGES as u64;
+                        let f = file("/f", PAGES as u64 * PAGE);
+                        if cache.pin_page(&f, page) {
+                            cache.unpin_page(&f, page);
+                        }
+                    }
+                })
+            });
+            for h in handles {
+                h.join().unwrap();
+            }
+
+            assert_eq!(
+                cache.stats().pages,
+                PAGES as u64 as usize,
+                "no byte left the hierarchy"
+            );
+            assert_eq!(
+                cache.metrics().counter("mem.evictions").get(),
+                0,
+                "pressure only ever demoted"
+            );
+            assert_eq!(
+                cache.memory_tier().unwrap().pinned_count(),
+                0,
+                "pins balanced"
+            );
+            assert_mem_balance(&cache);
+            cache.index().check_consistency().unwrap();
+            cache.check_policy_coherence().unwrap();
+            // Store bytes and indexed bytes agree per directory once the
+            // churn stops (the harness-grade drift check).
+            for (store_bytes, indexed_bytes, _) in cache.dir_usage() {
+                assert_eq!(store_bytes, indexed_bytes, "store/index drift");
+            }
         }
     }
 }

@@ -197,8 +197,130 @@ fn drain(queue: &AccessQueue, policy: &mut Box<dyn EvictionPolicy>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Tier transparency: mounting a DRAM tier above the SSD store must be
+// invisible to callers — same bytes for every read, same miss classification,
+// and never more remote round trips than the flat two-level cache, for any
+// op history and any eviction policy. The SSD capacity covers the whole
+// working set so residency can only differ through the tier itself; a small
+// memory budget keeps promote/demote churn constant.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum TierOp {
+    Read(u8, u8),
+    ReadMulti(u8, u8, u8),
+    DeleteFile(u8),
+}
+
+fn tier_op_strategy() -> impl Strategy<Value = TierOp> {
+    prop_oneof![
+        6 => (0..FILES, 0..4u8).prop_map(|(f, p)| TierOp::Read(f, p)),
+        3 => (0..FILES, 0..4u8, 0..4u8).prop_map(|(f, a, b)| TierOp::ReadMulti(f, a, b)),
+        1 => (0..FILES).prop_map(TierOp::DeleteFile),
+    ]
+}
+
+/// A cache whose SSD directory fits the entire working set; `mem` bytes of
+/// DRAM tier on top (zero mounts none).
+fn tier_cache(kind: EvictionPolicyKind, mem: u64) -> CacheManager {
+    let mut config = CacheConfig::default()
+        .with_page_size(ByteSize::new(PAGE))
+        .with_eviction(kind);
+    if mem > 0 {
+        config = config.with_memory_tier(ByteSize::new(mem));
+    }
+    CacheManager::builder(config)
+        .with_store(
+            Arc::new(MemoryPageStore::new()),
+            u64::from(FILES) * FILE_LEN,
+        )
+        .build()
+        .unwrap()
+}
+
+/// The three-tier conservation balance, checked after every op.
+fn check_tier_books(tiered: &CacheManager) {
+    tiered.index().check_consistency().expect("tiered index");
+    tiered
+        .check_policy_coherence()
+        .expect("tiered policy coherence");
+    let mem = tiered.memory_dir().expect("tier mounted");
+    let m = tiered.metrics();
+    let entries = m.counter("mem.publishes").get() + m.counter("mem.promotions").get();
+    let exits = m.counter("mem.demotions").get()
+        + m.counter("mem.evictions").get()
+        + m.counter("mem.replaced").get();
+    assert_eq!(
+        entries - exits,
+        tiered.index().pages_of_dir(mem).len() as u64,
+        "memory tier books out of balance"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn memory_tier_is_transparent(
+        ops in proptest::collection::vec(tier_op_strategy(), 1..60),
+    ) {
+        for kind in [
+            EvictionPolicyKind::Lru,
+            EvictionPolicyKind::Fifo,
+            EvictionPolicyKind::Random { seed: 11 },
+            EvictionPolicyKind::Slru,
+            EvictionPolicyKind::TwoQ,
+        ] {
+            let flat = tier_cache(kind, 0);
+            let tiered = tier_cache(kind, 3 * PAGE);
+            let remote = PatternRemote;
+            for &op in &ops {
+                match op {
+                    TierOp::Read(f, p) => {
+                        let sf = source_file(f);
+                        let off = u64::from(p) * PAGE;
+                        let a = flat.read(&sf, off, PAGE, &remote).unwrap();
+                        let b = tiered.read(&sf, off, PAGE, &remote).unwrap();
+                        prop_assert_eq!(&a, &b, "read bytes diverged ({kind:?})");
+                    }
+                    TierOp::ReadMulti(f, p, q) => {
+                        let sf = source_file(f);
+                        let ranges =
+                            [(u64::from(p) * PAGE, PAGE), (u64::from(q) * PAGE, PAGE)];
+                        let a = flat.read_multi(&sf, &ranges, &remote).unwrap();
+                        let b = tiered.read_multi(&sf, &ranges, &remote).unwrap();
+                        prop_assert_eq!(&a, &b, "vectored bytes diverged ({kind:?})");
+                    }
+                    TierOp::DeleteFile(f) => {
+                        let a = flat.delete_file(source_file(f).file_id());
+                        let b = tiered.delete_file(source_file(f).file_id());
+                        prop_assert_eq!(a, b, "delete count diverged ({kind:?})");
+                    }
+                }
+                // Residency must agree page-for-page in total, and the
+                // tiered cache's books must balance after every op.
+                prop_assert_eq!(
+                    flat.index().total_bytes(),
+                    tiered.index().total_bytes(),
+                    "cached byte totals diverged ({kind:?})"
+                );
+                check_tier_books(&tiered);
+            }
+            // Same misses and never more remote round trips: the DRAM tier
+            // may only absorb reads, not generate them.
+            prop_assert_eq!(
+                flat.metrics().counter("misses").get(),
+                tiered.metrics().counter("misses").get(),
+                "miss classification diverged ({kind:?})"
+            );
+            prop_assert!(
+                tiered.metrics().counter("remote_requests").get()
+                    <= flat.metrics().counter("remote_requests").get(),
+                "the tier generated remote traffic ({kind:?})"
+            );
+        }
+    }
 
     #[test]
     fn batched_drain_matches_inline_victims(

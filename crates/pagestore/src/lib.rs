@@ -16,6 +16,9 @@
 //!   checksum trailer for corruption detection (§8).
 //! * [`memory`] — [`MemoryPageStore`], an in-memory implementation for tests
 //!   and metadata-style payloads.
+//! * [`memtier`] — [`MemTierStore`], the DRAM cache tier: checksummed,
+//!   pinnable frames the `CacheManager` mounts above its SSD directories
+//!   (pages are demoted to SSD under pressure, not dropped).
 //! * [`faulty`] — [`FaultyStore`], a fault-injection wrapper reproducing the
 //!   failure modes of §8 (corruption, `No space left on device`, read hangs).
 //! * [`crash`] — [`CrashPlan`], armable crash points that make a
@@ -27,6 +30,7 @@ pub mod crash;
 pub mod faulty;
 pub mod local;
 pub mod memory;
+pub mod memtier;
 pub mod page;
 pub mod store;
 
@@ -34,5 +38,6 @@ pub use crash::{is_simulated_crash, CrashPlan, CrashSite};
 pub use faulty::{FaultPlan, FaultyStore};
 pub use local::{LocalPageStore, LocalStoreConfig};
 pub use memory::MemoryPageStore;
+pub use memtier::MemTierStore;
 pub use page::{CacheScope, FileId, PageId, PageInfo};
 pub use store::PageStore;

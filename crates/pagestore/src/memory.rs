@@ -16,6 +16,11 @@ use crate::store::PageStore;
 #[derive(Debug, Default)]
 pub struct MemoryPageStore {
     pages: RwLock<HashMap<PageId, Bytes>>,
+    /// Byte accounting. Every mutation happens under the `pages` write
+    /// lock, which already orders updates; the atomic only lets readers
+    /// sample the total without taking that lock. Relaxed suffices — a
+    /// load may lag a concurrent put/delete by one update, but it can
+    /// never tear, and no data is published through this counter.
     bytes_used: AtomicU64,
 }
 
@@ -39,12 +44,13 @@ impl MemoryPageStore {
 impl PageStore for MemoryPageStore {
     fn put(&self, id: PageId, data: &[u8]) -> Result<()> {
         let mut pages = self.pages.write();
+        // Relaxed (see the field comment): serialized by the write lock.
         if let Some(old) = pages.insert(id, Bytes::copy_from_slice(data)) {
             self.bytes_used
-                .fetch_sub(old.len() as u64, Ordering::SeqCst);
+                .fetch_sub(old.len() as u64, Ordering::Relaxed);
         }
         self.bytes_used
-            .fetch_add(data.len() as u64, Ordering::SeqCst);
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -65,8 +71,9 @@ impl PageStore for MemoryPageStore {
         let mut pages = self.pages.write();
         match pages.remove(&id) {
             Some(old) => {
+                // Relaxed: serialized by the `pages` write lock held above.
                 self.bytes_used
-                    .fetch_sub(old.len() as u64, Ordering::SeqCst);
+                    .fetch_sub(old.len() as u64, Ordering::Relaxed);
                 Ok(true)
             }
             None => Ok(false),
@@ -78,7 +85,9 @@ impl PageStore for MemoryPageStore {
     }
 
     fn bytes_used(&self) -> u64 {
-        self.bytes_used.load(Ordering::SeqCst)
+        // Relaxed: a statistic, not a synchronization point. Callers that
+        // need a value consistent with the page map hold their own locks.
+        self.bytes_used.load(Ordering::Relaxed)
     }
 
     fn recover(&self) -> Result<Vec<(PageId, u64)>> {

@@ -68,6 +68,25 @@ pub fn cache_epoch_laws(clean: bool) -> Vec<ConservationLaw> {
             &["bytes_requested"],
         ),
         ConservationLaw::at_most("hits are classified reads", &["hits"], &["page_reads"]),
+        // Three-tier flow laws (all trivially 0 = 0 without a DRAM tier).
+        // DRAM does not survive a restart, so within one epoch every
+        // memory-resident frame entered via a publish or a promotion —
+        // demotion can never outrun the entries.
+        ConservationLaw::at_most(
+            "every demotion had a memory entry",
+            &["mem.demotions"],
+            &["mem.publishes", "mem.promotions"],
+        ),
+        ConservationLaw::at_most(
+            "every promotion was a served hit",
+            &["mem.promotions"],
+            &["hits"],
+        ),
+        ConservationLaw::at_most(
+            "every memory publish is a put",
+            &["mem.publishes"],
+            &["puts"],
+        ),
     ];
     if clean {
         laws.push(ConservationLaw::equal(
@@ -174,6 +193,46 @@ pub fn check_accounting(
                     "dir {dir}: store holds {store_bytes} B but index accounts {index_bytes} B"
                 ),
             ));
+        }
+    }
+    // Three-tier conservation: every frame that ever entered the DRAM tier
+    // (publish or promotion) must either still be resident or have left
+    // through a *counted* exit (demotion, eviction, refresh replacement).
+    // DRAM recovers empty after a crash and each epoch gets a fresh
+    // registry, so the books start balanced at every epoch boundary. A
+    // silent drop — bytes leaving the hierarchy without demotion or a
+    // remote-backed eviction — breaks the equality immediately.
+    if let Some(mem) = cache.memory_dir() {
+        let m = cache.metrics();
+        let entries = m.counter("mem.publishes").get() + m.counter("mem.promotions").get();
+        let exits = m.counter("mem.demotions").get()
+            + m.counter("mem.evictions").get()
+            + m.counter("mem.replaced").get();
+        let resident = cache.index().pages_of_dir(mem).len() as u64;
+        if entries != exits + resident {
+            out.push(mk(
+                "mem-conservation",
+                format!(
+                    "memory tier books don't balance: {entries} entries \
+                     (publishes + promotions) vs {exits} counted exits \
+                     (demotions + evictions + replaced) + {resident} resident"
+                ),
+            ));
+        }
+        // Memory residency must agree frame-for-frame between the store and
+        // the index (byte agreement rides the store-index-drift check).
+        if store_index_agree {
+            if let Some(tier) = cache.memory_tier() {
+                if tier.len() as u64 != resident {
+                    out.push(mk(
+                        "mem-residency-drift",
+                        format!(
+                            "memory store holds {} frames but the index accounts {resident}",
+                            tier.len()
+                        ),
+                    ));
+                }
+            }
         }
     }
     for (scope, quota) in cache.quota().snapshot() {

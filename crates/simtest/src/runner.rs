@@ -147,6 +147,12 @@ fn build_direct(
         .with_page_size(ByteSize::new(sc.page_size))
         .with_ttl(Duration::from_secs(60))
         .with_max_concurrent_fetches(4);
+    if let Some(cap) = sc.memory_capacity {
+        // Three-level hierarchy: DRAM frames above the (possibly faulty)
+        // backing store. The tier is rebuilt empty on every crash restart —
+        // DRAM does not survive process death.
+        config = config.with_memory_tier(ByteSize::new(cap));
+    }
     // Injected delays pay virtual time; the wall-clock deadline machinery
     // would race against them and break determinism.
     config.enforce_read_timeout = false;
@@ -295,6 +301,10 @@ fn run_direct(sc: &Scenario) -> RunReport {
     let mut salt_counter = 0u64;
     let mut err_until = 0usize;
     let mut short_until = 0usize;
+    // Open memory-pressure window: (first op past the window, shrunk bytes).
+    // Restoring the configured capacity at expiry lets promotions resume, so
+    // one scenario exercises shrink → demote → regrow → repromote.
+    let mut mem_pressure: Option<(usize, u64)> = None;
     let mut fault_idx = 0usize;
     let mut final_json;
 
@@ -307,6 +317,14 @@ fn run_direct(sc: &Scenario) -> RunReport {
         if short_until != 0 && i >= short_until {
             remote.set_short_percent(0, 0);
             short_until = 0;
+        }
+        if let Some((until, _)) = mem_pressure {
+            if i >= until {
+                stack
+                    .cache
+                    .set_memory_capacity(sc.memory_capacity.unwrap_or(0));
+                mem_pressure = None;
+            }
         }
         // Apply faults scheduled at this boundary.
         while fault_idx < sc.faults.len() && sc.faults[fault_idx].at <= i {
@@ -342,6 +360,13 @@ fn run_direct(sc: &Scenario) -> RunReport {
                     if sc.backend == Backend::Local {
                         crash_plan.arm_after(*site, *skip);
                     }
+                }
+                Fault::MemPressure { bytes, ops } => {
+                    // Shrinking must demote, never drop: the conservation
+                    // oracle re-balances the tier's books after every op of
+                    // the window.
+                    stack.cache.set_memory_capacity(*bytes);
+                    mem_pressure = Some((i + *ops as usize, *bytes));
                 }
             }
             fault_idx += 1;
@@ -473,7 +498,15 @@ fn run_direct(sc: &Scenario) -> RunReport {
                 memory_store.as_ref(),
                 epoch,
             ) {
-                Ok(s) => s,
+                Ok(s) => {
+                    // The rebuilt stack mounted the tier at full configured
+                    // capacity; if a pressure window is still open, the
+                    // shrunk budget must survive the restart.
+                    if let Some((_, bytes)) = mem_pressure {
+                        s.cache.set_memory_capacity(bytes);
+                    }
+                    s
+                }
                 Err(e) => {
                     violations.push(Violation {
                         op: Some(i),
@@ -901,6 +934,7 @@ mod tests {
             quota: Some(4 * page),           // Table t0.
             partition_quota: Some(2 * page), // Partition p0 under it.
             max_cached_partitions: Some(2),
+            memory_capacity: None,
             sabotage_after: None,
             ops: vec![
                 // Fill p0 to its partition quota, then one page beyond it:
@@ -965,6 +999,146 @@ mod tests {
         let b = run_scenario(&sc);
         assert_eq!(a.trace, b.trace, "hand-built scenario diverged");
         assert_eq!(a.final_metrics_json, b.final_metrics_json);
+    }
+
+    /// Last value of counter `name` on an `epoch N end:` trace line.
+    fn epoch_counter(trace: &[String], name: &str) -> u64 {
+        let needle = format!(" {name}=");
+        trace
+            .iter()
+            .rev()
+            .filter(|l| l.contains(" end: "))
+            .find_map(|l| {
+                let p = l.find(&needle)?;
+                l[p + needle.len()..]
+                    .split_whitespace()
+                    .next()?
+                    .parse()
+                    .ok()
+            })
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn memory_pressure_window_demotes_and_restores() {
+        use crate::scenario::{Fault, FaultEvent};
+
+        // A hand-built three-tier scenario: fill the DRAM tier, serve
+        // memory hits, shrink the tier under a pressure window (frames must
+        // demote to SSD, never drop), keep reading through the window
+        // (SSD hits promote back, churning against the shrunk budget), then
+        // let the window expire and verify the tier refills. The
+        // conservation oracle re-balances the tier's books after every op.
+        let page = 4096u64;
+        let read = |file: u32, idx: u64| Op::Read {
+            file,
+            offset: idx * page,
+            len: page,
+        };
+        let sc = Scenario {
+            seed: 777,
+            profile: Profile::Smoke,
+            backend: Backend::Memory,
+            topology: Topology::Direct,
+            page_size: page,
+            cache_capacity: 64 * page,
+            files: 2,
+            file_len: 8 * page,
+            quota: None,
+            partition_quota: None,
+            max_cached_partitions: None,
+            memory_capacity: Some(4 * page),
+            sabotage_after: None,
+            ops: vec![
+                // Fill the DRAM tier to its 4-page budget.
+                read(0, 0),
+                read(0, 1),
+                read(0, 2),
+                read(0, 3),
+                // Pure memory hits.
+                read(0, 0),
+                read(0, 1),
+                // The fault below fires here: capacity drops to one page,
+                // demoting three frames. Reads through the window hit SSD
+                // and promote back against the shrunk budget.
+                read(0, 2),
+                read(0, 3),
+                read(0, 0),
+                read(1, 0),
+                // Window expired: full budget back, publishes resume.
+                read(1, 1),
+                read(1, 2),
+                read(0, 2),
+            ],
+            faults: vec![FaultEvent {
+                at: 6,
+                fault: Fault::MemPressure {
+                    bytes: page,
+                    ops: 4,
+                },
+            }],
+        };
+        let a = run_scenario(&sc);
+        assert!(
+            a.ok(),
+            "violations: {:?}\ntrace: {:#?}",
+            a.violations,
+            a.trace
+        );
+        assert!(
+            epoch_counter(&a.trace, "mem.publishes") >= 4,
+            "publishes missing: {:#?}",
+            a.trace
+        );
+        assert!(
+            epoch_counter(&a.trace, "mem.demotions") >= 3,
+            "the pressure window must demote: {:#?}",
+            a.trace
+        );
+        assert!(
+            epoch_counter(&a.trace, "mem.promotions") >= 1,
+            "SSD hits behind the window must promote: {:#?}",
+            a.trace
+        );
+        assert_eq!(
+            epoch_counter(&a.trace, "mem.evictions"),
+            0,
+            "pressure must demote, never drop: {:#?}",
+            a.trace
+        );
+        let b = run_scenario(&sc);
+        assert_eq!(a.trace, b.trace, "three-tier scenario diverged");
+        assert_eq!(a.final_metrics_json, b.final_metrics_json);
+        assert_eq!(a.span_records, b.span_records, "spans diverged");
+    }
+
+    #[test]
+    fn memory_tier_torture_seeds_stay_conserved() {
+        // Generated tiered seeds: every one carries 1-2 pressure windows,
+        // and the three-tier conservation oracle runs after every op.
+        // Torture seeds add crash restarts (DRAM recovers empty) on top.
+        let mut ran = 0usize;
+        for seed in 0..48u64 {
+            let sc = Scenario::generate(seed, Profile::Torture);
+            if sc.memory_capacity.is_none() {
+                continue;
+            }
+            assert!(
+                sc.faults
+                    .iter()
+                    .any(|f| matches!(f.fault, Fault::MemPressure { .. })),
+                "seed {seed}: tiered scenario without a pressure window"
+            );
+            let a = run_scenario(&sc);
+            assert!(a.ok(), "seed {seed} violations: {:?}", a.violations);
+            let b = run_scenario(&sc);
+            assert_eq!(a.trace, b.trace, "seed {seed} diverged");
+            ran += 1;
+            if ran == 4 {
+                break;
+            }
+        }
+        assert!(ran >= 2, "too few tiered Torture seeds in 0..48: {ran}");
     }
 
     #[test]

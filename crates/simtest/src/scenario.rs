@@ -109,6 +109,11 @@ pub enum Fault {
     /// Arm a crash point: the `skip`+1-th matching store operation leaves
     /// its half-effect on disk and fails as a process death.
     ArmCrash { site: CrashSite, skip: u64 },
+    /// Shrink the DRAM tier to `bytes` for the next `ops` operations, then
+    /// restore the scenario's configured memory capacity. Pressure must
+    /// *demote* resident frames to SSD, never drop them — the three-tier
+    /// conservation oracle holds throughout the window.
+    MemPressure { bytes: u64, ops: u32 },
 }
 
 /// A fault scheduled before op index `at` (clamped to the op count).
@@ -143,6 +148,11 @@ pub struct Scenario {
     /// `schema: sim, table: *` filter rule). Admission slots must recycle
     /// through every exit path for fresh partitions to keep caching.
     pub max_cached_partitions: Option<usize>,
+    /// Optional DRAM tier capacity in bytes mounted above the SSD store
+    /// (Direct topology only). `None` runs the classic two-level
+    /// SSD → remote hierarchy; `Some` makes every read three-level and
+    /// arms the cross-tier conservation oracles.
+    pub memory_capacity: Option<u64>,
     /// After this many remote reads, the simulated remote starts returning
     /// a flipped byte — a deliberately planted bug that the byte-correctness
     /// oracle must catch (meta-test of the oracle + shrinker).
@@ -201,6 +211,12 @@ impl Scenario {
         } else {
             Topology::Direct
         };
+        // Mount a DRAM tier above the SSD store for most Direct seeds
+        // (the Tier topology builds its own managers): between two pages
+        // and half the SSD capacity, so promotion/demotion churn is
+        // constant rather than a corner case.
+        let memory_capacity = (topology == Topology::Direct && rng.random_bool(0.7))
+            .then(|| rng.random_range(2u64..=(cap_pages / 2).max(2)) * page_size);
 
         let op_count = match profile {
             Profile::Smoke => 60,
@@ -218,6 +234,7 @@ impl Scenario {
             files,
             file_len / page_size,
             cache_capacity,
+            memory_capacity,
             op_count,
         );
 
@@ -233,6 +250,7 @@ impl Scenario {
             quota,
             partition_quota,
             max_cached_partitions,
+            memory_capacity,
             sabotage_after: None,
             ops,
             faults,
@@ -316,6 +334,7 @@ impl Scenario {
         files: u32,
         pages_per_file: u64,
         cache_capacity: u64,
+        memory_capacity: Option<u64>,
         op_count: usize,
     ) -> Vec<FaultEvent> {
         let fault_count = match profile {
@@ -373,6 +392,22 @@ impl Scenario {
                 },
             };
             faults.push(FaultEvent { at, fault });
+        }
+        if let Some(mem_cap) = memory_capacity {
+            // Every seed with a DRAM tier gets memory-pressure windows:
+            // shrink the tier hard for a stretch of ops, then restore. The
+            // runner drives `set_memory_capacity`, and the three-tier
+            // conservation oracles must hold throughout.
+            for _ in 0..rng.random_range(1usize..=2) {
+                let at = rng.random_range(0..op_count);
+                faults.push(FaultEvent {
+                    at,
+                    fault: Fault::MemPressure {
+                        bytes: rng.random_range(0..=mem_cap / 2),
+                        ops: rng.random_range(3u32..=12),
+                    },
+                });
+            }
         }
         faults.sort_by_key(|f| f.at);
         faults
@@ -464,6 +499,45 @@ mod tests {
                 "seed {seed} has no churn ops"
             );
         }
+    }
+
+    #[test]
+    fn memory_tiers_ride_most_direct_seeds_with_pressure_windows() {
+        let mut tiered = 0;
+        let mut flat = 0;
+        for seed in 0..32 {
+            let s = Scenario::generate(seed, Profile::Torture);
+            match s.memory_capacity {
+                Some(cap) => {
+                    tiered += 1;
+                    assert_eq!(s.topology, Topology::Direct, "seed {seed}");
+                    assert!(cap >= 2 * s.page_size, "seed {seed}: tier below two pages");
+                    assert!(
+                        s.faults
+                            .iter()
+                            .any(|f| matches!(f.fault, Fault::MemPressure { .. })),
+                        "seed {seed}: tiered scenario lacks a pressure window"
+                    );
+                    for f in &s.faults {
+                        if let Fault::MemPressure { bytes, ops } = f.fault {
+                            assert!(bytes <= cap / 2, "seed {seed}: pressure must shrink");
+                            assert!(ops >= 1);
+                        }
+                    }
+                }
+                None => {
+                    flat += 1;
+                    assert!(
+                        !s.faults
+                            .iter()
+                            .any(|f| matches!(f.fault, Fault::MemPressure { .. })),
+                        "seed {seed}: pressure window without a tier"
+                    );
+                }
+            }
+        }
+        assert!(tiered > 0, "no seed mounted a DRAM tier");
+        assert!(flat > 0, "no seed kept the two-level hierarchy");
     }
 
     #[test]

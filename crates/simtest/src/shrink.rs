@@ -141,6 +141,10 @@ pub fn render_repro(sc: &Scenario) -> String {
         sc.max_cached_partitions
     ));
     out.push_str(&format!(
+        "        memory_capacity: {:?},\n",
+        sc.memory_capacity
+    ));
+    out.push_str(&format!(
         "        sabotage_after: {:?},\n",
         sc.sabotage_after
     ));
