@@ -2,6 +2,7 @@
 //! DESIGN.md §3 for the full index.
 
 pub mod admission_effectiveness;
+pub mod cluster_churn;
 pub mod eviction_ablation;
 pub mod fig10_input_wall;
 pub mod fig13_read_rates;
@@ -37,6 +38,7 @@ pub fn run_all(quick: bool) -> Vec<ExperimentReport> {
         eviction_ablation::run(quick),
         replicas_ablation::run(quick),
         lazy_movement_ablation::run(quick),
+        cluster_churn::run(quick),
         quota_ablation::run(quick),
         readpath_scaling::run(quick),
         scanpath::run(quick),

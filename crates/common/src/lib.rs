@@ -18,6 +18,7 @@ pub mod clock;
 pub mod error;
 pub mod hash;
 pub mod ring;
+mod ring_proptests;
 
 pub use bytesize::ByteSize;
 pub use clock::{Clock, SharedClock, SimClock, SystemClock};

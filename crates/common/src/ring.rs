@@ -150,25 +150,34 @@ impl ConsistentRing {
     /// Removes nodes that have been offline longer than the lazy timeout.
     /// Returns the ids of removed nodes. Call periodically (the paper runs
     /// this from a background job).
+    ///
+    /// The whole pass runs under one write lock: `offline_since` is
+    /// re-checked at removal time, so a concurrent `mark_online` can never
+    /// land between "snapshot expired" and "remove" and lose a live node.
     pub fn sweep_expired(&self) -> Vec<String> {
         let now = self.clock.now_nanos();
         let timeout = self.config.offline_timeout.as_nanos() as u64;
-        let expired: Vec<String> = {
-            let inner = self.inner.read();
-            inner
-                .nodes
-                .iter()
-                .filter_map(|(id, st)| {
-                    st.offline_since
-                        .filter(|&since| now.saturating_sub(since) >= timeout)
-                        .map(|_| id.to_string())
-                })
-                .collect()
-        };
-        for node in &expired {
-            self.remove_node(node);
+        let mut inner = self.inner.write();
+        let expired: Vec<Arc<str>> = inner
+            .nodes
+            .iter()
+            .filter_map(|(id, st)| {
+                st.offline_since
+                    .filter(|&since| now.saturating_sub(since) >= timeout)
+                    .map(|_| id.clone())
+            })
+            .collect();
+        let mut removed = Vec::with_capacity(expired.len());
+        for id in expired {
+            if inner.nodes.remove(&id).is_some() {
+                for p in self.node_points(&id) {
+                    inner.points.remove(&p);
+                }
+                removed.push(id.to_string());
+            }
         }
-        expired
+        removed.sort();
+        removed
     }
 
     /// Returns whether `node` is currently online.
@@ -377,6 +386,47 @@ mod tests {
         ring.mark_offline("w1");
         clock.advance(Duration::from_secs(1));
         assert_eq!(ring.sweep_expired(), vec!["w1".to_string()]);
+    }
+
+    #[test]
+    fn sweep_returns_expired_nodes_sorted() {
+        let (ring, clock) = ring_with(&["w3", "w0", "w2", "w1"], Duration::from_secs(100));
+        for n in ["w3", "w1", "w0"] {
+            ring.mark_offline(n);
+        }
+        clock.advance(Duration::from_secs(101));
+        // Multi-node sweeps must return a deterministic (sorted) list, not
+        // hash-map iteration order.
+        assert_eq!(ring.sweep_expired(), vec!["w0", "w1", "w3"]);
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn mark_online_racing_a_sweep_never_loses_a_live_node() {
+        // Regression: sweep_expired used to snapshot expired nodes under a
+        // read lock and remove them under a separate write lock, so a
+        // mark_online landing between the two permanently removed a node
+        // that had just come back. The sweep now re-checks `offline_since`
+        // inside one write-locked pass; this hammers the interleaving.
+        for _ in 0..200 {
+            let (ring, clock) = ring_with(&["w0", "w1"], Duration::from_secs(10));
+            ring.mark_offline("w1");
+            clock.advance(Duration::from_secs(11));
+            let r1 = ring.clone();
+            let sweeper = std::thread::spawn(move || r1.sweep_expired());
+            ring.mark_online("w1");
+            let revived_while_present = ring.is_online("w1");
+            let swept = sweeper.join().expect("sweeper");
+            if revived_while_present {
+                // The node observably came back online while still seated:
+                // no sweep may remove it afterwards.
+                assert!(
+                    ring.nodes().contains(&"w1".to_string()),
+                    "live node lost by a racing sweep (swept={swept:?})"
+                );
+                assert!(ring.is_online("w1"));
+            }
+        }
     }
 
     #[test]

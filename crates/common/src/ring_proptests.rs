@@ -1,0 +1,226 @@
+//! Model-based property tests for [`crate::ring::ConsistentRing`]: random
+//! membership-churn sequences (add/remove/offline/online/advance/sweep)
+//! against a plain membership model, checking the invariants the
+//! distributed tier's failover is built on — candidate distinctness,
+//! only-owned-keys-move on removal, and grace-period revert.
+
+#![cfg(test)]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use crate::clock::{Clock, SimClock};
+use crate::ring::{ConsistentRing, RingConfig};
+
+const TIMEOUT_SECS: u64 = 100;
+const POOL: [&str; 6] = ["n0", "n1", "n2", "n3", "n4", "n5"];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add(usize),
+    Remove(usize),
+    Offline(usize),
+    Online(usize),
+    Advance(u64),
+    Sweep,
+}
+
+/// Nightly CI bumps the case count via this env var; local runs stay quick.
+fn cases() -> u32 {
+    std::env::var("EDGECACHE_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let idx = 0..POOL.len();
+    prop_oneof![
+        3 => idx.clone().prop_map(Op::Add),
+        2 => idx.clone().prop_map(Op::Remove),
+        3 => idx.clone().prop_map(Op::Offline),
+        3 => idx.prop_map(Op::Online),
+        3 => (1u64..TIMEOUT_SECS * 2).prop_map(Op::Advance),
+        2 => Just(Op::Sweep),
+    ]
+}
+
+/// Plain membership mirror: node → `Some(offline_at_nanos)` while offline.
+#[derive(Default)]
+struct Model {
+    nodes: HashMap<&'static str, Option<u64>>,
+    now: u64,
+}
+
+impl Model {
+    fn online(&self) -> Vec<&'static str> {
+        let mut v: Vec<_> = self
+            .nodes
+            .iter()
+            .filter(|(_, off)| off.is_none())
+            .map(|(n, _)| *n)
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn expired(&self) -> Vec<&'static str> {
+        let timeout = Duration::from_secs(TIMEOUT_SECS).as_nanos() as u64;
+        let mut v: Vec<_> = self
+            .nodes
+            .iter()
+            .filter(|(_, off)| off.is_some_and(|at| self.now.saturating_sub(at) >= timeout))
+            .map(|(n, _)| *n)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+fn probe_keys() -> Vec<String> {
+    (0..40).map(|i| format!("file/{i}")).collect()
+}
+
+/// Asserts the per-step invariants that hold in *every* reachable state.
+fn check_state(ring: &ConsistentRing, model: &Model, keys: &[String]) {
+    let online = model.online();
+    let mut ring_nodes = ring.nodes();
+    ring_nodes.sort();
+    let mut model_nodes: Vec<_> = model.nodes.keys().map(|n| n.to_string()).collect();
+    model_nodes.sort();
+    assert_eq!(ring_nodes, model_nodes, "membership mismatch");
+    assert_eq!(ring.len(), model.nodes.len());
+    for n in &POOL {
+        assert_eq!(
+            ring.is_online(n),
+            online.contains(n),
+            "online status of {n} diverged from model"
+        );
+    }
+    for key in keys {
+        let c = ring.candidates(key, 3);
+        // Distinct...
+        for i in 0..c.len() {
+            for j in (i + 1)..c.len() {
+                assert_ne!(c[i], c[j], "duplicate candidate for {key}: {c:?}");
+            }
+        }
+        // ...all online...
+        for n in &c {
+            assert!(online.contains(&n.as_str()), "offline candidate {n}");
+        }
+        // ...and as many as the online population allows.
+        assert_eq!(c.len(), online.len().min(3), "candidate count for {key}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn ring_matches_membership_model_under_churn(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let clock = SimClock::new();
+        let ring = ConsistentRing::new(
+            RingConfig {
+                vnodes_per_node: 32,
+                offline_timeout: Duration::from_secs(TIMEOUT_SECS),
+            },
+            Arc::new(clock.clone()),
+        );
+        let mut model = Model::default();
+        let keys = probe_keys();
+
+        for op in ops {
+            match op {
+                Op::Add(i) => {
+                    let n = POOL[i];
+                    ring.add_node(n);
+                    // Idempotent; re-adding an offline node revives it.
+                    model.nodes.insert(n, None);
+                }
+                Op::Remove(i) => {
+                    let n = POOL[i];
+                    // Only-owned-keys-move: record primaries before the
+                    // removal, then check that keys not owned by `n` keep
+                    // their primary.
+                    let before: Vec<Option<String>> = keys
+                        .iter()
+                        .map(|k| ring.candidates(k, 1).into_iter().next())
+                        .collect();
+                    ring.remove_node(n);
+                    model.nodes.remove(n);
+                    for (k, old) in keys.iter().zip(&before) {
+                        if let Some(old) = old {
+                            if old != n {
+                                let new = ring.candidates(k, 1).into_iter().next();
+                                assert_eq!(
+                                    new.as_ref(),
+                                    Some(old),
+                                    "removing {n} moved {k} off {old}"
+                                );
+                            }
+                        }
+                    }
+                }
+                Op::Offline(i) => {
+                    let n = POOL[i];
+                    // Grace-period revert: offline skips the node but keeps
+                    // its seat, so an immediate online restores every
+                    // pre-offline primary exactly.
+                    let before: Vec<Option<String>> = keys
+                        .iter()
+                        .map(|k| ring.candidates(k, 1).into_iter().next())
+                        .collect();
+                    let was_online = ring.is_online(n);
+                    ring.mark_offline(n);
+                    if let Some(off) = model.nodes.get_mut(n) {
+                        // Idempotent: an already-offline node keeps its
+                        // original timestamp.
+                        off.get_or_insert(clock.now_nanos());
+                    }
+                    if was_online {
+                        ring.mark_online(n);
+                        if let Some(off) = model.nodes.get_mut(n) {
+                            *off = None;
+                        }
+                        let after: Vec<Option<String>> = keys
+                            .iter()
+                            .map(|k| ring.candidates(k, 1).into_iter().next())
+                            .collect();
+                        assert_eq!(before, after, "offline+online round trip moved keys");
+                    }
+                }
+                Op::Online(i) => {
+                    let n = POOL[i];
+                    ring.mark_online(n);
+                    if let Some(off) = model.nodes.get_mut(n) {
+                        *off = None;
+                    }
+                }
+                Op::Advance(secs) => {
+                    clock.advance(Duration::from_secs(secs));
+                    model.now = clock.now_nanos();
+                }
+                Op::Sweep => {
+                    let swept = ring.sweep_expired();
+                    let expected = model.expired();
+                    assert_eq!(
+                        swept,
+                        expected.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
+                        "sweep diverged from model"
+                    );
+                    for n in expected {
+                        model.nodes.remove(n);
+                    }
+                }
+            }
+            model.now = clock.now_nanos();
+            check_state(&ring, &model, &keys);
+        }
+    }
+}

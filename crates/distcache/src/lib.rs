@@ -12,9 +12,20 @@
 //!   the request **falls back to origin storage directly, bypassing the
 //!   cache** — the hybrid the paper found "more robust and lower latency
 //!   than simply increasing the number of replicas".
+//! * A worker that **errors** mid-serve (degraded node) fails the read over
+//!   to the next candidate, then to origin — mcrouter-style failover (§5):
+//!   a read only fails when origin itself is down.
 //! * Node restarts are handled with **lazy data movement** (§7): an offline
 //!   worker keeps its ring seat for a grace period, so a container bounce
-//!   moves no data.
+//!   moves no data. Membership is dynamic: workers
+//!   [join](tier::DistCacheTier::add_worker) (scale-out or restart-after-
+//!   crash, warming lazily), [leave](tier::DistCacheTier::remove_worker)
+//!   gracefully, or [crash](tier::DistCacheTier::worker_crash) (data lost,
+//!   seat dropped with no grace); expired seats are swept on the read path
+//!   and keys rehash to survivors.
+//! * Optional [replicate-on-read](tier::TierConfig::replicate_on_read)
+//!   warms a key's second candidate deliberately, so failover during churn
+//!   serves warm hits instead of cold misses.
 //!
 //! [`DistCacheTier`] itself implements
 //! [`RemoteSource`](edgecache_core::manager::RemoteSource), so a

@@ -1,11 +1,11 @@
 //! One cache-worker node of the distributed tier.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use edgecache_common::clock::SharedClock;
-use edgecache_common::error::Result;
+use edgecache_common::error::{Error, Result};
 use edgecache_common::ByteSize;
 use edgecache_core::config::CacheConfig;
 use edgecache_core::manager::{CacheManager, RemoteSource, SourceFile};
@@ -40,6 +40,11 @@ pub struct CacheWorker {
     cache: CacheManager,
     inflight: AtomicU32,
     max_inflight: u32,
+    /// Fault-injection hook: a failing worker errors every serve, modelling
+    /// a degraded node (bad disk, wedged fetch path) that still answers the
+    /// admission probe. Drives the tier's error-failover tests and the
+    /// simtest `NodeDegraded` fault.
+    failing: AtomicBool,
 }
 
 /// RAII guard decrementing the worker's in-flight count.
@@ -47,7 +52,9 @@ pub(crate) struct InflightGuard<'a>(&'a AtomicU32);
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        // Release: the slot hand-off must not be reordered before the
+        // request work it concludes; the acquiring CAS pairs with this.
+        self.0.fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -64,6 +71,7 @@ impl CacheWorker {
             cache,
             inflight: AtomicU32::new(0),
             max_inflight: config.max_inflight,
+            failing: AtomicBool::new(false),
         })
     }
 
@@ -79,19 +87,34 @@ impl CacheWorker {
 
     /// Current in-flight requests.
     pub fn inflight(&self) -> u32 {
-        self.inflight.load(Ordering::SeqCst)
+        // Relaxed: a monitoring read of a monotonic-ish gauge; no other
+        // memory depends on the value observed.
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Makes every serve fail (or recover) — fault injection for failover
+    /// tests and the simulation harness.
+    pub fn set_failing(&self, failing: bool) {
+        // Relaxed: the flag guards no other data; serves observe it on
+        // their next load and the exact switchover point is immaterial.
+        self.failing.store(failing, Ordering::Relaxed);
     }
 
     /// Tries to reserve a request slot; `None` when the worker is occupied.
     pub(crate) fn try_acquire(&self) -> Option<InflightGuard<'_>> {
-        let mut cur = self.inflight.load(Ordering::SeqCst);
+        // Relaxed initial read: the CAS below revalidates it.
+        let mut cur = self.inflight.load(Ordering::Relaxed);
         loop {
             if cur >= self.max_inflight {
                 return None;
             }
+            // AcqRel on success: Acquire pairs with the guard-drop Release
+            // so a reused slot observes the prior request's completed work;
+            // Release publishes this reservation to the next acquirer.
+            // Relaxed on failure: a stale count is just retried.
             match self
                 .inflight
-                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
             {
                 Ok(_) => return Some(InflightGuard(&self.inflight)),
                 Err(actual) => cur = actual,
@@ -107,6 +130,9 @@ impl CacheWorker {
         len: u64,
         origin: &dyn RemoteSource,
     ) -> Result<Bytes> {
+        if self.failing.load(Ordering::Relaxed) {
+            return Err(Error::Other(format!("worker {} is degraded", self.name)));
+        }
         self.cache.read(file, offset, len, origin)
     }
 
@@ -119,6 +145,9 @@ impl CacheWorker {
         ranges: &[(u64, u64)],
         origin: &dyn RemoteSource,
     ) -> Result<Vec<Bytes>> {
+        if self.failing.load(Ordering::Relaxed) {
+            return Err(Error::Other(format!("worker {} is degraded", self.name)));
+        }
         self.cache.read_multi(file, ranges, origin)
     }
 }
@@ -152,6 +181,17 @@ mod tests {
         assert!(w.try_acquire().is_none(), "occupied at the bound");
         drop(g1);
         assert!(w.try_acquire().is_some(), "slot released");
+    }
+
+    #[test]
+    fn failing_worker_errors_until_recovered() {
+        let w = CacheWorker::new("w0", WorkerCacheConfig::default(), system_clock()).unwrap();
+        let file = SourceFile::new("/f", 1, 1 << 20, CacheScope::Global);
+        w.set_failing(true);
+        assert!(w.serve(&file, 0, 1024, &Zero).is_err());
+        assert!(w.serve_multi(&file, &[(0, 1024)], &Zero).is_err());
+        w.set_failing(false);
+        assert!(w.serve(&file, 0, 1024, &Zero).is_ok());
     }
 
     #[test]

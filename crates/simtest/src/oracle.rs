@@ -18,6 +18,7 @@ use std::collections::{BTreeSet, HashSet};
 use bytes::Bytes;
 use edgecache_core::admission::FilterRuleAdmission;
 use edgecache_core::manager::CacheManager;
+use edgecache_distcache::tier::TierStats;
 use edgecache_metrics::ConservationLaw;
 use edgecache_pagestore::CacheScope;
 
@@ -131,6 +132,55 @@ pub fn check_read(op: usize, got: &Bytes, expected: &Bytes) -> Option<Violation>
         kind: "byte-mismatch",
         detail,
     })
+}
+
+/// Per-op tier oracles, checked against the [`TierStats`] delta of one op.
+///
+/// * **Read conservation** — every tier read lands in exactly one outcome
+///   bucket: `served_by_tier`, `origin_fallbacks`, or `failed_reads`; ops
+///   that issue no read move none of them.
+/// * **Cluster health (bounded degradation)** — while every known worker is
+///   online, undegraded, and not awaiting a crash restart, and no remote
+///   fault window is open, a read must be served by a worker: no origin
+///   fallback and no failure. Hit-rate degradation is thereby structurally
+///   confined to actual churn windows.
+///
+/// The companion no-failed-read-while-origin-healthy oracle runs inline in
+/// the runner (it needs the error value), so a failed read with no remote
+/// fault window open is reported there as `unexpected-error`.
+pub fn check_tier_op(
+    op: usize,
+    reads: u64,
+    prev: &TierStats,
+    cur: &TierStats,
+    cluster_healthy: bool,
+    remote_faults_active: bool,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let served = cur.served_by_tier - prev.served_by_tier;
+    let fallbacks = cur.origin_fallbacks - prev.origin_fallbacks;
+    let failed = cur.failed_reads - prev.failed_reads;
+    if served + fallbacks + failed != reads {
+        out.push(Violation {
+            op: Some(op),
+            kind: "tier-conservation",
+            detail: format!(
+                "op issued {reads} read(s) but outcomes moved by \
+                 served={served} + fallbacks={fallbacks} + failed={failed}"
+            ),
+        });
+    }
+    if cluster_healthy && !remote_faults_active && fallbacks + failed > 0 {
+        out.push(Violation {
+            op: Some(op),
+            kind: "cluster-health",
+            detail: format!(
+                "fully healthy cluster let a read past the tier: \
+                 fallbacks={fallbacks} failed={failed}"
+            ),
+        });
+    }
+    out
 }
 
 /// Structural accounting checks over a live manager, run after every op.
@@ -318,6 +368,43 @@ mod tests {
         m.counter("fallbacks.timeout").inc();
         let diff = SnapshotDiff::from_start(&m.snapshot());
         assert!(assert_conserved(&diff, &cache_epoch_laws(true)).is_ok());
+    }
+
+    #[test]
+    fn tier_op_oracle_catches_lost_and_leaked_outcomes() {
+        let zero = TierStats {
+            served_by_tier: 0,
+            origin_fallbacks: 0,
+            failed_reads: 0,
+            worker_errors: 0,
+            failover_reads: 0,
+            replica_warms: 0,
+            bytes_cached: 0,
+        };
+        let served = TierStats {
+            served_by_tier: 1,
+            ..zero.clone()
+        };
+        let fell_back = TierStats {
+            origin_fallbacks: 1,
+            ..zero.clone()
+        };
+        // A read that landed in exactly one bucket is clean.
+        assert!(check_tier_op(0, 1, &zero, &served, true, false).is_empty());
+        // A read with no outcome (the pre-failover bug shape: an error
+        // propagated without being counted) violates conservation.
+        let v = check_tier_op(1, 1, &zero, &zero, false, false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "tier-conservation");
+        // A non-read op moving a counter violates conservation too.
+        assert!(!check_tier_op(2, 0, &zero, &served, false, false).is_empty());
+        // A fully healthy cluster must not fall back to origin...
+        let v = check_tier_op(3, 1, &zero, &fell_back, true, false);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "cluster-health");
+        // ...but churn windows and remote fault windows both excuse it.
+        assert!(check_tier_op(4, 1, &zero, &fell_back, false, false).is_empty());
+        assert!(check_tier_op(5, 1, &zero, &fell_back, true, true).is_empty());
     }
 
     #[test]

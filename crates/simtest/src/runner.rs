@@ -36,9 +36,9 @@ use edgecache_pagestore::{
 };
 use edgecache_storage::{StallSchedule, StallWindow};
 
-use crate::oracle::{cache_epoch_laws, check_accounting, check_read, Violation};
+use crate::oracle::{cache_epoch_laws, check_accounting, check_read, check_tier_op, Violation};
 use crate::remote::SimRemote;
-use crate::scenario::{Backend, Fault, Op, Scenario, Topology};
+use crate::scenario::{Backend, Fault, Op, Profile, Scenario, Topology};
 
 /// The outcome of one scenario run.
 #[derive(Debug, Clone)]
@@ -368,6 +368,11 @@ fn run_direct(sc: &Scenario) -> RunReport {
                     stack.cache.set_memory_capacity(*bytes);
                     mem_pressure = Some((i + *ops as usize, *bytes));
                 }
+                // Node lifecycle faults have no seat in the Direct topology.
+                Fault::NodeStall { .. }
+                | Fault::NodeCrash { .. }
+                | Fault::NodeJoin { .. }
+                | Fault::NodeDegraded { .. } => {}
             }
             fault_idx += 1;
         }
@@ -567,17 +572,30 @@ fn run_tier(sc: &Scenario) -> RunReport {
     let mut trace: Vec<String> = Vec::with_capacity(sc.ops.len() + 8);
     let mut violations: Vec<Violation> = Vec::new();
 
-    let workers = 3usize;
+    let workers = Scenario::tier_workers(sc.profile);
     let tier = match DistCacheTier::new(
         TierConfig {
             workers,
             max_replicas: 2,
+            // Cluster seeds warm each key's second candidate deliberately,
+            // so failover during churn windows serves warm hits.
+            replicate_on_read: sc.profile == Profile::Cluster,
             worker: WorkerCacheConfig {
                 cache_capacity: sc.cache_capacity,
                 page_size: ByteSize::new(sc.page_size),
                 max_inflight: 8,
             },
-            ring: Default::default(),
+            ring: if sc.profile == Profile::Cluster {
+                // A short lazy window, so stall windows overlapping clock
+                // advances actually expire seats and exercise the
+                // sweep-driven rebalance (ownership-change re-fetch).
+                edgecache_common::ring::RingConfig {
+                    offline_timeout: Duration::from_secs(60),
+                    ..Default::default()
+                }
+            } else {
+                Default::default()
+            },
         },
         Arc::clone(&remote) as Arc<dyn RemoteSource + Send + Sync>,
         Arc::clone(&clock),
@@ -602,6 +620,23 @@ fn run_tier(sc: &Scenario) -> RunReport {
     let mut fault_idx = 0usize;
     let mut tier_reads = 0u64;
 
+    // Cluster-health bookkeeping for the per-op tier oracle: which workers
+    // the harness itself pushed into a bad state. A name can linger here
+    // after a sweep removed the worker outright — that only makes the
+    // "fully healthy" oracle more conservative, never wrong.
+    let mut offline: std::collections::BTreeSet<String> = Default::default();
+    let mut degraded: std::collections::BTreeSet<String> = Default::default();
+    let mut awaiting_restart: std::collections::BTreeSet<String> = Default::default();
+    /// A scheduled end of a node-fault window, keyed by op index.
+    enum NodeEvent {
+        StallEnd(String),
+        DegradeEnd(String),
+        Rejoin(String),
+    }
+    let mut node_events: Vec<(usize, NodeEvent)> = Vec::new();
+    let worker_name = |idx: u32| format!("cw{}", idx as usize % workers);
+    let mut prev_stats = tier.stats();
+
     for (i, op) in sc.ops.iter().enumerate() {
         if err_until != 0 && i >= err_until {
             remote.set_error_percent(0, 0);
@@ -611,6 +646,40 @@ fn run_tier(sc: &Scenario) -> RunReport {
             remote.set_short_percent(0, 0);
             short_until = 0;
         }
+        // Close node-fault windows that ran out: stalled workers return,
+        // degraded workers heal, crashed workers rejoin cold.
+        let mut still_open = Vec::with_capacity(node_events.len());
+        for (at, ev) in node_events.drain(..) {
+            if at > i {
+                still_open.push((at, ev));
+                continue;
+            }
+            match ev {
+                NodeEvent::StallEnd(name) => {
+                    // A no-op if a sweep already expired the seat — the
+                    // worker is then gone for good and its keys rehashed.
+                    tier.worker_online(&name);
+                    offline.remove(&name);
+                }
+                NodeEvent::DegradeEnd(name) => {
+                    if let Some(w) = tier.worker(&name) {
+                        w.set_failing(false);
+                    }
+                    degraded.remove(&name);
+                }
+                NodeEvent::Rejoin(name) => {
+                    if let Err(e) = tier.add_worker(&name) {
+                        violations.push(Violation {
+                            op: Some(i),
+                            kind: "rejoin-failed",
+                            detail: format!("crashed worker {name} failed to rejoin: {e}"),
+                        });
+                    }
+                    awaiting_restart.remove(&name);
+                }
+            }
+        }
+        node_events = still_open;
         while fault_idx < sc.faults.len() && sc.faults[fault_idx].at <= i {
             let fault = &sc.faults[fault_idx].fault;
             trace.push(format!("fault@{i} {fault:?}"));
@@ -632,6 +701,36 @@ fn run_tier(sc: &Scenario) -> RunReport {
                         end: now + Duration::from_millis(*millis),
                         factor: *factor,
                     });
+                }
+                Fault::NodeStall { idx, ops } => {
+                    let name = worker_name(*idx);
+                    tier.worker_offline(&name);
+                    offline.insert(name.clone());
+                    node_events.push((i + *ops as usize, NodeEvent::StallEnd(name)));
+                }
+                Fault::NodeCrash { idx, restart_ops } => {
+                    let name = worker_name(*idx);
+                    tier.worker_crash(&name);
+                    awaiting_restart.insert(name.clone());
+                    node_events.push((i + *restart_ops as usize, NodeEvent::Rejoin(name)));
+                }
+                Fault::NodeJoin { idx } => {
+                    let name = format!("cw{}", workers + *idx as usize);
+                    if let Err(e) = tier.add_worker(&name) {
+                        violations.push(Violation {
+                            op: Some(i),
+                            kind: "join-failed",
+                            detail: format!("worker {name} failed to join: {e}"),
+                        });
+                    }
+                }
+                Fault::NodeDegraded { idx, ops } => {
+                    let name = worker_name(*idx);
+                    if let Some(w) = tier.worker(&name) {
+                        w.set_failing(true);
+                        degraded.insert(name.clone());
+                        node_events.push((i + *ops as usize, NodeEvent::DegradeEnd(name)));
+                    }
                 }
                 // Store-level and crash faults have no seat in the tier
                 // topology (the harness does not own the workers' stores).
@@ -719,11 +818,15 @@ fn run_tier(sc: &Scenario) -> RunReport {
                 format!("swept {}", swept.len())
             }
             Op::WorkerOffline { idx } => {
-                tier.worker_offline(&format!("cw{}", *idx as usize % workers));
+                let name = worker_name(*idx);
+                tier.worker_offline(&name);
+                offline.insert(name);
                 "offline".to_string()
             }
             Op::WorkerOnline { idx } => {
-                tier.worker_online(&format!("cw{}", *idx as usize % workers));
+                let name = worker_name(*idx);
+                tier.worker_online(&name);
+                offline.remove(&name);
                 "online".to_string()
             }
             // File deletion, scope purges, and crashes are Direct-topology
@@ -734,18 +837,35 @@ fn run_tier(sc: &Scenario) -> RunReport {
             "op{i:03} {op:?} -> {digest} clock={}ms",
             sim.now_millis()
         ));
+
+        // Per-op tier oracles: read-outcome conservation always; the
+        // cluster-health (bounded degradation) check whenever the harness
+        // has every worker online, undegraded, and rejoined.
+        let cur_stats = tier.stats();
+        let reads_this_op = matches!(op, Op::Read { .. } | Op::ReadMulti { .. }) as u64;
+        let cluster_healthy =
+            offline.is_empty() && degraded.is_empty() && awaiting_restart.is_empty();
+        violations.extend(check_tier_op(
+            i,
+            reads_this_op,
+            &prev_stats,
+            &cur_stats,
+            cluster_healthy,
+            remote.faults_active(),
+        ));
+        prev_stats = cur_stats;
     }
 
-    // Tier conservation: every tier read is served by exactly one of a
-    // worker or the origin fallback.
+    // Tier conservation over the whole run: every tier read ended in
+    // exactly one of a worker serve, an origin fallback, or a failure.
     let stats = tier.stats();
-    if stats.served_by_tier + stats.origin_fallbacks != tier_reads {
+    if stats.served_by_tier + stats.origin_fallbacks + stats.failed_reads != tier_reads {
         violations.push(Violation {
             op: None,
             kind: "tier-conservation",
             detail: format!(
-                "served_by_tier={} + origin_fallbacks={} != tier reads {}",
-                stats.served_by_tier, stats.origin_fallbacks, tier_reads
+                "served_by_tier={} + origin_fallbacks={} + failed_reads={} != tier reads {}",
+                stats.served_by_tier, stats.origin_fallbacks, stats.failed_reads, tier_reads
             ),
         });
     }
@@ -875,6 +995,154 @@ mod tests {
         assert_eq!(sc.topology, Topology::Tier);
         let report = run_scenario(&sc);
         assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn cluster_seeds_run_clean_and_deterministic() {
+        // Generated membership-churn seeds: node stalls, crashes, joins,
+        // and degrade windows over the replicated tier, with the per-op
+        // conservation and cluster-health oracles armed. Each seed must
+        // also replay byte-identically.
+        for seed in 0..4u64 {
+            let sc = Scenario::generate(seed, Profile::Cluster);
+            assert_eq!(sc.topology, Topology::Tier);
+            let a = run_scenario(&sc);
+            assert!(a.ok(), "seed {seed} violations: {:?}", a.violations);
+            let b = run_scenario(&sc);
+            assert_eq!(a.trace, b.trace, "seed {seed} diverged");
+            assert_eq!(a.final_metrics_json, b.final_metrics_json);
+        }
+    }
+
+    #[test]
+    fn rolling_restart_keeps_serving_with_bounded_degradation() {
+        // A hand-built rolling restart: warm the whole key space (and, via
+        // replicate-on-read, every key's second replica), then bounce each
+        // of the four workers in turn while reads continue. The bounded-
+        // degradation contract is exact here: zero failed reads, zero
+        // origin fallbacks — every read through the restart is a worker
+        // serve, because the surviving replica is already warm.
+        let page = 4096u64;
+        let read = |file: u32, idx: u64| Op::Read {
+            file,
+            offset: idx * page,
+            len: page,
+        };
+        let mut ops = Vec::new();
+        for f in 0..6u32 {
+            for p in 0..2u64 {
+                ops.push(read(f, p));
+            }
+        }
+        for w in 0..4u32 {
+            ops.push(Op::WorkerOffline { idx: w });
+            for f in 0..6u32 {
+                ops.push(read(f, 0));
+            }
+            ops.push(Op::WorkerOnline { idx: w });
+            for f in 0..6u32 {
+                ops.push(read(f, 1));
+            }
+        }
+        let total_reads = 12 + 4 * 12;
+        let sc = Scenario {
+            seed: 777_001,
+            profile: Profile::Cluster,
+            backend: Backend::Memory,
+            topology: Topology::Tier,
+            page_size: page,
+            cache_capacity: 64 * page,
+            files: 6,
+            file_len: 4 * page,
+            quota: None,
+            partition_quota: None,
+            max_cached_partitions: None,
+            memory_capacity: None,
+            sabotage_after: None,
+            ops,
+            faults: vec![],
+        };
+        let a = run_scenario(&sc);
+        assert!(
+            a.ok(),
+            "violations: {:?}\ntrace: {:#?}",
+            a.violations,
+            a.trace
+        );
+        assert_eq!(epoch_counter(&a.trace, "failed_reads"), 0);
+        assert_eq!(
+            epoch_counter(&a.trace, "origin_fallbacks"),
+            0,
+            "warm replicas must absorb the whole rolling restart: {:#?}",
+            a.trace
+        );
+        assert_eq!(
+            epoch_counter(&a.trace, "served_by_tier"),
+            total_reads as u64
+        );
+        assert!(
+            epoch_counter(&a.trace, "replica_warms") >= 6,
+            "replicate-on-read must have warmed the secondaries"
+        );
+        let b = run_scenario(&sc);
+        assert_eq!(a.trace, b.trace, "rolling restart diverged");
+        assert_eq!(a.final_metrics_json, b.final_metrics_json);
+    }
+
+    #[test]
+    fn degraded_primary_fails_over_without_a_failed_read() {
+        use crate::scenario::FaultEvent;
+
+        // The headline-bug regression at simtest level: a degrade window on
+        // every worker in turn, reads continuing throughout, zero failed
+        // reads allowed (origin stays healthy the whole run).
+        let page = 4096u64;
+        let read = |file: u32| Op::Read {
+            file,
+            offset: 0,
+            len: page,
+        };
+        let mut ops: Vec<Op> = Vec::new();
+        let mut faults = Vec::new();
+        for w in 0..4u32 {
+            faults.push(FaultEvent {
+                at: ops.len(),
+                fault: Fault::NodeDegraded { idx: w, ops: 4 },
+            });
+            for f in 0..4u32 {
+                ops.push(read(f));
+            }
+        }
+        let sc = Scenario {
+            seed: 777_002,
+            profile: Profile::Cluster,
+            backend: Backend::Memory,
+            topology: Topology::Tier,
+            page_size: page,
+            cache_capacity: 64 * page,
+            files: 4,
+            file_len: 4 * page,
+            quota: None,
+            partition_quota: None,
+            max_cached_partitions: None,
+            memory_capacity: None,
+            sabotage_after: None,
+            ops,
+            faults,
+        };
+        let a = run_scenario(&sc);
+        assert!(
+            a.ok(),
+            "violations: {:?}\ntrace: {:#?}",
+            a.violations,
+            a.trace
+        );
+        assert_eq!(epoch_counter(&a.trace, "failed_reads"), 0);
+        assert!(
+            epoch_counter(&a.trace, "worker_errors") > 0,
+            "degrade windows must actually exercise the failover path"
+        );
+        assert!(epoch_counter(&a.trace, "failover_reads") > 0);
     }
 
     #[test]

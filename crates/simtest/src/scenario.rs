@@ -25,15 +25,23 @@ pub enum Profile {
     /// admission-slot recycling run constantly. Direct topology only (the
     /// tier does not own scopes), crash/restart cycles on Local backends.
     Quota,
+    /// Cluster membership churn: every seed runs the Tier topology with
+    /// replicate-on-read, and the fault schedule is dominated by node
+    /// stall/crash/join/degrade windows. The tier oracles run after every
+    /// op: reads never fail while origin is healthy, a fully healthy
+    /// cluster serves every read from a worker, and every read lands in
+    /// exactly one outcome bucket.
+    Cluster,
 }
 
 impl Profile {
-    /// Parses `"smoke"` / `"torture"` / `"quota"`.
+    /// Parses `"smoke"` / `"torture"` / `"quota"` / `"cluster"`.
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "smoke" => Some(Profile::Smoke),
             "torture" => Some(Profile::Torture),
             "quota" => Some(Profile::Quota),
+            "cluster" => Some(Profile::Cluster),
             _ => None,
         }
     }
@@ -114,6 +122,21 @@ pub enum Fault {
     /// *demote* resident frames to SSD, never drop them — the three-tier
     /// conservation oracle holds throughout the window.
     MemPressure { bytes: u64, ops: u32 },
+    /// Tier worker `idx` goes offline for the next `ops` operations, then
+    /// returns (container bounce: its seat and data survive the lazy
+    /// window). Tier topology only.
+    NodeStall { idx: u32, ops: u32 },
+    /// Tier worker `idx` crashes: its cached data is lost and its ring seat
+    /// drops with no grace period; it rejoins cold after `restart_ops`
+    /// operations. Tier topology only.
+    NodeCrash { idx: u32, restart_ops: u32 },
+    /// A brand-new worker (`idx` picks its name) joins the ring and warms
+    /// lazily. Tier topology only.
+    NodeJoin { idx: u32 },
+    /// Tier worker `idx` stays online but errors every serve for the next
+    /// `ops` operations (bad disk / wedged fetch path) — reads must fail
+    /// over to the surviving replica or origin. Tier topology only.
+    NodeDegraded { idx: u32, ops: u32 },
 }
 
 /// A fault scheduled before op index `at` (clamped to the op count).
@@ -206,7 +229,9 @@ impl Scenario {
         } else {
             Backend::Memory
         };
-        let topology = if profile != Profile::Quota && seed % 7 == 3 {
+        let topology = if profile == Profile::Cluster
+            || (!matches!(profile, Profile::Quota) && seed % 7 == 3)
+        {
             Topology::Tier
         } else {
             Topology::Direct
@@ -222,6 +247,7 @@ impl Scenario {
             Profile::Smoke => 60,
             Profile::Torture => 400,
             Profile::Quota => 120,
+            Profile::Cluster => 200,
         };
         let ops = Self::gen_ops(
             rng, seed, profile, backend, topology, files, file_len, op_count,
@@ -307,7 +333,7 @@ impl Scenario {
             } else if roll < 0.96 {
                 Op::EvictExpired
             } else if topology == Topology::Tier {
-                let idx = rng.random_range(0u32..3);
+                let idx = rng.random_range(0u32..Self::tier_workers(profile) as u32);
                 if rng.random_bool(0.5) {
                     Op::WorkerOffline { idx }
                 } else {
@@ -341,10 +367,36 @@ impl Scenario {
             Profile::Smoke => rng.random_range(2usize..=4),
             Profile::Torture => rng.random_range(8usize..=16),
             Profile::Quota => rng.random_range(4usize..=8),
+            Profile::Cluster => rng.random_range(6usize..=12),
         };
+        let workers = Self::tier_workers(profile) as u32;
         let mut faults = Vec::with_capacity(fault_count);
         for _ in 0..fault_count {
             let at = rng.random_range(0..op_count);
+            // Cluster seeds lead with membership churn: stall, crash,
+            // join, and degrade windows, with remote-level faults mixed in
+            // so origin outages overlap node outages.
+            if profile == Profile::Cluster && rng.random_bool(0.65) {
+                let fault = match rng.random_range(0u32..100) {
+                    0..=34 => Fault::NodeStall {
+                        idx: rng.random_range(0..workers),
+                        ops: rng.random_range(3u32..=20),
+                    },
+                    35..=59 => Fault::NodeCrash {
+                        idx: rng.random_range(0..workers),
+                        restart_ops: rng.random_range(5u32..=25),
+                    },
+                    60..=74 => Fault::NodeJoin {
+                        idx: rng.random_range(0u32..3),
+                    },
+                    _ => Fault::NodeDegraded {
+                        idx: rng.random_range(0..workers),
+                        ops: rng.random_range(3u32..=15),
+                    },
+                };
+                faults.push(FaultEvent { at, fault });
+                continue;
+            }
             let fault = match rng.random_range(0u32..100) {
                 // Remote-level faults apply to every topology.
                 0..=24 => Fault::RemoteErrors {
@@ -416,6 +468,15 @@ impl Scenario {
     /// Remote path of file index `i`.
     pub fn path_of(file: u32) -> String {
         format!("/sim/f{file}")
+    }
+
+    /// Initial worker count of the Tier topology for `profile` (the runner
+    /// names them `cw0..cwN`; joined workers continue the sequence).
+    pub fn tier_workers(profile: Profile) -> usize {
+        match profile {
+            Profile::Cluster => 4,
+            _ => 3,
+        }
     }
 }
 
@@ -538,6 +599,74 @@ mod tests {
         }
         assert!(tiered > 0, "no seed mounted a DRAM tier");
         assert!(flat > 0, "no seed kept the two-level hierarchy");
+    }
+
+    #[test]
+    fn cluster_profile_always_churns_the_tier() {
+        let mut stalls = 0;
+        let mut crashes = 0;
+        let mut joins = 0;
+        let mut degrades = 0;
+        for seed in 0..16 {
+            let s = Scenario::generate(seed, Profile::Cluster);
+            assert_eq!(s.topology, Topology::Tier, "seed {seed}");
+            let node_faults = s
+                .faults
+                .iter()
+                .filter(|f| {
+                    matches!(
+                        f.fault,
+                        Fault::NodeStall { .. }
+                            | Fault::NodeCrash { .. }
+                            | Fault::NodeJoin { .. }
+                            | Fault::NodeDegraded { .. }
+                    )
+                })
+                .count();
+            assert!(node_faults > 0, "seed {seed} has no membership churn");
+            for f in &s.faults {
+                match f.fault {
+                    Fault::NodeStall { idx, ops } => {
+                        stalls += 1;
+                        assert!(idx < 4 && ops >= 1);
+                    }
+                    Fault::NodeCrash { idx, restart_ops } => {
+                        crashes += 1;
+                        assert!(idx < 4 && restart_ops >= 1);
+                    }
+                    Fault::NodeJoin { .. } => joins += 1,
+                    Fault::NodeDegraded { idx, ops } => {
+                        degrades += 1;
+                        assert!(idx < 4 && ops >= 1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            stalls > 0 && crashes > 0 && joins > 0 && degrades > 0,
+            "16 seeds must cover every churn kind: \
+             stalls={stalls} crashes={crashes} joins={joins} degrades={degrades}"
+        );
+    }
+
+    #[test]
+    fn node_faults_never_ride_non_cluster_profiles() {
+        for profile in [Profile::Smoke, Profile::Torture, Profile::Quota] {
+            for seed in 0..12 {
+                let s = Scenario::generate(seed, profile);
+                assert!(
+                    !s.faults.iter().any(|f| matches!(
+                        f.fault,
+                        Fault::NodeStall { .. }
+                            | Fault::NodeCrash { .. }
+                            | Fault::NodeJoin { .. }
+                            | Fault::NodeDegraded { .. }
+                    )),
+                    "{profile:?} seed {seed} generated a node fault"
+                );
+            }
+        }
     }
 
     #[test]
