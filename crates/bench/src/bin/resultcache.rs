@@ -1,0 +1,12 @@
+//! Harness binary for the `resultcache` experiment; pass `--quick` for the
+//! reduced-scale variant (skips writing `BENCH_resultcache.json`). See
+//! DESIGN.md §3 for the experiment index.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = edgecache_bench::experiments::resultcache::run(quick);
+    println!("{report}");
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

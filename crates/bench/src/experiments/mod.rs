@@ -17,6 +17,7 @@ pub mod pagesize_ablation;
 pub mod quota_ablation;
 pub mod readpath_scaling;
 pub mod replicas_ablation;
+pub mod resultcache;
 pub mod scanpath;
 pub mod table1_hdfs_traffic;
 
@@ -43,5 +44,6 @@ pub fn run_all(quick: bool) -> Vec<ExperimentReport> {
         readpath_scaling::run(quick),
         scanpath::run(quick),
         hotpath::run(quick),
+        resultcache::run(quick),
     ]
 }

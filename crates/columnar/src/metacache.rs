@@ -9,14 +9,19 @@
 //! footer. The cache stores *deserialized* [`FileMetadata`] objects, and
 //! tracks how many footer bytes were actually parsed — the currency of the
 //! metadata-caching ablation.
+//!
+//! The cache is **bounded** (entry-count capacity, LRU eviction with an
+//! `evictions` counter) and **single-flight**: concurrent misses on the
+//! same key parse the footer once; the other callers wait for the published
+//! result instead of duplicating the CPU-heavy deserialization.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Duration;
 
 use edgecache_common::error::Result;
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 
 use crate::format::FileMetadata;
 
@@ -25,57 +30,171 @@ use crate::format::FileMetadata;
 /// metadata handling is CPU-bound.
 pub const PARSE_NANOS_PER_BYTE: u64 = 100;
 
-/// A shared cache of deserialized footers.
+/// Default entry-count bound: generous enough that the simulated tables
+/// never evict unless a test or experiment shrinks it on purpose.
+pub const DEFAULT_METADATA_CAPACITY: usize = 4096;
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// key → (footer, LRU stamp).
+    entries: HashMap<String, (Arc<FileMetadata>, u64)>,
+    /// LRU stamp → key; the smallest stamp is the eviction victim.
+    lru: BTreeMap<u64, String>,
+    next_stamp: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, key: &str) -> Option<Arc<FileMetadata>> {
+        let (meta, stamp) = self.entries.get_mut(key)?;
+        let meta = Arc::clone(meta);
+        self.lru.remove(&*stamp);
+        self.next_stamp += 1;
+        *stamp = self.next_stamp;
+        self.lru.insert(self.next_stamp, key.to_string());
+        Some(meta)
+    }
+
+    fn insert(&mut self, key: &str, meta: Arc<FileMetadata>) -> Arc<FileMetadata> {
+        if let Some(existing) = self.touch(key) {
+            // Another thread published first; keep its entry.
+            return existing;
+        }
+        self.next_stamp += 1;
+        self.entries
+            .insert(key.to_string(), (meta.clone(), self.next_stamp));
+        self.lru.insert(self.next_stamp, key.to_string());
+        meta
+    }
+
+    fn remove(&mut self, key: &str) {
+        if let Some((_, stamp)) = self.entries.remove(key) {
+            self.lru.remove(&stamp);
+        }
+    }
+
+    /// Evicts least-recently-used entries down to `capacity`; returns how
+    /// many were dropped.
+    fn evict_to(&mut self, capacity: usize) -> u64 {
+        let mut evicted = 0;
+        while self.entries.len() > capacity {
+            let Some((&stamp, _)) = self.lru.iter().next() else {
+                break;
+            };
+            let key = self.lru.remove(&stamp).expect("stamp just observed");
+            self.entries.remove(&key);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// A shared, bounded cache of deserialized footers.
 ///
 /// Optionally backed by a persistent key-value store
 /// ([`LogKv`](edgecache_kvstore::LogKv), our RocksDB stand-in): footers
 /// survive process restarts, so a warm restart skips the remote footer
 /// *read* entirely (only the cheap local decode remains).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetadataCache {
-    entries: RwLock<HashMap<String, Arc<FileMetadata>>>,
+    inner: Mutex<Inner>,
+    /// Keys with a parse in progress; misses on them block on the condvar
+    /// instead of parsing the same footer again (single-flight).
+    inflight: StdMutex<HashSet<String>>,
+    inflight_done: Condvar,
+    capacity: usize,
     backing: Option<Arc<edgecache_kvstore::LogKv>>,
     hits: AtomicU64,
     misses: AtomicU64,
     /// Misses served from the persistent backing (no remote footer read).
     backing_hits: AtomicU64,
     bytes_parsed: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for MetadataCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_METADATA_CAPACITY)
+    }
 }
 
 impl MetadataCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache bounded to `capacity` footers.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            inflight: StdMutex::new(HashSet::new()),
+            inflight_done: Condvar::new(),
+            capacity: capacity.max(1),
+            backing: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            backing_hits: AtomicU64::new(0),
+            bytes_parsed: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// Creates a cache backed by a persistent key-value store.
     pub fn with_backing(backing: Arc<edgecache_kvstore::LogKv>) -> Self {
         Self {
             backing: Some(backing),
-            ..Default::default()
+            ..Self::default()
         }
     }
 
     /// Returns the cached metadata for `key`, or parses it with `parse` and
-    /// caches the result.
+    /// caches the result. Concurrent callers of the same missing key parse
+    /// exactly once; the rest wait and read the published footer.
     pub fn get_or_parse(
         &self,
         key: &str,
         parse: impl FnOnce() -> Result<FileMetadata>,
     ) -> Result<Arc<FileMetadata>> {
-        if let Some(meta) = self.entries.read().get(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(meta));
+        loop {
+            if let Some(meta) = self.inner.lock().touch(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(meta);
+            }
+            // Single-flight gate: first thread in claims the key; others
+            // wait for the parse to publish (or fail) and re-check.
+            let mut inflight = self.inflight.lock().expect("inflight poisoned");
+            if !inflight.contains(key) {
+                inflight.insert(key.to_string());
+                drop(inflight);
+                break;
+            }
+            while inflight.contains(key) {
+                inflight = self
+                    .inflight_done
+                    .wait(inflight)
+                    .expect("inflight poisoned");
+            }
         }
+        let result = self.parse_and_publish(key, parse);
+        let mut inflight = self.inflight.lock().expect("inflight poisoned");
+        inflight.remove(key);
+        self.inflight_done.notify_all();
+        drop(inflight);
+        result
+    }
+
+    fn parse_and_publish(
+        &self,
+        key: &str,
+        parse: impl FnOnce() -> Result<FileMetadata>,
+    ) -> Result<Arc<FileMetadata>> {
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Second chance: the persistent backing (a restart-survivor).
         if let Some(kv) = &self.backing {
             if let Ok(Some(encoded)) = kv.get(key.as_bytes()) {
                 if let Ok(meta) = FileMetadata::decode(&encoded) {
                     self.backing_hits.fetch_add(1, Ordering::Relaxed);
-                    let meta = Arc::new(meta);
-                    let mut entries = self.entries.write();
-                    return Ok(Arc::clone(entries.entry(key.to_string()).or_insert(meta)));
+                    return Ok(self.publish(key, Arc::new(meta)));
                 }
             }
         }
@@ -86,9 +205,17 @@ impl MetadataCache {
             // Best effort: a failed persist only costs a future re-parse.
             let _ = kv.put(key.as_bytes(), &meta.encode());
         }
-        let mut entries = self.entries.write();
-        // Another thread may have raced us; keep the first entry.
-        Ok(Arc::clone(entries.entry(key.to_string()).or_insert(meta)))
+        Ok(self.publish(key, meta))
+    }
+
+    fn publish(&self, key: &str, meta: Arc<FileMetadata>) -> Arc<FileMetadata> {
+        let mut inner = self.inner.lock();
+        let meta = inner.insert(key, meta);
+        let evicted = inner.evict_to(self.capacity);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        meta
     }
 
     /// Misses that were served from the persistent backing.
@@ -98,12 +225,14 @@ impl MetadataCache {
 
     /// Invalidates one key (e.g. the file was rewritten).
     pub fn invalidate(&self, key: &str) {
-        self.entries.write().remove(key);
+        self.inner.lock().remove(key);
     }
 
     /// Drops everything.
     pub fn clear(&self) {
-        self.entries.write().clear();
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.lru.clear();
     }
 
     /// Cache hits.
@@ -111,9 +240,19 @@ impl MetadataCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Cache misses (= parses attempted).
+    /// Cache misses (= parses attempted, after single-flight collapsing).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the LRU capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The entry-count capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Footer bytes actually deserialized.
@@ -123,12 +262,12 @@ impl MetadataCache {
 
     /// Number of cached footers.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.inner.lock().entries.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.inner.lock().entries.is_empty()
     }
 
     /// Simulated CPU time for parsing `footer_bytes` of footer.
@@ -200,6 +339,84 @@ mod tests {
         assert!(cache.is_empty());
         // A later good parse succeeds.
         cache.get_or_parse("f@1", || Ok(meta(5))).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let cache = MetadataCache::with_capacity(3);
+        for i in 0..3 {
+            cache
+                .get_or_parse(&format!("f{i}@1"), || Ok(meta(10)))
+                .unwrap();
+        }
+        // Touch f0 so f1 becomes the LRU victim.
+        cache.get_or_parse("f0@1", || Ok(meta(10))).unwrap();
+        cache.get_or_parse("f3@1", || Ok(meta(10))).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 1);
+        // f1 is gone (re-parse), f0 survives (hit).
+        let mut parsed = false;
+        cache
+            .get_or_parse("f1@1", || {
+                parsed = true;
+                Ok(meta(10))
+            })
+            .unwrap();
+        assert!(parsed, "LRU victim was evicted");
+        let hits_before = cache.hits();
+        cache.get_or_parse("f0@1", || Ok(meta(10))).unwrap();
+        assert_eq!(cache.hits(), hits_before + 1, "recently used survives");
+    }
+
+    #[test]
+    fn concurrent_misses_parse_once() {
+        use std::sync::atomic::AtomicU64;
+        let cache = Arc::new(MetadataCache::new());
+        let parses = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let parses = Arc::clone(&parses);
+            handles.push(std::thread::spawn(move || {
+                let meta = cache
+                    .get_or_parse("hot@1", || {
+                        parses.fetch_add(1, Ordering::SeqCst);
+                        // Hold the parse long enough that the other threads
+                        // pile up behind the single-flight gate.
+                        std::thread::sleep(Duration::from_millis(20));
+                        Ok(meta(1234))
+                    })
+                    .unwrap();
+                assert_eq!(meta.footer_len, 1234);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(parses.load(Ordering::SeqCst), 1, "single-flight parse");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.bytes_parsed(), 1234);
+        assert_eq!(cache.hits(), 7, "waiters read the published footer");
+    }
+
+    #[test]
+    fn failed_singleflight_parse_releases_waiters() {
+        let cache = Arc::new(MetadataCache::new());
+        let c = Arc::clone(&cache);
+        let loser = std::thread::spawn(move || {
+            c.get_or_parse("k@1", || {
+                std::thread::sleep(Duration::from_millis(20));
+                Err(edgecache_common::Error::Decode("flaky".into()))
+            })
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        // This call either waits out the failing parse and then parses
+        // itself, or (if it raced in first) parses directly. Either way it
+        // must not deadlock and must succeed.
+        let ok = cache.get_or_parse("k@1", || Ok(meta(9))).unwrap();
+        assert_eq!(ok.footer_len, 9);
+        assert!(loser.join().unwrap().is_err());
         assert_eq!(cache.len(), 1);
     }
 

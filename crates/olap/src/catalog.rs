@@ -5,6 +5,7 @@
 //! (§4.4). [`TableDef::partition_scope`] performs exactly that mapping.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use edgecache_columnar::Schema;
 use edgecache_common::error::{Error, Result};
@@ -62,16 +63,51 @@ impl TableDef {
     }
 }
 
+/// Notified with each [`DataFile`] that stopped being current — dropped,
+/// replaced, or rewritten under a new version. The engine wires both the
+/// footer metadata cache and the query-result cache to this single path,
+/// so every invalidation source (catalog DDL, namenode generation bumps
+/// forwarded by the storage layer) purges both caches the same way.
+pub type StaleFileListener = Arc<dyn Fn(&DataFile) + Send + Sync>;
+
 /// The catalog: a registry of tables.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<(String, String), TableDef>>,
+    listeners: RwLock<Vec<StaleFileListener>>,
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("tables", &self.tables)
+            .field("listeners", &self.listeners.read().len())
+            .finish()
+    }
 }
 
 impl Catalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Registers a stale-file listener (fired outside the table lock).
+    pub fn on_stale_file(&self, listener: StaleFileListener) {
+        self.listeners.write().push(listener);
+    }
+
+    /// Notifies every listener of each stale file.
+    pub fn notify_stale(&self, files: &[DataFile]) {
+        if files.is_empty() {
+            return;
+        }
+        let listeners = self.listeners.read().clone();
+        for file in files {
+            for listener in &listeners {
+                listener(file);
+            }
+        }
     }
 
     /// Registers (or replaces) a table.
@@ -90,15 +126,65 @@ impl Catalog {
             .ok_or_else(|| Error::NotFound(format!("table `{schema}.{table}`")))
     }
 
-    /// Adds a partition to an existing table.
+    /// Adds a partition to an existing table. Replacing a same-name
+    /// partition marks every file of the old definition that did not carry
+    /// over (same path and version) as stale.
     pub fn add_partition(&self, schema: &str, table: &str, partition: PartitionDef) -> Result<()> {
-        let mut tables = self.tables.write();
-        let def = tables
-            .get_mut(&(schema.to_string(), table.to_string()))
-            .ok_or_else(|| Error::NotFound(format!("table `{schema}.{table}`")))?;
-        def.partitions.retain(|p| p.name != partition.name);
-        def.partitions.push(partition);
+        let stale = {
+            let mut tables = self.tables.write();
+            let def = tables
+                .get_mut(&(schema.to_string(), table.to_string()))
+                .ok_or_else(|| Error::NotFound(format!("table `{schema}.{table}`")))?;
+            let stale: Vec<DataFile> = def
+                .partitions
+                .iter()
+                .filter(|p| p.name == partition.name)
+                .flat_map(|p| p.files.iter())
+                .filter(|f| !partition.files.contains(f))
+                .cloned()
+                .collect();
+            def.partitions.retain(|p| p.name != partition.name);
+            def.partitions.push(partition);
+            stale
+        };
+        self.notify_stale(&stale);
         Ok(())
+    }
+
+    /// Replaces one data file in place with a new version (a compaction or
+    /// rewrite): the old `path@version` goes stale, and the caches keyed on
+    /// it are purged through the listeners. Returns the old definition.
+    pub fn rewrite_file(
+        &self,
+        schema: &str,
+        table: &str,
+        partition: &str,
+        path: &str,
+        new_version: u64,
+        new_length: u64,
+    ) -> Result<DataFile> {
+        let old = {
+            let mut tables = self.tables.write();
+            let def = tables
+                .get_mut(&(schema.to_string(), table.to_string()))
+                .ok_or_else(|| Error::NotFound(format!("table `{schema}.{table}`")))?;
+            let part = def
+                .partitions
+                .iter_mut()
+                .find(|p| p.name == partition)
+                .ok_or_else(|| Error::NotFound(format!("partition `{partition}`")))?;
+            let file = part
+                .files
+                .iter_mut()
+                .find(|f| f.path == path)
+                .ok_or_else(|| Error::NotFound(format!("file `{path}`")))?;
+            let old = file.clone();
+            file.version = new_version;
+            file.length = new_length;
+            old
+        };
+        self.notify_stale(std::slice::from_ref(&old));
+        Ok(old)
     }
 
     /// Drops a partition (the catalog side of the §4.4 "delete an outdated
@@ -118,7 +204,10 @@ impl Catalog {
             .iter()
             .position(|p| p.name == partition)
             .ok_or_else(|| Error::NotFound(format!("partition `{partition}`")))?;
-        Ok(def.partitions.remove(idx))
+        let dropped = def.partitions.remove(idx);
+        drop(tables);
+        self.notify_stale(&dropped.files);
+        Ok(dropped)
     }
 
     /// Names of all tables.
@@ -194,6 +283,58 @@ mod tests {
         assert_eq!(dropped.files.len(), 1);
         assert_eq!(c.table("sales", "orders").unwrap().partitions.len(), 1);
         assert!(c.drop_partition("sales", "orders", "2024-01-01").is_err());
+    }
+
+    #[test]
+    fn stale_listeners_fire_on_rewrite_drop_and_replace() {
+        use parking_lot::Mutex;
+        let c = Catalog::new();
+        c.register(table());
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        c.on_stale_file(Arc::new(move |f: &DataFile| {
+            sink.lock().push(format!("{}@{}", f.path, f.version));
+        }));
+
+        // Rewrite bumps the version and reports the old identity stale.
+        let old = c
+            .rewrite_file("sales", "orders", "2024-01-01", "/w/orders/p0/f0", 2, 120)
+            .unwrap();
+        assert_eq!(old.version, 1);
+        let t = c.table("sales", "orders").unwrap();
+        assert_eq!(t.partitions[0].files[0].version, 2);
+        assert_eq!(t.partitions[0].files[0].length, 120);
+        assert_eq!(seen.lock().as_slice(), ["/w/orders/p0/f0@1"]);
+
+        // Replacing the partition with different files marks the current
+        // ones stale; carrying a file over identically does not.
+        seen.lock().clear();
+        c.add_partition(
+            "sales",
+            "orders",
+            PartitionDef {
+                name: "2024-01-01".into(),
+                files: vec![DataFile {
+                    path: "/w/orders/p0/f1".into(),
+                    version: 1,
+                    length: 10,
+                }],
+            },
+        )
+        .unwrap();
+        assert_eq!(seen.lock().as_slice(), ["/w/orders/p0/f0@2"]);
+
+        // Dropping the partition marks all its files stale.
+        seen.lock().clear();
+        c.drop_partition("sales", "orders", "2024-01-01").unwrap();
+        assert_eq!(seen.lock().as_slice(), ["/w/orders/p0/f1@1"]);
+
+        // Unknown targets error without firing anything.
+        seen.lock().clear();
+        assert!(c
+            .rewrite_file("sales", "orders", "nope", "/w/orders/p0/f0", 3, 1)
+            .is_err());
+        assert!(seen.lock().is_empty());
     }
 
     #[test]

@@ -20,6 +20,9 @@ use edgecache_metrics::Tracer;
 
 use crate::catalog::{Catalog, DataFile};
 use crate::plan::{JoinClause, QueryPlan};
+use crate::resultcache::{
+    split_key, CanonicalQuery, Fingerprint, ResultCache, ResultCacheConfig, PROBE_NANOS_PER_SPLIT,
+};
 use crate::scheduler::{SchedulerConfig, SoftAffinityScheduler};
 use crate::stats::{QueryStatsCollector, RuntimeStats};
 use crate::worker::{PartialAgg, PreparedJoin, Worker, WorkerConfig};
@@ -33,6 +36,8 @@ pub struct EngineConfig {
     pub worker: WorkerConfig,
     /// Fixed coordinator overhead added to every query (plan + dispatch).
     pub coordinator_overhead: Duration,
+    /// Query-fragment result cache (disabled by default).
+    pub result_cache: ResultCacheConfig,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +47,7 @@ impl Default for EngineConfig {
             scheduler: SchedulerConfig::default(),
             worker: WorkerConfig::default(),
             coordinator_overhead: Duration::from_millis(20),
+            result_cache: ResultCacheConfig::default(),
         }
     }
 }
@@ -56,7 +62,7 @@ pub struct QueryResult {
 /// The engine: catalog + coordinator + workers.
 pub struct Engine {
     catalog: Arc<Catalog>,
-    workers: HashMap<String, Worker>,
+    workers: Arc<HashMap<String, Worker>>,
     scheduler: SoftAffinityScheduler,
     remote: Arc<dyn RemoteSource + Send + Sync>,
     collector: QueryStatsCollector,
@@ -64,11 +70,16 @@ pub struct Engine {
     /// Shared with every worker (via `config.worker.tracer`): queries get an
     /// `olap.query` root span with one `olap.split` child per split.
     tracer: Tracer,
+    /// The query-fragment result cache, when enabled.
+    result_cache: Option<Arc<ResultCache>>,
     next_query: AtomicU64,
 }
 
 impl Engine {
-    /// Builds an engine over `remote` storage.
+    /// Builds an engine over `remote` storage. Registers a stale-file
+    /// listener on the catalog, so file rewrites, partition replacement,
+    /// and drops invalidate the workers' footer metadata caches and the
+    /// result cache through one shared path.
     pub fn new(
         catalog: Arc<Catalog>,
         remote: Arc<dyn RemoteSource + Send + Sync>,
@@ -88,7 +99,30 @@ impl Engine {
                 Worker::new(name, config.worker.clone(), clock.clone())?,
             );
         }
+        let workers = Arc::new(workers);
         let scheduler = SoftAffinityScheduler::new(&names, config.scheduler.clone(), clock);
+        let result_cache = config
+            .result_cache
+            .enabled
+            .then(|| Arc::new(ResultCache::new(config.result_cache.capacity)));
+        {
+            // The shared invalidation path: any stale `path@version` —
+            // whether from catalog DDL or a namenode generation bump
+            // forwarded into `Catalog::notify_stale` — purges the footer
+            // caches (exact key) and the result cache (whole path;
+            // over-invalidation is safe).
+            let workers = Arc::clone(&workers);
+            let rc = result_cache.clone();
+            catalog.on_stale_file(Arc::new(move |file: &DataFile| {
+                let key = format!("{}@{}", file.path, file.version);
+                for worker in workers.values() {
+                    worker.metadata_cache().invalidate(&key);
+                }
+                if let Some(rc) = &rc {
+                    rc.invalidate_path(&file.path);
+                }
+            }));
+        }
         Ok(Self {
             catalog,
             workers,
@@ -97,8 +131,14 @@ impl Engine {
             collector: QueryStatsCollector::new(),
             tracer: config.worker.tracer.clone(),
             config,
+            result_cache,
             next_query: AtomicU64::new(1),
         })
+    }
+
+    /// The result cache, when enabled.
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache>> {
+        self.result_cache.as_ref()
     }
 
     /// The catalog.
@@ -208,17 +248,9 @@ impl Engine {
         query_span.annotate("table", format!("{}.{}", plan.schema, plan.table));
         let table = self.catalog.table(&plan.schema, &plan.table)?;
 
-        // Broadcast-join build sides, prepared up front; their scan costs
-        // are part of this query's time and traffic.
-        let mut joins = Vec::with_capacity(plan.joins.len());
-        let mut build_stats: Vec<RuntimeStats> = Vec::new();
-        for clause in &plan.joins {
-            let (prepared, stats) = self.prepare_join(clause)?;
-            joins.push(prepared);
-            build_stats.push(stats);
-        }
-
-        // Enumerate splits: one per data file of the selected partitions.
+        // Enumerate splits first — one per data file of the selected
+        // partitions. The result cache may cover some (or all) of them, and
+        // a fully covered query skips the join build sides too.
         let mut splits: Vec<(String, DataFile)> = Vec::new();
         for partition in &table.partitions {
             if !plan.partitions.is_empty() && !plan.partitions.contains(&partition.name) {
@@ -229,27 +261,98 @@ impl Engine {
             }
         }
 
-        // Schedule every split (soft affinity), then execute per worker.
-        // BTreeMap: deterministic worker order makes floating-point
-        // aggregate merges reproducible run to run.
-        let mut assigned: BTreeMap<String, Vec<(String, DataFile, bool)>> = BTreeMap::new();
-        let mut assignments = Vec::with_capacity(splits.len());
-        for (partition, file) in splits {
-            let a = self.scheduler.assign(&file.path)?;
-            assigned
-                .entry(a.worker.clone())
-                .or_default()
-                .push((partition, file, a.use_cache));
-            assignments.push(a);
-        }
-
         let mut stats = RuntimeStats {
             query_id,
             table: format!("{}.{}", plan.schema, plan.table),
-            splits: assignments.len(),
+            splits: splits.len(),
             ..Default::default()
         };
-        let mut merged_partial: Option<PartialAgg> = None;
+
+        // Result-cache probe: canonicalize, fingerprint (salted with the
+        // join build sides' current `path@version` sets), and look up every
+        // split. Covered splits bypass the scheduler entirely.
+        let canonical = self
+            .result_cache
+            .as_ref()
+            .and_then(|_| CanonicalQuery::of(plan));
+        let fingerprint: Option<Fingerprint> = canonical
+            .as_ref()
+            .and_then(|c| c.fingerprint(&self.catalog).ok());
+        let mut cached: Vec<Option<Arc<PartialAgg>>> = vec![None; splits.len()];
+        let mut probe_cost = Duration::ZERO;
+        if let (Some(rc), Some(fp)) = (self.result_cache.as_deref(), &fingerprint) {
+            let probe_start = self.tracer.now_nanos();
+            for (slot, (_, file)) in cached.iter_mut().zip(&splits) {
+                if let Some(partial) = rc.probe(fp, &split_key(file)) {
+                    stats.scan_bytes_saved += file.length;
+                    stats.splits_skipped += 1;
+                    *slot = Some(partial);
+                }
+            }
+            probe_cost = Duration::from_nanos(splits.len() as u64 * PROBE_NANOS_PER_SPLIT);
+            *stats
+                .stage_breakdown
+                .entry("olap.resultcache_probe")
+                .or_default() += probe_cost;
+            if let Some(start) = probe_start {
+                self.tracer.record_interval(
+                    query_span.id(),
+                    "olap.resultcache_probe",
+                    start,
+                    start + probe_cost.as_nanos() as u64,
+                    vec![
+                        ("hits", stats.splits_skipped.to_string()),
+                        ("misses", (splits.len() - stats.splits_skipped).to_string()),
+                        ("fingerprint", format!("{:016x}", fp.hash64())),
+                    ],
+                );
+            }
+        }
+        let uncovered: Vec<(usize, String, DataFile)> = splits
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| cached[*i].is_none())
+            .map(|(i, (partition, file))| (i, partition.clone(), file.clone()))
+            .collect();
+
+        // Broadcast-join build sides; their scan costs are part of this
+        // query's time and traffic. A fully covered query never builds
+        // them — the cached partials already reflect the joins, and the
+        // fingerprint's dimension-file salt guarantees they are current.
+        let mut joins = Vec::with_capacity(plan.joins.len());
+        let mut build_stats: Vec<RuntimeStats> = Vec::new();
+        if !uncovered.is_empty() {
+            for clause in &plan.joins {
+                let (prepared, b) = self.prepare_join(clause)?;
+                joins.push(prepared);
+                build_stats.push(b);
+            }
+        }
+
+        // Schedule the uncovered splits (soft affinity), then execute per
+        // worker; each split's partial lands back in its enumeration slot.
+        let mut assigned: BTreeMap<String, Vec<(usize, String, DataFile, bool)>> = BTreeMap::new();
+        let mut assignments = Vec::with_capacity(uncovered.len());
+        for (slot, partition, file) in uncovered {
+            let a = self.scheduler.assign(&file.path)?;
+            assigned.entry(a.worker.clone()).or_default().push((
+                slot,
+                partition,
+                file,
+                a.use_cache,
+            ));
+            assignments.push(a);
+        }
+        stats.splits_scheduled = assignments.len();
+
+        // Paths each inserted entry depends on besides its own file: the
+        // join build sides' files (a dimension rewrite must purge it).
+        let dim_paths: Vec<String> = match (&fingerprint, &canonical) {
+            (Some(_), Some(c)) => c.dim_paths(&self.catalog).unwrap_or_default(),
+            _ => Vec::new(),
+        };
+
+        let mut fresh: Vec<Option<PartialAgg>> = (0..splits.len()).map(|_| None).collect();
         let mut rows: Vec<Vec<Value>> = Vec::new();
         let mut critical_path = Duration::ZERO;
         let mut critical_input = Duration::ZERO;
@@ -267,7 +370,7 @@ impl Engine {
                 let mut worker_time = Duration::ZERO;
                 let mut worker_input = Duration::ZERO;
                 let mut worker_cpu = Duration::ZERO;
-                for (partition, file, use_cache) in worker_splits {
+                for (slot, partition, file, use_cache) in worker_splits {
                     let scope = table.partition_scope(partition);
                     let out = worker.execute_split_traced(
                         file,
@@ -288,10 +391,21 @@ impl Engine {
                     stats.cache_misses += out.cache_misses;
                     stats.merge_stage_breakdown(&out.stage_breakdown);
                     match out.partial {
-                        Some(p) => match &mut merged_partial {
-                            Some(m) => m.merge(&p),
-                            None => merged_partial = Some(p),
-                        },
+                        Some(p) => {
+                            // Populate the result cache as splits complete
+                            // (canonical aggregate order) — even on the
+                            // scheduler's cache-bypass path: bypass is a
+                            // load-shedding decision, not staleness.
+                            if let (Some(rc), Some(fp), Some(cq)) =
+                                (self.result_cache.as_deref(), &fingerprint, &canonical)
+                            {
+                                let mut paths = Vec::with_capacity(1 + dim_paths.len());
+                                paths.push(file.path.clone());
+                                paths.extend(dim_paths.iter().cloned());
+                                rc.insert(fp, &split_key(file), paths, cq.to_canonical(&p));
+                            }
+                            fresh[*slot] = Some(p);
+                        }
                         None => rows.extend(out.rows),
                     }
                 }
@@ -309,6 +423,31 @@ impl Engine {
         }
         exec_result?;
 
+        // Merge per-split partials in *split enumeration order* — not
+        // worker order — so the float accumulation order is identical no
+        // matter which splits came from the cache: cached ≡ recomputed,
+        // bit for bit.
+        let mut merged_partial: Option<PartialAgg> = None;
+        for (slot, computed) in fresh.into_iter().enumerate() {
+            let partial = match computed {
+                Some(p) => Some(p),
+                None => cached[slot].take().map(|arc| {
+                    let cq = canonical.as_ref().expect("cached implies canonical");
+                    if cq.identity_order() {
+                        (*arc).clone()
+                    } else {
+                        cq.to_plan(&arc)
+                    }
+                }),
+            };
+            if let Some(p) = partial {
+                match &mut merged_partial {
+                    Some(m) => m.merge(&p),
+                    None => merged_partial = Some(p),
+                }
+            }
+        }
+
         if let Some(partial) = merged_partial {
             rows = partial.finalize();
         }
@@ -319,7 +458,8 @@ impl Engine {
         stats.rows_output = rows.len() as u64;
         stats.input_wall = critical_input;
         stats.cpu_time = critical_cpu;
-        stats.wall_time = critical_path + self.config.coordinator_overhead;
+        stats.wall_time = critical_path + probe_cost + self.config.coordinator_overhead;
+        stats.cpu_time += probe_cost;
         // Join build sides happen before the probe stage: serial prefix.
         for b in &build_stats {
             stats.wall_time += b.wall_time;
@@ -330,10 +470,14 @@ impl Engine {
             stats.bytes_from_remote += b.bytes_from_remote;
             stats.cache_hits += b.cache_hits;
             stats.cache_misses += b.cache_misses;
+            stats.splits_skipped += b.splits_skipped;
+            stats.splits_scheduled += b.splits_scheduled;
+            stats.scan_bytes_saved += b.scan_bytes_saved;
             stats.merge_stage_breakdown(&b.stage_breakdown);
         }
         if query_span.is_recording() {
             query_span.annotate("splits", stats.splits);
+            query_span.annotate("splits_skipped", stats.splits_skipped);
             query_span.annotate("rows_output", stats.rows_output);
             query_span.annotate("wall_us", stats.wall_time.as_micros());
         }
@@ -786,5 +930,356 @@ mod tests {
             Arc::new(clock.clone()),
         );
         assert!(r.is_err());
+    }
+
+    /// An engine with the query-fragment result cache enabled.
+    fn rc_engine(catalog: Arc<Catalog>, store: Arc<ObjectStore>, clock: &SimClock) -> Engine {
+        Engine::new(
+            catalog,
+            store,
+            EngineConfig {
+                workers: 3,
+                worker: WorkerConfig {
+                    page_size: ByteSize::kib(1),
+                    ..Default::default()
+                },
+                result_cache: crate::resultcache::ResultCacheConfig::enabled(ByteSize::mib(4)),
+                ..Default::default()
+            },
+            Arc::new(clock.clone()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn result_cache_warm_repeat_skips_every_split() {
+        let (catalog, store, clock) = setup();
+        let e = rc_engine(catalog, store, &clock);
+        let q = QueryPlan::scan("sales", "orders", &[])
+            .aggregate(vec![AggExpr::sum("amount"), AggExpr::count()])
+            .group("region");
+        let cold = e.execute(&q).unwrap();
+        assert_eq!(cold.stats.splits, 4);
+        assert_eq!(cold.stats.splits_skipped, 0);
+        assert_eq!(cold.stats.splits_scheduled, 4);
+        let warm = e.execute(&q).unwrap();
+        assert_eq!(warm.rows, cold.rows, "cached answer is bit-identical");
+        assert_eq!(warm.stats.splits_skipped, 4, "fully covered");
+        assert_eq!(warm.stats.splits_scheduled, 0);
+        assert_eq!(warm.stats.rows_scanned, 0, "no scan at all");
+        assert_eq!(
+            warm.stats.bytes_from_cache + warm.stats.bytes_from_remote,
+            0
+        );
+        assert!(warm.stats.wall_time < cold.stats.wall_time);
+        assert_eq!(
+            warm.stats.scan_bytes_saved,
+            e.catalog().table("sales", "orders").unwrap().total_bytes()
+        );
+        let counters = e.result_cache().unwrap().counters();
+        assert_eq!(counters.hits, 4);
+        assert_eq!(counters.misses, 4);
+        assert_eq!(counters.inserts, 4);
+    }
+
+    #[test]
+    fn result_cache_append_rescans_only_the_new_file() {
+        let (catalog, store, clock) = setup();
+        let e = rc_engine(Arc::clone(&catalog), Arc::clone(&store), &clock);
+        let q = QueryPlan::scan("sales", "orders", &[]).aggregate(vec![AggExpr::count()]);
+        assert_eq!(e.execute(&q).unwrap().rows, vec![vec![Value::Int64(200)]]);
+
+        // Append a fifth file (30 rows) to the first partition.
+        let schema = catalog.table("sales", "orders").unwrap().columns;
+        let mut w = ColfWriter::new(schema, 20);
+        for i in 0..30i64 {
+            w.push_row(vec![
+                Value::Int64(5000 + i),
+                Value::Utf8(format!("r{}", i % 3)),
+                Value::Float64(i as f64),
+            ])
+            .unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        store.put_object("/wh/sales/2024-01-01/part-2.colf", bytes.clone());
+        let mut part = catalog
+            .table("sales", "orders")
+            .unwrap()
+            .partitions
+            .into_iter()
+            .find(|p| p.name == "2024-01-01")
+            .unwrap();
+        part.files.push(DataFile {
+            path: "/wh/sales/2024-01-01/part-2.colf".into(),
+            version: 1,
+            length: bytes.len() as u64,
+        });
+        catalog.add_partition("sales", "orders", part).unwrap();
+
+        let r = e.execute(&q).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int64(230)]]);
+        assert_eq!(r.stats.splits, 5);
+        assert_eq!(r.stats.splits_skipped, 4, "old files stay covered");
+        assert_eq!(r.stats.splits_scheduled, 1, "only the new file scans");
+    }
+
+    #[test]
+    fn result_cache_rewrite_invalidates_only_that_file() {
+        let (catalog, store, clock) = setup();
+        let e = rc_engine(Arc::clone(&catalog), Arc::clone(&store), &clock);
+        let q = QueryPlan::scan("sales", "orders", &[]).aggregate(vec![AggExpr::count()]);
+        e.execute(&q).unwrap();
+
+        // Rewrite one file with fewer rows under a bumped version.
+        let schema = catalog.table("sales", "orders").unwrap().columns;
+        let mut w = ColfWriter::new(schema, 20);
+        for i in 0..10i64 {
+            w.push_row(vec![
+                Value::Int64(i),
+                Value::Utf8("r0".into()),
+                Value::Float64(i as f64),
+            ])
+            .unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let path = "/wh/sales/2024-01-01/part-0.colf";
+        store.put_object(path, bytes.clone());
+        catalog
+            .rewrite_file("sales", "orders", "2024-01-01", path, 2, bytes.len() as u64)
+            .unwrap();
+
+        let r = e.execute(&q).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int64(160)]], "10 + 50 + 100");
+        assert_eq!(r.stats.splits_skipped, 3, "siblings stay covered");
+        assert_eq!(r.stats.splits_scheduled, 1);
+        assert!(e.result_cache().unwrap().counters().invalidations >= 1);
+    }
+
+    #[test]
+    fn result_cache_drop_partition_keeps_surviving_entries() {
+        let (catalog, store, clock) = setup();
+        let e = rc_engine(catalog, store, &clock);
+        let q = QueryPlan::scan("sales", "orders", &[]).aggregate(vec![AggExpr::count()]);
+        e.execute(&q).unwrap();
+        e.drop_partition("sales", "orders", "2024-01-01").unwrap();
+        let r = e.execute(&q).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int64(100)]]);
+        // The dropped partition's entries are gone; the survivor's two
+        // splits still answer from the cache.
+        assert_eq!(r.stats.splits, 2);
+        assert_eq!(r.stats.splits_skipped, 2);
+        assert_eq!(r.stats.splits_scheduled, 0);
+    }
+
+    #[test]
+    fn result_cache_serves_equivalent_reordered_plans() {
+        let (catalog, store, clock) = setup();
+        let e = rc_engine(Arc::clone(&catalog), Arc::clone(&store), &clock);
+        let filt = Predicate::Eq("region".into(), Value::Utf8("r1".into()))
+            .or(Predicate::Gt("amount".into(), Value::Float64(150.0)));
+        let a = QueryPlan::scan("sales", "orders", &[])
+            .filter(filt)
+            .aggregate(vec![AggExpr::sum("amount"), AggExpr::count()])
+            .group("region");
+        // Same query, commuted: Or operands and aggregates swapped.
+        let filt2 = Predicate::Gt("amount".into(), Value::Float64(150.0))
+            .or(Predicate::Eq("region".into(), Value::Utf8("r1".into())));
+        let b = QueryPlan::scan("sales", "orders", &[])
+            .filter(filt2)
+            .aggregate(vec![AggExpr::count(), AggExpr::sum("amount")])
+            .group("region");
+        e.execute(&a).unwrap();
+        let rb = e.execute(&b).unwrap();
+        assert_eq!(rb.stats.splits_skipped, 4, "b is served from a's entries");
+        // Ground truth from an engine with the cache off.
+        let shadow = engine(catalog, store, &clock);
+        assert_eq!(rb.rows, shadow.execute(&b).unwrap().rows);
+    }
+
+    #[test]
+    fn result_cache_covers_join_queries_and_skips_build_sides() {
+        let (catalog, store, clock) = setup();
+        let dim_schema = Schema::new(vec![
+            ("r_id", ColumnType::Int64),
+            ("r_name", ColumnType::Utf8),
+        ]);
+        let mut w = ColfWriter::new(dim_schema.clone(), 10);
+        for i in 0..3i64 {
+            w.push_row(vec![Value::Int64(i), Value::Utf8(format!("region-{i}"))])
+                .unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        store.put_object("/dims/region", bytes.clone());
+        catalog.register(crate::catalog::TableDef {
+            schema_name: "sales".into(),
+            table_name: "region".into(),
+            columns: dim_schema.clone(),
+            partitions: vec![crate::catalog::PartitionDef {
+                name: "all".into(),
+                files: vec![DataFile {
+                    path: "/dims/region".into(),
+                    version: 1,
+                    length: bytes.len() as u64,
+                }],
+            }],
+        });
+        let e = rc_engine(Arc::clone(&catalog), Arc::clone(&store), &clock);
+        let q = QueryPlan::scan("sales", "orders", &["id"])
+            .join("sales", "region", "id", "r_id", &["r_name"], None)
+            .aggregate(vec![AggExpr::count()])
+            .group("r_name");
+        let cold = e.execute(&q).unwrap();
+        let warm = e.execute(&q).unwrap();
+        assert_eq!(warm.rows, cold.rows);
+        assert_eq!(warm.stats.splits_skipped, 4);
+        assert_eq!(
+            warm.stats.rows_scanned, 0,
+            "a fully covered query skips the join build side too"
+        );
+
+        // Rewriting the dimension file purges the dependent entries (and
+        // changes the fingerprint salt): the next run re-scans everything
+        // and reflects the new dimension rows.
+        let mut w = ColfWriter::new(dim_schema, 10);
+        for i in 0..2i64 {
+            w.push_row(vec![Value::Int64(i), Value::Utf8(format!("REGION-{i}"))])
+                .unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        store.put_object("/dims/region", bytes.clone());
+        catalog
+            .rewrite_file(
+                "sales",
+                "region",
+                "all",
+                "/dims/region",
+                2,
+                bytes.len() as u64,
+            )
+            .unwrap();
+        let fresh = e.execute(&q).unwrap();
+        assert_eq!(fresh.stats.splits_skipped, 0);
+        assert_eq!(fresh.stats.splits_scheduled, 4 + 1, "fact splits + build");
+        assert_eq!(fresh.rows.len(), 2, "only the two rewritten dim rows join");
+    }
+
+    #[test]
+    fn result_cache_split_accounting_reconciles_with_scheduler() {
+        let (catalog, store, clock) = setup();
+        let e = rc_engine(catalog, store, &clock);
+        let mut scheduled: u64 = 0;
+        let plans = [
+            QueryPlan::scan("sales", "orders", &[]).aggregate(vec![AggExpr::count()]),
+            QueryPlan::scan("sales", "orders", &[])
+                .aggregate(vec![AggExpr::sum("amount")])
+                .group("region"),
+            QueryPlan::scan("sales", "orders", &["id"]), // uncacheable
+        ];
+        for _ in 0..3 {
+            for q in &plans {
+                let r = e.execute(q).unwrap();
+                assert_eq!(
+                    r.stats.splits_skipped + r.stats.splits_scheduled,
+                    r.stats.splits
+                );
+                scheduled += r.stats.splits_scheduled as u64;
+            }
+        }
+        assert_eq!(
+            scheduled,
+            e.scheduler().assigned_total(),
+            "every scheduled split was assigned exactly once"
+        );
+    }
+
+    #[test]
+    fn result_cache_probe_stage_is_traced() {
+        use edgecache_metrics::Tracer;
+        let (catalog, store, clock) = setup();
+        let shared = WorkerConfig {
+            page_size: ByteSize::kib(1),
+            tracer: Tracer::enabled(Arc::new(clock.clone())),
+            ..Default::default()
+        };
+        let tracer = shared.tracer.clone();
+        let e = Engine::new(
+            catalog,
+            store,
+            EngineConfig {
+                workers: 3,
+                worker: shared,
+                result_cache: crate::resultcache::ResultCacheConfig::enabled(ByteSize::mib(4)),
+                ..Default::default()
+            },
+            Arc::new(clock.clone()),
+        )
+        .unwrap();
+        let q = QueryPlan::scan("sales", "orders", &[]).aggregate(vec![AggExpr::count()]);
+        let r = e.execute(&q).unwrap();
+        assert!(r
+            .stats
+            .stage_breakdown
+            .contains_key("olap.resultcache_probe"));
+        e.execute(&q).unwrap();
+        let records = tracer.take_records();
+        let probes: Vec<_> = records
+            .iter()
+            .filter(|r| r.name == "olap.resultcache_probe")
+            .collect();
+        assert_eq!(probes.len(), 2, "one probe span per cached-eligible query");
+    }
+
+    #[test]
+    fn namenode_generation_bump_flows_into_the_shared_invalidation_path() {
+        use edgecache_storage::hdfs::NameNode;
+        let (catalog, store, clock) = setup();
+        let e = rc_engine(Arc::clone(&catalog), store, &clock);
+        let q = QueryPlan::scan("sales", "orders", &[]).aggregate(vec![AggExpr::count()]);
+        e.execute(&q).unwrap();
+        assert_eq!(e.execute(&q).unwrap().stats.splits_skipped, 4, "warm");
+
+        // The storage tier: the fact file lives in simulated HDFS, and an
+        // append bumps its tail block's generation stamp. The bump listener
+        // forwards the new stamp into the catalog as a file rewrite — from
+        // there the engine's stale-file listener purges the footer caches
+        // and the result cache, all through one path.
+        let path = "/wh/sales/2024-01-01/part-0.colf";
+        let length = catalog
+            .table("sales", "orders")
+            .unwrap()
+            .files()
+            .find(|(_, f)| f.path == path)
+            .unwrap()
+            .1
+            .length;
+        let nn = NameNode::new(1 << 20, 1);
+        nn.register_datanode("dn0");
+        nn.create_file(path, length).unwrap();
+        let cat = Arc::clone(&catalog);
+        nn.on_generation_bump(Arc::new(move |p: &str, _old, new_gen| {
+            let table = cat.table("sales", "orders").unwrap();
+            let len = table.files().find(|(_, f)| f.path == p).unwrap().1.length;
+            cat.rewrite_file("sales", "orders", "2024-01-01", p, new_gen, len)
+                .unwrap();
+        }));
+        nn.append_file(path, 1).unwrap();
+
+        let r = e.execute(&q).unwrap();
+        assert_eq!(r.stats.splits_skipped, 3, "bumped file re-scans");
+        assert_eq!(r.stats.splits_scheduled, 1);
+        assert!(e.result_cache().unwrap().counters().invalidations >= 1);
+    }
+
+    #[test]
+    fn non_aggregate_queries_bypass_the_result_cache() {
+        let (catalog, store, clock) = setup();
+        let e = rc_engine(catalog, store, &clock);
+        let q = QueryPlan::scan("sales", "orders", &["id"]).take(5);
+        let r1 = e.execute(&q).unwrap();
+        let r2 = e.execute(&q).unwrap();
+        assert_eq!(r1.rows, r2.rows);
+        assert_eq!(r2.stats.splits_skipped, 0);
+        assert_eq!(r2.stats.splits_scheduled, r2.stats.splits);
+        assert!(e.result_cache().unwrap().is_empty(), "nothing was inserted");
     }
 }

@@ -17,16 +17,26 @@
 //!   the `inputWall` metric of the ScanFilterProject stage that Figure 10
 //!   reports.
 
+//! * [`resultcache`] — the canonicalized query-fragment result cache:
+//!   per-split partial aggregates keyed by `(fingerprint, path@version)`,
+//!   probed by the engine before scheduling so warm repeated aggregations
+//!   skip the scan entirely (ROADMAP item 5(b)).
+
 pub mod catalog;
 pub mod engine;
 pub mod plan;
+mod proptests;
+pub mod resultcache;
 pub mod scheduler;
 pub mod stats;
 pub mod worker;
 
-pub use catalog::{Catalog, DataFile, PartitionDef, TableDef};
+pub use catalog::{Catalog, DataFile, PartitionDef, StaleFileListener, TableDef};
 pub use engine::{Engine, EngineConfig, QueryResult};
 pub use plan::{AggExpr, AggFunc, JoinClause, QueryPlan};
+pub use resultcache::{
+    CanonicalQuery, Fingerprint, ResultCache, ResultCacheConfig, ResultCacheCounters,
+};
 pub use scheduler::{SchedulerConfig, SoftAffinityScheduler, SplitAssignment};
 pub use stats::{QueryStatsCollector, RuntimeStats};
-pub use worker::{PreparedJoin, Worker, WorkerConfig};
+pub use worker::{PartialAgg, PreparedJoin, Worker, WorkerConfig};

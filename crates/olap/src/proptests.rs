@@ -1,0 +1,480 @@
+//! Property tests for the result cache (ROADMAP item 5(b) follow-through):
+//!
+//! * **Canonicalization soundness** — plans that differ only in commutative
+//!   structure (aggregate order, And/Or operand order, nesting) fingerprint
+//!   identically; plans that differ semantically fingerprint distinctly.
+//! * **Cached ≡ recomputed under churn** — a cached engine and an uncached
+//!   shadow sharing one catalog/store/clock stay bit-identical across random
+//!   interleavings of queries, appends, rewrites, drops, and cache
+//!   perturbations, while the scheduler/stats split accounting reconciles
+//!   exactly.
+#![cfg(test)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use edgecache_columnar::{ColfWriter, ColumnType, Predicate, Schema, Value};
+use edgecache_common::clock::SimClock;
+use edgecache_common::ByteSize;
+use edgecache_storage::ObjectStore;
+use proptest::prelude::*;
+
+use crate::catalog::{Catalog, DataFile, PartitionDef, TableDef};
+use crate::engine::{Engine, EngineConfig};
+use crate::plan::{AggExpr, QueryPlan};
+use crate::resultcache::{CanonicalQuery, ResultCacheConfig};
+use crate::worker::WorkerConfig;
+
+fn cases() -> u32 {
+    std::env::var("EDGECACHE_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+fn table_schema() -> Schema {
+    Schema::new(vec![
+        ("id", ColumnType::Int64),
+        ("region", ColumnType::Utf8),
+        ("amount", ColumnType::Float64),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization soundness
+// ---------------------------------------------------------------------------
+
+/// A small pool of predicates to combine.
+fn leaf_pred(i: u8) -> Predicate {
+    match i % 4 {
+        0 => Predicate::Eq("region".into(), Value::Utf8("r1".into())),
+        1 => Predicate::Gt("amount".into(), Value::Float64(10.5)),
+        2 => Predicate::Lt("id".into(), Value::Int64(40)),
+        _ => Predicate::Between("amount".into(), Value::Float64(1.0), Value::Float64(9.0)),
+    }
+}
+
+fn agg_pool() -> Vec<AggExpr> {
+    vec![
+        AggExpr::count(),
+        AggExpr::sum("amount"),
+        AggExpr::avg("amount"),
+        AggExpr::min("id"),
+        AggExpr::max("amount"),
+    ]
+}
+
+/// Builds a plan whose predicate chains `leaves` in the order given by
+/// `order`, associated left or right, and whose aggregates are permuted by
+/// `perm`.
+fn shuffled_plan(
+    leaves: &[u8],
+    order: &[usize],
+    left_assoc: bool,
+    and_chain: bool,
+    perm: &[usize],
+) -> QueryPlan {
+    let preds: Vec<Predicate> = order.iter().map(|&i| leaf_pred(leaves[i])).collect();
+    let combine = |a: Predicate, b: Predicate| {
+        if and_chain {
+            a.and(b)
+        } else {
+            a.or(b)
+        }
+    };
+    let chained = if left_assoc {
+        let mut it = preds.into_iter();
+        let first = it.next().unwrap();
+        it.fold(first, combine)
+    } else {
+        let mut it = preds.into_iter().rev();
+        let first = it.next().unwrap();
+        it.fold(first, |acc, p| combine(p, acc))
+    };
+    let pool = agg_pool();
+    let aggs: Vec<AggExpr> = perm.iter().map(|&i| pool[i].clone()).collect();
+    QueryPlan::scan("sales", "orders", &[])
+        .filter(chained)
+        .aggregate(aggs)
+        .group("region")
+}
+
+fn catalog_one_table() -> Arc<Catalog> {
+    let catalog = Catalog::new();
+    catalog.register(TableDef {
+        schema_name: "sales".into(),
+        table_name: "orders".into(),
+        columns: table_schema(),
+        partitions: vec![PartitionDef {
+            name: "p0".into(),
+            files: vec![DataFile {
+                path: "/w/orders/p0/f0".into(),
+                version: 1,
+                length: 100,
+            }],
+        }],
+    });
+    Arc::new(catalog)
+}
+
+fn perm_strategy(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    // A seed vector shuffled Fisher–Yates style by index draws.
+    proptest::collection::vec(0usize..1000, n).prop_map(move |draws| {
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            perm.swap(i, draws[i] % (i + 1));
+        }
+        perm
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Commuting aggregate order, predicate operand order, and chain
+    /// associativity never changes the fingerprint.
+    #[test]
+    fn equivalent_plans_fingerprint_equal(
+        leaves in proptest::collection::vec(0u8..4, 2..4),
+        rot_a in 0usize..4,
+        rot_b in 0usize..4,
+        assoc_a in (0u8..2).prop_map(|b| b == 1),
+        assoc_b in (0u8..2).prop_map(|b| b == 1),
+        and_chain in (0u8..2).prop_map(|b| b == 1),
+        perm_a in perm_strategy(5),
+        perm_b in perm_strategy(5),
+    ) {
+        let catalog = catalog_one_table();
+        let k = leaves.len();
+        // Same leaf multiset, rotated differently on each side.
+        let mut oa: Vec<usize> = (0..k).collect();
+        let mut ob: Vec<usize> = (0..k).collect();
+        oa.rotate_left(rot_a % k);
+        ob.rotate_left(rot_b % k);
+        let a = shuffled_plan(&leaves, &oa, assoc_a, and_chain, &perm_a);
+        let b = shuffled_plan(&leaves, &ob, assoc_b, and_chain, &perm_b);
+        let ca = CanonicalQuery::of(&a).expect("aggregate plan is cacheable");
+        let cb = CanonicalQuery::of(&b).expect("aggregate plan is cacheable");
+        let fa = ca.fingerprint(&catalog).unwrap();
+        let fb = cb.fingerprint(&catalog).unwrap();
+        prop_assert_eq!(fa.as_str(), fb.as_str());
+    }
+
+    /// Changing a literal, the group key, the chain operator, or the
+    /// aggregate set changes the fingerprint.
+    #[test]
+    fn mutated_plans_fingerprint_distinct(
+        leaves in proptest::collection::vec(0u8..4, 2..4),
+        perm in perm_strategy(5),
+        mutation in 0u8..4,
+    ) {
+        let catalog = catalog_one_table();
+        let order: Vec<usize> = (0..leaves.len()).collect();
+        let base = shuffled_plan(&leaves, &order, true, true, &perm);
+        let mutated = match mutation {
+            0 => base.clone().filter(Predicate::Eq(
+                "region".into(),
+                Value::Utf8("r2".into()),
+            )),
+            1 => {
+                let mut p = base.clone();
+                p.group_by = None;
+                p
+            }
+            2 => shuffled_plan(&leaves, &order, true, false, &perm),
+            _ => {
+                let mut p = base.clone();
+                p.aggregates.push(AggExpr::sum("id"));
+                p
+            }
+        };
+        let fa = CanonicalQuery::of(&base).unwrap().fingerprint(&catalog).unwrap();
+        let fb = CanonicalQuery::of(&mutated).unwrap().fingerprint(&catalog).unwrap();
+        prop_assert_ne!(fa.as_str(), fb.as_str());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cached ≡ recomputed under churn
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    /// Run query shape `q` on both engines and compare rows bit-for-bit.
+    Query { q: u8 },
+    /// Append a fresh file to a live partition.
+    Append { p: u8 },
+    /// Rewrite file 0 of a live partition under a bumped version.
+    Rewrite { p: u8 },
+    /// Drop a live partition (skipped when it would drop the last one).
+    Drop { p: u8 },
+    /// Clear the result cache outright.
+    Clear,
+    /// Shrink then restore the result-cache capacity.
+    Thrash,
+}
+
+fn churn_op_strategy() -> impl Strategy<Value = ChurnOp> {
+    prop_oneof![
+        6 => (0u8..6).prop_map(|q| ChurnOp::Query { q }),
+        2 => (0u8..4).prop_map(|p| ChurnOp::Append { p }),
+        2 => (0u8..4).prop_map(|p| ChurnOp::Rewrite { p }),
+        1 => (0u8..4).prop_map(|p| ChurnOp::Drop { p }),
+        1 => Just(ChurnOp::Clear),
+        1 => Just(ChurnOp::Thrash),
+    ]
+}
+
+/// Deterministic file content: a pure function of `(partition, file,
+/// version)`, so a rewrite genuinely changes the answer.
+fn file_bytes(partition: usize, file: usize, version: u64) -> bytes::Bytes {
+    let mut w = ColfWriter::new(table_schema(), 16);
+    let salt = (partition * 97 + file * 31) as i64 + version as i64 * 7;
+    for i in 0..40i64 {
+        let id = salt + i;
+        w.push_row(vec![
+            Value::Int64(id),
+            Value::Utf8(format!("r{}", id.rem_euclid(3))),
+            Value::Float64(id as f64 * 1.25 + version as f64 * 0.5),
+        ])
+        .unwrap();
+    }
+    w.finish().unwrap()
+}
+
+struct ChurnHarness {
+    catalog: Arc<Catalog>,
+    store: Arc<ObjectStore>,
+    cached: Engine,
+    shadow: Engine,
+    /// (partition index, next file index, version of file 0)
+    partitions: Vec<(usize, usize, u64)>,
+    next_partition: usize,
+}
+
+impl ChurnHarness {
+    fn new() -> Self {
+        let clock = SimClock::new();
+        let store = Arc::new(ObjectStore::new(Arc::new(clock.clone())));
+        let catalog = Arc::new(Catalog::new());
+        catalog.register(TableDef {
+            schema_name: "sales".into(),
+            table_name: "orders".into(),
+            columns: table_schema(),
+            partitions: vec![],
+        });
+        let mk = |rc: ResultCacheConfig| {
+            Engine::new(
+                Arc::clone(&catalog),
+                Arc::clone(&store) as _,
+                EngineConfig {
+                    workers: 2,
+                    worker: WorkerConfig {
+                        page_size: ByteSize::kib(1),
+                        ..Default::default()
+                    },
+                    coordinator_overhead: Duration::ZERO,
+                    result_cache: rc,
+                    ..Default::default()
+                },
+                Arc::new(clock.clone()),
+            )
+            .unwrap()
+        };
+        let cached = mk(ResultCacheConfig::enabled(ByteSize::mib(4)));
+        let shadow = mk(ResultCacheConfig::default());
+        let mut h = Self {
+            catalog,
+            store,
+            cached,
+            shadow,
+            partitions: Vec::new(),
+            next_partition: 0,
+        };
+        for _ in 0..2 {
+            h.add_partition();
+        }
+        h
+    }
+
+    fn path(p: usize, f: usize) -> String {
+        format!("/prop/olap/p{p}/f{f}.colf")
+    }
+
+    fn add_partition(&mut self) {
+        let p = self.next_partition;
+        self.next_partition += 1;
+        let bytes = file_bytes(p, 0, 1);
+        let path = Self::path(p, 0);
+        self.store.put_object(&path, bytes.clone());
+        self.catalog
+            .add_partition(
+                "sales",
+                "orders",
+                PartitionDef {
+                    name: format!("p{p}"),
+                    files: vec![DataFile {
+                        path,
+                        version: 1,
+                        length: bytes.len() as u64,
+                    }],
+                },
+            )
+            .unwrap();
+        self.partitions.push((p, 1, 1));
+    }
+
+    fn append(&mut self, pick: usize) {
+        let idx = pick % self.partitions.len();
+        let (p, next_file, _) = &mut self.partitions[idx];
+        let f = *next_file;
+        *next_file += 1;
+        let p = *p;
+        let bytes = file_bytes(p, f, 1);
+        let path = Self::path(p, f);
+        self.store.put_object(&path, bytes.clone());
+        let name = format!("p{p}");
+        let table = self.catalog.table("sales", "orders").unwrap();
+        let mut files = table
+            .partitions
+            .iter()
+            .find(|x| x.name == name)
+            .cloned()
+            .unwrap()
+            .files;
+        files.push(DataFile {
+            path,
+            version: 1,
+            length: bytes.len() as u64,
+        });
+        self.catalog
+            .add_partition("sales", "orders", PartitionDef { name, files })
+            .unwrap();
+    }
+
+    fn rewrite(&mut self, pick: usize) {
+        let idx = pick % self.partitions.len();
+        let (p, _, version) = &mut self.partitions[idx];
+        *version += 1;
+        let (p, version) = (*p, *version);
+        let bytes = file_bytes(p, 0, version);
+        let path = Self::path(p, 0);
+        self.store.put_object(&path, bytes.clone());
+        self.catalog
+            .rewrite_file(
+                "sales",
+                "orders",
+                &format!("p{p}"),
+                &path,
+                version,
+                bytes.len() as u64,
+            )
+            .unwrap();
+    }
+
+    fn drop_partition(&mut self, pick: usize) {
+        if self.partitions.len() <= 1 {
+            return;
+        }
+        let idx = pick % self.partitions.len();
+        let (p, _, _) = self.partitions.remove(idx);
+        self.catalog
+            .drop_partition("sales", "orders", &format!("p{p}"))
+            .unwrap();
+    }
+
+    fn plan(q: u8) -> QueryPlan {
+        let base = QueryPlan::scan("sales", "orders", &[]);
+        match q % 6 {
+            0 => base.aggregate(vec![AggExpr::count()]),
+            1 => base
+                .aggregate(vec![AggExpr::sum("amount"), AggExpr::count()])
+                .group("region"),
+            // Shuffled-equivalent variant of shape 1: same fingerprint,
+            // different plan order — exercises the permutation mapping.
+            2 => base
+                .aggregate(vec![AggExpr::count(), AggExpr::sum("amount")])
+                .group("region"),
+            3 => base
+                .filter(
+                    Predicate::Eq("region".into(), Value::Utf8("r1".into()))
+                        .or(Predicate::Eq("region".into(), Value::Utf8("r2".into()))),
+                )
+                .aggregate(vec![AggExpr::avg("amount"), AggExpr::min("id")]),
+            4 => base
+                .filter(Predicate::Gt("amount".into(), Value::Float64(20.0)))
+                .aggregate(vec![AggExpr::max("amount"), AggExpr::count()])
+                .group("region"),
+            _ => base.aggregate(vec![
+                AggExpr::sum("amount"),
+                AggExpr::avg("amount"),
+                AggExpr::min("amount"),
+                AggExpr::max("amount"),
+            ]),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases() / 4 + 4))]
+
+    /// Under random churn the cached engine answers bit-identically to an
+    /// uncached shadow, the per-query split accounting partitions exactly,
+    /// and the cache's internal ledger stays consistent.
+    #[test]
+    fn cached_equals_recomputed_under_churn(
+        ops in proptest::collection::vec(churn_op_strategy(), 12..40),
+    ) {
+        let mut h = ChurnHarness::new();
+        let mut scheduled_total: u64 = 0;
+        for op in &ops {
+            match op {
+                ChurnOp::Query { q } => {
+                    let plan = ChurnHarness::plan(*q);
+                    let a = h.cached.execute(&plan).unwrap();
+                    let b = h.shadow.execute(&plan).unwrap();
+                    prop_assert_eq!(
+                        format!("{:?}", a.rows),
+                        format!("{:?}", b.rows),
+                        "cached and uncached rows diverged for shape {}",
+                        q
+                    );
+                    prop_assert_eq!(
+                        a.stats.splits_skipped + a.stats.splits_scheduled,
+                        a.stats.splits
+                    );
+                    prop_assert_eq!(b.stats.splits_skipped, 0usize);
+                    scheduled_total += a.stats.splits_scheduled as u64;
+                }
+                ChurnOp::Append { p } => h.append(*p as usize),
+                ChurnOp::Rewrite { p } => h.rewrite(*p as usize),
+                ChurnOp::Drop { p } => h.drop_partition(*p as usize),
+                ChurnOp::Clear => {
+                    h.cached.result_cache().unwrap().clear();
+                }
+                ChurnOp::Thrash => {
+                    let rc = h.cached.result_cache().unwrap();
+                    rc.set_capacity(ByteSize::new(256));
+                    rc.set_capacity(ByteSize::mib(4));
+                }
+            }
+            prop_assert!(
+                h.cached.result_cache().unwrap().check_consistency().is_ok(),
+                "result-cache ledger inconsistent after {:?}",
+                op
+            );
+        }
+        // Reconciliation: every split the cached engine reported as
+        // scheduled was assigned by its scheduler, exactly once.
+        prop_assert_eq!(scheduled_total, h.cached.scheduler().assigned_total());
+        // Repeated queries after the churn settles: the second run must be
+        // fully covered and still bit-identical.
+        let plan = ChurnHarness::plan(1);
+        let warm1 = h.cached.execute(&plan).unwrap();
+        let warm2 = h.cached.execute(&plan).unwrap();
+        let truth = h.shadow.execute(&plan).unwrap();
+        prop_assert_eq!(warm2.stats.splits_skipped, warm2.stats.splits);
+        prop_assert_eq!(format!("{:?}", warm1.rows), format!("{:?}", truth.rows));
+        prop_assert_eq!(format!("{:?}", warm2.rows), format!("{:?}", truth.rows));
+    }
+}

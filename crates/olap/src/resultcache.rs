@@ -1,0 +1,772 @@
+//! The query-fragment result cache (ROADMAP item 5(b), per "Semantic
+//! Caching for OLAP"): repeated aggregations skip the page cache, the SSD,
+//! and the remote store altogether.
+//!
+//! A [`QueryPlan`] is canonicalized — associative `AND`/`OR` chains are
+//! flattened and their operands sorted, aggregates are sorted with the
+//! permutation recorded, literals render by exact bit pattern, and
+//! result-irrelevant parts (projection, partition pruning, `LIMIT`) are
+//! dropped — into a stable [`Fingerprint`]. Cached values are **per-split
+//! partial aggregates** keyed by `(fingerprint, path@version)`:
+//!
+//! * split granularity means two different queries over the same canonical
+//!   shape share work split by split, and a partition append only re-scans
+//!   the newly added files;
+//! * the `path@version` half rides the exact invalidation discipline the
+//!   metadata cache already uses, so file rewrites miss naturally and the
+//!   catalog's stale-file listeners purge the garbage eagerly;
+//! * join build sides are folded into the fingerprint as a `path@version`
+//!   salt over the dimension tables' files, so a dimension rewrite changes
+//!   the fingerprint (and the stale entries are dropped via the path
+//!   index).
+//!
+//! The cache is byte-budgeted (estimated [`PartialAgg`] footprint) with LRU
+//! eviction, and counts hits/misses/inserts/evictions/invalidations in a
+//! [`MetricRegistry`].
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use edgecache_columnar::{Predicate, Value};
+use edgecache_common::error::{Error, Result};
+use edgecache_common::ByteSize;
+use edgecache_metrics::MetricRegistry;
+use parking_lot::Mutex;
+
+use crate::catalog::{Catalog, DataFile};
+use crate::plan::{AggFunc, QueryPlan};
+use crate::worker::PartialAgg;
+
+/// Simulated coordinator CPU cost of probing the cache for one split
+/// (a hash lookup plus an LRU touch).
+pub const PROBE_NANOS_PER_SPLIT: u64 = 250;
+
+/// Result-cache configuration. Disabled by default: the paper-reproduction
+/// benches measure the *page* cache, and a result cache in front would
+/// short-circuit the very scans they characterize.
+#[derive(Debug, Clone)]
+pub struct ResultCacheConfig {
+    pub enabled: bool,
+    /// Byte budget over the estimated partial-aggregate footprints.
+    pub capacity: ByteSize,
+}
+
+impl Default for ResultCacheConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            capacity: ByteSize::mib(64),
+        }
+    }
+}
+
+impl ResultCacheConfig {
+    /// An enabled cache with the given byte budget.
+    pub fn enabled(capacity: ByteSize) -> Self {
+        Self {
+            enabled: true,
+            capacity,
+        }
+    }
+}
+
+/// A canonical query identity: equal fingerprints guarantee bit-identical
+/// aggregate semantics (the converse does not hold — canonicalization is
+/// sound, not complete).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fingerprint(Arc<str>);
+
+impl Fingerprint {
+    /// The full canonical text (exact; no collisions by construction).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// A compact FNV-1a digest for display/annotation.
+    pub fn hash64(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.0.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Renders a literal by exact bit pattern: floats by `to_bits`, so `NaN`
+/// payloads and `0.0`/`-0.0` stay distinct (never equating plans whose
+/// float semantics could diverge).
+fn canon_value(v: &Value) -> String {
+    match v {
+        Value::Int64(x) => format!("i{x}"),
+        Value::Float64(x) => format!("f{:x}", x.to_bits()),
+        Value::Utf8(s) => format!("s{s:?}"),
+        Value::Bool(b) => format!("b{b}"),
+    }
+}
+
+/// Canonicalizes a predicate: associative `AND`/`OR` chains flatten into
+/// sorted, deduplicated operand lists. Commuting conjunction/disjunction
+/// operands never changes the matching row set *or its order* (rows keep
+/// file order), so equal canonical forms accumulate floats identically.
+fn canon_pred(p: &Predicate) -> String {
+    match p {
+        Predicate::Eq(c, v) => format!("eq({c},{})", canon_value(v)),
+        Predicate::Lt(c, v) => format!("lt({c},{})", canon_value(v)),
+        Predicate::Gt(c, v) => format!("gt({c},{})", canon_value(v)),
+        Predicate::Between(c, lo, hi) => {
+            format!("btw({c},{},{})", canon_value(lo), canon_value(hi))
+        }
+        Predicate::And(_, _) => {
+            let mut ops = Vec::new();
+            flatten_chain(p, true, &mut ops);
+            ops.sort();
+            ops.dedup();
+            format!("and({})", ops.join(","))
+        }
+        Predicate::Or(_, _) => {
+            let mut ops = Vec::new();
+            flatten_chain(p, false, &mut ops);
+            ops.sort();
+            ops.dedup();
+            format!("or({})", ops.join(","))
+        }
+    }
+}
+
+fn flatten_chain(p: &Predicate, conjunctive: bool, out: &mut Vec<String>) {
+    match (p, conjunctive) {
+        (Predicate::And(a, b), true) => {
+            flatten_chain(a, true, out);
+            flatten_chain(b, true, out);
+        }
+        (Predicate::Or(a, b), false) => {
+            flatten_chain(a, false, out);
+            flatten_chain(b, false, out);
+        }
+        _ => out.push(canon_pred(p)),
+    }
+}
+
+/// `COUNT` ignores its column (it counts rows), so every `COUNT` spelling
+/// canonicalizes the same.
+fn agg_token(func: AggFunc, column: &str) -> String {
+    match func {
+        AggFunc::Count => "cnt".to_string(),
+        AggFunc::Sum => format!("sum({column})"),
+        AggFunc::Min => format!("min({column})"),
+        AggFunc::Max => format!("max({column})"),
+        AggFunc::Avg => format!("avg({column})"),
+    }
+}
+
+/// The canonical form of a cacheable query plan, plus the permutations
+/// between plan-order and canonical-order aggregate states.
+#[derive(Debug, Clone)]
+pub struct CanonicalQuery {
+    /// Canonical rendering of table/predicate/joins/aggregates/group-by.
+    text: String,
+    /// Join dimension tables, plan order (join application order matters
+    /// when dimensions expose clashing column names, so it is *not*
+    /// normalized away).
+    dims: Vec<(String, String)>,
+    /// `canonical position i` holds the plan aggregate `canon_from_plan[i]`.
+    canon_from_plan: Vec<usize>,
+    /// `plan position j` holds the canonical aggregate `plan_from_canon[j]`.
+    plan_from_canon: Vec<usize>,
+}
+
+impl CanonicalQuery {
+    /// Canonicalizes `plan`, or `None` when the query is not cacheable
+    /// (only aggregations are: projection queries return raw rows whose
+    /// footprint defeats the purpose).
+    pub fn of(plan: &QueryPlan) -> Option<Self> {
+        if plan.aggregates.is_empty() {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..plan.aggregates.len()).collect();
+        let tokens: Vec<String> = plan
+            .aggregates
+            .iter()
+            .map(|a| agg_token(a.func, &a.column))
+            .collect();
+        order.sort_by(|&a, &b| tokens[a].cmp(&tokens[b]));
+        let canon_from_plan = order;
+        let mut plan_from_canon = vec![0usize; canon_from_plan.len()];
+        for (canon, &plan_idx) in canon_from_plan.iter().enumerate() {
+            plan_from_canon[plan_idx] = canon;
+        }
+
+        let mut text = format!("t={}.{};", plan.schema, plan.table);
+        text.push_str("p=");
+        match &plan.predicate {
+            Some(p) => text.push_str(&canon_pred(p)),
+            None => text.push('-'),
+        }
+        text.push_str(";j=[");
+        let mut dims = Vec::with_capacity(plan.joins.len());
+        for (i, j) in plan.joins.iter().enumerate() {
+            if i > 0 {
+                text.push(';');
+            }
+            let filter = match &j.dim_filter {
+                Some(f) => canon_pred(f),
+                None => "-".to_string(),
+            };
+            text.push_str(&format!(
+                "{}.{}:{}->{}:cols=[{}]:f={}",
+                j.dim_schema,
+                j.dim_table,
+                j.fact_key,
+                j.dim_key,
+                j.dim_columns.join(","),
+                filter
+            ));
+            dims.push((j.dim_schema.clone(), j.dim_table.clone()));
+        }
+        text.push_str("];a=[");
+        for (i, &plan_idx) in canon_from_plan.iter().enumerate() {
+            if i > 0 {
+                text.push(',');
+            }
+            text.push_str(&tokens[plan_idx]);
+        }
+        text.push_str("];g=");
+        match &plan.group_by {
+            Some(g) => text.push_str(g),
+            None => text.push('-'),
+        }
+
+        Some(Self {
+            text,
+            dims,
+            canon_from_plan,
+            plan_from_canon,
+        })
+    }
+
+    /// Stamps the canonical text with the join build sides' current
+    /// `path@version` sets, producing the probe/insert fingerprint: a
+    /// dimension-file rewrite or version bump changes the fingerprint, so
+    /// stale entries can never be probed.
+    pub fn fingerprint(&self, catalog: &Catalog) -> Result<Fingerprint> {
+        let mut text = self.text.clone();
+        text.push_str(";d=[");
+        for (i, (schema, table)) in self.dims.iter().enumerate() {
+            if i > 0 {
+                text.push(';');
+            }
+            let def = catalog.table(schema, table)?;
+            let mut files: Vec<String> = def
+                .files()
+                .map(|(_, f)| format!("{}@{}", f.path, f.version))
+                .collect();
+            files.sort();
+            text.push_str(&format!("{schema}.{table}=[{}]", files.join(",")));
+        }
+        text.push(']');
+        Ok(Fingerprint(Arc::from(text.as_str())))
+    }
+
+    /// The paths of the join build sides' files (for the invalidation
+    /// index), resolved against the catalog.
+    pub fn dim_paths(&self, catalog: &Catalog) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for (schema, table) in &self.dims {
+            let def = catalog.table(schema, table)?;
+            out.extend(def.files().map(|(_, f)| f.path.clone()));
+        }
+        Ok(out)
+    }
+
+    /// Reorders a plan-order partial into canonical aggregate order.
+    pub fn to_canonical(&self, partial: &PartialAgg) -> PartialAgg {
+        partial.permute(&self.canon_from_plan)
+    }
+
+    /// Reorders a canonical-order partial back into plan aggregate order.
+    pub fn to_plan(&self, partial: &PartialAgg) -> PartialAgg {
+        partial.permute(&self.plan_from_canon)
+    }
+
+    /// Whether plan order and canonical order coincide (permutes are
+    /// no-ops then).
+    pub fn identity_order(&self) -> bool {
+        self.canon_from_plan
+            .iter()
+            .enumerate()
+            .all(|(i, &p)| i == p)
+    }
+}
+
+/// The split half of a cache key.
+pub fn split_key(file: &DataFile) -> String {
+    format!("{}@{}", file.path, file.version)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct EntryKey {
+    fingerprint: Fingerprint,
+    split: String,
+}
+
+struct Entry {
+    partial: Arc<PartialAgg>,
+    bytes: u64,
+    stamp: u64,
+    /// Paths this entry depends on (the split's own file plus the join
+    /// build sides' files): any of them going stale drops the entry.
+    paths: Vec<String>,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<EntryKey, Entry>,
+    /// Recency stamps → keys; the smallest stamp is the LRU victim.
+    lru: BTreeMap<u64, EntryKey>,
+    /// Path → keys depending on it (all fingerprints, all versions).
+    by_path: HashMap<String, HashSet<EntryKey>>,
+    bytes: u64,
+    capacity: u64,
+    next_stamp: u64,
+}
+
+/// Point-in-time counter values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheCounters {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+}
+
+impl ResultCacheCounters {
+    /// Deltas since `earlier`.
+    pub fn minus(&self, earlier: &Self) -> Self {
+        Self {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            inserts: self.inserts - earlier.inserts,
+            evictions: self.evictions - earlier.evictions,
+            invalidations: self.invalidations - earlier.invalidations,
+        }
+    }
+}
+
+/// The byte-budgeted, LRU-evicted result cache.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    metrics: MetricRegistry,
+}
+
+impl ResultCache {
+    /// Creates a cache with the given byte budget.
+    pub fn new(capacity: ByteSize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                capacity: capacity.as_u64(),
+                ..Default::default()
+            }),
+            metrics: MetricRegistry::new("resultcache"),
+        }
+    }
+
+    /// Looks up one split's partial for a fingerprint, refreshing its
+    /// recency on a hit.
+    pub fn probe(&self, fp: &Fingerprint, split: &str) -> Option<Arc<PartialAgg>> {
+        let key = EntryKey {
+            fingerprint: fp.clone(),
+            split: split.to_string(),
+        };
+        let mut inner = self.inner.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        match inner.entries.get_mut(&key) {
+            Some(entry) => {
+                let old = entry.stamp;
+                entry.stamp = stamp;
+                let partial = Arc::clone(&entry.partial);
+                inner.lru.remove(&old);
+                inner.lru.insert(stamp, key);
+                self.metrics.counter("hits").inc();
+                Some(partial)
+            }
+            None => {
+                self.metrics.counter("misses").inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts one split's partial (canonical aggregate order), indexed
+    /// under every path it depends on, then evicts LRU entries until the
+    /// byte budget holds again.
+    pub fn insert(&self, fp: &Fingerprint, split: &str, paths: Vec<String>, partial: PartialAgg) {
+        let key = EntryKey {
+            fingerprint: fp.clone(),
+            split: split.to_string(),
+        };
+        let bytes = partial.approx_bytes();
+        let mut inner = self.inner.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        if inner.entries.contains_key(&key) {
+            Self::remove_key(&mut inner, &key);
+        }
+        for path in &paths {
+            inner
+                .by_path
+                .entry(path.clone())
+                .or_default()
+                .insert(key.clone());
+        }
+        inner.bytes += bytes;
+        inner.lru.insert(stamp, key.clone());
+        inner.entries.insert(
+            key,
+            Entry {
+                partial: Arc::new(partial),
+                bytes,
+                stamp,
+                paths,
+            },
+        );
+        self.metrics.counter("inserts").inc();
+        let evicted = Self::evict_to_capacity(&mut inner);
+        if evicted > 0 {
+            self.metrics.counter("evictions").add(evicted);
+        }
+    }
+
+    /// Drops every entry depending on `path` (any version, any
+    /// fingerprint). Over-invalidation is always safe; rewrites call this
+    /// through the catalog's stale-file listeners.
+    pub fn invalidate_path(&self, path: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let keys: Vec<EntryKey> = inner
+            .by_path
+            .get(path)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default();
+        for key in &keys {
+            Self::remove_key(&mut inner, key);
+        }
+        if !keys.is_empty() {
+            self.metrics.counter("invalidations").add(keys.len() as u64);
+        }
+        keys.len()
+    }
+
+    /// Drops everything (counted as invalidations).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        let n = inner.entries.len() as u64;
+        *inner = Inner {
+            capacity: inner.capacity,
+            next_stamp: inner.next_stamp,
+            ..Default::default()
+        };
+        if n > 0 {
+            self.metrics.counter("invalidations").add(n);
+        }
+    }
+
+    /// Adjusts the byte budget, evicting down if it shrank.
+    pub fn set_capacity(&self, capacity: ByteSize) {
+        let mut inner = self.inner.lock();
+        inner.capacity = capacity.as_u64();
+        let evicted = Self::evict_to_capacity(&mut inner);
+        if evicted > 0 {
+            self.metrics.counter("evictions").add(evicted);
+        }
+    }
+
+    fn remove_key(inner: &mut Inner, key: &EntryKey) {
+        if let Some(entry) = inner.entries.remove(key) {
+            inner.bytes -= entry.bytes;
+            inner.lru.remove(&entry.stamp);
+            for path in &entry.paths {
+                if let Some(set) = inner.by_path.get_mut(path) {
+                    set.remove(key);
+                    if set.is_empty() {
+                        inner.by_path.remove(path);
+                    }
+                }
+            }
+        }
+    }
+
+    fn evict_to_capacity(inner: &mut Inner) -> u64 {
+        let mut evicted = 0;
+        while inner.bytes > inner.capacity {
+            let Some((&stamp, _)) = inner.lru.iter().next() else {
+                break;
+            };
+            let key = inner.lru.remove(&stamp).expect("stamp just seen");
+            if let Some(entry) = inner.entries.remove(&key) {
+                inner.bytes -= entry.bytes;
+                for path in &entry.paths {
+                    if let Some(set) = inner.by_path.get_mut(path) {
+                        set.remove(&key);
+                        if set.is_empty() {
+                            inner.by_path.remove(path);
+                        }
+                    }
+                }
+            }
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Number of cached split partials.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().entries.is_empty()
+    }
+
+    /// Estimated resident bytes.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    /// The metric registry (hits/misses/inserts/evictions/invalidations).
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+
+    /// Point-in-time counter values.
+    pub fn counters(&self) -> ResultCacheCounters {
+        ResultCacheCounters {
+            hits: self.metrics.counter("hits").get(),
+            misses: self.metrics.counter("misses").get(),
+            inserts: self.metrics.counter("inserts").get(),
+            evictions: self.metrics.counter("evictions").get(),
+            invalidations: self.metrics.counter("invalidations").get(),
+        }
+    }
+
+    /// Validates internal bookkeeping (tests and the simtest oracle):
+    /// entries ≡ LRU stamps, byte ledger exact, path index bidirectional.
+    pub fn check_consistency(&self) -> Result<()> {
+        let inner = self.inner.lock();
+        if inner.entries.len() != inner.lru.len() {
+            return Err(Error::Other(format!(
+                "resultcache: {} entries vs {} lru stamps",
+                inner.entries.len(),
+                inner.lru.len()
+            )));
+        }
+        let booked: u64 = inner.entries.values().map(|e| e.bytes).sum();
+        if booked != inner.bytes {
+            return Err(Error::Other(format!(
+                "resultcache: ledger {} != summed {}",
+                inner.bytes, booked
+            )));
+        }
+        if inner.bytes > inner.capacity && inner.entries.len() > 1 {
+            return Err(Error::Other(format!(
+                "resultcache: {} bytes over budget {}",
+                inner.bytes, inner.capacity
+            )));
+        }
+        for (stamp, key) in &inner.lru {
+            match inner.entries.get(key) {
+                Some(e) if e.stamp == *stamp => {}
+                _ => return Err(Error::Other("resultcache: lru points at ghost".into())),
+            }
+        }
+        for (path, keys) in &inner.by_path {
+            for key in keys {
+                match inner.entries.get(key) {
+                    Some(e) if e.paths.iter().any(|p| p == path) => {}
+                    _ => {
+                        return Err(Error::Other(format!(
+                            "resultcache: path index `{path}` points at ghost"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AggExpr;
+
+    fn plan() -> QueryPlan {
+        QueryPlan::scan("s", "t", &[])
+            .filter(
+                Predicate::Eq("a".into(), Value::Int64(1))
+                    .and(Predicate::Gt("b".into(), Value::Float64(2.5))),
+            )
+            .aggregate(vec![AggExpr::sum("x"), AggExpr::count()])
+            .group("g")
+    }
+
+    #[test]
+    fn commuted_predicates_and_aggregates_fingerprint_equal() {
+        let catalog = Catalog::new();
+        catalog.register(crate::catalog::TableDef {
+            schema_name: "s".into(),
+            table_name: "t".into(),
+            columns: edgecache_columnar::Schema::default(),
+            partitions: vec![],
+        });
+        let a = plan();
+        let b = QueryPlan::scan("s", "t", &["x"])
+            .filter(
+                Predicate::Gt("b".into(), Value::Float64(2.5))
+                    .and(Predicate::Eq("a".into(), Value::Int64(1))),
+            )
+            .aggregate(vec![AggExpr::count(), AggExpr::sum("x")])
+            .group("g")
+            .take(5);
+        let ca = CanonicalQuery::of(&a).unwrap();
+        let cb = CanonicalQuery::of(&b).unwrap();
+        assert_eq!(
+            ca.fingerprint(&catalog).unwrap(),
+            cb.fingerprint(&catalog).unwrap()
+        );
+        // And the permutations map each plan's own order correctly.
+        assert!(!ca.identity_order() || !cb.identity_order());
+    }
+
+    #[test]
+    fn different_literals_fingerprint_distinct() {
+        let a = CanonicalQuery::of(&plan()).unwrap();
+        let mut other = plan();
+        other.predicate = Some(
+            Predicate::Eq("a".into(), Value::Int64(2))
+                .and(Predicate::Gt("b".into(), Value::Float64(2.5))),
+        );
+        let b = CanonicalQuery::of(&other).unwrap();
+        assert_ne!(a.text, b.text);
+    }
+
+    #[test]
+    fn projection_partitions_and_limit_are_normalized_away() {
+        let a = CanonicalQuery::of(&plan()).unwrap();
+        let b = CanonicalQuery::of(&plan().in_partitions(&["2024-01-01"]).take(3)).unwrap();
+        assert_eq!(a.text, b.text);
+    }
+
+    #[test]
+    fn non_aggregate_plans_are_not_cacheable() {
+        assert!(CanonicalQuery::of(&QueryPlan::scan("s", "t", &["a"])).is_none());
+    }
+
+    #[test]
+    fn nested_chains_flatten() {
+        let p1 = Predicate::Eq("a".into(), Value::Int64(1))
+            .and(Predicate::Eq("b".into(), Value::Int64(2)))
+            .and(Predicate::Eq("c".into(), Value::Int64(3)));
+        let p2 = Predicate::Eq("c".into(), Value::Int64(3)).and(
+            Predicate::Eq("b".into(), Value::Int64(2))
+                .and(Predicate::Eq("a".into(), Value::Int64(1))),
+        );
+        assert_eq!(canon_pred(&p1), canon_pred(&p2));
+        // Mixed trees do not flatten across the operator boundary.
+        let or1 = Predicate::Eq("a".into(), Value::Int64(1))
+            .or(Predicate::Eq("b".into(), Value::Int64(2)));
+        let and_of_or = or1.clone().and(Predicate::Eq("c".into(), Value::Int64(3)));
+        assert!(canon_pred(&and_of_or).contains("or("));
+    }
+
+    #[test]
+    fn float_literals_are_bit_exact() {
+        let eq = |v: f64| canon_pred(&Predicate::Eq("a".into(), Value::Float64(v)));
+        assert_ne!(eq(0.0), eq(-0.0));
+        assert_eq!(eq(1.5), eq(1.5));
+    }
+
+    fn partial(n: usize) -> PartialAgg {
+        // A count-only partial whose footprint is stable.
+        PartialAgg::new(&vec![AggExpr::count(); n])
+    }
+
+    fn fp(tag: &str) -> Fingerprint {
+        Fingerprint(Arc::from(tag))
+    }
+
+    #[test]
+    fn probe_hit_miss_and_lru_eviction() {
+        let cache = ResultCache::new(ByteSize::new(3 * partial(1).approx_bytes()));
+        assert!(cache.probe(&fp("q"), "/f1@1").is_none());
+        cache.insert(&fp("q"), "/f1@1", vec!["/f1".into()], partial(1));
+        cache.insert(&fp("q"), "/f2@1", vec!["/f2".into()], partial(1));
+        cache.insert(&fp("q"), "/f3@1", vec!["/f3".into()], partial(1));
+        assert_eq!(cache.len(), 3);
+        // Touch f1 so f2 becomes LRU, then overflow.
+        assert!(cache.probe(&fp("q"), "/f1@1").is_some());
+        cache.insert(&fp("q"), "/f4@1", vec!["/f4".into()], partial(1));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.probe(&fp("q"), "/f2@1").is_none(), "f2 was LRU");
+        assert!(cache.probe(&fp("q"), "/f1@1").is_some());
+        let c = cache.counters();
+        assert_eq!(c.inserts, 4);
+        assert_eq!(c.evictions, 1);
+        cache.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn invalidate_path_drops_all_dependents() {
+        let cache = ResultCache::new(ByteSize::mib(1));
+        cache.insert(&fp("q1"), "/f1@1", vec!["/f1".into()], partial(1));
+        cache.insert(&fp("q2"), "/f1@1", vec!["/f1".into()], partial(1));
+        cache.insert(&fp("q1"), "/f1@2", vec!["/f1".into()], partial(1));
+        cache.insert(
+            &fp("q3"),
+            "/f2@1",
+            vec!["/f2".into(), "/dim".into()],
+            partial(1),
+        );
+        assert_eq!(cache.invalidate_path("/f1"), 3);
+        assert_eq!(cache.len(), 1);
+        // Dimension dependency drops the entry too.
+        assert_eq!(cache.invalidate_path("/dim"), 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters().invalidations, 4);
+        cache.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_down() {
+        let cache = ResultCache::new(ByteSize::mib(1));
+        for i in 0..8 {
+            cache.insert(
+                &fp("q"),
+                &format!("/f{i}@1"),
+                vec![format!("/f{i}")],
+                partial(2),
+            );
+        }
+        let one = partial(2).approx_bytes();
+        cache.set_capacity(ByteSize::new(2 * one));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.bytes() <= 2 * one);
+        cache.check_consistency().unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_it() {
+        let cache = ResultCache::new(ByteSize::mib(1));
+        cache.insert(&fp("q"), "/f@1", vec!["/f".into()], partial(1));
+        cache.insert(&fp("q"), "/f@1", vec!["/f".into()], partial(3));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), partial(3).approx_bytes());
+        assert_eq!(cache.probe(&fp("q"), "/f@1").unwrap().n_aggs(), 3);
+        cache.check_consistency().unwrap();
+    }
+}

@@ -10,6 +10,7 @@
 //! caching."
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use edgecache_common::clock::SharedClock;
 use edgecache_common::error::{Error, Result};
@@ -55,6 +56,10 @@ pub struct SoftAffinityScheduler {
     ring: ConsistentRing,
     config: SchedulerConfig,
     pending: Mutex<HashMap<String, usize>>,
+    /// Lifetime count of splits assigned. The engine's per-query
+    /// `splits_scheduled` stats must sum to exactly this — the
+    /// reconciliation the result-cache oracles check.
+    assigned_total: AtomicU64,
 }
 
 impl SoftAffinityScheduler {
@@ -70,7 +75,13 @@ impl SoftAffinityScheduler {
             ring,
             config,
             pending: Mutex::new(pending),
+            assigned_total: AtomicU64::new(0),
         }
+    }
+
+    /// Lifetime count of splits assigned through this scheduler.
+    pub fn assigned_total(&self) -> u64 {
+        self.assigned_total.load(Ordering::Relaxed)
     }
 
     /// The underlying ring (for node lifecycle events).
@@ -107,6 +118,7 @@ impl SoftAffinityScheduler {
         if let Some(primary) = primary {
             if !self.is_busy(&pending, &primary) {
                 *pending.entry(primary.clone()).or_default() += 1;
+                self.assigned_total.fetch_add(1, Ordering::Relaxed);
                 return Ok(SplitAssignment {
                     worker: primary,
                     use_cache: true,
@@ -116,6 +128,7 @@ impl SoftAffinityScheduler {
             if let Some(secondary) = secondary {
                 if !self.is_busy(&pending, &secondary) {
                     *pending.entry(secondary.clone()).or_default() += 1;
+                    self.assigned_total.fetch_add(1, Ordering::Relaxed);
                     return Ok(SplitAssignment {
                         worker: secondary,
                         use_cache: true,
@@ -133,6 +146,7 @@ impl SoftAffinityScheduler {
             .cloned()
             .ok_or_else(|| Error::Other("no online workers".into()))?;
         *pending.entry(least.clone()).or_default() += 1;
+        self.assigned_total.fetch_add(1, Ordering::Relaxed);
         Ok(SplitAssignment {
             worker: least,
             use_cache: false,

@@ -21,6 +21,16 @@ pub struct RuntimeStats {
     pub query_id: u64,
     pub table: String,
     pub splits: usize,
+    /// Splits covered by the result cache: no scheduling, no scan.
+    pub splits_skipped: usize,
+    /// Splits actually handed to the soft-affinity scheduler (this query
+    /// plus its join build sides). Always `splits - splits_skipped` for the
+    /// fact scan itself; the invariant is cross-checked against the
+    /// scheduler's own assignment counter by the simtest oracle and the
+    /// resultcache bench.
+    pub splits_scheduled: usize,
+    /// Bytes of data files the result cache kept off the scan path.
+    pub scan_bytes_saved: u64,
     pub rows_scanned: u64,
     pub rows_output: u64,
     /// Simulated time the critical-path worker spent reading input

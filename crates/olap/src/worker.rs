@@ -37,6 +37,8 @@ pub struct WorkerConfig {
     pub enable_cache: bool,
     /// Whether the (deserialized) file-metadata cache is enabled.
     pub enable_metadata_cache: bool,
+    /// Entry-count bound of the footer metadata cache (LRU beyond it).
+    pub metadata_cache_capacity: usize,
     /// Device model for local-SSD cache reads.
     pub ssd: DeviceModel,
     /// Device model for remote (data lake) reads.
@@ -70,6 +72,7 @@ impl Default for WorkerConfig {
             page_size: ByteSize::mib(1),
             enable_cache: true,
             enable_metadata_cache: true,
+            metadata_cache_capacity: edgecache_columnar::metacache::DEFAULT_METADATA_CAPACITY,
             ssd: DeviceModel::local_ssd(),
             remote: DeviceModel::object_store(),
             decode_nanos_per_byte: 25,
@@ -275,7 +278,7 @@ impl Worker {
         Ok(Self {
             id: id.to_string(),
             cache,
-            meta_cache: MetadataCache::new(),
+            meta_cache: MetadataCache::with_capacity(config.metadata_cache_capacity),
             config,
         })
     }
@@ -994,6 +997,52 @@ impl PartialAgg {
     /// Whether no rows were accumulated.
     pub fn is_empty(&self) -> bool {
         self.groups.is_empty()
+    }
+
+    /// Number of aggregate states per group.
+    pub fn n_aggs(&self) -> usize {
+        self.n_aggs
+    }
+
+    /// Reorders the per-group aggregate states: output position `i` takes
+    /// input position `perm[i]`. Exact, not approximate — each state
+    /// accumulates its own aggregate independently of its position, so the
+    /// result cache can store canonical-order partials and convert to any
+    /// equivalent plan's order losslessly.
+    pub fn permute(&self, perm: &[usize]) -> PartialAgg {
+        assert_eq!(perm.len(), self.n_aggs);
+        PartialAgg {
+            groups: self
+                .groups
+                .iter()
+                .map(|(key, states)| {
+                    (
+                        key.clone(),
+                        perm.iter().map(|&i| states[i].clone()).collect(),
+                    )
+                })
+                .collect(),
+            n_aggs: self.n_aggs,
+        }
+    }
+
+    /// Estimated resident footprint of this state, the currency of the
+    /// result cache's byte budget.
+    pub fn approx_bytes(&self) -> u64 {
+        // Map-node overhead per group plus the per-state accumulators.
+        let mut total = 48u64;
+        for (key, states) in &self.groups {
+            total += 56 + key.as_ref().map_or(0, |k| k.len() as u64);
+            for state in states {
+                total += 24
+                    + match state {
+                        AggState::Min(Some(Value::Utf8(s)))
+                        | AggState::Max(Some(Value::Utf8(s))) => s.len() as u64,
+                        _ => 0,
+                    };
+            }
+        }
+        total
     }
 }
 

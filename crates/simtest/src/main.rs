@@ -1,7 +1,8 @@
 //! The `simtest` binary: seeded simulation sweeps over the full cache stack.
 //!
 //! ```text
-//! simtest [--seed X | --seeds N] [--start S] [--profile smoke|torture|quota|cluster]
+//! simtest [--seed X | --seeds N] [--start S]
+//!         [--profile smoke|torture|quota|cluster|resultcache]
 //!         [--shrink-budget R] [--trace-dump PATH] [--verbose]
 //! ```
 //!
@@ -69,7 +70,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: simtest [--seed X | --seeds N] [--start S] \
-                     [--profile smoke|torture|quota|cluster] [--shrink-budget R] \
+                     [--profile smoke|torture|quota|cluster|resultcache] [--shrink-budget R] \
                      [--trace-dump PATH] [--verbose]"
                 );
                 std::process::exit(0);

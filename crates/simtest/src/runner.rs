@@ -77,6 +77,9 @@ impl RunReport {
 /// Runs a scenario to completion. Never panics on oracle violations — they
 /// are collected in the report so the shrinker can re-run candidates.
 pub fn run_scenario(sc: &Scenario) -> RunReport {
+    if sc.profile == Profile::Resultcache {
+        return run_olap(sc);
+    }
     match sc.topology {
         Topology::Direct => run_direct(sc),
         Topology::Tier => run_tier(sc),
@@ -459,6 +462,12 @@ fn run_direct(sc: &Scenario) -> RunReport {
                 format!("t={}ms", sim.now_millis())
             }
             Op::EvictExpired => format!("expired {}", stack.cache.evict_expired()),
+            Op::OlapQuery { .. }
+            | Op::OlapAppend { .. }
+            | Op::OlapRewrite { .. }
+            | Op::OlapDrop { .. } => {
+                unreachable!("OLAP ops run under the Resultcache profile only")
+            }
             Op::CrashRestart => {
                 if sc.backend == Backend::Local {
                     // Simulated kill -9: the process dies with no store
@@ -832,6 +841,12 @@ fn run_tier(sc: &Scenario) -> RunReport {
             // File deletion, scope purges, and crashes are Direct-topology
             // concerns (the tier does not own scopes or stores).
             Op::DeleteFile { .. } | Op::PurgeScope { .. } | Op::CrashRestart => "noop".to_string(),
+            Op::OlapQuery { .. }
+            | Op::OlapAppend { .. }
+            | Op::OlapRewrite { .. }
+            | Op::OlapDrop { .. } => {
+                unreachable!("OLAP ops run under the Resultcache profile only")
+            }
         };
         trace.push(format!(
             "op{i:03} {op:?} -> {digest} clock={}ms",
@@ -897,6 +912,389 @@ fn hash_trace(trace: &[String]) -> u64 {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Resultcache profile: OLAP result-cache coherence under metadata churn
+// ---------------------------------------------------------------------------
+
+/// Deterministic fact-file content for the Resultcache profile: a pure
+/// function of `(partition, file, version)`, so a rewrite genuinely changes
+/// the answer and any stale cached partial is observable in the rows.
+fn olap_file_bytes(partition: usize, file: usize, version: u64) -> bytes::Bytes {
+    let mut w = edgecache_columnar::ColfWriter::new(olap_schema(), 16);
+    let salt = (partition * 97 + file * 31) as i64 + version as i64 * 7;
+    for i in 0..32i64 {
+        let id = salt + i;
+        w.push_row(vec![
+            edgecache_columnar::Value::Int64(id),
+            edgecache_columnar::Value::Utf8(format!("r{}", id.rem_euclid(3))),
+            edgecache_columnar::Value::Float64(id as f64 * 1.25 + version as f64 * 0.5),
+        ])
+        .expect("row matches schema");
+    }
+    w.finish().expect("colf encode")
+}
+
+fn olap_schema() -> edgecache_columnar::Schema {
+    edgecache_columnar::Schema::new(vec![
+        ("id", edgecache_columnar::ColumnType::Int64),
+        ("region", edgecache_columnar::ColumnType::Utf8),
+        ("amount", edgecache_columnar::ColumnType::Float64),
+    ])
+}
+
+/// The Resultcache profile's query pool: 8 aggregate shapes, with shape 2 a
+/// commuted twin of shape 1 (same fingerprint, different plan order) so the
+/// mix exercises cross-plan sharing of cached fragments.
+fn olap_plan(q: u8) -> edgecache_olap::QueryPlan {
+    use edgecache_columnar::{Predicate, Value};
+    use edgecache_olap::{AggExpr, QueryPlan};
+    let base = QueryPlan::scan("sim", "fact", &[]);
+    match q % 8 {
+        0 => base.aggregate(vec![AggExpr::count()]),
+        1 => base
+            .aggregate(vec![AggExpr::sum("amount"), AggExpr::count()])
+            .group("region"),
+        2 => base
+            .aggregate(vec![AggExpr::count(), AggExpr::sum("amount")])
+            .group("region"),
+        3 => base
+            .filter(
+                Predicate::Eq("region".into(), Value::Utf8("r1".into()))
+                    .or(Predicate::Eq("region".into(), Value::Utf8("r2".into()))),
+            )
+            .aggregate(vec![AggExpr::avg("amount"), AggExpr::min("id")]),
+        4 => base
+            .filter(Predicate::Gt("amount".into(), Value::Float64(20.0)))
+            .aggregate(vec![AggExpr::max("amount"), AggExpr::count()])
+            .group("region"),
+        5 => base.aggregate(vec![
+            AggExpr::sum("amount"),
+            AggExpr::avg("amount"),
+            AggExpr::min("amount"),
+            AggExpr::max("amount"),
+        ]),
+        6 => base
+            .filter(Predicate::Lt("id".into(), Value::Int64(120)))
+            .aggregate(vec![AggExpr::count(), AggExpr::min("amount")])
+            .group("region"),
+        _ => base
+            .filter(Predicate::Between(
+                "amount".into(),
+                Value::Float64(5.0),
+                Value::Float64(400.0),
+            ))
+            .aggregate(vec![AggExpr::sum("amount"), AggExpr::max("id")]),
+    }
+}
+
+/// Runs a Resultcache-profile scenario: a cached engine and an uncached
+/// shadow share one catalog/store/clock while the op stream interleaves
+/// repeated queries with appends, rewrites, and partition drops. Oracles:
+///
+/// * **Coherence** — cached rows are bit-identical (`Debug` form) to the
+///   shadow's recomputed rows after every query.
+/// * **Split partition** — `splits_skipped + splits_scheduled == splits` per
+///   query, and the shadow never skips.
+/// * **Ledger** — the cache's byte/entry/index accounting stays consistent
+///   after every op.
+/// * **Reconciliation** — the sum of `splits_scheduled` equals the
+///   scheduler's assigned-splits total at end of run.
+fn run_olap(sc: &Scenario) -> RunReport {
+    use edgecache_olap::{
+        Catalog, DataFile, Engine, EngineConfig, PartitionDef, ResultCacheConfig, TableDef,
+        WorkerConfig,
+    };
+    use edgecache_storage::ObjectStore;
+
+    let clock = SimClock::new();
+    let store = Arc::new(ObjectStore::new(Arc::new(clock.clone())));
+    let catalog = Arc::new(Catalog::new());
+    catalog.register(TableDef {
+        schema_name: "sim".into(),
+        table_name: "fact".into(),
+        columns: olap_schema(),
+        partitions: vec![],
+    });
+    let mk = |rc: ResultCacheConfig| {
+        Engine::new(
+            Arc::clone(&catalog),
+            Arc::clone(&store) as _,
+            EngineConfig {
+                workers: 2,
+                worker: WorkerConfig {
+                    page_size: ByteSize::kib(1),
+                    ..Default::default()
+                },
+                coordinator_overhead: Duration::ZERO,
+                result_cache: rc,
+                ..Default::default()
+            },
+            Arc::new(clock.clone()),
+        )
+    };
+    let cached = match mk(ResultCacheConfig::enabled(ByteSize::new(sc.cache_capacity))) {
+        Ok(e) => e,
+        Err(e) => return setup_failure(sc, format!("cached engine: {e}")),
+    };
+    let shadow = match mk(ResultCacheConfig::default()) {
+        Ok(e) => e,
+        Err(e) => return setup_failure(sc, format!("shadow engine: {e}")),
+    };
+    let rc = cached
+        .result_cache()
+        .expect("cached engine has result cache");
+
+    let path_of = |p: usize, f: usize| format!("/sim/olap/p{p}/f{f}.colf");
+    // (partition index, next file index, version of file 0)
+    let mut partitions: Vec<(usize, usize, u64)> = Vec::new();
+    for p in 0..2usize {
+        let bytes = olap_file_bytes(p, 0, 1);
+        let path = path_of(p, 0);
+        store.put_object(&path, bytes.clone());
+        catalog
+            .add_partition(
+                "sim",
+                "fact",
+                PartitionDef {
+                    name: format!("p{p}"),
+                    files: vec![DataFile {
+                        path,
+                        version: 1,
+                        length: bytes.len() as u64,
+                    }],
+                },
+            )
+            .expect("seed partition");
+        partitions.push((p, 1, 1));
+    }
+    let mut next_partition = partitions.len();
+
+    let mut trace: Vec<String> = Vec::with_capacity(sc.ops.len() + 2);
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut queries: u64 = 0;
+    let mut skipped_total: u64 = 0;
+    let mut scheduled_total: u64 = 0;
+    let mut scan_bytes_saved: u64 = 0;
+
+    for (i, op) in sc.ops.iter().enumerate() {
+        let line = match op {
+            Op::OlapQuery { q } => {
+                let plan = olap_plan(*q);
+                let a = match cached.execute(&plan) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        violations.push(Violation {
+                            op: Some(i),
+                            kind: "query-failed",
+                            detail: format!("cached q{q}: {e}"),
+                        });
+                        trace.push(format!("op{i} q{q} FAILED"));
+                        continue;
+                    }
+                };
+                let b = match shadow.execute(&plan) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        violations.push(Violation {
+                            op: Some(i),
+                            kind: "query-failed",
+                            detail: format!("shadow q{q}: {e}"),
+                        });
+                        trace.push(format!("op{i} q{q} SHADOW-FAILED"));
+                        continue;
+                    }
+                };
+                let rows_a = format!("{:?}", a.rows);
+                let rows_b = format!("{:?}", b.rows);
+                if rows_a != rows_b {
+                    violations.push(Violation {
+                        op: Some(i),
+                        kind: "resultcache-coherence",
+                        detail: format!(
+                            "q{q}: cached rows diverged from shadow\ncached: {rows_a}\nshadow: {rows_b}"
+                        ),
+                    });
+                }
+                if a.stats.splits_skipped + a.stats.splits_scheduled != a.stats.splits {
+                    violations.push(Violation {
+                        op: Some(i),
+                        kind: "split-partition",
+                        detail: format!(
+                            "q{q}: skipped {} + scheduled {} != splits {}",
+                            a.stats.splits_skipped, a.stats.splits_scheduled, a.stats.splits
+                        ),
+                    });
+                }
+                if b.stats.splits_skipped != 0 {
+                    violations.push(Violation {
+                        op: Some(i),
+                        kind: "shadow-skipped",
+                        detail: format!(
+                            "q{q}: uncached shadow skipped {} splits",
+                            b.stats.splits_skipped
+                        ),
+                    });
+                }
+                queries += 1;
+                skipped_total += a.stats.splits_skipped as u64;
+                scheduled_total += a.stats.splits_scheduled as u64;
+                scan_bytes_saved += a.stats.scan_bytes_saved;
+                format!(
+                    "op{i} q{q} rows={} fnv={:016x} splits={} skipped={} scheduled={}",
+                    a.rows.len(),
+                    fnv1a64(rows_a.as_bytes()),
+                    a.stats.splits,
+                    a.stats.splits_skipped,
+                    a.stats.splits_scheduled
+                )
+            }
+            Op::OlapAppend { p } => {
+                let idx = *p as usize % partitions.len();
+                let (part, next_file, _) = &mut partitions[idx];
+                let (part, f) = (*part, *next_file);
+                *next_file += 1;
+                let bytes = olap_file_bytes(part, f, 1);
+                let path = path_of(part, f);
+                store.put_object(&path, bytes.clone());
+                let name = format!("p{part}");
+                let table = catalog.table("sim", "fact").expect("fact table");
+                let mut files = table
+                    .partitions
+                    .iter()
+                    .find(|x| x.name == name)
+                    .cloned()
+                    .expect("live partition")
+                    .files;
+                files.push(DataFile {
+                    path,
+                    version: 1,
+                    length: bytes.len() as u64,
+                });
+                catalog
+                    .add_partition("sim", "fact", PartitionDef { name, files })
+                    .expect("append file");
+                format!("op{i} append p{part} f{f}")
+            }
+            Op::OlapRewrite { p } => {
+                let idx = *p as usize % partitions.len();
+                let (part, _, version) = &mut partitions[idx];
+                *version += 1;
+                let (part, version) = (*part, *version);
+                let bytes = olap_file_bytes(part, 0, version);
+                let path = path_of(part, 0);
+                store.put_object(&path, bytes.clone());
+                catalog
+                    .rewrite_file(
+                        "sim",
+                        "fact",
+                        &format!("p{part}"),
+                        &path,
+                        version,
+                        bytes.len() as u64,
+                    )
+                    .expect("rewrite file");
+                format!("op{i} rewrite p{part} f0 v{version}")
+            }
+            Op::OlapDrop { p } => {
+                if partitions.len() <= 1 {
+                    // Keep at least one partition live; replace the drop with
+                    // a compensating add so the scenario keeps making progress.
+                    let part = next_partition;
+                    next_partition += 1;
+                    let bytes = olap_file_bytes(part, 0, 1);
+                    let path = path_of(part, 0);
+                    store.put_object(&path, bytes.clone());
+                    catalog
+                        .add_partition(
+                            "sim",
+                            "fact",
+                            PartitionDef {
+                                name: format!("p{part}"),
+                                files: vec![DataFile {
+                                    path,
+                                    version: 1,
+                                    length: bytes.len() as u64,
+                                }],
+                            },
+                        )
+                        .expect("compensating partition");
+                    partitions.push((part, 1, 1));
+                    format!("op{i} drop->add p{part}")
+                } else {
+                    let idx = *p as usize % partitions.len();
+                    let (part, _, _) = partitions.remove(idx);
+                    catalog
+                        .drop_partition("sim", "fact", &format!("p{part}"))
+                        .expect("drop partition");
+                    format!("op{i} drop p{part}")
+                }
+            }
+            Op::AdvanceClock { millis } => {
+                clock.advance(Duration::from_millis(*millis));
+                format!("op{i} t={}ms", clock.now_millis())
+            }
+            other => format!("op{i} ignored {other:?}"),
+        };
+        trace.push(line);
+        if let Err(e) = rc.check_consistency() {
+            violations.push(Violation {
+                op: Some(i),
+                kind: "resultcache-ledger",
+                detail: format!("{e}"),
+            });
+        }
+    }
+
+    // End-of-run reconciliation: every split the cached engine reported as
+    // scheduled was assigned by its scheduler, exactly once.
+    let assigned = cached.scheduler().assigned_total();
+    if scheduled_total != assigned {
+        violations.push(Violation {
+            op: None,
+            kind: "split-reconcile",
+            detail: format!(
+                "sum of splits_scheduled {scheduled_total} != scheduler assigned {assigned}"
+            ),
+        });
+    }
+    let c = rc.counters();
+    trace.push(format!(
+        "end queries={queries} skipped={skipped_total} scheduled={scheduled_total} \
+         hits={} misses={} inserts={} evictions={} invalidations={} entries={} bytes={}",
+        c.hits,
+        c.misses,
+        c.inserts,
+        c.evictions,
+        c.invalidations,
+        rc.len(),
+        rc.bytes()
+    ));
+    let final_metrics_json = format!(
+        "{{\"queries\":{queries},\"splits_skipped\":{skipped_total},\
+         \"splits_scheduled\":{scheduled_total},\"scan_bytes_saved\":{scan_bytes_saved},\
+         \"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{},\"invalidations\":{},\
+         \"entries\":{},\"bytes\":{}}}",
+        c.hits,
+        c.misses,
+        c.inserts,
+        c.evictions,
+        c.invalidations,
+        rc.len(),
+        rc.bytes()
+    );
+    let trace_hash = hash_trace(&trace);
+    RunReport {
+        seed: sc.seed,
+        trace,
+        trace_hash,
+        violations,
+        epochs: 1,
+        crashes: 0,
+        final_metrics_json,
+        span_records: Vec::new(),
+    }
+}
+
 fn setup_failure(sc: &Scenario, detail: String) -> RunReport {
     RunReport {
         seed: sc.seed,
@@ -943,6 +1341,40 @@ mod tests {
             assert_eq!(a.final_metrics_json, b.final_metrics_json);
             assert_eq!(a.span_records, b.span_records, "seed {seed} spans diverged");
             assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+        }
+    }
+
+    #[test]
+    fn resultcache_seeds_run_clean() {
+        for seed in 0..6u64 {
+            let sc = Scenario::generate(seed, Profile::Resultcache);
+            let report = run_scenario(&sc);
+            assert!(
+                report.ok(),
+                "seed {seed} violations: {:?}\ntrace tail: {:?}",
+                report.violations,
+                report.trace.iter().rev().take(5).collect::<Vec<_>>()
+            );
+            // The repeated-query mix must actually exercise the cache.
+            let end = report.trace.last().expect("end line");
+            assert!(end.starts_with("end queries="), "end line: {end}");
+            assert!(
+                !end.contains("skipped=0 "),
+                "no split was ever served from cache: {end}"
+            );
+            assert!(report.final_metrics_json.contains("\"hits\":"));
+        }
+    }
+
+    #[test]
+    fn resultcache_same_scenario_same_trace() {
+        for seed in [1u64, 4, 9] {
+            let sc = Scenario::generate(seed, Profile::Resultcache);
+            let a = run_scenario(&sc);
+            let b = run_scenario(&sc);
+            assert_eq!(a.trace, b.trace, "seed {seed} diverged");
+            assert_eq!(a.trace_hash, b.trace_hash);
+            assert_eq!(a.final_metrics_json, b.final_metrics_json);
         }
     }
 

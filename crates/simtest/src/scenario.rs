@@ -32,16 +32,27 @@ pub enum Profile {
     /// cluster serves every read from a worker, and every read lands in
     /// exactly one outcome bucket.
     Cluster,
+    /// Query-fragment result-cache coherence: every seed drives two OLAP
+    /// engines sharing one catalog/store/clock — one with the result cache
+    /// on, one shadow with it off — through a repeated-query mix
+    /// interleaved with appends, rewrites, and partition drops. Oracles:
+    /// rows are bit-identical between the engines after every query, the
+    /// per-query split accounting partitions exactly, the scheduler's
+    /// assignment counter reconciles at the end, and the cache's internal
+    /// ledger stays consistent.
+    Resultcache,
 }
 
 impl Profile {
-    /// Parses `"smoke"` / `"torture"` / `"quota"` / `"cluster"`.
+    /// Parses `"smoke"` / `"torture"` / `"quota"` / `"cluster"` /
+    /// `"resultcache"`.
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "smoke" => Some(Profile::Smoke),
             "torture" => Some(Profile::Torture),
             "quota" => Some(Profile::Quota),
             "cluster" => Some(Profile::Cluster),
+            "resultcache" => Some(Profile::Resultcache),
             _ => None,
         }
     }
@@ -94,6 +105,16 @@ pub enum Op {
     WorkerOffline { idx: u32 },
     /// Bring a tier worker back online (Tier topology only).
     WorkerOnline { idx: u32 },
+    /// Run OLAP query shape `q` on the cached engine and the uncached
+    /// shadow, comparing rows bit-for-bit (Resultcache profile only).
+    OlapQuery { q: u8 },
+    /// Append a fresh data file to a live fact partition.
+    OlapAppend { p: u8 },
+    /// Rewrite the first file of a live fact partition under a bumped
+    /// version (compaction).
+    OlapRewrite { p: u8 },
+    /// Drop a live fact partition (skipped when only one remains).
+    OlapDrop { p: u8 },
 }
 
 /// One fault, injected at an op boundary.
@@ -192,6 +213,9 @@ impl Scenario {
     }
 
     fn generate_with(seed: u64, profile: Profile, rng: &mut StdRng) -> Self {
+        if profile == Profile::Resultcache {
+            return Self::generate_resultcache(seed, rng);
+        }
         let page_size: u64 = *[2048u64, 4096, 8192]
             .get(rng.random_range(0usize..3))
             .unwrap();
@@ -248,6 +272,7 @@ impl Scenario {
             Profile::Torture => 400,
             Profile::Quota => 120,
             Profile::Cluster => 200,
+            Profile::Resultcache => unreachable!("expanded by generate_resultcache"),
         };
         let ops = Self::gen_ops(
             rng, seed, profile, backend, topology, files, file_len, op_count,
@@ -280,6 +305,71 @@ impl Scenario {
             sabotage_after: None,
             ops,
             faults,
+        }
+    }
+
+    /// Expands a Resultcache-profile scenario: a repeated-query mix (the
+    /// dashboard shape from `edgecache_workload::repeatq`) interleaved with
+    /// catalog churn. The runner owns its own OLAP stack, so the page-store
+    /// fields are fixed and the fault schedule is empty.
+    fn generate_resultcache(seed: u64, rng: &mut StdRng) -> Self {
+        use edgecache_workload::repeatq::{BurstConfig, RepeatedQueryConfig, RepeatedQueryMix};
+        let op_count = 120;
+        let mut mix = RepeatedQueryMix::new(RepeatedQueryConfig {
+            pool: 8,
+            working_set: 5,
+            rotate_every: 25,
+            rotate_step: 1,
+            zipf_exponent: 1.2,
+            burst: Some(BurstConfig {
+                every: 40,
+                len: 10,
+                hot_fraction: 0.9,
+            }),
+            seed: seed ^ 0x01a9,
+        });
+        let mut ops = Vec::with_capacity(op_count);
+        for _ in 0..op_count {
+            let roll: f64 = rng.random();
+            let op = if roll < 0.70 {
+                Op::OlapQuery {
+                    q: mix.next_query() as u8,
+                }
+            } else if roll < 0.80 {
+                Op::OlapAppend {
+                    p: rng.random_range(0u8..4),
+                }
+            } else if roll < 0.88 {
+                Op::OlapRewrite {
+                    p: rng.random_range(0u8..4),
+                }
+            } else if roll < 0.93 {
+                Op::OlapDrop {
+                    p: rng.random_range(0u8..4),
+                }
+            } else {
+                Op::AdvanceClock {
+                    millis: rng.random_range(50u64..5_000),
+                }
+            };
+            ops.push(op);
+        }
+        Scenario {
+            seed,
+            profile: Profile::Resultcache,
+            backend: Backend::Memory,
+            topology: Topology::Direct,
+            page_size: 1024,
+            cache_capacity: 64 * 1024 * 1024,
+            files: 0,
+            file_len: 0,
+            quota: None,
+            partition_quota: None,
+            max_cached_partitions: None,
+            memory_capacity: None,
+            sabotage_after: None,
+            ops,
+            faults: Vec::new(),
         }
     }
 
@@ -368,6 +458,7 @@ impl Scenario {
             Profile::Torture => rng.random_range(8usize..=16),
             Profile::Quota => rng.random_range(4usize..=8),
             Profile::Cluster => rng.random_range(6usize..=12),
+            Profile::Resultcache => unreachable!("expanded by generate_resultcache"),
         };
         let workers = Self::tier_workers(profile) as u32;
         let mut faults = Vec::with_capacity(fault_count);
@@ -664,6 +755,75 @@ mod tests {
                             | Fault::NodeDegraded { .. }
                     )),
                     "{profile:?} seed {seed} generated a node fault"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resultcache_profile_mixes_repeats_with_churn() {
+        for seed in 0..16 {
+            let s = Scenario::generate(seed, Profile::Resultcache);
+            assert!(s.faults.is_empty(), "seed {seed}: runner owns its stack");
+            assert_eq!(s.ops.len(), 120);
+            let queries = s
+                .ops
+                .iter()
+                .filter(|op| matches!(op, Op::OlapQuery { .. }))
+                .count();
+            let churn = s
+                .ops
+                .iter()
+                .filter(|op| {
+                    matches!(
+                        op,
+                        Op::OlapAppend { .. } | Op::OlapRewrite { .. } | Op::OlapDrop { .. }
+                    )
+                })
+                .count();
+            assert!(queries > s.ops.len() / 2, "seed {seed}: queries dominate");
+            assert!(churn > 0, "seed {seed}: no churn");
+            for op in &s.ops {
+                if let Op::OlapQuery { q } = op {
+                    assert!(*q < 8, "seed {seed}: query shape out of pool");
+                }
+            }
+            // Repeats exist: far fewer distinct shapes than query draws.
+            let distinct: std::collections::HashSet<u8> = s
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::OlapQuery { q } => Some(*q),
+                    _ => None,
+                })
+                .collect();
+            assert!(distinct.len() <= 8 && queries > distinct.len() * 2);
+        }
+        // Determinism of the expansion.
+        let a = Scenario::generate(3, Profile::Resultcache);
+        let b = Scenario::generate(3, Profile::Resultcache);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn olap_ops_never_ride_other_profiles() {
+        for profile in [
+            Profile::Smoke,
+            Profile::Torture,
+            Profile::Quota,
+            Profile::Cluster,
+        ] {
+            for seed in 0..8 {
+                let s = Scenario::generate(seed, profile);
+                assert!(
+                    !s.ops.iter().any(|op| matches!(
+                        op,
+                        Op::OlapQuery { .. }
+                            | Op::OlapAppend { .. }
+                            | Op::OlapRewrite { .. }
+                            | Op::OlapDrop { .. }
+                    )),
+                    "{profile:?} seed {seed} generated an OLAP op"
                 );
             }
         }

@@ -18,4 +18,4 @@ mod namenode;
 
 pub use client::{HdfsClient, HdfsCluster, HdfsClusterConfig};
 pub use datanode::{DataNode, DataNodeConfig};
-pub use namenode::{AppendPlan, BlockId, BlockInfo, NameNode};
+pub use namenode::{AppendPlan, BlockId, BlockInfo, GenBumpListener, NameNode};

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use edgecache_common::error::{Error, Result};
 use parking_lot::RwLock;
@@ -45,17 +46,37 @@ pub struct AppendPlan {
     pub new_blocks: Vec<BlockInfo>,
 }
 
+/// Notified when an append bumps a file's tail-block generation stamp:
+/// `(path, old_gen, new_gen)`. This is the storage-side trigger of the
+/// shared invalidation path — the integration layer forwards bumps into
+/// `Catalog::notify_stale`, which purges the footer metadata caches and
+/// the query-result cache alike.
+pub type GenBumpListener = Arc<dyn Fn(&str, u64, u64) + Send + Sync>;
+
 /// The simulated NameNode.
-#[derive(Debug)]
 pub struct NameNode {
     files: RwLock<HashMap<String, Vec<BlockId>>>,
     blocks: RwLock<HashMap<BlockId, BlockInfo>>,
     datanodes: RwLock<Vec<String>>,
+    gen_listeners: RwLock<Vec<GenBumpListener>>,
     next_block: AtomicU64,
     next_gen: AtomicU64,
     next_placement: AtomicU64,
     block_size: u64,
     replication: usize,
+}
+
+impl std::fmt::Debug for NameNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NameNode")
+            .field("files", &self.files)
+            .field("blocks", &self.blocks)
+            .field("datanodes", &self.datanodes)
+            .field("gen_listeners", &self.gen_listeners.read().len())
+            .field("block_size", &self.block_size)
+            .field("replication", &self.replication)
+            .finish()
+    }
 }
 
 impl NameNode {
@@ -66,6 +87,7 @@ impl NameNode {
             files: RwLock::new(HashMap::new()),
             blocks: RwLock::new(HashMap::new()),
             datanodes: RwLock::new(Vec::new()),
+            gen_listeners: RwLock::new(Vec::new()),
             next_block: AtomicU64::new(1),
             next_gen: AtomicU64::new(1000),
             next_placement: AtomicU64::new(0),
@@ -82,6 +104,12 @@ impl NameNode {
     /// Registers a DataNode for block placement.
     pub fn register_datanode(&self, name: &str) {
         self.datanodes.write().push(name.to_string());
+    }
+
+    /// Registers a generation-bump listener, fired (outside the block lock)
+    /// whenever an append advances a tail block's generation stamp.
+    pub fn on_generation_bump(&self, listener: GenBumpListener) {
+        self.gen_listeners.write().push(listener);
     }
 
     fn pick_locations(&self) -> Vec<String> {
@@ -164,6 +192,12 @@ impl NameNode {
             let mut files = self.files.write();
             let ids = files.get_mut(path).expect("checked above");
             ids.extend(new_blocks.iter().map(|b| b.id));
+        }
+        if let Some((_, old_gen, new_gen, _)) = grown_tail {
+            let listeners = self.gen_listeners.read().clone();
+            for listener in &listeners {
+                listener(path, old_gen, new_gen);
+            }
         }
         Ok(AppendPlan {
             grown_tail,
@@ -286,6 +320,33 @@ mod tests {
         assert!(!nn.exists("/f"));
         assert!(nn.file_blocks("/f").is_err());
         assert!(nn.delete_file("/f").is_err());
+    }
+
+    #[test]
+    fn generation_bump_listeners_fire_on_append() {
+        use parking_lot::Mutex;
+        let nn = namenode();
+        nn.create_file("/f", 80).unwrap();
+        let seen: Arc<Mutex<Vec<(String, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        nn.on_generation_bump(Arc::new(move |path: &str, old_gen, new_gen| {
+            sink.lock().push((path.to_string(), old_gen, new_gen));
+        }));
+        // Tail grows: one bump, old < new.
+        let plan = nn.append_file("/f", 10).unwrap();
+        let (_, old_gen, new_gen, _) = plan.grown_tail.unwrap();
+        assert_eq!(
+            seen.lock().as_slice(),
+            [("/f".to_string(), old_gen, new_gen)]
+        );
+        assert!(new_gen > old_gen);
+        // Fill the tail, then append again: the tail is full, only fresh
+        // blocks are allocated — no generation bump, no notification.
+        nn.append_file("/f", 10).unwrap(); // 100 now: tail full
+        seen.lock().clear();
+        let plan = nn.append_file("/f", 30).unwrap();
+        assert!(plan.grown_tail.is_none());
+        assert!(seen.lock().is_empty(), "no bump without a grown tail");
     }
 
     #[test]

@@ -16,15 +16,20 @@
 //!   query templates mirroring the benchmark's scan/aggregate shapes.
 //! * [`replay`] — drives a simulated DataNode from a trace, minute by
 //!   minute, producing the time series behind Figures 13 and 14.
+//! * [`repeatq`] — repeated-query mixes for the result-cache evaluation:
+//!   a Zipf-weighted working set of query shapes that rotates slowly and
+//!   occasionally stampedes onto one hot dashboard query.
 
 pub mod fragread;
 pub mod hdfs_trace;
+pub mod repeatq;
 pub mod replay;
 pub mod tpcds;
 pub mod zipf;
 
 pub use fragread::FragmentedReadSampler;
 pub use hdfs_trace::{HdfsTraceConfig, HdfsTraceStats, TraceEvent};
+pub use repeatq::{BurstConfig, RepeatedQueryConfig, RepeatedQueryMix};
 pub use replay::{DataNodeReplay, MinuteStats};
 pub use tpcds::{TpcdsGen, TpcdsScale};
 pub use zipf::ZipfSampler;

@@ -1,0 +1,240 @@
+//! Repeated-query workload synthesis for the result-cache evaluation.
+//!
+//! Enterprise OLAP dashboards re-issue the same parameterized aggregations
+//! on a schedule: a small *working set* of query shapes dominates, the set
+//! drifts slowly as reports are edited, and incidents produce flash crowds
+//! where everyone refreshes one hot dashboard at once. [`RepeatedQueryMix`]
+//! draws query indices from a pool with exactly those dynamics:
+//!
+//! * **Zipfian working set** — draws concentrate on a window of
+//!   `working_set` queries out of `pool`, ranks weighted `1/k^s`.
+//! * **Rotation** — every `rotate_every` draws the window slides by
+//!   `rotate_step`, retiring the coldest shapes and admitting fresh ones
+//!   (wrap-around over the pool).
+//! * **Flash-crowd bursts** — optionally, every `burst.every` draws the
+//!   next `burst.len` draws pin to the window head with probability
+//!   `burst.hot_fraction`, modeling a dashboard stampede.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::zipf::ZipfSampler;
+
+/// Flash-crowd shape: periodically, a run of draws concentrates on the
+/// hottest query of the current working set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstConfig {
+    /// A burst starts every this many draws.
+    pub every: usize,
+    /// How many draws each burst lasts.
+    pub len: usize,
+    /// Probability that a draw inside a burst goes to the window head.
+    pub hot_fraction: f64,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        Self {
+            every: 200,
+            len: 40,
+            hot_fraction: 0.9,
+        }
+    }
+}
+
+/// Configuration of the repeated-query mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepeatedQueryConfig {
+    /// Total distinct query shapes available.
+    pub pool: usize,
+    /// Size of the active working set (≤ pool).
+    pub working_set: usize,
+    /// Slide the working-set window after this many draws (0 = never).
+    pub rotate_every: usize,
+    /// How far the window slides per rotation.
+    pub rotate_step: usize,
+    /// Zipf exponent over the working set (the paper's Figure 2 reports
+    /// factors up to 1.39 for file popularity; query popularity is at
+    /// least as skewed).
+    pub zipf_exponent: f64,
+    /// Flash-crowd bursts, when present.
+    pub burst: Option<BurstConfig>,
+    /// RNG seed: identical configs and seeds yield identical streams.
+    pub seed: u64,
+}
+
+impl Default for RepeatedQueryConfig {
+    fn default() -> Self {
+        Self {
+            pool: 99,
+            working_set: 12,
+            rotate_every: 500,
+            rotate_step: 3,
+            zipf_exponent: 1.39,
+            burst: Some(BurstConfig::default()),
+            seed: 42,
+        }
+    }
+}
+
+/// A deterministic stream of query indices in `0..pool`.
+#[derive(Debug)]
+pub struct RepeatedQueryMix {
+    config: RepeatedQueryConfig,
+    zipf: ZipfSampler,
+    rng: StdRng,
+    /// Start of the working-set window within the pool.
+    offset: usize,
+    /// Draws made so far.
+    drawn: usize,
+}
+
+impl RepeatedQueryMix {
+    /// Creates the mix; panics on a degenerate configuration.
+    pub fn new(config: RepeatedQueryConfig) -> Self {
+        assert!(config.pool > 0, "empty query pool");
+        assert!(
+            (1..=config.pool).contains(&config.working_set),
+            "working set must be 1..=pool"
+        );
+        if let Some(b) = &config.burst {
+            assert!(b.every > 0 && b.len > 0, "degenerate burst");
+            assert!((0.0..=1.0).contains(&b.hot_fraction));
+        }
+        let zipf = ZipfSampler::new(config.working_set, config.zipf_exponent, config.seed ^ 0x5a);
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            zipf,
+            rng,
+            offset: 0,
+            drawn: 0,
+        }
+    }
+
+    /// Whether the *next* draw falls inside a flash-crowd burst.
+    pub fn in_burst(&self) -> bool {
+        match &self.config.burst {
+            Some(b) => self.drawn % b.every < b.len,
+            None => false,
+        }
+    }
+
+    /// Start of the current working-set window.
+    pub fn window_offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Draws the next query index in `0..pool`.
+    pub fn next_query(&mut self) -> usize {
+        let in_burst = self.in_burst();
+        self.drawn += 1;
+        if self.config.rotate_every > 0 && self.drawn.is_multiple_of(self.config.rotate_every) {
+            self.offset = (self.offset + self.config.rotate_step) % self.config.pool;
+        }
+        let rank = if in_burst {
+            let b = self.config.burst.as_ref().expect("in_burst implies burst");
+            if self.rng.random::<f64>() < b.hot_fraction {
+                0
+            } else {
+                self.zipf.sample()
+            }
+        } else {
+            self.zipf.sample()
+        };
+        (self.offset + rank) % self.config.pool
+    }
+
+    /// Draws `n` queries.
+    pub fn take(&mut self, n: usize) -> Vec<usize> {
+        (0..n).map(|_| self.next_query()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> RepeatedQueryConfig {
+        RepeatedQueryConfig {
+            pool: 30,
+            working_set: 8,
+            rotate_every: 100,
+            rotate_step: 2,
+            zipf_exponent: 1.2,
+            burst: None,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RepeatedQueryMix::new(config()).take(500);
+        let b = RepeatedQueryMix::new(config()).take(500);
+        assert_eq!(a, b);
+        let c = RepeatedQueryMix::new(RepeatedQueryConfig {
+            seed: 8,
+            ..config()
+        })
+        .take(500);
+        assert_ne!(a, c, "different seed, different stream");
+    }
+
+    #[test]
+    fn draws_stay_in_pool_and_concentrate_on_working_set() {
+        let mut mix = RepeatedQueryMix::new(RepeatedQueryConfig {
+            rotate_every: 0,
+            ..config()
+        });
+        let draws = mix.take(2000);
+        assert!(draws.iter().all(|&q| q < 30));
+        // Without rotation all draws come from the initial window.
+        assert!(draws.iter().all(|&q| q < 8), "window is 0..8");
+        // Zipf skew: the head rank dominates.
+        let head = draws.iter().filter(|&&q| q == 0).count();
+        assert!(head > 2000 / 8, "head {head} draws out of 2000");
+    }
+
+    #[test]
+    fn rotation_slides_the_window() {
+        let mut mix = RepeatedQueryMix::new(config());
+        assert_eq!(mix.window_offset(), 0);
+        mix.take(100);
+        assert_eq!(mix.window_offset(), 2);
+        mix.take(100);
+        assert_eq!(mix.window_offset(), 4);
+        // Post-rotation draws include shapes outside the original window.
+        let draws = mix.take(1000);
+        assert!(draws.iter().any(|&q| q >= 8), "rotation admits new shapes");
+        // Offset wraps around the pool.
+        let mut far = RepeatedQueryMix::new(RepeatedQueryConfig {
+            rotate_every: 10,
+            rotate_step: 7,
+            ..config()
+        });
+        far.take(10 * 30);
+        assert!(far.window_offset() < 30);
+    }
+
+    #[test]
+    fn bursts_pin_to_the_window_head() {
+        let burst = BurstConfig {
+            every: 50,
+            len: 25,
+            hot_fraction: 1.0,
+        };
+        let mut mix = RepeatedQueryMix::new(RepeatedQueryConfig {
+            rotate_every: 0,
+            burst: Some(burst),
+            ..config()
+        });
+        for i in 0..200 {
+            let in_burst = mix.in_burst();
+            assert_eq!(in_burst, i % 50 < 25, "draw {i}");
+            let q = mix.next_query();
+            if in_burst {
+                assert_eq!(q, 0, "burst draw {i} pins to the head");
+            }
+        }
+    }
+}
