@@ -1,0 +1,20 @@
+//! Harness binary for the `server` front-end experiment. Pass `--quick`
+//! for the reduced-scale variant and `--gate <BENCH_server.json>` to
+//! compare against a committed baseline: request accounting must match
+//! exactly on any host, wall-clock cells within 1.2x on a same-CPU host.
+//! Gate runs never rewrite the JSON; a plain full run regenerates it.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let report = edgecache_bench::experiments::server::run_with(quick, gate.as_deref());
+    println!("{report}");
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -485,8 +485,8 @@ pub fn run_with(quick: bool, gate_baseline: Option<&str>) -> ExperimentReport {
                 compared > 0 && ratio <= GATE_FACTOR,
             ));
         } else {
-            report.notes.push(format!(
-                "gate skipped: baseline host has {base_cpus} CPUs, this host {cpus} — \
+            report.gate_skipped(format!(
+                "baseline host has {base_cpus} CPUs, this host {cpus} — \
                  wall-clock cells are not comparable"
             ));
         }

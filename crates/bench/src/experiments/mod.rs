@@ -19,6 +19,7 @@ pub mod readpath_scaling;
 pub mod replicas_ablation;
 pub mod resultcache;
 pub mod scanpath;
+pub mod server;
 pub mod table1_hdfs_traffic;
 
 use crate::report::ExperimentReport;
@@ -45,5 +46,6 @@ pub fn run_all(quick: bool) -> Vec<ExperimentReport> {
         scanpath::run(quick),
         hotpath::run(quick),
         resultcache::run(quick),
+        server::run(quick),
     ]
 }

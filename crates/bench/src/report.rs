@@ -124,6 +124,22 @@ impl ExperimentReport {
     pub fn all_ok(&self) -> bool {
         self.checks.iter().all(|c| c.ok)
     }
+
+    /// Records a skipped regression gate *loudly*. A gate that silently
+    /// degrades to a note is indistinguishable from a gate that ran and
+    /// passed — which is how a regression ships. This prints an
+    /// unmissable `GATE SKIPPED` line to stderr, emits a GitHub Actions
+    /// `::warning` job annotation when running under CI, and keeps the
+    /// reason in the report's notes.
+    pub fn gate_skipped(&mut self, reason: impl fmt::Display) {
+        let msg = format!("GATE SKIPPED [{}]: {reason}", self.id);
+        eprintln!("{msg}");
+        if std::env::var_os("GITHUB_ACTIONS").is_some() {
+            // Surfaces in the job's annotation list, not just the log.
+            println!("::warning title=bench gate skipped::{msg}");
+        }
+        self.notes.push(msg);
+    }
 }
 
 impl fmt::Display for ExperimentReport {
@@ -162,6 +178,21 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains("| a   | bbbb |"));
         assert!(s.contains("| xxx | y    |"));
+    }
+
+    #[test]
+    fn gate_skip_is_recorded_in_notes() {
+        let mut r = ExperimentReport::new("x", "test");
+        r.gate_skipped("baseline host has 64 CPUs, this host 8");
+        assert_eq!(r.notes.len(), 1);
+        assert!(
+            r.notes[0].starts_with("GATE SKIPPED [x]:"),
+            "{}",
+            r.notes[0]
+        );
+        assert!(r.notes[0].contains("64 CPUs"));
+        // A skip is loud but not red: checks that did run still decide.
+        assert!(r.all_ok());
     }
 
     #[test]

@@ -12,22 +12,31 @@
 //! * [`top`] — largest cached files;
 //! * [`purge`] — delete everything, or one file's pages;
 //! * [`trace_summary`] — per-stage latency table from a Chrome trace dump
-//!   (written by `simtest --trace-dump` or the `trace_dump` bench).
+//!   (written by `simtest --trace-dump` or the `trace_dump` bench);
+//! * [`start_serve`] — the network front-end: a memcached-protocol server
+//!   over a recovered cache directory (`edgecache-cli serve`).
 //!
-//! The binary (`edgecache-cli`) is a thin argument parser over these
-//! functions.
+//! The binary (`edgecache-cli`) dispatches on [`args::parse_cli`], which is
+//! strict: every subcommand rejects arguments it doesn't understand.
+
+pub mod args;
 
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
+use edgecache_common::clock::system_clock;
 use edgecache_common::error::{Error, Result};
 use edgecache_common::ByteSize;
 use edgecache_core::config::CacheConfig;
-use edgecache_core::manager::CacheManager;
+use edgecache_core::manager::{CacheManager, TtlJanitor};
 use edgecache_metrics::trace::summarize_chrome_trace;
 use edgecache_metrics::StageSummary;
-use edgecache_pagestore::{FileId, LocalPageStore, LocalStoreConfig, PageStore};
+use edgecache_pagestore::{CacheScope, FileId, LocalPageStore, LocalStoreConfig, PageStore};
+use edgecache_server::server::{serve, ServerConfig, ServerHandle};
+
+pub use args::{parse_cli, CliCommand, ServeArgs, USAGE};
 
 /// Summary of a cache directory.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -152,6 +161,71 @@ pub fn purge(dir: &Path, file: Option<&str>) -> Result<usize> {
     Ok(match filter {
         Some(f) => cache.delete_file(f),
         None => cache.clear(),
+    })
+}
+
+/// A running `serve` session: the TCP front-end plus the machinery that
+/// must outlive it (the manager keeps the store; the janitor enforces TTL
+/// expiry). Dropping the session shuts everything down gracefully and
+/// joins every thread.
+pub struct ServeSession {
+    /// The TCP server handle (address, wait, shutdown).
+    pub handle: ServerHandle,
+    /// The recovered cache manager the server fronts.
+    pub cache: Arc<CacheManager>,
+    _janitor: Option<TtlJanitor>,
+}
+
+/// Opens (or creates) the cache directory at `args.dir`, recovers its
+/// pages, and starts a memcached-protocol server over it. Returns the
+/// running session; the caller decides whether to block on
+/// `session.handle.wait()`.
+pub fn start_serve(args: &ServeArgs) -> Result<ServeSession> {
+    // Reuse the directory's page size if it already holds pages; a fresh
+    // directory gets the production default.
+    let page_size = LocalPageStore::detect_page_size(&args.dir)
+        .unwrap_or_else(|| CacheConfig::default().page_size.as_u64());
+    let store = LocalPageStore::open(
+        &args.dir,
+        LocalStoreConfig {
+            page_size,
+            ..Default::default()
+        },
+    )?;
+    let clock = system_clock();
+    let mut config = CacheConfig::default()
+        .with_page_size(ByteSize::new(page_size))
+        .with_memory_tier(args.memory);
+    if let Some(ttl) = args.ttl() {
+        config = config.with_ttl(ttl);
+    }
+    let mut builder = CacheManager::builder(config)
+        .with_store(Arc::new(store), args.capacity.as_u64())
+        .with_clock(clock.clone())
+        .with_recovery();
+    for (scope, size) in &args.quotas {
+        builder = builder.with_quota(CacheScope::parse(scope), *size);
+    }
+    let cache = Arc::new(builder.build()?);
+    let janitor = args.ttl().map(|ttl| {
+        // Sweep a few times per TTL window, at most once a minute.
+        let interval = (ttl / 4).clamp(Duration::from_secs(1), Duration::from_secs(60));
+        cache.start_ttl_janitor(interval)
+    });
+    let handle = serve(
+        Arc::clone(&cache),
+        clock,
+        ServerConfig {
+            addr: args.addr.clone(),
+            max_connections: args.max_conns,
+            allow_shutdown_command: args.allow_shutdown,
+            ..Default::default()
+        },
+    )?;
+    Ok(ServeSession {
+        handle,
+        cache,
+        _janitor: janitor,
     })
 }
 
@@ -287,6 +361,43 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         assert!(inspect(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_session_round_trips_over_tcp_and_survives_restart() {
+        use std::io::{Read, Write};
+
+        let dir = std::env::temp_dir().join(format!("edgecache-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = ServeArgs {
+            dir: dir.clone(),
+            addr: "127.0.0.1:0".to_string(),
+            ..Default::default()
+        };
+        let set_get = |addr: std::net::SocketAddr, op: &[u8], want: &str| {
+            let mut c = std::net::TcpStream::connect(addr).unwrap();
+            c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            c.write_all(op).unwrap();
+            let mut buf = [0u8; 256];
+            let n = c.read(&mut buf).unwrap();
+            let got = String::from_utf8_lossy(&buf[..n]).to_string();
+            assert!(got.starts_with(want), "want {want:?}, got {got:?}");
+        };
+
+        let session = start_serve(&args).unwrap();
+        let addr = session.handle.local_addr();
+        set_get(addr, b"set k 0 0 5\r\nhello\r\n", "STORED");
+        set_get(addr, b"get k\r\n", "VALUE k 0 5\r\nhello\r\nEND");
+        drop(session);
+
+        // The directory persists; a second session recovers it and serves
+        // from the same store (the key table is per-session, so the page
+        // bytes are there even though the key must be re-set).
+        let session = start_serve(&args).unwrap();
+        assert!(session.cache.stats().pages > 0, "recovery found pages");
+        set_get(session.handle.local_addr(), b"version\r\n", "VERSION");
+        drop(session);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -6,66 +6,54 @@
 //! edgecache-cli top     <dir> [-n <count>]
 //! edgecache-cli purge   <dir> [--file <hex-file-id>]
 //! edgecache-cli trace   <dump.json>
+//! edgecache-cli serve   <dir> [--addr <host:port>] [--capacity <size>]
+//!                       [--mem <size>] [--quota <scope>=<size>]...
+//!                       [--max-conns <n>] [--ttl <secs>] [--allow-shutdown]
 //! ```
+//!
+//! Argument parsing is strict (see `args`): any unrecognized argument is a
+//! hard error with exit code 2, for every subcommand.
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
+use edgecache_cli::{parse_cli, CliCommand, USAGE};
 use edgecache_common::ByteSize;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  edgecache-cli inspect <dir>\n  edgecache-cli verify <dir> [--repair]\n  \
-         edgecache-cli top <dir> [-n <count>]\n  edgecache-cli purge <dir> [--file <hex-id>]\n  \
-         edgecache-cli trace <dump.json>"
-    );
-    ExitCode::from(2)
-}
-
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (Some(cmd), Some(dir)) = (args.first(), args.get(1)) else {
-        return usage();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_cli(&argv) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
     };
-    let dir = PathBuf::from(dir);
-    let rest = &args[2..];
 
-    let result = match cmd.as_str() {
-        "inspect" => edgecache_cli::inspect(&dir).map(|r| println!("{r}")),
-        "verify" => {
-            let repair = rest.iter().any(|a| a == "--repair");
-            edgecache_cli::verify(&dir, repair).map(|r| {
+    let result = match cmd {
+        CliCommand::Inspect { dir } => edgecache_cli::inspect(&dir).map(|r| println!("{r}")),
+        CliCommand::Verify { dir, repair } => edgecache_cli::verify(&dir, repair).map(|r| {
+            println!(
+                "checked {} pages, {} corrupt{}",
+                r.checked,
+                r.corrupt,
+                if r.repaired { " (deleted)" } else { "" }
+            );
+            if r.corrupt > 0 && !r.repaired {
+                println!("re-run with --repair to delete corrupt pages");
+            }
+        }),
+        CliCommand::Top { dir, n } => edgecache_cli::top(&dir, n).map(|entries| {
+            println!("{:<18} {:>8} {:>12}", "file id", "pages", "bytes");
+            for (file, pages, bytes) in entries {
                 println!(
-                    "checked {} pages, {} corrupt{}",
-                    r.checked,
-                    r.corrupt,
-                    if r.repaired { " (deleted)" } else { "" }
+                    "{:<18} {:>8} {:>12}",
+                    file.as_hex(),
+                    pages,
+                    ByteSize::new(bytes).to_string()
                 );
-                if r.corrupt > 0 && !r.repaired {
-                    println!("re-run with --repair to delete corrupt pages");
-                }
-            })
-        }
-        "top" => {
-            let n = rest
-                .iter()
-                .position(|a| a == "-n")
-                .and_then(|i| rest.get(i + 1))
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(10);
-            edgecache_cli::top(&dir, n).map(|entries| {
-                println!("{:<18} {:>8} {:>12}", "file id", "pages", "bytes");
-                for (file, pages, bytes) in entries {
-                    println!(
-                        "{:<18} {:>8} {:>12}",
-                        file.as_hex(),
-                        pages,
-                        ByteSize::new(bytes).to_string()
-                    );
-                }
-            })
-        }
-        "trace" => edgecache_cli::trace_summary(&dir).map(|stages| {
+            }
+        }),
+        CliCommand::Trace { path } => edgecache_cli::trace_summary(&path).map(|stages| {
             let us = |d: std::time::Duration| d.as_micros();
             println!(
                 "{:<18} {:>7} {:>12} {:>9} {:>9} {:>9} {:>9}",
@@ -84,21 +72,16 @@ fn main() -> ExitCode {
                 );
             }
         }),
-        "purge" => {
-            // Purge deletes data: refuse stray arguments rather than silently
-            // ignoring them and wiping the whole directory when the caller
-            // meant `--file <hex-id>`.
-            let file = match rest {
-                [] => None,
-                [flag, hex] if flag == "--file" => Some(hex.as_str()),
-                _ => {
-                    eprintln!("error: unrecognized purge arguments {rest:?}");
-                    return usage();
-                }
-            };
-            edgecache_cli::purge(&dir, file).map(|n| println!("removed {n} pages"))
+        CliCommand::Purge { dir, file } => {
+            edgecache_cli::purge(&dir, file.as_deref()).map(|n| println!("removed {n} pages"))
         }
-        _ => return usage(),
+        CliCommand::Serve(args) => edgecache_cli::start_serve(&args).map(|session| {
+            // The bound address on stdout is the contract scripts rely on
+            // (with --addr host:0 the port is ephemeral).
+            println!("listening on {}", session.handle.local_addr());
+            session.handle.wait();
+            eprintln!("shutdown requested, draining");
+        }),
     };
 
     match result {

@@ -2308,22 +2308,27 @@ impl CacheManager {
     /// stops when the returned handle is dropped. No-op thread if no TTL is
     /// configured.
     pub fn start_ttl_janitor(self: &Arc<Self>, interval: Duration) -> TtlJanitor {
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let cache = Arc::clone(self);
-        let stop_flag = Arc::clone(&stop);
+        let signal = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("edgecache-ttl-janitor".into())
             .spawn(move || {
-                // Relaxed: the flag is a pure shutdown signal — no data is
-                // published through it, and the loop re-reads it every
-                // interval, so the janitor exits at most one sleep after the
-                // store regardless of ordering.
-                while !stop_flag.load(Ordering::Relaxed) {
-                    std::thread::sleep(interval);
-                    if stop_flag.load(Ordering::Relaxed) {
+                let (flag, wake) = &*signal;
+                let mut stopped = flag.lock();
+                while !*stopped {
+                    // A timed condvar wait instead of a plain sleep: drop
+                    // can interrupt it immediately, so the janitor thread is
+                    // always joinable without waiting out an interval.
+                    if !wake.wait_for(&mut stopped, interval).timed_out() {
+                        continue; // Woken: re-check the flag.
+                    }
+                    if *stopped {
                         break;
                     }
+                    drop(stopped);
                     cache.evict_expired();
+                    stopped = flag.lock();
                 }
             })
             .expect("spawn ttl janitor");
@@ -2359,21 +2364,25 @@ fn finish_eviction_span(span: Option<Span>, evicted: u64, quota_rounds: u64) {
     }
 }
 
-/// Handle for the TTL background job; dropping it stops the thread.
+/// Handle for the TTL background job; dropping it stops **and joins** the
+/// thread. Joining (rather than detaching) matters to embedders that start
+/// and stop caches repeatedly in one process — a network server restarting
+/// its `CacheManager`, a test loop — where every detached janitor would be
+/// a leaked thread still holding an `Arc<CacheManager>`.
 pub struct TtlJanitor {
-    stop: Arc<std::sync::atomic::AtomicBool>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Drop for TtlJanitor {
     fn drop(&mut self) {
-        // Relaxed pairs with the janitor's Relaxed polls: shutdown needs no
-        // happens-before edge, only eventual visibility of the flag.
-        self.stop.store(true, Ordering::Relaxed);
+        let (flag, wake) = &*self.stop;
+        *flag.lock() = true;
+        wake.notify_all();
         if let Some(t) = self.thread.take() {
-            // The janitor may be mid-sleep; detach rather than block the
-            // caller for up to one interval.
-            drop(t);
+            // The janitor wakes immediately off the condvar (it is never in
+            // a plain sleep), so the join is prompt even mid-interval.
+            let _ = t.join();
         }
     }
 }
@@ -2381,8 +2390,10 @@ impl Drop for TtlJanitor {
 /// A tiny I/O pool that runs closures with a deadline, implementing the §8
 /// read-hang fallback without blocking request threads indefinitely.
 struct IoPool {
-    sender: Sender<Box<dyn FnOnce() + Send>>,
-    _workers: Vec<std::thread::JoinHandle<()>>,
+    /// `Some` for the pool's whole life; taken (closing the channel) by
+    /// `Drop` so the workers' `recv` loops end and the joins below return.
+    sender: Option<Sender<Box<dyn FnOnce() + Send>>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl IoPool {
@@ -2402,9 +2413,13 @@ impl IoPool {
             })
             .collect();
         Self {
-            sender,
-            _workers: workers,
+            sender: Some(sender),
+            workers,
         }
+    }
+
+    fn sender(&self) -> &Sender<Box<dyn FnOnce() + Send>> {
+        self.sender.as_ref().expect("io pool alive")
     }
 
     /// Runs a batch of borrowed jobs on the pool and blocks until every one
@@ -2430,7 +2445,7 @@ impl IoPool {
                     drop(payload);
                 }
             });
-            if let Err(SendError(job)) = self.sender.send(wrapped) {
+            if let Err(SendError(job)) = self.sender().send(wrapped) {
                 // Pool shut down: run the job inline.
                 job();
             }
@@ -2451,7 +2466,7 @@ impl IoPool {
         f: impl FnOnce() -> Result<T> + Send + 'static,
     ) -> Result<T> {
         let (tx, rx) = bounded(1);
-        self.sender
+        self.sender()
             .send(Box::new(move || {
                 let _ = tx.send(f());
             }))
@@ -2465,6 +2480,21 @@ impl IoPool {
             Err(RecvTimeoutError::Disconnected) => {
                 Err(Error::Other("io worker dropped result".into()))
             }
+        }
+    }
+}
+
+impl Drop for IoPool {
+    fn drop(&mut self) {
+        // Close the channel so every worker's `recv` loop ends, then join.
+        // Detaching here would leak `io_threads + max_concurrent_fetches`
+        // threads per dropped `CacheManager` — fatal for embedders that
+        // restart caches in-process (the network server's start/stop path).
+        // In-flight jobs run to completion before their worker exits, so a
+        // drop during I/O waits for that I/O rather than abandoning it.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }

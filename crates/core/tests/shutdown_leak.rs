@@ -1,0 +1,86 @@
+//! Regression test: dropping a `CacheManager` (and its TTL janitor) must
+//! leave no background threads behind.
+//!
+//! The network server wraps a `CacheManager` and may be started and stopped
+//! many times in one process (tests, config reloads, embedders). The fetch
+//! pool, the read-timeout I/O pool, and the TTL janitor each own OS
+//! threads; if any of them is detached instead of joined, every start/stop
+//! cycle leaks threads until the process hits a limit. Counting
+//! `/proc/self/task` entries across a start/stop loop pins the fix.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use edgecache_common::ByteSize;
+use edgecache_core::config::CacheConfig;
+use edgecache_core::manager::{CacheManager, RemoteSource, SourceFile};
+use edgecache_pagestore::{CacheScope, MemoryPageStore};
+
+struct ZeroRemote;
+
+impl RemoteSource for ZeroRemote {
+    fn read(
+        &self,
+        _path: &str,
+        _offset: u64,
+        len: u64,
+    ) -> edgecache_common::error::Result<bytes::Bytes> {
+        Ok(bytes::Bytes::from(vec![0u8; len as usize]))
+    }
+}
+
+/// Live OS threads of this process (Linux). `None` where /proc is absent —
+/// the test then only exercises the drop paths without the count assertion.
+fn thread_count() -> Option<usize> {
+    Some(std::fs::read_dir("/proc/self/task").ok()?.count())
+}
+
+fn build_cache() -> Arc<CacheManager> {
+    Arc::new(
+        CacheManager::builder(
+            CacheConfig::default()
+                .with_page_size(ByteSize::new(1024))
+                .with_ttl(Duration::from_secs(3600))
+                // Both pools on: the fetch pool (max_concurrent_fetches > 1)
+                // and the read-timeout I/O pool.
+                .with_max_concurrent_fetches(4)
+                .with_read_timeout(Duration::from_secs(5)),
+        )
+        .with_store(Arc::new(MemoryPageStore::new()), 1 << 20)
+        .build()
+        .expect("build cache"),
+    )
+}
+
+#[test]
+fn repeated_start_stop_leaks_no_threads() {
+    // Warm-up cycle: lets the runtime allocate whatever one-time threads it
+    // wants before the baseline is taken.
+    {
+        let cache = build_cache();
+        let janitor = cache.start_ttl_janitor(Duration::from_secs(3600));
+        let file = SourceFile::new("/warm", 1, 4096, CacheScope::Global);
+        cache.read(&file, 0, 4096, &ZeroRemote).expect("read");
+        drop(janitor);
+    }
+
+    let baseline = thread_count();
+    for round in 0..16 {
+        let cache = build_cache();
+        // A janitor with an hour-long interval: the join in Drop must not
+        // wait out the interval (the condvar wakes it immediately).
+        let janitor = cache.start_ttl_janitor(Duration::from_secs(3600));
+        // Touch the read path so the fetch pool actually spins up work.
+        let file = SourceFile::new(format!("/f{round}"), 1, 8192, CacheScope::Global);
+        cache.read(&file, 0, 8192, &ZeroRemote).expect("read");
+        drop(janitor);
+        drop(cache);
+        if let (Some(base), Some(now)) = (baseline, thread_count()) {
+            assert!(
+                now <= base,
+                "round {round}: {now} threads alive, baseline {base} — \
+                 a pool or janitor thread was detached instead of joined"
+            );
+        }
+    }
+}

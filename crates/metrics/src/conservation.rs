@@ -155,6 +155,46 @@ impl ConservationLaw {
     }
 }
 
+/// The conservation laws of the network front-end's request accounting
+/// (`server.*` counters), checkable over any quiesced window of a
+/// server's life (requests still in flight haven't been answered yet):
+///
+/// * every request is answered exactly once — by a response on the wire or
+///   a `noreply` acknowledgement, never both, never neither;
+/// * every key in a multi-key `get` is classified as a hit or a miss;
+/// * parse rejections are themselves requests (a malformed line still gets
+///   its error reply counted);
+/// * a connection closes at most once per accept.
+pub fn server_laws() -> Vec<ConservationLaw> {
+    vec![
+        ConservationLaw::equal(
+            "every request is answered exactly once",
+            &["server.requests"],
+            &["server.responses", "server.noreply_acks"],
+        ),
+        ConservationLaw::equal(
+            "every get key is a hit or a miss",
+            &["server.get_keys"],
+            &["server.get_hits", "server.get_misses"],
+        ),
+        ConservationLaw::at_most(
+            "parse errors are answered requests",
+            &["server.parse_errors"],
+            &["server.requests"],
+        ),
+        ConservationLaw::at_most(
+            "connections close at most once",
+            &["server.conns_closed"],
+            &["server.conns_accepted"],
+        ),
+        ConservationLaw::at_most(
+            "sets and deletes are requests",
+            &["server.sets", "server.deletes"],
+            &["server.requests"],
+        ),
+    ]
+}
+
 /// Checks every law against the diff; `Err` lists each violated law with
 /// both sides' values.
 pub fn assert_conserved(diff: &SnapshotDiff, laws: &[ConservationLaw]) -> Result<(), String> {

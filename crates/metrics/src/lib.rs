@@ -31,7 +31,7 @@ pub mod scalar;
 pub mod trace;
 
 pub use aggregate::ClusterAggregator;
-pub use conservation::{assert_conserved, ConservationLaw, Relation, SnapshotDiff};
+pub use conservation::{assert_conserved, server_laws, ConservationLaw, Relation, SnapshotDiff};
 pub use histogram::{Histogram, HistogramSnapshot, Percentiles};
 pub use registry::{MetricRegistry, RegistrySnapshot};
 pub use scalar::{Counter, Gauge};

@@ -1,0 +1,174 @@
+//! `loadgen` — closed-loop memcached load driver for the edgecache server.
+//!
+//! ```text
+//! loadgen [--addr <host:port>] [--spawn] [--conns N] [--pipeline N]
+//!         [--requests N] [--value-bytes N] [--keys N] [--zipf S]
+//!         [--set-ratio F] [--seed N] [--shutdown]
+//! ```
+//!
+//! `--spawn` starts an in-process server over an in-memory cache and
+//! drives that (self-contained smoke runs); otherwise the target at
+//! `--addr` is driven. `--shutdown` sends the `shutdown` protocol command
+//! after the run (the target must allow it). Exits nonzero if the run
+//! violates the protocol contract: a request without a response, a
+//! connection reset, or a corrupted value.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use edgecache_common::clock::system_clock;
+use edgecache_common::ByteSize;
+use edgecache_core::config::CacheConfig;
+use edgecache_core::manager::CacheManager;
+use edgecache_pagestore::MemoryPageStore;
+use edgecache_server::loadgen::{run, LoadgenOptions};
+use edgecache_server::server::{serve, ServerConfig, ServerHandle};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: loadgen [--addr <host:port>] [--spawn] [--conns N] [--pipeline N]\n  \
+         [--requests N] [--value-bytes N] [--keys N] [--zipf S] [--set-ratio F]\n  \
+         [--seed N] [--shutdown]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    opts: LoadgenOptions,
+    spawn: bool,
+    shutdown: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut opts = LoadgenOptions::default();
+    let mut spawn = false;
+    let mut shutdown = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--spawn" => spawn = true,
+            "--shutdown" => shutdown = true,
+            "--no-verify" => opts.verify_values = false,
+            "--conns" => opts.conns = parse(value("--conns")?)?,
+            "--pipeline" => opts.pipeline_depth = parse(value("--pipeline")?)?,
+            "--requests" => opts.requests_per_conn = parse(value("--requests")?)?,
+            "--value-bytes" => opts.mix.value_len = parse(value("--value-bytes")?)?,
+            "--keys" => opts.mix.keys = parse(value("--keys")?)?,
+            "--zipf" => opts.mix.zipf_s = parse(value("--zipf")?)?,
+            "--set-ratio" => opts.mix.set_ratio = parse(value("--set-ratio")?)?,
+            "--seed" => opts.mix.seed = parse(value("--seed")?)?,
+            // Same bug class the CLI audit fixed: an unrecognized flag must
+            // fail the run, not silently drive the wrong load.
+            other => return Err(format!("unrecognized argument {other:?}")),
+        }
+    }
+    if opts.conns == 0 || opts.requests_per_conn == 0 {
+        return Err("--conns and --requests must be positive".into());
+    }
+    Ok(Args {
+        opts,
+        spawn,
+        shutdown,
+    })
+}
+
+fn parse<T: std::str::FromStr>(s: String) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value {s:?}"))
+}
+
+fn spawn_server() -> ServerHandle {
+    let clock = system_clock();
+    let cache = Arc::new(
+        CacheManager::builder(CacheConfig::default().with_page_size(ByteSize::kib(64)))
+            .with_store(
+                Arc::new(MemoryPageStore::new()),
+                ByteSize::mib(256).as_u64(),
+            )
+            .with_clock(clock.clone())
+            .build()
+            .expect("build cache"),
+    );
+    serve(
+        cache,
+        clock,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            allow_shutdown_command: true,
+            ..Default::default()
+        },
+    )
+    .expect("start server")
+}
+
+fn send_shutdown(addr: &str) -> std::io::Result<()> {
+    let mut s = TcpStream::connect(addr)?;
+    s.set_write_timeout(Some(Duration::from_secs(5)))?;
+    s.write_all(b"shutdown\r\n")
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let spawned = args.spawn.then(spawn_server);
+    if let Some(handle) = &spawned {
+        args.opts.addr = handle.local_addr().to_string();
+        eprintln!("spawned in-process server on {}", args.opts.addr);
+    }
+
+    let report = run(&args.opts);
+    println!(
+        "requests={} responses={} hits={} misses={} stored={} not_stored={} deleted={} \
+         errors={} resets={} mismatches={}",
+        report.requests,
+        report.responses,
+        report.hits,
+        report.misses,
+        report.stored,
+        report.not_stored,
+        report.deleted,
+        report.errors,
+        report.resets,
+        report.value_mismatches,
+    );
+    println!(
+        "elapsed={:.3}s throughput={:.0} req/s p50={}us p99={}us bytes_in={} bytes_out={}",
+        report.elapsed.as_secs_f64(),
+        report.req_per_sec(),
+        report.p50_us,
+        report.p99_us,
+        report.bytes_received,
+        report.bytes_sent,
+    );
+
+    let mut code = ExitCode::SUCCESS;
+    if let Err(e) = report.conserved() {
+        eprintln!("FAIL: {e}");
+        code = ExitCode::FAILURE;
+    }
+
+    if args.shutdown {
+        if let Err(e) = send_shutdown(&args.opts.addr) {
+            eprintln!("FAIL: shutdown command: {e}");
+            code = ExitCode::FAILURE;
+        }
+    }
+    if let Some(handle) = spawned {
+        handle.shutdown();
+    }
+    code
+}

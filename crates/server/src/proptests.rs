@@ -1,0 +1,190 @@
+//! Framing property tests: the protocol layer must be exact under every
+//! adversarial transport behaviour TCP permits.
+//!
+//! * **Round-trip**: any sequence of valid commands, encoded to wire bytes
+//!   and fed to the parser split at arbitrary byte boundaries, parses back
+//!   to the identical command sequence — and re-encodes to the identical
+//!   bytes. One byte at a time, one segment, or random fragments: same
+//!   result.
+//! * **Malformed input**: arbitrary garbage never panics the parser, never
+//!   yields a command that violates the configured limits, and every
+//!   rejection carries a protocol-legal error line.
+
+#![cfg(test)]
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use crate::protocol::{Command, Parsed, ParserLimits, RequestParser};
+
+fn cases() -> u32 {
+    std::env::var("EDGECACHE_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Keys the protocol accepts: printable, no spaces, bounded. The class
+/// includes `:` and `.` so namespaced tenant keys are exercised.
+fn key_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.:-]{1,32}"
+}
+
+fn command_strategy() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        4 => (
+            proptest::collection::vec(key_strategy(), 1..4),
+            any::<bool>(),
+        )
+            .prop_map(|(keys, with_cas)| Command::Get { keys, with_cas }),
+        4 => (
+            key_strategy(),
+            any::<u32>(),
+            (0i64..100_000),
+            any::<bool>(),
+            proptest::collection::vec(any::<u8>(), 0..300),
+        )
+            .prop_map(|(key, flags, exptime, noreply, data)| Command::Set {
+                key,
+                flags,
+                exptime,
+                noreply,
+                data: Bytes::from(data),
+            }),
+        2 => (key_strategy(), any::<bool>())
+            .prop_map(|(key, noreply)| Command::Delete { key, noreply }),
+        1 => Just(Command::Stats),
+        1 => Just(Command::Version),
+        1 => Just(Command::Quit),
+    ]
+}
+
+/// Feeds `wire` to a fresh parser in fragments chosen by `cuts` (positions
+/// mod the buffer length), draining after every fragment — exactly how a
+/// connection loop consumes a socket.
+fn parse_fragmented(wire: &[u8], cuts: &[u16]) -> Vec<Parsed> {
+    let mut positions: Vec<usize> = cuts
+        .iter()
+        .map(|&c| c as usize % (wire.len() + 1))
+        .collect();
+    positions.push(0);
+    positions.push(wire.len());
+    positions.sort_unstable();
+    let mut parser = RequestParser::new(ParserLimits::default());
+    let mut out = Vec::new();
+    for pair in positions.windows(2) {
+        parser.feed(&wire[pair[0]..pair[1]]);
+        while let Some(p) = parser.next() {
+            out.push(p);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// encode → fragment → parse → re-encode is the identity, for any
+    /// command sequence and any fragmentation of the byte stream.
+    #[test]
+    fn fragmented_roundtrip_is_byte_identical(
+        cmds in proptest::collection::vec(command_strategy(), 1..10),
+        cuts in proptest::collection::vec(any::<u16>(), 0..12),
+    ) {
+        let mut wire = Vec::new();
+        for c in &cmds {
+            c.encode(&mut wire);
+        }
+        let parsed = parse_fragmented(&wire, &cuts);
+        prop_assert_eq!(parsed.len(), cmds.len(), "command count");
+        let mut rewire = Vec::new();
+        for (got, want) in parsed.iter().zip(&cmds) {
+            match got {
+                Parsed::Cmd(c) => {
+                    prop_assert_eq!(c, want);
+                    c.encode(&mut rewire);
+                }
+                Parsed::Bad(b) => prop_assert!(false, "valid command rejected: {:?}", b),
+            }
+        }
+        prop_assert_eq!(rewire, wire, "re-encoding diverged");
+    }
+
+    /// Byte-at-a-time delivery equals whole-buffer delivery.
+    #[test]
+    fn drip_feed_equals_bulk_feed(
+        cmds in proptest::collection::vec(command_strategy(), 1..6),
+    ) {
+        let mut wire = Vec::new();
+        for c in &cmds {
+            c.encode(&mut wire);
+        }
+        let mut bulk = RequestParser::new(ParserLimits::default());
+        bulk.feed(&wire);
+        let mut bulk_out = Vec::new();
+        while let Some(p) = bulk.next() {
+            bulk_out.push(p);
+        }
+        let mut drip = RequestParser::new(ParserLimits::default());
+        let mut drip_out = Vec::new();
+        for &b in &wire {
+            drip.feed(&[b]);
+            while let Some(p) = drip.next() {
+                drip_out.push(p);
+            }
+        }
+        prop_assert_eq!(&bulk_out, &drip_out);
+        prop_assert_eq!(bulk_out.len(), cmds.len());
+    }
+
+    /// Arbitrary garbage: no panic, no over-limit value smuggled through,
+    /// every reply line is protocol-legal, and the parser keeps making
+    /// progress (drains to quiescence on every feed).
+    #[test]
+    fn garbage_never_panics_or_exceeds_limits(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 1..8),
+    ) {
+        let limits = ParserLimits {
+            max_key_len: 16,
+            max_value_len: 64,
+            max_line_len: 128,
+        };
+        let mut parser = RequestParser::new(limits.clone());
+        for chunk in &chunks {
+            parser.feed(chunk);
+            while let Some(p) = parser.next() {
+                match p {
+                    Parsed::Cmd(Command::Set { key, data, .. }) => {
+                        prop_assert!(key.len() <= limits.max_key_len);
+                        prop_assert!(data.len() <= limits.max_value_len);
+                    }
+                    Parsed::Cmd(Command::Get { keys, .. }) => {
+                        for k in keys {
+                            prop_assert!(k.len() <= limits.max_key_len);
+                        }
+                    }
+                    Parsed::Cmd(_) => {}
+                    Parsed::Bad(bad) => {
+                        prop_assert!(
+                            bad.reply.starts_with("ERROR")
+                                || bad.reply.starts_with("CLIENT_ERROR")
+                                || bad.reply.starts_with("SERVER_ERROR"),
+                            "illegal error line {:?}",
+                            bad.reply
+                        );
+                        prop_assert!(bad.reply.ends_with("\r\n"));
+                    }
+                }
+            }
+        }
+        // Whatever is left buffered is bounded: one partial frame, not the
+        // whole garbage history.
+        prop_assert!(
+            parser.pending_bytes()
+                <= limits.max_line_len + limits.max_value_len + 2 + 64,
+            "parser ballooned: {} bytes pending",
+            parser.pending_bytes()
+        );
+    }
+}

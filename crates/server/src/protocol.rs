@@ -1,0 +1,658 @@
+//! Incremental memcached text-protocol framing.
+//!
+//! The parser is the part of a network cache that real traffic breaks: TCP
+//! delivers bytes, not lines, so a command may arrive split at *any* byte
+//! boundary — including inside the `\r\n` terminator or in the middle of a
+//! `set` data block — and a pipelining client packs many commands into one
+//! segment. [`RequestParser`] therefore consumes arbitrary byte chunks via
+//! [`RequestParser::feed`] and yields complete [`Command`]s via
+//! [`RequestParser::next`], carrying its state across reads.
+//!
+//! Hardening at this layer (the edge the server exposes to untrusted
+//! clients) follows the memcached protocol spec:
+//!
+//! * keys are limited to [`ParserLimits::max_key_len`] bytes (250 in the
+//!   spec) and must be printable ASCII with no whitespace or control
+//!   characters;
+//! * `set` data blocks are bounded by [`ParserLimits::max_value_len`]; the
+//!   declared byte count is validated *before* any buffering is committed,
+//!   so a hostile `set k 0 0 99999999999` cannot balloon memory;
+//! * command lines are bounded by [`ParserLimits::max_line_len`]; a longer
+//!   line without a terminator is a fatal framing error (the connection
+//!   must close, since resynchronization is impossible);
+//! * a data block whose trailing `\r\n` is missing consumes exactly the
+//!   declared bytes and reports `CLIENT_ERROR bad data chunk`, exactly as
+//!   memcached does, keeping the stream synchronized.
+//!
+//! Responses are encoded by the free functions at the bottom; commands are
+//! re-encodable via [`Command::encode`], which the framing proptest uses to
+//! round-trip random pipelined buffers byte-identically.
+
+use bytes::Bytes;
+
+/// The spec's key-length limit.
+pub const SPEC_MAX_KEY_LEN: usize = 250;
+
+/// Size limits the parser enforces at the frame boundary.
+#[derive(Debug, Clone)]
+pub struct ParserLimits {
+    /// Longest accepted key, in bytes (≤ 250 per the memcached spec).
+    pub max_key_len: usize,
+    /// Largest accepted `set` data block, in bytes.
+    pub max_value_len: usize,
+    /// Longest accepted command line (everything up to `\r\n`).
+    pub max_line_len: usize,
+}
+
+impl Default for ParserLimits {
+    fn default() -> Self {
+        Self {
+            max_key_len: SPEC_MAX_KEY_LEN,
+            max_value_len: 8 << 20,
+            max_line_len: 8192,
+        }
+    }
+}
+
+/// One complete client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `get`/`gets` with one or more keys. `with_cas` selects the `gets`
+    /// response shape (VALUE lines carry the cas unique).
+    Get { keys: Vec<String>, with_cas: bool },
+    /// `set <key> <flags> <exptime> <bytes> [noreply]` plus its data block.
+    Set {
+        key: String,
+        flags: u32,
+        exptime: i64,
+        noreply: bool,
+        data: Bytes,
+    },
+    /// `delete <key> [noreply]`.
+    Delete { key: String, noreply: bool },
+    /// `stats`.
+    Stats,
+    /// `version`.
+    Version,
+    /// `quit` — close the connection.
+    Quit,
+    /// `shutdown` — ask the server to stop (accepted only when the server
+    /// is configured to allow it).
+    Shutdown,
+}
+
+impl Command {
+    /// Whether the client asked for the reply to be suppressed.
+    pub fn noreply(&self) -> bool {
+        match self {
+            Command::Set { noreply, .. } | Command::Delete { noreply, .. } => *noreply,
+            _ => false,
+        }
+    }
+
+    /// Encodes the command exactly as a client would send it (the inverse
+    /// of parsing; the framing proptest round-trips through this).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Command::Get { keys, with_cas } => {
+                out.extend_from_slice(if *with_cas { b"gets" } else { b"get" });
+                for k in keys {
+                    out.push(b' ');
+                    out.extend_from_slice(k.as_bytes());
+                }
+                out.extend_from_slice(b"\r\n");
+            }
+            Command::Set {
+                key,
+                flags,
+                exptime,
+                noreply,
+                data,
+            } => {
+                out.extend_from_slice(
+                    format!("set {key} {flags} {exptime} {}", data.len()).as_bytes(),
+                );
+                if *noreply {
+                    out.extend_from_slice(b" noreply");
+                }
+                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(data);
+                out.extend_from_slice(b"\r\n");
+            }
+            Command::Delete { key, noreply } => {
+                out.extend_from_slice(format!("delete {key}").as_bytes());
+                if *noreply {
+                    out.extend_from_slice(b" noreply");
+                }
+                out.extend_from_slice(b"\r\n");
+            }
+            Command::Stats => out.extend_from_slice(b"stats\r\n"),
+            Command::Version => out.extend_from_slice(b"version\r\n"),
+            Command::Quit => out.extend_from_slice(b"quit\r\n"),
+            Command::Shutdown => out.extend_from_slice(b"shutdown\r\n"),
+        }
+    }
+}
+
+/// A request the parser rejected. `reply` is the full protocol error line;
+/// `fatal` means framing synchronization is lost and the connection must
+/// close after the reply is sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest {
+    pub reply: String,
+    pub fatal: bool,
+}
+
+impl BadRequest {
+    fn client(msg: &str) -> Self {
+        Self {
+            reply: format!("CLIENT_ERROR {msg}\r\n"),
+            fatal: false,
+        }
+    }
+
+    fn fatal(msg: &str) -> Self {
+        Self {
+            reply: format!("CLIENT_ERROR {msg}\r\n"),
+            fatal: true,
+        }
+    }
+
+    fn unknown() -> Self {
+        Self {
+            reply: "ERROR\r\n".to_string(),
+            fatal: false,
+        }
+    }
+}
+
+/// One parsing outcome: a command, or a rejection to report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    Cmd(Command),
+    Bad(BadRequest),
+}
+
+/// A `set` whose command line has been accepted and whose data block is
+/// still streaming in.
+#[derive(Debug)]
+struct PendingSet {
+    key: String,
+    flags: u32,
+    exptime: i64,
+    noreply: bool,
+    bytes: usize,
+}
+
+#[derive(Debug)]
+enum State {
+    /// Waiting for a complete `\r\n`-terminated command line.
+    Line,
+    /// Waiting for `pending.bytes + 2` bytes of data block (value + CRLF).
+    Data(PendingSet),
+}
+
+/// Incremental parser: feed bytes, drain commands. Carries partial lines
+/// and partial data blocks across feeds, so it is correct for any split of
+/// the input stream — the framing proptest feeds every byte one at a time.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed (compacted lazily to amortize).
+    consumed: usize,
+    state: State,
+    limits: ParserLimits,
+}
+
+impl RequestParser {
+    /// Creates a parser with the given limits.
+    pub fn new(limits: ParserLimits) -> Self {
+        Self {
+            buf: Vec::with_capacity(4096),
+            consumed: 0,
+            state: State::Line,
+            limits,
+        }
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by one in-flight
+        // frame plus one read, not the whole connection history.
+        if self.consumed > 0 && (self.consumed >= 4096 || self.consumed == self.buf.len()) {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame. Non-zero
+    /// after draining means a partial command is in flight.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Returns the next complete command (or rejection), or `None` if more
+    /// bytes are needed. Call in a loop to drain pipelined input.
+    #[allow(clippy::should_implement_trait)] // iterator-style by design
+    pub fn next(&mut self) -> Option<Parsed> {
+        match &self.state {
+            State::Line => self.next_line(),
+            State::Data(_) => self.next_data(),
+        }
+    }
+
+    fn next_line(&mut self) -> Option<Parsed> {
+        let start = self.consumed;
+        let rel = self.buf[start..].iter().position(|&b| b == b'\n');
+        let Some(rel) = rel else {
+            // No terminator yet: an over-long line can never become valid,
+            // and waiting for its end would buffer attacker-controlled
+            // bytes without bound.
+            if self.buf.len() - start > self.limits.max_line_len {
+                self.consumed = self.buf.len();
+                return Some(Parsed::Bad(BadRequest::fatal("command line too long")));
+            }
+            return None;
+        };
+        let end = start + rel; // index of b'\n'
+        self.consumed = end + 1;
+        if end - start > self.limits.max_line_len {
+            return Some(Parsed::Bad(BadRequest::fatal("command line too long")));
+        }
+        // The spec terminates lines with \r\n; a bare \n is a framing error
+        // (but a recoverable one — the stream is still line-synchronized).
+        if end == start || self.buf[end - 1] != b'\r' {
+            return Some(Parsed::Bad(BadRequest::client(
+                "line not \\r\\n terminated",
+            )));
+        }
+        let line = &self.buf[start..end - 1];
+        // Split on single spaces; empty tokens (doubled/leading/trailing
+        // spaces) are malformed.
+        let mut tokens = Vec::new();
+        for tok in line.split(|&b| b == b' ') {
+            if tok.is_empty() {
+                return Some(Parsed::Bad(BadRequest::client("malformed spacing")));
+            }
+            tokens.push(tok);
+        }
+        if tokens.is_empty() {
+            return Some(Parsed::Bad(BadRequest::unknown()));
+        }
+        match parse_line(&tokens, &self.limits) {
+            Ok(Line::Cmd(cmd)) => Some(Parsed::Cmd(cmd)),
+            Ok(Line::SetHeader(pending)) => {
+                self.state = State::Data(pending);
+                self.next_data()
+            }
+            Err(bad) => Some(Parsed::Bad(bad)),
+        }
+    }
+
+    fn next_data(&mut self) -> Option<Parsed> {
+        let State::Data(pending) = &self.state else {
+            unreachable!("next_data called outside Data state");
+        };
+        let need = pending.bytes + 2; // value + \r\n
+        if self.buf.len() - self.consumed < need {
+            return None;
+        }
+        let start = self.consumed;
+        let data_end = start + pending.bytes;
+        self.consumed = start + need;
+        let terminated = &self.buf[data_end..data_end + 2] == b"\r\n";
+        let State::Data(pending) = std::mem::replace(&mut self.state, State::Line) else {
+            unreachable!();
+        };
+        if !terminated {
+            // Consume the declared bytes to stay synchronized, then report —
+            // memcached's "bad data chunk" behaviour. The stream position
+            // after the declared length is unknowable, so this is fatal.
+            return Some(Parsed::Bad(BadRequest::fatal("bad data chunk")));
+        }
+        let data = Bytes::from(self.buf[start..data_end].to_vec());
+        Some(Parsed::Cmd(Command::Set {
+            key: pending.key,
+            flags: pending.flags,
+            exptime: pending.exptime,
+            noreply: pending.noreply,
+            data,
+        }))
+    }
+}
+
+/// Validates a key: bounded length, printable ASCII, no space/control
+/// characters (the spec's definition, and what keeps keys safe to echo
+/// into VALUE lines and stats output).
+fn valid_key(key: &[u8], limits: &ParserLimits) -> Result<(), BadRequest> {
+    if key.is_empty() {
+        return Err(BadRequest::client("empty key"));
+    }
+    if key.len() > limits.max_key_len {
+        return Err(BadRequest::client("key too long"));
+    }
+    if key.iter().any(|&b| !(0x21..=0x7e).contains(&b)) {
+        return Err(BadRequest::client("key contains invalid characters"));
+    }
+    Ok(())
+}
+
+fn parse_u32(tok: &[u8]) -> Option<u32> {
+    std::str::from_utf8(tok).ok()?.parse().ok()
+}
+
+fn parse_i64(tok: &[u8]) -> Option<i64> {
+    std::str::from_utf8(tok).ok()?.parse().ok()
+}
+
+/// A parsed command line: either a complete command, or a `set` header
+/// whose data block is still to come.
+enum Line {
+    Cmd(Command),
+    SetHeader(PendingSet),
+}
+
+/// Parses one command line.
+fn parse_line(tokens: &[&[u8]], limits: &ParserLimits) -> Result<Line, BadRequest> {
+    let cmd = tokens[0];
+    let args = &tokens[1..];
+    match cmd {
+        b"get" | b"gets" => {
+            if args.is_empty() {
+                return Err(BadRequest::unknown());
+            }
+            let mut keys = Vec::with_capacity(args.len());
+            for k in args {
+                valid_key(k, limits)?;
+                keys.push(String::from_utf8(k.to_vec()).expect("validated ASCII"));
+            }
+            Ok(Line::Cmd(Command::Get {
+                keys,
+                with_cas: cmd == b"gets",
+            }))
+        }
+        b"set" => {
+            if args.len() != 4 && args.len() != 5 {
+                return Err(BadRequest::unknown());
+            }
+            valid_key(args[0], limits)?;
+            let key = String::from_utf8(args[0].to_vec()).expect("validated ASCII");
+            let flags = parse_u32(args[1]).ok_or_else(|| BadRequest::client("bad flags value"))?;
+            let exptime =
+                parse_i64(args[2]).ok_or_else(|| BadRequest::client("bad exptime value"))?;
+            let bytes: usize = std::str::from_utf8(args[3])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| BadRequest::client("bad byte count"))?;
+            if bytes > limits.max_value_len {
+                // Reject before buffering: the connection stays synchronized
+                // only if we *don't* enter data state, so this is fatal —
+                // exactly how memcached treats an over-limit object
+                // ("SERVER_ERROR object too large for cache", then close).
+                return Err(BadRequest {
+                    reply: "SERVER_ERROR object too large for cache\r\n".to_string(),
+                    fatal: true,
+                });
+            }
+            let noreply = match args.get(4) {
+                None => false,
+                Some(&b"noreply") => true,
+                Some(_) => return Err(BadRequest::client("expected noreply")),
+            };
+            Ok(Line::SetHeader(PendingSet {
+                key,
+                flags,
+                exptime,
+                noreply,
+                bytes,
+            }))
+        }
+        b"delete" => {
+            if args.is_empty() || args.len() > 2 {
+                return Err(BadRequest::unknown());
+            }
+            valid_key(args[0], limits)?;
+            let key = String::from_utf8(args[0].to_vec()).expect("validated ASCII");
+            let noreply = match args.get(1) {
+                None => false,
+                Some(&b"noreply") => true,
+                Some(_) => return Err(BadRequest::client("expected noreply")),
+            };
+            Ok(Line::Cmd(Command::Delete { key, noreply }))
+        }
+        // Admin commands take no arguments; stray arguments are the same
+        // bug class the CLI audit fixed — reject, don't ignore.
+        b"stats" if args.is_empty() => Ok(Line::Cmd(Command::Stats)),
+        b"version" if args.is_empty() => Ok(Line::Cmd(Command::Version)),
+        b"quit" if args.is_empty() => Ok(Line::Cmd(Command::Quit)),
+        b"shutdown" if args.is_empty() => Ok(Line::Cmd(Command::Shutdown)),
+        b"stats" | b"version" | b"quit" | b"shutdown" => {
+            Err(BadRequest::client("unexpected arguments"))
+        }
+        _ => Err(BadRequest::unknown()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response encoding.
+// ---------------------------------------------------------------------------
+
+/// One `VALUE` line plus data block (`gets` responses carry `cas`).
+pub fn encode_value(out: &mut Vec<u8>, key: &str, flags: u32, data: &[u8], cas: Option<u64>) {
+    match cas {
+        Some(c) => {
+            out.extend_from_slice(format!("VALUE {key} {flags} {} {c}\r\n", data.len()).as_bytes())
+        }
+        None => out.extend_from_slice(format!("VALUE {key} {flags} {}\r\n", data.len()).as_bytes()),
+    }
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Terminates a `get`/`gets`/`stats` response.
+pub fn encode_end(out: &mut Vec<u8>) {
+    out.extend_from_slice(b"END\r\n");
+}
+
+/// One `STAT` line.
+pub fn encode_stat(out: &mut Vec<u8>, name: &str, value: impl std::fmt::Display) {
+    out.extend_from_slice(format!("STAT {name} {value}\r\n").as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parser() -> RequestParser {
+        RequestParser::new(ParserLimits::default())
+    }
+
+    fn drain(p: &mut RequestParser) -> Vec<Parsed> {
+        let mut out = Vec::new();
+        while let Some(x) = p.next() {
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn get_set_delete_roundtrip() {
+        let mut p = parser();
+        p.feed(b"set k1 7 0 5\r\nhello\r\nget k1 k2\r\ndelete k1 noreply\r\n");
+        let cmds = drain(&mut p);
+        assert_eq!(
+            cmds,
+            vec![
+                Parsed::Cmd(Command::Set {
+                    key: "k1".into(),
+                    flags: 7,
+                    exptime: 0,
+                    noreply: false,
+                    data: Bytes::from_static(b"hello"),
+                }),
+                Parsed::Cmd(Command::Get {
+                    keys: vec!["k1".into(), "k2".into()],
+                    with_cas: false,
+                }),
+                Parsed::Cmd(Command::Delete {
+                    key: "k1".into(),
+                    noreply: true,
+                }),
+            ]
+        );
+        assert_eq!(p.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn split_at_every_boundary() {
+        let stream = b"set key 1 0 3\r\nabc\r\ngets key\r\nquit\r\n";
+        for split in 0..stream.len() {
+            let mut p = parser();
+            p.feed(&stream[..split]);
+            let mut got = drain(&mut p);
+            p.feed(&stream[split..]);
+            got.extend(drain(&mut p));
+            assert_eq!(got.len(), 3, "split at {split}");
+            assert!(
+                matches!(&got[0], Parsed::Cmd(Command::Set { data, .. }) if data.as_ref() == b"abc"),
+                "split at {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_data_block_may_contain_crlf() {
+        let mut p = parser();
+        p.feed(b"set k 0 0 4\r\n\r\n\r\n\r\n");
+        let cmds = drain(&mut p);
+        assert_eq!(cmds.len(), 1);
+        assert!(
+            matches!(&cmds[0], Parsed::Cmd(Command::Set { data, .. }) if data.as_ref() == b"\r\n\r\n")
+        );
+    }
+
+    #[test]
+    fn unterminated_data_chunk_is_fatal() {
+        let mut p = parser();
+        p.feed(b"set k 0 0 3\r\nabcXYget k\r\n");
+        let cmds = drain(&mut p);
+        assert!(
+            matches!(&cmds[0], Parsed::Bad(b) if b.fatal && b.reply.contains("bad data chunk"))
+        );
+    }
+
+    #[test]
+    fn oversized_declared_value_is_rejected_before_buffering() {
+        let mut p = RequestParser::new(ParserLimits {
+            max_value_len: 16,
+            ..Default::default()
+        });
+        p.feed(b"set k 0 0 17\r\n");
+        let cmds = drain(&mut p);
+        assert!(
+            matches!(&cmds[0], Parsed::Bad(b) if b.fatal && b.reply.starts_with("SERVER_ERROR object too large"))
+        );
+    }
+
+    #[test]
+    fn oversized_key_and_bad_characters_rejected() {
+        let mut p = parser();
+        let long = "k".repeat(SPEC_MAX_KEY_LEN + 1);
+        p.feed(format!("get {long}\r\n").as_bytes());
+        p.feed(b"get ok\x01key\r\n");
+        let cmds = drain(&mut p);
+        assert!(matches!(&cmds[0], Parsed::Bad(b) if b.reply.contains("key too long")));
+        assert!(matches!(&cmds[1], Parsed::Bad(b) if b.reply.contains("invalid characters")));
+    }
+
+    #[test]
+    fn overlong_line_without_terminator_is_fatal() {
+        let mut p = RequestParser::new(ParserLimits {
+            max_line_len: 32,
+            ..Default::default()
+        });
+        p.feed(&[b'a'; 64]);
+        let cmds = drain(&mut p);
+        assert!(matches!(&cmds[0], Parsed::Bad(b) if b.fatal));
+    }
+
+    #[test]
+    fn bare_newline_and_bad_spacing_are_recoverable_errors() {
+        let mut p = parser();
+        p.feed(b"get k\nget  k\r\nversion\r\n");
+        let cmds = drain(&mut p);
+        assert!(matches!(&cmds[0], Parsed::Bad(b) if !b.fatal));
+        assert!(matches!(&cmds[1], Parsed::Bad(b) if !b.fatal));
+        assert_eq!(cmds[2], Parsed::Cmd(Command::Version));
+    }
+
+    #[test]
+    fn admin_commands_reject_stray_arguments() {
+        let mut p = parser();
+        p.feed(b"stats\r\nstats extra\r\nversion now\r\nquit fast\r\nshutdown x\r\n");
+        let cmds = drain(&mut p);
+        assert_eq!(cmds[0], Parsed::Cmd(Command::Stats));
+        for c in &cmds[1..] {
+            assert!(matches!(c, Parsed::Bad(b) if b.reply.contains("unexpected arguments")));
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_error_not_close() {
+        let mut p = parser();
+        p.feed(b"incr k 1\r\nversion\r\n");
+        let cmds = drain(&mut p);
+        assert_eq!(
+            cmds[0],
+            Parsed::Bad(BadRequest {
+                reply: "ERROR\r\n".into(),
+                fatal: false
+            })
+        );
+        assert_eq!(cmds[1], Parsed::Cmd(Command::Version));
+    }
+
+    #[test]
+    fn zero_length_value_roundtrips() {
+        let mut p = parser();
+        p.feed(b"set empty 0 0 0\r\n\r\n");
+        let cmds = drain(&mut p);
+        assert!(matches!(&cmds[0], Parsed::Cmd(Command::Set { data, .. }) if data.is_empty()));
+    }
+
+    #[test]
+    fn encode_parses_back() {
+        let cmds = vec![
+            Command::Set {
+                key: "ns:k".into(),
+                flags: 42,
+                exptime: 100,
+                noreply: true,
+                data: Bytes::from_static(b"\x00\xffbinary"),
+            },
+            Command::Get {
+                keys: vec!["a".into(), "b".into()],
+                with_cas: true,
+            },
+            Command::Delete {
+                key: "a".into(),
+                noreply: false,
+            },
+            Command::Stats,
+            Command::Version,
+            Command::Quit,
+        ];
+        let mut wire = Vec::new();
+        for c in &cmds {
+            c.encode(&mut wire);
+        }
+        let mut p = parser();
+        p.feed(&wire);
+        let parsed = drain(&mut p);
+        assert_eq!(
+            parsed,
+            cmds.into_iter().map(Parsed::Cmd).collect::<Vec<_>>()
+        );
+    }
+}

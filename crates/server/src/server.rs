@@ -1,0 +1,521 @@
+//! The TCP front-end: accept loop, connection handling, and shutdown.
+//!
+//! Threading model: this build environment vendors no async runtime, so the
+//! server runs a blocking reactor — one acceptor thread plus one thread per
+//! connection, bounded by [`ServerConfig::max_connections`] (the same
+//! semaphore shape a tokio implementation would use; the protocol layer is
+//! transport-agnostic, so an async runtime can replace this file without
+//! touching framing or command execution). Per-connection OS read/write
+//! timeouts bound how long a dead or stalled peer can pin a thread.
+//!
+//! Hardening on the accept edge:
+//!
+//! * over-limit connections receive `SERVER_ERROR too many connections`
+//!   and are closed immediately — they never reach the parser;
+//! * every socket gets read *and* write timeouts before its first byte is
+//!   parsed, so a peer that stops reading cannot wedge a writer thread
+//!   (slow-loris in either direction);
+//! * a read timeout mid-request (partial frame buffered) closes the
+//!   connection — a client that half-sends a command and stalls is
+//!   indistinguishable from an attack and loses its slot.
+//!
+//! Graceful shutdown ([`ServerHandle::shutdown`]) stops the acceptor, lets
+//! every connection finish the requests already buffered (pipelined bursts
+//! drain completely), waits up to [`ServerConfig::drain_timeout`], then
+//! severs the stragglers' sockets and joins every thread — the process
+//! ends with zero server threads alive, which the start/stop-loop
+//! regression test pins.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use edgecache_common::clock::SharedClock;
+use edgecache_common::error::{Error, Result};
+use edgecache_core::manager::CacheManager;
+use edgecache_metrics::{Counter, Gauge, MetricRegistry};
+use parking_lot::{Condvar, Mutex};
+
+use crate::object::{ObjectStore, SetOutcome};
+use crate::protocol::{
+    encode_end, encode_stat, encode_value, Command, Parsed, ParserLimits, RequestParser,
+};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:11211`. Port 0 picks an ephemeral
+    /// port (reported by [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Connection semaphore: accepts beyond this are refused with
+    /// `SERVER_ERROR too many connections`.
+    pub max_connections: usize,
+    /// Per-connection read timeout (idle or stalled peers are dropped).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout (peers that stop reading are dropped).
+    pub write_timeout: Duration,
+    /// How long a graceful shutdown waits for in-flight requests before
+    /// severing connections.
+    pub drain_timeout: Duration,
+    /// Frame-level limits enforced by the parser.
+    pub limits: ParserLimits,
+    /// Whether the `shutdown` protocol command is honoured (used by
+    /// operational tooling and CI; off by default — a remote peer must not
+    /// be able to stop the server unless explicitly allowed).
+    pub allow_shutdown_command: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:11211".to_string(),
+            max_connections: 1024,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(5),
+            limits: ParserLimits::default(),
+            allow_shutdown_command: false,
+        }
+    }
+}
+
+/// Cached handles for the server's counters (the hot path must not take
+/// the registry's name-lookup lock per request — same discipline as the
+/// manager's `HotMetrics`).
+pub struct ServerMetrics {
+    pub conns_accepted: Arc<Counter>,
+    pub conns_rejected: Arc<Counter>,
+    pub conns_closed: Arc<Counter>,
+    pub conns_active: Arc<Gauge>,
+    pub requests: Arc<Counter>,
+    pub responses: Arc<Counter>,
+    pub noreply_acks: Arc<Counter>,
+    pub get_keys: Arc<Counter>,
+    pub get_hits: Arc<Counter>,
+    pub get_misses: Arc<Counter>,
+    pub sets: Arc<Counter>,
+    pub deletes: Arc<Counter>,
+    pub parse_errors: Arc<Counter>,
+    pub timeouts: Arc<Counter>,
+    pub bytes_in: Arc<Counter>,
+    pub bytes_out: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new(registry: &MetricRegistry) -> Self {
+        Self {
+            conns_accepted: registry.counter("server.conns_accepted"),
+            conns_rejected: registry.counter("server.conns_rejected"),
+            conns_closed: registry.counter("server.conns_closed"),
+            conns_active: registry.gauge("server.conns_active"),
+            requests: registry.counter("server.requests"),
+            responses: registry.counter("server.responses"),
+            noreply_acks: registry.counter("server.noreply_acks"),
+            get_keys: registry.counter("server.get_keys"),
+            get_hits: registry.counter("server.get_hits"),
+            get_misses: registry.counter("server.get_misses"),
+            sets: registry.counter("server.sets"),
+            deletes: registry.counter("server.deletes"),
+            parse_errors: registry.counter("server.parse_errors"),
+            timeouts: registry.counter("server.timeouts"),
+            bytes_in: registry.counter("server.bytes_in"),
+            bytes_out: registry.counter("server.bytes_out"),
+        }
+    }
+}
+
+/// State shared between the acceptor, the connections, and the handle.
+struct Shared {
+    store: ObjectStore,
+    metrics: ServerMetrics,
+    config: ServerConfig,
+    /// Set once; connections stop picking up new requests, the acceptor
+    /// stops accepting.
+    stop: AtomicBool,
+    /// Signalled when `stop` is set (wakes `ServerHandle::wait`).
+    stop_signal: (Mutex<bool>, Condvar),
+    /// Live connection count — the semaphore's permit counter.
+    active: AtomicUsize,
+    /// Clones of live connection sockets, for severing stragglers at the
+    /// drain deadline.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Joinable finished/live connection threads.
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        let (flag, cvar) = &self.stop_signal;
+        *flag.lock() = true;
+        cvar.notify_all();
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down gracefully.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Starts a server over `cache`. `clock` drives object expiry (pass the
+/// manager's clock).
+pub fn serve(
+    cache: Arc<CacheManager>,
+    clock: SharedClock,
+    config: ServerConfig,
+) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| Error::InvalidArgument(format!("bind {}: {e}", config.addr)))?;
+    let addr = listener.local_addr().map_err(Error::Io)?;
+    let metrics = ServerMetrics::new(cache.metrics());
+    let shared = Arc::new(Shared {
+        store: ObjectStore::new(cache, clock),
+        metrics,
+        config,
+        stop: AtomicBool::new(false),
+        stop_signal: (Mutex::new(false), Condvar::new()),
+        active: AtomicUsize::new(0),
+        conns: Mutex::new(HashMap::new()),
+        threads: Mutex::new(Vec::new()),
+    });
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("edgecache-acceptor".into())
+            .spawn(move || accept_loop(listener, shared))
+            .expect("spawn acceptor")
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a shutdown is requested (the `shutdown` protocol
+    /// command, or [`Self::shutdown`] from another thread).
+    pub fn wait(&self) {
+        let (flag, cvar) = &self.shared.stop_signal;
+        let mut stopped = flag.lock();
+        while !*stopped {
+            cvar.wait(&mut stopped);
+        }
+    }
+
+    /// Whether a stop has been requested.
+    pub fn stop_requested(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests, sever
+    /// stragglers at the drain deadline, join every thread. Idempotent.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.request_stop();
+        // Wake the acceptor out of `accept` with a no-op connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+        // Unblock readers without touching the write side: a thread parked
+        // in `read` wakes with EOF immediately, while a thread mid-batch
+        // keeps its socket writable and flushes the responses it owes.
+        for (_, sock) in self.shared.conns.lock().iter() {
+            let _ = sock.shutdown(Shutdown::Read);
+        }
+        // Drain: connections notice `stop` after finishing the requests
+        // already buffered; give them the configured grace.
+        let deadline = std::time::Instant::now() + self.shared.config.drain_timeout;
+        while self.shared.active.load(Ordering::Acquire) > 0 && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Sever whoever is left (blocked in read, or mid-burst past the
+        // deadline): socket shutdown makes their next read return 0.
+        for (_, sock) in self.shared.conns.lock().iter() {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+        let threads: Vec<_> = self.shared.threads.lock().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    static CONN_IDS: AtomicU64 = AtomicU64::new(0);
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Semaphore: claim a permit; refuse the connection if over limit.
+        let prev = shared.active.fetch_add(1, Ordering::AcqRel);
+        if prev >= shared.config.max_connections {
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+            shared.metrics.conns_rejected.inc();
+            let mut s = stream;
+            let _ = s.set_write_timeout(Some(shared.config.write_timeout));
+            let _ = s.write_all(b"SERVER_ERROR too many connections\r\n");
+            let _ = s.shutdown(Shutdown::Both);
+            continue;
+        }
+        shared.metrics.conns_accepted.inc();
+        shared.metrics.conns_active.add(1);
+        let id = CONN_IDS.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().insert(id, clone);
+        }
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("edgecache-conn-{id}"))
+            .spawn(move || {
+                connection_loop(stream, &conn_shared);
+                conn_shared.conns.lock().remove(&id);
+                conn_shared.active.fetch_sub(1, Ordering::AcqRel);
+                conn_shared.metrics.conns_active.add(-1);
+                conn_shared.metrics.conns_closed.inc();
+            })
+            .expect("spawn connection thread");
+        shared.threads.lock().push(handle);
+        // Opportunistically reap finished threads so a long-lived server
+        // with connection churn doesn't accumulate handles.
+        let mut threads = shared.threads.lock();
+        if threads.len() > shared.config.max_connections.saturating_mul(2).max(64) {
+            let (done, live): (Vec<_>, Vec<_>) = threads.drain(..).partition(|t| t.is_finished());
+            *threads = live;
+            drop(threads);
+            for t in done {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+/// Why the per-connection loop ended.
+enum CloseReason {
+    Quit,
+    PeerClosed,
+    Timeout,
+    FatalProtocol,
+    IoError,
+    Drained,
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new(shared.config.limits.clone());
+    let mut read_buf = vec![0u8; 16 * 1024];
+    let mut out = Vec::with_capacity(4096);
+
+    let reason = loop {
+        // Stop picking up new requests once shutdown begins. Anything
+        // already buffered (a pipelined burst) was answered below before
+        // this check — in-flight requests drain, new ones don't start.
+        if shared.stop.load(Ordering::Acquire) {
+            break CloseReason::Drained;
+        }
+        let n = match stream.read(&mut read_buf) {
+            Ok(0) => break CloseReason::PeerClosed,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                shared.metrics.timeouts.inc();
+                break CloseReason::Timeout;
+            }
+            Err(_) => break CloseReason::IoError,
+        };
+        shared.metrics.bytes_in.add(n as u64);
+        parser.feed(&read_buf[..n]);
+
+        // Answer the whole pipelined batch with one write.
+        out.clear();
+        let mut close = None;
+        while let Some(parsed) = parser.next() {
+            match parsed {
+                Parsed::Cmd(cmd) => {
+                    if let Some(reason) = execute(&cmd, shared, &mut out) {
+                        close = Some(reason);
+                        break;
+                    }
+                }
+                Parsed::Bad(bad) => {
+                    shared.metrics.requests.inc();
+                    shared.metrics.parse_errors.inc();
+                    shared.metrics.responses.inc();
+                    out.extend_from_slice(bad.reply.as_bytes());
+                    if bad.fatal {
+                        close = Some(CloseReason::FatalProtocol);
+                        break;
+                    }
+                }
+            }
+        }
+        if !out.is_empty() {
+            shared.metrics.bytes_out.add(out.len() as u64);
+            if stream.write_all(&out).is_err() {
+                break CloseReason::IoError;
+            }
+        }
+        if let Some(reason) = close {
+            break reason;
+        }
+    };
+
+    match reason {
+        CloseReason::Quit
+        | CloseReason::PeerClosed
+        | CloseReason::Drained
+        | CloseReason::FatalProtocol => {}
+        CloseReason::Timeout | CloseReason::IoError => {}
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Executes one command, appending its response to `out`. Returns a close
+/// reason when the connection must end.
+fn execute(cmd: &Command, shared: &Shared, out: &mut Vec<u8>) -> Option<CloseReason> {
+    let m = &shared.metrics;
+    m.requests.inc();
+    match cmd {
+        Command::Get { keys, with_cas } => {
+            for key in keys {
+                m.get_keys.inc();
+                match shared.store.get(key) {
+                    Some(v) => {
+                        m.get_hits.inc();
+                        encode_value(out, key, v.flags, &v.data, with_cas.then_some(v.cas));
+                    }
+                    None => m.get_misses.inc(),
+                }
+            }
+            encode_end(out);
+            m.responses.inc();
+        }
+        Command::Set {
+            key,
+            flags,
+            exptime,
+            noreply,
+            data,
+        } => {
+            m.sets.inc();
+            let reply: &[u8] = match shared.store.set(key, *flags, *exptime, data) {
+                SetOutcome::Stored => b"STORED\r\n",
+                SetOutcome::NotStored => b"NOT_STORED\r\n",
+                SetOutcome::Error(e) => {
+                    let line = format!("SERVER_ERROR {e}\r\n");
+                    if *noreply {
+                        m.noreply_acks.inc();
+                    } else {
+                        m.responses.inc();
+                        out.extend_from_slice(line.as_bytes());
+                    }
+                    return None;
+                }
+            };
+            if *noreply {
+                m.noreply_acks.inc();
+            } else {
+                m.responses.inc();
+                out.extend_from_slice(reply);
+            }
+        }
+        Command::Delete { key, noreply } => {
+            m.deletes.inc();
+            let reply: &[u8] = if shared.store.delete(key) {
+                b"DELETED\r\n"
+            } else {
+                b"NOT_FOUND\r\n"
+            };
+            if *noreply {
+                m.noreply_acks.inc();
+            } else {
+                m.responses.inc();
+                out.extend_from_slice(reply);
+            }
+        }
+        Command::Stats => {
+            append_stats(shared, out);
+            m.responses.inc();
+        }
+        Command::Version => {
+            out.extend_from_slice(
+                format!("VERSION edgecache {}\r\n", env!("CARGO_PKG_VERSION")).as_bytes(),
+            );
+            m.responses.inc();
+        }
+        Command::Quit => {
+            // No reply, per the spec; the close is the acknowledgement.
+            m.responses.inc();
+            return Some(CloseReason::Quit);
+        }
+        Command::Shutdown => {
+            if shared.config.allow_shutdown_command {
+                m.responses.inc();
+                out.extend_from_slice(b"OK\r\n");
+                shared.request_stop();
+                return Some(CloseReason::Quit);
+            }
+            m.responses.inc();
+            out.extend_from_slice(b"CLIENT_ERROR shutdown not permitted\r\n");
+        }
+    }
+    None
+}
+
+/// `stats`: the server's own counters plus the cache manager's headline
+/// numbers — the same registry the conservation laws audit, surfaced over
+/// the wire.
+fn append_stats(shared: &Shared, out: &mut Vec<u8>) {
+    let stats = shared.store.cache().stats();
+    encode_stat(out, "curr_items", stats.pages);
+    encode_stat(out, "bytes", stats.bytes);
+    encode_stat(out, "get_hits", shared.metrics.get_hits.get());
+    encode_stat(out, "get_misses", shared.metrics.get_misses.get());
+    encode_stat(out, "cmd_get", shared.metrics.get_keys.get());
+    encode_stat(out, "cmd_set", shared.metrics.sets.get());
+    encode_stat(out, "curr_connections", shared.metrics.conns_active.get());
+    encode_stat(
+        out,
+        "total_connections",
+        shared.metrics.conns_accepted.get(),
+    );
+    encode_stat(
+        out,
+        "rejected_connections",
+        shared.metrics.conns_rejected.get(),
+    );
+    encode_stat(out, "keys", shared.store.keys());
+    // Every counter in the registry, namespaced: remote observability of
+    // the full conservation-law surface.
+    let snapshot = shared.store.cache().metrics().snapshot();
+    for (name, value) in &snapshot.counters {
+        encode_stat(out, name, value);
+    }
+    encode_end(out);
+}

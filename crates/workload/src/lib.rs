@@ -22,6 +22,7 @@
 
 pub mod fragread;
 pub mod hdfs_trace;
+pub mod kv;
 pub mod repeatq;
 pub mod replay;
 pub mod tpcds;
@@ -29,6 +30,7 @@ pub mod zipf;
 
 pub use fragread::FragmentedReadSampler;
 pub use hdfs_trace::{HdfsTraceConfig, HdfsTraceStats, TraceEvent};
+pub use kv::{KeyMix, KeyMixConfig, KvOp};
 pub use repeatq::{BurstConfig, RepeatedQueryConfig, RepeatedQueryMix};
 pub use replay::{DataNodeReplay, MinuteStats};
 pub use tpcds::{TpcdsGen, TpcdsScale};
